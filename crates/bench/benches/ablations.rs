@@ -1,0 +1,223 @@
+//! Ablation studies of the design decisions DESIGN.md calls out:
+//!
+//! A. the recovery-length constant `M_rl` vs trace-measured ground truth
+//!    (§IV-A approximates recovery with a constant; §V-B measures it);
+//! B. the MSHR condition in the `D$-blocked` heuristic (§IV-A's
+//!    condition 3) — removing it misattributes core stalls as memory;
+//! C. the I-cache next-line prefetcher — the paper notes a prefetcher
+//!    perturbs I$-blocked attribution;
+//! D. the distributed counters' local width `N` — each extra bit halves
+//!    the post-processing undercount at the cost of local state;
+//! E. the branch predictor — Table IV's TAGE vs a gshare baseline.
+
+use icicle::events::{EventId, EventVector};
+use icicle::pmu::DistributedCounter;
+use icicle::prelude::*;
+use icicle::tma::TmaInput;
+use icicle::trace::SlotTemporalTma;
+
+fn boom_with(
+    w: &Workload,
+    config: BoomConfig,
+    perf: Perf,
+) -> PerfReport {
+    let mut core = Boom::new(config, w.execute().unwrap(), w.program().clone());
+    perf.run(&mut core).unwrap()
+}
+
+fn main() {
+    ablation_recover_length();
+    ablation_dcache_heuristic();
+    ablation_prefetcher();
+    ablation_counter_width();
+    ablation_predictor();
+}
+
+// --- A: recovery-length constant ---------------------------------------
+
+fn ablation_recover_length() {
+    println!("=== Ablation A: the M_rl recovery constant (qsort, LargeBoom) ===\n");
+    let w = icicle::workloads::micro::qsort(1 << 10);
+    let config = BoomConfig::large();
+    let channels = SlotTemporalTma::required_channels(config.decode_width);
+    let report = boom_with(
+        &w,
+        config,
+        Perf::new().trace(TraceConfig::new(channels).unwrap()),
+    );
+    let trace = report.trace.as_ref().unwrap();
+    let truth = SlotTemporalTma::for_trace(trace, config.decode_width)
+        .unwrap()
+        .analyze(trace);
+    println!(
+        "trace ground truth: bad-spec {:.1}% of slots (recovery + flushed issue slots)",
+        100.0 * (1.0 - truth.retiring_fraction() - truth.frontend_fraction()
+            - truth.backend_fraction())
+    );
+    println!("\n{:>6} {:>10} {:>12}", "M_rl", "bad-spec", "vs truth(pp)");
+    let input = TmaInput::from_counts(&report.hw_counts);
+    for m_rl in [0u64, 2, 4, 6, 8] {
+        let model = icicle::tma::TmaModel {
+            commit_width: config.decode_width,
+            recover_length: m_rl,
+        };
+        let tma = model.analyze(&input);
+        let truth_bs = truth.bad_speculation_fraction();
+        println!(
+            "{:>6} {:>9.1}% {:>+11.1}",
+            m_rl,
+            100.0 * tma.top.bad_speculation,
+            100.0 * (tma.top.bad_speculation - truth_bs)
+        );
+    }
+    println!(
+        "\ntwo effects show here. First, M_rl scales the per-mispredict\n\
+         recovery charge linearly until Bad Speculation saturates against\n\
+         Retiring (the clamp makes 6 and 8 identical). Second, the counter\n\
+         model sits far above the slot-trace number at every M_rl — the\n\
+         trace cannot see which issue slots held wrong-path µops (they land\n\
+         in its Backend bucket), which is precisely the paper's point about\n\
+         ground truth being unobtainable and its model 'overestimating'\n\
+         branch-mispredict impact by construction (§IV-A).\n"
+    );
+}
+
+// --- B: D$-blocked heuristic --------------------------------------------
+
+fn ablation_dcache_heuristic() {
+    println!("=== Ablation B: the MSHR condition in D$-blocked (§IV-A) ===\n");
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "workload", "mem-bnd (with)", "mem-bnd (w/o)"
+    );
+    for w in [
+        icicle::workloads::spec::mcf_sized(1 << 15, 2_000),
+        icicle::workloads::spec::exchange2_sized(200),
+    ] {
+        let with = boom_with(&w, BoomConfig::large(), Perf::new());
+        let without_cfg = BoomConfig {
+            dcache_blocked_requires_mshr: false,
+            ..BoomConfig::large()
+        };
+        let without = boom_with(&w, without_cfg, Perf::new());
+        println!(
+            "{:<18} {:>13.1}% {:>13.1}%",
+            w.name(),
+            100.0 * with.tma.backend.mem_bound,
+            100.0 * without.tma.backend.mem_bound,
+        );
+    }
+    println!(
+        "\nwithout condition 3, the compute-bound exchange2 proxy's issue\n\
+         stalls masquerade as Memory Bound; mcf barely changes because an\n\
+         MSHR really is busy whenever it stalls.\n"
+    );
+}
+
+// --- C: I-cache prefetcher -----------------------------------------------
+
+fn ablation_prefetcher() {
+    println!("=== Ablation C: the I-cache next-line prefetcher ===\n");
+    println!(
+        "{:<18} {:>16} {:>16}",
+        "workload", "fetch-lat (pf on)", "fetch-lat (off)"
+    );
+    for w in [
+        icicle::workloads::micro::mergesort(1 << 10),
+        icicle::workloads::micro::brmiss_inv(1200),
+    ] {
+        let on = boom_with(&w, BoomConfig::large(), Perf::new());
+        let mut cfg = BoomConfig::large();
+        cfg.memory.icache_prefetch = false;
+        let off = boom_with(&w, cfg, Perf::new());
+        println!(
+            "{:<18} {:>15.1}% {:>15.1}%",
+            w.name(),
+            100.0 * on.tma.frontend.fetch_latency,
+            100.0 * off.tma.frontend.fetch_latency,
+        );
+    }
+    println!(
+        "\nstraight-line code (brmiss_inv) leans hard on the next-line\n\
+         prefetcher; disabling it converts the savings back into\n\
+         Fetch-Latency slots.\n"
+    );
+}
+
+// --- E: branch predictor (TAGE vs gshare) ---------------------------------
+
+fn ablation_predictor() {
+    use icicle::boom::PredictorKind;
+    println!("=== Ablation E: TAGE (Table IV) vs gshare ===\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "tage cyc", "gshare cyc", "tage b-mr", "gshare b-mr"
+    );
+    for w in [
+        icicle::workloads::micro::qsort(1 << 10),
+        icicle::workloads::spec::leela(),
+        icicle::workloads::synth::coremark(200, false),
+        icicle::workloads::micro::mergesort(1 << 10),
+    ] {
+        let mut results = Vec::new();
+        for kind in [PredictorKind::Tage, PredictorKind::Gshare] {
+            let mut cfg = BoomConfig::large();
+            cfg.predictor = kind;
+            results.push(boom_with(&w, cfg, Perf::new()));
+        }
+        println!(
+            "{:<18} {:>12} {:>12} {:>11.1}% {:>11.1}%",
+            w.name(),
+            results[0].cycles,
+            results[1].cycles,
+            100.0 * results[0].tma.bad_spec.branch_mispredicts,
+            100.0 * results[1].tma.bad_spec.branch_mispredicts,
+        );
+    }
+    println!(
+        "\ndata-dependent branches (qsort's pivot, leela's rollouts) stay\n\
+         hard for both predictors — the paper's Bad-Speculation findings\n\
+         do not hinge on predictor choice — while history-patterned code\n\
+         (coremark, mergesort) improves under TAGE.\n"
+    );
+}
+
+// --- D: distributed-counter width ----------------------------------------
+
+fn ablation_counter_width() {
+    println!("=== Ablation D: distributed-counter local width N ===\n");
+    // Drive all four sources from a deterministic bursty pattern and
+    // sweep the local width.
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "N", "undercount", "bound", "state bits"
+    );
+    let mut pattern = Vec::new();
+    let mut x = 0x2468_ace1u32;
+    for _ in 0..100_000u32 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        pattern.push(((x >> 11) & 0xf) as u16);
+    }
+    let exact: u64 = pattern.iter().map(|m| m.count_ones() as u64).sum();
+    for width in 2..=6u32 {
+        let mut c = DistributedCounter::with_width(4, width);
+        for &mask in &pattern {
+            c.tick(mask);
+        }
+        println!(
+            "{:>6} {:>12} {:>14} {:>12}",
+            width,
+            exact - c.software_value(),
+            c.worst_case_undercount(),
+            4 * (width + 1),
+        );
+    }
+    println!(
+        "\nwider local counters shrink nothing on average (the loss is the\n\
+         residue modulo 2^N times the harvest delay) but raise the\n\
+         worst-case bound and the per-source state — N = ⌈log2(sources)⌉\n\
+         is the sweet spot the paper's implementation picks.\n"
+    );
+    let _ = EventId::Cycles;
+    let _ = EventVector::new();
+}

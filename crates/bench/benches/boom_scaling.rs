@@ -1,0 +1,60 @@
+//! Design-space scaling study: IPC and TMA across the five Table IV
+//! BOOM sizes. Not a paper figure, but the design-space-exploration use
+//! case the paper motivates (§I cites BOOM-explorer): reliable
+//! characterization across configurations during the design process.
+
+use icicle::prelude::*;
+use icicle_bench::boom_report;
+
+fn main() {
+    println!("=== BOOM scaling study: IPC across Table IV sizes ===\n");
+    let workloads = [
+        icicle::workloads::micro::rsort(1 << 10),
+        icicle::workloads::micro::mm(20),
+        icicle::workloads::micro::qsort(1 << 10),
+        icicle::workloads::spec::exchange2(),
+        icicle::workloads::spec::mcf_sized(1 << 15, 4_000),
+    ];
+    print!("{:<18}", "benchmark");
+    for size in BoomSize::ALL {
+        print!(" {:>8}", size.name());
+    }
+    println!("   bottleneck that limits scaling");
+    for w in &workloads {
+        print!("{:<18}", w.name());
+        let mut last = None;
+        for size in BoomSize::ALL {
+            let r = boom_report(w, BoomConfig::for_size(size));
+            print!(" {:>8.2}", r.ipc());
+            last = Some(r);
+        }
+        let r = last.expect("at least one size");
+        println!("   {} ({:.0}%)", r.tma.top.dominant().0, 100.0 * r.tma.top.dominant().1);
+    }
+    // The ablation the regression motivates: giga with a store-set-style
+    // memory dependence predictor.
+    let w = icicle::workloads::spec::exchange2();
+    let base = boom_report(&w, BoomConfig::giga());
+    let mut cfg = BoomConfig::giga();
+    cfg.mem_dep_prediction = true;
+    let fixed = boom_report(&w, cfg);
+    println!(
+        "\nmem-dep prediction on giga/exchange2: IPC {:.2} -> {:.2}, \
+         machine-clear slots {:.1}% -> {:.1}%",
+        base.ipc(),
+        fixed.ipc(),
+        100.0 * base.tma.bad_spec.machine_clears,
+        100.0 * fixed.tma.bad_spec.machine_clears,
+    );
+    println!(
+        "\ncompute-bound kernels (rsort, mm) keep scaling with width; the\n\
+         memory-bound chase (mcf) and speculation-bound sort (qsort)\n\
+         plateau. exchange2 actually REGRESSES at giga: its swap pattern\n\
+         trips memory-ordering machine clears, and deeper speculation\n\
+         trips more of them (the TMA Machine Clears class doubles from\n\
+         mega to giga) — the classic reason wide cores grow memory\n\
+         dependence predictors. TMA names the limiter in every case,\n\
+         which is exactly the design-space-exploration feedback loop the\n\
+         paper's introduction argues for."
+    );
+}

@@ -1,0 +1,107 @@
+//! Regenerates Fig. 7(g–l): LargeBoomV3 TMA for the SPEC CPU2017
+//! intrate proxies (top level g, second levels h/i/j) and for the
+//! microbenchmarks (top level k, backend split l).
+//!
+//! Paper shape to reproduce: 525.x264_r stands out with a high retire
+//! rate; 505.mcf_r and 523.xalancbmk_r are ~80% Backend Bound; Frontend
+//! is minimal everywhere; machine clears are a small slice of Bad
+//! Speculation; Dhrystone/CoreMark reach IPC ≈ 2; memcpy is memory
+//! bound.
+
+use icicle::prelude::*;
+use icicle_bench::{
+    boom_report, print_levels_header, print_levels_row, print_top_header, print_top_row,
+};
+
+fn main() {
+    let config = BoomConfig::large();
+
+    println!("=== Fig. 7(g): BOOM top-level TMA, SPEC CPU2017 intrate proxies ===\n");
+    let spec: Vec<_> = icicle::workloads::spec_intrate_suite()
+        .into_iter()
+        .map(|w| {
+            let r = boom_report(&w, config);
+            (w.name().to_string(), r)
+        })
+        .collect();
+    print_top_header();
+    for (name, r) in &spec {
+        print_top_row(name, r);
+    }
+
+    println!("\n=== Fig. 7(h,i,j): BOOM second-level TMA, SPEC proxies ===\n");
+    print_levels_header();
+    for (name, r) in &spec {
+        print_levels_row(name, r);
+    }
+
+    println!("\n=== Fig. 7(k): BOOM top-level TMA, microbenchmarks ===\n");
+    let micros: Vec<_> = icicle::workloads::micro_suite()
+        .into_iter()
+        .map(|w| {
+            let r = boom_report(&w, config);
+            (w.name().to_string(), r)
+        })
+        .collect();
+    print_top_header();
+    for (name, r) in &micros {
+        print_top_row(name, r);
+    }
+
+    println!("\n=== Fig. 7(l): BOOM Backend split, microbenchmarks ===\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}",
+        "benchmark", "backend", "mem-bnd", "core-bnd"
+    );
+    for (name, r) in &micros {
+        println!(
+            "{:<18} {:>8.1}% {:>8.1}% {:>8.1}%",
+            name,
+            100.0 * r.tma.top.backend,
+            100.0 * r.tma.backend.mem_bound,
+            100.0 * r.tma.backend.core_bound,
+        );
+    }
+
+    // Mechanical shape checks against the paper's narrative.
+    let spec_get = |n: &str| {
+        &spec
+            .iter()
+            .find(|(name, _)| name == n)
+            .unwrap_or_else(|| panic!("missing {n}"))
+            .1
+    };
+    println!("\nshape checks vs the paper:");
+    let x264 = spec_get("525.x264_r");
+    let max_ret = spec
+        .iter()
+        .filter(|(n, _)| !n.contains("exchange2") && !n.contains("deepsjeng"))
+        .map(|(_, r)| r.tma.top.retiring)
+        .fold(0.0f64, f64::max);
+    println!(
+        "  x264 retiring {:.1}% is among the highest: {}",
+        100.0 * x264.tma.top.retiring,
+        x264.tma.top.retiring >= max_ret - 1e-9
+    );
+    for n in ["505.mcf_r", "523.xalancbmk_r"] {
+        let r = spec_get(n);
+        println!(
+            "  {n} backend {:.1}% ≥ 70%: {}",
+            100.0 * r.tma.top.backend,
+            r.tma.top.backend >= 0.70
+        );
+    }
+    let worst_frontend = spec
+        .iter()
+        .map(|(_, r)| r.tma.top.frontend)
+        .fold(0.0f64, f64::max);
+    println!(
+        "  frontend minimal across SPEC (max {:.1}%): {}",
+        100.0 * worst_frontend,
+        worst_frontend < 0.10
+    );
+    let clears_small = spec.iter().all(|(_, r)| {
+        r.tma.bad_spec.machine_clears <= 0.3 * r.tma.top.bad_speculation.max(0.01)
+    });
+    println!("  machine clears are a small slice of bad speculation: {clears_small}");
+}

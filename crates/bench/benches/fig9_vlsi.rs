@@ -1,0 +1,81 @@
+//! Regenerates Fig. 9: modelled post-placement metrics for the counter
+//! implementations across the five BOOM sizes — (a) power overhead, plus
+//! area and wirelength, and (b) the normalized longest combinational
+//! path through the CSR file.
+//!
+//! Paper envelope to reproduce: at most ≈4.15% power, ≈1.54% area,
+//! ≈9.93% wirelength; every configuration passes 200 MHz; the adder
+//! chain is competitive at Small/Medium but its delay crosses above the
+//! distributed counters from Large up.
+
+use icicle::prelude::*;
+use icicle::pmu::CounterArch;
+use icicle::vlsi::evaluate;
+
+const ARCHS: [CounterArch; 3] = [
+    CounterArch::Scalar,
+    CounterArch::AddWires,
+    CounterArch::Distributed,
+];
+
+fn main() {
+    println!("=== Fig. 9(a): post-placement overheads vs base design ===\n");
+    println!(
+        "{:<8} {:<12} {:>8} {:>8} {:>12} {:>10}",
+        "size", "impl", "power", "area", "wirelength", "200MHz"
+    );
+    let mut worst = (0.0f64, 0.0f64, 0.0f64);
+    for size in BoomSize::ALL {
+        for arch in ARCHS {
+            let r = evaluate(size, arch);
+            println!(
+                "{:<8} {:<12} {:>7.2}% {:>7.2}% {:>11.2}% {:>10}",
+                size.name(),
+                format!("{arch:?}"),
+                r.power_overhead_pct(),
+                r.area_overhead_pct(),
+                r.wirelength_overhead_pct(),
+                if r.meets_200mhz() { "pass" } else { "FAIL" }
+            );
+            worst.0 = worst.0.max(r.power_overhead_pct());
+            worst.1 = worst.1.max(r.area_overhead_pct());
+            worst.2 = worst.2.max(r.wirelength_overhead_pct());
+        }
+    }
+    println!(
+        "\nmaxima: power {:.2}% (paper 4.15%), area {:.2}% (paper 1.54%), \
+         wirelength {:.2}% (paper 9.93%)",
+        worst.0, worst.1, worst.2
+    );
+
+    println!("\n=== Fig. 9(b): normalized longest CSR-crossing path ===\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12}",
+        "size", "scalar", "add-wires", "distributed"
+    );
+    for size in BoomSize::ALL {
+        let row: Vec<f64> = ARCHS
+            .iter()
+            .map(|a| evaluate(size, *a).normalized_csr_delay())
+            .collect();
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>12.3}",
+            size.name(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
+    println!(
+        "\nshape check: add-wires <= distributed at small/medium, \
+         add-wires > distributed from large up (the Fig. 9b crossover): {}",
+        BoomSize::ALL.iter().all(|s| {
+            let a = evaluate(*s, CounterArch::AddWires).csr_path_ps;
+            let d = evaluate(*s, CounterArch::Distributed).csr_path_ps;
+            match s {
+                BoomSize::Small | BoomSize::Medium => a <= d,
+                _ => a > d,
+            }
+        })
+    );
+}

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the simulator substrate itself:
+//! cycles/second of the two core models, cache-access throughput, and
+//! the per-cycle cost of each counter implementation. These are
+//! engineering benchmarks for the reproduction (the paper's own speed
+//! metric is FireSim's FPGA rate).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use icicle::events::{EventId, EventVector};
+use icicle::prelude::*;
+use icicle::pmu::{CsrFile, EventSelection, HpmConfig};
+
+fn loop_workload() -> Workload {
+    icicle::workloads::synth::coremark(30, false)
+}
+
+fn bench_cores(c: &mut Criterion) {
+    let w = loop_workload();
+    let stream = w.execute().unwrap();
+
+    let mut group = c.benchmark_group("core-step");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("rocket", |b| {
+        b.iter_batched_ref(
+            || Rocket::new(RocketConfig::default(), stream.clone()),
+            |core| {
+                for _ in 0..256 {
+                    core.step();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("large-boom", |b| {
+        b.iter_batched_ref(
+            || Boom::new(BoomConfig::large(), stream.clone(), w.program().clone()),
+            |core| {
+                for _ in 0..256 {
+                    core.step();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory");
+    group.bench_function("l1-hit", |b| {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        mem.load(0x9000_0000, 0);
+        let mut now = 1_000u64;
+        b.iter(|| {
+            now += 1;
+            std::hint::black_box(mem.load(0x9000_0000, now))
+        })
+    });
+    group.bench_function("l1-miss-stream", |b| {
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut addr = 0x9000_0000u64;
+        let mut now = 0u64;
+        b.iter(|| {
+            addr += 64;
+            now += 100;
+            std::hint::black_box(mem.load(addr, now))
+        })
+    });
+    group.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pmu-tick");
+    let mut vector = EventVector::new();
+    for lane in 0..4 {
+        vector.raise_lane(EventId::UopsIssued, lane);
+    }
+    for arch in [
+        CounterArch::Stock,
+        CounterArch::Scalar,
+        CounterArch::AddWires,
+        CounterArch::Distributed,
+    ] {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        csr.configure(
+            0,
+            HpmConfig {
+                selection: EventSelection::single(EventId::UopsIssued),
+                arch,
+                sources: 4,
+            },
+        )
+        .unwrap();
+        csr.clear_inhibit(0).unwrap();
+        group.bench_function(format!("{arch:?}"), |b| {
+            b.iter(|| csr.tick(std::hint::black_box(&vector)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cores, bench_memory, bench_counters
+}
+criterion_main!(benches);

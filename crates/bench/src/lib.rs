@@ -1,0 +1,114 @@
+//! # icicle-bench
+//!
+//! Shared helpers for the benchmark harness that regenerates every table
+//! and figure of the paper's evaluation (§V). Each `benches/` target is a
+//! standalone binary (`harness = false`) that prints the same rows or
+//! series the paper reports; `cargo bench` runs them all.
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig3_motivation` | Fig. 3 — Frontend event trace for mergesort |
+//! | `fig7_rocket` | Fig. 7(a,b) — Rocket TMA, top level + backend |
+//! | `fig7_boom` | Fig. 7(g–l) — BOOM TMA for SPEC proxies + micros |
+//! | `fig7_case_studies` | Fig. 7(c,d,e,f,m,n) — the three case studies |
+//! | `table5_per_lane` | Table V — per-lane event rates |
+//! | `table6_overlap` | Table VI — temporal-TMA overlap bound |
+//! | `fig8_temporal` | Fig. 8 — temporal example + recovery CDF |
+//! | `fig9_vlsi` | Fig. 9 — post-placement overheads |
+//! | `counters_comparison` | artifact §F — add-wires vs distributed |
+//! | `sim_throughput` | Criterion micro-benchmarks of the simulator |
+
+use icicle::prelude::*;
+
+/// Runs a workload on the default Rocket and returns the perf report.
+pub fn rocket_report(workload: &Workload) -> PerfReport {
+    rocket_report_with(workload, RocketConfig::default())
+}
+
+/// Runs a workload on an explicitly configured Rocket.
+pub fn rocket_report_with(workload: &Workload, config: RocketConfig) -> PerfReport {
+    let stream = workload
+        .execute()
+        .unwrap_or_else(|e| panic!("{} failed to execute: {e}", workload.name()));
+    let mut core = Rocket::new(config, stream);
+    Perf::new()
+        .run(&mut core)
+        .unwrap_or_else(|e| panic!("{} failed to measure: {e}", workload.name()))
+}
+
+/// Runs a workload on a BOOM configuration and returns the perf report.
+pub fn boom_report(workload: &Workload, config: BoomConfig) -> PerfReport {
+    boom_perf(workload, config, Perf::new())
+}
+
+/// Runs a workload on BOOM under a custom harness (tracing, counter
+/// implementation, lane collection…).
+pub fn boom_perf(workload: &Workload, config: BoomConfig, perf: Perf) -> PerfReport {
+    let stream = workload
+        .execute()
+        .unwrap_or_else(|e| panic!("{} failed to execute: {e}", workload.name()));
+    let mut core = Boom::new(config, stream, workload.program().clone());
+    perf.run(&mut core)
+        .unwrap_or_else(|e| panic!("{} failed to measure: {e}", workload.name()))
+}
+
+/// Prints the header of a top-level TMA table.
+pub fn print_top_header() {
+    println!(
+        "{:<18} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "ipc", "retiring", "bad-spec", "frontend", "backend"
+    );
+}
+
+/// Prints one top-level TMA row.
+pub fn print_top_row(name: &str, report: &PerfReport) {
+    println!(
+        "{:<18} {:>6.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+        name,
+        report.ipc(),
+        100.0 * report.tma.top.retiring,
+        100.0 * report.tma.top.bad_speculation,
+        100.0 * report.tma.top.frontend,
+        100.0 * report.tma.top.backend,
+    );
+}
+
+/// Prints the header of a second-level drill-down table.
+pub fn print_levels_header() {
+    println!(
+        "{:<18} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "benchmark", "mach-clr", "br-misp", "fetch-lat", "pc-rest", "mem-bnd", "core-bnd"
+    );
+}
+
+/// Prints one second-level drill-down row.
+pub fn print_levels_row(name: &str, report: &PerfReport) {
+    println!(
+        "{:<18} {:>8.1}% {:>8.1}% | {:>8.1}% {:>8.1}% | {:>8.1}% {:>8.1}%",
+        name,
+        100.0 * report.tma.bad_spec.machine_clears,
+        100.0 * report.tma.bad_spec.branch_mispredicts,
+        100.0 * report.tma.frontend.fetch_latency,
+        100.0 * report.tma.frontend.pc_resteers,
+        100.0 * report.tma.backend.mem_bound,
+        100.0 * report.tma.backend.core_bound,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_run_end_to_end() {
+        let w = icicle::workloads::micro::vvadd(128);
+        let r = rocket_report(&w);
+        assert!(r.cycles > 0);
+        let b = boom_report(&w, BoomConfig::small());
+        assert!(b.cycles > 0);
+        print_top_header();
+        print_top_row(w.name(), &b);
+        print_levels_header();
+        print_levels_row(w.name(), &b);
+    }
+}

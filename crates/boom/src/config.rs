@@ -1,0 +1,296 @@
+//! BOOM configurations (Table IV).
+
+use icicle_mem::HierarchyConfig;
+
+/// The five BOOM sizes evaluated by the paper (Table IV).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum BoomSize {
+    Small,
+    Medium,
+    Large,
+    Mega,
+    Giga,
+}
+
+impl BoomSize {
+    /// All sizes, smallest first.
+    pub const ALL: [BoomSize; 5] = [
+        BoomSize::Small,
+        BoomSize::Medium,
+        BoomSize::Large,
+        BoomSize::Mega,
+        BoomSize::Giga,
+    ];
+
+    /// The size's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoomSize::Small => "small",
+            BoomSize::Medium => "medium",
+            BoomSize::Large => "large",
+            BoomSize::Mega => "mega",
+            BoomSize::Giga => "giga",
+        }
+    }
+}
+
+impl std::fmt::Display for BoomSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which conditional-branch predictor the front-end uses.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PredictorKind {
+    /// The TAGE predictor of Table IV.
+    #[default]
+    Tage,
+    /// A gshare baseline (for predictor ablations).
+    Gshare,
+}
+
+/// Parameters of the BOOM core model.
+///
+/// Use the per-size constructors ([`BoomConfig::large`] etc.) to get the
+/// Table IV configurations; every field is public so experiments can
+/// deviate from them.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BoomConfig {
+    /// Which Table IV size this configuration corresponds to.
+    pub size: BoomSize,
+    /// Instructions per I-cache fetch.
+    pub fetch_width: usize,
+    /// Decode / commit width `W_C`.
+    pub decode_width: usize,
+    /// Integer issue ports (lanes `0 .. int`).
+    pub int_issue_ports: usize,
+    /// Memory issue ports (lanes `int .. int + mem`).
+    pub mem_issue_ports: usize,
+    /// Floating-point issue ports (the last lanes).
+    pub fp_issue_ports: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Integer issue-queue entries.
+    pub int_iq_entries: usize,
+    /// Memory issue-queue entries.
+    pub mem_iq_entries: usize,
+    /// Floating-point issue-queue entries.
+    pub fp_iq_entries: usize,
+    /// Load-queue entries.
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub stq_entries: usize,
+    /// L1D miss-status holding registers.
+    pub n_mshrs: usize,
+    /// Fetch-buffer capacity in µops.
+    pub fetch_buffer_entries: usize,
+    /// Cycles between a flush and the corrected fetch starting.
+    pub redirect_penalty: u64,
+    /// Result latencies.
+    pub mul_latency: u64,
+    pub div_latency: u64,
+    pub load_hit_latency: u64,
+    pub fp_latency: u64,
+    pub fp_div_latency: u64,
+    pub csr_latency: u64,
+    /// Cycles a fence holds the ROB head after the pipeline drains.
+    pub fence_latency: u64,
+    /// Which branch predictor to instantiate.
+    pub predictor: PredictorKind,
+    /// Predictor capacity: gshare table entries, or TAGE's bimodal base
+    /// size (the four 1K-entry tagged tables are fixed).
+    pub predictor_entries: usize,
+    /// BTB entries.
+    pub btb_entries: usize,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+    /// Memory dependence prediction (store-set style): loads that have
+    /// caused a memory-ordering machine clear wait for older stores'
+    /// addresses before issuing again. Off by default to match stock
+    /// SonicBOOM's conservative baseline in this model; the scaling
+    /// study enables it as an ablation.
+    pub mem_dep_prediction: bool,
+    /// Whether the `D$-blocked` heuristic requires an MSHR to be busy
+    /// (condition 3 of §IV-A). Disabling it is the ablation that shows
+    /// why the condition matters: without it, core-bound issue stalls
+    /// masquerade as Memory Bound.
+    pub dcache_blocked_requires_mshr: bool,
+    /// Memory hierarchy parameters.
+    pub memory: HierarchyConfig,
+}
+
+impl BoomConfig {
+    fn base(size: BoomSize) -> BoomConfig {
+        BoomConfig {
+            size,
+            fetch_width: 4,
+            decode_width: 1,
+            int_issue_ports: 1,
+            mem_issue_ports: 1,
+            fp_issue_ports: 1,
+            rob_entries: 32,
+            int_iq_entries: 8,
+            mem_iq_entries: 8,
+            fp_iq_entries: 8,
+            lq_entries: 8,
+            stq_entries: 8,
+            n_mshrs: 2,
+            fetch_buffer_entries: 16,
+            // Flush -> first corrected fetch: with the 1-cycle I$ hit this
+            // yields the 4-cycle recovery mode the paper measures (Fig. 8b).
+            redirect_penalty: 3,
+            mul_latency: 3,
+            div_latency: 16,
+            load_hit_latency: 3,
+            fp_latency: 4,
+            fp_div_latency: 16,
+            csr_latency: 4,
+            fence_latency: 4,
+            predictor: PredictorKind::Tage,
+            predictor_entries: 16 * 1024,
+            btb_entries: 512,
+            ras_entries: 16,
+            mem_dep_prediction: false,
+            dcache_blocked_requires_mshr: true,
+            memory: HierarchyConfig::default(),
+        }
+    }
+
+    /// SmallBoomV3: 4-fe / 1-de / 3-iss, 32-entry ROB.
+    pub fn small() -> BoomConfig {
+        BoomConfig::base(BoomSize::Small)
+    }
+
+    /// MediumBoomV3: 4-fe / 2-de / 4-iss, 64-entry ROB.
+    pub fn medium() -> BoomConfig {
+        BoomConfig {
+            decode_width: 2,
+            int_issue_ports: 2,
+            rob_entries: 64,
+            int_iq_entries: 12,
+            mem_iq_entries: 20,
+            fp_iq_entries: 16,
+            lq_entries: 16,
+            stq_entries: 16,
+            n_mshrs: 2,
+            ..BoomConfig::base(BoomSize::Medium)
+        }
+    }
+
+    /// LargeBoomV3: 8-fe / 3-de / 5-iss, 96-entry ROB — the configuration
+    /// the paper reports TMA results for.
+    pub fn large() -> BoomConfig {
+        BoomConfig {
+            fetch_width: 8,
+            decode_width: 3,
+            int_issue_ports: 3,
+            mem_issue_ports: 1,
+            fp_issue_ports: 1,
+            rob_entries: 96,
+            int_iq_entries: 16,
+            mem_iq_entries: 32,
+            fp_iq_entries: 24,
+            lq_entries: 24,
+            stq_entries: 24,
+            n_mshrs: 4,
+            fetch_buffer_entries: 32,
+            ..BoomConfig::base(BoomSize::Large)
+        }
+    }
+
+    /// MegaBoomV3: 8-fe / 4-de / 8-iss, 128-entry ROB.
+    pub fn mega() -> BoomConfig {
+        BoomConfig {
+            fetch_width: 8,
+            decode_width: 4,
+            int_issue_ports: 4,
+            mem_issue_ports: 2,
+            fp_issue_ports: 2,
+            rob_entries: 128,
+            int_iq_entries: 24,
+            mem_iq_entries: 40,
+            fp_iq_entries: 32,
+            lq_entries: 32,
+            stq_entries: 32,
+            n_mshrs: 8,
+            fetch_buffer_entries: 32,
+            ..BoomConfig::base(BoomSize::Mega)
+        }
+    }
+
+    /// GigaBoomV3: 8-fe / 5-de / 9-iss, 130-entry ROB.
+    pub fn giga() -> BoomConfig {
+        BoomConfig {
+            fetch_width: 8,
+            decode_width: 5,
+            int_issue_ports: 5,
+            mem_issue_ports: 2,
+            fp_issue_ports: 2,
+            rob_entries: 130,
+            int_iq_entries: 24,
+            mem_iq_entries: 40,
+            fp_iq_entries: 32,
+            lq_entries: 32,
+            stq_entries: 32,
+            n_mshrs: 8,
+            fetch_buffer_entries: 40,
+            ..BoomConfig::base(BoomSize::Giga)
+        }
+    }
+
+    /// The configuration for a given [`BoomSize`].
+    pub fn for_size(size: BoomSize) -> BoomConfig {
+        match size {
+            BoomSize::Small => BoomConfig::small(),
+            BoomSize::Medium => BoomConfig::medium(),
+            BoomSize::Large => BoomConfig::large(),
+            BoomSize::Mega => BoomConfig::mega(),
+            BoomSize::Giga => BoomConfig::giga(),
+        }
+    }
+
+    /// Total issue width `W_I = int + mem + fp` ports.
+    pub fn issue_width(&self) -> usize {
+        self.int_issue_ports + self.mem_issue_ports + self.fp_issue_ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_issue_widths() {
+        assert_eq!(BoomConfig::small().issue_width(), 3);
+        assert_eq!(BoomConfig::medium().issue_width(), 4);
+        assert_eq!(BoomConfig::large().issue_width(), 5);
+        assert_eq!(BoomConfig::mega().issue_width(), 8);
+        assert_eq!(BoomConfig::giga().issue_width(), 9);
+    }
+
+    #[test]
+    fn table_iv_rob_and_queues() {
+        let l = BoomConfig::large();
+        assert_eq!(l.rob_entries, 96);
+        assert_eq!((l.int_iq_entries, l.mem_iq_entries, l.fp_iq_entries), (16, 32, 24));
+        assert_eq!((l.lq_entries, l.stq_entries, l.n_mshrs), (24, 24, 4));
+        assert_eq!(BoomConfig::giga().rob_entries, 130);
+    }
+
+    #[test]
+    fn sizes_round_trip() {
+        for size in BoomSize::ALL {
+            assert_eq!(BoomConfig::for_size(size).size, size);
+        }
+    }
+
+    #[test]
+    fn widths_grow_with_size() {
+        let widths: Vec<usize> = BoomSize::ALL
+            .iter()
+            .map(|s| BoomConfig::for_size(*s).issue_width())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,237 @@
+//! A compact TAGE branch predictor (Table IV equips BOOM with
+//! "TAGE+BTB").
+//!
+//! Four tagged tables indexed by geometrically longer global-history
+//! folds back a bimodal base predictor. Prediction comes from the
+//! longest-history matching table; allocation on a misprediction claims
+//! an entry with a clear `useful` bit in some longer table, the standard
+//! TAGE policy (Seznec & Michaud), shrunk to fit a simulation model.
+
+/// One tagged-table entry.
+#[derive(Copy, Clone, Default, Debug)]
+struct TageEntry {
+    tag: u16,
+    /// Signed 3-bit counter: ≥ 0 predicts taken.
+    ctr: i8,
+    /// 2-bit usefulness for allocation victim choice.
+    useful: u8,
+}
+
+/// The TAGE predictor.
+#[derive(Clone, Debug)]
+pub struct Tage {
+    bimodal: Vec<u8>,
+    tables: Vec<Vec<TageEntry>>,
+    history_lengths: [u32; 4],
+    history: u64,
+}
+
+const TABLE_BITS: u32 = 10;
+const TAG_BITS: u32 = 9;
+
+impl Tage {
+    /// Creates a predictor with a `base_entries` bimodal table (rounded
+    /// up to a power of two) and four 1K-entry tagged tables over
+    /// geometric history lengths 4/8/16/32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_entries` is zero.
+    pub fn new(base_entries: usize) -> Tage {
+        assert!(base_entries > 0, "bimodal table must be non-empty");
+        Tage {
+            bimodal: vec![1; base_entries.next_power_of_two()],
+            tables: (0..4)
+                .map(|_| vec![TageEntry::default(); 1 << TABLE_BITS])
+                .collect(),
+            history_lengths: [4, 8, 16, 32],
+            history: 0,
+        }
+    }
+
+    fn folded_history(&self, bits: u32, out_bits: u32) -> u64 {
+        let mut h = self.history & ((1u64 << bits) - 1).max(1);
+        if bits == 64 {
+            h = self.history;
+        }
+        let mut folded = 0u64;
+        while h != 0 {
+            folded ^= h & ((1 << out_bits) - 1);
+            h >>= out_bits;
+        }
+        folded
+    }
+
+    fn index(&self, table: usize, pc: u64) -> usize {
+        let h = self.folded_history(self.history_lengths[table], TABLE_BITS);
+        (((pc >> 2) ^ (pc >> 11) ^ h) as usize) & ((1 << TABLE_BITS) - 1)
+    }
+
+    fn tag(&self, table: usize, pc: u64) -> u16 {
+        let h = self.folded_history(self.history_lengths[table], TAG_BITS);
+        ((((pc >> 2) ^ (pc >> 7).rotate_left(3) ^ (h << 1)) as u16) & ((1 << TAG_BITS) - 1)).max(1)
+    }
+
+    /// The matching table with the longest history, if any.
+    fn provider(&self, pc: u64) -> Option<usize> {
+        (0..4)
+            .rev()
+            .find(|&t| self.tables[t][self.index(t, pc)].tag == self.tag(t, pc))
+    }
+
+    /// Predicts the direction of the branch at `pc`. Pure.
+    pub fn predict(&self, pc: u64) -> bool {
+        match self.provider(pc) {
+            Some(t) => self.tables[t][self.index(t, pc)].ctr >= 0,
+            None => self.bimodal[(pc >> 2) as usize & (self.bimodal.len() - 1)] >= 2,
+        }
+    }
+
+    /// Trains on the resolved direction and shifts the global history.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let predicted = self.predict(pc);
+        match self.provider(pc) {
+            Some(t) => {
+                let idx = self.index(t, pc);
+                let e = &mut self.tables[t][idx];
+                e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
+                if predicted == taken {
+                    e.useful = (e.useful + 1).min(3);
+                } else {
+                    e.useful = e.useful.saturating_sub(1);
+                }
+                // Allocate above the provider on a misprediction.
+                if predicted != taken && t < 3 {
+                    self.allocate(t + 1, pc, taken);
+                }
+            }
+            None => {
+                let idx = (pc >> 2) as usize & (self.bimodal.len() - 1);
+                let c = &mut self.bimodal[idx];
+                if taken {
+                    *c = (*c + 1).min(3);
+                } else {
+                    *c = c.saturating_sub(1);
+                }
+                if predicted != taken {
+                    self.allocate(0, pc, taken);
+                }
+            }
+        }
+        self.history = (self.history << 1) | taken as u64;
+    }
+
+    /// Claims an entry in some table `>= from` whose useful bit is clear;
+    /// if none is free, ages every candidate instead.
+    fn allocate(&mut self, from: usize, pc: u64, taken: bool) {
+        for t in from..4 {
+            let idx = self.index(t, pc);
+            let tag = self.tag(t, pc);
+            let e = &mut self.tables[t][idx];
+            if e.useful == 0 {
+                *e = TageEntry {
+                    tag,
+                    ctr: if taken { 0 } else { -1 },
+                    useful: 0,
+                };
+                return;
+            }
+        }
+        for t in from..4 {
+            let idx = self.index(t, pc);
+            self.tables[t][idx].useful = self.tables[t][idx].useful.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy(p: &mut Tage, pattern: &[(u64, bool)], train: usize) -> f64 {
+        for &(pc, taken) in pattern.iter().cycle().take(train) {
+            p.update(pc, taken);
+        }
+        let mut correct = 0usize;
+        for &(pc, taken) in pattern.iter().cycle().take(pattern.len() * 4) {
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+        }
+        correct as f64 / (pattern.len() * 4) as f64
+    }
+
+    #[test]
+    fn learns_a_loop_branch() {
+        let mut p = Tage::new(4096);
+        let acc = accuracy(&mut p, &[(0x8000_0100, true)], 64);
+        assert!(acc > 0.99, "loop accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_long_periodic_patterns_beyond_bimodal() {
+        // T T T N repeated: a bimodal counter mispredicts the N every
+        // time; TAGE's history tables nail it.
+        let pc = 0x8000_0200u64;
+        let pattern: Vec<(u64, bool)> = [true, true, true, false]
+            .into_iter()
+            .map(|t| (pc, t))
+            .collect();
+        let mut p = Tage::new(4096);
+        let acc = accuracy(&mut p, &pattern, 400);
+        assert!(acc > 0.95, "periodic accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_correlated_branches() {
+        // Branch B is taken exactly when the previous branch A was.
+        let a = 0x8000_0300u64;
+        let b = 0x8000_0340u64;
+        let mut pattern = Vec::new();
+        let mut x = 0x1234_5678u32;
+        for _ in 0..64 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let dir = (x >> 16) & 1 == 1;
+            pattern.push((a, dir));
+            pattern.push((b, dir));
+        }
+        let mut p = Tage::new(4096);
+        // Accuracy counted over both branches; A is random (~50%), B is
+        // fully determined by history → overall must clearly beat 75%%?
+        // A repeats the same 128-branch sequence each lap, so TAGE can
+        // eventually memorize much of A as well; just require that B's
+        // correlation is exploited.
+        let acc = accuracy(&mut p, &pattern, 2000);
+        assert!(acc > 0.8, "correlated accuracy {acc}");
+    }
+
+    #[test]
+    fn random_data_stays_hard() {
+        // Fresh random directions every time (never repeating): no
+        // predictor should do well.
+        let mut p = Tage::new(4096);
+        let pc = 0x8000_0400u64;
+        let mut x = 0x9e37_79b9u64;
+        let mut correct = 0;
+        let total = 4000;
+        for _ in 0..total {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let taken = x & 1 == 1;
+            if p.predict(pc) == taken {
+                correct += 1;
+            }
+            p.update(pc, taken);
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc < 0.6, "random accuracy {acc} suspiciously high");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_base_rejected() {
+        let _ = Tage::new(0);
+    }
+}

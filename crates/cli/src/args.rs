@@ -1,0 +1,411 @@
+//! Hand-rolled argument parsing (the workspace deliberately keeps its
+//! dependency set to the simulation essentials).
+
+use std::fmt;
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+icicle-tma — Top-Down Microarchitectural Analysis on simulated RISC-V cores
+
+USAGE:
+    icicle-tma <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                     List available workloads and cores
+    tma                      Run a workload and print its TMA breakdown
+    trace                    Run with tracing and print an event timeline
+    lanes                    Print per-lane event rates (Table V style)
+    counters                 Compare counter implementations on one run
+    disasm                   Print a workload's disassembly
+    mix                      Print a workload's dynamic instruction mix
+    profile                  Sampled flat profile of retirement PCs
+    soc                      Co-run workloads on a shared-L2 SoC
+    vlsi                     Print the physical-design cost model (Fig. 9)
+
+OPTIONS (tma / trace / lanes / counters):
+    --workload <NAME>        Workload name from `icicle-tma list` [required]
+    --core <CORE>            rocket | small-boom | medium-boom |
+                             large-boom | mega-boom | giga-boom
+                             [default: large-boom]
+    --arch <ARCH>            stock | scalar | add-wires | distributed
+                             [default: add-wires]
+    --window <CYCLES>        trace: timeline length [default: 64]
+    --start <CYCLE>          trace: first cycle (default: first I$ miss)
+    --json                   tma: machine-readable output
+    --period <N>             profile: retired instructions per sample
+                             [default: 97]
+    --event <NAME>           profile: sample on a PMU event (Table I name,
+                             e.g. D$-miss) instead of instructions
+
+OPTIONS (soc):
+    --pair <WORKLOAD>:<CORE> A core and its workload; repeat per core,
+                             e.g. --pair qsort:rocket --pair 505.mcf_r:large-boom
+";
+
+/// Which core model to run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CoreChoice {
+    Rocket,
+    Boom(icicle::prelude::BoomSize),
+}
+
+/// A parsed command line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    Help,
+    List,
+    Tma {
+        workload: String,
+        core: CoreChoice,
+        arch: icicle::prelude::CounterArch,
+        json: bool,
+    },
+    Trace {
+        workload: String,
+        core: CoreChoice,
+        window: u64,
+        start: Option<u64>,
+    },
+    Lanes {
+        workload: String,
+        core: CoreChoice,
+    },
+    Counters {
+        workload: String,
+        core: CoreChoice,
+    },
+    Disasm {
+        workload: String,
+    },
+    Mix {
+        workload: String,
+    },
+    Profile {
+        workload: String,
+        core: CoreChoice,
+        period: u64,
+        event: Option<icicle::events::EventId>,
+    },
+    Soc {
+        pairs: Vec<(String, CoreChoice)>,
+    },
+    Vlsi,
+}
+
+/// A parse failure with a human-readable message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError(String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+struct Options {
+    workload: Option<String>,
+    core: CoreChoice,
+    arch: icicle::prelude::CounterArch,
+    window: u64,
+    start: Option<u64>,
+    json: bool,
+    period: u64,
+    event: Option<icicle::events::EventId>,
+    pairs: Vec<(String, CoreChoice)>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, ParseError> {
+    use icicle::prelude::{BoomSize, CounterArch};
+    let mut opts = Options {
+        workload: None,
+        core: CoreChoice::Boom(BoomSize::Large),
+        arch: CounterArch::AddWires,
+        window: 64,
+        start: None,
+        json: false,
+        period: 97,
+        event: None,
+        pairs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {flag}")))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => opts.workload = Some(value()?.clone()),
+            "--core" | "-c" => {
+                opts.core = match value()?.as_str() {
+                    "rocket" => CoreChoice::Rocket,
+                    "small-boom" => CoreChoice::Boom(BoomSize::Small),
+                    "medium-boom" => CoreChoice::Boom(BoomSize::Medium),
+                    "large-boom" => CoreChoice::Boom(BoomSize::Large),
+                    "mega-boom" => CoreChoice::Boom(BoomSize::Mega),
+                    "giga-boom" => CoreChoice::Boom(BoomSize::Giga),
+                    other => return err(format!("unknown core `{other}`")),
+                }
+            }
+            "--arch" | "-a" => {
+                opts.arch = match value()?.as_str() {
+                    "stock" => CounterArch::Stock,
+                    "scalar" => CounterArch::Scalar,
+                    "add-wires" => CounterArch::AddWires,
+                    "distributed" => CounterArch::Distributed,
+                    other => return err(format!("unknown counter arch `{other}`")),
+                }
+            }
+            "--window" => {
+                opts.window = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--window expects a number".into()))?
+            }
+            "--start" => {
+                opts.start = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| ParseError("--start expects a number".into()))?,
+                )
+            }
+            "--json" => opts.json = true,
+            "--period" => {
+                opts.period = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--period expects a number".into()))?;
+                if opts.period == 0 {
+                    return err("--period must be non-zero");
+                }
+            }
+            "--event" => {
+                let name = value()?;
+                opts.event = Some(
+                    icicle::events::EventId::ALL
+                        .into_iter()
+                        .find(|e| e.name().eq_ignore_ascii_case(name))
+                        .ok_or_else(|| {
+                            ParseError(format!("unknown event `{name}` (see Table I names)"))
+                        })?,
+                );
+            }
+            "--pair" => {
+                let v = value()?;
+                let (w, c) = v
+                    .split_once(':')
+                    .ok_or_else(|| ParseError(format!("--pair expects workload:core, got `{v}`")))?;
+                let core = match c {
+                    "rocket" => CoreChoice::Rocket,
+                    "small-boom" => CoreChoice::Boom(BoomSize::Small),
+                    "medium-boom" => CoreChoice::Boom(BoomSize::Medium),
+                    "large-boom" => CoreChoice::Boom(BoomSize::Large),
+                    "mega-boom" => CoreChoice::Boom(BoomSize::Mega),
+                    "giga-boom" => CoreChoice::Boom(BoomSize::Giga),
+                    other => return err(format!("unknown core `{other}`")),
+                };
+                opts.pairs.push((w.to_string(), core));
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn required_workload(opts: &Options) -> Result<String, ParseError> {
+    opts.workload
+        .clone()
+        .ok_or_else(|| ParseError("--workload is required (see `icicle-tma list`)".into()))
+}
+
+/// Parses a full argument vector into a [`Command`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed argument.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return err("no command given");
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "vlsi" => Ok(Command::Vlsi),
+        "tma" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::Tma {
+                workload: required_workload(&opts)?,
+                core: opts.core,
+                arch: opts.arch,
+                json: opts.json,
+            })
+        }
+        "disasm" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::Disasm {
+                workload: required_workload(&opts)?,
+            })
+        }
+        "mix" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::Mix {
+                workload: required_workload(&opts)?,
+            })
+        }
+        "profile" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::Profile {
+                workload: required_workload(&opts)?,
+                core: opts.core,
+                period: opts.period,
+                event: opts.event,
+            })
+        }
+        "soc" => {
+            let opts = parse_options(rest)?;
+            if opts.pairs.is_empty() {
+                return err("soc needs at least one --pair workload:core");
+            }
+            Ok(Command::Soc { pairs: opts.pairs })
+        }
+        "trace" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::Trace {
+                workload: required_workload(&opts)?,
+                core: opts.core,
+                window: opts.window,
+                start: opts.start,
+            })
+        }
+        "lanes" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::Lanes {
+                workload: required_workload(&opts)?,
+                core: opts.core,
+            })
+        }
+        "counters" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::Counters {
+                workload: required_workload(&opts)?,
+                core: opts.core,
+            })
+        }
+        other => err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icicle::prelude::{BoomSize, CounterArch};
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_tma_with_defaults() {
+        let cmd = parse(&argv("tma --workload qsort")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Tma {
+                workload: "qsort".into(),
+                core: CoreChoice::Boom(BoomSize::Large),
+                arch: CounterArch::AddWires,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_core_and_arch() {
+        let cmd = parse(&argv("tma -w mcf -c rocket -a distributed")).unwrap();
+        match cmd {
+            Command::Tma { core, arch, .. } => {
+                assert_eq!(core, CoreChoice::Rocket);
+                assert_eq!(arch, CounterArch::Distributed);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(parse(&argv("tma --workload x --frob 3")).is_err());
+        assert!(parse(&argv("explode")).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn workload_is_required() {
+        assert!(parse(&argv("tma --core rocket")).is_err());
+    }
+
+    #[test]
+    fn json_flag_and_disasm() {
+        match parse(&argv("tma -w qsort --json")).unwrap() {
+            Command::Tma { json, .. } => assert!(json),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("disasm -w towers")).unwrap(),
+            Command::Disasm {
+                workload: "towers".into()
+            }
+        );
+    }
+
+    #[test]
+    fn profile_parses_period() {
+        match parse(&argv("profile -w qsort --period 31")).unwrap() {
+            Command::Profile { period, .. } => assert_eq!(period, 31),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("profile -w qsort --period 0")).is_err());
+    }
+
+    #[test]
+    fn profile_parses_event_names() {
+        match parse(&argv("profile -w qsort --event D$-miss")).unwrap() {
+            Command::Profile { event, .. } => {
+                assert_eq!(event, Some(icicle::events::EventId::DCacheMiss))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("profile -w qsort --event not-a-thing")).is_err());
+    }
+
+    #[test]
+    fn soc_pairs_parse() {
+        match parse(&argv("soc --pair qsort:rocket --pair mergesort:large-boom")).unwrap() {
+            Command::Soc { pairs } => {
+                assert_eq!(pairs.len(), 2);
+                assert_eq!(pairs[0], ("qsort".to_string(), CoreChoice::Rocket));
+                assert_eq!(
+                    pairs[1],
+                    ("mergesort".to_string(), CoreChoice::Boom(BoomSize::Large))
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("soc")).is_err());
+        assert!(parse(&argv("soc --pair no-colon")).is_err());
+    }
+
+    #[test]
+    fn trace_options() {
+        let cmd = parse(&argv("trace -w mergesort --window 80 --start 100")).unwrap();
+        match cmd {
+            Command::Trace { window, start, .. } => {
+                assert_eq!(window, 80);
+                assert_eq!(start, Some(100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Command implementations.
+
+use std::error::Error;
+
+use icicle::events::EventId;
+use icicle::prelude::*;
+
+use crate::args::{Command, CoreChoice, USAGE};
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+/// Executes a parsed command.
+///
+/// # Errors
+///
+/// Returns an error for unknown workloads or measurement failures.
+pub fn run(cmd: Command) -> Result<()> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::List => list(),
+        Command::Tma {
+            workload,
+            core,
+            arch,
+            json,
+        } => tma(&workload, core, arch, json),
+        Command::Disasm { workload } => {
+            let w = lookup(&workload)?;
+            print!("{}", w.program().disassemble());
+            Ok(())
+        }
+        Command::Trace {
+            workload,
+            core,
+            window,
+            start,
+        } => trace(&workload, core, window, start),
+        Command::Lanes { workload, core } => lanes(&workload, core),
+        Command::Mix { workload } => {
+            let w = lookup(&workload)?;
+            let stream = w.execute()?;
+            let total = stream.len() as f64;
+            println!("{}: {} dynamic instructions", w.name(), stream.len());
+            for (class, count) in stream.class_mix() {
+                println!("{:>10?} {:>10} {:>6.1}%", class, count, 100.0 * count as f64 / total);
+            }
+            Ok(())
+        }
+        Command::Profile {
+            workload,
+            core,
+            period,
+            event,
+        } => profile(&workload, core, period, event),
+        Command::Soc { pairs } => soc(&pairs),
+        Command::Counters { workload, core } => counters(&workload, core),
+        Command::Vlsi => vlsi(),
+    }
+}
+
+fn lookup(name: &str) -> Result<Workload> {
+    icicle::workloads::by_name(name)
+        .ok_or_else(|| format!("unknown workload `{name}` (see `icicle-tma list`)").into())
+}
+
+fn measure(workload: &Workload, core: CoreChoice, perf: Perf) -> Result<PerfReport> {
+    let stream = workload.execute()?;
+    let report = match core {
+        CoreChoice::Rocket => {
+            let mut c = Rocket::new(RocketConfig::default(), stream);
+            perf.run(&mut c)?
+        }
+        CoreChoice::Boom(size) => {
+            let mut c = Boom::new(
+                BoomConfig::for_size(size),
+                stream,
+                workload.program().clone(),
+            );
+            perf.run(&mut c)?
+        }
+    };
+    Ok(report)
+}
+
+fn list() -> Result<()> {
+    println!("workloads:");
+    for w in icicle::workloads::catalog() {
+        println!("  {}", w.name());
+    }
+    println!("\ncores:");
+    println!("  rocket");
+    for size in BoomSize::ALL {
+        println!("  {size}-boom");
+    }
+    Ok(())
+}
+
+fn tma(name: &str, core: CoreChoice, arch: CounterArch, json: bool) -> Result<()> {
+    let workload = lookup(name)?;
+    let report = measure(
+        &workload,
+        core,
+        Perf::with_options(PerfOptions {
+            arch,
+            ..PerfOptions::default()
+        }),
+    )?;
+    if json {
+        println!("{}", report_json(&workload, &report));
+    } else {
+        println!("{report}");
+    }
+    Ok(())
+}
+
+/// A machine-readable rendering of the report (hand-rolled: the
+/// workspace keeps its dependency set to the simulation essentials).
+fn report_json(workload: &Workload, r: &PerfReport) -> String {
+    let t = &r.tma;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"{}\",\n",
+            "  \"core\": \"{}\",\n",
+            "  \"cycles\": {},\n",
+            "  \"instret\": {},\n",
+            "  \"ipc\": {:.6},\n",
+            "  \"tma\": {{\n",
+            "    \"retiring\": {:.6},\n",
+            "    \"bad_speculation\": {:.6},\n",
+            "    \"frontend\": {:.6},\n",
+            "    \"backend\": {:.6},\n",
+            "    \"machine_clears\": {:.6},\n",
+            "    \"branch_mispredicts\": {:.6},\n",
+            "    \"fetch_latency\": {:.6},\n",
+            "    \"pc_resteers\": {:.6},\n",
+            "    \"mem_bound\": {:.6},\n",
+            "    \"core_bound\": {:.6},\n",
+            "    \"itlb_bound\": {:.6},\n",
+            "    \"dtlb_bound\": {:.6}\n",
+            "  }}\n",
+            "}}"
+        ),
+        workload.name(),
+        r.core_name,
+        r.cycles,
+        r.instret,
+        r.ipc(),
+        t.top.retiring,
+        t.top.bad_speculation,
+        t.top.frontend,
+        t.top.backend,
+        t.bad_spec.machine_clears,
+        t.bad_spec.branch_mispredicts,
+        t.frontend.fetch_latency,
+        t.frontend.pc_resteers,
+        t.backend.mem_bound,
+        t.backend.core_bound,
+        r.tlb.itlb_bound,
+        r.tlb.dtlb_bound,
+    )
+}
+
+fn trace(name: &str, core: CoreChoice, window: u64, start: Option<u64>) -> Result<()> {
+    let workload = lookup(name)?;
+    let channels = vec![
+        TraceChannel::scalar(EventId::ICacheMiss),
+        TraceChannel::scalar(EventId::ICacheBlocked),
+        TraceChannel::scalar(EventId::FetchBubbles),
+        TraceChannel::scalar(EventId::Recovering),
+        TraceChannel::scalar(EventId::BranchMispredict),
+        TraceChannel::scalar(EventId::DCacheMiss),
+    ];
+    let report = measure(
+        &workload,
+        core,
+        Perf::new().trace(TraceConfig::new(channels.clone())?),
+    )?;
+    let trace = report.trace.as_ref().expect("tracing enabled");
+    let begin = start
+        .or_else(|| trace.windows(0).first().map(|w| w.start.saturating_sub(4)))
+        .unwrap_or(0)
+        .min(trace.len() as u64);
+    let end = (begin + window).min(trace.len() as u64);
+    println!(
+        "{} on {}: cycles {begin}..{end} of {}",
+        workload.name(),
+        report.core_name,
+        trace.len()
+    );
+    for (bit, ch) in channels.iter().enumerate() {
+        let mut row = String::new();
+        for cycle in begin..end {
+            row.push(if trace.is_high(bit, cycle) { '*' } else { '.' });
+        }
+        println!("{:>14} |{row}|", ch.to_string());
+    }
+    Ok(())
+}
+
+fn lanes(name: &str, core: CoreChoice) -> Result<()> {
+    let workload = lookup(name)?;
+    let report = measure(
+        &workload,
+        core,
+        Perf::new()
+            .lanes(EventId::FetchBubbles)
+            .lanes(EventId::DCacheBlocked)
+            .lanes(EventId::UopsIssued)
+            .lanes(EventId::UopsRetired),
+    )?;
+    println!(
+        "{} on {}: per-lane rates over {} cycles",
+        workload.name(),
+        report.core_name,
+        report.cycles
+    );
+    for acc in &report.lanes {
+        print!("{:>14}:", acc.event().name());
+        for lane in 0..icicle::events::MAX_LANES {
+            if acc.lane_total(lane) > 0 || lane < 2 {
+                print!(" {:.3}", acc.lane_rate(lane));
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn counters(name: &str, core: CoreChoice) -> Result<()> {
+    let workload = lookup(name)?;
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "event", "stock", "scalar", "add-wires", "distributed"
+    );
+    let mut reports = Vec::new();
+    for arch in [
+        CounterArch::Stock,
+        CounterArch::Scalar,
+        CounterArch::AddWires,
+        CounterArch::Distributed,
+    ] {
+        reports.push(measure(
+            &workload,
+            core,
+            Perf::with_options(PerfOptions {
+                arch,
+                ..PerfOptions::default()
+            }),
+        )?);
+    }
+    for event in [
+        EventId::UopsIssued,
+        EventId::UopsRetired,
+        EventId::FetchBubbles,
+        EventId::DCacheBlocked,
+        EventId::Recovering,
+        EventId::ICacheBlocked,
+    ] {
+        print!("{:<14}", event.name());
+        for r in &reports {
+            print!(" {:>14}", r.hw_counts.get(event));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn profile(
+    name: &str,
+    core: CoreChoice,
+    period: u64,
+    event: Option<EventId>,
+) -> Result<()> {
+    let workload = lookup(name)?;
+    let profiler = Profiler::new(period);
+    let stream = workload.execute()?;
+    let run = |c: &mut dyn icicle::events::EventCore| -> Result<icicle::perf::Profile> {
+        Ok(match event {
+            Some(e) => profiler.profile_event(c, workload.program(), e)?,
+            None => profiler.profile(c, workload.program()),
+        })
+    };
+    let profile = match core {
+        CoreChoice::Rocket => {
+            let mut c = Rocket::new(RocketConfig::default(), stream);
+            run(&mut c)?
+        }
+        CoreChoice::Boom(size) => {
+            let mut c = Boom::new(
+                BoomConfig::for_size(size),
+                stream,
+                workload.program().clone(),
+            );
+            run(&mut c)?
+        }
+    };
+    if let Some(e) = event {
+        println!("sampling on `{e}` (PC skid applies):");
+    }
+    print!("{profile}");
+    Ok(())
+}
+
+fn soc(pairs: &[(String, CoreChoice)]) -> Result<()> {
+    let mut builder = SocBuilder::new();
+    for (name, core) in pairs {
+        let w = lookup(name)?;
+        builder = match core {
+            CoreChoice::Rocket => builder.rocket(RocketConfig::default(), &w)?,
+            CoreChoice::Boom(size) => builder.boom(BoomConfig::for_size(*size), &w)?,
+        };
+    }
+    let mut soc = builder.build();
+    let reports = soc.run(1_000_000_000)?;
+    println!(
+        "{:<18} {:<12} {:>10} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "core", "cycles", "ipc", "retiring", "bad-spec", "frontend", "backend"
+    );
+    for r in &reports {
+        println!(
+            "{:<18} {:<12} {:>10} {:>6.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            r.workload,
+            r.report.core_name,
+            r.report.cycles,
+            r.report.ipc(),
+            100.0 * r.report.tma.top.retiring,
+            100.0 * r.report.tma.top.bad_speculation,
+            100.0 * r.report.tma.top.frontend,
+            100.0 * r.report.tma.top.backend,
+        );
+    }
+    println!(
+        "shared L2: {} accesses, {} bus-queueing cycles",
+        soc.shared_l2().accesses(),
+        soc.shared_l2().contention_cycles()
+    );
+    Ok(())
+}
+
+fn vlsi() -> Result<()> {
+    println!(
+        "{:<8} {:<12} {:>8} {:>8} {:>12} {:>10} {:>8}",
+        "size", "impl", "power", "area", "wirelength", "csr-path", "200MHz"
+    );
+    for size in BoomSize::ALL {
+        for arch in [
+            CounterArch::Scalar,
+            CounterArch::AddWires,
+            CounterArch::Distributed,
+        ] {
+            let r = icicle::vlsi::evaluate(size, arch);
+            println!(
+                "{:<8} {:<12} {:>7.2}% {:>7.2}% {:>11.2}% {:>9.3}x {:>8}",
+                size.name(),
+                format!("{arch:?}"),
+                r.power_overhead_pct(),
+                r.area_overhead_pct(),
+                r.wirelength_overhead_pct(),
+                r.normalized_csr_delay(),
+                if r.meets_200mhz() { "pass" } else { "FAIL" }
+            );
+        }
+    }
+    Ok(())
+}

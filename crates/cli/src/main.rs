@@ -1,0 +1,35 @@
+//! `icicle-tma` — the reproduction's equivalent of the paper's
+//! `tma_tool`: run a workload on a core, read the counters, and print
+//! TMA results, traces, lane statistics, or physical-design estimates.
+//!
+//! ```text
+//! icicle-tma list
+//! icicle-tma tma --core large-boom --workload qsort
+//! icicle-tma tma --core rocket --workload 505.mcf_r --arch distributed
+//! icicle-tma trace --core large-boom --workload mergesort --window 80
+//! icicle-tma lanes --workload 525.x264_r
+//! icicle-tma vlsi
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # Icicle
+//!
+//! A full-system reproduction of *Icicle: Open-Source Hardware Support
+//! for Top-Down Microarchitectural Analysis on RISC-V* (IISWC 2025) as a
+//! pure-Rust library.
+//!
+//! Icicle makes Top-Down Microarchitectural Analysis (TMA) possible on
+//! the open-source Rocket and BOOM cores by adding a handful of
+//! carefully-chosen performance events, counter architectures that can
+//! track several event assertions per cycle, a perf-like software
+//! harness, and trace-based validation. This crate re-implements the
+//! entire stack over cycle-level core models:
+//!
+//! | Module | Crate | Paper section |
+//! |---|---|---|
+//! | [`isa`] | `icicle-isa` | execution substrate (RISC-V-like ISA + interpreter) |
+//! | [`mem`] | `icicle-mem` | caches, TLBs, MSHRs (Table IV common config) |
+//! | [`events`] | `icicle-events` | the PMU event list (Table I) |
+//! | [`pmu`] | `icicle-pmu` | counter architectures + CSR file (§IV-B, §IV-D) |
+//! | [`rocket`] | `icicle-rocket` | the in-order core (Fig. 2a) |
+//! | [`boom`] | `icicle-boom` | the out-of-order core (Fig. 2b, Table IV) |
+//! | [`tma`] | `icicle-tma` | the TMA model (Table II, Fig. 5) |
+//! | [`trace`] | `icicle-trace` | cycle tracing + temporal TMA (§IV-C, §V-B) |
+//! | [`perf`] | `icicle-perf` | the perf harness (§IV-D) |
+//! | [`vlsi`] | `icicle-vlsi` | post-placement cost model (Fig. 9) |
+//! | [`workloads`] | `icicle-workloads` | microbenchmarks + SPEC proxies (Table III) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use icicle::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Pick a workload and execute it architecturally.
+//! let w = icicle::workloads::micro::qsort(256);
+//! let stream = w.execute()?;
+//!
+//! // 2. Replay it on a cycle-level core.
+//! let mut core = Boom::new(BoomConfig::large(), stream, w.program().clone());
+//!
+//! // 3. Measure with the perf harness and read the TMA classification.
+//! let report = Perf::new().run(&mut core)?;
+//! assert!((report.tma.top.total() - 1.0).abs() < 1e-9);
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub use icicle_boom as boom;
+pub use icicle_events as events;
+pub use icicle_isa as isa;
+pub use icicle_mem as mem;
+pub use icicle_perf as perf;
+pub use icicle_pmu as pmu;
+pub use icicle_rocket as rocket;
+pub use icicle_soc as soc;
+pub use icicle_tma as tma;
+pub use icicle_trace as trace;
+pub use icicle_vlsi as vlsi;
+pub use icicle_workloads as workloads;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use icicle_boom::{Boom, BoomConfig, BoomSize};
+    pub use icicle_events::{EventCore, EventCounts, EventId, EventVector, LaneCounts};
+    pub use icicle_isa::{DynStream, Interpreter, Program, ProgramBuilder, Reg};
+    pub use icicle_mem::{HierarchyConfig, MemoryHierarchy};
+    pub use icicle_perf::{MultiplexOptions, Perf, PerfOptions, PerfReport, Profiler};
+    pub use icicle_pmu::{CounterArch, CsrFile};
+    pub use icicle_rocket::{Rocket, RocketConfig};
+    pub use icicle_soc::{Soc, SocBuilder, SocReport};
+    pub use icicle_tma::{TmaBreakdown, TmaInput, TmaModel};
+    pub use icicle_trace::{Trace, TraceChannel, TraceConfig};
+    pub use icicle_vlsi::evaluate as evaluate_vlsi;
+    pub use icicle_workloads::Workload;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let model = TmaModel::rocket();
+        assert_eq!(model.commit_width, 1);
+        let _ = BoomConfig::large();
+        let _ = RocketConfig::default();
+    }
+}

@@ -1,0 +1,230 @@
+//! # icicle-events
+//!
+//! The performance-event vocabulary of the Icicle reproduction.
+//!
+//! Table I of the paper lists every PMU event on Rocket and BOOM, grouped
+//! into *event sets* (Basic, Microarchitectural, Memory) plus the TMA set
+//! added by Icicle. This crate defines:
+//!
+//! * [`EventId`] — every event, with its [`EventSet`], display name, and
+//!   whether it is one of the events Icicle adds;
+//! * [`EventVector`] — the per-cycle bundle of asserted event signals,
+//!   including per-lane assertion masks for superscalar events
+//!   (Fetch-bubbles, Uops-issued, D$-blocked, Uops-retired);
+//! * [`LaneCounts`] — an accumulator for per-lane totals (Table V).
+//!
+//! Cores raise events into an [`EventVector`] each cycle; the PMU counter
+//! architectures in `icicle-pmu` and the tracer in `icicle-trace` both
+//! consume that vector, mirroring how the RTL routes event wires to both
+//! the CSR file and the TracerV bridge.
+
+mod source;
+mod vector;
+
+pub use source::EventCore;
+pub use vector::{EventCounts, EventVector, LaneCounts, MAX_LANES};
+
+/// An event set: events mapped to the same counter must share a set (§II-A).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EventSet {
+    /// Architectural events (cycles, retirement, instruction mix).
+    Basic,
+    /// Microarchitectural stall/flush events.
+    Microarch,
+    /// Memory-system events (cache and TLB misses).
+    Memory,
+    /// The events Icicle adds for TMA.
+    Tma,
+}
+
+impl EventSet {
+    /// All event sets, in encoding order.
+    pub const ALL: [EventSet; 4] = [
+        EventSet::Basic,
+        EventSet::Microarch,
+        EventSet::Memory,
+        EventSet::Tma,
+    ];
+
+    /// The set's hardware encoding (the 8-bit event-set ID written to the
+    /// counter control CSR).
+    pub fn encoding(self) -> u8 {
+        match self {
+            EventSet::Basic => 0,
+            EventSet::Microarch => 1,
+            EventSet::Memory => 2,
+            EventSet::Tma => 3,
+        }
+    }
+}
+
+macro_rules! events {
+    ($(($variant:ident, $name:literal, $set:ident, $new:literal)),+ $(,)?) => {
+        /// A hardware performance event (Table I of the paper).
+        ///
+        /// The enum covers the union of Rocket and BOOM events; each core
+        /// raises only the subset its pipeline implements.
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        #[repr(u8)]
+        pub enum EventId {
+            $($variant),+
+        }
+
+        impl EventId {
+            /// Number of distinct events.
+            pub const COUNT: usize = [$(EventId::$variant),+].len();
+
+            /// Every event, in encoding order.
+            pub const ALL: [EventId; EventId::COUNT] = [$(EventId::$variant),+];
+
+            /// The event's display name as printed in the paper's Table I.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(EventId::$variant => $name),+
+                }
+            }
+
+            /// The event set this event belongs to.
+            pub fn set(self) -> EventSet {
+                match self {
+                    $(EventId::$variant => EventSet::$set),+
+                }
+            }
+
+            /// Whether this event is one of the new events Icicle adds
+            /// (starred in Table I).
+            pub fn is_new(self) -> bool {
+                match self {
+                    $(EventId::$variant => $new),+
+                }
+            }
+        }
+    };
+}
+
+events! {
+    // --- Basic ---------------------------------------------------------
+    (Cycles,              "Cycles",             Basic,     false),
+    (InstrRetired,        "Instr.R.",           Basic,     false),
+    (LoadRetired,         "Load",               Basic,     false),
+    (StoreRetired,        "Store",              Basic,     false),
+    (AtomicRetired,       "Atomic",             Basic,     false),
+    (SystemRetired,       "System",             Basic,     false),
+    (ArithRetired,        "Arith",              Basic,     false),
+    (BranchRetired,       "Branch",             Basic,     false),
+    (FenceRetired,        "Fence-retired",      Basic,     true),
+    (Exception,           "Exception",          Basic,     false),
+    // --- Microarchitectural ---------------------------------------------
+    (LoadUseInterlock,    "Load-Use-inter.",    Microarch, false),
+    (LongLatencyInterlock,"Long-latency inter.",Microarch, false),
+    (CsrInterlock,        "Csr-inter.",         Microarch, false),
+    (MulDivInterlock,     "Mul/Div-interlock",  Microarch, false),
+    (CfInterlock,         "CF-inter.",          Microarch, false),
+    (BranchMispredict,    "Br-mispred.",        Microarch, false),
+    (CfTargetMispredict,  "CF-targ.mis.",       Microarch, false),
+    (Flush,               "Flush",              Microarch, false),
+    (Replay,              "Replay",             Microarch, false),
+    (BranchResolved,      "Branch resolved",    Microarch, false),
+    // --- Memory ----------------------------------------------------------
+    (ICacheMiss,          "I$-miss",            Memory,    false),
+    (DCacheMiss,          "D$-miss",            Memory,    false),
+    (DCacheRelease,       "D$-release",         Memory,    false),
+    (ITlbMiss,            "ITLB-miss",          Memory,    false),
+    (DTlbMiss,            "DTLB-miss",          Memory,    false),
+    (L2TlbMiss,           "L2-TLB-miss",        Memory,    false),
+    // --- TMA (added by Icicle) --------------------------------------------
+    (UopsIssued,          "Uops-issued",        Tma,       true),
+    (FetchBubbles,        "Fetch-bubbles",      Tma,       true),
+    (Recovering,          "Recovering",         Tma,       true),
+    (UopsRetired,         "Uops-retired",       Tma,       true),
+    (ICacheBlocked,       "I$-blocked",         Tma,       true),
+    (DCacheBlocked,       "D$-blocked",         Tma,       true),
+}
+
+impl EventId {
+    /// The event's bit position inside its set's 56-bit event mask.
+    pub fn mask_bit(self) -> u8 {
+        let mut bit = 0u8;
+        for e in EventId::ALL {
+            if e == self {
+                return bit;
+            }
+            if e.set() == self.set() {
+                bit += 1;
+            }
+        }
+        unreachable!("event not in ALL")
+    }
+
+    /// Looks up an event by its set and mask bit.
+    pub fn from_set_bit(set: EventSet, bit: u8) -> Option<EventId> {
+        EventId::ALL
+            .into_iter()
+            .filter(|e| e.set() == set)
+            .nth(bit as usize)
+    }
+
+    /// All events in a set, in mask-bit order.
+    pub fn in_set(set: EventSet) -> impl Iterator<Item = EventId> {
+        EventId::ALL.into_iter().filter(move |e| e.set() == set)
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icicle_adds_exactly_seven_boom_events() {
+        // The paper adds 7 new events to BOOM: Uops-issued, Fetch-bubbles,
+        // Recovering, Uops-retired, I$-blocked, D$-blocked, Fence-retired.
+        let new: Vec<_> = EventId::ALL.into_iter().filter(|e| e.is_new()).collect();
+        assert_eq!(new.len(), 7);
+        assert!(new.contains(&EventId::UopsIssued));
+        assert!(new.contains(&EventId::FenceRetired));
+    }
+
+    #[test]
+    fn mask_bits_are_unique_within_a_set() {
+        for set in EventSet::ALL {
+            let bits: Vec<u8> = EventId::in_set(set).map(|e| e.mask_bit()).collect();
+            let mut sorted = bits.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(bits.len(), sorted.len(), "duplicate mask bit in {set:?}");
+            assert!(bits.len() <= 56, "event mask is 56 bits wide");
+        }
+    }
+
+    #[test]
+    fn set_bit_round_trip() {
+        for e in EventId::ALL {
+            assert_eq!(EventId::from_set_bit(e.set(), e.mask_bit()), Some(e));
+        }
+        assert_eq!(EventId::from_set_bit(EventSet::Basic, 55), None);
+    }
+
+    #[test]
+    fn names_match_paper_table() {
+        assert_eq!(EventId::ICacheBlocked.name(), "I$-blocked");
+        assert_eq!(EventId::FetchBubbles.to_string(), "Fetch-bubbles");
+        assert_eq!(EventId::Cycles.set(), EventSet::Basic);
+        assert_eq!(EventId::ICacheMiss.set(), EventSet::Memory);
+        assert_eq!(EventId::Recovering.set(), EventSet::Tma);
+    }
+
+    #[test]
+    fn set_encodings_are_distinct() {
+        let encodings: Vec<u8> = EventSet::ALL.iter().map(|s| s.encoding()).collect();
+        let mut sorted = encodings.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(encodings.len(), sorted.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! The interface between cycle-level core models and event consumers.
+
+use crate::EventVector;
+
+/// A cycle-level core model that produces an [`EventVector`] per cycle.
+///
+/// Both core models (`icicle-rocket`, `icicle-boom`) implement this trait;
+/// the perf harness and tracer drive any `EventCore` without knowing the
+/// microarchitecture, mirroring how the RTL exposes one event interface
+/// across all Chipyard cores (§II-A).
+pub trait EventCore {
+    /// Advances the core by one cycle and returns the events asserted in
+    /// that cycle. Calling `step` after [`is_done`](Self::is_done) returns
+    /// true is allowed and yields quiet cycles.
+    fn step(&mut self) -> &EventVector;
+
+    /// Whether the workload has retired its final instruction.
+    fn is_done(&self) -> bool;
+
+    /// Cycles elapsed so far.
+    fn cycle(&self) -> u64;
+
+    /// The core's commit width `W_C` (slots per cycle in the TMA model).
+    fn commit_width(&self) -> usize;
+
+    /// The core's total issue width `W_I`.
+    fn issue_width(&self) -> usize;
+
+    /// A short human-readable core name (e.g. `"rocket"`, `"large-boom"`).
+    fn name(&self) -> &str;
+
+    /// PCs of the instructions retired during the most recent
+    /// [`step`](Self::step), oldest first. Cores that do not expose
+    /// retirement PCs may return an empty slice (the default); sampling
+    /// profilers degrade gracefully.
+    fn retired_pcs(&self) -> &[u64] {
+        &[]
+    }
+}

@@ -1,0 +1,270 @@
+//! Per-cycle event signal bundles and per-lane accumulators.
+
+use crate::EventId;
+
+/// Maximum number of lanes (event sources) any event may have.
+///
+/// BOOM's widest structure in the paper is the 9-wide issue stage of
+/// GigaBoomV3; 16 leaves headroom for experimentation.
+pub const MAX_LANES: usize = 16;
+
+/// The bundle of event signals asserted in a single cycle.
+///
+/// Scalar events use [`raise`](EventVector::raise); per-lane events
+/// (Fetch-bubbles, Uops-issued, D$-blocked, Uops-retired) use
+/// [`raise_lane`](EventVector::raise_lane) so that per-lane counters and
+/// Table V lane statistics can distinguish sources. The vector is cleared
+/// and refilled every cycle by the core model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventVector {
+    counts: [u16; EventId::COUNT],
+    lanes: [u16; EventId::COUNT],
+}
+
+impl Default for EventVector {
+    fn default() -> EventVector {
+        EventVector::new()
+    }
+}
+
+impl EventVector {
+    /// Creates an all-quiet vector.
+    pub fn new() -> EventVector {
+        EventVector {
+            counts: [0; EventId::COUNT],
+            lanes: [0; EventId::COUNT],
+        }
+    }
+
+    /// Clears every signal (start of a new cycle).
+    pub fn clear(&mut self) {
+        self.counts = [0; EventId::COUNT];
+        self.lanes = [0; EventId::COUNT];
+    }
+
+    /// Asserts a scalar event once.
+    pub fn raise(&mut self, event: EventId) {
+        self.counts[event as usize] += 1;
+    }
+
+    /// Asserts a scalar event `n` times (e.g. multiple flushes retired in
+    /// one commit group).
+    pub fn raise_n(&mut self, event: EventId, n: u16) {
+        self.counts[event as usize] += n;
+    }
+
+    /// Asserts a per-lane event on `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= MAX_LANES` or the lane is already asserted this
+    /// cycle (each lane is a distinct wire; it cannot fire twice).
+    pub fn raise_lane(&mut self, event: EventId, lane: usize) {
+        assert!(lane < MAX_LANES, "lane {lane} out of range");
+        let bit = 1u16 << lane;
+        assert_eq!(
+            self.lanes[event as usize] & bit,
+            0,
+            "lane {lane} of {event} asserted twice in one cycle"
+        );
+        self.lanes[event as usize] |= bit;
+        self.counts[event as usize] += 1;
+    }
+
+    /// Number of assertions of `event` this cycle (lanes + scalar raises).
+    pub fn count(&self, event: EventId) -> u16 {
+        self.counts[event as usize]
+    }
+
+    /// Whether `event` is asserted at all this cycle.
+    pub fn is_set(&self, event: EventId) -> bool {
+        self.counts[event as usize] > 0
+    }
+
+    /// Whether a specific lane of `event` is asserted this cycle.
+    pub fn lane_set(&self, event: EventId, lane: usize) -> bool {
+        assert!(lane < MAX_LANES, "lane {lane} out of range");
+        self.lanes[event as usize] & (1 << lane) != 0
+    }
+
+    /// The raw lane mask of `event`.
+    pub fn lane_mask(&self, event: EventId) -> u16 {
+        self.lanes[event as usize]
+    }
+}
+
+/// Accumulates total event counts across cycles.
+///
+/// This is the "software view with perfect counters": every event's exact
+/// assertion count. The PMU counter architectures in `icicle-pmu`
+/// approximate (or match) these totals; the TMA model consumes them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventCounts {
+    totals: [u64; EventId::COUNT],
+    cycles_observed: u64,
+}
+
+impl Default for EventCounts {
+    fn default() -> EventCounts {
+        EventCounts::new()
+    }
+}
+
+impl EventCounts {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> EventCounts {
+        EventCounts {
+            totals: [0; EventId::COUNT],
+            cycles_observed: 0,
+        }
+    }
+
+    /// Folds one cycle's vector into the totals.
+    pub fn observe(&mut self, vector: &EventVector) {
+        self.cycles_observed += 1;
+        for e in EventId::ALL {
+            self.totals[e as usize] += vector.count(e) as u64;
+        }
+    }
+
+    /// The total count of `event`.
+    pub fn get(&self, event: EventId) -> u64 {
+        self.totals[event as usize]
+    }
+
+    /// Overrides the total of `event` (used to inject values read from a
+    /// hardware counter instead of the perfect accumulator).
+    pub fn set(&mut self, event: EventId, total: u64) {
+        self.totals[event as usize] = total;
+    }
+
+    /// Number of cycles observed.
+    pub fn cycles_observed(&self) -> u64 {
+        self.cycles_observed
+    }
+}
+
+/// Accumulates per-lane totals across cycles (the data behind Table V).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LaneCounts {
+    event: EventId,
+    totals: [u64; MAX_LANES],
+    cycles: u64,
+}
+
+impl LaneCounts {
+    /// Creates a zeroed accumulator for `event`.
+    pub fn new(event: EventId) -> LaneCounts {
+        LaneCounts {
+            event,
+            totals: [0; MAX_LANES],
+            cycles: 0,
+        }
+    }
+
+    /// The event being accumulated.
+    pub fn event(&self) -> EventId {
+        self.event
+    }
+
+    /// Folds one cycle's vector into the accumulator.
+    pub fn observe(&mut self, vector: &EventVector) {
+        self.cycles += 1;
+        let mask = vector.lane_mask(self.event);
+        for (lane, total) in self.totals.iter_mut().enumerate() {
+            if mask & (1 << lane) != 0 {
+                *total += 1;
+            }
+        }
+    }
+
+    /// Total assertions of `lane` observed so far.
+    pub fn lane_total(&self, lane: usize) -> u64 {
+        self.totals[lane]
+    }
+
+    /// Assertions of `lane` per observed cycle (the unit of Table V).
+    pub fn lane_rate(&self, lane: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.totals[lane] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles observed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Sum of all lanes' totals.
+    pub fn total(&self) -> u64 {
+        self.totals.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_and_count() {
+        let mut v = EventVector::new();
+        v.raise(EventId::Cycles);
+        v.raise_n(EventId::Flush, 2);
+        assert_eq!(v.count(EventId::Cycles), 1);
+        assert_eq!(v.count(EventId::Flush), 2);
+        assert!(!v.is_set(EventId::ICacheMiss));
+        v.clear();
+        assert_eq!(v.count(EventId::Flush), 0);
+    }
+
+    #[test]
+    fn lanes_tracked_independently() {
+        let mut v = EventVector::new();
+        v.raise_lane(EventId::FetchBubbles, 0);
+        v.raise_lane(EventId::FetchBubbles, 2);
+        assert_eq!(v.count(EventId::FetchBubbles), 2);
+        assert!(v.lane_set(EventId::FetchBubbles, 0));
+        assert!(!v.lane_set(EventId::FetchBubbles, 1));
+        assert!(v.lane_set(EventId::FetchBubbles, 2));
+        assert_eq!(v.lane_mask(EventId::FetchBubbles), 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = "asserted twice")]
+    fn double_lane_assertion_panics() {
+        let mut v = EventVector::new();
+        v.raise_lane(EventId::UopsIssued, 1);
+        v.raise_lane(EventId::UopsIssued, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_out_of_range_panics() {
+        let mut v = EventVector::new();
+        v.raise_lane(EventId::UopsIssued, MAX_LANES);
+    }
+
+    #[test]
+    fn lane_counts_accumulate_rates() {
+        let mut acc = LaneCounts::new(EventId::FetchBubbles);
+        let mut v = EventVector::new();
+        for cycle in 0..10 {
+            v.clear();
+            if cycle % 2 == 0 {
+                v.raise_lane(EventId::FetchBubbles, 0);
+            }
+            if cycle % 5 == 0 {
+                v.raise_lane(EventId::FetchBubbles, 1);
+            }
+            acc.observe(&v);
+        }
+        assert_eq!(acc.cycles(), 10);
+        assert_eq!(acc.lane_total(0), 5);
+        assert_eq!(acc.lane_total(1), 2);
+        assert!((acc.lane_rate(0) - 0.5).abs() < 1e-12);
+        assert_eq!(acc.total(), 7);
+        assert_eq!(acc.event(), EventId::FetchBubbles);
+    }
+}

@@ -1,0 +1,173 @@
+//! Dynamic (executed) instruction records.
+
+use crate::instr::{InstrClass, Op};
+use crate::reg::Reg;
+
+/// A data-memory access performed by a dynamic instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Whether the access is a store.
+    pub is_store: bool,
+}
+
+/// Control-flow outcome of a dynamic instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BranchInfo {
+    /// Whether the branch was taken (always true for jumps).
+    pub taken: bool,
+    /// The byte address control transferred to when taken.
+    pub target: u64,
+    /// Whether the target comes through a register (indirect).
+    pub indirect: bool,
+}
+
+/// One executed instruction: the static op plus its architectural outcome.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct DynInstr {
+    /// Position in the dynamic stream.
+    pub seq: u64,
+    /// Byte program counter.
+    pub pc: u64,
+    /// The static operation.
+    pub op: Op,
+    /// Data memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Control-flow outcome, if the op is a branch or jump.
+    pub branch: Option<BranchInfo>,
+    /// The byte PC of the next dynamic instruction.
+    pub next_pc: u64,
+}
+
+impl DynInstr {
+    /// The coarse class of the instruction.
+    pub fn class(&self) -> InstrClass {
+        self.op.class()
+    }
+
+    /// Whether control flow diverted from fall-through (`pc + 4`).
+    pub fn redirects(&self) -> bool {
+        self.next_pc != self.pc + 4
+    }
+}
+
+/// The architectural execution of a whole program: an ordered stream of
+/// [`DynInstr`] records plus final register state.
+#[derive(Clone, Debug, Default)]
+pub struct DynStream {
+    instrs: Vec<DynInstr>,
+    final_regs: [u64; 32],
+}
+
+impl DynStream {
+    pub(crate) fn new(instrs: Vec<DynInstr>, final_regs: [u64; 32]) -> DynStream {
+        DynStream {
+            instrs,
+            final_regs,
+        }
+    }
+
+    /// The executed instructions in program order.
+    pub fn instrs(&self) -> &[DynInstr] {
+        &self.instrs
+    }
+
+    /// Number of dynamic instructions (including the final `halt`).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether nothing executed.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The value of `reg` when the program halted.
+    pub fn trailing_reg(&self, reg: Reg) -> u64 {
+        self.final_regs[reg.index()]
+    }
+
+    /// Iterates over the executed instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, DynInstr> {
+        self.instrs.iter()
+    }
+
+    /// Counts dynamic instructions in a class.
+    pub fn count_class(&self, class: InstrClass) -> usize {
+        self.instrs.iter().filter(|d| d.class() == class).count()
+    }
+
+    /// The dynamic instruction mix as `(class, count)` pairs sorted by
+    /// count, omitting empty classes — the composition table benchmark
+    /// reports print.
+    pub fn class_mix(&self) -> Vec<(InstrClass, usize)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<InstrClass, usize> = HashMap::new();
+        for d in &self.instrs {
+            *counts.entry(d.class()).or_insert(0) += 1;
+        }
+        let mut mix: Vec<(InstrClass, usize)> = counts.into_iter().collect();
+        mix.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+        mix
+    }
+}
+
+impl<'a> IntoIterator for &'a DynStream {
+    type Item = &'a DynInstr;
+    type IntoIter = std::slice::Iter<'a, DynInstr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_mix_counts_and_sorts() {
+        let mk = |op: Op, pc: u64| DynInstr {
+            seq: 0,
+            pc,
+            op,
+            mem: None,
+            branch: None,
+            next_pc: pc + 4,
+        };
+        let stream = DynStream::new(
+            vec![
+                mk(Op::Nop, 0),
+                mk(Op::Nop, 4),
+                mk(Op::Fence, 8),
+                mk(Op::Halt, 12),
+            ],
+            [0; 32],
+        );
+        let mix = stream.class_mix();
+        assert_eq!(mix[0], (InstrClass::Alu, 2));
+        assert_eq!(mix.len(), 3);
+        assert_eq!(stream.count_class(InstrClass::Fence), 1);
+    }
+
+    #[test]
+    fn redirects_detects_taken_control_flow() {
+        let d = DynInstr {
+            seq: 0,
+            pc: 0x8000_0000,
+            op: Op::Nop,
+            mem: None,
+            branch: None,
+            next_pc: 0x8000_0004,
+        };
+        assert!(!d.redirects());
+        let t = DynInstr {
+            next_pc: 0x8000_0040,
+            ..d
+        };
+        assert!(t.redirects());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for program construction and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or executing a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IsaError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// The program contains no instructions.
+    EmptyProgram,
+    /// Execution ran past the configured dynamic-instruction limit.
+    InstructionLimit(u64),
+    /// The program counter left the text segment.
+    PcOutOfRange(u64),
+    /// A memory access touched an unmapped or misaligned address.
+    BadAccess { addr: u64, len: u64 },
+    /// Integer division by zero.
+    DivisionByZero { pc: u64 },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            IsaError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            IsaError::EmptyProgram => write!(f, "program contains no instructions"),
+            IsaError::InstructionLimit(n) => {
+                write!(f, "exceeded dynamic instruction limit of {n}")
+            }
+            IsaError::PcOutOfRange(pc) => write!(f, "pc {pc:#x} left the text segment"),
+            IsaError::BadAccess { addr, len } => {
+                write!(f, "invalid {len}-byte access at {addr:#x}")
+            }
+            IsaError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc:#x}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let e: Box<dyn Error> = Box::new(IsaError::UndefinedLabel("loop".into()));
+        assert!(e.to_string().contains("loop"));
+        assert!(IsaError::EmptyProgram.to_string().contains("no instructions"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,484 @@
+//! Static instruction forms.
+
+use std::fmt;
+
+use crate::reg::{FReg, Reg, RegId};
+
+/// Arithmetic/logic operation kinds for [`Op::Alu`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AluKind {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+}
+
+/// Branch comparison kinds for [`Op::Branch`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BranchKind {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Floating-point operation kinds for [`Op::FpAlu`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Atomic read-modify-write kinds for [`Op::Amo`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum AmoKind {
+    Add,
+    Swap,
+    And,
+    Or,
+    Xor,
+}
+
+/// Memory access widths.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemWidth {
+    B1,
+    B2,
+    B4,
+    B8,
+}
+
+impl MemWidth {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// The second source operand of an ALU instruction: a register or immediate.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Src2 {
+    Reg(Reg),
+    Imm(i64),
+}
+
+/// A static instruction.
+///
+/// Branch/jump targets are indices into the program's instruction array
+/// (resolved from labels by [`ProgramBuilder`](crate::ProgramBuilder));
+/// the byte PC is `TEXT_BASE + 4 * index`.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum Op {
+    /// Integer ALU op, register or immediate second operand.
+    Alu {
+        kind: AluKind,
+        rd: Reg,
+        rs1: Reg,
+        src2: Src2,
+    },
+    /// Load immediate (models `lui`/`addi` pairs).
+    Li { rd: Reg, imm: i64 },
+    /// Integer multiply.
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Integer divide.
+    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Integer remainder.
+    Rem { rd: Reg, rs1: Reg, rs2: Reg },
+    /// Integer load: `rd <- mem[rs1 + offset]`.
+    Load {
+        rd: Reg,
+        base: Reg,
+        offset: i64,
+        width: MemWidth,
+        signed: bool,
+    },
+    /// Integer store: `mem[rs1 + offset] <- src`.
+    Store {
+        src: Reg,
+        base: Reg,
+        offset: i64,
+        width: MemWidth,
+    },
+    /// Conditional branch to instruction index `target`.
+    Branch {
+        kind: BranchKind,
+        rs1: Reg,
+        rs2: Reg,
+        target: u32,
+    },
+    /// Direct jump-and-link to instruction index `target`.
+    Jal { rd: Reg, target: u32 },
+    /// Indirect jump-and-link through `base + offset` (byte address).
+    Jalr { rd: Reg, base: Reg, offset: i64 },
+    /// Full memory/pipeline fence.
+    Fence,
+    /// Instruction-stream fence (`fence.i`).
+    FenceI,
+    /// CSR read/write (models `csrrw`); `csr` is the CSR address.
+    Csrrw { rd: Reg, csr: u16, rs1: Reg },
+    /// Atomic read-modify-write (8 bytes): `rd <- mem[addr]; mem[addr] <-
+    /// kind(rd, src)` (models the A-extension `amo*.d` forms).
+    Amo {
+        kind: AmoKind,
+        rd: Reg,
+        addr: Reg,
+        src: Reg,
+    },
+    /// Floating-point ALU op.
+    FpAlu {
+        kind: FpKind,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
+    /// Floating-point load (8 bytes).
+    FpLoad { rd: FReg, base: Reg, offset: i64 },
+    /// Floating-point store (8 bytes).
+    FpStore { src: FReg, base: Reg, offset: i64 },
+    /// Move integer bits into an fp register (models `fmv.d.x`).
+    FpFromInt { rd: FReg, rs1: Reg },
+    /// Move fp bits into an integer register (models `fmv.x.d`).
+    FpToInt { rd: Reg, rs1: FReg },
+    /// No operation.
+    Nop,
+    /// Stop execution (models an `ecall` exit).
+    Halt,
+}
+
+/// Coarse instruction classes used by the timing models and PMU events.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum InstrClass {
+    Alu,
+    Load,
+    Store,
+    Amo,
+    Branch,
+    Jump,
+    JumpReg,
+    Mul,
+    Div,
+    Fence,
+    Csr,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    FpLoad,
+    FpStore,
+    Halt,
+}
+
+impl InstrClass {
+    /// Whether the class accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            InstrClass::Load
+                | InstrClass::Store
+                | InstrClass::Amo
+                | InstrClass::FpLoad
+                | InstrClass::FpStore
+        )
+    }
+
+    /// Whether the class is any control-flow instruction.
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            InstrClass::Branch | InstrClass::Jump | InstrClass::JumpReg
+        )
+    }
+}
+
+/// A static instruction together with its index in the program text.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct Instr {
+    /// Index into [`Program::code`](crate::Program::code).
+    pub index: u32,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Instr {
+    /// The coarse class of this instruction.
+    pub fn class(&self) -> InstrClass {
+        self.op.class()
+    }
+}
+
+impl Op {
+    /// The coarse class of this operation.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Op::Alu { .. } | Op::Li { .. } | Op::Nop => InstrClass::Alu,
+            Op::Mul { .. } => InstrClass::Mul,
+            Op::Div { .. } | Op::Rem { .. } => InstrClass::Div,
+            Op::Load { .. } => InstrClass::Load,
+            Op::Store { .. } => InstrClass::Store,
+            Op::Branch { .. } => InstrClass::Branch,
+            Op::Jal { .. } => InstrClass::Jump,
+            Op::Jalr { .. } => InstrClass::JumpReg,
+            Op::Fence | Op::FenceI => InstrClass::Fence,
+            Op::Csrrw { .. } => InstrClass::Csr,
+            Op::Amo { .. } => InstrClass::Amo,
+            Op::FpAlu { kind, .. } => match kind {
+                FpKind::Add | FpKind::Sub => InstrClass::FpAlu,
+                FpKind::Mul => InstrClass::FpMul,
+                FpKind::Div => InstrClass::FpDiv,
+            },
+            Op::FpLoad { .. } => InstrClass::FpLoad,
+            Op::FpStore { .. } => InstrClass::FpStore,
+            Op::FpFromInt { .. } | Op::FpToInt { .. } => InstrClass::FpAlu,
+            Op::Halt => InstrClass::Halt,
+        }
+    }
+
+    /// The destination register, if any, in the unified id space.
+    ///
+    /// Writes to `x0` are reported as `None` since they are architectural
+    /// no-ops and create no dependence.
+    pub fn dst(&self) -> Option<RegId> {
+        let id: Option<RegId> = match *self {
+            Op::Alu { rd, .. }
+            | Op::Li { rd, .. }
+            | Op::Mul { rd, .. }
+            | Op::Div { rd, .. }
+            | Op::Rem { rd, .. }
+            | Op::Load { rd, .. }
+            | Op::Jal { rd, .. }
+            | Op::Jalr { rd, .. }
+            | Op::Csrrw { rd, .. }
+            | Op::Amo { rd, .. }
+            | Op::FpToInt { rd, .. } => Some(rd.into()),
+            Op::FpAlu { rd, .. } | Op::FpLoad { rd, .. } | Op::FpFromInt { rd, .. } => {
+                Some(rd.into())
+            }
+            Op::Store { .. }
+            | Op::FpStore { .. }
+            | Op::Branch { .. }
+            | Op::Fence
+            | Op::FenceI
+            | Op::Nop
+            | Op::Halt => None,
+        };
+        id.filter(|r| !r.is_zero())
+    }
+
+    /// The source registers in the unified id space.
+    ///
+    /// Reads of `x0` are omitted: they never stall.
+    pub fn srcs(&self) -> Vec<RegId> {
+        let mut out: Vec<RegId> = Vec::with_capacity(2);
+        let mut push_int = |r: Reg| {
+            if !r.is_zero() {
+                out.push(r.into());
+            }
+        };
+        match *self {
+            Op::Alu { rs1, src2, .. } => {
+                push_int(rs1);
+                if let Src2::Reg(rs2) = src2 {
+                    push_int(rs2);
+                }
+            }
+            Op::Li { .. } | Op::Jal { .. } | Op::Fence | Op::FenceI | Op::Nop | Op::Halt => {}
+            Op::Mul { rs1, rs2, .. } | Op::Div { rs1, rs2, .. } | Op::Rem { rs1, rs2, .. } => {
+                push_int(rs1);
+                push_int(rs2);
+            }
+            Op::Load { base, .. } | Op::FpLoad { base, .. } => push_int(base),
+            Op::Store { src, base, .. } => {
+                push_int(base);
+                push_int(src);
+            }
+            Op::Branch { rs1, rs2, .. } => {
+                push_int(rs1);
+                push_int(rs2);
+            }
+            Op::Jalr { base, .. } => push_int(base),
+            Op::Csrrw { rs1, .. } => push_int(rs1),
+            Op::Amo { addr, src, .. } => {
+                push_int(addr);
+                push_int(src);
+            }
+            Op::FpAlu { rs1, rs2, .. } => {
+                out.push(rs1.into());
+                out.push(rs2.into());
+            }
+            Op::FpStore { src, base, .. } => {
+                push_int(base);
+                out.push(src.into());
+            }
+            Op::FpFromInt { rs1, .. } => push_int(rs1),
+            Op::FpToInt { rs1, .. } => out.push(rs1.into()),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Alu {
+                kind,
+                rd,
+                rs1,
+                src2,
+            } => {
+                let mnemonic = format!("{kind:?}").to_lowercase();
+                match src2 {
+                    Src2::Reg(rs2) => write!(f, "{mnemonic} {rd}, {rs1}, {rs2}"),
+                    Src2::Imm(imm) => write!(f, "{mnemonic}i {rd}, {rs1}, {imm}"),
+                }
+            }
+            Op::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Op::Mul { rd, rs1, rs2 } => write!(f, "mul {rd}, {rs1}, {rs2}"),
+            Op::Div { rd, rs1, rs2 } => write!(f, "div {rd}, {rs1}, {rs2}"),
+            Op::Rem { rd, rs1, rs2 } => write!(f, "rem {rd}, {rs1}, {rs2}"),
+            Op::Load {
+                rd, base, offset, ..
+            } => write!(f, "ld {rd}, {offset}({base})"),
+            Op::Store {
+                src, base, offset, ..
+            } => write!(f, "sd {src}, {offset}({base})"),
+            Op::Branch {
+                kind,
+                rs1,
+                rs2,
+                target,
+            } => write!(
+                f,
+                "b{} {rs1}, {rs2} -> #{target}",
+                format!("{kind:?}").to_lowercase()
+            ),
+            Op::Jal { rd, target } => write!(f, "jal {rd}, #{target}"),
+            Op::Jalr { rd, base, offset } => write!(f, "jalr {rd}, {offset}({base})"),
+            Op::Fence => write!(f, "fence"),
+            Op::FenceI => write!(f, "fence.i"),
+            Op::Csrrw { rd, csr, rs1 } => write!(f, "csrrw {rd}, {csr:#x}, {rs1}"),
+            Op::Amo {
+                kind,
+                rd,
+                addr,
+                src,
+            } => write!(
+                f,
+                "amo{}.d {rd}, {src}, ({addr})",
+                format!("{kind:?}").to_lowercase()
+            ),
+            Op::FpAlu {
+                kind,
+                rd,
+                rs1,
+                rs2,
+            } => write!(
+                f,
+                "f{} {rd}, {rs1}, {rs2}",
+                format!("{kind:?}").to_lowercase()
+            ),
+            Op::FpLoad { rd, base, offset } => write!(f, "fld {rd}, {offset}({base})"),
+            Op::FpStore { src, base, offset } => write!(f, "fsd {src}, {offset}({base})"),
+            Op::FpFromInt { rd, rs1 } => write!(f, "fmv.d.x {rd}, {rs1}"),
+            Op::FpToInt { rd, rs1 } => write!(f, "fmv.x.d {rd}, {rs1}"),
+            Op::Nop => write!(f, "nop"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_to_x0_create_no_dependence() {
+        let op = Op::Alu {
+            kind: AluKind::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::T0,
+            src2: Src2::Imm(1),
+        };
+        assert_eq!(op.dst(), None);
+    }
+
+    #[test]
+    fn reads_of_x0_are_omitted() {
+        let op = Op::Branch {
+            kind: BranchKind::Eq,
+            rs1: Reg::T0,
+            rs2: Reg::ZERO,
+            target: 0,
+        };
+        assert_eq!(op.srcs(), vec![RegId::from(Reg::T0)]);
+    }
+
+    #[test]
+    fn store_has_no_destination() {
+        let op = Op::Store {
+            src: Reg::T1,
+            base: Reg::T0,
+            offset: 8,
+            width: MemWidth::B8,
+        };
+        assert_eq!(op.dst(), None);
+        assert_eq!(op.srcs().len(), 2);
+    }
+
+    #[test]
+    fn fp_classes() {
+        let mul = Op::FpAlu {
+            kind: FpKind::Mul,
+            rd: FReg::F0,
+            rs1: FReg::F1,
+            rs2: FReg::F2,
+        };
+        assert_eq!(mul.class(), InstrClass::FpMul);
+        let div = Op::FpAlu {
+            kind: FpKind::Div,
+            rd: FReg::F0,
+            rs1: FReg::F1,
+            rs2: FReg::F2,
+        };
+        assert_eq!(div.class(), InstrClass::FpDiv);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstrClass::Load.is_mem());
+        assert!(InstrClass::FpStore.is_mem());
+        assert!(!InstrClass::Alu.is_mem());
+        assert!(InstrClass::Branch.is_control_flow());
+        assert!(InstrClass::JumpReg.is_control_flow());
+        assert!(!InstrClass::Fence.is_control_flow());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let ops = [
+            Op::Nop,
+            Op::Halt,
+            Op::Fence,
+            Op::Li {
+                rd: Reg::T0,
+                imm: 3,
+            },
+        ];
+        for op in ops {
+            assert!(!op.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A sparse, paged byte-addressable memory.
+
+use std::collections::HashMap;
+
+use crate::error::IsaError;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// A sparse 64-bit byte-addressable memory backed by 4 KiB pages.
+///
+/// Pages are allocated on first touch (reads of untouched memory return
+/// zero), which lets workloads use widely separated text, data, and stack
+/// regions without reserving gigabytes.
+#[derive(Clone, Default, Debug)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    fn read_byte(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    fn write_byte(&mut self, addr: u64, val: u8) {
+        self.page_mut(addr)[(addr & (PAGE_SIZE - 1)) as usize] = val;
+    }
+
+    /// Reads `len` bytes (1, 2, 4, or 8) little-endian, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadAccess`] if `len` is not a supported width or
+    /// the access would wrap the address space.
+    pub fn read(&self, addr: u64, len: u64) -> Result<u64, IsaError> {
+        if !matches!(len, 1 | 2 | 4 | 8) || addr.checked_add(len).is_none() {
+            return Err(IsaError::BadAccess { addr, len });
+        }
+        let mut val: u64 = 0;
+        for i in 0..len {
+            val |= (self.read_byte(addr + i) as u64) << (8 * i);
+        }
+        Ok(val)
+    }
+
+    /// Writes the low `len` bytes (1, 2, 4, or 8) of `val` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadAccess`] if `len` is not a supported width or
+    /// the access would wrap the address space.
+    pub fn write(&mut self, addr: u64, len: u64, val: u64) -> Result<(), IsaError> {
+        if !matches!(len, 1 | 2 | 4 | 8) || addr.checked_add(len).is_none() {
+            return Err(IsaError::BadAccess { addr, len });
+        }
+        for i in 0..len {
+            self.write_byte(addr + i, (val >> (8 * i)) as u8);
+        }
+        Ok(())
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(addr + i as u64, *b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(0xdead_beef, 8).unwrap(), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut m = Memory::new();
+        for (len, val) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX)] {
+            m.write(0x1000, len, val).unwrap();
+            assert_eq!(m.read(0x1000, len).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write(0x10, 4, 0x0403_0201).unwrap();
+        assert_eq!(m.read(0x10, 1).unwrap(), 0x01);
+        assert_eq!(m.read(0x13, 1).unwrap(), 0x04);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 4;
+        m.write(addr, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.read(addr, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        let m = Memory::new();
+        assert!(matches!(m.read(0, 3), Err(IsaError::BadAccess { .. })));
+    }
+
+    #[test]
+    fn wrapping_access_rejected() {
+        let mut m = Memory::new();
+        assert!(m.write(u64::MAX - 2, 8, 0).is_err());
+    }
+
+    #[test]
+    fn write_bytes_round_trip() {
+        let mut m = Memory::new();
+        m.write_bytes(0x2000, &[1, 2, 3, 4]);
+        assert_eq!(m.read(0x2000, 4).unwrap(), 0x0403_0201);
+    }
+}

@@ -1,0 +1,183 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An integer architectural register (`x0`–`x31`).
+///
+/// `x0` ([`Reg::ZERO`]) is hardwired to zero, as in RISC-V.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address register `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+    /// Temporaries `t0`–`t6` (`x5`–`x7`, `x28`–`x31`).
+    pub const T0: Reg = Reg(5);
+    pub const T1: Reg = Reg(6);
+    pub const T2: Reg = Reg(7);
+    pub const T3: Reg = Reg(28);
+    pub const T4: Reg = Reg(29);
+    pub const T5: Reg = Reg(30);
+    pub const T6: Reg = Reg(31);
+    /// Saved registers `s0`–`s7` (`x8`, `x9`, `x18`–`x23`).
+    pub const S0: Reg = Reg(8);
+    pub const S1: Reg = Reg(9);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    /// Argument registers `a0`–`a7` (`x10`–`x17`).
+    pub const A0: Reg = Reg(10);
+    pub const A1: Reg = Reg(11);
+    pub const A2: Reg = Reg(12);
+    pub const A3: Reg = Reg(13);
+    pub const A4: Reg = Reg(14);
+    pub const A5: Reg = Reg(15);
+    pub const A6: Reg = Reg(16);
+    pub const A7: Reg = Reg(17);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "integer register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index (0–31).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A floating-point architectural register (`f0`–`f31`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FReg(u8);
+
+impl FReg {
+    pub const F0: FReg = FReg(0);
+    pub const F1: FReg = FReg(1);
+    pub const F2: FReg = FReg(2);
+    pub const F3: FReg = FReg(3);
+    pub const F4: FReg = FReg(4);
+    pub const F5: FReg = FReg(5);
+    pub const F6: FReg = FReg(6);
+    pub const F7: FReg = FReg(7);
+
+    /// Creates a floating-point register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> FReg {
+        assert!(index < 32, "fp register index {index} out of range");
+        FReg(index)
+    }
+
+    /// The register's index (0–31).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A unified register identifier spanning both files.
+///
+/// Integer registers occupy ids 0–31 and floating-point registers 32–63.
+/// Core models use this flat space for dependence tracking so they do not
+/// need to carry two scoreboards.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegId(u8);
+
+impl RegId {
+    /// Total number of unified register ids.
+    pub const COUNT: usize = 64;
+
+    /// The flat id (0–63).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether the id names the hardwired-zero integer register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl From<Reg> for RegId {
+    fn from(r: Reg) -> RegId {
+        RegId(r.0)
+    }
+}
+
+impl From<FReg> for RegId {
+    fn from(r: FReg) -> RegId {
+        RegId(32 + r.0)
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 32 {
+            write!(f, "x{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - 32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::T0.is_zero());
+        assert!(RegId::from(Reg::ZERO).is_zero());
+        assert!(!RegId::from(FReg::F0).is_zero());
+    }
+
+    #[test]
+    fn unified_ids_do_not_collide() {
+        assert_eq!(RegId::from(Reg::new(7)).index(), 7);
+        assert_eq!(RegId::from(FReg::new(7)).index(), 39);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::A0.to_string(), "x10");
+        assert_eq!(FReg::F3.to_string(), "f3");
+        assert_eq!(RegId::from(FReg::F3).to_string(), "f3");
+    }
+}

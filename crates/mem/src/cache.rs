@@ -1,0 +1,346 @@
+//! Set-associative cache tag arrays with true-LRU replacement.
+
+use std::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Block (line) size in bytes.
+    pub block_bytes: u64,
+    /// Cycles from request to data on a hit.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 32 KiB, 8-way, 64 B blocks.
+    pub fn l1_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            block_bytes: 64,
+            hit_latency: 1,
+        }
+    }
+
+    /// The paper's L2 configuration: 512 KiB, 8-way, 64 B blocks.
+    pub fn l2_default() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 8,
+            block_bytes: 64,
+            hit_latency: 14,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways or block size, or a
+    /// capacity smaller than one way of blocks).
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.ways > 0 && self.block_bytes > 0, "degenerate geometry");
+        let sets = self.size_bytes / (self.ways as u64 * self.block_bytes);
+        assert!(sets > 0, "capacity smaller than one way of blocks");
+        sets
+    }
+}
+
+/// Hit/miss/writeback counts for one cache.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Dirty evictions (the `D$-release` event source).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio, or 0.0 with no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic timestamp of last use, for true LRU.
+    last_use: u64,
+}
+
+/// A set-associative tag array.
+///
+/// The cache models *presence*, not data: the interpreter already computed
+/// architectural values, so the timing model only needs hits, misses,
+/// fills, and dirty evictions.
+#[derive(Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    num_sets: u64,
+    stamp: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let num_sets = config.num_sets();
+        Cache {
+            config,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_use: 0,
+                };
+                (num_sets * config.ways as u64) as usize
+            ],
+            num_sets,
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn block_of(&self, addr: u64) -> u64 {
+        addr / self.config.block_bytes
+    }
+
+    fn set_range(&self, block: u64) -> std::ops::Range<usize> {
+        let set = (block % self.num_sets) as usize;
+        let ways = self.config.ways as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Probes for `addr`; on a hit updates LRU state and the dirty bit.
+    ///
+    /// Returns whether the access hit. Misses do **not** fill the line;
+    /// call [`fill`](Self::fill) when the refill completes so multi-level
+    /// interactions model correctly.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> bool {
+        self.stamp += 1;
+        let block = self.block_of(addr);
+        let tag = block / self.num_sets;
+        let range = self.set_range(block);
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.last_use = self.stamp;
+                line.dirty |= is_store;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Probes without perturbing LRU, dirty bits, or statistics.
+    pub fn peek(&self, addr: u64) -> bool {
+        let block = self.block_of(addr);
+        let tag = block / self.num_sets;
+        self.lines[self.set_range(block)]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Installs the block containing `addr`, evicting the LRU way.
+    ///
+    /// Returns the evicted block's base address if the victim was dirty
+    /// (a writeback / `D$-release`).
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<u64> {
+        self.stamp += 1;
+        let block = self.block_of(addr);
+        let tag = block / self.num_sets;
+        let set_base = (block % self.num_sets) * self.config.ways as u64;
+        let range = self.set_range(block);
+
+        // Already present (e.g. racing prefetch): just refresh.
+        if let Some(line) = self.lines[range.clone()]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.last_use = self.stamp;
+            line.dirty |= dirty;
+            return None;
+        }
+
+        let (victim_idx, _) = self.lines[range.clone()]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.last_use } else { 0 })
+            .expect("non-zero associativity");
+        let victim = &mut self.lines[range.start + victim_idx];
+        let evicted = (victim.valid && victim.dirty).then(|| {
+            let way_in_set = victim_idx as u64;
+            let set = set_base / self.config.ways as u64;
+            let _ = way_in_set;
+            (victim.tag * self.num_sets + set) * self.config.block_bytes
+        });
+        if evicted.is_some() {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty,
+            last_use: self.stamp,
+        };
+        evicted
+    }
+
+    /// Invalidates every line (models `fence.i` on the I-side).
+    pub fn flush_all(&mut self) {
+        for line in &mut self.lines {
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 64 B
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            block_bytes: 64,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn default_geometries_match_paper() {
+        assert_eq!(CacheConfig::l1_default().num_sets(), 64);
+        assert_eq!(CacheConfig::l2_default().num_sets(), 1024);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false));
+        c.fill(0x100, false);
+        assert!(c.access(0x100, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three blocks mapping to set 0 (block % 2 == 0): 0x000, 0x100, 0x200.
+        c.fill(0x000, false);
+        c.fill(0x100, false);
+        c.access(0x000, false); // refresh 0x000; 0x100 is now LRU
+        c.fill(0x200, false);
+        assert!(c.peek(0x000));
+        assert!(!c.peek(0x100));
+        assert!(c.peek(0x200));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(0x000, false);
+        c.access(0x000, true); // make dirty
+        c.fill(0x100, false);
+        let evicted = c.fill(0x200, false); // evicts dirty 0x000
+        assert_eq!(evicted, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_reports_nothing() {
+        let mut c = tiny();
+        c.fill(0x000, false);
+        c.fill(0x100, false);
+        assert_eq!(c.fill(0x200, false), None);
+    }
+
+    #[test]
+    fn fill_of_present_block_is_idempotent() {
+        let mut c = tiny();
+        c.fill(0x000, false);
+        c.fill(0x100, false);
+        assert_eq!(c.fill(0x000, false), None);
+        assert!(c.peek(0x000));
+        assert!(c.peek(0x100));
+    }
+
+    #[test]
+    fn peek_does_not_disturb_state() {
+        let mut c = tiny();
+        c.fill(0x000, false);
+        let before = c.stats();
+        assert!(c.peek(0x000));
+        assert!(!c.peek(0x040));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn flush_all_invalidates() {
+        let mut c = tiny();
+        c.fill(0x000, false);
+        c.flush_all();
+        assert!(!c.peek(0x000));
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = tiny();
+        // 8 distinct blocks > 4-line capacity.
+        for round in 0..4 {
+            for b in 0..8u64 {
+                let addr = b * 64;
+                if !c.access(addr, false) {
+                    c.fill(addr, false);
+                }
+            }
+            let _ = round;
+        }
+        assert!(c.stats().misses > c.stats().hits);
+    }
+}

@@ -1,0 +1,441 @@
+//! The composed two-level memory hierarchy.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::shared::SharedL2;
+use crate::tlb::{Tlb, TlbResult};
+
+/// Configuration of the whole hierarchy.
+///
+/// The default reproduces the paper's Table IV common configuration:
+/// 32 KiB 8-way 64 B L1I and L1D, 512 KiB 8-way 64 B L2, no LLC.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HierarchyConfig {
+    pub l1i: CacheConfig,
+    pub l1d: CacheConfig,
+    /// Shared L2; `None` sends L1 misses straight to DRAM.
+    pub l2: Option<CacheConfig>,
+    /// Flat DRAM access latency in cycles (the paper uses FASED-modelled
+    /// DRAM; a flat latency preserves the hit/miss cost structure).
+    pub dram_latency: u64,
+    /// First-level ITLB entries.
+    pub itlb_entries: usize,
+    /// First-level DTLB entries.
+    pub dtlb_entries: usize,
+    /// Shared second-level TLB entries.
+    pub l2_tlb_entries: usize,
+    /// Added latency when the L1 TLB misses but the L2 TLB hits.
+    pub l2_tlb_latency: u64,
+    /// Added latency of a full page walk.
+    pub walk_latency: u64,
+    /// Whether the I-side next-line prefetcher is enabled.
+    pub icache_prefetch: bool,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1i: CacheConfig {
+                hit_latency: 1,
+                ..CacheConfig::l1_default()
+            },
+            l1d: CacheConfig::l1_default(),
+            l2: Some(CacheConfig::l2_default()),
+            dram_latency: 80,
+            itlb_entries: 32,
+            dtlb_entries: 32,
+            l2_tlb_entries: 512,
+            l2_tlb_latency: 8,
+            walk_latency: 60,
+            icache_prefetch: true,
+        }
+    }
+}
+
+/// Outcome of one hierarchy access.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Whether the L1 (I or D) hit.
+    pub l1_hit: bool,
+    /// Whether the L2 hit (meaningless when `l1_hit`).
+    pub l2_hit: bool,
+    /// Cycle at which the data is available to the pipeline.
+    pub ready_cycle: u64,
+    /// TLB lookup outcome.
+    pub tlb: TlbResult,
+    /// Whether the fill evicted a dirty block (`D$-release`).
+    pub writeback: bool,
+}
+
+impl AccessResult {
+    /// Total latency relative to the request cycle.
+    pub fn latency(&self, now: u64) -> u64 {
+        self.ready_cycle.saturating_sub(now)
+    }
+}
+
+/// Aggregate statistics of the hierarchy.
+#[derive(Copy, Clone, Default, PartialEq, Eq, Debug)]
+pub struct HierarchyStats {
+    pub l1i: CacheStats,
+    pub l1d: CacheStats,
+    pub l2: CacheStats,
+    pub itlb_misses: u64,
+    pub dtlb_misses: u64,
+    pub l2_tlb_misses: u64,
+    pub icache_prefetches: u64,
+}
+
+#[derive(Clone, Debug)]
+enum L2Backend {
+    None,
+    Private(Cache),
+    Shared(SharedL2),
+}
+
+/// A two-level cache hierarchy with TLBs and flat DRAM.
+///
+/// All methods take the current cycle and return an [`AccessResult`] whose
+/// `ready_cycle` the core uses for scheduling; the hierarchy itself holds
+/// no notion of time beyond what callers pass in, so it composes with both
+/// the in-order and out-of-order core models. The L2 may be private or
+/// [shared with other cores](MemoryHierarchy::with_shared_l2).
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    config: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: L2Backend,
+    itlb: Tlb,
+    dtlb: Tlb,
+    l2_tlb: Tlb,
+    stats_extra: HierarchyStats,
+    address_salt: u64,
+}
+
+impl MemoryHierarchy {
+    /// Creates a cold hierarchy with a private L2 (or none).
+    pub fn new(config: HierarchyConfig) -> MemoryHierarchy {
+        let l2 = match config.l2 {
+            Some(cfg) => L2Backend::Private(Cache::new(cfg)),
+            None => L2Backend::None,
+        };
+        MemoryHierarchy::with_l2(config, l2)
+    }
+
+    /// Creates a cold hierarchy whose L2 is shared with other cores (the
+    /// `l2` field of `config` is ignored in favour of the shared cache).
+    pub fn with_shared_l2(config: HierarchyConfig, shared: SharedL2) -> MemoryHierarchy {
+        MemoryHierarchy::with_l2(config, L2Backend::Shared(shared))
+    }
+
+    fn with_l2(config: HierarchyConfig, l2: L2Backend) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2,
+            itlb: Tlb::new(config.itlb_entries),
+            dtlb: Tlb::new(config.dtlb_entries),
+            l2_tlb: Tlb::new(config.l2_tlb_entries),
+            stats_extra: HierarchyStats::default(),
+            address_salt: 0,
+            config,
+        }
+    }
+
+    /// Gives this hierarchy a distinct physical address space.
+    ///
+    /// Workloads are interpreted independently, so two cores' programs
+    /// occupy the *same* virtual addresses; on a shared L2 they would
+    /// falsely share (and helpfully prefetch!) each other's lines. The
+    /// salt is XORed into every address above the index bits — the
+    /// moral equivalent of each process getting its own physical pages.
+    pub fn with_address_salt(mut self, salt: u64) -> MemoryHierarchy {
+        self.address_salt = salt;
+        self
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics. For a shared L2 the `l2` entry aggregates
+    /// every sharer's traffic.
+    pub fn stats(&self) -> HierarchyStats {
+        let l2 = match &self.l2 {
+            L2Backend::None => CacheStats::default(),
+            L2Backend::Private(c) => c.stats(),
+            L2Backend::Shared(s) => s.stats(),
+        };
+        HierarchyStats {
+            l1i: self.l1i.stats(),
+            l1d: self.l1d.stats(),
+            l2,
+            ..self.stats_extra
+        }
+    }
+
+    fn tlb_lookup(&mut self, addr: u64, is_instr: bool) -> (TlbResult, u64) {
+        let l1 = if is_instr {
+            &mut self.itlb
+        } else {
+            &mut self.dtlb
+        };
+        if l1.access(addr) {
+            return (TlbResult::L1Hit, 0);
+        }
+        if is_instr {
+            self.stats_extra.itlb_misses += 1;
+        } else {
+            self.stats_extra.dtlb_misses += 1;
+        }
+        if self.l2_tlb.access(addr) {
+            (TlbResult::L2Hit, self.config.l2_tlb_latency)
+        } else {
+            self.stats_extra.l2_tlb_misses += 1;
+            (TlbResult::Walk, self.config.walk_latency)
+        }
+    }
+
+    fn refill(&mut self, l1_is_instr: bool, addr: u64, now: u64, is_store: bool) -> AccessResult {
+        let (l2_hit, mem_latency) = match &mut self.l2 {
+            L2Backend::Private(l2) => {
+                if l2.access(addr, false) {
+                    (true, l2.config().hit_latency)
+                } else {
+                    l2.fill(addr, false);
+                    (false, l2.config().hit_latency + self.config.dram_latency)
+                }
+            }
+            L2Backend::Shared(shared) => {
+                let (hit, latency) = shared.access(addr, now);
+                if hit {
+                    (true, latency)
+                } else {
+                    (false, latency + self.config.dram_latency)
+                }
+            }
+            L2Backend::None => (false, self.config.dram_latency),
+        };
+        let l1 = if l1_is_instr {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
+        let writeback = l1.fill(addr, is_store).is_some();
+        AccessResult {
+            l1_hit: false,
+            l2_hit,
+            ready_cycle: now + l1.config().hit_latency + mem_latency,
+            tlb: TlbResult::L1Hit, // caller overrides
+            writeback,
+        }
+    }
+
+    /// Instruction fetch of the block containing `addr`.
+    pub fn fetch(&mut self, addr: u64, now: u64) -> AccessResult {
+        let addr = addr ^ self.address_salt;
+        let (tlb, tlb_latency) = self.tlb_lookup(addr, true);
+        let mut result = if self.l1i.access(addr, false) {
+            AccessResult {
+                l1_hit: true,
+                l2_hit: false,
+                ready_cycle: now + self.config.l1i.hit_latency,
+                tlb,
+                writeback: false,
+            }
+        } else {
+            let mut r = self.refill(true, addr, now, false);
+            if self.config.icache_prefetch {
+                // Next-line prefetch: bring in the sequential successor so a
+                // streaming fetch stream sees at most one demand miss per
+                // two blocks (the paper's Frontend notes a prefetcher can
+                // request blocks before use).
+                let next = (addr / self.config.l1i.block_bytes + 1) * self.config.l1i.block_bytes;
+                if !self.l1i.peek(next) {
+                    self.stats_extra.icache_prefetches += 1;
+                    match &mut self.l2 {
+                        L2Backend::Private(l2) => {
+                            if !l2.access(next, false) {
+                                l2.fill(next, false);
+                            }
+                        }
+                        L2Backend::Shared(shared) => {
+                            let _ = shared.access(next, now);
+                        }
+                        L2Backend::None => {}
+                    }
+                    self.l1i.fill(next, false);
+                }
+            }
+            r.tlb = tlb;
+            r
+        };
+        result.tlb = tlb;
+        result.ready_cycle += tlb_latency;
+        result
+    }
+
+    /// Data load at `addr`.
+    pub fn load(&mut self, addr: u64, now: u64) -> AccessResult {
+        self.data_access(addr, now, false)
+    }
+
+    /// Data store at `addr`.
+    pub fn store(&mut self, addr: u64, now: u64) -> AccessResult {
+        self.data_access(addr, now, true)
+    }
+
+    fn data_access(&mut self, addr: u64, now: u64, is_store: bool) -> AccessResult {
+        let addr = addr ^ self.address_salt;
+        let (tlb, tlb_latency) = self.tlb_lookup(addr, false);
+        let mut result = if self.l1d.access(addr, is_store) {
+            AccessResult {
+                l1_hit: true,
+                l2_hit: false,
+                ready_cycle: now + self.config.l1d.hit_latency,
+                tlb,
+                writeback: false,
+            }
+        } else {
+            let mut r = self.refill(false, addr, now, is_store);
+            r.tlb = tlb;
+            r
+        };
+        result.tlb = tlb;
+        result.ready_cycle += tlb_latency;
+        result
+    }
+
+    /// Probes the L1D for `addr` without perturbing state (used by issue
+    /// logic to decide whether an access would need an MSHR).
+    pub fn peek_data(&self, addr: u64) -> bool {
+        self.l1d.peek(addr ^ self.address_salt)
+    }
+
+    /// Invalidates the instruction cache (models `fence.i`).
+    pub fn flush_icache(&mut self) {
+        self.l1i.flush_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn cold_miss_costs_more_than_warm_hit() {
+        let mut m = small();
+        let cold = m.load(0x9000_0000, 0);
+        assert!(!cold.l1_hit);
+        assert!(!cold.l2_hit);
+        assert!(cold.latency(0) >= m.config().dram_latency);
+        let warm = m.load(0x9000_0000, 1000);
+        assert!(warm.l1_hit);
+        assert_eq!(warm.latency(1000), m.config().l1d.hit_latency);
+    }
+
+    #[test]
+    fn l2_hit_is_cheaper_than_dram() {
+        let mut cfg = HierarchyConfig::default();
+        // Tiny L1D so we can evict easily.
+        cfg.l1d = CacheConfig {
+            size_bytes: 128,
+            ways: 1,
+            block_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        m.load(0x9000_0000, 0); // fills L1D + L2
+        m.load(0x9002_0000, 0); // conflicting set, evicts from L1D
+        let back = m.load(0x9000_0000, 1000);
+        assert!(!back.l1_hit);
+        assert!(back.l2_hit);
+        assert!(back.latency(1000) < cfg.dram_latency);
+    }
+
+    #[test]
+    fn fetch_and_load_use_separate_l1s() {
+        let mut m = small();
+        m.fetch(0x8000_0000, 0);
+        let d = m.load(0x8000_0000, 100);
+        assert!(!d.l1_hit, "data side should not hit on an I-side fill");
+    }
+
+    #[test]
+    fn prefetcher_hides_sequential_fetches() {
+        let mut m = small();
+        let miss = m.fetch(0x8000_0000, 0);
+        assert!(!miss.l1_hit);
+        // The next 64 B block was prefetched.
+        let seq = m.fetch(0x8000_0040, miss.ready_cycle);
+        assert!(seq.l1_hit);
+        assert_eq!(m.stats().icache_prefetches, 1);
+    }
+
+    #[test]
+    fn prefetch_can_be_disabled() {
+        let cfg = HierarchyConfig {
+            icache_prefetch: false,
+            ..HierarchyConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        m.fetch(0x8000_0000, 0);
+        let seq = m.fetch(0x8000_0040, 500);
+        assert!(!seq.l1_hit);
+        assert_eq!(m.stats().icache_prefetches, 0);
+    }
+
+    #[test]
+    fn tlb_walk_adds_latency() {
+        let mut m = small();
+        let first = m.load(0x9000_0000, 0);
+        assert_eq!(first.tlb, TlbResult::Walk);
+        let warm = m.load(0x9000_0008, 1000);
+        assert_eq!(warm.tlb, TlbResult::L1Hit);
+        assert!(first.latency(0) > m.config().dram_latency);
+        assert_eq!(m.stats().dtlb_misses, 1);
+        assert_eq!(m.stats().l2_tlb_misses, 1);
+    }
+
+    #[test]
+    fn flush_icache_forces_refetch() {
+        let mut m = small();
+        m.fetch(0x8000_0000, 0);
+        assert!(m.fetch(0x8000_0000, 100).l1_hit);
+        m.flush_icache();
+        assert!(!m.fetch(0x8000_0000, 200).l1_hit);
+    }
+
+    #[test]
+    fn no_l2_goes_straight_to_dram() {
+        let cfg = HierarchyConfig {
+            l2: None,
+            ..HierarchyConfig::default()
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        let r = m.load(0x9000_0000, 0);
+        assert!(!r.l2_hit);
+        assert_eq!(m.stats().l2, CacheStats::default());
+    }
+
+    #[test]
+    fn writeback_surfaces_on_dirty_eviction() {
+        let mut cfg = HierarchyConfig::default();
+        cfg.l1d = CacheConfig {
+            size_bytes: 64,
+            ways: 1,
+            block_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut m = MemoryHierarchy::new(cfg);
+        m.store(0x9000_0000, 0);
+        let evicting = m.load(0x9100_0000, 100);
+        assert!(evicting.writeback);
+        assert_eq!(m.stats().l1d.writebacks, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # icicle-mem
+//!
+//! The memory-system substrate for the Icicle reproduction: set-associative
+//! caches, TLBs, a miss-status-holding-register (MSHR) file, and a composed
+//! two-level hierarchy with a flat DRAM backing latency.
+//!
+//! The paper's cores (Rocket and BOOM) share a 32 KiB 8-way L1I/L1D with
+//! 64 B blocks and a 512 KiB 8-way L2 (Table IV); [`HierarchyConfig::default`]
+//! reproduces that configuration. The cycle-level core models call
+//! [`MemoryHierarchy::fetch`] / [`MemoryHierarchy::load`] /
+//! [`MemoryHierarchy::store`] with the current cycle and receive the cycle
+//! at which the data is available, plus hit/miss information that drives the
+//! PMU events (`I$-miss`, `D$-miss`, `D$-release`, TLB misses).
+//!
+//! ```
+//! use icicle_mem::{HierarchyConfig, MemoryHierarchy};
+//!
+//! let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+//! let cold = mem.load(0x9000_0000, 0);
+//! assert!(!cold.l1_hit);
+//! let warm = mem.load(0x9000_0000, cold.ready_cycle);
+//! assert!(warm.l1_hit);
+//! ```
+
+mod cache;
+mod hierarchy;
+mod mshr;
+mod shared;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use mshr::{MshrFile, MshrSlot};
+pub use shared::SharedL2;
+pub use tlb::{Tlb, TlbResult};

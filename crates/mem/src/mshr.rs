@@ -1,0 +1,139 @@
+//! Miss-status holding registers for non-blocking caches.
+
+/// One outstanding cache-miss record.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct MshrSlot {
+    /// Base address of the missing block.
+    pub block_addr: u64,
+    /// Cycle at which the refill completes.
+    pub ready_cycle: u64,
+}
+
+/// A file of miss-status holding registers.
+///
+/// BOOM's L1D is non-blocking: up to `capacity` misses may be outstanding,
+/// and the paper's `D$-blocked` heuristic asserts only when *at least one
+/// MSHR is currently handling a cache miss* (§IV-A). The file is also the
+/// structural-hazard point: when it is full, further misses must stall.
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    slots: Vec<MshrSlot>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Creates an empty file with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retires slots whose refills completed at or before `now`.
+    pub fn drain_completed(&mut self, now: u64) {
+        self.slots.retain(|s| s.ready_cycle > now);
+    }
+
+    /// Number of misses still in flight at `now`.
+    pub fn busy(&self, now: u64) -> usize {
+        self.slots.iter().filter(|s| s.ready_cycle > now).count()
+    }
+
+    /// Whether any miss is in flight at `now` (the `D$-blocked` condition).
+    pub fn any_busy(&self, now: u64) -> bool {
+        self.busy(now) > 0
+    }
+
+    /// Whether a new miss can be accepted at `now`.
+    pub fn can_allocate(&self, now: u64) -> bool {
+        self.busy(now) < self.capacity
+    }
+
+    /// Looks for an in-flight miss on the same block (a secondary miss
+    /// merges instead of allocating a new slot).
+    pub fn lookup(&self, block_addr: u64, now: u64) -> Option<MshrSlot> {
+        self.slots
+            .iter()
+            .find(|s| s.block_addr == block_addr && s.ready_cycle > now)
+            .copied()
+    }
+
+    /// Allocates a slot for a new miss.
+    ///
+    /// Merges with an existing slot for the same block if present (and
+    /// returns that slot's ready cycle). Returns `None` if the file is full.
+    pub fn allocate(&mut self, block_addr: u64, now: u64, ready_cycle: u64) -> Option<u64> {
+        self.drain_completed(now);
+        if let Some(existing) = self.lookup(block_addr, now) {
+            return Some(existing.ready_cycle);
+        }
+        if self.slots.len() >= self.capacity {
+            return None;
+        }
+        self.slots.push(MshrSlot {
+            block_addr,
+            ready_cycle,
+        });
+        Some(ready_cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_drain() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0x100, 0, 50), Some(50));
+        assert!(m.any_busy(10));
+        assert!(!m.any_busy(50));
+        m.drain_completed(50);
+        assert_eq!(m.busy(10), 0);
+    }
+
+    #[test]
+    fn secondary_miss_merges() {
+        let mut m = MshrFile::new(1);
+        assert_eq!(m.allocate(0x100, 0, 50), Some(50));
+        // Same block while in flight: merged, not rejected, same ready cycle.
+        assert_eq!(m.allocate(0x100, 10, 99), Some(50));
+        assert_eq!(m.busy(10), 1);
+    }
+
+    #[test]
+    fn full_file_rejects_new_blocks() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x100, 0, 50).unwrap();
+        assert_eq!(m.allocate(0x200, 10, 60), None);
+        // After the first completes, a new block can allocate.
+        assert_eq!(m.allocate(0x200, 50, 110), Some(110));
+    }
+
+    #[test]
+    fn busy_respects_time() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x000, 0, 10).unwrap();
+        m.allocate(0x040, 0, 20).unwrap();
+        assert_eq!(m.busy(5), 2);
+        assert_eq!(m.busy(15), 1);
+        assert_eq!(m.busy(25), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

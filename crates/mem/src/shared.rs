@@ -1,0 +1,125 @@
+//! A shared L2 with a simple bus-contention model, for multi-core SoCs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+
+#[derive(Debug)]
+pub(crate) struct SharedL2State {
+    pub(crate) cache: Cache,
+    bus_next_free: u64,
+    bus_occupancy: u64,
+    accesses: u64,
+    contention_cycles: u64,
+}
+
+/// A handle to an L2 cache shared by several cores' hierarchies.
+///
+/// The paper's Table IV systems have a single 512 KiB L2 behind all
+/// cores; sharing it is the first step toward the "performance
+/// characterization on heterogeneous systems" future-work item (§VII).
+/// Each access occupies the bus for a fixed number of cycles; overlapping
+/// requests from different cores queue, and the queueing delay is
+/// recorded as contention.
+///
+/// Handles are cheap to clone; all clones refer to the same cache. The
+/// simulation is single-threaded and deterministic: requests are
+/// serialized in the order cores are stepped.
+#[derive(Clone, Debug)]
+pub struct SharedL2 {
+    state: Rc<RefCell<SharedL2State>>,
+}
+
+impl SharedL2 {
+    /// Creates a shared L2 whose bus is occupied for `bus_occupancy`
+    /// cycles per access.
+    pub fn new(config: CacheConfig, bus_occupancy: u64) -> SharedL2 {
+        SharedL2 {
+            state: Rc::new(RefCell::new(SharedL2State {
+                cache: Cache::new(config),
+                bus_next_free: 0,
+                bus_occupancy,
+                accesses: 0,
+                contention_cycles: 0,
+            })),
+        }
+    }
+
+    /// Performs a timed access on behalf of one core.
+    ///
+    /// Returns `(hit, extra_latency)` where `extra_latency` covers both
+    /// the L2 hit latency and any bus queueing delay (DRAM latency on a
+    /// miss is the caller's concern, as with a private L2).
+    pub(crate) fn access(&self, addr: u64, now: u64) -> (bool, u64) {
+        let mut s = self.state.borrow_mut();
+        let start = now.max(s.bus_next_free);
+        let queued = start - now;
+        s.contention_cycles += queued;
+        s.accesses += 1;
+        s.bus_next_free = start + s.bus_occupancy;
+        let hit_latency = s.cache.config().hit_latency;
+        let hit = s.cache.access(addr, false);
+        if !hit {
+            s.cache.fill(addr, false);
+        }
+        (hit, queued + hit_latency)
+    }
+
+    /// Aggregate cache statistics across all sharers.
+    pub fn stats(&self) -> CacheStats {
+        self.state.borrow().cache.stats()
+    }
+
+    /// Total accesses from every sharer.
+    pub fn accesses(&self) -> u64 {
+        self.state.borrow().accesses
+    }
+
+    /// Total cycles requests spent queued behind the bus.
+    pub fn contention_cycles(&self) -> u64 {
+        self.state.borrow().contention_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> SharedL2 {
+        SharedL2::new(CacheConfig::l2_default(), 2)
+    }
+
+    #[test]
+    fn handles_share_one_cache() {
+        let a = l2();
+        let b = a.clone();
+        let (hit1, _) = a.access(0x4000, 0);
+        assert!(!hit1);
+        // The second sharer hits the line the first one filled.
+        let (hit2, _) = b.access(0x4000, 100);
+        assert!(hit2);
+        assert_eq!(a.accesses(), 2);
+    }
+
+    #[test]
+    fn overlapping_requests_queue_on_the_bus() {
+        let shared = l2();
+        let (_, lat1) = shared.access(0x0000, 10);
+        let (_, lat2) = shared.access(0x1000, 10); // same cycle: queues 2
+        let (_, lat3) = shared.access(0x2000, 10); // queues 4
+        assert_eq!(lat1, CacheConfig::l2_default().hit_latency);
+        assert_eq!(lat2, lat1 + 2);
+        assert_eq!(lat3, lat1 + 4);
+        assert_eq!(shared.contention_cycles(), 6);
+    }
+
+    #[test]
+    fn idle_bus_adds_no_delay() {
+        let shared = l2();
+        shared.access(0x0000, 0);
+        let (_, lat) = shared.access(0x1000, 1_000);
+        assert_eq!(lat, CacheConfig::l2_default().hit_latency);
+        assert_eq!(shared.contention_cycles(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fully-associative translation lookaside buffers.
+
+const PAGE_SHIFT: u64 = 12;
+
+/// Result of a TLB lookup chain (L1 TLB then shared L2 TLB).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TlbResult {
+    /// Hit in the first-level TLB: no extra latency.
+    L1Hit,
+    /// Missed L1 but hit the shared L2 TLB.
+    L2Hit,
+    /// Missed both levels: a page walk is required.
+    Walk,
+}
+
+impl TlbResult {
+    /// Whether the first-level TLB missed.
+    pub fn l1_missed(self) -> bool {
+        !matches!(self, TlbResult::L1Hit)
+    }
+
+    /// Whether the shared second-level TLB also missed.
+    pub fn l2_missed(self) -> bool {
+        matches!(self, TlbResult::Walk)
+    }
+}
+
+/// A fully-associative TLB with LRU replacement.
+///
+/// Translation itself is identity (the interpreter runs on physical
+/// addresses); the TLB exists to produce the `ITLB-miss`, `DTLB-miss`, and
+/// `L2-TLB-miss` performance events and their latency.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<(u64, u64)>, // (vpn, last_use)
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB capacity must be non-zero");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the page containing `addr`, filling on miss.
+    ///
+    /// Returns whether the lookup hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stamp += 1;
+        let vpn = addr >> PAGE_SHIFT;
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .expect("non-empty at capacity");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((vpn, self.stamp));
+        false
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits_after_first_touch() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1ff8));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_eviction_is_lru() {
+        let mut t = Tlb::new(2);
+        t.access(0x1000); // page 1
+        t.access(0x2000); // page 2
+        t.access(0x1000); // refresh page 1
+        t.access(0x3000); // evicts page 2
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+
+    #[test]
+    fn result_predicates() {
+        assert!(!TlbResult::L1Hit.l1_missed());
+        assert!(TlbResult::L2Hit.l1_missed());
+        assert!(!TlbResult::L2Hit.l2_missed());
+        assert!(TlbResult::Walk.l2_missed());
+    }
+}

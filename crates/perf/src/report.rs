@@ -1,0 +1,101 @@
+//! Measurement results.
+
+use std::fmt;
+
+use icicle_events::{EventCounts, EventId, LaneCounts};
+use icicle_tma::{TlbLevel, TmaBreakdown};
+use icicle_trace::Trace;
+
+/// Everything one measurement run produced: counters (hardware view and
+/// perfect view), the TMA classification, and optional trace / lane data.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// The core that ran the workload.
+    pub core_name: String,
+    /// Total cycles (`mcycle`).
+    pub cycles: u64,
+    /// Retired instructions (`minstret`).
+    pub instret: u64,
+    /// Counter values as read back from the CSR file — including any
+    /// undercount the chosen counter implementation incurs.
+    pub hw_counts: EventCounts,
+    /// Exact event totals observed by the harness (validation only;
+    /// hardware has no such view).
+    pub perfect_counts: EventCounts,
+    /// The TMA classification computed from the hardware counts.
+    pub tma: TmaBreakdown,
+    /// The TLB third-level drill-down (this reproduction's extension of
+    /// the paper's future work).
+    pub tlb: TlbLevel,
+    /// The cycle trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+    /// Per-lane accumulators, when requested.
+    pub lanes: Vec<LaneCounts>,
+}
+
+impl PerfReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instret as f64 / self.cycles as f64
+        }
+    }
+
+    /// The undercount of the hardware view for `event` (0 for exact
+    /// counter implementations).
+    pub fn undercount(&self, event: EventId) -> u64 {
+        self.perfect_counts
+            .get(event)
+            .saturating_sub(self.hw_counts.get(event))
+    }
+}
+
+impl fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "perf report for {}", self.core_name)?;
+        writeln!(
+            f,
+            "  {:>14} cycles   {:>14} instret   ipc {:.3}",
+            self.cycles,
+            self.instret,
+            self.ipc()
+        )?;
+        for event in EventId::ALL {
+            let v = self.hw_counts.get(event);
+            if v > 0 && !matches!(event, EventId::Cycles | EventId::InstrRetired) {
+                writeln!(f, "  {:>14} {}", v, event.name())?;
+            }
+        }
+        writeln!(f, "{}", self.tma)?;
+        write!(
+            f,
+            "  tlb (ext): itlb-bound {:5.2}%  dtlb-bound {:5.2}%",
+            100.0 * self.tlb.itlb_bound,
+            100.0 * self.tlb.dtlb_bound,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        let r = PerfReport {
+            core_name: "x".into(),
+            cycles: 0,
+            instret: 0,
+            hw_counts: EventCounts::new(),
+            perfect_counts: EventCounts::new(),
+            tma: TmaBreakdown::default(),
+            tlb: TlbLevel::default(),
+            trace: None,
+            lanes: Vec::new(),
+        };
+        assert_eq!(r.ipc(), 0.0);
+        assert!(r.to_string().contains("perf report"));
+    }
+}

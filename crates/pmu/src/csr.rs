@@ -1,0 +1,587 @@
+//! The HPM CSR file and the 4-step programming sequence of §IV-D.
+
+use std::error::Error;
+use std::fmt;
+
+use icicle_events::{EventId, EventSet, EventVector, MAX_LANES};
+
+use crate::counters::{AddWiresCounter, CounterArch, DistributedCounter, ScalarBank};
+
+/// Number of programmable HPM counters (the paper's cores ship with
+/// "31 Perf Counters", Table IV) in addition to the fixed `mcycle` and
+/// `minstret`.
+pub const NUM_HPM_COUNTERS: usize = 31;
+
+/// Width of the event-selection mask within an event set.
+const MASK_BITS: u32 = 56;
+
+/// Errors from programming or reading the CSR file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PmuError {
+    /// The counter index is outside `0..NUM_HPM_COUNTERS`.
+    InvalidCounter(usize),
+    /// The event-set encoding does not name a set.
+    UnknownEventSet(u8),
+    /// The event mask uses bits above the 56-bit field.
+    MaskTooWide(u64),
+    /// A counter was programmed while the file was not enabled
+    /// (step 1 of the sequence was skipped).
+    NotEnabled,
+    /// A counter was read before being configured.
+    Unconfigured(usize),
+}
+
+impl fmt::Display for PmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmuError::InvalidCounter(i) => write!(f, "counter index {i} out of range"),
+            PmuError::UnknownEventSet(e) => write!(f, "unknown event-set encoding {e:#x}"),
+            PmuError::MaskTooWide(m) => write!(f, "event mask {m:#x} exceeds 56 bits"),
+            PmuError::NotEnabled => write!(f, "csr file not enabled"),
+            PmuError::Unconfigured(i) => write!(f, "counter {i} was never configured"),
+        }
+    }
+}
+
+impl Error for PmuError {}
+
+/// A selection of events within one event set (the 8-bit set ID plus the
+/// 56-bit mask programmed in steps 2 and 3).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EventSelection {
+    set: EventSet,
+    mask: u64,
+}
+
+impl EventSelection {
+    /// Selects the events of `set` whose mask bits are set in `mask`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmuError::MaskTooWide`] if `mask` uses bits ≥ 56.
+    pub fn new(set: EventSet, mask: u64) -> Result<EventSelection, PmuError> {
+        if mask >> MASK_BITS != 0 {
+            return Err(PmuError::MaskTooWide(mask));
+        }
+        Ok(EventSelection { set, mask })
+    }
+
+    /// Convenience selection of a single event.
+    pub fn single(event: EventId) -> EventSelection {
+        EventSelection {
+            set: event.set(),
+            mask: 1u64 << event.mask_bit(),
+        }
+    }
+
+    /// The selected event set.
+    pub fn set(&self) -> EventSet {
+        self.set
+    }
+
+    /// The raw 56-bit mask.
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Whether `event` is selected.
+    pub fn selects(&self, event: EventId) -> bool {
+        event.set() == self.set && self.mask & (1 << event.mask_bit()) != 0
+    }
+
+    /// Iterates over the selected events.
+    pub fn events(&self) -> impl Iterator<Item = EventId> + '_ {
+        EventId::in_set(self.set).filter(move |e| self.selects(*e))
+    }
+}
+
+/// Full configuration of one HPM counter slot.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HpmConfig {
+    /// Which events increment the counter.
+    pub selection: EventSelection,
+    /// The counter implementation.
+    pub arch: CounterArch,
+    /// Number of event sources per selected event (the pipeline width the
+    /// event is instantiated at; 1 for scalar events).
+    pub sources: usize,
+}
+
+#[derive(Clone, Debug)]
+enum SlotState {
+    Stock { value: u64 },
+    Scalar(ScalarBank),
+    AddWires(AddWiresCounter),
+    Distributed(DistributedCounter),
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    config: HpmConfig,
+    state: SlotState,
+    inhibit: bool,
+    /// Overflow sampling: fire when the value crosses the next multiple
+    /// of the period.
+    overflow_period: Option<u64>,
+    next_overflow: u64,
+    overflow_pending: bool,
+}
+
+/// The HPM CSR file: 31 programmable counters plus fixed cycle and
+/// instruction counters.
+///
+/// Programming follows the exact sequence the paper's harness performs:
+///
+/// 1. [`enable`](CsrFile::enable) the CSR registers,
+/// 2. write the 8-bit event-set ID and implementation
+///    ([`configure`](CsrFile::configure) models steps 2–3 together with
+///    the 56-bit mask),
+/// 3. …,
+/// 4. [`clear_inhibit`](CsrFile::clear_inhibit) to start counting.
+#[derive(Clone, Debug, Default)]
+pub struct CsrFile {
+    enabled: bool,
+    slots: Vec<Option<Slot>>,
+    mcycle: u64,
+    minstret: u64,
+}
+
+impl CsrFile {
+    /// Creates a disabled, unconfigured CSR file.
+    pub fn new() -> CsrFile {
+        CsrFile {
+            enabled: false,
+            slots: (0..NUM_HPM_COUNTERS).map(|_| None).collect(),
+            mcycle: 0,
+            minstret: 0,
+        }
+    }
+
+    /// Step 1: enable the CSR registers (M-mode).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether step 1 has been performed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Steps 2–3: program `counter` with an event selection and counter
+    /// implementation. The counter starts inhibited.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is not enabled, the index is out of
+    /// range, or the selection is invalid.
+    pub fn configure(&mut self, counter: usize, config: HpmConfig) -> Result<(), PmuError> {
+        if !self.enabled {
+            return Err(PmuError::NotEnabled);
+        }
+        if counter >= self.slots.len() {
+            return Err(PmuError::InvalidCounter(counter));
+        }
+        let sources = config.sources.clamp(1, MAX_LANES);
+        let state = match config.arch {
+            CounterArch::Stock => SlotState::Stock { value: 0 },
+            CounterArch::Scalar => SlotState::Scalar(ScalarBank::new(sources)),
+            CounterArch::AddWires => SlotState::AddWires(AddWiresCounter::new(sources)),
+            CounterArch::Distributed => SlotState::Distributed(DistributedCounter::new(sources)),
+        };
+        self.slots[counter] = Some(Slot {
+            config: HpmConfig { sources, ..config },
+            state,
+            inhibit: true,
+            overflow_period: None,
+            next_overflow: u64::MAX,
+            overflow_pending: false,
+        });
+        Ok(())
+    }
+
+    /// Step 4: clear the inhibit bit so the counter begins incrementing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid or unconfigured counter.
+    pub fn clear_inhibit(&mut self, counter: usize) -> Result<(), PmuError> {
+        self.slot_mut(counter)?.inhibit = false;
+        Ok(())
+    }
+
+    /// Re-sets the inhibit bit, freezing the counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid or unconfigured counter.
+    pub fn set_inhibit(&mut self, counter: usize) -> Result<(), PmuError> {
+        self.slot_mut(counter)?.inhibit = true;
+        Ok(())
+    }
+
+    fn slot_mut(&mut self, counter: usize) -> Result<&mut Slot, PmuError> {
+        if counter >= self.slots.len() {
+            return Err(PmuError::InvalidCounter(counter));
+        }
+        self.slots[counter]
+            .as_mut()
+            .ok_or(PmuError::Unconfigured(counter))
+    }
+
+    /// Arms overflow sampling on `counter`: an overflow flag raises each
+    /// time the counter crosses another multiple of `period` — the
+    /// mechanism `perf record`-style profilers interrupt on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid or unconfigured counter, or a
+    /// zero period.
+    pub fn arm_overflow(&mut self, counter: usize, period: u64) -> Result<(), PmuError> {
+        if period == 0 {
+            return Err(PmuError::InvalidCounter(counter));
+        }
+        let value = self.read(counter)?;
+        let slot = self.slot_mut(counter)?;
+        slot.overflow_period = Some(period);
+        slot.next_overflow = value + period;
+        slot.overflow_pending = false;
+        Ok(())
+    }
+
+    /// Takes (and clears) the overflow flag of `counter`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid or unconfigured counter.
+    pub fn take_overflow(&mut self, counter: usize) -> Result<bool, PmuError> {
+        let slot = self.slot_mut(counter)?;
+        let pending = slot.overflow_pending;
+        slot.overflow_pending = false;
+        Ok(pending)
+    }
+
+    /// Reads a counter's software-visible value.
+    ///
+    /// For distributed counters this is the post-processed `principal ×
+    /// 2^N` value, exactly what the artifact's harness computes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid or unconfigured counter.
+    pub fn read(&self, counter: usize) -> Result<u64, PmuError> {
+        if counter >= self.slots.len() {
+            return Err(PmuError::InvalidCounter(counter));
+        }
+        let slot = self.slots[counter]
+            .as_ref()
+            .ok_or(PmuError::Unconfigured(counter))?;
+        Ok(match &slot.state {
+            SlotState::Stock { value } => *value,
+            SlotState::Scalar(bank) => bank.total(),
+            SlotState::AddWires(c) => c.value(),
+            SlotState::Distributed(c) => c.software_value(),
+        })
+    }
+
+    /// Reads a counter without the distributed post-processing loss —
+    /// validation only.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid or unconfigured counter.
+    pub fn read_precise(&self, counter: usize) -> Result<u64, PmuError> {
+        if counter >= self.slots.len() {
+            return Err(PmuError::InvalidCounter(counter));
+        }
+        let slot = self.slots[counter]
+            .as_ref()
+            .ok_or(PmuError::Unconfigured(counter))?;
+        Ok(match &slot.state {
+            SlotState::Distributed(c) => c.precise_value(),
+            _ => self.read(counter)?,
+        })
+    }
+
+    /// The fixed cycle counter.
+    pub fn mcycle(&self) -> u64 {
+        self.mcycle
+    }
+
+    /// The fixed retired-instruction counter.
+    pub fn minstret(&self) -> u64 {
+        self.minstret
+    }
+
+    /// Advances one cycle, sampling the event vector into every
+    /// non-inhibited counter.
+    pub fn tick(&mut self, vector: &EventVector) {
+        self.mcycle += 1;
+        self.minstret += vector.count(EventId::InstrRetired) as u64;
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.inhibit {
+                continue;
+            }
+            match &mut slot.state {
+                SlotState::Stock { value } => {
+                    // §II-A: concurrent selected events increment by one.
+                    if slot.config.selection.events().any(|e| vector.is_set(e)) {
+                        *value += 1;
+                    }
+                }
+                SlotState::Scalar(bank) => bank.tick(combined_mask(&slot.config, vector)),
+                SlotState::AddWires(c) => c.tick(combined_mask(&slot.config, vector)),
+                SlotState::Distributed(c) => c.tick(combined_mask(&slot.config, vector)),
+            }
+            if let Some(period) = slot.overflow_period {
+                let value = match &slot.state {
+                    SlotState::Stock { value } => *value,
+                    SlotState::Scalar(bank) => bank.total(),
+                    SlotState::AddWires(c) => c.value(),
+                    SlotState::Distributed(c) => c.software_value(),
+                };
+                if value >= slot.next_overflow {
+                    slot.overflow_pending = true;
+                    while slot.next_overflow <= value {
+                        slot.next_overflow += period;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// ORs the lane masks of every selected event into one per-source mask.
+///
+/// Events with plain (scalar) assertions map onto the low lanes, padded to
+/// the slot's source width — the "pad the smaller increment signal" case
+/// the paper describes for add-wires with mixed-width events.
+fn combined_mask(config: &HpmConfig, vector: &EventVector) -> u16 {
+    let mut mask = 0u16;
+    for event in config.selection.events() {
+        let lanes = vector.lane_mask(event);
+        if lanes != 0 {
+            mask |= lanes;
+        } else {
+            // Scalar raise: spread `count` assertions over the low lanes.
+            let n = vector.count(event).min(config.sources as u16);
+            mask |= (1u16 << n).wrapping_sub(1);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector_with(event: EventId, lanes: &[usize]) -> EventVector {
+        let mut v = EventVector::new();
+        for &l in lanes {
+            v.raise_lane(event, l);
+        }
+        v
+    }
+
+    #[test]
+    fn four_step_programming_sequence() {
+        let mut csr = CsrFile::new();
+        // Programming before enable is rejected (step 1 first).
+        let cfg = HpmConfig {
+            selection: EventSelection::single(EventId::FetchBubbles),
+            arch: CounterArch::AddWires,
+            sources: 4,
+        };
+        assert_eq!(csr.configure(0, cfg), Err(PmuError::NotEnabled));
+        csr.enable();
+        csr.configure(0, cfg).unwrap();
+        // Still inhibited: ticking does nothing.
+        csr.tick(&vector_with(EventId::FetchBubbles, &[0, 1]));
+        assert_eq!(csr.read(0).unwrap(), 0);
+        // Step 4 releases it.
+        csr.clear_inhibit(0).unwrap();
+        csr.tick(&vector_with(EventId::FetchBubbles, &[0, 1]));
+        assert_eq!(csr.read(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn stock_semantics_or_concurrent_events() {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        csr.configure(
+            0,
+            HpmConfig {
+                selection: EventSelection::single(EventId::FetchBubbles),
+                arch: CounterArch::Stock,
+                sources: 4,
+            },
+        )
+        .unwrap();
+        csr.clear_inhibit(0).unwrap();
+        csr.tick(&vector_with(EventId::FetchBubbles, &[0, 1, 2, 3]));
+        // Four concurrent assertions count once under stock semantics.
+        assert_eq!(csr.read(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn multi_event_selection_within_a_set() {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        let sel = EventSelection::new(
+            EventSet::Memory,
+            (1 << EventId::ICacheMiss.mask_bit()) | (1 << EventId::DCacheMiss.mask_bit()),
+        )
+        .unwrap();
+        csr.configure(
+            0,
+            HpmConfig {
+                selection: sel,
+                arch: CounterArch::Stock,
+                sources: 1,
+            },
+        )
+        .unwrap();
+        csr.clear_inhibit(0).unwrap();
+        let mut v = EventVector::new();
+        v.raise(EventId::ICacheMiss);
+        v.raise(EventId::DCacheMiss);
+        csr.tick(&v); // both high: +1 (same counter, same cycle)
+        v.clear();
+        v.raise(EventId::DCacheMiss);
+        csr.tick(&v); // +1
+        assert_eq!(csr.read(0).unwrap(), 2);
+    }
+
+    #[test]
+    fn selection_rejects_cross_set_events() {
+        let sel = EventSelection::single(EventId::ICacheMiss);
+        assert!(sel.selects(EventId::ICacheMiss));
+        // Same bit position in a different set is not selected.
+        for e in EventId::in_set(EventSet::Basic) {
+            assert!(!sel.selects(e));
+        }
+    }
+
+    #[test]
+    fn mask_width_enforced() {
+        assert_eq!(
+            EventSelection::new(EventSet::Tma, 1 << 56),
+            Err(PmuError::MaskTooWide(1 << 56))
+        );
+    }
+
+    #[test]
+    fn invalid_and_unconfigured_counters_error() {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        assert_eq!(
+            csr.clear_inhibit(NUM_HPM_COUNTERS),
+            Err(PmuError::InvalidCounter(NUM_HPM_COUNTERS))
+        );
+        assert_eq!(csr.read(3), Err(PmuError::Unconfigured(3)));
+    }
+
+    #[test]
+    fn fixed_counters_always_run() {
+        let mut csr = CsrFile::new();
+        let mut v = EventVector::new();
+        v.raise_n(EventId::InstrRetired, 3);
+        csr.tick(&v);
+        csr.tick(&v);
+        assert_eq!(csr.mcycle(), 2);
+        assert_eq!(csr.minstret(), 6);
+    }
+
+    #[test]
+    fn distributed_read_applies_postprocessing() {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        csr.configure(
+            0,
+            HpmConfig {
+                selection: EventSelection::single(EventId::UopsIssued),
+                arch: CounterArch::Distributed,
+                sources: 4,
+            },
+        )
+        .unwrap();
+        csr.clear_inhibit(0).unwrap();
+        for _ in 0..100 {
+            csr.tick(&vector_with(EventId::UopsIssued, &[0, 1, 2, 3]));
+        }
+        let exact = 400;
+        let sw = csr.read(0).unwrap();
+        assert!(sw % 4 == 0, "post-processed value is a multiple of 2^N");
+        assert!(sw <= exact);
+        assert_eq!(csr.read_precise(0).unwrap(), exact);
+    }
+
+    #[test]
+    fn overflow_sampling_fires_per_period() {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        csr.configure(
+            0,
+            HpmConfig {
+                selection: EventSelection::single(EventId::DCacheMiss),
+                arch: CounterArch::Stock,
+                sources: 1,
+            },
+        )
+        .unwrap();
+        csr.clear_inhibit(0).unwrap();
+        csr.arm_overflow(0, 3).unwrap();
+        let mut fires = 0;
+        for _ in 0..10 {
+            let mut v = EventVector::new();
+            v.raise(EventId::DCacheMiss);
+            csr.tick(&v);
+            if csr.take_overflow(0).unwrap() {
+                fires += 1;
+            }
+        }
+        // 10 events at period 3 → overflows at 3, 6, 9.
+        assert_eq!(fires, 3);
+        // The flag is clear-on-take.
+        assert!(!csr.take_overflow(0).unwrap());
+    }
+
+    #[test]
+    fn overflow_rejects_zero_period() {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        csr.configure(
+            0,
+            HpmConfig {
+                selection: EventSelection::single(EventId::Cycles),
+                arch: CounterArch::Stock,
+                sources: 1,
+            },
+        )
+        .unwrap();
+        assert!(csr.arm_overflow(0, 0).is_err());
+    }
+
+    #[test]
+    fn inhibit_freezes_and_resumes() {
+        let mut csr = CsrFile::new();
+        csr.enable();
+        csr.configure(
+            5,
+            HpmConfig {
+                selection: EventSelection::single(EventId::Cycles),
+                arch: CounterArch::Stock,
+                sources: 1,
+            },
+        )
+        .unwrap();
+        csr.clear_inhibit(5).unwrap();
+        let mut v = EventVector::new();
+        v.raise(EventId::Cycles);
+        csr.tick(&v);
+        csr.set_inhibit(5).unwrap();
+        csr.tick(&v);
+        csr.clear_inhibit(5).unwrap();
+        csr.tick(&v);
+        assert_eq!(csr.read(5).unwrap(), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Hardware footprint estimates used by the physical-design model.
+
+use crate::counters::CounterArch;
+
+/// A first-order hardware cost summary for one counter slot.
+///
+/// The quantities here are what `icicle-vlsi` feeds its analytic
+/// post-placement model: register bits, combinational adder stages on the
+/// increment path, and the number and kind of wires that must travel from
+/// the event sources (scattered across the core) to the CSR file (which
+/// the place-and-route tools put near the die centre, §IV-B).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct HardwareFootprint {
+    /// The implementation being summarized.
+    pub arch: CounterArch,
+    /// Number of event sources aggregated.
+    pub sources: usize,
+    /// Total state bits (counter registers, local counters, overflow
+    /// flags).
+    pub register_bits: u64,
+    /// Combinational adder stages between an event source and the counter
+    /// register — the chain the paper identifies as the potential new
+    /// critical path for add-wires.
+    pub adder_depth: u32,
+    /// Wires that must be routed the long way, from the source region to
+    /// the central CSR file.
+    pub long_wires: u32,
+    /// Wires that stay local to the source region.
+    pub local_wires: u32,
+}
+
+impl HardwareFootprint {
+    /// Computes the footprint of a counter slot with `sources` event
+    /// sources under the given implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is zero or exceeds 16.
+    pub fn of(arch: CounterArch, sources: usize) -> HardwareFootprint {
+        assert!(
+            (1..=16).contains(&sources),
+            "source count {sources} out of range"
+        );
+        let s = sources as u64;
+        match arch {
+            // Stock: one 64-bit counter, every source wire routed long,
+            // one OR gate (depth counted as 0 adder stages).
+            CounterArch::Stock => HardwareFootprint {
+                arch,
+                sources,
+                register_bits: 64,
+                adder_depth: 0,
+                long_wires: sources as u32,
+                local_wires: 0,
+            },
+            // Scalar: a full 64-bit counter per source; each source wire
+            // still travels to the CSR file.
+            CounterArch::Scalar => HardwareFootprint {
+                arch,
+                sources,
+                register_bits: 64 * s,
+                adder_depth: 0,
+                long_wires: sources as u32,
+                local_wires: 0,
+            },
+            // Add-wires: the paper's Chisel compiled to a *sequential*
+            // chain of adders, so depth grows linearly with sources; only
+            // the ⌈log2(s+1)⌉-bit partial-sum bus goes the distance.
+            CounterArch::AddWires => HardwareFootprint {
+                arch,
+                sources,
+                register_bits: 64,
+                adder_depth: sources.saturating_sub(1) as u32,
+                long_wires: increment_width(sources),
+                local_wires: sources as u32,
+            },
+            // Distributed: local counters of width N plus overflow flags
+            // near each source; a single granted overflow bit (plus the
+            // rotating select) goes to the principal counter.
+            CounterArch::Distributed => {
+                let n = local_width(sources) as u64;
+                HardwareFootprint {
+                    arch,
+                    sources,
+                    register_bits: 64 + s * (n + 1),
+                    adder_depth: 1,
+                    long_wires: sources as u32, // one overflow bit per source
+                    local_wires: sources as u32 * (n as u32 + 1),
+                }
+            }
+        }
+    }
+}
+
+fn increment_width(sources: usize) -> u32 {
+    usize::BITS - sources.leading_zeros()
+}
+
+fn local_width(sources: usize) -> u32 {
+    (usize::BITS - (sources.max(2) - 1).leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_wires_depth_scales_with_sources() {
+        let small = HardwareFootprint::of(CounterArch::AddWires, 2);
+        let large = HardwareFootprint::of(CounterArch::AddWires, 8);
+        assert!(large.adder_depth > small.adder_depth);
+        assert_eq!(large.adder_depth, 7);
+    }
+
+    #[test]
+    fn distributed_depth_is_flat() {
+        for s in 1..=16 {
+            assert_eq!(HardwareFootprint::of(CounterArch::Distributed, s).adder_depth, 1);
+        }
+    }
+
+    #[test]
+    fn scalar_burns_registers() {
+        let f = HardwareFootprint::of(CounterArch::Scalar, 4);
+        assert_eq!(f.register_bits, 256);
+        assert_eq!(HardwareFootprint::of(CounterArch::Stock, 4).register_bits, 64);
+    }
+
+    #[test]
+    fn add_wires_narrows_the_long_bus() {
+        let f = HardwareFootprint::of(CounterArch::AddWires, 8);
+        // 8 sources need only a 4-bit partial-sum bus to the CSR file…
+        assert_eq!(f.long_wires, 4);
+        // …where scalar would route all 8.
+        assert_eq!(HardwareFootprint::of(CounterArch::Scalar, 8).long_wires, 8);
+    }
+}

@@ -1,0 +1,45 @@
+//! # icicle-pmu
+//!
+//! Performance-monitoring-unit counter architectures and the CSR file.
+//!
+//! Monitoring *concurrent* events — several lanes of a superscalar pipeline
+//! asserting the same event in one cycle — is the hardware problem Icicle
+//! solves (§IV-B). The stock Chipyard interface ORs events mapped to the
+//! same counter, so a 4-wide fetch producing 4 fetch bubbles counts only 1.
+//! This crate implements the three counter strategies the paper evaluates:
+//!
+//! * [`ScalarBank`] — one counter per event source; exact but burns one of
+//!   the (at most 31) HPM counters per lane.
+//! * [`AddWiresCounter`] — aggregates sources through a local adder chain
+//!   into one multi-bit increment; exact, but the chain's combinational
+//!   depth grows with the source count.
+//! * [`DistributedCounter`] — per-source local counters whose overflow
+//!   bits are arbitrated by a rotating one-hot mask into a principal
+//!   counter; one-bit increments and local wiring, at the cost of a
+//!   bounded undercount (`sources × (2^N − 1)`).
+//!
+//! [`CsrFile`] models the 31-counter HPM register file with the 4-step
+//! M-mode programming sequence the perf harness performs (§IV-D), and
+//! enforces the event-set constraint of §II-A: every event mapped to a
+//! counter must come from that counter's selected event set, and
+//! concurrent events OR into a single increment under stock semantics.
+//!
+//! ```
+//! use icicle_pmu::DistributedCounter;
+//!
+//! let mut c = DistributedCounter::new(4);
+//! for _ in 0..1000 {
+//!     c.tick(0b1111); // all four sources assert every cycle
+//! }
+//! let exact = 4000;
+//! assert!(c.software_value() <= exact);
+//! assert!(exact - c.software_value() <= c.worst_case_undercount());
+//! ```
+
+mod counters;
+mod csr;
+mod footprint;
+
+pub use counters::{AddWiresCounter, CounterArch, DistributedCounter, ScalarBank};
+pub use csr::{CsrFile, EventSelection, HpmConfig, PmuError, NUM_HPM_COUNTERS};
+pub use footprint::HardwareFootprint;

@@ -1,0 +1,85 @@
+//! Rocket core configuration.
+
+use icicle_mem::HierarchyConfig;
+
+/// Parameters of the Rocket core model.
+///
+/// Defaults follow Table IV's Rocket column: 2-wide fetch, 1-wide
+/// decode/issue, 512-entry BHT, 28-entry BTB, and the common 32 KiB L1 /
+/// 512 KiB L2 hierarchy.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RocketConfig {
+    /// Instructions fetched per I-cache access.
+    pub fetch_width: usize,
+    /// Instruction-buffer capacity in instructions.
+    pub ibuf_entries: usize,
+    /// Cycles between a branch misprediction resolving in execute and the
+    /// first fetch of the corrected path starting.
+    pub mispredict_penalty: u64,
+    /// Cycles lost when a taken control-flow instruction misses the BTB
+    /// and the front-end resteers from decode.
+    pub resteer_penalty: u64,
+    /// Result latency of a pipelined multiply.
+    pub mul_latency: u64,
+    /// Blocking latency of the iterative divider.
+    pub div_latency: u64,
+    /// Result latency of FP add/sub.
+    pub fp_add_latency: u64,
+    /// Result latency of FP multiply.
+    pub fp_mul_latency: u64,
+    /// Blocking latency of FP divide.
+    pub fp_div_latency: u64,
+    /// Pipeline-drain cost of a fence.
+    pub fence_latency: u64,
+    /// Serialization cost of a CSR access.
+    pub csr_latency: u64,
+    /// BHT entries.
+    pub bht_entries: usize,
+    /// BTB entries.
+    pub btb_entries: usize,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+    /// Whether a D-cache miss blocks the pipe in the memory stage
+    /// (Rocket's default). With `false` the cache supports hit-under-miss:
+    /// execution continues past a missing load until a consumer needs it.
+    pub blocking_dcache: bool,
+    /// Memory hierarchy parameters.
+    pub memory: HierarchyConfig,
+}
+
+impl Default for RocketConfig {
+    fn default() -> RocketConfig {
+        RocketConfig {
+            fetch_width: 2,
+            ibuf_entries: 8,
+            mispredict_penalty: 2,
+            resteer_penalty: 2,
+            mul_latency: 4,
+            div_latency: 33,
+            fp_add_latency: 4,
+            fp_mul_latency: 5,
+            fp_div_latency: 25,
+            fence_latency: 5,
+            csr_latency: 3,
+            bht_entries: 512,
+            btb_entries: 28,
+            ras_entries: 6,
+            blocking_dcache: true,
+            memory: HierarchyConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iv() {
+        let c = RocketConfig::default();
+        assert_eq!(c.fetch_width, 2);
+        assert_eq!(c.bht_entries, 512);
+        assert_eq!(c.btb_entries, 28);
+        assert_eq!(c.memory.l1d.size_bytes, 32 * 1024);
+    }
+}

@@ -1,0 +1,52 @@
+//! # icicle-rocket
+//!
+//! A cycle-level model of the Rocket core: a 5-stage, single-issue,
+//! in-order RV64 pipeline (Fig. 2a of the paper) with a 2-wide fetch
+//! front-end, a small instruction buffer, a 512-entry BHT + 28-entry BTB
+//! branch predictor, and a blocking data cache.
+//!
+//! The model replays the architecturally-executed [`DynStream`] with
+//! timing, raising the full Rocket PMU event list of Table I each cycle —
+//! including the three events Icicle adds (`Instr-issued`,
+//! `Fetch-bubbles`, `Recovering`). The fetch-bubble definition is exactly
+//! the paper's:
+//!
+//! ```text
+//! FetchBubble = ¬Recovering ∧ (¬IBuf-valid ∧ IBuf-ready)
+//! ```
+//!
+//! ```
+//! use icicle_isa::{Interpreter, ProgramBuilder, Reg};
+//! use icicle_rocket::{Rocket, RocketConfig};
+//! use icicle_events::EventCore;
+//!
+//! # fn main() -> Result<(), icicle_isa::IsaError> {
+//! let mut b = ProgramBuilder::new("spin");
+//! b.li(Reg::T0, 0);
+//! b.li(Reg::T1, 100);
+//! b.label("l");
+//! b.addi(Reg::T0, Reg::T0, 1);
+//! b.blt(Reg::T0, Reg::T1, "l");
+//! b.halt();
+//! let stream = Interpreter::new(&b.build()?).run(10_000)?;
+//!
+//! let mut core = Rocket::new(RocketConfig::default(), stream);
+//! while !core.is_done() {
+//!     core.step();
+//! }
+//! assert!(core.cycle() > 100);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`DynStream`]: icicle_isa::DynStream
+
+mod config;
+mod core;
+mod predictor;
+mod ras;
+
+pub use config::RocketConfig;
+pub use core::Rocket;
+pub use predictor::{Bht, Btb};
+pub use ras::{is_call, is_return, ReturnAddressStack};

@@ -1,0 +1,157 @@
+//! Rocket's branch prediction structures: a table of 2-bit saturating
+//! counters (BHT) and a small fully-associative BTB (Table IV: 512-entry
+//! BHT, 28-entry BTB).
+
+/// A branch history table of 2-bit saturating counters indexed by PC.
+#[derive(Clone, Debug)]
+pub struct Bht {
+    table: Vec<u8>,
+}
+
+impl Bht {
+    /// Creates a BHT with `entries` counters, initialized weakly
+    /// not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Bht {
+        assert!(entries > 0, "BHT must have at least one entry");
+        Bht {
+            table: vec![1; entries],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) % self.table.len()
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Trains the counter at `pc` with the resolved direction.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        let c = &mut self.table[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// A small fully-associative branch target buffer with LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    entries: Vec<(u64, u64, u64)>, // (pc, target, last_use)
+    capacity: usize,
+    stamp: u64,
+}
+
+impl Btb {
+    /// Creates an empty BTB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Btb {
+        assert!(capacity > 0, "BTB must have at least one entry");
+        Btb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+        }
+    }
+
+    /// The predicted target for the control-flow instruction at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.iter_mut().find(|(p, _, _)| *p == pc).map(
+            |(_, target, last_use)| {
+                *last_use = stamp;
+                *target
+            },
+        )
+    }
+
+    /// Installs or refreshes the target of the instruction at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.stamp += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _, _)| *p == pc) {
+            e.1 = target;
+            e.2 = self.stamp;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let (idx, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, t))| *t)
+                .expect("non-empty at capacity");
+            self.entries.swap_remove(idx);
+        }
+        self.entries.push((pc, target, self.stamp));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bht_learns_a_loop_branch() {
+        let mut bht = Bht::new(16);
+        let pc = 0x8000_0010;
+        assert!(!bht.predict(pc), "initialized weakly not-taken");
+        bht.update(pc, true);
+        assert!(bht.predict(pc));
+        bht.update(pc, true);
+        // One not-taken at loop exit does not flip a saturated counter.
+        bht.update(pc, false);
+        assert!(bht.predict(pc));
+    }
+
+    #[test]
+    fn bht_tracks_alternating_poorly() {
+        // An always-mispredicted alternation: a 2-bit counter trained on
+        // alternation around the weak states mispredicts about half the
+        // time; verify it at least never saturates.
+        let mut bht = Bht::new(16);
+        let pc = 0x8000_0020;
+        let mut mispredicts = 0;
+        let mut taken = true;
+        for _ in 0..100 {
+            if bht.predict(pc) != taken {
+                mispredicts += 1;
+            }
+            bht.update(pc, taken);
+            taken = !taken;
+        }
+        assert!(mispredicts >= 40, "got only {mispredicts} mispredicts");
+    }
+
+    #[test]
+    fn btb_lru_eviction() {
+        let mut btb = Btb::new(2);
+        btb.update(0x10, 0x100);
+        btb.update(0x20, 0x200);
+        btb.lookup(0x10); // refresh
+        btb.update(0x30, 0x300); // evicts 0x20
+        assert_eq!(btb.lookup(0x10), Some(0x100));
+        assert_eq!(btb.lookup(0x20), None);
+        assert_eq!(btb.lookup(0x30), Some(0x300));
+    }
+
+    #[test]
+    fn btb_update_refreshes_target() {
+        let mut btb = Btb::new(4);
+        btb.update(0x10, 0x100);
+        btb.update(0x10, 0x180);
+        assert_eq!(btb.lookup(0x10), Some(0x180));
+    }
+}

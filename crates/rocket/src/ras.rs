@@ -1,0 +1,107 @@
+//! A return-address stack.
+
+use icicle_isa::{Op, Reg};
+
+/// A fixed-depth return-address stack (both Rocket and BOOM carry one).
+///
+/// Calls (`jal`/`jalr` linking into `ra`) push their fall-through
+/// address; returns (`jalr x0, ra, 0`) pop it as the predicted target.
+/// On overflow the oldest entry is dropped, as in hardware.
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    capacity: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates an empty stack with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReturnAddressStack {
+        assert!(capacity > 0, "RAS must have at least one entry");
+        ReturnAddressStack {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Pushes a return address (dropping the oldest on overflow).
+    pub fn push(&mut self, addr: u64) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(addr);
+    }
+
+    /// Pops the predicted return target.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.entries.pop()
+    }
+
+    /// Current depth.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Whether `op` is a call that links into `ra`.
+pub fn is_call(op: &Op) -> bool {
+    matches!(op, Op::Jal { rd, .. } | Op::Jalr { rd, .. } if *rd == Reg::RA)
+}
+
+/// Whether `op` is a return through `ra`.
+pub fn is_return(op: &Op) -> bool {
+    matches!(op, Op::Jalr { rd, base, .. } if rd.is_zero() && *base == Reg::RA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_is_lifo() {
+        let mut ras = ReturnAddressStack::new(4);
+        ras.push(0x100);
+        ras.push(0x200);
+        assert_eq!(ras.pop(), Some(0x200));
+        assert_eq!(ras.pop(), Some(0x100));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_the_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.depth(), 2);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn call_and_return_classification() {
+        use icicle_isa::{Op, Reg};
+        assert!(is_call(&Op::Jal {
+            rd: Reg::RA,
+            target: 5
+        }));
+        assert!(!is_call(&Op::Jal {
+            rd: Reg::ZERO,
+            target: 5
+        }));
+        assert!(is_return(&Op::Jalr {
+            rd: Reg::ZERO,
+            base: Reg::RA,
+            offset: 0
+        }));
+        assert!(!is_return(&Op::Jalr {
+            rd: Reg::RA,
+            base: Reg::T0,
+            offset: 0
+        }));
+    }
+}

@@ -1,0 +1,230 @@
+//! TMA result types.
+
+use std::fmt;
+
+/// The four top-level TMA classes. Values are slot fractions in `[0, 1]`
+/// that sum to 1.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct TopLevel {
+    pub retiring: f64,
+    pub bad_speculation: f64,
+    pub frontend: f64,
+    pub backend: f64,
+}
+
+impl TopLevel {
+    /// Sum of the four classes (1.0 up to floating-point error).
+    pub fn total(&self) -> f64 {
+        self.retiring + self.bad_speculation + self.frontend + self.backend
+    }
+
+    /// The dominant class and its fraction.
+    pub fn dominant(&self) -> (&'static str, f64) {
+        let classes = [
+            ("retiring", self.retiring),
+            ("bad-speculation", self.bad_speculation),
+            ("frontend", self.frontend),
+            ("backend", self.backend),
+        ];
+        classes
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+    }
+}
+
+/// Second-level breakdown of Bad Speculation.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct BadSpecLevel {
+    /// Slots lost to machine clears (memory-ordering and other
+    /// backend-originated flushes).
+    pub machine_clears: f64,
+    /// Slots lost to branch mispredictions (resteers + recovery bubbles).
+    pub branch_mispredicts: f64,
+    /// Third level: flushed µops attributed to branches.
+    pub resteers: f64,
+    /// Third level: front-end recovery bubbles.
+    pub recovery_bubbles: f64,
+}
+
+/// Second-level breakdown of Frontend Bound.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct FrontendLevel {
+    /// Slots lost while an I-cache refill starved the fetch buffer.
+    pub fetch_latency: f64,
+    /// The remaining front-end loss (unresolved PCs, resteers).
+    pub pc_resteers: f64,
+}
+
+/// Second-level breakdown of Backend Bound.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct BackendLevel {
+    /// Slots where µops waited on outstanding cache misses.
+    pub mem_bound: f64,
+    /// The remaining back-end loss (execution and data hazards).
+    pub core_bound: f64,
+}
+
+/// A full TMA classification: top level plus the second-level drill-downs
+/// of Fig. 5.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct TmaBreakdown {
+    pub top: TopLevel,
+    pub bad_spec: BadSpecLevel,
+    pub frontend: FrontendLevel,
+    pub backend: BackendLevel,
+}
+
+impl TmaBreakdown {
+    /// Checks internal consistency: the top level sums to 1 and each
+    /// drill-down sums to (approximately) its parent.
+    ///
+    /// `tolerance` absorbs the model's documented overestimation of
+    /// branch-mispredict slots (§IV-A).
+    pub fn is_consistent(&self, tolerance: f64) -> bool {
+        let top_ok = (self.top.total() - 1.0).abs() < 1e-9;
+        let fe_ok = (self.frontend.fetch_latency + self.frontend.pc_resteers
+            - self.top.frontend)
+            .abs()
+            < tolerance;
+        let be_ok = (self.backend.mem_bound + self.backend.core_bound - self.top.backend).abs()
+            < tolerance;
+        let bs_ok = (self.bad_spec.machine_clears + self.bad_spec.branch_mispredicts
+            - self.top.bad_speculation)
+            .abs()
+            < tolerance;
+        top_ok && fe_ok && be_ok && bs_ok
+    }
+}
+
+impl TmaBreakdown {
+    /// The hierarchy flattened to `(depth, class name, slot fraction)`
+    /// rows in Fig. 5 order — what a drill-down UI renders.
+    pub fn tree(&self) -> Vec<(usize, &'static str, f64)> {
+        vec![
+            (0, "Retiring", self.top.retiring),
+            (0, "Bad Speculation", self.top.bad_speculation),
+            (1, "Machine Clears", self.bad_spec.machine_clears),
+            (1, "Branch Mispredicts", self.bad_spec.branch_mispredicts),
+            (2, "Resteers", self.bad_spec.resteers),
+            (2, "Recovery Bubbles", self.bad_spec.recovery_bubbles),
+            (0, "Frontend Bound", self.top.frontend),
+            (1, "Fetch Latency", self.frontend.fetch_latency),
+            (1, "PC Resteers", self.frontend.pc_resteers),
+            (0, "Backend Bound", self.top.backend),
+            (1, "Mem Bound", self.backend.mem_bound),
+            (1, "Core Bound", self.backend.core_bound),
+        ]
+    }
+}
+
+impl fmt::Display for TmaBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "retiring {:6.2}% | bad-spec {:6.2}% | frontend {:6.2}% | backend {:6.2}%",
+            100.0 * self.top.retiring,
+            100.0 * self.top.bad_speculation,
+            100.0 * self.top.frontend,
+            100.0 * self.top.backend,
+        )?;
+        writeln!(
+            f,
+            "  bad-spec:  machine-clears {:5.2}%  branch-mispredicts {:5.2}%  (resteers {:5.2}%, recovery {:5.2}%)",
+            100.0 * self.bad_spec.machine_clears,
+            100.0 * self.bad_spec.branch_mispredicts,
+            100.0 * self.bad_spec.resteers,
+            100.0 * self.bad_spec.recovery_bubbles,
+        )?;
+        writeln!(
+            f,
+            "  frontend:  fetch-latency {:5.2}%  pc-resteers {:5.2}%",
+            100.0 * self.frontend.fetch_latency,
+            100.0 * self.frontend.pc_resteers,
+        )?;
+        write!(
+            f,
+            "  backend:   mem-bound {:5.2}%  core-bound {:5.2}%",
+            100.0 * self.backend.mem_bound,
+            100.0 * self.backend.core_bound,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_picks_largest() {
+        let top = TopLevel {
+            retiring: 0.2,
+            bad_speculation: 0.1,
+            frontend: 0.05,
+            backend: 0.65,
+        };
+        assert_eq!(top.dominant(), ("backend", 0.65));
+        assert!((top.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let b = TmaBreakdown::default();
+        let s = b.to_string();
+        assert!(s.contains("retiring"));
+        assert!(s.contains("mem-bound"));
+    }
+
+    #[test]
+    fn tree_rows_follow_fig5() {
+        let b = TmaBreakdown {
+            top: TopLevel {
+                retiring: 0.5,
+                bad_speculation: 0.2,
+                frontend: 0.1,
+                backend: 0.2,
+            },
+            ..TmaBreakdown::default()
+        };
+        let tree = b.tree();
+        assert_eq!(tree[0], (0, "Retiring", 0.5));
+        assert_eq!(tree.len(), 12);
+        // Top-level rows sum to 1.
+        let top_sum: f64 = tree
+            .iter()
+            .filter(|(d, _, _)| *d == 0)
+            .map(|(_, _, v)| v)
+            .sum();
+        assert!((top_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let b = TmaBreakdown {
+            top: TopLevel {
+                retiring: 0.5,
+                bad_speculation: 0.2,
+                frontend: 0.1,
+                backend: 0.2,
+            },
+            bad_spec: BadSpecLevel {
+                machine_clears: 0.05,
+                branch_mispredicts: 0.15,
+                resteers: 0.1,
+                recovery_bubbles: 0.05,
+            },
+            frontend: FrontendLevel {
+                fetch_latency: 0.04,
+                pc_resteers: 0.06,
+            },
+            backend: BackendLevel {
+                mem_bound: 0.12,
+                core_bound: 0.08,
+            },
+        };
+        assert!(b.is_consistent(1e-9));
+        let mut broken = b;
+        broken.backend.mem_bound = 0.5;
+        assert!(!broken.is_consistent(1e-3));
+    }
+}

@@ -1,0 +1,57 @@
+//! # icicle-tma
+//!
+//! The Top-Down Microarchitectural Analysis model of Table II.
+//!
+//! TMA's unit of account is the *slot*: one cycle of one pipeline lane,
+//! `M_total = cycles × W_C` in all. Every slot is classified into the
+//! hierarchy of Fig. 5:
+//!
+//! ```text
+//! Retiring                          useful work (µops retired)
+//! Bad Speculation                   flushed µops + recovery bubbles
+//! ├─ Machine Clears
+//! └─ Branch Mispredicts
+//!    ├─ Resteers                    flushed µops attributed to branches
+//!    └─ Recovery Bubbles            front-end recovery after a flush
+//! Frontend Bound                    fetch bubbles
+//! ├─ Fetch Latency                  I$-blocked slots
+//! └─ PC Resteers                    the rest of the front-end loss
+//! Backend Bound                     1 − everything above
+//! ├─ Mem Bound                      D$-blocked slots
+//! └─ Core Bound                     the rest of the back-end loss
+//! ```
+//!
+//! [`TmaModel::analyze`] evaluates the formulas against raw counter values
+//! in a [`TmaInput`] (taken from perfect [`EventCounts`] accumulators or
+//! from PMU reads). The Rocket and BOOM variants differ only in widths and
+//! the recovery-length constant `M_rl` (§V-B measures it as 4 on BOOM).
+//!
+//! ```
+//! use icicle_tma::{TmaInput, TmaModel};
+//!
+//! let model = TmaModel::boom(3); // LargeBoom: W_C = 3
+//! let input = TmaInput {
+//!     cycles: 1000,
+//!     uops_issued: 2400,
+//!     uops_retired: 2200,
+//!     fetch_bubbles: 300,
+//!     recovering: 40,
+//!     branch_mispredicts: 10,
+//!     machine_flushes: 2,
+//!     fences_retired: 0,
+//!     icache_blocked: 50,
+//!     dcache_blocked: 120,
+//! };
+//! let tma = model.analyze(&input);
+//! assert!((tma.top.total() - 1.0).abs() < 1e-9);
+//! ```
+//!
+//! [`EventCounts`]: icicle_events::EventCounts
+
+mod breakdown;
+mod model;
+mod tlb;
+
+pub use breakdown::{BackendLevel, BadSpecLevel, FrontendLevel, TmaBreakdown, TopLevel};
+pub use model::{TmaInput, TmaModel};
+pub use tlb::{TlbCosts, TlbInput, TlbLevel};

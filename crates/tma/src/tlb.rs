@@ -1,0 +1,165 @@
+//! TLB-aware third-level TMA — the extension §IV-A's *Limitations*
+//! paragraph defers to future work.
+//!
+//! The paper's model stops at the second level and explicitly does "not
+//! yet consider the impact of TLB behavior". The TLB events already
+//! exist on both cores (`ITLB-miss`, `DTLB-miss`, `L2-TLB-miss`,
+//! Table I), so this module drills one level further:
+//!
+//! * **Fetch Latency** splits into *I-cache bound* and *ITLB bound*;
+//! * **Mem Bound** splits into *D-cache bound* and *DTLB bound*.
+//!
+//! Without per-miss latency attribution (which would violate DP 2), the
+//! split uses the same fixed-cost style as the recovery-length constant
+//! `M_rl`: each first-level TLB miss is charged the L2-TLB latency and
+//! each second-level miss the page-walk latency, clamped so a child
+//! never exceeds its parent class.
+
+use crate::breakdown::TmaBreakdown;
+
+/// Fixed per-miss costs used to attribute slots to TLB behaviour.
+///
+/// Defaults match `icicle_mem::HierarchyConfig::default()` (8-cycle
+/// shared-TLB hit, 60-cycle walk).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TlbCosts {
+    /// Cycles charged per first-level TLB miss that hits the shared TLB.
+    pub l2_tlb_latency: u64,
+    /// Cycles charged per shared-TLB miss (a page walk).
+    pub walk_latency: u64,
+}
+
+impl Default for TlbCosts {
+    fn default() -> TlbCosts {
+        TlbCosts {
+            l2_tlb_latency: 8,
+            walk_latency: 60,
+        }
+    }
+}
+
+/// TLB miss counts feeding the third-level split.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct TlbInput {
+    /// `ITLB-miss` count.
+    pub itlb_misses: u64,
+    /// `DTLB-miss` count.
+    pub dtlb_misses: u64,
+    /// `L2-TLB-miss` count (shared between both sides; attributed
+    /// proportionally to the first-level miss counts).
+    pub l2_tlb_misses: u64,
+}
+
+/// The third-level classes this extension adds (slot fractions).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct TlbLevel {
+    /// Fetch-latency slots attributable to ITLB misses.
+    pub itlb_bound: f64,
+    /// Fetch-latency slots attributable to the I-cache itself.
+    pub icache_bound: f64,
+    /// Mem-bound slots attributable to DTLB misses.
+    pub dtlb_bound: f64,
+    /// Mem-bound slots attributable to the D-cache itself.
+    pub dcache_bound: f64,
+}
+
+impl TlbLevel {
+    /// Drills the second-level classes of `tma` down using TLB miss
+    /// counts.
+    ///
+    /// `cycles` and `commit_width` must match the run that produced
+    /// `tma`.
+    pub fn analyze(
+        tma: &TmaBreakdown,
+        input: &TlbInput,
+        costs: &TlbCosts,
+        cycles: u64,
+        commit_width: usize,
+    ) -> TlbLevel {
+        let m_total = (cycles as f64 * commit_width as f64).max(1.0);
+        // Split the shared-TLB misses between the two sides by their
+        // first-level miss counts.
+        let first_level_total = (input.itlb_misses + input.dtlb_misses).max(1);
+        let i_share = input.itlb_misses as f64 / first_level_total as f64;
+        let walk = costs.walk_latency as f64 * input.l2_tlb_misses as f64;
+        let itlb_cycles =
+            costs.l2_tlb_latency as f64 * input.itlb_misses as f64 + walk * i_share;
+        let dtlb_cycles =
+            costs.l2_tlb_latency as f64 * input.dtlb_misses as f64 + walk * (1.0 - i_share);
+
+        let itlb_bound =
+            (itlb_cycles * commit_width as f64 / m_total).min(tma.frontend.fetch_latency);
+        let dtlb_bound = (dtlb_cycles * commit_width as f64 / m_total).min(tma.backend.mem_bound);
+        TlbLevel {
+            itlb_bound,
+            icache_bound: (tma.frontend.fetch_latency - itlb_bound).max(0.0),
+            dtlb_bound,
+            dcache_bound: (tma.backend.mem_bound - dtlb_bound).max(0.0),
+        }
+    }
+
+    /// Whether the split is internally consistent with its parents.
+    pub fn is_consistent(&self, tma: &TmaBreakdown, tolerance: f64) -> bool {
+        (self.itlb_bound + self.icache_bound - tma.frontend.fetch_latency).abs() < tolerance
+            && (self.dtlb_bound + self.dcache_bound - tma.backend.mem_bound).abs() < tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TmaInput, TmaModel};
+
+    fn base_breakdown() -> TmaBreakdown {
+        TmaModel::boom(3).analyze(&TmaInput {
+            cycles: 10_000,
+            uops_issued: 12_000,
+            uops_retired: 12_000,
+            fetch_bubbles: 6_000,
+            icache_blocked: 1_500, // 4500 slots of fetch latency
+            dcache_blocked: 9_000,
+            ..TmaInput::default()
+        })
+    }
+
+    #[test]
+    fn no_tlb_misses_attributes_everything_to_caches() {
+        let tma = base_breakdown();
+        let level = TlbLevel::analyze(&tma, &TlbInput::default(), &TlbCosts::default(), 10_000, 3);
+        assert_eq!(level.itlb_bound, 0.0);
+        assert_eq!(level.dtlb_bound, 0.0);
+        assert!((level.icache_bound - tma.frontend.fetch_latency).abs() < 1e-12);
+        assert!((level.dcache_bound - tma.backend.mem_bound).abs() < 1e-12);
+        assert!(level.is_consistent(&tma, 1e-9));
+    }
+
+    #[test]
+    fn tlb_misses_shift_the_split() {
+        let tma = base_breakdown();
+        let input = TlbInput {
+            itlb_misses: 50,
+            dtlb_misses: 150,
+            l2_tlb_misses: 40,
+        };
+        let level = TlbLevel::analyze(&tma, &input, &TlbCosts::default(), 10_000, 3);
+        assert!(level.itlb_bound > 0.0);
+        assert!(level.dtlb_bound > level.itlb_bound, "D side saw 3x the misses");
+        assert!(level.is_consistent(&tma, 1e-9));
+    }
+
+    #[test]
+    fn children_never_exceed_parents() {
+        let tma = base_breakdown();
+        // Absurdly many misses: clamped to the parent class.
+        let input = TlbInput {
+            itlb_misses: 1_000_000,
+            dtlb_misses: 1_000_000,
+            l2_tlb_misses: 1_000_000,
+        };
+        let level = TlbLevel::analyze(&tma, &input, &TlbCosts::default(), 10_000, 3);
+        assert!((level.itlb_bound - tma.frontend.fetch_latency).abs() < 1e-12);
+        assert!(level.icache_bound.abs() < 1e-12);
+        assert!((level.dtlb_bound - tma.backend.mem_bound).abs() < 1e-12);
+        assert!(level.is_consistent(&tma, 1e-9));
+    }
+}

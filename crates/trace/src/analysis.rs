@@ -1,0 +1,303 @@
+//! Temporal TMA: trace-based classification and overlap bounds (§V-B).
+
+use icicle_events::EventId;
+
+use crate::trace::{Trace, TraceChannel};
+
+/// The class a single traced cycle falls into under temporal TMA.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TemporalClass {
+    /// The front-end was recovering from a flush.
+    Recovering,
+    /// Fetch bubbles with no recovery in progress.
+    FetchBubble,
+    /// None of the traced pathologies asserted.
+    Busy,
+}
+
+/// Per-cycle temporal TMA over a trace (the "temporal TMA model" the trace
+/// analyzer applies to raw trace data, §IV-C).
+#[derive(Clone, Debug)]
+pub struct TemporalTma {
+    bubbles_bit: usize,
+    recovering_bit: usize,
+}
+
+/// Summary of a temporal TMA pass.
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct TemporalReport {
+    /// Total traced cycles.
+    pub cycles: u64,
+    /// Cycles classified [`TemporalClass::Recovering`].
+    pub recovering_cycles: u64,
+    /// Cycles classified [`TemporalClass::FetchBubble`].
+    pub fetch_bubble_cycles: u64,
+}
+
+impl TemporalTma {
+    /// Builds the classifier against a trace that contains scalar
+    /// `Fetch-bubbles` and `Recovering` channels.
+    ///
+    /// Returns `None` if the trace lacks either channel.
+    pub fn for_trace(trace: &Trace) -> Option<TemporalTma> {
+        Some(TemporalTma {
+            bubbles_bit: trace
+                .config()
+                .index_of(TraceChannel::scalar(EventId::FetchBubbles))?,
+            recovering_bit: trace
+                .config()
+                .index_of(TraceChannel::scalar(EventId::Recovering))?,
+        })
+    }
+
+    /// Classifies one cycle.
+    pub fn classify(&self, trace: &Trace, cycle: u64) -> TemporalClass {
+        if trace.is_high(self.recovering_bit, cycle) {
+            TemporalClass::Recovering
+        } else if trace.is_high(self.bubbles_bit, cycle) {
+            TemporalClass::FetchBubble
+        } else {
+            TemporalClass::Busy
+        }
+    }
+
+    /// Classifies the whole (retained) trace.
+    pub fn analyze(&self, trace: &Trace) -> TemporalReport {
+        let mut report = TemporalReport {
+            cycles: trace.len() as u64,
+            ..TemporalReport::default()
+        };
+        for cycle in trace.first_cycle()..trace.end_cycle() {
+            match self.classify(trace, cycle) {
+                TemporalClass::Recovering => report.recovering_cycles += 1,
+                TemporalClass::FetchBubble => report.fetch_bubble_cycles += 1,
+                TemporalClass::Busy => {}
+            }
+        }
+        report
+    }
+}
+
+/// The Table VI rolling-window overlap bound.
+///
+/// Frontend (I-cache) stalls and Bad Speculation (recovery) can mask each
+/// other; the trace cannot prove which class owns a fetch bubble that sits
+/// near both. The analysis pads every I-cache-miss cycle and every
+/// recovery window by `pad` cycles (the paper uses 50), intersects the two
+/// padded sets, and counts the fetch bubbles inside the intersection —
+/// every such slot *could* belong to either class, giving an upper bound
+/// on the misclassification.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct OverlapAnalysis {
+    /// Padding radius in cycles around each signal.
+    pub pad: u64,
+}
+
+impl Default for OverlapAnalysis {
+    fn default() -> OverlapAnalysis {
+        OverlapAnalysis { pad: 50 }
+    }
+}
+
+/// Result of an overlap pass (the quantities of Table VI).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct OverlapReport {
+    /// Total traced cycles.
+    pub cycles: u64,
+    /// Fetch-bubble cycles inside the padded intersection: the ambiguous
+    /// slots.
+    pub overlap_cycles: u64,
+    /// All fetch-bubble cycles (the Frontend numerator).
+    pub frontend_cycles: u64,
+    /// All recovering cycles (the Bad Speculation numerator).
+    pub recovering_cycles: u64,
+}
+
+impl OverlapReport {
+    /// Ambiguous slots as a fraction of all cycles (Table VI's "Overlap"
+    /// row).
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.overlap_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Worst-case perturbation of the Frontend class if every ambiguous
+    /// slot moved into it (the "± x%" of Table VI).
+    pub fn frontend_perturbation(&self) -> f64 {
+        if self.frontend_cycles == 0 {
+            0.0
+        } else {
+            self.overlap_cycles as f64 / self.frontend_cycles as f64
+        }
+    }
+
+    /// Worst-case perturbation of the Bad Speculation class.
+    pub fn bad_spec_perturbation(&self) -> f64 {
+        if self.recovering_cycles == 0 {
+            0.0
+        } else {
+            self.overlap_cycles as f64 / self.recovering_cycles as f64
+        }
+    }
+}
+
+impl OverlapAnalysis {
+    /// Runs the analysis against a trace containing scalar `I$-miss`,
+    /// `Recovering`, and `Fetch-bubbles` channels.
+    ///
+    /// Returns `None` if the trace lacks any of the three channels.
+    pub fn analyze(&self, trace: &Trace) -> Option<OverlapReport> {
+        let miss_bit = trace
+            .config()
+            .index_of(TraceChannel::scalar(EventId::ICacheMiss))?;
+        let rec_bit = trace
+            .config()
+            .index_of(TraceChannel::scalar(EventId::Recovering))?;
+        let bub_bit = trace
+            .config()
+            .index_of(TraceChannel::scalar(EventId::FetchBubbles))?;
+
+        let n = trace.len();
+        let base = trace.first_cycle();
+        let mut in_miss = vec![false; n];
+        let mut in_rec = vec![false; n];
+        let pad = self.pad as usize;
+        for cycle in 0..n {
+            if trace.is_high(miss_bit, base + cycle as u64) {
+                mark(&mut in_miss, cycle, pad);
+            }
+            if trace.is_high(rec_bit, base + cycle as u64) {
+                mark(&mut in_rec, cycle, pad);
+            }
+        }
+
+        let mut report = OverlapReport {
+            cycles: n as u64,
+            ..OverlapReport::default()
+        };
+        for cycle in 0..n {
+            let bubble = trace.is_high(bub_bit, base + cycle as u64);
+            let recovering = trace.is_high(rec_bit, base + cycle as u64);
+            if bubble {
+                report.frontend_cycles += 1;
+            }
+            if recovering {
+                report.recovering_cycles += 1;
+            }
+            if (bubble || recovering) && in_miss[cycle] && in_rec[cycle] {
+                report.overlap_cycles += 1;
+            }
+        }
+        Some(report)
+    }
+}
+
+fn mark(flags: &mut [bool], center: usize, pad: usize) {
+    let lo = center.saturating_sub(pad);
+    let hi = (center + pad + 1).min(flags.len());
+    for f in &mut flags[lo..hi] {
+        *f = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+    use icicle_events::EventVector;
+
+    fn trace_with(
+        miss: &[u64],
+        recovering: &[(u64, u64)],
+        bubbles: &[(u64, u64)],
+        len: u64,
+    ) -> Trace {
+        let cfg = TraceConfig::new(vec![
+            TraceChannel::scalar(EventId::ICacheMiss),
+            TraceChannel::scalar(EventId::Recovering),
+            TraceChannel::scalar(EventId::FetchBubbles),
+        ])
+        .unwrap();
+        let mut t = Trace::new(cfg);
+        for cycle in 0..len {
+            let mut v = EventVector::new();
+            if miss.contains(&cycle) {
+                v.raise(EventId::ICacheMiss);
+            }
+            if recovering.iter().any(|&(s, l)| cycle >= s && cycle < s + l) {
+                v.raise(EventId::Recovering);
+            }
+            if bubbles.iter().any(|&(s, l)| cycle >= s && cycle < s + l) {
+                v.raise(EventId::FetchBubbles);
+            }
+            t.record(&v);
+        }
+        t
+    }
+
+    #[test]
+    fn disjoint_miss_and_recovery_do_not_overlap() {
+        // Miss at cycle 100, recovery at cycle 500: far beyond the pad.
+        let t = trace_with(&[100], &[(500, 4)], &[(101, 20), (504, 3)], 1000);
+        let r = OverlapAnalysis::default().analyze(&t).unwrap();
+        assert_eq!(r.overlap_cycles, 0);
+        assert_eq!(r.frontend_cycles, 23);
+        assert_eq!(r.recovering_cycles, 4);
+        assert_eq!(r.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn nearby_miss_and_recovery_bound_the_bubbles() {
+        // Fig. 8a's shape: an I-cache miss at 100 whose refill window
+        // overlaps a branch recovery at 120.
+        let t = trace_with(&[100], &[(120, 6)], &[(101, 30)], 400);
+        let r = OverlapAnalysis::default().analyze(&t).unwrap();
+        // Bubbles at 101..131 lie within pad of both signals, plus the
+        // recovery cycles themselves.
+        assert!(r.overlap_cycles >= 30, "overlap {}", r.overlap_cycles);
+        assert!(r.frontend_perturbation() > 0.9);
+    }
+
+    #[test]
+    fn pad_widens_the_bound() {
+        let t = trace_with(&[100], &[(190, 4)], &[(101, 120)], 400);
+        let narrow = OverlapAnalysis { pad: 10 }.analyze(&t).unwrap();
+        let wide = OverlapAnalysis { pad: 80 }.analyze(&t).unwrap();
+        assert!(wide.overlap_cycles > narrow.overlap_cycles);
+    }
+
+    #[test]
+    fn temporal_tma_counts_classes() {
+        let t = trace_with(&[], &[(10, 5)], &[(20, 3)], 40);
+        let tma = TemporalTma::for_trace(&t).unwrap();
+        let report = tma.analyze(&t);
+        assert_eq!(report.cycles, 40);
+        assert_eq!(report.recovering_cycles, 5);
+        assert_eq!(report.fetch_bubble_cycles, 3);
+        assert_eq!(tma.classify(&t, 11), TemporalClass::Recovering);
+        assert_eq!(tma.classify(&t, 21), TemporalClass::FetchBubble);
+        assert_eq!(tma.classify(&t, 0), TemporalClass::Busy);
+    }
+
+    #[test]
+    fn recovery_takes_priority_over_bubbles() {
+        // Overlapping signals: recovery wins (bubbles during recovery are
+        // suppressed by cores, but the classifier must be robust anyway).
+        let t = trace_with(&[], &[(10, 5)], &[(10, 5)], 20);
+        let tma = TemporalTma::for_trace(&t).unwrap();
+        let report = tma.analyze(&t);
+        assert_eq!(report.recovering_cycles, 5);
+        assert_eq!(report.fetch_bubble_cycles, 0);
+    }
+
+    #[test]
+    fn missing_channels_yield_none() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Cycles)]).unwrap();
+        let t = Trace::new(cfg);
+        assert!(TemporalTma::for_trace(&t).is_none());
+        assert!(OverlapAnalysis::default().analyze(&t).is_none());
+    }
+}

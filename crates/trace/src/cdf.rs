@@ -1,0 +1,130 @@
+//! Empirical CDFs over run lengths (Fig. 8b).
+
+/// An empirical cumulative distribution over integer samples.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cdf {
+    sorted: Vec<u64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (need not be sorted).
+    pub fn new(mut samples: Vec<u64>) -> Cdf {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `value` (0.0 for an empty CDF).
+    pub fn fraction_at(&self, value: u64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&s| s <= value);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), or `None` for an empty CDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        Some(self.sorted[idx])
+    }
+
+    /// The most common value, or `None` for an empty CDF.
+    pub fn mode(&self) -> Option<u64> {
+        let mut best: Option<(u64, usize)> = None;
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            let j = self.sorted.partition_point(|&s| s <= v);
+            let count = j - i;
+            if best.map(|(_, c)| count > c).unwrap_or(true) {
+                best = Some((v, count));
+            }
+            i = j;
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.sorted.last().copied()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.sorted.first().copied()
+    }
+
+    /// Iterates `(value, cumulative fraction)` pairs at each distinct
+    /// value — the series a CDF plot draws.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            let j = self.sorted.partition_point(|&s| s <= v);
+            out.push((v, j as f64 / self.sorted.len() as f64));
+            i = j;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let cdf = Cdf::new(vec![4, 4, 4, 4, 4, 4, 4, 4, 30, 35]);
+        assert!((cdf.fraction_at(4) - 0.8).abs() < 1e-12);
+        assert!((cdf.fraction_at(3) - 0.0).abs() < 1e-12);
+        assert!((cdf.fraction_at(35) - 1.0).abs() < 1e-12);
+        assert_eq!(cdf.quantile(0.5), Some(4));
+        assert_eq!(cdf.quantile(1.0), Some(35));
+        assert_eq!(cdf.mode(), Some(4));
+        assert_eq!(cdf.max(), Some(35));
+        assert_eq!(cdf.min(), Some(4));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.quantile(0.5), None);
+        assert_eq!(cdf.mode(), None);
+        assert_eq!(cdf.fraction_at(10), 0.0);
+    }
+
+    #[test]
+    fn points_are_monotonic() {
+        let cdf = Cdf::new(vec![1, 2, 2, 3, 3, 3]);
+        let pts = cdf.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts.windows(2).all(|w| w[0].1 < w[1].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_rejects_bad_q() {
+        let _ = Cdf::new(vec![1]).quantile(1.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Trace export: CSV for the paper-style analysis scripts and VCD for
+//! waveform viewers.
+//!
+//! The paper's trace analyzer consumes raw binary streamed over PCIe and
+//! post-processes it offline; these exporters give the same trace two
+//! standard offline formats — comma-separated values (one row per cycle)
+//! and IEEE 1364 value-change dump (viewable in GTKWave).
+
+use std::io::{self, Write};
+
+use crate::trace::Trace;
+
+impl Trace {
+    /// Writes the trace as CSV: a `cycle` column followed by one 0/1
+    /// column per channel (named after the channel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
+        write!(out, "cycle")?;
+        for ch in self.config().channels() {
+            write!(out, ",{ch}")?;
+        }
+        writeln!(out)?;
+        for cycle in self.first_cycle()..self.end_cycle() {
+            write!(out, "{cycle}")?;
+            for bit in 0..self.config().channels().len() {
+                write!(out, ",{}", u8::from(self.is_high(bit, cycle)))?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+
+    /// Writes the trace as a value-change dump with a 1 ns timescale
+    /// (one cycle per nanosecond).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_vcd<W: Write>(&self, mut out: W) -> io::Result<()> {
+        writeln!(out, "$timescale 1ns $end")?;
+        writeln!(out, "$scope module icicle $end")?;
+        // VCD identifiers: printable ASCII starting at '!'.
+        let ident = |bit: usize| char::from(b'!' + bit as u8);
+        for (bit, ch) in self.config().channels().iter().enumerate() {
+            let name = ch
+                .to_string()
+                .replace(['$', ' '], "_")
+                .replace(['[', ']'], "_");
+            writeln!(out, "$var wire 1 {} {} $end", ident(bit), name)?;
+        }
+        writeln!(out, "$upscope $end")?;
+        writeln!(out, "$enddefinitions $end")?;
+        let channels = self.config().channels().len();
+        let mut last = vec![false; channels];
+        writeln!(out, "#{}", self.first_cycle())?;
+        for bit in 0..channels {
+            writeln!(out, "0{}", ident(bit))?;
+        }
+        for cycle in self.first_cycle()..self.end_cycle() {
+            let mut stamped = false;
+            for (bit, prev) in last.iter_mut().enumerate() {
+                let now = self.is_high(bit, cycle);
+                if now != *prev {
+                    if !stamped {
+                        writeln!(out, "#{}", cycle + 1)?;
+                        stamped = true;
+                    }
+                    writeln!(out, "{}{}", u8::from(now), ident(bit))?;
+                    *prev = now;
+                }
+            }
+        }
+        writeln!(out, "#{}", self.end_cycle() + 1)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::trace::{Trace, TraceChannel, TraceConfig};
+    use icicle_events::{EventId, EventVector};
+
+    fn sample_trace() -> Trace {
+        let cfg = TraceConfig::new(vec![
+            TraceChannel::scalar(EventId::ICacheMiss),
+            TraceChannel::lane(EventId::FetchBubbles, 1),
+        ])
+        .unwrap();
+        let mut t = Trace::new(cfg);
+        for cycle in 0..4 {
+            let mut v = EventVector::new();
+            if cycle == 1 {
+                v.raise(EventId::ICacheMiss);
+            }
+            if cycle >= 2 {
+                v.raise_lane(EventId::FetchBubbles, 1);
+            }
+            t.record(&v);
+        }
+        t
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let mut buf = Vec::new();
+        sample_trace().write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "cycle,I$-miss,Fetch-bubbles[1]");
+        assert_eq!(lines[1], "0,0,0");
+        assert_eq!(lines[2], "1,1,0");
+        assert_eq!(lines[3], "2,0,1");
+        assert_eq!(lines[4], "3,0,1");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn vcd_contains_declarations_and_changes() {
+        let mut buf = Vec::new();
+        sample_trace().write_vcd(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$timescale 1ns $end"));
+        assert!(text.contains("$var wire 1 ! I_-miss $end"));
+        assert!(text.contains("$enddefinitions $end"));
+        // Rising edge of the miss at cycle 1 → timestamp #2.
+        assert!(text.contains("#2\n1!"), "missing rise:\n{text}");
+        // Falling edge at cycle 2 → timestamp #3 (plus the bubble rise).
+        assert!(text.contains("#3\n0!"), "missing fall:\n{text}");
+    }
+
+    #[test]
+    fn vcd_changes_only_on_edges() {
+        let mut buf = Vec::new();
+        sample_trace().write_vcd(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // The bubble signal rises once and never falls: exactly one
+        // change line for ident '"'.
+        let changes = text
+            .lines()
+            .filter(|l| l.ends_with('"') && (l.starts_with('0') || l.starts_with('1')))
+            .count();
+        assert_eq!(changes, 2, "initial value + one rise:\n{text}");
+    }
+}

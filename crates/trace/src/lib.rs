@@ -1,0 +1,49 @@
+//! # icicle-trace
+//!
+//! Icicle's out-of-band microarchitectural tracing (§IV-C) and the
+//! temporal-TMA analyses built on it (§V-B).
+//!
+//! The paper extends FireSim's TracerV bridge to stream hand-picked
+//! per-cycle event *signals* — not instruction data — over PCIe; a trace
+//! analyzer with a matching bit-to-signal type definition interprets the
+//! raw binary. This crate reproduces that stack in-process:
+//!
+//! * [`TraceConfig`] — the "TraceBundle": an ordered list of
+//!   [`TraceChannel`]s (an event, optionally a single lane), at most 64,
+//!   each mapped to one bit;
+//! * [`Trace`] — one 64-bit word per simulated cycle, recorded from the
+//!   core's [`EventVector`] every cycle;
+//! * analyses: contiguous signal [`windows`](Trace::windows),
+//!   [run-length CDFs](Cdf) (Fig. 8b's recovery-length study), the
+//!   [`OverlapAnalysis`] rolling-window bound on class overlap (Table VI),
+//!   and a cycle-by-cycle [`TemporalTma`] classification.
+//!
+//! ```
+//! use icicle_events::{EventId, EventVector};
+//! use icicle_trace::{Trace, TraceChannel, TraceConfig};
+//!
+//! let config = TraceConfig::new(vec![
+//!     TraceChannel::scalar(EventId::ICacheMiss),
+//!     TraceChannel::scalar(EventId::Recovering),
+//! ]).unwrap();
+//! let mut trace = Trace::new(config);
+//!
+//! let mut v = EventVector::new();
+//! v.raise(EventId::ICacheMiss);
+//! trace.record(&v);
+//! assert!(trace.is_high(0, 0));
+//! assert!(!trace.is_high(1, 0));
+//! ```
+//!
+//! [`EventVector`]: icicle_events::EventVector
+
+mod analysis;
+mod cdf;
+mod export;
+mod slots;
+mod trace;
+
+pub use analysis::{OverlapAnalysis, OverlapReport, TemporalClass, TemporalTma, TemporalReport};
+pub use cdf::Cdf;
+pub use slots::{SlotReport, SlotTemporalTma};
+pub use trace::{Trace, TraceChannel, TraceConfig, TraceError, Window};

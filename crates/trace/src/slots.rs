@@ -1,0 +1,211 @@
+//! Slot-granular temporal TMA — the "expand the temporal TMA model"
+//! item of the paper's future work (§VII).
+//!
+//! [`TemporalTma`](crate::TemporalTma) classifies whole *cycles*; this
+//! module classifies every *slot* (cycle × commit lane) using per-lane
+//! trace channels, yielding a full four-class breakdown computable
+//! purely from a trace — an independent cross-check of the counter-based
+//! Table II model:
+//!
+//! * a lane that retires a µop that cycle → **Retiring**;
+//! * otherwise, if the core is recovering → **Bad Speculation**;
+//! * otherwise, if the lane's fetch-bubble wire is high → **Frontend**;
+//! * otherwise → **Backend** (the lane had a µop available but the
+//!   backend did not complete one).
+
+use icicle_events::EventId;
+
+use crate::trace::{Trace, TraceChannel};
+
+/// Slot totals per class.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct SlotReport {
+    /// Total slots observed (`cycles × width`).
+    pub slots: u64,
+    pub retiring: u64,
+    pub bad_speculation: u64,
+    pub frontend: u64,
+    pub backend: u64,
+}
+
+impl SlotReport {
+    /// Fraction helpers (0.0 on an empty report).
+    pub fn retiring_fraction(&self) -> f64 {
+        self.fraction(self.retiring)
+    }
+    pub fn bad_speculation_fraction(&self) -> f64 {
+        self.fraction(self.bad_speculation)
+    }
+    pub fn frontend_fraction(&self) -> f64 {
+        self.fraction(self.frontend)
+    }
+    pub fn backend_fraction(&self) -> f64 {
+        self.fraction(self.backend)
+    }
+
+    fn fraction(&self, n: u64) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            n as f64 / self.slots as f64
+        }
+    }
+}
+
+/// The slot-granular classifier.
+#[derive(Clone, Debug)]
+pub struct SlotTemporalTma {
+    retired_bits: Vec<usize>,
+    bubble_bits: Vec<usize>,
+    recovering_bit: usize,
+}
+
+impl SlotTemporalTma {
+    /// The trace channels this analysis requires for a `width`-wide core:
+    /// per-lane `Uops-retired` and `Fetch-bubbles` wires plus the scalar
+    /// `Recovering` signal. Pass the result to
+    /// [`TraceConfig::new`](crate::TraceConfig::new).
+    pub fn required_channels(width: usize) -> Vec<TraceChannel> {
+        let mut channels = Vec::with_capacity(2 * width + 1);
+        for lane in 0..width {
+            channels.push(TraceChannel::lane(EventId::UopsRetired, lane));
+        }
+        for lane in 0..width {
+            channels.push(TraceChannel::lane(EventId::FetchBubbles, lane));
+        }
+        channels.push(TraceChannel::scalar(EventId::Recovering));
+        channels
+    }
+
+    /// Binds the classifier to a trace containing
+    /// [`required_channels`](Self::required_channels) for `width` lanes.
+    ///
+    /// Returns `None` if any channel is missing.
+    pub fn for_trace(trace: &Trace, width: usize) -> Option<SlotTemporalTma> {
+        let cfg = trace.config();
+        let retired_bits = (0..width)
+            .map(|l| cfg.index_of(TraceChannel::lane(EventId::UopsRetired, l)))
+            .collect::<Option<Vec<_>>>()?;
+        let bubble_bits = (0..width)
+            .map(|l| cfg.index_of(TraceChannel::lane(EventId::FetchBubbles, l)))
+            .collect::<Option<Vec<_>>>()?;
+        let recovering_bit = cfg.index_of(TraceChannel::scalar(EventId::Recovering))?;
+        Some(SlotTemporalTma {
+            retired_bits,
+            bubble_bits,
+            recovering_bit,
+        })
+    }
+
+    /// Classifies every slot in the trace.
+    pub fn analyze(&self, trace: &Trace) -> SlotReport {
+        let width = self.retired_bits.len();
+        let mut report = SlotReport {
+            slots: trace.len() as u64 * width as u64,
+            ..SlotReport::default()
+        };
+        for cycle in trace.first_cycle()..trace.end_cycle() {
+            let recovering = trace.is_high(self.recovering_bit, cycle);
+            for lane in 0..width {
+                if trace.is_high(self.retired_bits[lane], cycle) {
+                    report.retiring += 1;
+                } else if recovering {
+                    report.bad_speculation += 1;
+                } else if trace.is_high(self.bubble_bits[lane], cycle) {
+                    report.frontend += 1;
+                } else {
+                    report.backend += 1;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+    use icicle_events::EventVector;
+
+    fn classify(pattern: &[(&[usize], &[usize], bool)]) -> SlotReport {
+        // pattern: per cycle (retired lanes, bubble lanes, recovering)
+        let cfg = TraceConfig::new(SlotTemporalTma::required_channels(3)).unwrap();
+        let mut t = Trace::new(cfg);
+        for (retired, bubbles, recovering) in pattern {
+            let mut v = EventVector::new();
+            for &l in *retired {
+                v.raise_lane(EventId::UopsRetired, l);
+            }
+            for &l in *bubbles {
+                v.raise_lane(EventId::FetchBubbles, l);
+            }
+            if *recovering {
+                v.raise(EventId::Recovering);
+            }
+            t.record(&v);
+        }
+        let tma = SlotTemporalTma::for_trace(&t, 3).unwrap();
+        tma.analyze(&t)
+    }
+
+    #[test]
+    fn full_retirement_is_all_retiring() {
+        let all: &[usize] = &[0, 1, 2];
+        let none: &[usize] = &[];
+        let r = classify(&[(all, none, false); 4]);
+        assert_eq!(r.slots, 12);
+        assert_eq!(r.retiring, 12);
+        assert_eq!(r.backend, 0);
+    }
+
+    #[test]
+    fn classes_partition_the_slots() {
+        let r = classify(&[
+            (&[0, 1][..], &[2][..], false), // 2 retiring, 1 frontend
+            (&[][..], &[][..], true),       // 3 bad speculation
+            (&[0][..], &[][..], false),     // 1 retiring, 2 backend
+        ]);
+        assert_eq!(r.slots, 9);
+        assert_eq!(r.retiring, 3);
+        assert_eq!(r.frontend, 1);
+        assert_eq!(r.bad_speculation, 3);
+        assert_eq!(r.backend, 2);
+        assert_eq!(
+            r.retiring + r.frontend + r.bad_speculation + r.backend,
+            r.slots
+        );
+    }
+
+    #[test]
+    fn recovery_outranks_bubbles_but_not_retirement() {
+        // A retiring lane during recovery stays Retiring (e.g. older
+        // µops draining while the front-end recovers).
+        let r = classify(&[(&[0][..], &[1, 2][..], true)]);
+        assert_eq!(r.retiring, 1);
+        assert_eq!(r.bad_speculation, 2);
+        assert_eq!(r.frontend, 0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let r = classify(&[
+            (&[0, 1, 2][..], &[][..], false),
+            (&[][..], &[0, 1, 2][..], false),
+            (&[][..], &[][..], true),
+            (&[][..], &[][..], false),
+        ]);
+        let sum = r.retiring_fraction()
+            + r.bad_speculation_fraction()
+            + r.frontend_fraction()
+            + r.backend_fraction();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_channels_yield_none() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Cycles)]).unwrap();
+        let t = Trace::new(cfg);
+        assert!(SlotTemporalTma::for_trace(&t, 3).is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! Trace storage: one bit per channel per cycle.
+
+use std::error::Error;
+use std::fmt;
+
+use icicle_events::{EventId, EventVector, MAX_LANES};
+
+/// One traced signal: an event, either any-lane (scalar view) or a single
+/// lane of a per-lane event.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TraceChannel {
+    /// The traced event.
+    pub event: EventId,
+    /// `None` traces the OR over lanes; `Some(l)` traces one lane's wire.
+    pub lane: Option<usize>,
+}
+
+impl TraceChannel {
+    /// Traces the OR of all of `event`'s assertions.
+    pub fn scalar(event: EventId) -> TraceChannel {
+        TraceChannel { event, lane: None }
+    }
+
+    /// Traces a single lane's wire.
+    pub fn lane(event: EventId, lane: usize) -> TraceChannel {
+        TraceChannel {
+            event,
+            lane: Some(lane),
+        }
+    }
+
+    fn sample(&self, v: &EventVector) -> bool {
+        match self.lane {
+            None => v.is_set(self.event),
+            Some(l) => v.lane_set(self.event, l),
+        }
+    }
+}
+
+impl fmt::Display for TraceChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.lane {
+            None => write!(f, "{}", self.event),
+            Some(l) => write!(f, "{}[{l}]", self.event),
+        }
+    }
+}
+
+/// Errors constructing a trace configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceError {
+    /// More than 64 channels were requested (the trace word is 64 bits).
+    TooManyChannels(usize),
+    /// No channels were requested.
+    NoChannels,
+    /// A lane index exceeds [`MAX_LANES`].
+    LaneOutOfRange(usize),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::TooManyChannels(n) => {
+                write!(f, "{n} channels exceed the 64-bit trace word")
+            }
+            TraceError::NoChannels => write!(f, "trace needs at least one channel"),
+            TraceError::LaneOutOfRange(l) => write!(f, "lane {l} out of range"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// The TraceBundle: an ordered list of channels, each mapped to a bit of
+/// the per-cycle trace word.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceConfig {
+    channels: Vec<TraceChannel>,
+}
+
+impl TraceConfig {
+    /// Validates and fixes the channel order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero channels, more than 64 channels, or an
+    /// out-of-range lane.
+    pub fn new(channels: Vec<TraceChannel>) -> Result<TraceConfig, TraceError> {
+        if channels.is_empty() {
+            return Err(TraceError::NoChannels);
+        }
+        if channels.len() > 64 {
+            return Err(TraceError::TooManyChannels(channels.len()));
+        }
+        if let Some(bad) = channels
+            .iter()
+            .filter_map(|c| c.lane)
+            .find(|&l| l >= MAX_LANES)
+        {
+            return Err(TraceError::LaneOutOfRange(bad));
+        }
+        Ok(TraceConfig { channels })
+    }
+
+    /// The channels in bit order.
+    pub fn channels(&self) -> &[TraceChannel] {
+        &self.channels
+    }
+
+    /// The bit index of a channel, if traced.
+    pub fn index_of(&self, channel: TraceChannel) -> Option<usize> {
+        self.channels.iter().position(|c| *c == channel)
+    }
+}
+
+/// A contiguous high period of one channel.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Window {
+    /// First cycle the signal is high.
+    pub start: u64,
+    /// Number of consecutive high cycles.
+    pub len: u64,
+}
+
+impl Window {
+    /// One past the last high cycle.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// A recorded trace: one 64-bit word per cycle.
+///
+/// By default the trace grows without bound; [`with_capacity`] turns it
+/// into a ring that keeps only the most recent cycles — the realistic
+/// mode for long simulations, where the paper notes full traces reach
+/// hundreds of terabytes (§IV-C). Cycle arguments are always *absolute*
+/// simulation cycles; in ring mode the earliest retained cycle is
+/// [`first_cycle`].
+///
+/// [`with_capacity`]: Trace::with_capacity
+/// [`first_cycle`]: Trace::first_cycle
+#[derive(Clone, Debug)]
+pub struct Trace {
+    config: TraceConfig,
+    words: std::collections::VecDeque<u64>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates an empty, unbounded trace for `config`.
+    pub fn new(config: TraceConfig) -> Trace {
+        Trace {
+            config,
+            words: std::collections::VecDeque::new(),
+            capacity: None,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a ring trace retaining at most `capacity` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(config: TraceConfig, capacity: usize) -> Trace {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        Trace {
+            config,
+            words: std::collections::VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// The configuration (bit-to-signal mapping).
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Samples one cycle's event vector into the trace.
+    pub fn record(&mut self, vector: &EventVector) {
+        if let Some(cap) = self.capacity {
+            if self.words.len() == cap {
+                self.words.pop_front();
+                self.dropped += 1;
+            }
+        }
+        let mut word = 0u64;
+        for (bit, ch) in self.config.channels.iter().enumerate() {
+            if ch.sample(vector) {
+                word |= 1 << bit;
+            }
+        }
+        self.words.push_back(word);
+    }
+
+    /// Number of *retained* cycles.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The absolute cycle of the earliest retained word (0 unless the
+    /// ring dropped history).
+    pub fn first_cycle(&self) -> u64 {
+        self.dropped
+    }
+
+    /// One past the last recorded absolute cycle.
+    pub fn end_cycle(&self) -> u64 {
+        self.dropped + self.words.len() as u64
+    }
+
+    /// Cycles the ring has discarded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The raw trace word of an absolute cycle (what would stream over
+    /// the bridge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is outside the retained range.
+    pub fn word(&self, cycle: u64) -> u64 {
+        assert!(
+            cycle >= self.dropped && cycle < self.end_cycle(),
+            "cycle {cycle} outside retained range {}..{}",
+            self.dropped,
+            self.end_cycle()
+        );
+        self.words[(cycle - self.dropped) as usize]
+    }
+
+    /// Whether channel `bit` was high at absolute `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is outside the retained range.
+    pub fn is_high(&self, bit: usize, cycle: u64) -> bool {
+        self.word(cycle) & (1 << bit) != 0
+    }
+
+    /// Total high cycles of channel `bit` among the retained cycles.
+    pub fn high_count(&self, bit: usize) -> u64 {
+        self.words.iter().filter(|w| *w & (1 << bit) != 0).count() as u64
+    }
+
+    /// The contiguous high periods of channel `bit`, with absolute
+    /// start cycles.
+    pub fn windows(&self, bit: usize) -> Vec<Window> {
+        let mut out = Vec::new();
+        let mut current: Option<Window> = None;
+        for (i, w) in self.words.iter().enumerate() {
+            let high = w & (1 << bit) != 0;
+            match (&mut current, high) {
+                (None, true) => {
+                    current = Some(Window {
+                        start: i as u64 + self.dropped,
+                        len: 1,
+                    })
+                }
+                (Some(win), true) => win.len += 1,
+                (Some(win), false) => {
+                    out.push(*win);
+                    current = None;
+                }
+                (None, false) => {}
+            }
+        }
+        if let Some(win) = current {
+            out.push(win);
+        }
+        out
+    }
+
+    /// The lengths of the contiguous high periods of channel `bit` (the
+    /// input to a run-length CDF like Fig. 8b).
+    pub fn run_lengths(&self, bit: usize) -> Vec<u64> {
+        self.windows(bit).into_iter().map(|w| w.len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_pattern(trace: &mut Trace, event: EventId, pattern: &[bool]) {
+        for &high in pattern {
+            let mut v = EventVector::new();
+            if high {
+                v.raise(event);
+            }
+            trace.record(&v);
+        }
+    }
+
+    #[test]
+    fn config_rejects_bad_inputs() {
+        assert_eq!(TraceConfig::new(vec![]), Err(TraceError::NoChannels));
+        let too_many: Vec<TraceChannel> = (0..65)
+            .map(|_| TraceChannel::scalar(EventId::Cycles))
+            .collect();
+        assert_eq!(
+            TraceConfig::new(too_many),
+            Err(TraceError::TooManyChannels(65))
+        );
+        assert_eq!(
+            TraceConfig::new(vec![TraceChannel::lane(EventId::UopsIssued, 99)]),
+            Err(TraceError::LaneOutOfRange(99))
+        );
+    }
+
+    #[test]
+    fn windows_found() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Recovering)]).unwrap();
+        let mut t = Trace::new(cfg);
+        record_pattern(
+            &mut t,
+            EventId::Recovering,
+            &[false, true, true, false, true, true, true],
+        );
+        let ws = t.windows(0);
+        assert_eq!(
+            ws,
+            vec![
+                Window { start: 1, len: 2 },
+                Window { start: 4, len: 3 }
+            ]
+        );
+        assert_eq!(t.run_lengths(0), vec![2, 3]);
+        assert_eq!(t.high_count(0), 5);
+        assert_eq!(ws[1].end(), 7);
+    }
+
+    #[test]
+    fn lane_channels_sample_single_wires() {
+        let cfg = TraceConfig::new(vec![
+            TraceChannel::lane(EventId::FetchBubbles, 0),
+            TraceChannel::lane(EventId::FetchBubbles, 2),
+        ])
+        .unwrap();
+        let mut t = Trace::new(cfg);
+        let mut v = EventVector::new();
+        v.raise_lane(EventId::FetchBubbles, 2);
+        t.record(&v);
+        assert!(!t.is_high(0, 0));
+        assert!(t.is_high(1, 0));
+    }
+
+    #[test]
+    fn channel_display_and_lookup() {
+        let ch = TraceChannel::lane(EventId::UopsIssued, 3);
+        assert_eq!(ch.to_string(), "Uops-issued[3]");
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::ICacheMiss), ch]).unwrap();
+        assert_eq!(cfg.index_of(ch), Some(1));
+        assert_eq!(cfg.index_of(TraceChannel::scalar(EventId::Flush)), None);
+    }
+
+    #[test]
+    fn ring_mode_keeps_the_most_recent_cycles() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Recovering)]).unwrap();
+        let mut t = Trace::with_capacity(cfg, 4);
+        // 10 cycles; the signal is high on cycles 1, 7, 8.
+        for cycle in 0..10u64 {
+            let mut v = EventVector::new();
+            if matches!(cycle, 1 | 7 | 8) {
+                v.raise(EventId::Recovering);
+            }
+            t.record(&v);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.first_cycle(), 6);
+        assert_eq!(t.end_cycle(), 10);
+        // Absolute-cycle indexing still works inside the window.
+        assert!(!t.is_high(0, 6));
+        assert!(t.is_high(0, 7));
+        assert!(t.is_high(0, 8));
+        assert!(!t.is_high(0, 9));
+        // Windows report absolute cycles.
+        assert_eq!(t.windows(0), vec![Window { start: 7, len: 2 }]);
+        assert_eq!(t.high_count(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside retained range")]
+    fn ring_rejects_evicted_cycles() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Cycles)]).unwrap();
+        let mut t = Trace::with_capacity(cfg, 2);
+        for _ in 0..5 {
+            t.record(&EventVector::new());
+        }
+        let _ = t.is_high(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn ring_rejects_zero_capacity() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Cycles)]).unwrap();
+        let _ = Trace::with_capacity(cfg, 0);
+    }
+
+    #[test]
+    fn empty_trace_behaves() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Cycles)]).unwrap();
+        let t = Trace::new(cfg);
+        assert!(t.is_empty());
+        assert!(t.windows(0).is_empty());
+        assert_eq!(t.high_count(0), 0);
+    }
+}

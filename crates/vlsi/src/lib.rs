@@ -1,0 +1,41 @@
+//! # icicle-vlsi
+//!
+//! An analytic post-placement cost model for the counter architectures
+//! (Fig. 9 of the paper).
+//!
+//! The paper pushes each BOOM size through a Cadence flow on the ASAP7
+//! PDK and reports post-placement power, area, wirelength, and the
+//! longest combinational path through the CSR file. That flow is
+//! proprietary; this crate substitutes a first-order analytic model with
+//! ASAP7-flavoured unit costs, driven by the same structural quantities
+//! ([`HardwareFootprint`]) the RTL implies:
+//!
+//! * register bits and adder stages set cell area and dynamic power;
+//! * wires from event sources to the centrally-placed CSR file set
+//!   wirelength (long wires cross ~half the die edge; distributed
+//!   counters keep most wiring local to the source);
+//! * the add-wires adder *chain* adds combinational delay per source,
+//!   while the distributed arbiter adds one constant mux stage — which
+//!   reproduces Fig. 9b's crossover: adders win at Small/Medium, lose
+//!   from Large up.
+//!
+//! The model is calibrated so the worst-case overheads land at the
+//! paper's reported envelope: ≈4.15% power, ≈1.54% area, ≈9.93%
+//! wirelength, with every configuration meeting 200 MHz.
+//!
+//! ```
+//! use icicle_boom::BoomSize;
+//! use icicle_pmu::CounterArch;
+//! use icicle_vlsi::evaluate;
+//!
+//! let r = evaluate(BoomSize::Large, CounterArch::Distributed);
+//! assert!(r.meets_200mhz());
+//! assert!(r.power_overhead_pct() < 5.0);
+//! ```
+
+mod model;
+
+pub use model::{
+    evaluate, longest_pmu_wire_um, tma_counter_set, BaselineDesign, PdkParams, PlacementReport,
+};
+pub use icicle_pmu::HardwareFootprint;

@@ -1,0 +1,377 @@
+//! The analytic post-placement model.
+
+use icicle_boom::{BoomConfig, BoomSize};
+use icicle_events::EventId;
+use icicle_pmu::{CounterArch, HardwareFootprint};
+
+/// Unit costs of the modelled technology (ASAP7-flavoured effective
+/// values).
+///
+/// These are *effective* per-structure costs calibrated against the
+/// paper's reported post-placement envelope, not raw standard-cell data:
+/// e.g. `area_per_bit_um2` folds in the event-selection muxing, CSR read
+/// ports, and the register-array memories the paper's flow had to unroll
+/// (it had no ASAP7 memory compiler).
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct PdkParams {
+    /// Effective area per PMU state bit (µm²).
+    pub area_per_bit_um2: f64,
+    /// Area per adder stage in the add-wires chain (µm²).
+    pub area_per_adder_um2: f64,
+    /// Effective dynamic power per state bit at 200 MHz (mW).
+    pub power_per_bit_mw: f64,
+    /// Dynamic power per mm of PMU wire (mW).
+    pub power_per_mm_mw: f64,
+    /// Placement-perturbation amplification: each PMU wire routed to the
+    /// central CSR file detours unrelated nets; total wirelength grows by
+    /// this multiple of the direct PMU wire length.
+    pub route_amplification: f64,
+    /// Combinational delay added per adder stage (ps).
+    pub adder_stage_ps: f64,
+    /// Constant delay of the distributed counters' rotating arbiter (ps).
+    pub arbiter_ps: f64,
+    /// Extra CSR-file mux fan-in delay of scalar banks (ps).
+    pub scalar_mux_ps: f64,
+    /// Per-lane longest-wire growth factor for multi-lane monitoring.
+    pub lane_wire_growth: f64,
+}
+
+impl Default for PdkParams {
+    fn default() -> PdkParams {
+        PdkParams {
+            area_per_bit_um2: 8.0,
+            area_per_adder_um2: 40.0,
+            power_per_bit_mw: 0.008,
+            power_per_mm_mw: 0.05,
+            route_amplification: 47.0,
+            adder_stage_ps: 35.0,
+            arbiter_ps: 120.0,
+            scalar_mux_ps: 20.0,
+            lane_wire_growth: 0.0643,
+        }
+    }
+}
+
+/// Post-placement characteristics of a base BOOM (no Icicle events or
+/// counter logic), per Table IV size.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct BaselineDesign {
+    pub size: BoomSize,
+    /// Placed cell area (µm²).
+    pub area_um2: f64,
+    /// Total power at 200 MHz (mW).
+    pub power_mw: f64,
+    /// Total routed wirelength (µm).
+    pub wirelength_um: f64,
+    /// Longest register-to-register path crossing the CSR file (ps).
+    pub csr_path_ps: f64,
+}
+
+impl BaselineDesign {
+    /// The modelled baseline for a Table IV size.
+    pub fn for_size(size: BoomSize) -> BaselineDesign {
+        let (area_um2, power_mw) = match size {
+            BoomSize::Small => (300_000.0, 120.0),
+            BoomSize::Medium => (450_000.0, 170.0),
+            BoomSize::Large => (700_000.0, 250.0),
+            BoomSize::Mega => (1_000_000.0, 340.0),
+            BoomSize::Giga => (1_150_000.0, 380.0),
+        };
+        let idx = BoomSize::ALL.iter().position(|s| *s == size).expect("known") as f64;
+        BaselineDesign {
+            size,
+            area_um2,
+            power_mw,
+            wirelength_um: 6.0 * area_um2,
+            csr_path_ps: 1_800.0 + 100.0 * idx,
+        }
+    }
+
+    /// Die edge length assuming a square floorplan (µm).
+    pub fn die_edge_um(&self) -> f64 {
+        self.area_um2.sqrt()
+    }
+}
+
+/// The set of counter footprints Icicle adds for TMA on a given size:
+/// the seven new events at their pipeline widths (Table I and §IV-A).
+pub fn tma_counter_set(size: BoomSize, arch: CounterArch) -> Vec<(EventId, HardwareFootprint)> {
+    let cfg = BoomConfig::for_size(size);
+    let events: [(EventId, usize); 7] = [
+        (EventId::UopsIssued, cfg.issue_width()),
+        (EventId::FetchBubbles, cfg.decode_width),
+        (EventId::UopsRetired, cfg.decode_width),
+        (EventId::DCacheBlocked, cfg.decode_width),
+        (EventId::Recovering, 1),
+        (EventId::ICacheBlocked, 1),
+        (EventId::FenceRetired, 1),
+    ];
+    events
+        .into_iter()
+        .map(|(event, sources)| {
+            // Single-source events need no aggregation: a stock counter
+            // is already exact for them.
+            let effective = if sources == 1 { CounterArch::Stock } else { arch };
+            (event, HardwareFootprint::of(effective, sources))
+        })
+        .collect()
+}
+
+/// Post-placement results of one (size, counter implementation) point —
+/// the data behind Fig. 9.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub struct PlacementReport {
+    pub size: BoomSize,
+    pub arch: CounterArch,
+    pub baseline: BaselineDesign,
+    /// PMU cell area added (µm²).
+    pub pmu_area_um2: f64,
+    /// PMU power added (mW).
+    pub pmu_power_mw: f64,
+    /// Total wirelength added, including placement perturbation (µm).
+    pub pmu_wirelength_um: f64,
+    /// Longest CSR-crossing path with the PMU logic (ps).
+    pub csr_path_ps: f64,
+}
+
+impl PlacementReport {
+    /// Power overhead relative to the baseline (%).
+    pub fn power_overhead_pct(&self) -> f64 {
+        100.0 * self.pmu_power_mw / self.baseline.power_mw
+    }
+
+    /// Area overhead relative to the baseline (%).
+    pub fn area_overhead_pct(&self) -> f64 {
+        100.0 * self.pmu_area_um2 / self.baseline.area_um2
+    }
+
+    /// Wirelength overhead relative to the baseline (%).
+    pub fn wirelength_overhead_pct(&self) -> f64 {
+        100.0 * self.pmu_wirelength_um / self.baseline.wirelength_um
+    }
+
+    /// Longest CSR path normalized to the baseline design's (Fig. 9b).
+    pub fn normalized_csr_delay(&self) -> f64 {
+        self.csr_path_ps / self.baseline.csr_path_ps
+    }
+
+    /// Whether the design closes timing at 200 MHz (5 ns period).
+    pub fn meets_200mhz(&self) -> bool {
+        self.csr_path_ps <= 5_000.0
+    }
+}
+
+/// Evaluates one (size, counter implementation) point with default PDK
+/// parameters.
+pub fn evaluate(size: BoomSize, arch: CounterArch) -> PlacementReport {
+    evaluate_with(size, arch, &PdkParams::default())
+}
+
+/// Evaluates one point with explicit PDK parameters.
+pub fn evaluate_with(size: BoomSize, arch: CounterArch, pdk: &PdkParams) -> PlacementReport {
+    let baseline = BaselineDesign::for_size(size);
+    let counters = tma_counter_set(size, arch);
+
+    let mut bits = 0u64;
+    let mut adders = 0u32;
+    let mut long_wires = 0u32;
+    let mut local_wires = 0u32;
+    let mut max_depth = 0u32;
+    for (_, fp) in &counters {
+        bits += fp.register_bits;
+        adders += fp.adder_depth;
+        long_wires += fp.long_wires;
+        local_wires += fp.local_wires;
+        max_depth = max_depth.max(fp.adder_depth);
+    }
+
+    let pmu_area_um2 =
+        bits as f64 * pdk.area_per_bit_um2 + adders as f64 * pdk.area_per_adder_um2;
+
+    let long_um = long_wires as f64 * baseline.die_edge_um() / 2.0;
+    let local_um = local_wires as f64 * 15.0;
+    let direct_um = long_um + local_um;
+    // Only the centrally-routed wires perturb global placement; local
+    // wiring near the sources adds its own length directly.
+    let pmu_wirelength_um = long_um * pdk.route_amplification + local_um;
+
+    let pmu_power_mw =
+        bits as f64 * pdk.power_per_bit_mw + (direct_um / 1_000.0) * pdk.power_per_mm_mw;
+
+    let added_delay_ps = match arch {
+        CounterArch::Stock => 0.0,
+        CounterArch::Scalar => pdk.scalar_mux_ps,
+        CounterArch::AddWires => max_depth as f64 * pdk.adder_stage_ps,
+        CounterArch::Distributed => pdk.arbiter_ps,
+    };
+
+    PlacementReport {
+        size,
+        arch,
+        baseline,
+        pmu_area_um2,
+        pmu_power_mw,
+        pmu_wirelength_um,
+        csr_path_ps: baseline.csr_path_ps + added_delay_ps,
+    }
+}
+
+/// The longest PMU-specific wire when monitoring `monitored_lanes` of a
+/// `total_lanes`-wide event (§V-A's per-lane approximation trade-off:
+/// monitoring one fetch lane instead of all of them shortens the longest
+/// PMU wire by ≈11.4% on LargeBoom).
+///
+/// # Panics
+///
+/// Panics if `monitored_lanes` is zero or exceeds `total_lanes`.
+pub fn longest_pmu_wire_um(size: BoomSize, monitored_lanes: usize, total_lanes: usize) -> f64 {
+    assert!(
+        (1..=total_lanes).contains(&monitored_lanes),
+        "monitored lanes out of range"
+    );
+    let pdk = PdkParams::default();
+    let edge = BaselineDesign::for_size(size).die_edge_um();
+    (edge / 2.0) * (1.0 + pdk.lane_wire_growth * (monitored_lanes as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_points() -> Vec<PlacementReport> {
+        let mut out = Vec::new();
+        for size in BoomSize::ALL {
+            for arch in [
+                CounterArch::Scalar,
+                CounterArch::AddWires,
+                CounterArch::Distributed,
+            ] {
+                out.push(evaluate(size, arch));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn overheads_stay_inside_paper_envelope() {
+        for r in all_points() {
+            assert!(
+                r.power_overhead_pct() <= 4.5,
+                "{:?}/{:?} power {:.2}%",
+                r.size,
+                r.arch,
+                r.power_overhead_pct()
+            );
+            assert!(r.area_overhead_pct() <= 1.7, "area {:.2}%", r.area_overhead_pct());
+            assert!(
+                r.wirelength_overhead_pct() <= 10.5,
+                "wirelength {:.2}%",
+                r.wirelength_overhead_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_is_close_to_reported_maxima() {
+        let worst_power = all_points()
+            .iter()
+            .map(|r| r.power_overhead_pct())
+            .fold(0.0f64, f64::max);
+        let worst_wl = all_points()
+            .iter()
+            .map(|r| r.wirelength_overhead_pct())
+            .fold(0.0f64, f64::max);
+        let worst_area = all_points()
+            .iter()
+            .map(|r| r.area_overhead_pct())
+            .fold(0.0f64, f64::max);
+        assert!((3.0..=4.5).contains(&worst_power), "power max {worst_power:.2}");
+        assert!((8.5..=10.5).contains(&worst_wl), "wirelength max {worst_wl:.2}");
+        assert!((1.2..=1.7).contains(&worst_area), "area max {worst_area:.2}");
+    }
+
+    #[test]
+    fn everything_meets_200mhz() {
+        for r in all_points() {
+            assert!(r.meets_200mhz(), "{:?}/{:?} fails timing", r.size, r.arch);
+        }
+    }
+
+    #[test]
+    fn delay_crossover_matches_fig9b() {
+        // Adders ≤ distributed at Small/Medium; adders > distributed from
+        // Large up.
+        for size in [BoomSize::Small, BoomSize::Medium] {
+            let a = evaluate(size, CounterArch::AddWires);
+            let d = evaluate(size, CounterArch::Distributed);
+            assert!(a.csr_path_ps <= d.csr_path_ps, "{size:?}");
+        }
+        for size in [BoomSize::Large, BoomSize::Mega, BoomSize::Giga] {
+            let a = evaluate(size, CounterArch::AddWires);
+            let d = evaluate(size, CounterArch::Distributed);
+            assert!(a.csr_path_ps > d.csr_path_ps, "{size:?}");
+        }
+    }
+
+    #[test]
+    fn adder_delay_grows_with_size_but_distributed_is_flat() {
+        let deltas: Vec<f64> = BoomSize::ALL
+            .iter()
+            .map(|s| {
+                evaluate(*s, CounterArch::AddWires).csr_path_ps
+                    - BaselineDesign::for_size(*s).csr_path_ps
+            })
+            .collect();
+        assert!(deltas.windows(2).all(|w| w[0] <= w[1]), "{deltas:?}");
+        for size in BoomSize::ALL {
+            let d = evaluate(size, CounterArch::Distributed);
+            assert_eq!(d.csr_path_ps - d.baseline.csr_path_ps, 120.0);
+        }
+    }
+
+    #[test]
+    fn scalar_burns_the_most_registers() {
+        for size in BoomSize::ALL {
+            let s = evaluate(size, CounterArch::Scalar);
+            let a = evaluate(size, CounterArch::AddWires);
+            let d = evaluate(size, CounterArch::Distributed);
+            assert!(s.pmu_area_um2 > a.pmu_area_um2, "{size:?}");
+            assert!(s.pmu_area_um2 > d.pmu_area_um2, "{size:?}");
+        }
+    }
+
+    #[test]
+    fn single_lane_monitoring_shortens_the_longest_wire() {
+        // §V-A: monitoring one of LargeBoom's three fetch lanes instead
+        // of all three shortens the longest PMU wire by ≈11.4%.
+        let all = longest_pmu_wire_um(BoomSize::Large, 3, 3);
+        let one = longest_pmu_wire_um(BoomSize::Large, 1, 3);
+        let reduction = 100.0 * (all - one) / all;
+        assert!(
+            (10.5..=12.5).contains(&reduction),
+            "reduction {reduction:.2}%"
+        );
+    }
+
+    #[test]
+    fn counter_set_widths_follow_table_iv() {
+        let set = tma_counter_set(BoomSize::Large, CounterArch::AddWires);
+        let issued = set
+            .iter()
+            .find(|(e, _)| *e == EventId::UopsIssued)
+            .unwrap();
+        assert_eq!(issued.1.sources, 5);
+        let rec = set
+            .iter()
+            .find(|(e, _)| *e == EventId::Recovering)
+            .unwrap();
+        assert_eq!(rec.1.sources, 1);
+        assert_eq!(rec.1.arch, CounterArch::Stock);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lane_wire_rejects_zero_lanes() {
+        let _ = longest_pmu_wire_um(BoomSize::Large, 0, 3);
+    }
+}

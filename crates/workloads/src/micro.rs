@@ -1,0 +1,602 @@
+//! The riscv-tests-style microbenchmarks (Fig. 7 a, b, k, l and the
+//! branch-inversion case study).
+
+use icicle_isa::{ProgramBuilder, Reg};
+
+use crate::rng::XorShift;
+use crate::workload::Workload;
+
+/// Emits the standard epilogue: sums `n` words at `base` into `a0` and
+/// sets `a1` to 1 iff they are in non-decreasing (unsigned) order.
+///
+/// `base` must survive the workload body in the given register.
+fn emit_checksum_sorted(b: &mut ProgramBuilder, base: Reg, n: i64) {
+    b.li(Reg::A0, 0);
+    b.li(Reg::A1, 1);
+    b.li(Reg::A5, 0); // prev
+    b.li(Reg::T0, 0);
+    b.li(Reg::A6, n);
+    b.label("check_loop");
+    b.bge(Reg::T0, Reg::A6, "check_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, base, Reg::T1);
+    b.ld(Reg::T1, Reg::T1, 0);
+    b.add(Reg::A0, Reg::A0, Reg::T1);
+    b.bgeu(Reg::T1, Reg::A5, "check_ok");
+    b.li(Reg::A1, 0);
+    b.label("check_ok");
+    b.mv(Reg::A5, Reg::T1);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("check_loop");
+    b.label("check_done");
+    b.halt();
+}
+
+/// Bottom-up merge sort of `n` pseudo-random words (`n` must be a power
+/// of two ≥ 2). This is the paper's motivating workload (Fig. 3).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 2.
+pub fn mergesort(n: u64) -> Workload {
+    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
+    let mut b = ProgramBuilder::new("mergesort");
+    let data = XorShift::new(0x5eed_0001).values(n as usize);
+    let a = b.data_u64(&data);
+    let tmp = b.alloc_data(n * 8);
+    b.li(Reg::S0, a as i64); // src
+    b.li(Reg::S1, tmp as i64); // dst
+    b.li(Reg::S2, n as i64);
+    b.li(Reg::S3, 1); // width
+    b.label("width_loop");
+    b.bge(Reg::S3, Reg::S2, "width_done");
+    b.li(Reg::T0, 0); // lo
+    b.label("lo_loop");
+    b.bge(Reg::T0, Reg::S2, "lo_done");
+    b.add(Reg::T1, Reg::T0, Reg::S3); // mid
+    b.add(Reg::T2, Reg::T1, Reg::S3); // hi (n is a power of two: never clipped)
+    b.mv(Reg::T3, Reg::T0); // i
+    b.mv(Reg::T4, Reg::T1); // j
+    b.mv(Reg::T5, Reg::T0); // k
+    b.label("merge_loop");
+    b.bge(Reg::T3, Reg::T1, "drain_j");
+    b.bge(Reg::T4, Reg::T2, "drain_i");
+    b.slli(Reg::T6, Reg::T3, 3);
+    b.add(Reg::T6, Reg::S0, Reg::T6);
+    b.ld(Reg::T6, Reg::T6, 0); // a[i]
+    b.slli(Reg::A2, Reg::T4, 3);
+    b.add(Reg::A2, Reg::S0, Reg::A2);
+    b.ld(Reg::A2, Reg::A2, 0); // a[j]
+    b.bltu(Reg::A2, Reg::T6, "take_j");
+    // take i
+    b.slli(Reg::A3, Reg::T5, 3);
+    b.add(Reg::A3, Reg::S1, Reg::A3);
+    b.sd(Reg::T6, Reg::A3, 0);
+    b.addi(Reg::T3, Reg::T3, 1);
+    b.j("merge_k");
+    b.label("take_j");
+    b.slli(Reg::A3, Reg::T5, 3);
+    b.add(Reg::A3, Reg::S1, Reg::A3);
+    b.sd(Reg::A2, Reg::A3, 0);
+    b.addi(Reg::T4, Reg::T4, 1);
+    b.label("merge_k");
+    b.addi(Reg::T5, Reg::T5, 1);
+    b.j("merge_loop");
+    b.label("drain_i");
+    b.bge(Reg::T3, Reg::T1, "merge_done");
+    b.slli(Reg::T6, Reg::T3, 3);
+    b.add(Reg::T6, Reg::S0, Reg::T6);
+    b.ld(Reg::T6, Reg::T6, 0);
+    b.slli(Reg::A3, Reg::T5, 3);
+    b.add(Reg::A3, Reg::S1, Reg::A3);
+    b.sd(Reg::T6, Reg::A3, 0);
+    b.addi(Reg::T3, Reg::T3, 1);
+    b.addi(Reg::T5, Reg::T5, 1);
+    b.j("drain_i");
+    b.label("drain_j");
+    b.bge(Reg::T4, Reg::T2, "merge_done");
+    b.slli(Reg::T6, Reg::T4, 3);
+    b.add(Reg::T6, Reg::S0, Reg::T6);
+    b.ld(Reg::T6, Reg::T6, 0);
+    b.slli(Reg::A3, Reg::T5, 3);
+    b.add(Reg::A3, Reg::S1, Reg::A3);
+    b.sd(Reg::T6, Reg::A3, 0);
+    b.addi(Reg::T4, Reg::T4, 1);
+    b.addi(Reg::T5, Reg::T5, 1);
+    b.j("drain_j");
+    b.label("merge_done");
+    b.add(Reg::T0, Reg::T0, Reg::S3);
+    b.add(Reg::T0, Reg::T0, Reg::S3);
+    b.j("lo_loop");
+    b.label("lo_done");
+    b.mv(Reg::A4, Reg::S0);
+    b.mv(Reg::S0, Reg::S1);
+    b.mv(Reg::S1, Reg::A4);
+    b.slli(Reg::S3, Reg::S3, 1);
+    b.j("width_loop");
+    b.label("width_done");
+    emit_checksum_sorted(&mut b, Reg::S0, n as i64);
+    Workload::new(
+        "mergesort",
+        b.build().expect("mergesort builds"),
+        200 * n * (64 - n.leading_zeros() as u64) + 100_000,
+    )
+}
+
+/// Iterative quicksort (Lomuto partition) of `n` pseudo-random words —
+/// the Bad-Speculation-dominated workload of Fig. 7(a): the
+/// `a[j] < pivot` comparison is data-dependent and unpredictable.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qsort(n: u64) -> Workload {
+    assert!(n >= 2, "n must be at least 2");
+    let mut b = ProgramBuilder::new("qsort");
+    let data = XorShift::new(0x5eed_0002).values(n as usize);
+    let a = b.data_u64(&data);
+    let stack = b.alloc_data(n * 16 + 64);
+    b.li(Reg::S0, a as i64);
+    b.li(Reg::S2, n as i64);
+    b.li(Reg::S3, stack as i64);
+    // push (0, n)
+    b.li(Reg::T5, 0);
+    b.sd(Reg::T5, Reg::S3, 0);
+    b.sd(Reg::S2, Reg::S3, 8);
+    b.li(Reg::S4, 1); // stack depth
+    b.label("main_loop");
+    b.beq(Reg::S4, Reg::ZERO, "sort_done");
+    b.addi(Reg::S4, Reg::S4, -1);
+    b.slli(Reg::T6, Reg::S4, 4);
+    b.add(Reg::T6, Reg::S3, Reg::T6);
+    b.ld(Reg::T0, Reg::T6, 0); // lo
+    b.ld(Reg::T1, Reg::T6, 8); // hi
+    b.sub(Reg::T2, Reg::T1, Reg::T0);
+    b.slti(Reg::T3, Reg::T2, 2);
+    b.bne(Reg::T3, Reg::ZERO, "main_loop");
+    // pivot = a[hi-1]
+    b.addi(Reg::T2, Reg::T1, -1);
+    b.slli(Reg::T3, Reg::T2, 3);
+    b.add(Reg::T3, Reg::S0, Reg::T3); // &a[hi-1]
+    b.ld(Reg::T4, Reg::T3, 0); // pivot
+    b.mv(Reg::T5, Reg::T0); // i
+    b.mv(Reg::T6, Reg::T0); // j
+    b.label("part_loop");
+    b.bge(Reg::T6, Reg::T2, "part_done");
+    b.slli(Reg::A2, Reg::T6, 3);
+    b.add(Reg::A2, Reg::S0, Reg::A2);
+    b.ld(Reg::A3, Reg::A2, 0); // a[j]
+    b.bgeu(Reg::A3, Reg::T4, "no_swap"); // the unpredictable pivot branch
+    b.slli(Reg::A4, Reg::T5, 3);
+    b.add(Reg::A4, Reg::S0, Reg::A4);
+    b.ld(Reg::A5, Reg::A4, 0);
+    b.sd(Reg::A3, Reg::A4, 0);
+    b.sd(Reg::A5, Reg::A2, 0);
+    b.addi(Reg::T5, Reg::T5, 1);
+    b.label("no_swap");
+    b.addi(Reg::T6, Reg::T6, 1);
+    b.j("part_loop");
+    b.label("part_done");
+    // swap a[i], a[hi-1]
+    b.slli(Reg::A4, Reg::T5, 3);
+    b.add(Reg::A4, Reg::S0, Reg::A4);
+    b.ld(Reg::A5, Reg::A4, 0);
+    b.sd(Reg::T4, Reg::A4, 0);
+    b.sd(Reg::A5, Reg::T3, 0);
+    // push (lo, i)
+    b.slli(Reg::A2, Reg::S4, 4);
+    b.add(Reg::A2, Reg::S3, Reg::A2);
+    b.sd(Reg::T0, Reg::A2, 0);
+    b.sd(Reg::T5, Reg::A2, 8);
+    b.addi(Reg::S4, Reg::S4, 1);
+    // push (i+1, hi)
+    b.addi(Reg::A3, Reg::T5, 1);
+    b.slli(Reg::A2, Reg::S4, 4);
+    b.add(Reg::A2, Reg::S3, Reg::A2);
+    b.sd(Reg::A3, Reg::A2, 0);
+    b.sd(Reg::T1, Reg::A2, 8);
+    b.addi(Reg::S4, Reg::S4, 1);
+    b.j("main_loop");
+    b.label("sort_done");
+    emit_checksum_sorted(&mut b, Reg::S0, n as i64);
+    Workload::new(
+        "qsort",
+        b.build().expect("qsort builds"),
+        600 * n * (64 - n.leading_zeros() as u64) + 200_000,
+    )
+}
+
+/// LSD radix sort (two 8-bit digit passes) of `n` 16-bit values — the
+/// near-ideal-IPC workload: loop-centric control flow and no mul/div.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn rsort(n: u64) -> Workload {
+    assert!(n >= 2, "n must be at least 2");
+    let mut b = ProgramBuilder::new("rsort");
+    let mut rng = XorShift::new(0x5eed_0003);
+    let data: Vec<u64> = (0..n).map(|_| rng.below(1 << 16)).collect();
+    let a = b.data_u64(&data);
+    let tmp = b.alloc_data(n * 8);
+    let counts = b.alloc_data(256 * 8);
+    b.li(Reg::S0, a as i64);
+    b.li(Reg::S1, tmp as i64);
+    b.li(Reg::S2, n as i64);
+    b.li(Reg::S3, counts as i64);
+    b.li(Reg::S4, 0); // shift
+    b.label("pass_loop");
+    // zero the counts
+    b.li(Reg::T0, 0);
+    b.li(Reg::T5, 256);
+    b.label("zero_loop");
+    b.bge(Reg::T0, Reg::T5, "zero_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S3, Reg::T1);
+    b.sd(Reg::ZERO, Reg::T1, 0);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("zero_loop");
+    b.label("zero_done");
+    // histogram
+    b.li(Reg::T0, 0);
+    b.label("count_loop");
+    b.bge(Reg::T0, Reg::S2, "count_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S0, Reg::T1);
+    b.ld(Reg::T2, Reg::T1, 0);
+    b.srl(Reg::T2, Reg::T2, Reg::S4);
+    b.andi(Reg::T2, Reg::T2, 255);
+    b.slli(Reg::T3, Reg::T2, 3);
+    b.add(Reg::T3, Reg::S3, Reg::T3);
+    b.ld(Reg::T4, Reg::T3, 0);
+    b.addi(Reg::T4, Reg::T4, 1);
+    b.sd(Reg::T4, Reg::T3, 0);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("count_loop");
+    b.label("count_done");
+    // exclusive prefix sum
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, 0); // running total
+    b.label("prefix_loop");
+    b.bge(Reg::T0, Reg::T5, "prefix_done");
+    b.slli(Reg::T3, Reg::T0, 3);
+    b.add(Reg::T3, Reg::S3, Reg::T3);
+    b.ld(Reg::T4, Reg::T3, 0);
+    b.sd(Reg::T1, Reg::T3, 0);
+    b.add(Reg::T1, Reg::T1, Reg::T4);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("prefix_loop");
+    b.label("prefix_done");
+    // scatter
+    b.li(Reg::T0, 0);
+    b.label("scatter_loop");
+    b.bge(Reg::T0, Reg::S2, "scatter_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S0, Reg::T1);
+    b.ld(Reg::T2, Reg::T1, 0); // value
+    b.srl(Reg::T3, Reg::T2, Reg::S4);
+    b.andi(Reg::T3, Reg::T3, 255);
+    b.slli(Reg::T3, Reg::T3, 3);
+    b.add(Reg::T3, Reg::S3, Reg::T3);
+    b.ld(Reg::T4, Reg::T3, 0); // position
+    b.addi(Reg::T6, Reg::T4, 1);
+    b.sd(Reg::T6, Reg::T3, 0);
+    b.slli(Reg::T4, Reg::T4, 3);
+    b.add(Reg::T4, Reg::S1, Reg::T4);
+    b.sd(Reg::T2, Reg::T4, 0);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("scatter_loop");
+    b.label("scatter_done");
+    // swap buffers, next digit
+    b.mv(Reg::A4, Reg::S0);
+    b.mv(Reg::S0, Reg::S1);
+    b.mv(Reg::S1, Reg::A4);
+    b.addi(Reg::S4, Reg::S4, 8);
+    b.li(Reg::T0, 16);
+    b.blt(Reg::S4, Reg::T0, "pass_loop");
+    emit_checksum_sorted(&mut b, Reg::S0, n as i64);
+    Workload::new("rsort", b.build().expect("rsort builds"), 200 * n + 200_000)
+}
+
+/// Word-granular `memcpy` of `bytes` (rounded down to a multiple of 32) —
+/// the Memory-Bound workload of Fig. 7(b)/(l). The footprint (source plus
+/// destination) should exceed the L1D to show the effect.
+///
+/// `a0` ends as `dst[0] + dst[last] + words` for verification.
+///
+/// # Panics
+///
+/// Panics if `bytes < 64`.
+pub fn memcpy(bytes: u64) -> Workload {
+    assert!(bytes >= 64, "need at least 64 bytes");
+    let words = (bytes / 32) * 4;
+    let mut b = ProgramBuilder::new("memcpy");
+    let data = XorShift::new(0x5eed_0004).values(words as usize);
+    let src = b.data_u64(&data);
+    let dst = b.alloc_data(words * 8);
+    b.li(Reg::S0, src as i64);
+    b.li(Reg::S1, dst as i64);
+    b.li(Reg::S2, words as i64);
+    b.li(Reg::T0, 0);
+    b.label("copy_loop");
+    b.bge(Reg::T0, Reg::S2, "copy_done");
+    b.ld(Reg::T1, Reg::S0, 0);
+    b.ld(Reg::T2, Reg::S0, 8);
+    b.ld(Reg::T3, Reg::S0, 16);
+    b.ld(Reg::T4, Reg::S0, 24);
+    b.sd(Reg::T1, Reg::S1, 0);
+    b.sd(Reg::T2, Reg::S1, 8);
+    b.sd(Reg::T3, Reg::S1, 16);
+    b.sd(Reg::T4, Reg::S1, 24);
+    b.addi(Reg::S0, Reg::S0, 32);
+    b.addi(Reg::S1, Reg::S1, 32);
+    b.addi(Reg::T0, Reg::T0, 4);
+    b.j("copy_loop");
+    b.label("copy_done");
+    // a0 = dst[0] + dst[words-1] + words
+    b.li(Reg::T5, dst as i64);
+    b.ld(Reg::A0, Reg::T5, 0);
+    b.slli(Reg::T6, Reg::S2, 3);
+    b.add(Reg::T6, Reg::T5, Reg::T6);
+    b.ld(Reg::T6, Reg::T6, -8);
+    b.add(Reg::A0, Reg::A0, Reg::T6);
+    b.add(Reg::A0, Reg::A0, Reg::S2);
+    b.halt();
+    Workload::new("memcpy", b.build().expect("memcpy builds"), 20 * words + 10_000)
+}
+
+/// Dense `dim × dim` double-precision matrix multiply (i-k-j order) —
+/// exercises the FP issue port (the lane-4 signature of Table V's `mm`
+/// row).
+///
+/// `a0` ends as the bit pattern of `sum(C)`.
+///
+/// # Panics
+///
+/// Panics if `dim` is zero.
+pub fn mm(dim: u64) -> Workload {
+    assert!(dim > 0, "dimension must be non-zero");
+    let mut b = ProgramBuilder::new("mm");
+    let cells = (dim * dim) as usize;
+    let a_vals: Vec<u64> = (0..cells)
+        .map(|i| (((i % 7) as f64) * 0.5 + 1.0).to_bits())
+        .collect();
+    let b_vals: Vec<u64> = (0..cells)
+        .map(|i| (((i % 5) as f64) * 0.25 + 0.5).to_bits())
+        .collect();
+    let ma = b.data_u64(&a_vals);
+    let mb = b.data_u64(&b_vals);
+    let mc = b.alloc_data(cells as u64 * 8);
+    b.li(Reg::S3, ma as i64);
+    b.li(Reg::S4, mb as i64);
+    b.li(Reg::S5, mc as i64);
+    b.li(Reg::S2, dim as i64);
+    b.li(Reg::T0, 0); // i
+    b.label("i_loop");
+    b.bge(Reg::T0, Reg::S2, "mm_done");
+    b.li(Reg::T1, 0); // k
+    b.label("k_loop");
+    b.bge(Reg::T1, Reg::S2, "k_done");
+    b.mul(Reg::T3, Reg::T0, Reg::S2);
+    b.add(Reg::T3, Reg::T3, Reg::T1);
+    b.slli(Reg::T3, Reg::T3, 3);
+    b.add(Reg::T3, Reg::S3, Reg::T3);
+    b.fld(icicle_isa::FReg::F0, Reg::T3, 0); // r = A[i][k]
+    b.mul(Reg::T4, Reg::T1, Reg::S2);
+    b.slli(Reg::T4, Reg::T4, 3);
+    b.add(Reg::T4, Reg::S4, Reg::T4); // &B[k][0]
+    b.mul(Reg::T5, Reg::T0, Reg::S2);
+    b.slli(Reg::T5, Reg::T5, 3);
+    b.add(Reg::T5, Reg::S5, Reg::T5); // &C[i][0]
+    b.li(Reg::T2, 0); // j
+    b.label("j_loop");
+    b.bge(Reg::T2, Reg::S2, "j_done");
+    b.slli(Reg::T6, Reg::T2, 3);
+    b.add(Reg::A2, Reg::T4, Reg::T6);
+    b.fld(icicle_isa::FReg::F1, Reg::A2, 0);
+    b.add(Reg::A3, Reg::T5, Reg::T6);
+    b.fld(icicle_isa::FReg::F2, Reg::A3, 0);
+    b.fmul(icicle_isa::FReg::F3, icicle_isa::FReg::F0, icicle_isa::FReg::F1);
+    b.fadd(icicle_isa::FReg::F2, icicle_isa::FReg::F2, icicle_isa::FReg::F3);
+    b.fsd(icicle_isa::FReg::F2, Reg::A3, 0);
+    b.addi(Reg::T2, Reg::T2, 1);
+    b.j("j_loop");
+    b.label("j_done");
+    b.addi(Reg::T1, Reg::T1, 1);
+    b.j("k_loop");
+    b.label("k_done");
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("i_loop");
+    b.label("mm_done");
+    // a0 = bits(sum C)
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, cells as i64);
+    b.li(Reg::T2, mc as i64);
+    b.fmv_d_x(icicle_isa::FReg::F4, Reg::ZERO);
+    b.label("sum_loop");
+    b.bge(Reg::T0, Reg::T1, "sum_done");
+    b.slli(Reg::T3, Reg::T0, 3);
+    b.add(Reg::T3, Reg::T2, Reg::T3);
+    b.fld(icicle_isa::FReg::F5, Reg::T3, 0);
+    b.fadd(icicle_isa::FReg::F4, icicle_isa::FReg::F4, icicle_isa::FReg::F5);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("sum_loop");
+    b.label("sum_done");
+    b.fmv_x_d(Reg::A0, icicle_isa::FReg::F4);
+    b.halt();
+    Workload::new("mm", b.build().expect("mm builds"), 40 * dim * dim * dim + 50_000)
+}
+
+/// Element-wise vector add `c[i] = a[i] + b[i]` over `n` words.
+///
+/// `a0` ends as `sum(c)`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn vvadd(n: u64) -> Workload {
+    assert!(n > 0, "n must be non-zero");
+    let mut b = ProgramBuilder::new("vvadd");
+    let mut rng = XorShift::new(0x5eed_0005);
+    let av: Vec<u64> = rng.values(n as usize).iter().map(|v| v & 0xffff).collect();
+    let bv: Vec<u64> = rng.values(n as usize).iter().map(|v| v & 0xffff).collect();
+    let aa = b.data_u64(&av);
+    let bb = b.data_u64(&bv);
+    let cc = b.alloc_data(n * 8);
+    b.li(Reg::S0, aa as i64);
+    b.li(Reg::S1, bb as i64);
+    b.li(Reg::S2, cc as i64);
+    b.li(Reg::S3, n as i64);
+    b.li(Reg::T0, 0);
+    b.li(Reg::A0, 0);
+    b.label("loop");
+    b.bge(Reg::T0, Reg::S3, "done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T2, Reg::S0, Reg::T1);
+    b.ld(Reg::T3, Reg::T2, 0);
+    b.add(Reg::T4, Reg::S1, Reg::T1);
+    b.ld(Reg::T5, Reg::T4, 0);
+    b.add(Reg::T6, Reg::T3, Reg::T5);
+    b.add(Reg::A2, Reg::S2, Reg::T1);
+    b.sd(Reg::T6, Reg::A2, 0);
+    b.add(Reg::A0, Reg::A0, Reg::T6);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("loop");
+    b.label("done");
+    b.halt();
+    Workload::new("vvadd", b.build().expect("vvadd builds"), 20 * n + 10_000)
+}
+
+fn branch_chain(name: &str, units: u64, always_taken: bool) -> Workload {
+    let mut b = ProgramBuilder::new(name);
+    b.li(Reg::A0, 0);
+    for k in 0..units {
+        let skip = format!("u{k}");
+        if always_taken {
+            // Taken branch; the cold BHT predicts not-taken → mispredict.
+            b.beq(Reg::ZERO, Reg::ZERO, &skip);
+            // Wrong-path filler (never retired).
+            b.addi(Reg::A0, Reg::A0, 1000);
+            b.label(&skip);
+        } else {
+            // Never-taken branch; the cold BHT predicts correctly. Both
+            // variants retire exactly two instructions per unit.
+            b.bne(Reg::ZERO, Reg::ZERO, &skip);
+            b.label(&skip);
+        }
+        b.addi(Reg::A0, Reg::A0, 1);
+    }
+    b.halt();
+    Workload::new(name, b.build().expect("branch chain builds"), units * 8 + 1000)
+}
+
+/// Case study 2's `brmiss`: a chain of `units` *taken* branch
+/// instructions without a loop — every branch executes once against a
+/// cold predictor and mispredicts. `a0` counts the units.
+pub fn brmiss(units: u64) -> Workload {
+    branch_chain("brmiss", units, true)
+}
+
+/// Case study 2's `brmiss_inv`: the same chain with every branch
+/// inverted (never taken), so the cold not-taken prediction is always
+/// correct. Identical retired-instruction count to [`brmiss`].
+pub fn brmiss_inv(units: u64) -> Workload {
+    branch_chain("brmiss_inv", units, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icicle_isa::Reg;
+
+    #[test]
+    fn mergesort_sorts() {
+        let s = mergesort(256).execute().unwrap();
+        assert_eq!(s.trailing_reg(Reg::A1), 1, "output must be sorted");
+        let expected: u64 = XorShift::new(0x5eed_0001)
+            .values(256)
+            .iter()
+            .fold(0u64, |acc, v| acc.wrapping_add(*v));
+        assert_eq!(s.trailing_reg(Reg::A0), expected, "checksum must match");
+    }
+
+    #[test]
+    fn qsort_sorts() {
+        let s = qsort(256).execute().unwrap();
+        assert_eq!(s.trailing_reg(Reg::A1), 1);
+        let expected: u64 = XorShift::new(0x5eed_0002)
+            .values(256)
+            .iter()
+            .fold(0u64, |acc, v| acc.wrapping_add(*v));
+        assert_eq!(s.trailing_reg(Reg::A0), expected);
+    }
+
+    #[test]
+    fn rsort_sorts() {
+        let s = rsort(300).execute().unwrap();
+        assert_eq!(s.trailing_reg(Reg::A1), 1);
+        let mut rng = XorShift::new(0x5eed_0003);
+        let expected: u64 = (0..300).map(|_| rng.below(1 << 16)).sum();
+        assert_eq!(s.trailing_reg(Reg::A0), expected);
+    }
+
+    #[test]
+    fn memcpy_copies() {
+        let s = memcpy(4096).execute().unwrap();
+        let words = 4096 / 8;
+        let data = XorShift::new(0x5eed_0004).values(words);
+        let expected = data[0]
+            .wrapping_add(data[words - 1])
+            .wrapping_add(words as u64);
+        assert_eq!(s.trailing_reg(Reg::A0), expected);
+    }
+
+    #[test]
+    fn mm_matches_reference() {
+        let dim = 8usize;
+        let s = mm(dim as u64).execute().unwrap();
+        let a: Vec<f64> = (0..dim * dim).map(|i| ((i % 7) as f64) * 0.5 + 1.0).collect();
+        let bm: Vec<f64> = (0..dim * dim).map(|i| ((i % 5) as f64) * 0.25 + 0.5).collect();
+        let mut c = vec![0.0f64; dim * dim];
+        for i in 0..dim {
+            for k in 0..dim {
+                let r = a[i * dim + k];
+                for j in 0..dim {
+                    c[i * dim + j] += r * bm[k * dim + j];
+                }
+            }
+        }
+        let mut sum = 0.0f64;
+        for v in &c {
+            sum += v;
+        }
+        assert_eq!(s.trailing_reg(Reg::A0), sum.to_bits());
+    }
+
+    #[test]
+    fn vvadd_sums() {
+        let n = 128usize;
+        let s = vvadd(n as u64).execute().unwrap();
+        let mut rng = XorShift::new(0x5eed_0005);
+        let av: Vec<u64> = rng.values(n).iter().map(|v| v & 0xffff).collect();
+        let bv: Vec<u64> = rng.values(n).iter().map(|v| v & 0xffff).collect();
+        let expected: u64 = av.iter().zip(&bv).map(|(x, y)| x + y).sum();
+        assert_eq!(s.trailing_reg(Reg::A0), expected);
+    }
+
+    #[test]
+    fn branch_chains_match_in_retired_work() {
+        let t = brmiss(100).execute().unwrap();
+        let i = brmiss_inv(100).execute().unwrap();
+        assert_eq!(t.trailing_reg(Reg::A0), 100);
+        assert_eq!(i.trailing_reg(Reg::A0), 100);
+        // Identical dynamic instruction counts: only prediction differs.
+        assert_eq!(t.len(), i.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn mergesort_rejects_non_power_of_two() {
+        let _ = mergesort(100);
+    }
+}

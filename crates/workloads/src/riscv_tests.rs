@@ -1,0 +1,402 @@
+//! Additional riscv-tests-style microbenchmarks (the paper's Table III
+//! lists the riscv-tests suite; these cover kernels the core set in
+//! [`micro`](crate::micro) does not: sparse gathers, deep recursion,
+//! branchy filtering, and software multiply).
+
+use icicle_isa::{FReg, ProgramBuilder, Reg};
+
+use crate::rng::XorShift;
+use crate::workload::Workload;
+
+/// Sparse matrix–vector multiply (`y = A·x`, CSR format): irregular
+/// gather loads through the column-index array plus FP multiply-add.
+///
+/// `a0` ends as the bit pattern of `sum(y)`.
+///
+/// # Panics
+///
+/// Panics if `rows` or `nnz_per_row` is zero.
+pub fn spmv(rows: u64, nnz_per_row: u64) -> Workload {
+    assert!(rows > 0 && nnz_per_row > 0, "degenerate matrix");
+    let mut b = ProgramBuilder::new("spmv");
+    let mut rng = XorShift::new(0x5eed_0030);
+    let nnz = (rows * nnz_per_row) as usize;
+    // CSR arrays: values (f64 bits), column indices, row pointers.
+    let vals: Vec<u64> = (0..nnz)
+        .map(|i| (((i % 9) as f64) * 0.125 + 0.25).to_bits())
+        .collect();
+    let cols: Vec<u64> = (0..nnz).map(|_| rng.below(rows)).collect();
+    let ptrs: Vec<u64> = (0..=rows).map(|r| r * nnz_per_row).collect();
+    let x: Vec<u64> = (0..rows)
+        .map(|i| (((i % 5) as f64) * 0.5 + 1.0).to_bits())
+        .collect();
+    let va = b.data_u64(&vals);
+    let ca = b.data_u64(&cols);
+    let pa = b.data_u64(&ptrs);
+    let xa = b.data_u64(&x);
+    let ya = b.alloc_data(rows * 8);
+    b.li(Reg::S0, va as i64);
+    b.li(Reg::S1, ca as i64);
+    b.li(Reg::S2, pa as i64);
+    b.li(Reg::S3, xa as i64);
+    b.li(Reg::S4, ya as i64);
+    b.li(Reg::S5, rows as i64);
+    b.li(Reg::T0, 0); // row
+    b.label("row_loop");
+    b.bge(Reg::T0, Reg::S5, "rows_done");
+    // k = ptr[row]; end = ptr[row+1]
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S2, Reg::T1);
+    b.ld(Reg::T2, Reg::T1, 0); // k
+    b.ld(Reg::T3, Reg::T1, 8); // end
+    b.fmv_d_x(FReg::F0, Reg::ZERO); // acc = 0.0
+    b.label("nnz_loop");
+    b.bge(Reg::T2, Reg::T3, "nnz_done");
+    b.slli(Reg::T4, Reg::T2, 3);
+    b.add(Reg::T5, Reg::S0, Reg::T4);
+    b.fld(FReg::F1, Reg::T5, 0); // A value
+    b.add(Reg::T5, Reg::S1, Reg::T4);
+    b.ld(Reg::T6, Reg::T5, 0); // column index
+    b.slli(Reg::T6, Reg::T6, 3);
+    b.add(Reg::T6, Reg::S3, Reg::T6);
+    b.fld(FReg::F2, Reg::T6, 0); // x[col]: the gather
+    b.fmul(FReg::F3, FReg::F1, FReg::F2);
+    b.fadd(FReg::F0, FReg::F0, FReg::F3);
+    b.addi(Reg::T2, Reg::T2, 1);
+    b.j("nnz_loop");
+    b.label("nnz_done");
+    b.slli(Reg::T4, Reg::T0, 3);
+    b.add(Reg::T4, Reg::S4, Reg::T4);
+    b.fsd(FReg::F0, Reg::T4, 0);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("row_loop");
+    b.label("rows_done");
+    // a0 = bits(sum y)
+    b.fmv_d_x(FReg::F4, Reg::ZERO);
+    b.li(Reg::T0, 0);
+    b.label("sum_loop");
+    b.bge(Reg::T0, Reg::S5, "sum_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S4, Reg::T1);
+    b.fld(FReg::F5, Reg::T1, 0);
+    b.fadd(FReg::F4, FReg::F4, FReg::F5);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("sum_loop");
+    b.label("sum_done");
+    b.fmv_x_d(Reg::A0, FReg::F4);
+    b.halt();
+    Workload::new(
+        "spmv",
+        b.build().expect("spmv builds"),
+        30 * rows * nnz_per_row + 20 * rows + 20_000,
+    )
+}
+
+/// Towers of Hanoi with true recursion (explicit stack frames, `jal` /
+/// `jalr` call/return pairs): exercises deep call chains and stack
+/// traffic. `a0` counts the moves (`2^disks − 1`).
+///
+/// # Panics
+///
+/// Panics if `disks` is zero or exceeds 20.
+pub fn towers(disks: u64) -> Workload {
+    assert!((1..=20).contains(&disks), "disk count out of range");
+    let mut b = ProgramBuilder::new("towers");
+    b.li(Reg::A0, 0); // move counter
+    b.li(Reg::A1, disks as i64); // n
+    b.call("hanoi");
+    b.halt();
+    // hanoi(n in a1): if n == 0 return; hanoi(n-1); count += 1; hanoi(n-1)
+    b.label("hanoi");
+    b.beq(Reg::A1, Reg::ZERO, "hanoi_ret");
+    // Push ra and n.
+    b.addi(Reg::SP, Reg::SP, -16);
+    b.sd(Reg::RA, Reg::SP, 0);
+    b.sd(Reg::A1, Reg::SP, 8);
+    b.addi(Reg::A1, Reg::A1, -1);
+    b.call("hanoi");
+    // The "move": count it.
+    b.addi(Reg::A0, Reg::A0, 1);
+    // Second recursive call with the same n-1.
+    b.ld(Reg::A1, Reg::SP, 8);
+    b.addi(Reg::A1, Reg::A1, -1);
+    b.call("hanoi");
+    // Pop and return.
+    b.ld(Reg::RA, Reg::SP, 0);
+    b.ld(Reg::A1, Reg::SP, 8);
+    b.addi(Reg::SP, Reg::SP, 16);
+    b.label("hanoi_ret");
+    b.ret();
+    Workload::new(
+        "towers",
+        b.build().expect("towers builds"),
+        40 * (1u64 << disks) + 1_000,
+    )
+}
+
+/// A 3-point median filter over a pseudo-random vector: the
+/// element-wise min/max network is all data-dependent branches.
+///
+/// `a0` ends as `sum(output)` (borders copied through).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn median(n: u64) -> Workload {
+    assert!(n >= 3, "need at least three elements");
+    let mut b = ProgramBuilder::new("median");
+    let mut rng = XorShift::new(0x5eed_0031);
+    let data: Vec<u64> = (0..n).map(|_| rng.below(1 << 12)).collect();
+    let input = b.data_u64(&data);
+    let output = b.alloc_data(n * 8);
+    b.li(Reg::S0, input as i64);
+    b.li(Reg::S1, output as i64);
+    b.li(Reg::S2, n as i64);
+    // Copy the borders.
+    b.ld(Reg::T0, Reg::S0, 0);
+    b.sd(Reg::T0, Reg::S1, 0);
+    b.slli(Reg::T1, Reg::S2, 3);
+    b.addi(Reg::T1, Reg::T1, -8);
+    b.add(Reg::T2, Reg::S0, Reg::T1);
+    b.ld(Reg::T0, Reg::T2, 0);
+    b.add(Reg::T2, Reg::S1, Reg::T1);
+    b.sd(Reg::T0, Reg::T2, 0);
+    b.li(Reg::T0, 1); // i
+    b.addi(Reg::S3, Reg::S2, -1);
+    b.label("med_loop");
+    b.bge(Reg::T0, Reg::S3, "med_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S0, Reg::T1);
+    b.ld(Reg::T2, Reg::T1, -8); // a
+    b.ld(Reg::T3, Reg::T1, 0); // b
+    b.ld(Reg::T4, Reg::T1, 8); // c
+    // median(a,b,c) with branches: sort a,b then clamp with c.
+    b.bgeu(Reg::T3, Reg::T2, "med_ab_ok"); // if b < a swap
+    b.mv(Reg::T5, Reg::T2);
+    b.mv(Reg::T2, Reg::T3);
+    b.mv(Reg::T3, Reg::T5);
+    b.label("med_ab_ok");
+    // now a=min, b=max of the first two; median = clamp(c, a, b)
+    b.bgeu(Reg::T4, Reg::T2, "med_c_ge_a");
+    b.mv(Reg::T6, Reg::T2); // c < a → median = a
+    b.j("med_store");
+    b.label("med_c_ge_a");
+    b.bgeu(Reg::T3, Reg::T4, "med_c_mid");
+    b.mv(Reg::T6, Reg::T3); // c > b → median = b
+    b.j("med_store");
+    b.label("med_c_mid");
+    b.mv(Reg::T6, Reg::T4); // a ≤ c ≤ b → median = c
+    b.label("med_store");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S1, Reg::T1);
+    b.sd(Reg::T6, Reg::T1, 0);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("med_loop");
+    b.label("med_done");
+    // a0 = sum(output)
+    b.li(Reg::A0, 0);
+    b.li(Reg::T0, 0);
+    b.label("med_sum");
+    b.bge(Reg::T0, Reg::S2, "med_sum_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T1, Reg::S1, Reg::T1);
+    b.ld(Reg::T2, Reg::T1, 0);
+    b.add(Reg::A0, Reg::A0, Reg::T2);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("med_sum");
+    b.label("med_sum_done");
+    b.halt();
+    Workload::new("median", b.build().expect("median builds"), 40 * n + 10_000)
+}
+
+/// Software multiply by shift-and-add (no `mul` instruction), the
+/// riscv-tests `multiply` kernel: a tight dependent-chain loop that is
+/// purely Core Bound.
+///
+/// `a0` ends as the wrapping sum of all products.
+///
+/// # Panics
+///
+/// Panics if `pairs` is zero.
+pub fn multiply(pairs: u64) -> Workload {
+    assert!(pairs > 0, "need at least one pair");
+    let mut b = ProgramBuilder::new("multiply");
+    let mut rng = XorShift::new(0x5eed_0032);
+    let xs: Vec<u64> = (0..pairs).map(|_| rng.below(1 << 16)).collect();
+    let ys: Vec<u64> = (0..pairs).map(|_| rng.below(1 << 16)).collect();
+    let xa = b.data_u64(&xs);
+    let ya = b.data_u64(&ys);
+    b.li(Reg::S0, xa as i64);
+    b.li(Reg::S1, ya as i64);
+    b.li(Reg::S2, pairs as i64);
+    b.li(Reg::A0, 0);
+    b.li(Reg::T0, 0); // pair index
+    b.label("pair_loop");
+    b.bge(Reg::T0, Reg::S2, "pairs_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T2, Reg::S0, Reg::T1);
+    b.ld(Reg::T3, Reg::T2, 0); // multiplicand
+    b.add(Reg::T2, Reg::S1, Reg::T1);
+    b.ld(Reg::T4, Reg::T2, 0); // multiplier
+    b.li(Reg::T5, 0); // product
+    b.label("bit_loop");
+    b.beq(Reg::T4, Reg::ZERO, "bits_done");
+    b.andi(Reg::T6, Reg::T4, 1);
+    b.beq(Reg::T6, Reg::ZERO, "bit_skip");
+    b.add(Reg::T5, Reg::T5, Reg::T3);
+    b.label("bit_skip");
+    b.slli(Reg::T3, Reg::T3, 1);
+    b.srli(Reg::T4, Reg::T4, 1);
+    b.j("bit_loop");
+    b.label("bits_done");
+    b.add(Reg::A0, Reg::A0, Reg::T5);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("pair_loop");
+    b.label("pairs_done");
+    b.halt();
+    Workload::new(
+        "multiply",
+        b.build().expect("multiply builds"),
+        150 * pairs + 10_000,
+    )
+}
+
+/// An atomic histogram: `amoadd.d` increments pseudo-randomly chosen
+/// bins, the A-extension pattern behind locks and reductions. Exercises
+/// the `Atomic` event and read-modify-write timing on both cores.
+///
+/// `a0` ends as the sum of all bins (= `updates`).
+///
+/// # Panics
+///
+/// Panics if `bins` is not a power of two ≥ 2 or `updates` is zero.
+pub fn atomic_histogram(bins: u64, updates: u64) -> Workload {
+    assert!(
+        bins.is_power_of_two() && bins >= 2 && updates > 0,
+        "degenerate histogram"
+    );
+    let mut b = ProgramBuilder::new("atomic_histogram");
+    let table = b.alloc_data(bins * 8);
+    b.li(Reg::S0, table as i64);
+    b.li(Reg::S1, 99991); // LCG state
+    b.li(Reg::S2, 6364136223846793005u64 as i64);
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, updates as i64);
+    b.li(Reg::T2, 1); // increment
+    b.label("ah_loop");
+    b.mul(Reg::S1, Reg::S1, Reg::S2);
+    b.addi(Reg::S1, Reg::S1, 1442695040888963407u64 as i64);
+    b.srli(Reg::T3, Reg::S1, 29);
+    b.andi(Reg::T3, Reg::T3, (bins - 1) as i64);
+    b.slli(Reg::T3, Reg::T3, 3);
+    b.add(Reg::T3, Reg::S0, Reg::T3);
+    b.amoadd(Reg::T4, Reg::T3, Reg::T2); // bin += 1
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, "ah_loop");
+    // a0 = sum of bins.
+    b.li(Reg::A0, 0);
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, bins as i64);
+    b.label("ah_sum");
+    b.bge(Reg::T0, Reg::T1, "ah_done");
+    b.slli(Reg::T3, Reg::T0, 3);
+    b.add(Reg::T3, Reg::S0, Reg::T3);
+    b.ld(Reg::T4, Reg::T3, 0);
+    b.add(Reg::A0, Reg::A0, Reg::T4);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("ah_sum");
+    b.label("ah_done");
+    b.halt();
+    Workload::new(
+        "atomic_histogram",
+        b.build().expect("atomic_histogram builds"),
+        25 * updates + 20 * bins + 10_000,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icicle_isa::Reg;
+
+    #[test]
+    fn spmv_matches_reference() {
+        let rows = 32u64;
+        let nnz_per_row = 4u64;
+        let s = spmv(rows, nnz_per_row).execute().unwrap();
+        // Recompute with the same generators.
+        let mut rng = XorShift::new(0x5eed_0030);
+        let nnz = (rows * nnz_per_row) as usize;
+        let vals: Vec<f64> = (0..nnz).map(|i| ((i % 9) as f64) * 0.125 + 0.25).collect();
+        let cols: Vec<u64> = (0..nnz).map(|_| rng.below(rows)).collect();
+        let x: Vec<f64> = (0..rows).map(|i| ((i % 5) as f64) * 0.5 + 1.0).collect();
+        let mut total = 0.0f64;
+        for r in 0..rows as usize {
+            let mut acc = 0.0f64;
+            for k in r * nnz_per_row as usize..(r + 1) * nnz_per_row as usize {
+                acc += vals[k] * x[cols[k] as usize];
+            }
+            total += acc;
+        }
+        assert_eq!(s.trailing_reg(Reg::A0), total.to_bits());
+    }
+
+    #[test]
+    fn towers_counts_moves() {
+        for disks in [1u64, 5, 8] {
+            let s = towers(disks).execute().unwrap();
+            assert_eq!(
+                s.trailing_reg(Reg::A0),
+                (1 << disks) - 1,
+                "hanoi({disks})"
+            );
+        }
+    }
+
+    #[test]
+    fn towers_uses_indirect_returns() {
+        let s = towers(6).execute().unwrap();
+        let rets = s
+            .iter()
+            .filter(|d| d.branch.map(|br| br.indirect).unwrap_or(false))
+            .count();
+        // One return per call: hanoi is entered 2^(n+1) − 1 times.
+        assert_eq!(rets, (1 << 7) - 1);
+    }
+
+    #[test]
+    fn median_matches_reference() {
+        let n = 64u64;
+        let s = median(n).execute().unwrap();
+        let mut rng = XorShift::new(0x5eed_0031);
+        let data: Vec<u64> = (0..n).map(|_| rng.below(1 << 12)).collect();
+        let mut out = data.clone();
+        for i in 1..(n as usize - 1) {
+            let (a, c, b_) = (data[i - 1], data[i + 1], data[i]);
+            let (lo, hi) = if b_ < a { (b_, a) } else { (a, b_) };
+            out[i] = c.clamp(lo, hi);
+        }
+        let expected: u64 = out.iter().fold(0u64, |acc, v| acc.wrapping_add(*v));
+        assert_eq!(s.trailing_reg(Reg::A0), expected);
+    }
+
+    #[test]
+    fn atomic_histogram_conserves_updates() {
+        let s = atomic_histogram(64, 500).execute().unwrap();
+        assert_eq!(s.trailing_reg(Reg::A0), 500);
+    }
+
+    #[test]
+    fn multiply_matches_reference() {
+        let pairs = 40u64;
+        let s = multiply(pairs).execute().unwrap();
+        let mut rng = XorShift::new(0x5eed_0032);
+        let xs: Vec<u64> = (0..pairs).map(|_| rng.below(1 << 16)).collect();
+        let ys: Vec<u64> = (0..pairs).map(|_| rng.below(1 << 16)).collect();
+        let expected: u64 = xs
+            .iter()
+            .zip(&ys)
+            .fold(0u64, |acc, (x, y)| acc.wrapping_add(x * y));
+        assert_eq!(s.trailing_reg(Reg::A0), expected);
+    }
+}

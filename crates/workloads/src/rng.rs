@@ -1,0 +1,105 @@
+//! Deterministic pseudo-random data generation for workload inputs.
+
+/// A 64-bit xorshift generator.
+///
+/// Workload inputs must be deterministic so simulations are reproducible
+/// run-to-run; this tiny generator avoids pulling `rand` into the
+/// workload definitions themselves.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator; a zero seed is replaced with a fixed non-zero
+    /// constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> XorShift {
+        XorShift {
+            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+        }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// A value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be non-zero");
+        self.next_u64() % bound
+    }
+
+    /// A vector of `n` pseudo-random values.
+    pub fn values(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_u64()).collect()
+    }
+
+    /// A single-cycle random permutation of `0..n` (Sattolo's algorithm):
+    /// following `p[i]` from any start visits every element — the
+    /// canonical pointer-chase pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn cycle_permutation(&mut self, n: usize) -> Vec<u64> {
+        assert!(n >= 2, "a cycle needs at least two elements");
+        let mut p: Vec<u64> = (0..n as u64).collect();
+        for i in (1..n).rev() {
+            let j = self.below(i as u64) as usize;
+            p.swap(i, j);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        assert_eq!(a.values(10), b.values(10));
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut r = XorShift::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn cycle_permutation_is_a_single_cycle() {
+        let mut r = XorShift::new(7);
+        let n = 257;
+        let p = r.cycle_permutation(n);
+        let mut seen = vec![false; n];
+        let mut i = 0usize;
+        for _ in 0..n {
+            assert!(!seen[i], "revisited {i} early");
+            seen[i] = true;
+            i = p[i] as usize;
+        }
+        assert_eq!(i, 0, "must return to the start after n steps");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = XorShift::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! Synthetic proxies for the SPEC CPU2017 intrate suite.
+//!
+//! SPEC CPU2017 is commercial and the paper runs it for hours on
+//! FPGA-accelerated simulation; neither is available here. Each proxy is
+//! a small kernel tuned to reproduce the *bottleneck signature* Fig. 7
+//! (g–j) reports for its benchmark — which class dominates and roughly by
+//! how much — because that signature, not the exact instruction stream,
+//! is what the TMA evaluation exercises. The correspondence is:
+//!
+//! | Proxy | Signature reproduced |
+//! |---|---|
+//! | `500.perlbench_r` | interpreter dispatch: indirect-jump mispredicts |
+//! | `502.gcc_r` | branchy traversal over a moderate working set |
+//! | `505.mcf_r` | pointer-chasing, ~80% Backend (Mem) Bound |
+//! | `520.omnetpp_r` | pointer-heavy event simulation, Mem Bound |
+//! | `523.xalancbmk_r` | tree walking over >L2 data, ~80% Backend Bound |
+//! | `525.x264_r` | dense compute, highest Retiring, visible Bad Spec |
+//! | `531.deepsjeng_r` | L1-sensitive table lookups (Rocket case study 1) |
+//! | `541.leela_r` | data-dependent search branches, Bad-Spec heavy |
+//! | `548.exchange2_r` | register-resident integer compute, Core Bound |
+//! | `557.xz_r` | byte-granular match loops, mixed Mem/Core |
+
+use icicle_isa::{ProgramBuilder, Reg, TEXT_BASE};
+
+use crate::rng::XorShift;
+use crate::workload::Workload;
+
+/// `505.mcf_r` proxy: a dependent pointer chase over a `entries`-element
+/// (×8-byte) permutation with `steps` hops.
+///
+/// # Panics
+///
+/// Panics if `entries < 2` or `steps` is zero.
+pub fn mcf_sized(entries: usize, steps: u64) -> Workload {
+    assert!(entries >= 2 && steps > 0, "degenerate size");
+    let mut b = ProgramBuilder::new("505.mcf_r");
+    let table = b.data_u64(&XorShift::new(0x5eed_0020).cycle_permutation(entries));
+    b.li(Reg::S2, table as i64);
+    b.li(Reg::T1, 0); // current index
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.label("mcf_loop");
+    b.slli(Reg::T4, Reg::T1, 3);
+    b.add(Reg::T4, Reg::S2, Reg::T4);
+    b.ld(Reg::T1, Reg::T4, 0); // the dependent hop
+    b.add(Reg::A0, Reg::A0, Reg::T1); // light per-node work
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "mcf_loop");
+    b.halt();
+    Workload::new("505.mcf_r", b.build().expect("mcf builds"), 10 * steps + 1_000)
+}
+
+/// `505.mcf_r` at the default evaluation size (1 MiB table — twice the
+/// L2 path for an L1/L2-missing chase).
+pub fn mcf() -> Workload {
+    mcf_sized(1 << 17, 3_000)
+}
+
+/// `520.omnetpp_r` proxy: pointer chase with moderate per-event compute.
+///
+/// # Panics
+///
+/// Panics if `entries < 2` or `steps` is zero.
+pub fn omnetpp_sized(entries: usize, steps: u64) -> Workload {
+    assert!(entries >= 2 && steps > 0, "degenerate size");
+    let mut b = ProgramBuilder::new("520.omnetpp_r");
+    let table = b.data_u64(&XorShift::new(0x5eed_0021).cycle_permutation(entries));
+    b.li(Reg::S2, table as i64);
+    b.li(Reg::T1, 0);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.li(Reg::S7, 0);
+    b.label("omn_loop");
+    b.slli(Reg::T4, Reg::T1, 3);
+    b.add(Reg::T4, Reg::S2, Reg::T4);
+    b.ld(Reg::T1, Reg::T4, 0);
+    // Event-processing work: priority-queue-ish arithmetic.
+    b.xor(Reg::T5, Reg::T1, Reg::S7);
+    b.slli(Reg::T6, Reg::T5, 2);
+    b.add(Reg::T5, Reg::T5, Reg::T6);
+    b.srli(Reg::T6, Reg::T5, 3);
+    b.add(Reg::A0, Reg::A0, Reg::T6);
+    b.add(Reg::S7, Reg::S7, Reg::T1);
+    b.andi(Reg::T5, Reg::T1, 15);
+    b.bne(Reg::T5, Reg::ZERO, "omn_next"); // taken 15/16: predictable
+    b.addi(Reg::A0, Reg::A0, 13);
+    b.label("omn_next");
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "omn_loop");
+    b.halt();
+    Workload::new(
+        "520.omnetpp_r",
+        b.build().expect("omnetpp builds"),
+        20 * steps + 1_000,
+    )
+}
+
+/// `520.omnetpp_r` at the default size (768 KiB event structure).
+pub fn omnetpp() -> Workload {
+    omnetpp_sized(98_304, 2_500)
+}
+
+/// `523.xalancbmk_r` proxy: tree-node chase plus byte-string touches.
+///
+/// # Panics
+///
+/// Panics if `entries < 2` or `steps` is zero.
+pub fn xalancbmk_sized(entries: usize, steps: u64) -> Workload {
+    assert!(entries >= 2 && steps > 0, "degenerate size");
+    let mut b = ProgramBuilder::new("523.xalancbmk_r");
+    let mut rng = XorShift::new(0x5eed_0022);
+    let table = b.data_u64(&rng.cycle_permutation(entries));
+    let strings = b.data_bytes(&(0..4096u32).map(|i| (i % 251) as u8).collect::<Vec<_>>());
+    b.li(Reg::S2, table as i64);
+    b.li(Reg::S3, strings as i64);
+    b.li(Reg::T1, 0);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.label("xal_loop");
+    b.slli(Reg::T4, Reg::T1, 3);
+    b.add(Reg::T4, Reg::S2, Reg::T4);
+    b.ld(Reg::T1, Reg::T4, 0); // DOM-node hop
+    // Tag-name byte compare (L1-resident strings).
+    b.andi(Reg::T5, Reg::T1, 4095);
+    b.add(Reg::T5, Reg::S3, Reg::T5);
+    b.lbu(Reg::T6, Reg::T5, 0);
+    b.add(Reg::A0, Reg::A0, Reg::T6);
+    b.andi(Reg::T5, Reg::T6, 3);
+    b.bne(Reg::T5, Reg::ZERO, "xal_next"); // taken 3/4
+    b.xori(Reg::A0, Reg::A0, 0x55);
+    b.label("xal_next");
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "xal_loop");
+    b.halt();
+    Workload::new(
+        "523.xalancbmk_r",
+        b.build().expect("xalancbmk builds"),
+        20 * steps + 1_000,
+    )
+}
+
+/// `523.xalancbmk_r` at the default size (1 MiB DOM).
+pub fn xalancbmk() -> Workload {
+    xalancbmk_sized(1 << 17, 2_500)
+}
+
+/// `502.gcc_r` proxy: IR-walk over a moderate working set with
+/// semi-predictable branches.
+///
+/// # Panics
+///
+/// Panics if `entries < 2` or `steps` is zero.
+pub fn gcc_sized(entries: usize, steps: u64) -> Workload {
+    assert!(entries >= 2 && steps > 0, "degenerate size");
+    let mut b = ProgramBuilder::new("502.gcc_r");
+    let mut rng = XorShift::new(0x5eed_0023);
+    let table = b.data_u64(&rng.values(entries));
+    let mask = (entries - 1) as i64;
+    assert!(entries.is_power_of_two(), "entries must be a power of two");
+    b.li(Reg::S2, table as i64);
+    b.li(Reg::S3, 12345); // LCG state
+    b.li(Reg::S4, 1103515245);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.label("gcc_loop");
+    // Pseudo-random IR-node index.
+    b.mul(Reg::S3, Reg::S3, Reg::S4);
+    b.addi(Reg::S3, Reg::S3, 12345);
+    b.srli(Reg::T0, Reg::S3, 16);
+    b.andi(Reg::T0, Reg::T0, mask);
+    b.slli(Reg::T0, Reg::T0, 3);
+    b.add(Reg::T0, Reg::S2, Reg::T0);
+    b.ld(Reg::T1, Reg::T0, 0);
+    // Opcode-style dispatch: two biased branches.
+    b.andi(Reg::T2, Reg::T1, 7);
+    b.beq(Reg::T2, Reg::ZERO, "gcc_rare"); // taken 1/8
+    b.andi(Reg::T3, Reg::T1, 1);
+    b.beq(Reg::T3, Reg::ZERO, "gcc_even"); // 50/50: the mispredict source
+    b.slli(Reg::T4, Reg::T1, 1);
+    b.add(Reg::A0, Reg::A0, Reg::T4);
+    b.j("gcc_next");
+    b.label("gcc_even");
+    b.srli(Reg::T4, Reg::T1, 2);
+    b.add(Reg::A0, Reg::A0, Reg::T4);
+    b.j("gcc_next");
+    b.label("gcc_rare");
+    b.xori(Reg::A0, Reg::A0, 0x3f);
+    b.label("gcc_next");
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "gcc_loop");
+    b.halt();
+    Workload::new("502.gcc_r", b.build().expect("gcc builds"), 25 * steps + 1_000)
+}
+
+/// `502.gcc_r` at the default size (128 KiB IR arena).
+pub fn gcc() -> Workload {
+    gcc_sized(1 << 14, 6_000)
+}
+
+/// `500.perlbench_r` proxy: a bytecode interpreter whose indirect
+/// dispatch (`jalr` through a handler table) defeats the BTB.
+///
+/// # Panics
+///
+/// Panics if `steps` is zero.
+pub fn perlbench_sized(steps: u64) -> Workload {
+    assert!(steps > 0, "degenerate size");
+    let mut b = ProgramBuilder::new("500.perlbench_r");
+    let mut rng = XorShift::new(0x5eed_0024);
+    b.j("perl_main");
+    // Eight opcode handlers; record each handler's PC for the table.
+    let mut handler_pcs = Vec::with_capacity(8);
+    for h in 0..8u64 {
+        handler_pcs.push(TEXT_BASE + 4 * b.len() as u64);
+        b.addi(Reg::A0, Reg::A0, (h + 1) as i64);
+        if h % 2 == 0 {
+            b.slli(Reg::A2, Reg::A0, 1);
+            b.xor(Reg::A0, Reg::A0, Reg::A2);
+        } else {
+            b.srli(Reg::A2, Reg::A0, 3);
+            b.add(Reg::A0, Reg::A0, Reg::A2);
+        }
+        b.ret();
+    }
+    let dispatch = b.data_u64(&handler_pcs);
+    let opcodes = b.data_u64(
+        &(0..4096)
+            .map(|_| rng.below(8))
+            .collect::<Vec<_>>(),
+    );
+    b.label("perl_main");
+    b.li(Reg::S2, dispatch as i64);
+    b.li(Reg::S3, opcodes as i64);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.label("perl_loop");
+    b.andi(Reg::T0, Reg::S5, 4095);
+    b.slli(Reg::T0, Reg::T0, 3);
+    b.add(Reg::T0, Reg::S3, Reg::T0);
+    b.ld(Reg::T1, Reg::T0, 0); // opcode
+    b.slli(Reg::T1, Reg::T1, 3);
+    b.add(Reg::T1, Reg::S2, Reg::T1);
+    b.ld(Reg::T2, Reg::T1, 0); // handler address
+    b.jalr(Reg::RA, Reg::T2, 0); // the unpredictable dispatch
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "perl_loop");
+    b.halt();
+    Workload::new(
+        "500.perlbench_r",
+        b.build().expect("perlbench builds"),
+        20 * steps + 1_000,
+    )
+}
+
+/// `500.perlbench_r` at the default size.
+pub fn perlbench() -> Workload {
+    perlbench_sized(5_000)
+}
+
+/// `525.x264_r` proxy: blocked sum-of-absolute-differences over two
+/// frames — dense ALU work with an occasionally-mispredicting sign
+/// branch.
+///
+/// # Panics
+///
+/// Panics if `words < 8` or `passes` is zero.
+pub fn x264_sized(words: usize, passes: u64) -> Workload {
+    assert!(words >= 8 && passes > 0, "degenerate size");
+    let mut b = ProgramBuilder::new("525.x264_r");
+    let mut rng = XorShift::new(0x5eed_0025);
+    let reference: Vec<u64> = rng.values(words).iter().map(|v| v & 0xffff).collect();
+    // The current frame mostly exceeds the reference (SAD diffs mostly
+    // positive) with ~15% negative outliers: a mildly unpredictable
+    // branch, like x264's motion-estimation clamps.
+    let current: Vec<u64> = reference
+        .iter()
+        .map(|&v| {
+            let noise = rng.below(32) as i64 - 4;
+            (v as i64 + noise).max(0) as u64
+        })
+        .collect();
+    let rf = b.data_u64(&reference);
+    let cf = b.data_u64(&current);
+    b.li(Reg::S2, rf as i64);
+    b.li(Reg::S3, cf as i64);
+    b.li(Reg::S4, words as i64);
+    b.li(Reg::S5, 0); // pass
+    b.li(Reg::S6, passes as i64);
+    b.li(Reg::A0, 0);
+    b.label("x264_pass");
+    b.li(Reg::T0, 0);
+    b.label("x264_loop");
+    b.bge(Reg::T0, Reg::S4, "x264_pass_done");
+    b.slli(Reg::T1, Reg::T0, 3);
+    b.add(Reg::T2, Reg::S3, Reg::T1);
+    b.ld(Reg::T3, Reg::T2, 0); // cur
+    b.add(Reg::T4, Reg::S2, Reg::T1);
+    b.ld(Reg::T5, Reg::T4, 0); // ref
+    b.sub(Reg::T6, Reg::T3, Reg::T5);
+    b.bge(Reg::T6, Reg::ZERO, "x264_pos"); // ~85% taken
+    b.sub(Reg::T6, Reg::ZERO, Reg::T6);
+    b.label("x264_pos");
+    b.add(Reg::A0, Reg::A0, Reg::T6);
+    // Filter-style ALU work per pixel pair.
+    b.slli(Reg::A2, Reg::T3, 2);
+    b.add(Reg::A2, Reg::A2, Reg::T5);
+    b.srli(Reg::A3, Reg::A2, 3);
+    b.xor(Reg::A2, Reg::A2, Reg::A3);
+    b.add(Reg::A0, Reg::A0, Reg::A2);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.j("x264_loop");
+    b.label("x264_pass_done");
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "x264_pass");
+    b.halt();
+    Workload::new(
+        "525.x264_r",
+        b.build().expect("x264 builds"),
+        20 * words as u64 * passes + 1_000,
+    )
+}
+
+/// `525.x264_r` at the default size (two 64 KiB frames, three passes).
+pub fn x264() -> Workload {
+    x264_sized(1 << 13, 3)
+}
+
+/// `531.deepsjeng_r` proxy: transposition-table probes over a working
+/// set sized between the 16 KiB and 32 KiB L1D of case study 1.
+///
+/// # Panics
+///
+/// Panics if `entries < 2` or `steps` is zero.
+pub fn deepsjeng_sized(entries: usize, steps: u64) -> Workload {
+    assert!(entries >= 2 && steps > 0, "degenerate size");
+    assert!(entries.is_power_of_two(), "entries must be a power of two");
+    let mut b = ProgramBuilder::new("531.deepsjeng_r");
+    let table = b.data_u64(&XorShift::new(0x5eed_0026).values(entries));
+    let mask = (entries - 1) as i64;
+    b.li(Reg::S2, table as i64);
+    b.li(Reg::S3, 98765); // Zobrist-hash-style state
+    b.li(Reg::S4, 2862933555777941757u64 as i64);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.label("ds_loop");
+    // Hash-indexed probe over a ¾-of-table window (branchlessly folding
+    // the top quarter down), so the hot set is 0.75 × table bytes — the
+    // default lands at 24 KiB, between the two L1D sizes of case study 1.
+    b.mul(Reg::S3, Reg::S3, Reg::S4);
+    b.addi(Reg::S3, Reg::S3, 3037000493u64 as i64);
+    b.srli(Reg::T0, Reg::S3, 20);
+    b.andi(Reg::T0, Reg::T0, mask);
+    let window = (entries as i64 * 3) / 4;
+    let quarter_shift = entries.trailing_zeros() as i64 - 2;
+    b.slti(Reg::T5, Reg::T0, window);
+    b.xori(Reg::T5, Reg::T5, 1);
+    b.slli(Reg::T5, Reg::T5, quarter_shift);
+    b.sub(Reg::T0, Reg::T0, Reg::T5);
+    b.slli(Reg::T0, Reg::T0, 3);
+    b.add(Reg::T0, Reg::S2, Reg::T0);
+    b.ld(Reg::T1, Reg::T0, 0);
+    // Evaluation arithmetic.
+    b.xor(Reg::T2, Reg::T1, Reg::S3);
+    b.srli(Reg::T3, Reg::T2, 7);
+    b.add(Reg::A0, Reg::A0, Reg::T3);
+    b.andi(Reg::T4, Reg::T1, 7);
+    b.bne(Reg::T4, Reg::ZERO, "ds_next"); // taken 7/8
+    b.addi(Reg::A0, Reg::A0, 21);
+    b.label("ds_next");
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "ds_loop");
+    b.halt();
+    Workload::new(
+        "531.deepsjeng_r",
+        b.build().expect("deepsjeng builds"),
+        20 * steps + 1_000,
+    )
+}
+
+/// `531.deepsjeng_r` at the default size: a 4096-entry table probed over
+/// a 24 KiB hot window — fits a 32 KiB L1D but thrashes a 16 KiB one
+/// (case study 1).
+pub fn deepsjeng() -> Workload {
+    deepsjeng_sized(4096, 8_000)
+}
+
+/// `541.leela_r` proxy: Monte-Carlo-tree-search-style data-dependent
+/// branching over an L1-resident position table.
+///
+/// # Panics
+///
+/// Panics if `entries < 2` or `steps` is zero.
+pub fn leela_sized(entries: usize, steps: u64) -> Workload {
+    assert!(entries >= 2 && steps > 0, "degenerate size");
+    assert!(entries.is_power_of_two(), "entries must be a power of two");
+    let mut b = ProgramBuilder::new("541.leela_r");
+    let table = b.data_u64(&XorShift::new(0x5eed_0027).values(entries));
+    let mask = (entries - 1) as i64;
+    b.li(Reg::S2, table as i64);
+    b.li(Reg::S3, 424243);
+    b.li(Reg::S4, 6364136223846793005u64 as i64);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.label("ll_loop");
+    b.mul(Reg::S3, Reg::S3, Reg::S4);
+    b.addi(Reg::S3, Reg::S3, 1442695040888963407u64 as i64);
+    b.srli(Reg::T0, Reg::S3, 33);
+    b.andi(Reg::T0, Reg::T0, mask);
+    b.slli(Reg::T0, Reg::T0, 3);
+    b.add(Reg::T0, Reg::S2, Reg::T0);
+    b.ld(Reg::T1, Reg::T0, 0);
+    // Two rollout decisions on random data: the Bad Speculation source.
+    b.andi(Reg::T2, Reg::T1, 1);
+    b.beq(Reg::T2, Reg::ZERO, "ll_a"); // 50/50
+    b.addi(Reg::A0, Reg::A0, 3);
+    b.j("ll_b_test");
+    b.label("ll_a");
+    b.addi(Reg::A0, Reg::A0, 5);
+    b.label("ll_b_test");
+    b.andi(Reg::T3, Reg::T1, 2);
+    b.beq(Reg::T3, Reg::ZERO, "ll_next"); // 50/50
+    b.xori(Reg::A0, Reg::A0, 0x0f0);
+    b.label("ll_next");
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "ll_loop");
+    b.halt();
+    Workload::new("541.leela_r", b.build().expect("leela builds"), 20 * steps + 1_000)
+}
+
+/// `541.leela_r` at the default size (16 KiB position table).
+pub fn leela() -> Workload {
+    leela_sized(1 << 11, 6_000)
+}
+
+/// `548.exchange2_r` proxy: register-resident Sudoku-style integer
+/// permutation work with highly predictable loops — the Core-Bound,
+/// high-IPC point of Fig. 7(g).
+///
+/// # Panics
+///
+/// Panics if `outer` is zero.
+pub fn exchange2_sized(outer: u64) -> Workload {
+    assert!(outer > 0, "degenerate size");
+    let mut b = ProgramBuilder::new("548.exchange2_r");
+    let grid = b.data_u64(&(0..81u64).map(|i| i % 9 + 1).collect::<Vec<_>>());
+    b.li(Reg::S2, grid as i64);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, outer as i64);
+    b.li(Reg::A0, 0);
+    b.label("ex_outer");
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, 72);
+    b.label("ex_inner");
+    // Swap-and-score two grid cells (L1-resident) with abundant ILP.
+    b.slli(Reg::T2, Reg::T0, 3);
+    b.add(Reg::T2, Reg::S2, Reg::T2);
+    b.ld(Reg::T3, Reg::T2, 0);
+    b.ld(Reg::T4, Reg::T2, 8);
+    b.sd(Reg::T4, Reg::T2, 0);
+    b.sd(Reg::T3, Reg::T2, 8);
+    b.add(Reg::T5, Reg::T3, Reg::T4);
+    b.slli(Reg::T6, Reg::T5, 2);
+    b.xor(Reg::T5, Reg::T5, Reg::T6);
+    b.add(Reg::A0, Reg::A0, Reg::T5);
+    b.mul(Reg::A2, Reg::T3, Reg::T4);
+    b.add(Reg::A0, Reg::A0, Reg::A2);
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, "ex_inner"); // predictable
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "ex_outer");
+    b.halt();
+    Workload::new(
+        "548.exchange2_r",
+        b.build().expect("exchange2 builds"),
+        1200 * outer + 1_000,
+    )
+}
+
+/// `548.exchange2_r` at the default size.
+pub fn exchange2() -> Workload {
+    exchange2_sized(400)
+}
+
+/// `557.xz_r` proxy: byte-granular match scanning with occasional
+/// dictionary probes.
+///
+/// # Panics
+///
+/// Panics if `input_bytes < 64`, `dict_entries < 2`, or `steps` is zero.
+pub fn xz_sized(input_bytes: usize, dict_entries: usize, steps: u64) -> Workload {
+    assert!(
+        input_bytes >= 64 && dict_entries >= 2 && steps > 0,
+        "degenerate size"
+    );
+    assert!(
+        dict_entries.is_power_of_two() && input_bytes.is_power_of_two(),
+        "sizes must be powers of two"
+    );
+    let mut b = ProgramBuilder::new("557.xz_r");
+    let mut rng = XorShift::new(0x5eed_0028);
+    let input: Vec<u8> = (0..input_bytes).map(|_| rng.below(256) as u8).collect();
+    let inp = b.data_bytes(&input);
+    let dict = b.data_u64(&rng.values(dict_entries));
+    b.li(Reg::S2, inp as i64);
+    b.li(Reg::S3, dict as i64);
+    b.li(Reg::S5, 0);
+    b.li(Reg::S6, steps as i64);
+    b.li(Reg::A0, 0);
+    b.li(Reg::S7, 0); // rolling hash
+    b.label("xz_loop");
+    // Sequential byte scan.
+    b.andi(Reg::T0, Reg::S5, (input_bytes - 1) as i64);
+    b.add(Reg::T0, Reg::S2, Reg::T0);
+    b.lbu(Reg::T1, Reg::T0, 0);
+    b.slli(Reg::T2, Reg::S7, 5);
+    b.add(Reg::S7, Reg::S7, Reg::T2);
+    b.add(Reg::S7, Reg::S7, Reg::T1);
+    // "Match found" branch, ~75% literal.
+    b.andi(Reg::T3, Reg::T1, 3);
+    b.bne(Reg::T3, Reg::ZERO, "xz_literal");
+    // Match path: probe the dictionary (random index → cache pressure).
+    b.srli(Reg::T4, Reg::S7, 7);
+    b.andi(Reg::T4, Reg::T4, (dict_entries - 1) as i64);
+    b.slli(Reg::T4, Reg::T4, 3);
+    b.add(Reg::T4, Reg::S3, Reg::T4);
+    b.ld(Reg::T5, Reg::T4, 0);
+    b.add(Reg::A0, Reg::A0, Reg::T5);
+    b.j("xz_next");
+    b.label("xz_literal");
+    b.add(Reg::A0, Reg::A0, Reg::T1);
+    b.label("xz_next");
+    b.addi(Reg::S5, Reg::S5, 1);
+    b.blt(Reg::S5, Reg::S6, "xz_loop");
+    b.halt();
+    Workload::new("557.xz_r", b.build().expect("xz builds"), 20 * steps + 1_000)
+}
+
+/// `557.xz_r` at the default size (256 KiB input, 256 KiB dictionary).
+pub fn xz() -> Workload {
+    xz_sized(1 << 18, 1 << 15, 12_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icicle_isa::Reg;
+
+    #[test]
+    fn all_proxies_execute_at_reduced_size() {
+        let workloads = vec![
+            mcf_sized(1 << 10, 500),
+            omnetpp_sized(1 << 10, 500),
+            xalancbmk_sized(1 << 10, 500),
+            gcc_sized(1 << 10, 500),
+            perlbench_sized(500),
+            x264_sized(512, 2),
+            deepsjeng_sized(512, 500),
+            leela_sized(512, 500),
+            exchange2_sized(10),
+            xz_sized(4096, 512, 500),
+        ];
+        for w in workloads {
+            let s = w
+                .execute()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+            assert!(s.len() > 100, "{} too short", w.name());
+        }
+    }
+
+    #[test]
+    fn perlbench_dispatch_runs_all_handlers() {
+        let s = perlbench_sized(200).execute().unwrap();
+        // Handlers both add and transform a0: it must be non-trivial.
+        assert_ne!(s.trailing_reg(Reg::A0), 0);
+        // Every step executes exactly one jalr dispatch plus one return.
+        let indirects = s
+            .iter()
+            .filter(|d| d.branch.map(|br| br.indirect).unwrap_or(false))
+            .count();
+        assert_eq!(indirects, 400);
+    }
+
+    #[test]
+    fn mcf_chase_never_repeats_early() {
+        // The Sattolo cycle guarantees `steps < entries` distinct nodes.
+        let w = mcf_sized(1 << 12, 1000);
+        let s = w.execute().unwrap();
+        let mut addrs: Vec<u64> = s
+            .iter()
+            .filter_map(|d| d.mem.map(|m| m.addr))
+            .collect();
+        let total = addrs.len();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), total, "chase revisited a node early");
+    }
+
+    #[test]
+    fn proxies_are_deterministic() {
+        let a = leela_sized(512, 300).execute().unwrap();
+        let b = leela_sized(512, 300).execute().unwrap();
+        assert_eq!(a.trailing_reg(Reg::A0), b.trailing_reg(Reg::A0));
+    }
+}

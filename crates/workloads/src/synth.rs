@@ -1,0 +1,242 @@
+//! CoreMark- and Dhrystone-like composite kernels (Table III), including
+//! the ±instruction-scheduling CoreMark variants of case study 3.
+
+use icicle_isa::{ProgramBuilder, Reg};
+
+use crate::rng::XorShift;
+use crate::workload::Workload;
+
+/// A Dhrystone-like kernel: function calls, block copies, and simple
+/// integer logic with highly predictable control flow — the high-IPC
+/// point of Fig. 7(a)/(k).
+///
+/// `a0` accumulates a checksum across iterations.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn dhrystone(iters: u64) -> Workload {
+    assert!(iters > 0, "need at least one iteration");
+    let mut b = ProgramBuilder::new("dhrystone");
+    let rec = b.data_u64(&XorShift::new(0x5eed_0010).values(8));
+    let rec2 = b.alloc_data(64);
+    b.j("dh_main");
+    // Proc_1-like: a0 = a1*3 + a2.
+    b.label("dh_f1");
+    b.slli(Reg::A0, Reg::A1, 1);
+    b.add(Reg::A0, Reg::A0, Reg::A1);
+    b.add(Reg::A0, Reg::A0, Reg::A2);
+    b.ret();
+    // Func_2-like: a0 = (a1 > a2) ? a1 - a2 : a2 - a1.
+    b.label("dh_f2");
+    b.bltu(Reg::A1, Reg::A2, "dh_f2_swap");
+    b.sub(Reg::A0, Reg::A1, Reg::A2);
+    b.ret();
+    b.label("dh_f2_swap");
+    b.sub(Reg::A0, Reg::A2, Reg::A1);
+    b.ret();
+    b.label("dh_main");
+    b.li(Reg::S0, 0);
+    b.li(Reg::S1, iters as i64);
+    b.li(Reg::S2, rec as i64);
+    b.li(Reg::S3, rec2 as i64);
+    b.li(Reg::A0, 0);
+    b.li(Reg::S4, 0); // checksum
+    b.label("dh_loop");
+    b.bge(Reg::S0, Reg::S1, "dh_done");
+    // Record assignment: copy the 8-word record.
+    b.ld(Reg::T0, Reg::S2, 0);
+    b.ld(Reg::T1, Reg::S2, 8);
+    b.ld(Reg::T2, Reg::S2, 16);
+    b.ld(Reg::T3, Reg::S2, 24);
+    b.sd(Reg::T0, Reg::S3, 0);
+    b.sd(Reg::T1, Reg::S3, 8);
+    b.sd(Reg::T2, Reg::S3, 16);
+    b.sd(Reg::T3, Reg::S3, 24);
+    b.ld(Reg::T0, Reg::S2, 32);
+    b.ld(Reg::T1, Reg::S2, 40);
+    b.ld(Reg::T2, Reg::S2, 48);
+    b.ld(Reg::T3, Reg::S2, 56);
+    b.sd(Reg::T0, Reg::S3, 32);
+    b.sd(Reg::T1, Reg::S3, 40);
+    b.sd(Reg::T2, Reg::S3, 48);
+    b.sd(Reg::T3, Reg::S3, 56);
+    // Call Proc_1.
+    b.andi(Reg::A1, Reg::S0, 63);
+    b.addi(Reg::A2, Reg::S0, 3);
+    b.call("dh_f1");
+    b.add(Reg::S4, Reg::S4, Reg::A0);
+    // Call Func_2 (branch inside is data-driven but mostly one-sided).
+    b.andi(Reg::A1, Reg::S0, 7);
+    b.li(Reg::A2, 100);
+    b.call("dh_f2");
+    b.add(Reg::S4, Reg::S4, Reg::A0);
+    // Simple logic with predictable branches.
+    b.andi(Reg::T4, Reg::S0, 1);
+    b.beq(Reg::T4, Reg::ZERO, "dh_even");
+    b.addi(Reg::S4, Reg::S4, 5);
+    b.j("dh_next");
+    b.label("dh_even");
+    b.addi(Reg::S4, Reg::S4, 3);
+    b.label("dh_next");
+    b.addi(Reg::S0, Reg::S0, 1);
+    b.j("dh_loop");
+    b.label("dh_done");
+    b.mv(Reg::A0, Reg::S4);
+    b.halt();
+    Workload::new("dhrystone", b.build().expect("dhrystone builds"), 60 * iters + 10_000)
+}
+
+/// A CoreMark-like kernel: per iteration, a linked-list walk, an integer
+/// matrix kernel, a state-machine branch ladder, and a CRC step.
+///
+/// `scheduled` reorders the matrix kernel the way GCC's
+/// `-fschedule-insns` does — identical instruction multiset, loads
+/// hoisted above uses — which is case study 3 (Fig. 7 e, f, m).
+///
+/// `a0` accumulates a checksum that is identical for both variants.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn coremark(iters: u64, scheduled: bool) -> Workload {
+    assert!(iters > 0, "need at least one iteration");
+    let name = if scheduled { "coremark-sched" } else { "coremark" };
+    let mut b = ProgramBuilder::new(name);
+    // 64-node list: node = (value, next-index), L1-resident.
+    let mut rng = XorShift::new(0x5eed_0011);
+    let order = rng.cycle_permutation(64);
+    let mut nodes = Vec::with_capacity(128);
+    for i in 0..64 {
+        nodes.push(rng.below(1 << 16)); // value
+        nodes.push(order[i]); // next index
+    }
+    let list = b.data_u64(&nodes);
+    let matrix = b.data_u64(&rng.values(64).iter().map(|v| v & 0xff).collect::<Vec<_>>());
+    let states = b.data_u64(
+        &(0..256)
+            .map(|_| rng.below(6))
+            .collect::<Vec<_>>(),
+    );
+    b.li(Reg::S0, 0);
+    b.li(Reg::S1, iters as i64);
+    b.li(Reg::S2, list as i64);
+    b.li(Reg::S3, matrix as i64);
+    b.li(Reg::S4, states as i64);
+    b.li(Reg::A0, 0); // checksum
+    b.label("cm_loop");
+    b.bge(Reg::S0, Reg::S1, "cm_done");
+
+    // --- Kernel 1: linked-list traversal (16 hops) --------------------
+    b.li(Reg::T0, 0); // node index
+    b.li(Reg::T1, 16);
+    b.li(Reg::T2, 0);
+    b.label("cm_list");
+    b.bge(Reg::T2, Reg::T1, "cm_list_done");
+    b.slli(Reg::T3, Reg::T0, 4); // node stride 16 bytes
+    b.add(Reg::T3, Reg::S2, Reg::T3);
+    b.ld(Reg::T4, Reg::T3, 0); // value
+    b.add(Reg::A0, Reg::A0, Reg::T4);
+    b.ld(Reg::T0, Reg::T3, 8); // next (dependent load)
+    b.addi(Reg::T2, Reg::T2, 1);
+    b.j("cm_list");
+    b.label("cm_list_done");
+
+    // --- Kernel 2: integer matrix ops, the scheduling target ----------
+    // Four independent (load, multiply, accumulate) chains over the
+    // matrix; `scheduled` hoists the loads and multiplies so dependent
+    // operations are not back-to-back.
+    b.andi(Reg::T5, Reg::S0, 31);
+    b.slli(Reg::T5, Reg::T5, 3);
+    b.add(Reg::T5, Reg::S3, Reg::T5); // &matrix[i % 32]
+    b.li(Reg::T6, 3);
+    if scheduled {
+        b.ld(Reg::T0, Reg::T5, 0);
+        b.ld(Reg::T1, Reg::T5, 8);
+        b.ld(Reg::T2, Reg::T5, 16);
+        b.ld(Reg::T3, Reg::T5, 24);
+        b.mul(Reg::T0, Reg::T0, Reg::T6);
+        b.mul(Reg::T1, Reg::T1, Reg::T6);
+        b.mul(Reg::T2, Reg::T2, Reg::T6);
+        b.mul(Reg::T3, Reg::T3, Reg::T6);
+        b.add(Reg::A0, Reg::A0, Reg::T0);
+        b.add(Reg::A0, Reg::A0, Reg::T1);
+        b.add(Reg::A0, Reg::A0, Reg::T2);
+        b.add(Reg::A0, Reg::A0, Reg::T3);
+    } else {
+        b.ld(Reg::T0, Reg::T5, 0);
+        b.mul(Reg::T0, Reg::T0, Reg::T6);
+        b.add(Reg::A0, Reg::A0, Reg::T0);
+        b.ld(Reg::T1, Reg::T5, 8);
+        b.mul(Reg::T1, Reg::T1, Reg::T6);
+        b.add(Reg::A0, Reg::A0, Reg::T1);
+        b.ld(Reg::T2, Reg::T5, 16);
+        b.mul(Reg::T2, Reg::T2, Reg::T6);
+        b.add(Reg::A0, Reg::A0, Reg::T2);
+        b.ld(Reg::T3, Reg::T5, 24);
+        b.mul(Reg::T3, Reg::T3, Reg::T6);
+        b.add(Reg::A0, Reg::A0, Reg::T3);
+    }
+
+    // --- Kernel 3: state machine -----------------------------------------
+    b.andi(Reg::T0, Reg::S0, 255);
+    b.slli(Reg::T0, Reg::T0, 3);
+    b.add(Reg::T0, Reg::S4, Reg::T0);
+    b.ld(Reg::T1, Reg::T0, 0); // state in 0..6
+    b.li(Reg::T2, 3);
+    b.blt(Reg::T1, Reg::T2, "cm_low");
+    b.slli(Reg::T3, Reg::T1, 1);
+    b.add(Reg::A0, Reg::A0, Reg::T3);
+    b.j("cm_state_done");
+    b.label("cm_low");
+    b.addi(Reg::A0, Reg::A0, 7);
+    b.label("cm_state_done");
+
+    // --- Kernel 4: CRC step ------------------------------------------------
+    b.andi(Reg::T0, Reg::A0, 1);
+    b.srli(Reg::A0, Reg::A0, 1);
+    b.beq(Reg::T0, Reg::ZERO, "cm_crc_skip");
+    b.li(Reg::T1, 0x0000_0000_edb8_8320);
+    b.xor(Reg::A0, Reg::A0, Reg::T1);
+    b.label("cm_crc_skip");
+
+    b.addi(Reg::S0, Reg::S0, 1);
+    b.j("cm_loop");
+    b.label("cm_done");
+    b.halt();
+    Workload::new(name, b.build().expect("coremark builds"), 300 * iters + 20_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icicle_isa::Reg;
+
+    #[test]
+    fn dhrystone_checksum_is_stable() {
+        let a = dhrystone(50).execute().unwrap();
+        let b = dhrystone(50).execute().unwrap();
+        assert_eq!(a.trailing_reg(Reg::A0), b.trailing_reg(Reg::A0));
+        assert_ne!(a.trailing_reg(Reg::A0), 0);
+    }
+
+    #[test]
+    fn coremark_variants_compute_identically() {
+        let plain = coremark(40, false).execute().unwrap();
+        let sched = coremark(40, true).execute().unwrap();
+        // Same result and same dynamic instruction count: only the
+        // *order* differs, exactly like the paper's two -O1 binaries.
+        assert_eq!(
+            plain.trailing_reg(Reg::A0),
+            sched.trailing_reg(Reg::A0)
+        );
+        assert_eq!(plain.len(), sched.len());
+    }
+
+    #[test]
+    fn coremark_is_deterministic() {
+        let a = coremark(10, false).execute().unwrap();
+        let b = coremark(10, false).execute().unwrap();
+        assert_eq!(a.trailing_reg(Reg::A0), b.trailing_reg(Reg::A0));
+    }
+}

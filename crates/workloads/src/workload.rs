@@ -1,0 +1,43 @@
+//! The workload wrapper type.
+
+use icicle_isa::{DynStream, Interpreter, IsaError, Program};
+
+/// A named, ready-to-run benchmark program.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    name: String,
+    program: Program,
+    max_instrs: u64,
+}
+
+impl Workload {
+    /// Wraps a built program with a dynamic-instruction budget.
+    pub fn new(name: impl Into<String>, program: Program, max_instrs: u64) -> Workload {
+        Workload {
+            name: name.into(),
+            program,
+            max_instrs,
+        }
+    }
+
+    /// The workload's name (as printed in figures and tables).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The program text and data image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Architecturally executes the workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors; in particular
+    /// [`IsaError::InstructionLimit`] if the program exceeds its budget
+    /// (which would indicate a bug in the workload definition).
+    pub fn execute(&self) -> Result<DynStream, IsaError> {
+        Interpreter::new(&self.program).run(self.max_instrs)
+    }
+}

@@ -1,0 +1,36 @@
+//! Rocket case study 1 (Fig. 7c): shrink the L1 D-cache from 32 KiB to
+//! 16 KiB under `531.deepsjeng_r` and watch TMA attribute the slowdown
+//! to the Backend.
+//!
+//! ```sh
+//! cargo run --release --example cache_case_study
+//! ```
+
+use icicle::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = icicle::workloads::spec::deepsjeng();
+    let stream = workload.execute()?;
+
+    let mut results = Vec::new();
+    for l1d_kib in [32u64, 16] {
+        let mut config = RocketConfig::default();
+        config.memory.l1d.size_bytes = l1d_kib * 1024;
+        let mut core = Rocket::new(config, stream.clone());
+        let report = Perf::new().run(&mut core)?;
+        println!("--- L1D = {l1d_kib} KiB ---");
+        println!("{report}\n");
+        results.push((l1d_kib, report));
+    }
+
+    let (_, big) = &results[0];
+    let (_, small) = &results[1];
+    let slowdown = 100.0 * (small.cycles as f64 / big.cycles as f64 - 1.0);
+    println!(
+        "halving the L1D costs {slowdown:.1}% runtime; Backend-bound rises \
+         from {:.1}% to {:.1}% (paper: ~0% -> ~12% at a 7% slowdown)",
+        100.0 * big.tma.top.backend,
+        100.0 * small.tma.top.backend,
+    );
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Compares the three counter implementations of §IV-B on the same
+//! workload: exact add-wires and scalar values, the distributed
+//! counters' bounded undercount, and the stock OR-semantics loss — plus
+//! each implementation's modelled physical cost (Fig. 9).
+//!
+//! ```sh
+//! cargo run --release --example counter_architectures
+//! ```
+
+use icicle::events::EventId;
+use icicle::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = icicle::workloads::micro::rsort(1 << 10);
+    let stream = workload.execute()?;
+
+    println!("counter architectures on `{}` (LargeBoom):\n", workload.name());
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>10}",
+        "impl", "uops-issued", "uops-retired", "fetch-bub.", "undercount"
+    );
+    for arch in [
+        CounterArch::Stock,
+        CounterArch::Scalar,
+        CounterArch::AddWires,
+        CounterArch::Distributed,
+    ] {
+        let mut core = Boom::new(
+            BoomConfig::large(),
+            stream.clone(),
+            workload.program().clone(),
+        );
+        let report = Perf::with_options(PerfOptions {
+            arch,
+            ..PerfOptions::default()
+        })
+        .run(&mut core)?;
+        let under: u64 = [
+            EventId::UopsIssued,
+            EventId::UopsRetired,
+            EventId::FetchBubbles,
+        ]
+        .into_iter()
+        .map(|e| report.undercount(e))
+        .sum();
+        println!(
+            "{:<12} {:>14} {:>14} {:>12} {:>10}",
+            format!("{arch:?}"),
+            report.hw_counts.get(EventId::UopsIssued),
+            report.hw_counts.get(EventId::UopsRetired),
+            report.hw_counts.get(EventId::FetchBubbles),
+            under
+        );
+    }
+
+    println!("\nmodelled post-placement cost on LargeBoom (Fig. 9):\n");
+    println!(
+        "{:<12} {:>9} {:>9} {:>12} {:>12}",
+        "impl", "power", "area", "wirelength", "CSR delay"
+    );
+    for arch in [
+        CounterArch::Scalar,
+        CounterArch::AddWires,
+        CounterArch::Distributed,
+    ] {
+        let r = evaluate_vlsi(BoomSize::Large, arch);
+        println!(
+            "{:<12} {:>8.2}% {:>8.2}% {:>11.2}% {:>11.3}x",
+            format!("{arch:?}"),
+            r.power_overhead_pct(),
+            r.area_overhead_pct(),
+            r.wirelength_overhead_pct(),
+            r.normalized_csr_delay()
+        );
+    }
+    Ok(())
+}

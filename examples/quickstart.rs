@@ -1,0 +1,35 @@
+//! Quickstart: characterize one workload on both cores with TMA.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use icicle::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick a workload: the paper's motivating mergesort.
+    let workload = icicle::workloads::micro::mergesort(1 << 10);
+    let stream = workload.execute()?;
+    println!(
+        "workload `{}`: {} dynamic instructions\n",
+        workload.name(),
+        stream.len()
+    );
+
+    // 2. Rocket: the 5-stage in-order core.
+    let mut rocket = Rocket::new(RocketConfig::default(), stream.clone());
+    let report = Perf::new().run(&mut rocket)?;
+    println!("{report}\n");
+
+    // 3. LargeBoomV3: the 8-fetch / 3-decode / 5-issue out-of-order core.
+    let mut boom = Boom::new(BoomConfig::large(), stream, workload.program().clone());
+    let report = Perf::new().run(&mut boom)?;
+    println!("{report}\n");
+
+    let (class, share) = report.tma.top.dominant();
+    println!(
+        "=> mergesort on LargeBoom is {class}-dominated ({:.1}% of slots)",
+        100.0 * share
+    );
+    Ok(())
+}

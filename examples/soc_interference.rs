@@ -1,0 +1,48 @@
+//! A heterogeneous two-core SoC sharing the 512 KiB L2: run an
+//! L2-resident pointer chase on BOOM alone, then next to an L2-thrashing
+//! neighbour on Rocket, and watch the interference arrive in the
+//! victim's Mem-Bound TMA class.
+//!
+//! ```sh
+//! cargo run --release --example soc_interference
+//! ```
+
+use icicle::prelude::*;
+use icicle::workloads::spec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let victim = spec::mcf_sized(1 << 15, 16_000); // 256 KiB working set
+
+    // Alone on the SoC.
+    let mut solo = SocBuilder::new()
+        .boom(BoomConfig::large(), &victim)?
+        .build();
+    let solo_report = &solo.run(100_000_000)?[0];
+    println!(
+        "victim alone:      {:>8} cycles, mem-bound {:.1}%",
+        solo_report.report.cycles,
+        100.0 * solo_report.report.tma.backend.mem_bound
+    );
+
+    // Next to a 1 MiB chase on a Rocket neighbour.
+    let aggressor = spec::mcf_sized(1 << 17, 8_000);
+    let mut soc = SocBuilder::new()
+        .boom(BoomConfig::large(), &victim)?
+        .rocket(RocketConfig::default(), &aggressor)?
+        .build();
+    let reports = soc.run(100_000_000)?;
+    println!(
+        "victim contended:  {:>8} cycles, mem-bound {:.1}%  (neighbour: {} on {})",
+        reports[0].report.cycles,
+        100.0 * reports[0].report.tma.backend.mem_bound,
+        reports[1].workload,
+        reports[1].report.core_name,
+    );
+    println!(
+        "interference: {:+.1}% runtime; shared-L2 bus queued {} cycles over {} accesses",
+        100.0 * (reports[0].report.cycles as f64 / solo_report.report.cycles as f64 - 1.0),
+        soc.shared_l2().contention_cycles(),
+        soc.shared_l2().accesses(),
+    );
+    Ok(())
+}

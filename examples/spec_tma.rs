@@ -1,0 +1,30 @@
+//! Top-level TMA for the SPEC CPU2017 intrate proxy suite on LargeBoom —
+//! the Fig. 7(g) characterization.
+//!
+//! ```sh
+//! cargo run --release --example spec_tma
+//! ```
+
+use icicle::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<18} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "benchmark", "ipc", "retiring", "bad-spec", "frontend", "backend"
+    );
+    for workload in icicle::workloads::spec_intrate_suite() {
+        let stream = workload.execute()?;
+        let mut core = Boom::new(BoomConfig::large(), stream, workload.program().clone());
+        let report = Perf::new().run(&mut core)?;
+        println!(
+            "{:<18} {:>6.2} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            workload.name(),
+            report.ipc(),
+            100.0 * report.tma.top.retiring,
+            100.0 * report.tma.top.bad_speculation,
+            100.0 * report.tma.top.frontend,
+            100.0 * report.tma.top.backend,
+        );
+    }
+    Ok(())
+}

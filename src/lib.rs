@@ -1,0 +1,7 @@
+//! Root package of the Icicle reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the actual library
+//! surface is the [`icicle`] facade crate, re-exported here.
+
+pub use icicle::*;

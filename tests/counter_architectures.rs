@@ -1,0 +1,143 @@
+//! Cross-crate property tests: all counter implementations observe the
+//! same event streams through the CSR file, so their documented
+//! accuracy relationships must hold on *any* pattern — not just the ones
+//! cores happen to produce.
+
+use icicle::events::{EventId, EventVector};
+use icicle::pmu::{CounterArch, CsrFile, EventSelection, HpmConfig};
+use proptest::prelude::*;
+
+/// Builds a CSR file with one counter per implementation, all watching
+/// the same 4-lane event.
+fn csr_with_all_archs(sources: usize) -> CsrFile {
+    let mut csr = CsrFile::new();
+    csr.enable();
+    for (slot, arch) in [
+        CounterArch::Stock,
+        CounterArch::Scalar,
+        CounterArch::AddWires,
+        CounterArch::Distributed,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        csr.configure(
+            slot,
+            HpmConfig {
+                selection: EventSelection::single(EventId::UopsIssued),
+                arch,
+                sources,
+            },
+        )
+        .unwrap();
+        csr.clear_inhibit(slot).unwrap();
+    }
+    csr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accuracy_relationships_hold_on_any_pattern(
+        pattern in proptest::collection::vec(0u16..16, 1..2_000)
+    ) {
+        let sources = 4;
+        let mut csr = csr_with_all_archs(sources);
+        let mut exact = 0u64;
+        let mut any_cycles = 0u64;
+        for mask in &pattern {
+            let mut v = EventVector::new();
+            for lane in 0..sources {
+                if mask & (1 << lane) != 0 {
+                    v.raise_lane(EventId::UopsIssued, lane);
+                }
+            }
+            exact += mask.count_ones() as u64;
+            if *mask != 0 {
+                any_cycles += 1;
+            }
+            csr.tick(&v);
+        }
+        let stock = csr.read(0).unwrap();
+        let scalar = csr.read(1).unwrap();
+        let wires = csr.read(2).unwrap();
+        let dist = csr.read(3).unwrap();
+        let dist_precise = csr.read_precise(3).unwrap();
+
+        // Stock OR-semantics count active cycles, not events.
+        prop_assert_eq!(stock, any_cycles);
+        // Scalar and add-wires are exact.
+        prop_assert_eq!(scalar, exact);
+        prop_assert_eq!(wires, exact);
+        // Distributed counters never lose events, only delay them.
+        prop_assert_eq!(dist_precise, exact);
+        prop_assert!(dist <= exact);
+        // …and the post-processing undercount is bounded: S local
+        // counters of width N each hold at most 2^N − 1 residual events
+        // plus one unharvested overflow.
+        let width = 2u64; // ⌈log2(4)⌉
+        let bound = sources as u64 * ((1 << width) - 1 + (1 << width));
+        prop_assert!(exact - dist <= bound, "undercount {} > bound {}", exact - dist, bound);
+    }
+
+    #[test]
+    fn quiet_tail_shrinks_distributed_loss(
+        bursts in proptest::collection::vec(0u16..16, 64..256)
+    ) {
+        let mut csr = csr_with_all_archs(4);
+        let mut exact = 0u64;
+        for mask in &bursts {
+            let mut v = EventVector::new();
+            for lane in 0..4 {
+                if mask & (1 << lane) != 0 {
+                    v.raise_lane(EventId::UopsIssued, lane);
+                }
+            }
+            exact += mask.count_ones() as u64;
+            csr.tick(&v);
+        }
+        // Idle cycles let the rotating arbiter harvest pending overflow
+        // flags: after `sources` quiet cycles only sub-2^N residue
+        // remains in each local counter.
+        let quiet = EventVector::new();
+        for _ in 0..8 {
+            csr.tick(&quiet);
+        }
+        let dist = csr.read(3).unwrap();
+        prop_assert!(exact - dist <= 4 * 3, "residue {} too large", exact - dist);
+    }
+}
+
+#[test]
+fn mixed_width_events_on_one_counter_pad_correctly() {
+    // §IV-B: when events with different source counts share an add-wires
+    // counter, the narrower increment is padded. UopsIssued (4 lanes) and
+    // Recovering (scalar) share the TMA set.
+    let mut csr = CsrFile::new();
+    csr.enable();
+    let sel = EventSelection::new(
+        icicle::events::EventSet::Tma,
+        (1 << EventId::UopsIssued.mask_bit()) | (1 << EventId::Recovering.mask_bit()),
+    )
+    .unwrap();
+    csr.configure(
+        0,
+        HpmConfig {
+            selection: sel,
+            arch: CounterArch::AddWires,
+            sources: 4,
+        },
+    )
+    .unwrap();
+    csr.clear_inhibit(0).unwrap();
+
+    let mut v = EventVector::new();
+    v.raise_lane(EventId::UopsIssued, 1);
+    v.raise_lane(EventId::UopsIssued, 2);
+    v.raise(EventId::Recovering);
+    csr.tick(&v);
+    // Recovering maps onto lane 0, UopsIssued asserts lanes 1 and 2:
+    // three increments in one cycle.
+    assert_eq!(csr.read(0).unwrap(), 3);
+}

@@ -1,0 +1,231 @@
+//! End-to-end integration tests: workload → interpreter → cycle-level
+//! core → PMU → TMA, plus the directional claims of the paper's case
+//! studies.
+
+use icicle::prelude::*;
+
+fn run_rocket(w: &Workload) -> PerfReport {
+    run_rocket_with(w, RocketConfig::default())
+}
+
+fn run_rocket_with(w: &Workload, config: RocketConfig) -> PerfReport {
+    let mut core = Rocket::new(config, w.execute().expect("workload executes"));
+    Perf::new().run(&mut core).expect("perf run succeeds")
+}
+
+fn run_boom(w: &Workload, config: BoomConfig) -> PerfReport {
+    let mut core = Boom::new(
+        config,
+        w.execute().expect("workload executes"),
+        w.program().clone(),
+    );
+    Perf::new().run(&mut core).expect("perf run succeeds")
+}
+
+fn small_micro_suite() -> Vec<Workload> {
+    use icicle::workloads::{micro, synth};
+    vec![
+        micro::mergesort(256),
+        micro::qsort(256),
+        micro::rsort(256),
+        micro::memcpy(16 * 1024),
+        micro::mm(10),
+        micro::vvadd(512),
+        micro::brmiss(300),
+        micro::brmiss_inv(300),
+        synth::dhrystone(100),
+        synth::coremark(20, false),
+    ]
+}
+
+#[test]
+fn every_micro_workload_characterizes_on_rocket() {
+    for w in small_micro_suite() {
+        let r = run_rocket(&w);
+        assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{}", w.name());
+        assert!(r.cycles > 0 && r.instret > 0, "{}", w.name());
+        let ipc = r.ipc();
+        assert!(ipc > 0.0 && ipc <= 1.0, "{} rocket ipc {ipc}", w.name());
+    }
+}
+
+#[test]
+fn every_micro_workload_characterizes_on_boom() {
+    for w in small_micro_suite() {
+        let r = run_boom(&w, BoomConfig::large());
+        assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{}", w.name());
+        let ipc = r.ipc();
+        assert!(ipc > 0.0 && ipc <= 3.0, "{} boom ipc {ipc}", w.name());
+        // Retired instructions equal the architectural stream exactly.
+        assert_eq!(
+            r.instret,
+            w.execute().unwrap().len() as u64,
+            "{}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn boom_outperforms_rocket_on_ilp_heavy_code() {
+    let w = icicle::workloads::micro::rsort(1 << 9);
+    let rocket = run_rocket(&w);
+    let boom = run_boom(&w, BoomConfig::large());
+    assert!(
+        boom.cycles < rocket.cycles,
+        "boom {} vs rocket {}",
+        boom.cycles,
+        rocket.cycles
+    );
+}
+
+// --- Case study 1: L1D size sensitivity (Fig. 7c) -----------------------
+
+#[test]
+fn case_study_cache_size_shows_in_backend() {
+    let w = icicle::workloads::spec::deepsjeng_sized(4096, 3_000);
+    let big = run_rocket(&w);
+    let mut small_cfg = RocketConfig::default();
+    small_cfg.memory.l1d.size_bytes = 16 * 1024;
+    let small = run_rocket_with(&w, small_cfg);
+    assert!(
+        small.cycles > big.cycles,
+        "smaller cache must be slower: {} vs {}",
+        small.cycles,
+        big.cycles
+    );
+    assert!(
+        small.tma.backend.mem_bound > big.tma.backend.mem_bound + 0.01,
+        "mem-bound must rise: {} vs {}",
+        small.tma.backend.mem_bound,
+        big.tma.backend.mem_bound
+    );
+}
+
+// --- Case study 2: branch inversion (Fig. 7d, 7n) ------------------------
+
+#[test]
+fn case_study_branch_inversion_on_rocket() {
+    let miss = run_rocket(&icicle::workloads::micro::brmiss(600));
+    let inv = run_rocket(&icicle::workloads::micro::brmiss_inv(600));
+    assert_eq!(miss.instret, inv.instret, "identical retired work");
+    assert!(inv.cycles < miss.cycles, "inverted chain must be faster");
+    assert!(
+        inv.tma.top.bad_speculation < miss.tma.top.bad_speculation - 0.05,
+        "bad speculation must fall: {} -> {}",
+        miss.tma.top.bad_speculation,
+        inv.tma.top.bad_speculation
+    );
+    assert!(
+        inv.tma.top.retiring > miss.tma.top.retiring,
+        "retiring must rise"
+    );
+}
+
+#[test]
+fn case_study_branch_inversion_on_boom() {
+    let miss = run_boom(&icicle::workloads::micro::brmiss(600), BoomConfig::large());
+    let inv = run_boom(
+        &icicle::workloads::micro::brmiss_inv(600),
+        BoomConfig::large(),
+    );
+    // The TMA direction holds on BOOM too; the paper found the *runtime*
+    // direction flips there, so only the classification is asserted.
+    assert!(inv.tma.top.bad_speculation < miss.tma.top.bad_speculation);
+}
+
+// --- Case study 3: CoreMark instruction scheduling (Fig. 7e, f, m) -------
+
+#[test]
+fn case_study_coremark_scheduling_on_rocket() {
+    let plain = run_rocket(&icicle::workloads::synth::coremark(150, false));
+    let sched = run_rocket(&icicle::workloads::synth::coremark(150, true));
+    assert_eq!(plain.instret, sched.instret, "same instruction count");
+    assert!(
+        sched.cycles < plain.cycles,
+        "scheduling must help in-order: {} vs {}",
+        sched.cycles,
+        plain.cycles
+    );
+    // The gain shows up in (and only in) the Backend/Core-Bound class.
+    assert!(sched.tma.backend.core_bound < plain.tma.backend.core_bound);
+    let speedup = 100.0 * (plain.cycles - sched.cycles) as f64 / plain.cycles as f64;
+    assert!(
+        (1.0..=15.0).contains(&speedup),
+        "speedup {speedup:.1}% out of the plausible range"
+    );
+}
+
+#[test]
+fn case_study_coremark_scheduling_on_boom() {
+    let plain = run_boom(
+        &icicle::workloads::synth::coremark(150, false),
+        BoomConfig::large(),
+    );
+    let sched = run_boom(
+        &icicle::workloads::synth::coremark(150, true),
+        BoomConfig::large(),
+    );
+    // Out-of-order issue hides most of the scheduling difference
+    // (the paper measures 0.3% vs ~4% on Rocket).
+    let delta = (plain.cycles as f64 - sched.cycles as f64).abs() / plain.cycles as f64;
+    assert!(delta < 0.03, "OoO should be nearly insensitive: {delta}");
+}
+
+// --- Workload signatures (Fig. 7 shapes) ---------------------------------
+
+#[test]
+fn memcpy_is_memory_bound_on_both_cores() {
+    let w = icicle::workloads::micro::memcpy(64 * 1024);
+    let rocket = run_rocket(&w);
+    assert_eq!(rocket.tma.top.dominant().0, "backend");
+    assert!(rocket.tma.backend.mem_bound > rocket.tma.backend.core_bound);
+    let boom = run_boom(&w, BoomConfig::large());
+    assert_eq!(boom.tma.top.dominant().0, "backend");
+    assert!(boom.tma.backend.mem_bound > boom.tma.backend.core_bound);
+}
+
+#[test]
+fn qsort_is_speculation_bound_relative_to_rsort() {
+    let q = run_boom(&icicle::workloads::micro::qsort(512), BoomConfig::large());
+    let r = run_boom(&icicle::workloads::micro::rsort(512), BoomConfig::large());
+    assert!(q.tma.top.bad_speculation > 3.0 * r.tma.top.bad_speculation);
+}
+
+#[test]
+fn mcf_proxy_is_backend_bound_on_boom() {
+    let w = icicle::workloads::spec::mcf_sized(1 << 14, 1_000);
+    let r = run_boom(&w, BoomConfig::large());
+    assert!(
+        r.tma.top.backend > 0.6,
+        "mcf backend {}",
+        r.tma.top.backend
+    );
+    assert!(r.tma.backend.mem_bound > r.tma.backend.core_bound);
+}
+
+#[test]
+fn exchange2_proxy_retires_most_slots() {
+    let w = icicle::workloads::spec::exchange2_sized(100);
+    let r = run_boom(&w, BoomConfig::large());
+    assert_eq!(r.tma.top.dominant().0, "retiring");
+    assert!(r.ipc() > 1.5, "exchange2 ipc {}", r.ipc());
+}
+
+#[test]
+fn all_boom_sizes_run_the_same_workload() {
+    let w = icicle::workloads::micro::mergesort(256);
+    let mut last_cycles = u64::MAX;
+    for size in BoomSize::ALL {
+        let r = run_boom(&w, BoomConfig::for_size(size));
+        assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{size}");
+        // Not strictly monotonic, but the widest core must beat the
+        // narrowest clearly.
+        if size == BoomSize::Small {
+            last_cycles = r.cycles;
+        }
+        if size == BoomSize::Giga {
+            assert!(r.cycles < last_cycles, "giga {} vs small {last_cycles}", r.cycles);
+        }
+    }
+}

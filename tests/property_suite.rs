@@ -1,0 +1,290 @@
+//! Workspace-level property tests: the simulator's building blocks are
+//! checked against independent reference implementations on randomized
+//! inputs.
+
+use icicle::isa::{AluKind, Interpreter, ProgramBuilder, Reg};
+use icicle::mem::{Cache, CacheConfig};
+use icicle::prelude::*;
+use proptest::prelude::*;
+
+// --- Interpreter vs a direct Rust evaluator ------------------------------
+
+#[derive(Clone, Debug)]
+struct AluStep {
+    kind: AluKind,
+    rd: u8,
+    rs1: u8,
+    src2: Result<u8, i64>, // register index or immediate
+}
+
+fn alu_kind_strategy() -> impl Strategy<Value = AluKind> {
+    prop_oneof![
+        Just(AluKind::Add),
+        Just(AluKind::Sub),
+        Just(AluKind::And),
+        Just(AluKind::Or),
+        Just(AluKind::Xor),
+        Just(AluKind::Sll),
+        Just(AluKind::Srl),
+        Just(AluKind::Sra),
+        Just(AluKind::Slt),
+        Just(AluKind::Sltu),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = AluStep> {
+    (
+        alu_kind_strategy(),
+        5u8..18,
+        5u8..18,
+        prop_oneof![(5u8..18).prop_map(Ok), (-4096i64..4096).prop_map(Err)],
+    )
+        .prop_map(|(kind, rd, rs1, src2)| AluStep {
+            kind,
+            rd,
+            rs1,
+            src2,
+        })
+}
+
+fn eval_alu(kind: AluKind, a: u64, b: u64) -> u64 {
+    match kind {
+        AluKind::Add => a.wrapping_add(b),
+        AluKind::Sub => a.wrapping_sub(b),
+        AluKind::And => a & b,
+        AluKind::Or => a | b,
+        AluKind::Xor => a ^ b,
+        AluKind::Sll => a.wrapping_shl((b & 63) as u32),
+        AluKind::Srl => a.wrapping_shr((b & 63) as u32),
+        AluKind::Sra => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        AluKind::Slt => ((a as i64) < (b as i64)) as u64,
+        AluKind::Sltu => (a < b) as u64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interpreter_matches_reference_alu_semantics(
+        seeds in proptest::collection::vec(any::<u64>(), 13),
+        steps in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        // Build the program: initialize x5..x17, run the ALU steps, halt.
+        let mut b = ProgramBuilder::new("prop");
+        for (i, seed) in seeds.iter().enumerate() {
+            b.li(Reg::new(5 + i as u8), *seed as i64);
+        }
+        for s in &steps {
+            match s.src2 {
+                Ok(r) => { b.alu(s.kind, Reg::new(s.rd), Reg::new(s.rs1), Reg::new(r)); }
+                Err(imm) => { b.alui(s.kind, Reg::new(s.rd), Reg::new(s.rs1), imm); }
+            }
+        }
+        b.halt();
+        let stream = Interpreter::new(&b.build().unwrap()).run(10_000).unwrap();
+
+        // Reference evaluation.
+        let mut regs = [0u64; 32];
+        for (i, seed) in seeds.iter().enumerate() {
+            regs[5 + i] = *seed;
+        }
+        for s in &steps {
+            let a = regs[s.rs1 as usize];
+            let bv = match s.src2 {
+                Ok(r) => regs[r as usize],
+                Err(imm) => imm as u64,
+            };
+            regs[s.rd as usize] = eval_alu(s.kind, a, bv);
+        }
+        for r in 5..18u8 {
+            prop_assert_eq!(
+                stream.trailing_reg(Reg::new(r)),
+                regs[r as usize],
+                "x{} diverged", r
+            );
+        }
+    }
+
+    #[test]
+    fn memory_round_trips_under_random_programs(
+        addr_offsets in proptest::collection::vec(0u64..64, 1..24),
+        values in proptest::collection::vec(any::<u64>(), 1..24),
+    ) {
+        // Store a value at each (8-byte aligned) offset and read the last
+        // write back through the ISA.
+        let n = addr_offsets.len().min(values.len());
+        let mut b = ProgramBuilder::new("memprop");
+        let base = b.alloc_data(64 * 8);
+        b.li(Reg::S0, base as i64);
+        for i in 0..n {
+            b.li(Reg::T1, values[i] as i64);
+            b.sd(Reg::T1, Reg::S0, (addr_offsets[i] * 8) as i64);
+        }
+        // Read back the final value at the first touched offset.
+        b.ld(Reg::A0, Reg::S0, (addr_offsets[0] * 8) as i64);
+        b.halt();
+        let stream = Interpreter::new(&b.build().unwrap()).run(10_000).unwrap();
+        // Reference: the last store to that offset wins.
+        let expected = (0..n)
+            .rev()
+            .find(|&i| addr_offsets[i] == addr_offsets[0])
+            .map(|i| values[i])
+            .unwrap();
+        prop_assert_eq!(stream.trailing_reg(Reg::A0), expected);
+    }
+}
+
+// --- Cache vs a reference LRU model ---------------------------------------
+
+#[derive(Debug)]
+struct RefCache {
+    sets: Vec<Vec<u64>>, // per set: block numbers, most recent last
+    ways: usize,
+    num_sets: u64,
+    block: u64,
+}
+
+impl RefCache {
+    fn new(cfg: &CacheConfig) -> RefCache {
+        RefCache {
+            sets: vec![Vec::new(); cfg.num_sets() as usize],
+            ways: cfg.ways as usize,
+            num_sets: cfg.num_sets(),
+            block: cfg.block_bytes,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let blk = addr / self.block;
+        let set = &mut self.sets[(blk % self.num_sets) as usize];
+        if let Some(pos) = set.iter().position(|&b| b == blk) {
+            set.remove(pos);
+            set.push(blk);
+            true
+        } else {
+            if set.len() == self.ways {
+                set.remove(0);
+            }
+            set.push(blk);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        ways in 1u32..8,
+        set_bits in 1u32..5,
+        addrs in proptest::collection::vec(0u64..(1 << 14), 1..600),
+    ) {
+        let cfg = CacheConfig {
+            size_bytes: 64 * (1 << set_bits) * ways as u64,
+            ways,
+            block_bytes: 64,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefCache::new(&cfg);
+        for &addr in &addrs {
+            let expected_hit = reference.access(addr);
+            let hit = cache.access(addr, false);
+            if !hit {
+                cache.fill(addr, false);
+            }
+            prop_assert_eq!(hit, expected_hit, "addr {:#x} diverged", addr);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.accesses(), addrs.len() as u64);
+    }
+}
+
+// --- Core-model invariants on randomized programs --------------------------
+
+fn random_loop_program(seed: u64, iters: u64) -> Workload {
+    // A loop whose body mixes ALU ops and memory touches driven by the
+    // seed — every generated program terminates by construction.
+    let mut b = ProgramBuilder::new("prop-loop");
+    let buf = b.alloc_data(512 * 8);
+    b.li(Reg::S0, buf as i64);
+    b.li(Reg::T0, 0);
+    b.li(Reg::T1, iters as i64);
+    b.li(Reg::S1, seed as i64);
+    b.label("l");
+    let mut x = seed | 1;
+    for _ in 0..(seed % 6) + 2 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        match x % 5 {
+            0 => {
+                b.addi(Reg::S1, Reg::S1, (x % 1000) as i64);
+            }
+            1 => {
+                b.xor(Reg::S1, Reg::S1, Reg::T0);
+            }
+            2 => {
+                b.andi(Reg::T2, Reg::S1, 511 * 8);
+                b.andi(Reg::T2, Reg::T2, !7);
+                b.add(Reg::T2, Reg::S0, Reg::T2);
+                b.sd(Reg::S1, Reg::T2, 0);
+            }
+            3 => {
+                b.andi(Reg::T2, Reg::T0, 511 * 8);
+                b.andi(Reg::T2, Reg::T2, !7);
+                b.add(Reg::T2, Reg::S0, Reg::T2);
+                b.ld(Reg::T3, Reg::T2, 0);
+                b.add(Reg::S1, Reg::S1, Reg::T3);
+            }
+            _ => {
+                b.slli(Reg::T3, Reg::S1, 1);
+                b.add(Reg::S1, Reg::S1, Reg::T3);
+            }
+        }
+    }
+    b.addi(Reg::T0, Reg::T0, 1);
+    b.blt(Reg::T0, Reg::T1, "l");
+    b.mv(Reg::A0, Reg::S1);
+    b.halt();
+    Workload::new("prop-loop", b.build().unwrap(), 200_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cores_retire_exactly_the_architectural_stream(
+        seed in any::<u64>(),
+        iters in 10u64..120,
+    ) {
+        let w = random_loop_program(seed, iters);
+        let stream = w.execute().unwrap();
+        let arch_len = stream.len() as u64;
+
+        let mut rocket = Rocket::new(RocketConfig::default(), stream.clone());
+        rocket.run_to_completion(10_000_000).expect("rocket finishes");
+        prop_assert_eq!(rocket.instret(), arch_len);
+
+        let mut boom = Boom::new(BoomConfig::large(), stream, w.program().clone());
+        boom.run_to_completion(10_000_000).expect("boom finishes");
+        prop_assert_eq!(boom.instret(), arch_len);
+    }
+
+    #[test]
+    fn tma_always_sums_to_one_on_real_runs(
+        seed in any::<u64>(),
+        iters in 10u64..80,
+    ) {
+        let w = random_loop_program(seed, iters);
+        let mut core = Boom::new(
+            BoomConfig::medium(),
+            w.execute().unwrap(),
+            w.program().clone(),
+        );
+        let report = Perf::new().run(&mut core).unwrap();
+        prop_assert!((report.tma.top.total() - 1.0).abs() < 1e-9);
+        prop_assert!(report.tma.is_consistent(0.6),
+            "wildly inconsistent breakdown: {:?}", report.tma);
+    }
+}
