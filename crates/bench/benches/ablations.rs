@@ -16,11 +16,7 @@ use icicle::prelude::*;
 use icicle::tma::TmaInput;
 use icicle::trace::SlotTemporalTma;
 
-fn boom_with(
-    w: &Workload,
-    config: BoomConfig,
-    perf: Perf,
-) -> PerfReport {
+fn boom_with(w: &Workload, config: BoomConfig, perf: Perf) -> PerfReport {
     let mut core = Boom::new(config, w.execute().unwrap(), w.program().clone());
     perf.run(&mut core).unwrap()
 }
@@ -51,8 +47,11 @@ fn ablation_recover_length() {
         .analyze(trace);
     println!(
         "trace ground truth: bad-spec {:.1}% of slots (recovery + flushed issue slots)",
-        100.0 * (1.0 - truth.retiring_fraction() - truth.frontend_fraction()
-            - truth.backend_fraction())
+        100.0
+            * (1.0
+                - truth.retiring_fraction()
+                - truth.frontend_fraction()
+                - truth.backend_fraction())
     );
     println!("\n{:>6} {:>10} {:>12}", "M_rl", "bad-spec", "vs truth(pp)");
     let input = TmaInput::from_counts(&report.hw_counts);

@@ -29,7 +29,11 @@ fn main() {
             last = Some(r);
         }
         let r = last.expect("at least one size");
-        println!("   {} ({:.0}%)", r.tma.top.dominant().0, 100.0 * r.tma.top.dominant().1);
+        println!(
+            "   {} ({:.0}%)",
+            r.tma.top.dominant().0,
+            100.0 * r.tma.top.dominant().1
+        );
     }
     // The ablation the regression motivates: giga with a store-set-style
     // memory dependence predictor.

@@ -1,0 +1,81 @@
+//! Criterion benchmark of the campaign engine's worker-pool scaling:
+//! the same fixed grid swept cold at 1, 2, 4, and 8 worker threads,
+//! plus the warm-cache path (which should be near-free regardless of
+//! thread count).
+//!
+//! The throughput unit is campaign cells, so the reported rates compare
+//! directly across thread counts. On a single-CPU host the thread
+//! counts collapse to sequential execution — run this on a multicore
+//! machine to see the scaling curve.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use icicle_campaign::{run_campaign, CampaignSpec, CoreSelect, ResultCache, RunOptions};
+use icicle_pmu::CounterArch;
+
+/// A grid big enough to keep 8 workers busy but small enough that a
+/// cold sweep fits in a benchmark iteration: 6 workloads × 1 core ×
+/// 2 archs × 2 seeds = 24 cells.
+fn sweep_spec() -> CampaignSpec {
+    CampaignSpec::new("bench-sweep")
+        .workloads([
+            "vvadd",
+            "towers",
+            "median",
+            "multiply",
+            "qsort",
+            "mergesort",
+        ])
+        .cores([CoreSelect::Rocket])
+        .archs([CounterArch::AddWires, CounterArch::Distributed])
+        .seeds([0, 1])
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let spec = sweep_spec();
+    let cells = spec.cells().len() as u64;
+    let mut group = c.benchmark_group("campaign-sweep");
+    group.throughput(Throughput::Elements(cells));
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_function(format!("cold-{jobs}-threads"), |b| {
+            // A fresh cache per iteration keeps every sweep cold.
+            b.iter(|| run_campaign(&spec, &RunOptions::with_jobs(jobs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_warm_cache(c: &mut Criterion) {
+    let spec = sweep_spec();
+    let cells = spec.cells().len() as u64;
+    let cache = Arc::new(ResultCache::in_memory());
+    // Prime the cache once; the measured runs only pay lookup cost.
+    let options = RunOptions {
+        jobs: 1,
+        cache: Some(Arc::clone(&cache)),
+        progress: None,
+    };
+    let primed = run_campaign(&spec, &options);
+    assert_eq!(primed.stats.failed, 0, "priming run failed");
+    let mut group = c.benchmark_group("campaign-sweep");
+    group.throughput(Throughput::Elements(cells));
+    group.bench_function("warm-cache", |b| {
+        b.iter(|| {
+            let report = run_campaign(&spec, &options);
+            assert_eq!(report.stats.simulated, 0);
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(5))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_thread_scaling, bench_warm_cache
+}
+criterion_main!(benches);

@@ -51,7 +51,9 @@ fn main() {
         let bubbles = (cycle..cycle + 60)
             .filter(|&c| btrace.is_high(2, c) && !btrace.is_high(1, c) && !btrace.is_high(3, c))
             .count();
-        let misses = (cycle..cycle + 60).filter(|&c| btrace.is_high(0, c)).count();
+        let misses = (cycle..cycle + 60)
+            .filter(|&c| btrace.is_high(0, c))
+            .count();
         if bubbles >= 3 && misses == 0 {
             println!(
                 "\n(b) warm-cache window on LargeBoom, cycles {cycle}..{}:",

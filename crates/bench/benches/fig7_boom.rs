@@ -100,8 +100,8 @@ fn main() {
         100.0 * worst_frontend,
         worst_frontend < 0.10
     );
-    let clears_small = spec.iter().all(|(_, r)| {
-        r.tma.bad_spec.machine_clears <= 0.3 * r.tma.top.bad_speculation.max(0.01)
-    });
+    let clears_small = spec
+        .iter()
+        .all(|(_, r)| r.tma.bad_spec.machine_clears <= 0.3 * r.tma.top.bad_speculation.max(0.01));
     println!("  machine clears are a small slice of bad speculation: {clears_small}");
 }

@@ -7,7 +7,9 @@
 //! * (n) BOOM — branch inversion.
 
 use icicle::prelude::*;
-use icicle_bench::{boom_report, print_top_header, print_top_row, rocket_report, rocket_report_with};
+use icicle_bench::{
+    boom_report, print_top_header, print_top_row, rocket_report, rocket_report_with,
+};
 
 fn main() {
     // --- (c) Rocket CS1: L1D size -------------------------------------
@@ -58,8 +60,14 @@ fn main() {
 
     // --- (m) BOOM: CoreMark scheduling ----------------------------------
     println!("=== Fig. 7(m): BOOM — CoreMark instruction scheduling ===\n");
-    let bplain = boom_report(&icicle::workloads::synth::coremark(400, false), BoomConfig::large());
-    let bsched = boom_report(&icicle::workloads::synth::coremark(400, true), BoomConfig::large());
+    let bplain = boom_report(
+        &icicle::workloads::synth::coremark(400, false),
+        BoomConfig::large(),
+    );
+    let bsched = boom_report(
+        &icicle::workloads::synth::coremark(400, true),
+        BoomConfig::large(),
+    );
     print_top_header();
     print_top_row("coremark", &bplain);
     print_top_row("coremark-sched", &bsched);
@@ -71,7 +79,10 @@ fn main() {
     // --- (n) BOOM: branch inversion --------------------------------------
     println!("=== Fig. 7(n): BOOM — branch inversion ===\n");
     let bmiss = boom_report(&icicle::workloads::micro::brmiss(1200), BoomConfig::large());
-    let binv = boom_report(&icicle::workloads::micro::brmiss_inv(1200), BoomConfig::large());
+    let binv = boom_report(
+        &icicle::workloads::micro::brmiss_inv(1200),
+        BoomConfig::large(),
+    );
     print_top_header();
     print_top_row("brmiss", &bmiss);
     print_top_row("brmiss_inv", &binv);

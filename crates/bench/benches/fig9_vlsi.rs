@@ -8,8 +8,8 @@
 //! chain is competitive at Small/Medium but its delay crosses above the
 //! distributed counters from Large up.
 
-use icicle::prelude::*;
 use icicle::pmu::CounterArch;
+use icicle::prelude::*;
 use icicle::vlsi::evaluate;
 
 const ARCHS: [CounterArch; 3] = [

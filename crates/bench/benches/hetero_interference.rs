@@ -23,10 +23,15 @@ fn main() {
     println!("=== Heterogeneous SoC: shared-L2 interference (extension) ===\n");
     println!(
         "{:<18} {:<18} {:>12} {:>12} {:>9} {:>14}",
-        "victim (boom)", "aggressor (rocket)", "solo cyc", "co-run cyc", "slowdown", "mem-bnd shift"
+        "victim (boom)",
+        "aggressor (rocket)",
+        "solo cyc",
+        "co-run cyc",
+        "slowdown",
+        "mem-bnd shift"
     );
     let aggressors: Vec<Workload> = vec![
-        micro::vvadd(1 << 12),          // streaming but small
+        micro::vvadd(1 << 12),           // streaming but small
         spec::mcf_sized(1 << 17, 8_000), // 1 MiB L2 thrasher
     ];
     for aggressor in &aggressors {

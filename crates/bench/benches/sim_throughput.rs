@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use icicle::events::{EventId, EventVector};
-use icicle::prelude::*;
 use icicle::pmu::{CsrFile, EventSelection, HpmConfig};
+use icicle::prelude::*;
 
 fn loop_workload() -> Workload {
     icicle::workloads::synth::coremark(30, false)

@@ -273,7 +273,10 @@ mod tests {
     fn table_iv_rob_and_queues() {
         let l = BoomConfig::large();
         assert_eq!(l.rob_entries, 96);
-        assert_eq!((l.int_iq_entries, l.mem_iq_entries, l.fp_iq_entries), (16, 32, 24));
+        assert_eq!(
+            (l.int_iq_entries, l.mem_iq_entries, l.fp_iq_entries),
+            (16, 32, 24)
+        );
         assert_eq!((l.lq_entries, l.stq_entries, l.n_mshrs), (24, 24, 4));
         assert_eq!(BoomConfig::giga().rob_entries, 130);
     }

@@ -289,7 +289,11 @@ impl Boom {
                 self.rename[dst.index()] = Some(id);
             }
         }
-        if self.fence_in_rob && !self.rob.iter().any(|id| self.uops[id].class == InstrClass::Fence)
+        if self.fence_in_rob
+            && !self
+                .rob
+                .iter()
+                .any(|id| self.uops[id].class == InstrClass::Fence)
         {
             self.fence_in_rob = false;
         }
@@ -489,8 +493,11 @@ impl Boom {
                     pos += 1;
                     continue;
                 }
-                InstrClass::Load | InstrClass::FpLoad | InstrClass::Store
-                | InstrClass::FpStore | InstrClass::Amo => {
+                InstrClass::Load
+                | InstrClass::FpLoad
+                | InstrClass::Store
+                | InstrClass::FpStore
+                | InstrClass::Amo => {
                     // Memory dependence prediction: a previously-violating
                     // load waits until every older store has issued (its
                     // address is then known) instead of speculating again.
@@ -678,8 +685,10 @@ impl Boom {
                     if self.iq_mem.len() >= self.config.mem_iq_entries {
                         return;
                     }
-                    let is_load =
-                        matches!(class, InstrClass::Load | InstrClass::FpLoad | InstrClass::Amo);
+                    let is_load = matches!(
+                        class,
+                        InstrClass::Load | InstrClass::FpLoad | InstrClass::Amo
+                    );
                     if is_load && self.loads_in_rob >= self.config.lq_entries {
                         return;
                     }
@@ -828,8 +837,7 @@ impl Boom {
                             if btb_target != Some(info.target) {
                                 // Decode-time resteer.
                                 self.events.raise(EventId::CfTargetMispredict);
-                                self.fetch_allowed =
-                                    self.cycle + self.config.redirect_penalty;
+                                self.fetch_allowed = self.cycle + self.config.redirect_penalty;
                             }
                             self.fetch_state = FetchState::Starting;
                             return;
@@ -916,12 +924,11 @@ impl Boom {
     fn push_on_path_uop(&mut self, stream_idx: usize, mispredict: Option<Mispredict>) {
         let d = self.stream.instrs()[stream_idx];
         let id = self.alloc_id();
-        let deps = d
-            .op
-            .srcs()
-            .into_iter()
-            .filter_map(|r| self.pending_writer(r))
-            .collect();
+        let deps =
+            d.op.srcs()
+                .into_iter()
+                .filter_map(|r| self.pending_writer(r))
+                .collect();
         self.fb.push_back(Uop {
             id,
             stream_idx: Some(stream_idx),
@@ -1021,11 +1028,12 @@ impl Boom {
         }
         // D$-blocked per commit lane: fewer than `lane+1` µops issued, the
         // issue queues hold work, and at least one MSHR is busy.
-        let iq_occupied = !self.iq_int.is_empty() || !self.iq_mem.is_empty() || !self.iq_fp.is_empty();
+        let iq_occupied =
+            !self.iq_int.is_empty() || !self.iq_mem.is_empty() || !self.iq_fp.is_empty();
         let mshr_ok = !self.config.dcache_blocked_requires_mshr || self.mshrs.any_busy(self.cycle);
         if iq_occupied && mshr_ok {
-            for lane in self.issued_this_cycle.min(self.config.decode_width)
-                ..self.config.decode_width
+            for lane in
+                self.issued_this_cycle.min(self.config.decode_width)..self.config.decode_width
             {
                 self.events.raise_lane(EventId::DCacheBlocked, lane);
             }
@@ -1246,7 +1254,11 @@ mod tests {
         b.halt();
         let (_, c) = run(b, BoomConfig::large());
         assert_eq!(c.fence_retired, 50);
-        assert!(c.recovering >= 50, "fence flushes recover: {}", c.recovering);
+        assert!(
+            c.recovering >= 50,
+            "fence flushes recover: {}",
+            c.recovering
+        );
         // Fences are intended flushes: no machine-clear Flush events.
         assert_eq!(c.flush, 0);
     }

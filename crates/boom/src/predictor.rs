@@ -131,7 +131,10 @@ mod tests {
             p.update(pc, taken);
             taken = !taken;
         }
-        assert!(correct > 90, "gshare should learn alternation: {correct}/100");
+        assert!(
+            correct > 90,
+            "gshare should learn alternation: {correct}/100"
+        );
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! The content-addressed result cache.
+//!
+//! Two tiers share one key space (the cell [`Fingerprint`]):
+//!
+//! * an in-memory map, always on, shared across the worker pool;
+//! * an optional on-disk tier under a cache directory, laid out as
+//!   `<dir>/<first two hex digits>/<16-hex-digit fingerprint>.json`
+//!   (fan-out keeps directories small on big sweeps).
+//!
+//! Disk writes go through a temp file + rename, so a crashed or killed
+//! campaign never leaves a half-written entry that would poison later
+//! runs; unparsable entries are treated as misses and overwritten.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::fingerprint::Fingerprint;
+use crate::json::Json;
+use crate::report::CellResult;
+
+/// A two-tier (memory + optional disk) result cache, safe to share
+/// across worker threads.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    memory: Mutex<HashMap<u64, CellResult>>,
+    disk: Option<PathBuf>,
+}
+
+impl ResultCache {
+    /// A memory-only cache (used for `--no-cache` runs, which still
+    /// dedupe identical cells within one campaign).
+    pub fn in_memory() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// A cache backed by `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            memory: Mutex::new(HashMap::new()),
+            disk: Some(dir),
+        })
+    }
+
+    /// The on-disk location of `fp`, if this cache has a disk tier.
+    pub fn entry_path(&self, fp: Fingerprint) -> Option<PathBuf> {
+        let hex = fp.hex();
+        self.disk
+            .as_ref()
+            .map(|dir| dir.join(&hex[..2]).join(format!("{hex}.json")))
+    }
+
+    /// Looks `fp` up, promoting disk hits into the memory tier.
+    pub fn get(&self, fp: Fingerprint) -> Option<CellResult> {
+        if let Some(hit) = self.memory.lock().unwrap().get(&fp.0) {
+            return Some(hit.clone());
+        }
+        let path = self.entry_path(fp)?;
+        let text = fs::read_to_string(path).ok()?;
+        let parsed = Json::parse(&text).ok()?;
+        let result = CellResult::from_json(&parsed).ok()?;
+        self.memory.lock().unwrap().insert(fp.0, result.clone());
+        Some(result)
+    }
+
+    /// Stores a result under `fp` in both tiers.
+    ///
+    /// Disk failures are swallowed: a cache that cannot persist only
+    /// costs future runs a re-simulation, it must not fail this one.
+    pub fn put(&self, fp: Fingerprint, result: &CellResult) {
+        self.memory.lock().unwrap().insert(fp.0, result.clone());
+        if let Some(path) = self.entry_path(fp) {
+            let _ = write_atomically(&path, &(result.to_json().render() + "\n"));
+        }
+    }
+
+    /// Number of entries in the memory tier.
+    pub fn len(&self) -> usize {
+        self.memory.lock().unwrap().len()
+    }
+
+    /// Whether the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
+    let parent = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "entry path has no parent"))?;
+    fs::create_dir_all(parent)?;
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TmaSummary;
+    use crate::spec::{CellSpec, CoreSelect};
+    use icicle_pmu::CounterArch;
+
+    fn sample(seed: u64) -> CellResult {
+        CellResult {
+            cell: CellSpec {
+                workload: "qsort".into(),
+                core: CoreSelect::Rocket,
+                arch: CounterArch::AddWires,
+                seed,
+                repeat: 0,
+                max_cycles: 1_000_000,
+            },
+            cycles: 123,
+            instret: 99,
+            // Exact at the serialized {:.6} precision, so disk
+            // round-trips compare equal structurally.
+            ipc: 0.75,
+            tma: TmaSummary::default(),
+            counters: vec![("cycles".into(), 123)],
+            from_cache: false,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("icicle-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_tier_round_trips() {
+        let cache = ResultCache::in_memory();
+        let fp = Fingerprint(0xabcd);
+        assert!(cache.get(fp).is_none());
+        cache.put(fp, &sample(1));
+        assert_eq!(cache.get(fp), Some(sample(1)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache_handle() {
+        let dir = tmpdir("disk");
+        let fp = Fingerprint(0x1234_5678_9abc_def0);
+        {
+            let cache = ResultCache::with_disk(&dir).unwrap();
+            cache.put(fp, &sample(7));
+        }
+        // A brand-new handle (fresh memory tier) must hit via disk.
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(fp), Some(sample(7)));
+        // Fan-out layout: <dir>/12/1234…json
+        let path = cache.entry_path(fp).unwrap();
+        assert!(path.starts_with(dir.join("12")), "{path:?}");
+        assert!(path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses_and_heal_on_put() {
+        let dir = tmpdir("corrupt");
+        let fp = Fingerprint(0xfeed);
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        let path = cache.entry_path(fp).unwrap();
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "{ not json").unwrap();
+        assert!(cache.get(fp).is_none());
+        cache.put(fp, &sample(3));
+        // Re-read through a fresh handle to force the disk path.
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(fresh.get(fp), Some(sample(3)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

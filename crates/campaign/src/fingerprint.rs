@@ -1,0 +1,213 @@
+//! Content-addressed job identity.
+//!
+//! Every cell of a campaign grid gets a stable 64-bit fingerprint of
+//! everything that can change its result: the workload name, the core,
+//! the counter architecture, the data seed, the repeat index, the cycle
+//! budget, and a cache-format version. The fingerprint is the key of
+//! both the in-memory and the on-disk result cache, so re-running a
+//! campaign re-simulates only cells whose identity actually changed.
+
+use std::fmt;
+
+use crate::spec::CellSpec;
+
+/// Bump when [`crate::report::CellResult`] serialization or simulation
+/// semantics change incompatibly; old cache entries then miss instead of
+/// resurfacing stale data.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// A stable 64-bit identity of one campaign cell.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// The 16-hex-digit form used for cache file names.
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the [`Fingerprint::hex`] form.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// FNV-1a over a byte stream.
+#[derive(Copy, Clone, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a length-prefixed field (prevents `ab|c` / `a|bc`
+    /// collisions between adjacent fields).
+    pub fn field(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The current hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// The fingerprint of one cell.
+pub fn fingerprint(cell: &CellSpec) -> Fingerprint {
+    let mut h = Fnv1a::default();
+    h.field(&CACHE_FORMAT_VERSION.to_le_bytes());
+    h.field(cell.workload.as_bytes());
+    h.field(cell.core.name().as_bytes());
+    h.field(cell.arch.name().as_bytes());
+    h.field(&cell.seed.to_le_bytes());
+    h.field(&cell.repeat.to_le_bytes());
+    h.field(&cell.max_cycles.to_le_bytes());
+    Fingerprint(h.finish())
+}
+
+/// SplitMix64 — derives the per-job RNG stream from a cell's identity.
+///
+/// Jobs draw their workload-data seed from this, so a cell's inputs are
+/// a pure function of the cell spec: byte-identical results no matter
+/// how many worker threads run the campaign or in which order the queue
+/// drains.
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The effective workload-data seed for a cell.
+///
+/// Seed 0 with repeat 0 is the canonical dataset (so a one-seed campaign
+/// reproduces `icicle-tma tma` exactly); anything else derives a
+/// distinct, deterministic stream per (seed, repeat).
+pub fn data_seed(cell: &CellSpec) -> u64 {
+    if cell.seed == 0 && cell.repeat == 0 {
+        0
+    } else {
+        let mixed = mix_seed(cell.seed, u64::from(cell.repeat));
+        // 0 means "canonical" — remap the (astronomically unlikely)
+        // collision instead of silently aliasing it.
+        if mixed == 0 {
+            1
+        } else {
+            mixed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignSpec, CoreSelect};
+    use icicle_pmu::CounterArch;
+
+    fn cell() -> CellSpec {
+        CellSpec {
+            workload: "qsort".into(),
+            core: CoreSelect::Rocket,
+            arch: CounterArch::AddWires,
+            seed: 3,
+            repeat: 1,
+            max_cycles: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn identical_cells_collide_and_different_cells_do_not() {
+        let base = cell();
+        assert_eq!(fingerprint(&base), fingerprint(&base.clone()));
+        let variants = [
+            CellSpec {
+                workload: "rsort".into(),
+                ..base.clone()
+            },
+            CellSpec {
+                core: CoreSelect::Boom(icicle_boom::BoomSize::Large),
+                ..base.clone()
+            },
+            CellSpec {
+                arch: CounterArch::Stock,
+                ..base.clone()
+            },
+            CellSpec {
+                seed: 4,
+                ..base.clone()
+            },
+            CellSpec {
+                repeat: 0,
+                ..base.clone()
+            },
+            CellSpec {
+                max_cycles: 2_000_000,
+                ..base.clone()
+            },
+        ];
+        let mut fps: Vec<_> = variants.iter().map(fingerprint).collect();
+        fps.push(fingerprint(&base));
+        let total = fps.len();
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), total, "fingerprint collision between variants");
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let fp = fingerprint(&cell());
+        assert_eq!(Fingerprint::from_hex(&fp.hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+    }
+
+    #[test]
+    fn whole_grid_is_collision_free() {
+        let spec = CampaignSpec::new("grid")
+            .workloads(["qsort", "rsort", "mergesort", "vvadd"])
+            .cores(CoreSelect::all())
+            .archs(CounterArch::ALL)
+            .seeds([0, 1, 2, 3])
+            .repeats(3);
+        let mut fps: Vec<_> = spec.cells().iter().map(fingerprint).collect();
+        let total = fps.len();
+        fps.sort();
+        fps.dedup();
+        assert_eq!(fps.len(), total);
+    }
+
+    #[test]
+    fn data_seed_is_canonical_only_for_seed0_repeat0() {
+        let mut c = cell();
+        c.seed = 0;
+        c.repeat = 0;
+        assert_eq!(data_seed(&c), 0);
+        c.repeat = 1;
+        assert_ne!(data_seed(&c), 0);
+        c.seed = 5;
+        c.repeat = 0;
+        assert_ne!(data_seed(&c), 0);
+        // Deterministic.
+        assert_eq!(data_seed(&c), data_seed(&c));
+    }
+}

@@ -1,0 +1,74 @@
+//! # icicle-campaign
+//!
+//! The parallel experiment-campaign engine of the Icicle reproduction.
+//!
+//! Every figure and table in the paper is a *sweep* — workloads × core
+//! configurations × counter architectures (Fig. 7, Table V/VI, Fig. 9).
+//! This crate turns such sweeps into first-class, declarative objects:
+//!
+//! * [`CampaignSpec`] describes the grid (plus data seeds, repeat
+//!   counts, and exclusion filters) and expands it into [`CellSpec`]s;
+//! * [`run_campaign`] drains the cells through a `std::thread` worker
+//!   pool with deterministic per-job seeding — the aggregate output is
+//!   **byte-identical** regardless of thread count;
+//! * [`ResultCache`] content-addresses every result by a stable
+//!   [`Fingerprint`] of (workload, core, arch, seed, repeat, budget),
+//!   in memory and optionally on disk, so re-running a campaign only
+//!   simulates cells that actually changed;
+//! * [`CampaignReport`] aggregates per-cell TMA breakdowns, IPC, and
+//!   counter values, with canonical JSON and CSV emitters.
+//!
+//! ```
+//! use icicle_campaign::{run_campaign, CampaignSpec, CoreSelect, RunOptions};
+//! use icicle_pmu::CounterArch;
+//!
+//! let spec = CampaignSpec::new("demo")
+//!     .workloads(["vvadd"])
+//!     .cores([CoreSelect::Rocket])
+//!     .archs([CounterArch::AddWires]);
+//! let report = run_campaign(&spec, &RunOptions::with_jobs(2));
+//! assert_eq!(report.cells.len(), 1);
+//! assert!(report.to_json().contains("\"vvadd\""));
+//! ```
+
+pub mod cache;
+pub mod fingerprint;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use cache::ResultCache;
+pub use fingerprint::{data_seed, fingerprint, Fingerprint, CACHE_FORMAT_VERSION};
+pub use report::{CampaignReport, CellResult, RunStats, TmaSummary};
+pub use runner::{run_campaign, simulate_cell, JobQueue, Progress, RunOptions};
+pub use spec::{CampaignSpec, CellSpec, CoreSelect, SpecError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worker pool moves cores, workloads, harnesses, and results
+    /// across threads; this pins the `Send` contract so a future `Rc`
+    /// smuggled into a model type fails loudly at compile time.
+    #[test]
+    fn campaign_moved_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<icicle_perf::Perf>();
+        assert_send::<icicle_perf::PerfReport>();
+        assert_send::<icicle_rocket::Rocket>();
+        assert_send::<icicle_boom::Boom>();
+        assert_send::<icicle_workloads::Workload>();
+        assert_send::<CampaignSpec>();
+        assert_send::<CellResult>();
+        assert_send::<CampaignReport>();
+        assert_send::<ResultCache>();
+    }
+
+    #[test]
+    fn default_options_are_usable() {
+        let options = RunOptions::default();
+        assert_eq!(options.jobs, 1);
+        assert!(options.cache.is_some());
+    }
+}

@@ -1,0 +1,500 @@
+//! Aggregate campaign results.
+//!
+//! A [`CellResult`] is the durable, cacheable distillation of one
+//! [`icicle_perf::PerfReport`]: IPC, the full two-level TMA breakdown
+//! (plus the TLB extension), and every hardware counter value. A
+//! [`CampaignReport`] aggregates the cells of one campaign in grid
+//! order with JSON and CSV emitters whose output is canonical —
+//! byte-identical across thread counts and across cached re-runs.
+
+use std::fmt;
+
+use icicle_events::EventId;
+use icicle_perf::PerfReport;
+
+use crate::json::Json;
+use crate::spec::{CellSpec, CoreSelect};
+use icicle_pmu::CounterArch;
+
+/// The TMA ratios a campaign keeps per cell (the columns of Fig. 7 and
+/// Table VI).
+#[derive(Copy, Clone, PartialEq, Debug, Default)]
+pub struct TmaSummary {
+    pub retiring: f64,
+    pub bad_speculation: f64,
+    pub frontend: f64,
+    pub backend: f64,
+    pub machine_clears: f64,
+    pub branch_mispredicts: f64,
+    pub fetch_latency: f64,
+    pub pc_resteers: f64,
+    pub mem_bound: f64,
+    pub core_bound: f64,
+    pub itlb_bound: f64,
+    pub dtlb_bound: f64,
+}
+
+impl TmaSummary {
+    const FIELDS: [&'static str; 12] = [
+        "retiring",
+        "bad_speculation",
+        "frontend",
+        "backend",
+        "machine_clears",
+        "branch_mispredicts",
+        "fetch_latency",
+        "pc_resteers",
+        "mem_bound",
+        "core_bound",
+        "itlb_bound",
+        "dtlb_bound",
+    ];
+
+    fn values(&self) -> [f64; 12] {
+        [
+            self.retiring,
+            self.bad_speculation,
+            self.frontend,
+            self.backend,
+            self.machine_clears,
+            self.branch_mispredicts,
+            self.fetch_latency,
+            self.pc_resteers,
+            self.mem_bound,
+            self.core_bound,
+            self.itlb_bound,
+            self.dtlb_bound,
+        ]
+    }
+
+    fn from_values(v: [f64; 12]) -> TmaSummary {
+        TmaSummary {
+            retiring: v[0],
+            bad_speculation: v[1],
+            frontend: v[2],
+            backend: v[3],
+            machine_clears: v[4],
+            branch_mispredicts: v[5],
+            fetch_latency: v[6],
+            pc_resteers: v[7],
+            mem_bound: v[8],
+            core_bound: v[9],
+            itlb_bound: v[10],
+            dtlb_bound: v[11],
+        }
+    }
+}
+
+/// One completed grid cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CellResult {
+    /// The cell's coordinates in the grid.
+    pub cell: CellSpec,
+    /// Total cycles of the run.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// The TMA classification (hardware-counter view).
+    pub tma: TmaSummary,
+    /// Every hardware counter, in [`EventId::ALL`] order.
+    pub counters: Vec<(String, u64)>,
+    /// Whether this result was served from the cache (not serialized —
+    /// a cached result must compare equal to its cold-run twin).
+    pub from_cache: bool,
+}
+
+impl CellResult {
+    /// Distills a perf report into the durable cell record.
+    pub fn from_report(cell: CellSpec, report: &PerfReport) -> CellResult {
+        let t = &report.tma;
+        CellResult {
+            cell,
+            cycles: report.cycles,
+            instret: report.instret,
+            ipc: report.ipc(),
+            tma: TmaSummary {
+                retiring: t.top.retiring,
+                bad_speculation: t.top.bad_speculation,
+                frontend: t.top.frontend,
+                backend: t.top.backend,
+                machine_clears: t.bad_spec.machine_clears,
+                branch_mispredicts: t.bad_spec.branch_mispredicts,
+                fetch_latency: t.frontend.fetch_latency,
+                pc_resteers: t.frontend.pc_resteers,
+                mem_bound: t.backend.mem_bound,
+                core_bound: t.backend.core_bound,
+                itlb_bound: report.tlb.itlb_bound,
+                dtlb_bound: report.tlb.dtlb_bound,
+            },
+            counters: EventId::ALL
+                .into_iter()
+                .map(|e| (e.name().to_string(), report.hw_counts.get(e)))
+                .collect(),
+            from_cache: false,
+        }
+    }
+
+    /// The canonical JSON node for this cell.
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("workload", Json::Str(self.cell.workload.clone())),
+            ("core", Json::Str(self.cell.core.name())),
+            ("arch", Json::Str(self.cell.arch.name().to_string())),
+            ("seed", Json::Int(self.cell.seed)),
+            ("repeat", Json::Int(u64::from(self.cell.repeat))),
+            ("max_cycles", Json::Int(self.cell.max_cycles)),
+            ("cycles", Json::Int(self.cycles)),
+            ("instret", Json::Int(self.instret)),
+            ("ipc", Json::Num(self.ipc)),
+            (
+                "tma",
+                Json::Object(
+                    TmaSummary::FIELDS
+                        .iter()
+                        .zip(self.tma.values())
+                        .map(|(k, v)| ((*k).to_string(), Json::Num(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstructs a cell record from [`CellResult::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or mistyped field.
+    pub fn from_json(node: &Json) -> Result<CellResult, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            node.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let int_field = |key: &str| -> Result<u64, String> {
+            node.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing integer field `{key}`"))
+        };
+        let core_name = str_field("core")?;
+        let arch_name = str_field("arch")?;
+        let cell = CellSpec {
+            workload: str_field("workload")?,
+            core: CoreSelect::from_name(&core_name)
+                .ok_or_else(|| format!("unknown core `{core_name}`"))?,
+            arch: CounterArch::from_name(&arch_name)
+                .ok_or_else(|| format!("unknown arch `{arch_name}`"))?,
+            seed: int_field("seed")?,
+            repeat: int_field("repeat")? as u32,
+            max_cycles: int_field("max_cycles")?,
+        };
+        let tma_node = node.get("tma").ok_or("missing `tma` object")?;
+        let mut values = [0.0f64; 12];
+        for (slot, key) in values.iter_mut().zip(TmaSummary::FIELDS) {
+            *slot = tma_node
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing tma field `{key}`"))?;
+        }
+        let counters = match node.get("counters") {
+            Some(Json::Object(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("counter `{k}` is not an integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing `counters` object".into()),
+        };
+        Ok(CellResult {
+            cell,
+            cycles: int_field("cycles")?,
+            instret: int_field("instret")?,
+            ipc: node
+                .get("ipc")
+                .and_then(Json::as_f64)
+                .ok_or("missing `ipc`")?,
+            tma: TmaSummary::from_values(values),
+            counters,
+            from_cache: false,
+        })
+    }
+}
+
+/// How the cells of a finished campaign were produced.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct RunStats {
+    /// Cells actually simulated in this run.
+    pub simulated: usize,
+    /// Cells served from the result cache.
+    pub cached: usize,
+    /// Cells that failed (unknown workload, measurement error).
+    pub failed: usize,
+}
+
+impl RunStats {
+    /// Total cells accounted for.
+    pub fn total(&self) -> usize {
+        self.simulated + self.cached + self.failed
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells: {} simulated, {} cached, {} failed",
+            self.total(),
+            self.simulated,
+            self.cached,
+            self.failed
+        )
+    }
+}
+
+/// The aggregate outcome of one campaign run.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CampaignReport {
+    /// The campaign's name (from the spec).
+    pub name: String,
+    /// Completed cells in canonical grid order.
+    pub cells: Vec<CellResult>,
+    /// Failed cells as `(label, error)`, in grid order.
+    pub failures: Vec<(String, String)>,
+    /// Provenance counters for this run (not serialized: a warm re-run
+    /// must emit byte-identical JSON/CSV to its cold twin).
+    pub stats: RunStats,
+}
+
+impl CampaignReport {
+    /// The canonical JSON document (stable across thread counts and
+    /// cache states).
+    pub fn to_json(&self) -> String {
+        let mut doc = vec![
+            ("campaign".to_string(), Json::Str(self.name.clone())),
+            (
+                "cells".to_string(),
+                Json::Array(self.cells.iter().map(CellResult::to_json).collect()),
+            ),
+        ];
+        if !self.failures.is_empty() {
+            doc.push((
+                "failures".to_string(),
+                Json::Array(
+                    self.failures
+                        .iter()
+                        .map(|(label, error)| {
+                            Json::object(vec![
+                                ("cell", Json::Str(label.clone())),
+                                ("error", Json::Str(error.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        let mut text = Json::Object(doc).render();
+        text.push('\n');
+        text
+    }
+
+    /// The canonical CSV table: one row per cell, fixed column order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("workload,core,arch,seed,repeat,cycles,instret,ipc");
+        for field in TmaSummary::FIELDS {
+            out.push(',');
+            out.push_str(field);
+        }
+        out.push('\n');
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.6}",
+                cell.cell.workload,
+                cell.cell.core.name(),
+                cell.cell.arch.name(),
+                cell.cell.seed,
+                cell.cell.repeat,
+                cell.cycles,
+                cell.instret,
+                cell.ipc
+            ));
+            for v in cell.tma.values() {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mean IPC per workload (over cores, archs, seeds, repeats) — the
+    /// quick aggregate the CLI summary table prints.
+    pub fn mean_ipc_by_workload(&self) -> Vec<(String, f64)> {
+        let mut acc: Vec<(String, f64, usize)> = Vec::new();
+        for cell in &self.cells {
+            match acc.iter_mut().find(|(w, _, _)| *w == cell.cell.workload) {
+                Some((_, sum, n)) => {
+                    *sum += cell.ipc;
+                    *n += 1;
+                }
+                None => acc.push((cell.cell.workload.clone(), cell.ipc, 1)),
+            }
+        }
+        acc.into_iter()
+            .map(|(w, sum, n)| (w, sum / n as f64))
+            .collect()
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "campaign `{}` — {}", self.name, self.stats)?;
+        writeln!(
+            f,
+            "{:<18} {:<12} {:<12} {:>4} {:>3} {:>10} {:>6} {:>8} {:>8} {:>8} {:>8}",
+            "workload",
+            "core",
+            "arch",
+            "seed",
+            "rep",
+            "cycles",
+            "ipc",
+            "retire",
+            "badspec",
+            "frontend",
+            "backend"
+        )?;
+        for c in &self.cells {
+            writeln!(
+                f,
+                "{:<18} {:<12} {:<12} {:>4} {:>3} {:>10} {:>6.2} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%{}",
+                c.cell.workload,
+                c.cell.core.name(),
+                c.cell.arch.name(),
+                c.cell.seed,
+                c.cell.repeat,
+                c.cycles,
+                c.ipc,
+                100.0 * c.tma.retiring,
+                100.0 * c.tma.bad_speculation,
+                100.0 * c.tma.frontend,
+                100.0 * c.tma.backend,
+                if c.from_cache { "  (cached)" } else { "" },
+            )?;
+        }
+        for (label, error) in &self.failures {
+            writeln!(f, "FAILED {label}: {error}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CoreSelect;
+
+    fn sample_cell(workload: &str, seed: u64) -> CellResult {
+        CellResult {
+            cell: CellSpec {
+                workload: workload.into(),
+                core: CoreSelect::Rocket,
+                arch: CounterArch::AddWires,
+                seed,
+                repeat: 0,
+                max_cycles: 1_000_000,
+            },
+            cycles: 1000,
+            instret: 800,
+            ipc: 0.8,
+            tma: TmaSummary {
+                retiring: 0.8,
+                bad_speculation: 0.05,
+                frontend: 0.1,
+                backend: 0.05,
+                ..TmaSummary::default()
+            },
+            counters: vec![("cycles".into(), 1000), ("instret".into(), 800)],
+            from_cache: false,
+        }
+    }
+
+    #[test]
+    fn cell_json_round_trips() {
+        let cell = sample_cell("qsort", 3);
+        let back = CellResult::from_json(&cell.to_json()).unwrap();
+        assert_eq!(back, cell);
+    }
+
+    #[test]
+    fn from_json_names_the_missing_field() {
+        let mut node = sample_cell("qsort", 0).to_json();
+        if let Json::Object(pairs) = &mut node {
+            pairs.retain(|(k, _)| k != "instret");
+        }
+        let err = CellResult::from_json(&node).unwrap_err();
+        assert!(err.contains("instret"), "{err}");
+    }
+
+    #[test]
+    fn report_emitters_are_deterministic_and_cache_blind() {
+        let mut report = CampaignReport {
+            name: "t".into(),
+            cells: vec![sample_cell("qsort", 0), sample_cell("rsort", 1)],
+            failures: vec![("bogus/rocket/stock/s0/r0".into(), "unknown workload".into())],
+            stats: RunStats {
+                simulated: 2,
+                cached: 0,
+                failed: 1,
+            },
+        };
+        let cold_json = report.to_json();
+        let cold_csv = report.to_csv();
+        // Mark everything cached (a warm run) — emitters must not change.
+        for c in &mut report.cells {
+            c.from_cache = true;
+        }
+        report.stats = RunStats {
+            simulated: 0,
+            cached: 2,
+            failed: 1,
+        };
+        assert_eq!(report.to_json(), cold_json);
+        assert_eq!(report.to_csv(), cold_csv);
+        // CSV has a header plus one row per cell.
+        assert_eq!(cold_csv.lines().count(), 3);
+        // Display mentions provenance.
+        assert!(report.to_string().contains("(cached)"));
+        assert!(report.to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn mean_ipc_groups_by_workload() {
+        let mut a = sample_cell("qsort", 0);
+        a.ipc = 1.0;
+        let mut b = sample_cell("qsort", 1);
+        b.ipc = 2.0;
+        let report = CampaignReport {
+            name: "t".into(),
+            cells: vec![a, b],
+            failures: Vec::new(),
+            stats: RunStats::default(),
+        };
+        assert_eq!(
+            report.mean_ipc_by_workload(),
+            vec![("qsort".to_string(), 1.5)]
+        );
+    }
+}

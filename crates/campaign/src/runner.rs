@@ -1,0 +1,365 @@
+//! The parallel campaign runner.
+//!
+//! Jobs (grid cells) go into a shared queue; a `std::thread` worker pool
+//! drains it. Three properties the rest of the stack relies on:
+//!
+//! * **Determinism** — each job's inputs are a pure function of its
+//!   [`CellSpec`] (the workload-data seed is derived by
+//!   [`crate::fingerprint::data_seed`], never from global state), and
+//!   results are written into a slot indexed by the cell's grid
+//!   position. The aggregate report is therefore byte-identical whether
+//!   the campaign runs on 1 thread or 64, and regardless of how the
+//!   scheduler interleaves workers.
+//! * **Caching** — before simulating, a worker consults the
+//!   [`ResultCache`] under the cell's fingerprint; hits skip simulation
+//!   entirely. A campaign re-run over an unchanged grid does zero
+//!   simulations.
+//! * **Isolation** — a failed cell (unknown workload, measurement
+//!   error) is recorded and the campaign continues; one bad cell cannot
+//!   sink a thousand-cell sweep.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use icicle_boom::{Boom, BoomConfig};
+use icicle_perf::{Perf, PerfOptions};
+use icicle_rocket::{Rocket, RocketConfig};
+use icicle_workloads as workloads;
+
+use crate::cache::ResultCache;
+use crate::fingerprint::{data_seed, fingerprint};
+use crate::report::{CampaignReport, CellResult, RunStats};
+use crate::spec::{CampaignSpec, CellSpec, CoreSelect};
+
+/// A blocking multi-producer multi-consumer queue of job indices
+/// (`Mutex<VecDeque>` + condvar — the workspace stays dependency-free).
+///
+/// The campaign runner fills it up front and closes it, but the
+/// blocking-pop shape means a future streaming producer (e.g. a spec
+/// arriving over a socket) plugs in without touching the workers.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    jobs: VecDeque<usize>,
+    closed: bool,
+}
+
+impl JobQueue {
+    /// An empty, open queue.
+    pub fn new() -> JobQueue {
+        JobQueue::default()
+    }
+
+    /// Enqueues one job index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is already closed.
+    pub fn push(&self, job: usize) {
+        let mut state = self.state.lock().unwrap();
+        assert!(!state.closed, "push into a closed JobQueue");
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Marks the queue complete: workers drain what remains, then stop.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and
+    /// empty.
+    pub fn pop(&self) -> Option<usize> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+}
+
+/// Live progress counters, updated as cells finish.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Progress {
+    /// Cells in the campaign.
+    pub total: usize,
+    /// Cells finished by simulation.
+    pub simulated: usize,
+    /// Cells served from the cache.
+    pub cached: usize,
+    /// Cells that failed.
+    pub failed: usize,
+}
+
+impl Progress {
+    /// Cells accounted for so far.
+    pub fn done(&self) -> usize {
+        self.simulated + self.cached + self.failed
+    }
+}
+
+/// A progress observer: called after every finished cell, from worker
+/// threads.
+pub type ProgressFn = dyn Fn(Progress) + Send + Sync;
+
+/// Knobs of one campaign run.
+pub struct RunOptions {
+    /// Worker threads (clamped to ≥ 1).
+    pub jobs: usize,
+    /// The result cache; `None` disables caching entirely.
+    pub cache: Option<Arc<ResultCache>>,
+    /// Optional live progress callback.
+    pub progress: Option<Box<ProgressFn>>,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            jobs: 1,
+            cache: Some(Arc::new(ResultCache::in_memory())),
+            progress: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// `jobs` workers over a fresh in-memory cache.
+    pub fn with_jobs(jobs: usize) -> RunOptions {
+        RunOptions {
+            jobs,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// Runs every cell of `spec` and aggregates the results.
+///
+/// See the module docs for the determinism / caching / isolation
+/// contract.
+pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport {
+    let cells = spec.cells();
+    let total = cells.len();
+    let queue = JobQueue::new();
+    for index in 0..total {
+        queue.push(index);
+    }
+    queue.close();
+
+    let slots: Vec<Mutex<Option<Result<CellResult, String>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let simulated = AtomicUsize::new(0);
+    let cached = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+
+    let worker_count = options.jobs.max(1).min(total.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| {
+                while let Some(index) = queue.pop() {
+                    let cell = &cells[index];
+                    let fp = fingerprint(cell);
+                    let (outcome, was_cached) =
+                        match options.cache.as_ref().and_then(|cache| cache.get(fp)) {
+                            Some(mut hit) => {
+                                hit.from_cache = true;
+                                (Ok(hit), true)
+                            }
+                            None => {
+                                let outcome = simulate_cell(cell);
+                                if let (Some(cache), Ok(result)) = (&options.cache, &outcome) {
+                                    cache.put(fp, result);
+                                }
+                                (outcome, false)
+                            }
+                        };
+                    let counter = match (&outcome, was_cached) {
+                        (Err(_), _) => &failed,
+                        (Ok(_), true) => &cached,
+                        (Ok(_), false) => &simulated,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    *slots[index].lock().unwrap() = Some(outcome);
+                    if let Some(report) = &options.progress {
+                        report(Progress {
+                            total,
+                            simulated: simulated.load(Ordering::Relaxed),
+                            cached: cached.load(Ordering::Relaxed),
+                            failed: failed.load(Ordering::Relaxed),
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    // Aggregate in grid order — the source of byte-identical output.
+    let mut report = CampaignReport {
+        name: spec.name.clone(),
+        cells: Vec::with_capacity(total),
+        failures: Vec::new(),
+        stats: RunStats {
+            simulated: simulated.into_inner(),
+            cached: cached.into_inner(),
+            failed: failed.into_inner(),
+        },
+    };
+    for (slot, cell) in slots.into_iter().zip(&cells) {
+        match slot.into_inner().unwrap() {
+            Some(Ok(result)) => report.cells.push(result),
+            Some(Err(error)) => report.failures.push((cell.label(), error)),
+            None => report
+                .failures
+                .push((cell.label(), "worker never produced a result".into())),
+        }
+    }
+    report
+}
+
+/// Simulates one cell: workload → stream → core → perf → distilled
+/// result.
+pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, String> {
+    let seed = data_seed(cell);
+    let workload = workloads::by_name_seeded(&cell.workload, seed)
+        .ok_or_else(|| format!("unknown workload `{}`", cell.workload))?;
+    let stream = workload
+        .execute()
+        .map_err(|e| format!("architectural execution failed: {e}"))?;
+    let perf = Perf::with_options(PerfOptions {
+        arch: cell.arch,
+        max_cycles: cell.max_cycles,
+        ..PerfOptions::default()
+    });
+    let report = match cell.core {
+        CoreSelect::Rocket => {
+            let mut core = Rocket::new(RocketConfig::default(), stream);
+            perf.run(&mut core)
+        }
+        CoreSelect::Boom(size) => {
+            let mut core = Boom::new(
+                BoomConfig::for_size(size),
+                stream,
+                workload.program().clone(),
+            );
+            perf.run(&mut core)
+        }
+    }
+    .map_err(|e| format!("measurement failed: {e}"))?;
+    Ok(CellResult::from_report(cell.clone(), &report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icicle_pmu::CounterArch;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new("unit")
+            .workloads(["vvadd", "towers"])
+            .cores([CoreSelect::Rocket])
+            .archs([CounterArch::AddWires])
+            .seeds([0])
+    }
+
+    #[test]
+    fn queue_drains_then_reports_closed() {
+        let q = JobQueue::new();
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_wakes_blocked_workers_on_close() {
+        let q = Arc::new(JobQueue::new());
+        let handle = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(handle.join().unwrap(), None);
+    }
+
+    #[test]
+    fn failed_cells_do_not_sink_the_campaign() {
+        let spec = CampaignSpec::new("mixed")
+            .workloads(["vvadd", "definitely-not-a-workload"])
+            .cores([CoreSelect::Rocket])
+            .archs([CounterArch::AddWires]);
+        let report = run_campaign(&spec, &RunOptions::default());
+        assert_eq!(report.cells.len(), 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.stats.failed, 1);
+        assert!(report.failures[0]
+            .0
+            .starts_with("definitely-not-a-workload"));
+        assert!(report.failures[0].1.contains("unknown workload"));
+    }
+
+    #[test]
+    fn cache_hits_skip_simulation_and_flag_provenance() {
+        let spec = tiny_spec();
+        let cache = Arc::new(ResultCache::in_memory());
+        let cold = run_campaign(
+            &spec,
+            &RunOptions {
+                jobs: 2,
+                cache: Some(Arc::clone(&cache)),
+                progress: None,
+            },
+        );
+        assert_eq!(cold.stats.simulated, 2);
+        assert_eq!(cold.stats.cached, 0);
+        let warm = run_campaign(
+            &spec,
+            &RunOptions {
+                jobs: 2,
+                cache: Some(cache),
+                progress: None,
+            },
+        );
+        assert_eq!(warm.stats.simulated, 0, "warm run must simulate nothing");
+        assert_eq!(warm.stats.cached, 2);
+        assert!(warm.cells.iter().all(|c| c.from_cache));
+        // Identical aggregate output either way.
+        assert_eq!(warm.to_json(), cold.to_json());
+        assert_eq!(warm.to_csv(), cold.to_csv());
+    }
+
+    #[test]
+    fn progress_callback_sees_every_cell() {
+        let spec = tiny_spec();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen_in_cb = Arc::clone(&seen);
+        let report = run_campaign(
+            &spec,
+            &RunOptions {
+                jobs: 1,
+                cache: None,
+                progress: Some(Box::new(move |p: Progress| {
+                    seen_in_cb.store(p.done(), Ordering::Relaxed);
+                    assert_eq!(p.total, 2);
+                })),
+            },
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(report.stats.total(), 2);
+    }
+}

@@ -20,7 +20,19 @@ COMMANDS:
     mix                      Print a workload's dynamic instruction mix
     profile                  Sampled flat profile of retirement PCs
     soc                      Co-run workloads on a shared-L2 SoC
+    campaign                 Run an experiment campaign from a spec file
     vlsi                     Print the physical-design cost model (Fig. 9)
+
+OPTIONS (list):
+    --json                   Machine-readable workload/core/arch catalog
+
+OPTIONS (campaign):
+    <SPEC>                   Path to a .campaign spec file [required]
+    --jobs <N>               Worker threads [default: 1]
+    --no-cache               Disable the result cache entirely
+    --cache-dir <DIR>        On-disk cache [default: .icicle-cache]
+    --json                   Emit the aggregate report as JSON
+    --csv                    Emit the aggregate report as CSV
 
 OPTIONS (tma / trace / lanes / counters):
     --workload <NAME>        Workload name from `icicle-tma list` [required]
@@ -42,18 +54,26 @@ OPTIONS (soc):
                              e.g. --pair qsort:rocket --pair 505.mcf_r:large-boom
 ";
 
-/// Which core model to run.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub enum CoreChoice {
-    Rocket,
-    Boom(icicle::prelude::BoomSize),
-}
+/// Which core model to run. This is the campaign engine's
+/// [`CoreSelect`](icicle::campaign::CoreSelect) under its historical CLI
+/// name, so the two layers parse and print core names identically.
+pub use icicle::campaign::CoreSelect as CoreChoice;
 
 /// A parsed command line.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Command {
     Help,
-    List,
+    List {
+        json: bool,
+    },
+    Campaign {
+        spec: String,
+        jobs: usize,
+        no_cache: bool,
+        cache_dir: String,
+        json: bool,
+        csv: bool,
+    },
     Tma {
         workload: String,
         core: CoreChoice,
@@ -142,24 +162,14 @@ fn parse_options(args: &[String]) -> Result<Options, ParseError> {
         match flag.as_str() {
             "--workload" | "-w" => opts.workload = Some(value()?.clone()),
             "--core" | "-c" => {
-                opts.core = match value()?.as_str() {
-                    "rocket" => CoreChoice::Rocket,
-                    "small-boom" => CoreChoice::Boom(BoomSize::Small),
-                    "medium-boom" => CoreChoice::Boom(BoomSize::Medium),
-                    "large-boom" => CoreChoice::Boom(BoomSize::Large),
-                    "mega-boom" => CoreChoice::Boom(BoomSize::Mega),
-                    "giga-boom" => CoreChoice::Boom(BoomSize::Giga),
-                    other => return err(format!("unknown core `{other}`")),
-                }
+                let name = value()?;
+                opts.core = CoreChoice::from_name(name)
+                    .ok_or_else(|| ParseError(format!("unknown core `{name}`")))?;
             }
             "--arch" | "-a" => {
-                opts.arch = match value()?.as_str() {
-                    "stock" => CounterArch::Stock,
-                    "scalar" => CounterArch::Scalar,
-                    "add-wires" => CounterArch::AddWires,
-                    "distributed" => CounterArch::Distributed,
-                    other => return err(format!("unknown counter arch `{other}`")),
-                }
+                let name = value()?;
+                opts.arch = CounterArch::from_name(name)
+                    .ok_or_else(|| ParseError(format!("unknown counter arch `{name}`")))?;
             }
             "--window" => {
                 opts.window = value()?
@@ -195,24 +205,60 @@ fn parse_options(args: &[String]) -> Result<Options, ParseError> {
             }
             "--pair" => {
                 let v = value()?;
-                let (w, c) = v
-                    .split_once(':')
-                    .ok_or_else(|| ParseError(format!("--pair expects workload:core, got `{v}`")))?;
-                let core = match c {
-                    "rocket" => CoreChoice::Rocket,
-                    "small-boom" => CoreChoice::Boom(BoomSize::Small),
-                    "medium-boom" => CoreChoice::Boom(BoomSize::Medium),
-                    "large-boom" => CoreChoice::Boom(BoomSize::Large),
-                    "mega-boom" => CoreChoice::Boom(BoomSize::Mega),
-                    "giga-boom" => CoreChoice::Boom(BoomSize::Giga),
-                    other => return err(format!("unknown core `{other}`")),
-                };
+                let (w, c) = v.split_once(':').ok_or_else(|| {
+                    ParseError(format!("--pair expects workload:core, got `{v}`"))
+                })?;
+                let core = CoreChoice::from_name(c)
+                    .ok_or_else(|| ParseError(format!("unknown core `{c}`")))?;
                 opts.pairs.push((w.to_string(), core));
             }
             other => return err(format!("unknown option `{other}`")),
         }
     }
     Ok(opts)
+}
+
+fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
+    let mut spec = None;
+    let mut jobs = 1usize;
+    let mut no_cache = false;
+    let mut cache_dir = ".icicle-cache".to_string();
+    let mut json = false;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                jobs = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--jobs expects a number".into()))?;
+                if jobs == 0 {
+                    return err("--jobs must be non-zero");
+                }
+            }
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => cache_dir = value()?.clone(),
+            "--json" => json = true,
+            "--csv" => csv = true,
+            other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    if json && csv {
+        return err("--json and --csv are mutually exclusive");
+    }
+    Ok(Command::Campaign {
+        spec: spec.ok_or_else(|| ParseError("campaign needs a spec file path".into()))?,
+        jobs,
+        no_cache,
+        cache_dir,
+        json,
+        csv,
+    })
 }
 
 fn required_workload(opts: &Options) -> Result<String, ParseError> {
@@ -233,7 +279,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let rest = &args[1..];
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "list" => Ok(Command::List),
+        "list" => {
+            let opts = parse_options(rest)?;
+            Ok(Command::List { json: opts.json })
+        }
+        "campaign" => parse_campaign(rest),
         "vlsi" => Ok(Command::Vlsi),
         "tma" => {
             let opts = parse_options(rest)?;
@@ -395,6 +445,45 @@ mod tests {
         }
         assert!(parse(&argv("soc")).is_err());
         assert!(parse(&argv("soc --pair no-colon")).is_err());
+    }
+
+    #[test]
+    fn list_takes_an_optional_json_flag() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List { json: false });
+        assert_eq!(
+            parse(&argv("list --json")).unwrap(),
+            Command::List { json: true }
+        );
+    }
+
+    #[test]
+    fn campaign_parses_spec_and_flags() {
+        assert_eq!(
+            parse(&argv("campaign fig7.campaign --jobs 8 --no-cache --json")).unwrap(),
+            Command::Campaign {
+                spec: "fig7.campaign".into(),
+                jobs: 8,
+                no_cache: true,
+                cache_dir: ".icicle-cache".into(),
+                json: true,
+                csv: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv("campaign --cache-dir /tmp/c spec.txt")).unwrap(),
+            Command::Campaign {
+                spec: "spec.txt".into(),
+                jobs: 1,
+                no_cache: false,
+                cache_dir: "/tmp/c".into(),
+                json: false,
+                csv: false,
+            }
+        );
+        assert!(parse(&argv("campaign")).is_err(), "spec path is required");
+        assert!(parse(&argv("campaign s --jobs 0")).is_err());
+        assert!(parse(&argv("campaign s --json --csv")).is_err());
+        assert!(parse(&argv("campaign s --frob")).is_err());
     }
 
     #[test]

@@ -20,7 +20,15 @@ pub fn run(cmd: Command) -> Result<()> {
             println!("{USAGE}");
             Ok(())
         }
-        Command::List => list(),
+        Command::List { json } => list(json),
+        Command::Campaign {
+            spec,
+            jobs,
+            no_cache,
+            cache_dir,
+            json,
+            csv,
+        } => campaign(&spec, jobs, no_cache, &cache_dir, json, csv),
         Command::Tma {
             workload,
             core,
@@ -45,7 +53,12 @@ pub fn run(cmd: Command) -> Result<()> {
             let total = stream.len() as f64;
             println!("{}: {} dynamic instructions", w.name(), stream.len());
             for (class, count) in stream.class_mix() {
-                println!("{:>10?} {:>10} {:>6.1}%", class, count, 100.0 * count as f64 / total);
+                println!(
+                    "{:>10?} {:>10} {:>6.1}%",
+                    class,
+                    count,
+                    100.0 * count as f64 / total
+                );
             }
             Ok(())
         }
@@ -85,15 +98,100 @@ fn measure(workload: &Workload, core: CoreChoice, perf: Perf) -> Result<PerfRepo
     Ok(report)
 }
 
-fn list() -> Result<()> {
+fn list(json: bool) -> Result<()> {
+    use icicle::campaign::json::Json;
+    let workloads: Vec<String> = icicle::workloads::catalog()
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
+    let cores: Vec<String> = CoreChoice::all()
+        .into_iter()
+        .map(CoreChoice::name)
+        .collect();
+    let archs: Vec<String> = CounterArch::ALL
+        .iter()
+        .map(|a| a.name().to_string())
+        .collect();
+    if json {
+        let as_strings =
+            |names: &[String]| Json::Array(names.iter().map(|n| Json::Str(n.clone())).collect());
+        let doc = Json::object(vec![
+            ("workloads", as_strings(&workloads)),
+            ("cores", as_strings(&cores)),
+            ("archs", as_strings(&archs)),
+        ]);
+        println!("{}", doc.render());
+        return Ok(());
+    }
     println!("workloads:");
-    for w in icicle::workloads::catalog() {
-        println!("  {}", w.name());
+    for w in &workloads {
+        println!("  {w}");
     }
     println!("\ncores:");
-    println!("  rocket");
-    for size in BoomSize::ALL {
-        println!("  {size}-boom");
+    for c in &cores {
+        println!("  {c}");
+    }
+    println!("\ncounter archs:");
+    for a in &archs {
+        println!("  {a}");
+    }
+    Ok(())
+}
+
+fn campaign(
+    path: &str,
+    jobs: usize,
+    no_cache: bool,
+    cache_dir: &str,
+    json: bool,
+    csv: bool,
+) -> Result<()> {
+    use icicle::campaign::{run_campaign, CampaignSpec, Progress, ResultCache, RunOptions};
+    use std::sync::Arc;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read campaign spec `{path}`: {e}"))?;
+    let spec = CampaignSpec::parse(&text)?;
+    let cache = if no_cache {
+        None
+    } else {
+        Some(Arc::new(ResultCache::with_disk(cache_dir).map_err(
+            |e| format!("cannot open cache dir `{cache_dir}`: {e}"),
+        )?))
+    };
+    // Machine-readable modes keep stdout clean; progress goes to stderr
+    // either way and stays off entirely when piping JSON/CSV.
+    let quiet = json || csv;
+    let options = RunOptions {
+        jobs,
+        cache,
+        progress: if quiet {
+            None
+        } else {
+            Some(Box::new(|p: Progress| {
+                eprint!(
+                    "\r[{}/{}] {} simulated, {} cached, {} failed",
+                    p.done(),
+                    p.total,
+                    p.simulated,
+                    p.cached,
+                    p.failed
+                );
+            }))
+        },
+    };
+    let report = run_campaign(&spec, &options);
+    if !quiet {
+        eprintln!();
+    }
+    if json {
+        print!("{}", report.to_json());
+    } else if csv {
+        print!("{}", report.to_csv());
+    } else {
+        println!("{report}");
+    }
+    if report.cells.is_empty() && !report.failures.is_empty() {
+        return Err(format!("all {} cells failed", report.failures.len()).into());
     }
     Ok(())
 }
@@ -269,12 +367,7 @@ fn counters(name: &str, core: CoreChoice) -> Result<()> {
     Ok(())
 }
 
-fn profile(
-    name: &str,
-    core: CoreChoice,
-    period: u64,
-    event: Option<EventId>,
-) -> Result<()> {
+fn profile(name: &str, core: CoreChoice, period: u64, event: Option<EventId>) -> Result<()> {
     let workload = lookup(name)?;
     let profiler = Profiler::new(period);
     let stream = workload.execute()?;

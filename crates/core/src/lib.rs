@@ -24,6 +24,7 @@
 //! | [`perf`] | `icicle-perf` | the perf harness (§IV-D) |
 //! | [`vlsi`] | `icicle-vlsi` | post-placement cost model (Fig. 9) |
 //! | [`workloads`] | `icicle-workloads` | microbenchmarks + SPEC proxies (Table III) |
+//! | [`campaign`] | `icicle-campaign` | parallel experiment campaigns with result caching |
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@
 //! ```
 
 pub use icicle_boom as boom;
+pub use icicle_campaign as campaign;
 pub use icicle_events as events;
 pub use icicle_isa as isa;
 pub use icicle_mem as mem;
@@ -62,6 +64,9 @@ pub use icicle_workloads as workloads;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use icicle_boom::{Boom, BoomConfig, BoomSize};
+    pub use icicle_campaign::{
+        run_campaign, CampaignReport, CampaignSpec, CoreSelect, ResultCache, RunOptions,
+    };
     pub use icicle_events::{EventCore, EventCounts, EventId, EventVector, LaneCounts};
     pub use icicle_isa::{DynStream, Interpreter, Program, ProgramBuilder, Reg};
     pub use icicle_mem::{HierarchyConfig, MemoryHierarchy};
@@ -84,5 +89,8 @@ mod tests {
         assert_eq!(model.commit_width, 1);
         let _ = BoomConfig::large();
         let _ = RocketConfig::default();
+        // Campaigns ride along: one workload over the default core pair.
+        let spec = CampaignSpec::new("facade").workloads(["qsort"]);
+        assert_eq!(spec.cells().len(), 2);
     }
 }

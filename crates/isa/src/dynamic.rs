@@ -64,10 +64,7 @@ pub struct DynStream {
 
 impl DynStream {
     pub(crate) fn new(instrs: Vec<DynInstr>, final_regs: [u64; 32]) -> DynStream {
-        DynStream {
-            instrs,
-            final_regs,
-        }
+        DynStream { instrs, final_regs }
     }
 
     /// The executed instructions in program order.
@@ -110,7 +107,10 @@ impl DynStream {
             *counts.entry(d.class()).or_insert(0) += 1;
         }
         let mut mix: Vec<(InstrClass, usize)> = counts.into_iter().collect();
-        mix.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+        mix.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)))
+        });
         mix
     }
 }

@@ -50,7 +50,9 @@ mod tests {
     fn errors_display_and_are_std_errors() {
         let e: Box<dyn Error> = Box::new(IsaError::UndefinedLabel("loop".into()));
         assert!(e.to_string().contains("loop"));
-        assert!(IsaError::EmptyProgram.to_string().contains("no instructions"));
+        assert!(IsaError::EmptyProgram
+            .to_string()
+            .contains("no instructions"));
     }
 
     #[test]

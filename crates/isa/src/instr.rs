@@ -380,12 +380,7 @@ impl fmt::Display for Op {
                 "amo{}.d {rd}, {src}, ({addr})",
                 format!("{kind:?}").to_lowercase()
             ),
-            Op::FpAlu {
-                kind,
-                rd,
-                rs1,
-                rs2,
-            } => write!(
+            Op::FpAlu { kind, rd, rs1, rs2 } => write!(
                 f,
                 "f{} {rd}, {rs1}, {rs2}",
                 format!("{kind:?}").to_lowercase()

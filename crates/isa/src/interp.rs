@@ -138,11 +138,7 @@ impl<'p> Interpreter<'p> {
                 } => {
                     let addr = self.reg(base).wrapping_add(offset as u64);
                     let raw = self.mem.read(addr, width.bytes())?;
-                    let v = if signed {
-                        sign_extend(raw, width)
-                    } else {
-                        raw
-                    };
+                    let v = if signed { sign_extend(raw, width) } else { raw };
                     self.write_reg(rd, v);
                     mem_access = Some(MemAccess {
                         addr,
@@ -233,12 +229,7 @@ impl<'p> Interpreter<'p> {
                     self.csrs.insert(csr, new);
                     self.write_reg(rd, old);
                 }
-                Op::FpAlu {
-                    kind,
-                    rd,
-                    rs1,
-                    rs2,
-                } => {
+                Op::FpAlu { kind, rd, rs1, rs2 } => {
                     let a = self.freg(rs1);
                     let b = self.freg(rs2);
                     let v = match kind {
@@ -343,7 +334,9 @@ mod tests {
     use crate::program::ProgramBuilder;
 
     fn run(b: ProgramBuilder) -> DynStream {
-        Interpreter::new(&b.build().unwrap()).run(1_000_000).unwrap()
+        Interpreter::new(&b.build().unwrap())
+            .run(1_000_000)
+            .unwrap()
     }
 
     #[test]
@@ -415,10 +408,7 @@ mod tests {
         assert_eq!(s.trailing_reg(Reg::T0), 42);
         assert_eq!(s.trailing_reg(Reg::T1), 99);
         // jalr is recorded as an indirect redirect
-        let jalr = s
-            .iter()
-            .find(|d| matches!(d.op, Op::Jalr { .. }))
-            .unwrap();
+        let jalr = s.iter().find(|d| matches!(d.op, Op::Jalr { .. })).unwrap();
         assert!(jalr.branch.unwrap().indirect);
     }
 

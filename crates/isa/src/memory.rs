@@ -100,7 +100,12 @@ mod tests {
     #[test]
     fn round_trip_all_widths() {
         let mut m = Memory::new();
-        for (len, val) in [(1u64, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, u64::MAX)] {
+        for (len, val) in [
+            (1u64, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, u64::MAX),
+        ] {
             m.write(0x1000, len, val).unwrap();
             assert_eq!(m.read(0x1000, len).unwrap(), val);
         }

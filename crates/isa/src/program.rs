@@ -55,7 +55,7 @@ impl Program {
     /// The instruction index of byte address `pc`, if it is in the text
     /// segment.
     pub fn index_of(&self, pc: u64) -> Option<u32> {
-        if pc < TEXT_BASE || (pc - TEXT_BASE) % 4 != 0 {
+        if pc < TEXT_BASE || !(pc - TEXT_BASE).is_multiple_of(4) {
             return None;
         }
         let idx = (pc - TEXT_BASE) / 4;
@@ -446,7 +446,12 @@ impl ProgramBuilder {
     }
     /// Atomic read-modify-write: `rd <- mem[addr]; mem[addr] <- kind(old, src)`.
     pub fn amo(&mut self, kind: AmoKind, rd: Reg, addr: Reg, src: Reg) -> &mut Self {
-        self.emit(Op::Amo { kind, rd, addr, src })
+        self.emit(Op::Amo {
+            kind,
+            rd,
+            addr,
+            src,
+        })
     }
     /// `amoadd.d rd, src, (addr)`
     pub fn amoadd(&mut self, rd: Reg, addr: Reg, src: Reg) -> &mut Self {

@@ -341,13 +341,15 @@ mod tests {
 
     #[test]
     fn l2_hit_is_cheaper_than_dram() {
-        let mut cfg = HierarchyConfig::default();
         // Tiny L1D so we can evict easily.
-        cfg.l1d = CacheConfig {
-            size_bytes: 128,
-            ways: 1,
-            block_bytes: 64,
-            hit_latency: 1,
+        let cfg = HierarchyConfig {
+            l1d: CacheConfig {
+                size_bytes: 128,
+                ways: 1,
+                block_bytes: 64,
+                hit_latency: 1,
+            },
+            ..HierarchyConfig::default()
         };
         let mut m = MemoryHierarchy::new(cfg);
         m.load(0x9000_0000, 0); // fills L1D + L2
@@ -425,12 +427,14 @@ mod tests {
 
     #[test]
     fn writeback_surfaces_on_dirty_eviction() {
-        let mut cfg = HierarchyConfig::default();
-        cfg.l1d = CacheConfig {
-            size_bytes: 64,
-            ways: 1,
-            block_bytes: 64,
-            hit_latency: 1,
+        let cfg = HierarchyConfig {
+            l1d: CacheConfig {
+                size_bytes: 64,
+                ways: 1,
+                block_bytes: 64,
+                hit_latency: 1,
+            },
+            ..HierarchyConfig::default()
         };
         let mut m = MemoryHierarchy::new(cfg);
         m.store(0x9000_0000, 0);

@@ -1,7 +1,6 @@
 //! A shared L2 with a simple bus-contention model, for multi-core SoCs.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 
@@ -23,12 +22,14 @@ pub(crate) struct SharedL2State {
 /// requests from different cores queue, and the queueing delay is
 /// recorded as contention.
 ///
-/// Handles are cheap to clone; all clones refer to the same cache. The
-/// simulation is single-threaded and deterministic: requests are
-/// serialized in the order cores are stepped.
+/// Handles are cheap to clone; all clones refer to the same cache, and
+/// handles are `Send` so a hierarchy embedding one can move across the
+/// campaign engine's worker threads. Within one simulation requests
+/// stay deterministic: cores are stepped from a single thread, so
+/// accesses serialize in stepping order.
 #[derive(Clone, Debug)]
 pub struct SharedL2 {
-    state: Rc<RefCell<SharedL2State>>,
+    state: Arc<Mutex<SharedL2State>>,
 }
 
 impl SharedL2 {
@@ -36,7 +37,7 @@ impl SharedL2 {
     /// cycles per access.
     pub fn new(config: CacheConfig, bus_occupancy: u64) -> SharedL2 {
         SharedL2 {
-            state: Rc::new(RefCell::new(SharedL2State {
+            state: Arc::new(Mutex::new(SharedL2State {
                 cache: Cache::new(config),
                 bus_next_free: 0,
                 bus_occupancy,
@@ -52,7 +53,7 @@ impl SharedL2 {
     /// the L2 hit latency and any bus queueing delay (DRAM latency on a
     /// miss is the caller's concern, as with a private L2).
     pub(crate) fn access(&self, addr: u64, now: u64) -> (bool, u64) {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         let start = now.max(s.bus_next_free);
         let queued = start - now;
         s.contention_cycles += queued;
@@ -68,17 +69,17 @@ impl SharedL2 {
 
     /// Aggregate cache statistics across all sharers.
     pub fn stats(&self) -> CacheStats {
-        self.state.borrow().cache.stats()
+        self.state.lock().unwrap().cache.stats()
     }
 
     /// Total accesses from every sharer.
     pub fn accesses(&self) -> u64 {
-        self.state.borrow().accesses
+        self.state.lock().unwrap().accesses
     }
 
     /// Total cycles requests spent queued behind the bus.
     pub fn contention_cycles(&self) -> u64 {
-        self.state.borrow().contention_cycles
+        self.state.lock().unwrap().contention_cycles
     }
 }
 

@@ -207,7 +207,11 @@ fn sorted_entries(histogram: HashMap<String, u64>) -> Vec<ProfileEntry> {
         .into_iter()
         .map(|(label, samples)| ProfileEntry { label, samples })
         .collect();
-    entries.sort_by(|a, b| b.samples.cmp(&a.samples).then_with(|| a.label.cmp(&b.label)));
+    entries.sort_by(|a, b| {
+        b.samples
+            .cmp(&a.samples)
+            .then_with(|| a.label.cmp(&b.label))
+    });
     entries
 }
 

@@ -136,7 +136,11 @@ impl Perf {
             .enumerate()
         {
             let sources = Perf::sources_for(event, core);
-            let arch = if sources > 1 { arch } else { CounterArch::Stock };
+            let arch = if sources > 1 {
+                arch
+            } else {
+                CounterArch::Stock
+            };
             csr.configure(
                 slot,
                 HpmConfig {
@@ -185,12 +189,14 @@ impl Perf {
         }
 
         let mut perfect = EventCounts::new();
-        let mut trace = self.options.trace.clone().map(|cfg| {
-            match self.options.trace_capacity {
+        let mut trace = self
+            .options
+            .trace
+            .clone()
+            .map(|cfg| match self.options.trace_capacity {
                 Some(capacity) => Trace::with_capacity(cfg, capacity),
                 None => Trace::new(cfg),
-            }
-        });
+            });
         let mut lanes: Vec<LaneCounts> = self
             .options
             .lane_events
@@ -206,7 +212,7 @@ impl Perf {
                 core.name()
             );
             if let Some(m) = mux {
-                if num_groups > 1 && core.cycle() % m.quantum.max(1) == 0 && core.cycle() > 0 {
+                if num_groups > 1 && core.cycle().is_multiple_of(m.quantum.max(1)) && core.cycle() > 0 {
                     // Rotate: freeze the active group, release the next.
                     for (slot, _) in &slot_map {
                         if group_of(*slot) == active_group {
@@ -252,11 +258,14 @@ impl Perf {
             hw.set(*event, scaled);
         }
 
-        let model = self.options.tma_model.unwrap_or(if core.commit_width() == 1 {
-            TmaModel::rocket()
-        } else {
-            TmaModel::boom(core.commit_width())
-        });
+        let model = self
+            .options
+            .tma_model
+            .unwrap_or(if core.commit_width() == 1 {
+                TmaModel::rocket()
+            } else {
+                TmaModel::boom(core.commit_width())
+            });
         let tma = model.analyze(&TmaInput::from_counts(&hw));
         let tlb = TlbLevel::analyze(
             &tma,
@@ -369,9 +378,7 @@ mod tests {
         .unwrap();
         // A 3-wide core retires >1 µop/cycle: the OR semantics lose the
         // concurrency.
-        assert!(
-            r.hw_counts.get(EventId::UopsRetired) < r.perfect_counts.get(EventId::UopsRetired)
-        );
+        assert!(r.hw_counts.get(EventId::UopsRetired) < r.perfect_counts.get(EventId::UopsRetired));
     }
 
     #[test]

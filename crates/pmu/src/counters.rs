@@ -16,6 +16,37 @@ pub enum CounterArch {
     Distributed,
 }
 
+impl CounterArch {
+    /// Every implementation, in evaluation order.
+    pub const ALL: [CounterArch; 4] = [
+        CounterArch::Stock,
+        CounterArch::Scalar,
+        CounterArch::AddWires,
+        CounterArch::Distributed,
+    ];
+
+    /// The kebab-case name used by the CLI and campaign specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterArch::Stock => "stock",
+            CounterArch::Scalar => "scalar",
+            CounterArch::AddWires => "add-wires",
+            CounterArch::Distributed => "distributed",
+        }
+    }
+
+    /// Parses a [`CounterArch::name`] back into the enum.
+    pub fn from_name(name: &str) -> Option<CounterArch> {
+        CounterArch::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+impl std::fmt::Display for CounterArch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One architectural counter per event source.
 ///
 /// Exact, but each lane consumes one of the 31 HPM counters, which is why

@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn distributed_depth_is_flat() {
         for s in 1..=16 {
-            assert_eq!(HardwareFootprint::of(CounterArch::Distributed, s).adder_depth, 1);
+            assert_eq!(
+                HardwareFootprint::of(CounterArch::Distributed, s).adder_depth,
+                1
+            );
         }
     }
 
@@ -123,7 +126,10 @@ mod tests {
     fn scalar_burns_registers() {
         let f = HardwareFootprint::of(CounterArch::Scalar, 4);
         assert_eq!(f.register_bits, 256);
-        assert_eq!(HardwareFootprint::of(CounterArch::Stock, 4).register_bits, 64);
+        assert_eq!(
+            HardwareFootprint::of(CounterArch::Stock, 4).register_bits,
+            64
+        );
     }
 
     #[test]

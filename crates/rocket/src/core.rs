@@ -165,8 +165,7 @@ impl Rocket {
         match self.fetch_state {
             FetchState::WrongPath | FetchState::Drained => {}
             FetchState::Starting => {
-                if self.cycle >= self.fetch_allowed && self.ibuf.len() < self.config.ibuf_entries
-                {
+                if self.cycle >= self.fetch_allowed && self.ibuf.len() < self.config.ibuf_entries {
                     self.start_access();
                 }
             }
@@ -455,12 +454,8 @@ impl Rocket {
             InstrClass::Branch | InstrClass::Jump | InstrClass::JumpReg => {
                 if let Some(kind) = mispredict {
                     match kind {
-                        Mispredict::Direction => {
-                            self.events.raise(EventId::BranchMispredict)
-                        }
-                        Mispredict::Target => {
-                            self.events.raise(EventId::CfTargetMispredict)
-                        }
+                        Mispredict::Direction => self.events.raise(EventId::BranchMispredict),
+                        Mispredict::Target => self.events.raise(EventId::CfTargetMispredict),
                     }
                     self.redirect_after_mispredict();
                 }
@@ -648,7 +643,10 @@ mod tests {
         let (core, c) = run_program(tight_loop(100, 2));
         // Every dynamic instruction retires exactly once.
         assert_eq!(c.retired, core.stream.len() as u64);
-        assert_eq!(c.issued, c.retired, "in-order core issues correct path only");
+        assert_eq!(
+            c.issued, c.retired,
+            "in-order core issues correct path only"
+        );
     }
 
     #[test]
@@ -813,7 +811,7 @@ mod tests {
         b.slli(Reg::T3, Reg::T0, 3);
         b.add(Reg::T3, Reg::S0, Reg::T3);
         b.ld(Reg::T0, Reg::T3, 0); // likely misses
-        // Twelve independent ALU ops that don't need the load.
+                                   // Twelve independent ALU ops that don't need the load.
         for _ in 0..6 {
             b.addi(Reg::S1, Reg::S1, 3);
             b.xori(Reg::S1, Reg::S1, 5);
@@ -927,7 +925,11 @@ mod tests {
         b.blt(Reg::T0, Reg::T1, "l");
         b.halt();
         let (_, c) = run_program(b);
-        assert!(c.dtlb_miss >= 200, "sparse pages must miss: {}", c.dtlb_miss);
+        assert!(
+            c.dtlb_miss >= 200,
+            "sparse pages must miss: {}",
+            c.dtlb_miss
+        );
     }
 
     #[test]

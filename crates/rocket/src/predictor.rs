@@ -70,12 +70,13 @@ impl Btb {
     pub fn lookup(&mut self, pc: u64) -> Option<u64> {
         self.stamp += 1;
         let stamp = self.stamp;
-        self.entries.iter_mut().find(|(p, _, _)| *p == pc).map(
-            |(_, target, last_use)| {
+        self.entries
+            .iter_mut()
+            .find(|(p, _, _)| *p == pc)
+            .map(|(_, target, last_use)| {
                 *last_use = stamp;
                 *target
-            },
-        )
+            })
     }
 
     /// Installs or refreshes the target of the instruction at `pc`.

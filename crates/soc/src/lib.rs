@@ -167,11 +167,7 @@ impl SocBuilder {
     /// # Errors
     ///
     /// Propagates architectural execution failures.
-    pub fn boom(
-        mut self,
-        config: BoomConfig,
-        workload: &Workload,
-    ) -> Result<SocBuilder, SocError> {
+    pub fn boom(mut self, config: BoomConfig, workload: &Workload) -> Result<SocBuilder, SocError> {
         let stream = workload.execute()?;
         let mem = MemoryHierarchy::with_shared_l2(config.memory, self.shared_l2.clone())
             .with_address_salt(self.next_salt());
@@ -412,7 +408,10 @@ mod tests {
     fn deterministic_across_runs() {
         let build = || {
             SocBuilder::new()
-                .rocket(RocketConfig::default(), &icicle_workloads::riscv_tests::median(512))
+                .rocket(
+                    RocketConfig::default(),
+                    &icicle_workloads::riscv_tests::median(512),
+                )
                 .unwrap()
                 .boom(BoomConfig::medium(), &micro::vvadd(512))
                 .unwrap()

@@ -83,12 +83,11 @@ impl TmaBreakdown {
     /// branch-mispredict slots (§IV-A).
     pub fn is_consistent(&self, tolerance: f64) -> bool {
         let top_ok = (self.top.total() - 1.0).abs() < 1e-9;
-        let fe_ok = (self.frontend.fetch_latency + self.frontend.pc_resteers
-            - self.top.frontend)
+        let fe_ok = (self.frontend.fetch_latency + self.frontend.pc_resteers - self.top.frontend)
             .abs()
             < tolerance;
-        let be_ok = (self.backend.mem_bound + self.backend.core_bound - self.top.backend).abs()
-            < tolerance;
+        let be_ok =
+            (self.backend.mem_bound + self.backend.core_bound - self.top.backend).abs() < tolerance;
         let bs_ok = (self.bad_spec.machine_clears + self.bad_spec.branch_mispredicts
             - self.top.bad_speculation)
             .abs()

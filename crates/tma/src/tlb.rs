@@ -82,8 +82,7 @@ impl TlbLevel {
         let first_level_total = (input.itlb_misses + input.dtlb_misses).max(1);
         let i_share = input.itlb_misses as f64 / first_level_total as f64;
         let walk = costs.walk_latency as f64 * input.l2_tlb_misses as f64;
-        let itlb_cycles =
-            costs.l2_tlb_latency as f64 * input.itlb_misses as f64 + walk * i_share;
+        let itlb_cycles = costs.l2_tlb_latency as f64 * input.itlb_misses as f64 + walk * i_share;
         let dtlb_cycles =
             costs.l2_tlb_latency as f64 * input.dtlb_misses as f64 + walk * (1.0 - i_share);
 
@@ -143,7 +142,10 @@ mod tests {
         };
         let level = TlbLevel::analyze(&tma, &input, &TlbCosts::default(), 10_000, 3);
         assert!(level.itlb_bound > 0.0);
-        assert!(level.dtlb_bound > level.itlb_bound, "D side saw 3x the misses");
+        assert!(
+            level.dtlb_bound > level.itlb_bound,
+            "D side saw 3x the misses"
+        );
         assert!(level.is_consistent(&tma, 1e-9));
     }
 

@@ -43,7 +43,7 @@ mod export;
 mod slots;
 mod trace;
 
-pub use analysis::{OverlapAnalysis, OverlapReport, TemporalClass, TemporalTma, TemporalReport};
+pub use analysis::{OverlapAnalysis, OverlapReport, TemporalClass, TemporalReport, TemporalTma};
 pub use cdf::Cdf;
 pub use slots::{SlotReport, SlotTemporalTma};
 pub use trace::{Trace, TraceChannel, TraceConfig, TraceError, Window};

@@ -329,10 +329,7 @@ mod tests {
         let ws = t.windows(0);
         assert_eq!(
             ws,
-            vec![
-                Window { start: 1, len: 2 },
-                Window { start: 4, len: 3 }
-            ]
+            vec![Window { start: 1, len: 2 }, Window { start: 4, len: 3 }]
         );
         assert_eq!(t.run_lengths(0), vec![2, 3]);
         assert_eq!(t.high_count(0), 5);

@@ -35,7 +35,7 @@
 
 mod model;
 
+pub use icicle_pmu::HardwareFootprint;
 pub use model::{
     evaluate, longest_pmu_wire_um, tma_counter_set, BaselineDesign, PdkParams, PlacementReport,
 };
-pub use icicle_pmu::HardwareFootprint;

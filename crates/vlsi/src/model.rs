@@ -77,7 +77,10 @@ impl BaselineDesign {
             BoomSize::Mega => (1_000_000.0, 340.0),
             BoomSize::Giga => (1_150_000.0, 380.0),
         };
-        let idx = BoomSize::ALL.iter().position(|s| *s == size).expect("known") as f64;
+        let idx = BoomSize::ALL
+            .iter()
+            .position(|s| *s == size)
+            .expect("known") as f64;
         BaselineDesign {
             size,
             area_um2,
@@ -111,7 +114,11 @@ pub fn tma_counter_set(size: BoomSize, arch: CounterArch) -> Vec<(EventId, Hardw
         .map(|(event, sources)| {
             // Single-source events need no aggregation: a stock counter
             // is already exact for them.
-            let effective = if sources == 1 { CounterArch::Stock } else { arch };
+            let effective = if sources == 1 {
+                CounterArch::Stock
+            } else {
+                arch
+            };
             (event, HardwareFootprint::of(effective, sources))
         })
         .collect()
@@ -185,8 +192,7 @@ pub fn evaluate_with(size: BoomSize, arch: CounterArch, pdk: &PdkParams) -> Plac
         max_depth = max_depth.max(fp.adder_depth);
     }
 
-    let pmu_area_um2 =
-        bits as f64 * pdk.area_per_bit_um2 + adders as f64 * pdk.area_per_adder_um2;
+    let pmu_area_um2 = bits as f64 * pdk.area_per_bit_um2 + adders as f64 * pdk.area_per_adder_um2;
 
     let long_um = long_wires as f64 * baseline.die_edge_um() / 2.0;
     let local_um = local_wires as f64 * 15.0;
@@ -262,7 +268,11 @@ mod tests {
                 r.arch,
                 r.power_overhead_pct()
             );
-            assert!(r.area_overhead_pct() <= 1.7, "area {:.2}%", r.area_overhead_pct());
+            assert!(
+                r.area_overhead_pct() <= 1.7,
+                "area {:.2}%",
+                r.area_overhead_pct()
+            );
             assert!(
                 r.wirelength_overhead_pct() <= 10.5,
                 "wirelength {:.2}%",
@@ -285,9 +295,18 @@ mod tests {
             .iter()
             .map(|r| r.area_overhead_pct())
             .fold(0.0f64, f64::max);
-        assert!((3.0..=4.5).contains(&worst_power), "power max {worst_power:.2}");
-        assert!((8.5..=10.5).contains(&worst_wl), "wirelength max {worst_wl:.2}");
-        assert!((1.2..=1.7).contains(&worst_area), "area max {worst_area:.2}");
+        assert!(
+            (3.0..=4.5).contains(&worst_power),
+            "power max {worst_power:.2}"
+        );
+        assert!(
+            (8.5..=10.5).contains(&worst_wl),
+            "wirelength max {worst_wl:.2}"
+        );
+        assert!(
+            (1.2..=1.7).contains(&worst_area),
+            "area max {worst_area:.2}"
+        );
     }
 
     #[test]
@@ -356,15 +375,9 @@ mod tests {
     #[test]
     fn counter_set_widths_follow_table_iv() {
         let set = tma_counter_set(BoomSize::Large, CounterArch::AddWires);
-        let issued = set
-            .iter()
-            .find(|(e, _)| *e == EventId::UopsIssued)
-            .unwrap();
+        let issued = set.iter().find(|(e, _)| *e == EventId::UopsIssued).unwrap();
         assert_eq!(issued.1.sources, 5);
-        let rec = set
-            .iter()
-            .find(|(e, _)| *e == EventId::Recovering)
-            .unwrap();
+        let rec = set.iter().find(|(e, _)| *e == EventId::Recovering).unwrap();
         assert_eq!(rec.1.sources, 1);
         assert_eq!(rec.1.arch, CounterArch::Stock);
     }

@@ -39,9 +39,22 @@ fn emit_checksum_sorted(b: &mut ProgramBuilder, base: Reg, n: i64) {
 ///
 /// Panics if `n` is not a power of two ≥ 2.
 pub fn mergesort(n: u64) -> Workload {
-    assert!(n.is_power_of_two() && n >= 2, "n must be a power of two ≥ 2");
+    mergesort_seeded(n, 0x5eed_0001)
+}
+
+/// [`mergesort`] over a dataset drawn from `data_seed` — campaigns sweep
+/// the seed to measure input sensitivity without touching the kernel.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 2.
+pub fn mergesort_seeded(n: u64, data_seed: u64) -> Workload {
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two ≥ 2"
+    );
     let mut b = ProgramBuilder::new("mergesort");
-    let data = XorShift::new(0x5eed_0001).values(n as usize);
+    let data = XorShift::new(data_seed).values(n as usize);
     let a = b.data_u64(&data);
     let tmp = b.alloc_data(n * 8);
     b.li(Reg::S0, a as i64); // src
@@ -131,9 +144,19 @@ pub fn mergesort(n: u64) -> Workload {
 ///
 /// Panics if `n < 2`.
 pub fn qsort(n: u64) -> Workload {
+    qsort_seeded(n, 0x5eed_0002)
+}
+
+/// [`qsort`] over a dataset drawn from `data_seed` (see
+/// [`mergesort_seeded`]).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qsort_seeded(n: u64, data_seed: u64) -> Workload {
     assert!(n >= 2, "n must be at least 2");
     let mut b = ProgramBuilder::new("qsort");
-    let data = XorShift::new(0x5eed_0002).values(n as usize);
+    let data = XorShift::new(data_seed).values(n as usize);
     let a = b.data_u64(&data);
     let stack = b.alloc_data(n * 16 + 64);
     b.li(Reg::S0, a as i64);
@@ -213,9 +236,19 @@ pub fn qsort(n: u64) -> Workload {
 ///
 /// Panics if `n < 2`.
 pub fn rsort(n: u64) -> Workload {
+    rsort_seeded(n, 0x5eed_0003)
+}
+
+/// [`rsort`] over a dataset drawn from `data_seed` (see
+/// [`mergesort_seeded`]).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn rsort_seeded(n: u64, data_seed: u64) -> Workload {
     assert!(n >= 2, "n must be at least 2");
     let mut b = ProgramBuilder::new("rsort");
-    let mut rng = XorShift::new(0x5eed_0003);
+    let mut rng = XorShift::new(data_seed);
     let data: Vec<u64> = (0..n).map(|_| rng.below(1 << 16)).collect();
     let a = b.data_u64(&data);
     let tmp = b.alloc_data(n * 8);
@@ -342,7 +375,11 @@ pub fn memcpy(bytes: u64) -> Workload {
     b.add(Reg::A0, Reg::A0, Reg::T6);
     b.add(Reg::A0, Reg::A0, Reg::S2);
     b.halt();
-    Workload::new("memcpy", b.build().expect("memcpy builds"), 20 * words + 10_000)
+    Workload::new(
+        "memcpy",
+        b.build().expect("memcpy builds"),
+        20 * words + 10_000,
+    )
 }
 
 /// Dense `dim × dim` double-precision matrix multiply (i-k-j order) —
@@ -396,8 +433,16 @@ pub fn mm(dim: u64) -> Workload {
     b.fld(icicle_isa::FReg::F1, Reg::A2, 0);
     b.add(Reg::A3, Reg::T5, Reg::T6);
     b.fld(icicle_isa::FReg::F2, Reg::A3, 0);
-    b.fmul(icicle_isa::FReg::F3, icicle_isa::FReg::F0, icicle_isa::FReg::F1);
-    b.fadd(icicle_isa::FReg::F2, icicle_isa::FReg::F2, icicle_isa::FReg::F3);
+    b.fmul(
+        icicle_isa::FReg::F3,
+        icicle_isa::FReg::F0,
+        icicle_isa::FReg::F1,
+    );
+    b.fadd(
+        icicle_isa::FReg::F2,
+        icicle_isa::FReg::F2,
+        icicle_isa::FReg::F3,
+    );
     b.fsd(icicle_isa::FReg::F2, Reg::A3, 0);
     b.addi(Reg::T2, Reg::T2, 1);
     b.j("j_loop");
@@ -418,13 +463,21 @@ pub fn mm(dim: u64) -> Workload {
     b.slli(Reg::T3, Reg::T0, 3);
     b.add(Reg::T3, Reg::T2, Reg::T3);
     b.fld(icicle_isa::FReg::F5, Reg::T3, 0);
-    b.fadd(icicle_isa::FReg::F4, icicle_isa::FReg::F4, icicle_isa::FReg::F5);
+    b.fadd(
+        icicle_isa::FReg::F4,
+        icicle_isa::FReg::F4,
+        icicle_isa::FReg::F5,
+    );
     b.addi(Reg::T0, Reg::T0, 1);
     b.j("sum_loop");
     b.label("sum_done");
     b.fmv_x_d(Reg::A0, icicle_isa::FReg::F4);
     b.halt();
-    Workload::new("mm", b.build().expect("mm builds"), 40 * dim * dim * dim + 50_000)
+    Workload::new(
+        "mm",
+        b.build().expect("mm builds"),
+        40 * dim * dim * dim + 50_000,
+    )
 }
 
 /// Element-wise vector add `c[i] = a[i] + b[i]` over `n` words.
@@ -487,7 +540,11 @@ fn branch_chain(name: &str, units: u64, always_taken: bool) -> Workload {
         b.addi(Reg::A0, Reg::A0, 1);
     }
     b.halt();
-    Workload::new(name, b.build().expect("branch chain builds"), units * 8 + 1000)
+    Workload::new(
+        name,
+        b.build().expect("branch chain builds"),
+        units * 8 + 1000,
+    )
 }
 
 /// Case study 2's `brmiss`: a chain of `units` *taken* branch
@@ -555,8 +612,12 @@ mod tests {
     fn mm_matches_reference() {
         let dim = 8usize;
         let s = mm(dim as u64).execute().unwrap();
-        let a: Vec<f64> = (0..dim * dim).map(|i| ((i % 7) as f64) * 0.5 + 1.0).collect();
-        let bm: Vec<f64> = (0..dim * dim).map(|i| ((i % 5) as f64) * 0.25 + 0.5).collect();
+        let a: Vec<f64> = (0..dim * dim)
+            .map(|i| ((i % 7) as f64) * 0.5 + 1.0)
+            .collect();
+        let bm: Vec<f64> = (0..dim * dim)
+            .map(|i| ((i % 5) as f64) * 0.25 + 0.5)
+            .collect();
         let mut c = vec![0.0f64; dim * dim];
         for i in 0..dim {
             for k in 0..dim {

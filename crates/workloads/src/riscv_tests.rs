@@ -170,7 +170,7 @@ pub fn median(n: u64) -> Workload {
     b.ld(Reg::T2, Reg::T1, -8); // a
     b.ld(Reg::T3, Reg::T1, 0); // b
     b.ld(Reg::T4, Reg::T1, 8); // c
-    // median(a,b,c) with branches: sort a,b then clamp with c.
+                               // median(a,b,c) with branches: sort a,b then clamp with c.
     b.bgeu(Reg::T3, Reg::T2, "med_ab_ok"); // if b < a swap
     b.mv(Reg::T5, Reg::T2);
     b.mv(Reg::T2, Reg::T3);
@@ -345,11 +345,7 @@ mod tests {
     fn towers_counts_moves() {
         for disks in [1u64, 5, 8] {
             let s = towers(disks).execute().unwrap();
-            assert_eq!(
-                s.trailing_reg(Reg::A0),
-                (1 << disks) - 1,
-                "hanoi({disks})"
-            );
+            assert_eq!(s.trailing_reg(Reg::A0), (1 << disks) - 1, "hanoi({disks})");
         }
     }
 

@@ -48,7 +48,11 @@ pub fn mcf_sized(entries: usize, steps: u64) -> Workload {
     b.addi(Reg::S5, Reg::S5, 1);
     b.blt(Reg::S5, Reg::S6, "mcf_loop");
     b.halt();
-    Workload::new("505.mcf_r", b.build().expect("mcf builds"), 10 * steps + 1_000)
+    Workload::new(
+        "505.mcf_r",
+        b.build().expect("mcf builds"),
+        10 * steps + 1_000,
+    )
 }
 
 /// `505.mcf_r` at the default evaluation size (1 MiB table — twice the
@@ -123,7 +127,7 @@ pub fn xalancbmk_sized(entries: usize, steps: u64) -> Workload {
     b.slli(Reg::T4, Reg::T1, 3);
     b.add(Reg::T4, Reg::S2, Reg::T4);
     b.ld(Reg::T1, Reg::T4, 0); // DOM-node hop
-    // Tag-name byte compare (L1-resident strings).
+                               // Tag-name byte compare (L1-resident strings).
     b.andi(Reg::T5, Reg::T1, 4095);
     b.add(Reg::T5, Reg::S3, Reg::T5);
     b.lbu(Reg::T6, Reg::T5, 0);
@@ -193,7 +197,11 @@ pub fn gcc_sized(entries: usize, steps: u64) -> Workload {
     b.addi(Reg::S5, Reg::S5, 1);
     b.blt(Reg::S5, Reg::S6, "gcc_loop");
     b.halt();
-    Workload::new("502.gcc_r", b.build().expect("gcc builds"), 25 * steps + 1_000)
+    Workload::new(
+        "502.gcc_r",
+        b.build().expect("gcc builds"),
+        25 * steps + 1_000,
+    )
 }
 
 /// `502.gcc_r` at the default size (128 KiB IR arena).
@@ -227,11 +235,7 @@ pub fn perlbench_sized(steps: u64) -> Workload {
         b.ret();
     }
     let dispatch = b.data_u64(&handler_pcs);
-    let opcodes = b.data_u64(
-        &(0..4096)
-            .map(|_| rng.below(8))
-            .collect::<Vec<_>>(),
-    );
+    let opcodes = b.data_u64(&(0..4096).map(|_| rng.below(8)).collect::<Vec<_>>());
     b.label("perl_main");
     b.li(Reg::S2, dispatch as i64);
     b.li(Reg::S3, opcodes as i64);
@@ -431,7 +435,11 @@ pub fn leela_sized(entries: usize, steps: u64) -> Workload {
     b.addi(Reg::S5, Reg::S5, 1);
     b.blt(Reg::S5, Reg::S6, "ll_loop");
     b.halt();
-    Workload::new("541.leela_r", b.build().expect("leela builds"), 20 * steps + 1_000)
+    Workload::new(
+        "541.leela_r",
+        b.build().expect("leela builds"),
+        20 * steps + 1_000,
+    )
 }
 
 /// `541.leela_r` at the default size (16 KiB position table).
@@ -539,7 +547,11 @@ pub fn xz_sized(input_bytes: usize, dict_entries: usize, steps: u64) -> Workload
     b.addi(Reg::S5, Reg::S5, 1);
     b.blt(Reg::S5, Reg::S6, "xz_loop");
     b.halt();
-    Workload::new("557.xz_r", b.build().expect("xz builds"), 20 * steps + 1_000)
+    Workload::new(
+        "557.xz_r",
+        b.build().expect("xz builds"),
+        20 * steps + 1_000,
+    )
 }
 
 /// `557.xz_r` at the default size (256 KiB input, 256 KiB dictionary).
@@ -592,10 +604,7 @@ mod tests {
         // The Sattolo cycle guarantees `steps < entries` distinct nodes.
         let w = mcf_sized(1 << 12, 1000);
         let s = w.execute().unwrap();
-        let mut addrs: Vec<u64> = s
-            .iter()
-            .filter_map(|d| d.mem.map(|m| m.addr))
-            .collect();
+        let mut addrs: Vec<u64> = s.iter().filter_map(|d| d.mem.map(|m| m.addr)).collect();
         let total = addrs.len();
         addrs.sort_unstable();
         addrs.dedup();

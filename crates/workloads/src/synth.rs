@@ -84,7 +84,11 @@ pub fn dhrystone(iters: u64) -> Workload {
     b.label("dh_done");
     b.mv(Reg::A0, Reg::S4);
     b.halt();
-    Workload::new("dhrystone", b.build().expect("dhrystone builds"), 60 * iters + 10_000)
+    Workload::new(
+        "dhrystone",
+        b.build().expect("dhrystone builds"),
+        60 * iters + 10_000,
+    )
 }
 
 /// A CoreMark-like kernel: per iteration, a linked-list walk, an integer
@@ -101,23 +105,23 @@ pub fn dhrystone(iters: u64) -> Workload {
 /// Panics if `iters` is zero.
 pub fn coremark(iters: u64, scheduled: bool) -> Workload {
     assert!(iters > 0, "need at least one iteration");
-    let name = if scheduled { "coremark-sched" } else { "coremark" };
+    let name = if scheduled {
+        "coremark-sched"
+    } else {
+        "coremark"
+    };
     let mut b = ProgramBuilder::new(name);
     // 64-node list: node = (value, next-index), L1-resident.
     let mut rng = XorShift::new(0x5eed_0011);
     let order = rng.cycle_permutation(64);
     let mut nodes = Vec::with_capacity(128);
-    for i in 0..64 {
+    for &next in order.iter().take(64) {
         nodes.push(rng.below(1 << 16)); // value
-        nodes.push(order[i]); // next index
+        nodes.push(next); // next index
     }
     let list = b.data_u64(&nodes);
     let matrix = b.data_u64(&rng.values(64).iter().map(|v| v & 0xff).collect::<Vec<_>>());
-    let states = b.data_u64(
-        &(0..256)
-            .map(|_| rng.below(6))
-            .collect::<Vec<_>>(),
-    );
+    let states = b.data_u64(&(0..256).map(|_| rng.below(6)).collect::<Vec<_>>());
     b.li(Reg::S0, 0);
     b.li(Reg::S1, iters as i64);
     b.li(Reg::S2, list as i64);
@@ -204,7 +208,11 @@ pub fn coremark(iters: u64, scheduled: bool) -> Workload {
     b.j("cm_loop");
     b.label("cm_done");
     b.halt();
-    Workload::new(name, b.build().expect("coremark builds"), 300 * iters + 20_000)
+    Workload::new(
+        name,
+        b.build().expect("coremark builds"),
+        300 * iters + 20_000,
+    )
 }
 
 #[cfg(test)]
@@ -226,10 +234,7 @@ mod tests {
         let sched = coremark(40, true).execute().unwrap();
         // Same result and same dynamic instruction count: only the
         // *order* differs, exactly like the paper's two -O1 binaries.
-        assert_eq!(
-            plain.trailing_reg(Reg::A0),
-            sched.trailing_reg(Reg::A0)
-        );
+        assert_eq!(plain.trailing_reg(Reg::A0), sched.trailing_reg(Reg::A0));
         assert_eq!(plain.len(), sched.len());
     }
 

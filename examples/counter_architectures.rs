@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = icicle::workloads::micro::rsort(1 << 10);
     let stream = workload.execute()?;
 
-    println!("counter architectures on `{}` (LargeBoom):\n", workload.name());
+    println!(
+        "counter architectures on `{}` (LargeBoom):\n",
+        workload.name()
+    );
     println!(
         "{:<12} {:>14} {:>14} {:>12} {:>10}",
         "impl", "uops-issued", "uops-retired", "fetch-bub.", "undercount"

@@ -7,8 +7,8 @@
 //! cargo run --release --example frontend_trace
 //! ```
 
-use icicle::prelude::*;
 use icicle::events::EventId;
+use icicle::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workload = icicle::workloads::micro::mergesort(1 << 9);

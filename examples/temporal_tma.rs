@@ -21,11 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let config = BoomConfig::large();
         let channels = SlotTemporalTma::required_channels(config.decode_width);
-        let mut core = Boom::new(
-            config,
-            workload.execute()?,
-            workload.program().clone(),
-        );
+        let mut core = Boom::new(config, workload.execute()?, workload.program().clone());
         let report = Perf::new()
             .trace(TraceConfig::new(channels)?)
             .run(&mut core)?;
@@ -36,13 +32,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!("--- {} ---", workload.name());
         for (name, counter, temporal) in [
-            ("retiring", report.tma.top.retiring, slots.retiring_fraction()),
+            (
+                "retiring",
+                report.tma.top.retiring,
+                slots.retiring_fraction(),
+            ),
             (
                 "bad-spec",
                 report.tma.top.bad_speculation,
                 slots.bad_speculation_fraction(),
             ),
-            ("frontend", report.tma.top.frontend, slots.frontend_fraction()),
+            (
+                "frontend",
+                report.tma.top.frontend,
+                slots.frontend_fraction(),
+            ),
             ("backend", report.tma.top.backend, slots.backend_fraction()),
         ] {
             println!(

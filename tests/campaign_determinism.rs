@@ -1,0 +1,87 @@
+//! The campaign engine's core contract, end-to-end: a sweep's aggregate
+//! output is byte-identical regardless of thread count, and a warm
+//! cache replays it without a single simulation.
+//!
+//! The grid is the full-stack shape the paper's figures use (workloads
+//! × cores × counter architectures × data seeds), kept at small
+//! workload sizes so the whole matrix runs in CI.
+
+use std::sync::Arc;
+
+use icicle::campaign::{
+    fingerprint, run_campaign, CampaignSpec, CoreSelect, ResultCache, RunOptions,
+};
+use icicle::prelude::{BoomSize, CounterArch};
+
+/// 3 workloads × 2 cores × 2 archs × 2 seeds = 24 cells.
+fn grid() -> CampaignSpec {
+    CampaignSpec::new("determinism")
+        .workloads(["vvadd", "towers", "qsort"])
+        .cores([CoreSelect::Rocket, CoreSelect::Boom(BoomSize::Small)])
+        .archs([CounterArch::AddWires, CounterArch::Distributed])
+        .seeds([0, 3])
+}
+
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let spec = grid();
+    assert!(spec.cells().len() >= 24, "grid too small to be meaningful");
+
+    let serial = run_campaign(&spec, &RunOptions::with_jobs(1));
+    let parallel = run_campaign(&spec, &RunOptions::with_jobs(8));
+
+    assert_eq!(serial.stats.failed, 0, "{:?}", serial.failures);
+    assert_eq!(serial.stats.simulated, spec.cells().len());
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn warm_disk_cache_replays_without_simulating() {
+    let spec = grid();
+    let dir = std::env::temp_dir().join(format!("icicle-campaign-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold = {
+        let cache = Arc::new(ResultCache::with_disk(&dir).unwrap());
+        run_campaign(
+            &spec,
+            &RunOptions {
+                jobs: 4,
+                cache: Some(cache),
+                progress: None,
+            },
+        )
+    };
+    assert_eq!(cold.stats.simulated, spec.cells().len());
+    assert_eq!(cold.stats.failed, 0, "{:?}", cold.failures);
+
+    // A fresh cache handle (empty memory tier, same directory)
+    // simulates the scenario of a separate process re-running the spec.
+    let cache = Arc::new(ResultCache::with_disk(&dir).unwrap());
+    assert!(cache.is_empty());
+    let warm = run_campaign(
+        &spec,
+        &RunOptions {
+            jobs: 4,
+            cache: Some(cache),
+            progress: None,
+        },
+    );
+    assert_eq!(warm.stats.simulated, 0, "warm run must not simulate");
+    assert_eq!(warm.stats.cached, spec.cells().len());
+    assert_eq!(warm.to_json(), cold.to_json());
+    assert_eq!(warm.to_csv(), cold.to_csv());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fingerprints_distinguish_every_cell_in_the_grid() {
+    let cells = grid().cells();
+    let mut fps: Vec<u64> = cells.iter().map(|c| fingerprint(c).0).collect();
+    let total = fps.len();
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(fps.len(), total, "fingerprint collision inside one grid");
+}

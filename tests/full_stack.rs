@@ -57,12 +57,7 @@ fn every_micro_workload_characterizes_on_boom() {
         let ipc = r.ipc();
         assert!(ipc > 0.0 && ipc <= 3.0, "{} boom ipc {ipc}", w.name());
         // Retired instructions equal the architectural stream exactly.
-        assert_eq!(
-            r.instret,
-            w.execute().unwrap().len() as u64,
-            "{}",
-            w.name()
-        );
+        assert_eq!(r.instret, w.execute().unwrap().len() as u64, "{}", w.name());
     }
 }
 
@@ -196,11 +191,7 @@ fn qsort_is_speculation_bound_relative_to_rsort() {
 fn mcf_proxy_is_backend_bound_on_boom() {
     let w = icicle::workloads::spec::mcf_sized(1 << 14, 1_000);
     let r = run_boom(&w, BoomConfig::large());
-    assert!(
-        r.tma.top.backend > 0.6,
-        "mcf backend {}",
-        r.tma.top.backend
-    );
+    assert!(r.tma.top.backend > 0.6, "mcf backend {}", r.tma.top.backend);
     assert!(r.tma.backend.mem_bound > r.tma.backend.core_bound);
 }
 
@@ -225,7 +216,11 @@ fn all_boom_sizes_run_the_same_workload() {
             last_cycles = r.cycles;
         }
         if size == BoomSize::Giga {
-            assert!(r.cycles < last_cycles, "giga {} vs small {last_cycles}", r.cycles);
+            assert!(
+                r.cycles < last_cycles,
+                "giga {} vs small {last_cycles}",
+                r.cycles
+            );
         }
     }
 }

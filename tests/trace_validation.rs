@@ -22,14 +22,14 @@ fn traced_run(w: &Workload, config: BoomConfig) -> PerfReport {
 
 #[test]
 fn trace_agrees_with_counters() {
-    let r = traced_run(
-        &icicle::workloads::micro::qsort(512),
-        BoomConfig::large(),
-    );
+    let r = traced_run(&icicle::workloads::micro::qsort(512), BoomConfig::large());
     let trace = r.trace.as_ref().unwrap();
     // The Recovering counter counts cycles; the scalar trace channel sees
     // exactly the same cycles.
-    assert_eq!(trace.high_count(1), r.perfect_counts.get(EventId::Recovering));
+    assert_eq!(
+        trace.high_count(1),
+        r.perfect_counts.get(EventId::Recovering)
+    );
     // The trace is one word per cycle.
     assert_eq!(trace.len() as u64, r.cycles);
 }
@@ -44,7 +44,11 @@ fn recovery_length_distribution_matches_fig8b() {
     );
     let trace = r.trace.as_ref().unwrap();
     let cdf = Cdf::new(trace.run_lengths(1));
-    assert!(cdf.len() > 100, "need many recovery sequences: {}", cdf.len());
+    assert!(
+        cdf.len() > 100,
+        "need many recovery sequences: {}",
+        cdf.len()
+    );
     let mode = cdf.mode().unwrap();
     assert!(
         (2..=8).contains(&mode),
@@ -82,10 +86,7 @@ fn overlap_bound_is_small_like_table_vi() {
 
 #[test]
 fn temporal_tma_matches_counter_fractions() {
-    let r = traced_run(
-        &icicle::workloads::micro::qsort(512),
-        BoomConfig::large(),
-    );
+    let r = traced_run(&icicle::workloads::micro::qsort(512), BoomConfig::large());
     let trace = r.trace.as_ref().unwrap();
     let temporal = TemporalTma::for_trace(trace).unwrap().analyze(trace);
     assert_eq!(temporal.cycles, r.cycles);
@@ -139,15 +140,16 @@ fn slot_temporal_tma_cross_validates_counters() {
 
 #[test]
 fn trace_exports_are_well_formed_for_real_runs() {
-    let r = traced_run(
-        &icicle::workloads::micro::vvadd(256),
-        BoomConfig::small(),
-    );
+    let r = traced_run(&icicle::workloads::micro::vvadd(256), BoomConfig::small());
     let trace = r.trace.as_ref().unwrap();
     let mut csv = Vec::new();
     trace.write_csv(&mut csv).unwrap();
     let text = String::from_utf8(csv).unwrap();
-    assert_eq!(text.lines().count(), trace.len() + 1, "header + one row per cycle");
+    assert_eq!(
+        text.lines().count(),
+        trace.len() + 1,
+        "header + one row per cycle"
+    );
     let mut vcd = Vec::new();
     trace.write_vcd(&mut vcd).unwrap();
     let vcd = String::from_utf8(vcd).unwrap();

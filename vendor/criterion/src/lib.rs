@@ -1,0 +1,298 @@
+//! A self-contained, dependency-free stand-in for the `criterion`
+//! benchmark harness.
+//!
+//! The workspace builds in hermetic environments with no crates-io
+//! access, so this vendored crate implements the subset of criterion's
+//! API the benches use — `criterion_group!` / `criterion_main!`,
+//! benchmark groups, `Bencher::iter` / `iter_batched_ref`, throughput
+//! annotation — over a plain wall-clock measurement loop. It reports
+//! mean / min / max per iteration on stdout; there is no statistical
+//! analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched*` amortizes setup; carried for API compatibility,
+/// the measurement loop re-runs setup per iteration regardless.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units-per-iteration annotation echoed in the output line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target time spent measuring each benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Target time spent warming up each benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, &mut f);
+        group.finish();
+    }
+}
+
+/// A named set of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measures `f` and prints one summary line.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            warm_up: self.criterion.warm_up_time,
+            measurement: self.criterion.measurement_time,
+            sample_size: self.criterion.sample_size,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{:<24} (no samples)", self.name, id);
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / mean)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / mean)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<24} time: [{} {} {}]{}",
+            self.name,
+            id,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            rate
+        );
+    }
+
+    /// Ends the group (separator line, for parity with upstream output).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Passed to the benchmark closure; collects timing samples.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up, and calibrate how many iterations fill one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns = self.measurement.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((budget_ns / per_iter.max(1.0)) as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` against a mutable value rebuilt by `setup` for
+    /// every iteration; setup time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up: a few full setup+routine rounds.
+        let warm_start = Instant::now();
+        loop {
+            let mut input = setup();
+            black_box(routine(&mut input));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// As [`Bencher::iter_batched_ref`], but the routine consumes its input.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine(setup()));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_ref_collects_samples() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![1u8; 64],
+                |v| v.iter().sum::<u8>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
