@@ -168,6 +168,64 @@ mod tests {
     }
 
     #[test]
+    fn truncated_entries_read_as_misses_and_heal_on_put() {
+        let dir = tmpdir("truncated");
+        let fp = Fingerprint(0xbeef);
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        cache.put(fp, &sample(5));
+        // A crash mid-write outside the atomic path (or disk-full
+        // truncation) leaves a prefix of a valid entry.
+        let path = cache.entry_path(fp).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert!(fresh.get(fp).is_none(), "truncated entry must be a miss");
+        fresh.put(fp, &sample(5));
+        let again = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(again.get(fp), Some(sample(5)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn well_formed_json_of_the_wrong_shape_is_a_miss() {
+        let dir = tmpdir("shape");
+        let fp = Fingerprint(0xf00d);
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        let path = cache.entry_path(fp).unwrap();
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        // Parses fine, but carries none of the cell-result fields.
+        fs::write(&path, "{\n  \"fingerprint\": \"bogus\"\n}\n").unwrap();
+        assert!(cache.get(fp).is_none());
+        cache.put(fp, &sample(11));
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(fresh.get(fp), Some(sample(11)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_tmp_files_from_a_killed_writer_are_ignored_and_replaced() {
+        let dir = tmpdir("tmpfile");
+        let fp = Fingerprint(0xdead);
+        let cache = ResultCache::with_disk(&dir).unwrap();
+        let path = cache.entry_path(fp).unwrap();
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        // A writer killed between write and rename leaves only the temp
+        // file; the entry itself must read as a miss.
+        let tmp = path.with_extension("json.tmp");
+        let partial = sample(9).to_json().render();
+        fs::write(&tmp, &partial[..partial.len() / 3]).unwrap();
+        assert!(cache.get(fp).is_none());
+        // A later put claims the same temp name and completes the
+        // rename, leaving no debris behind.
+        cache.put(fp, &sample(9));
+        assert!(path.exists());
+        assert!(!tmp.exists(), "put must rename the temp file away");
+        let fresh = ResultCache::with_disk(&dir).unwrap();
+        assert_eq!(fresh.get(fp), Some(sample(9)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn corrupt_entries_read_as_misses_and_heal_on_put() {
         let dir = tmpdir("corrupt");
         let fp = Fingerprint(0xfeed);

@@ -41,7 +41,7 @@ pub mod spec;
 pub use cache::ResultCache;
 pub use fingerprint::{data_seed, fingerprint, Fingerprint, CACHE_FORMAT_VERSION};
 pub use report::{CampaignReport, CellResult, RunStats, TmaSummary};
-pub use runner::{run_campaign, simulate_cell, JobQueue, Progress, RunOptions};
+pub use runner::{run_campaign, simulate_cell, JobQueue, Progress, ProgressFn, RunOptions};
 pub use spec::{CampaignSpec, CellSpec, CoreSelect, SpecError};
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ COMMANDS:
     profile                  Sampled flat profile of retirement PCs
     soc                      Co-run workloads on a shared-L2 SoC
     campaign                 Run an experiment campaign from a spec file
+    verify                   Differentially verify counter TMA against traces
     vlsi                     Print the physical-design cost model (Fig. 9)
 
 OPTIONS (list):
@@ -33,6 +34,17 @@ OPTIONS (campaign):
     --cache-dir <DIR>        On-disk cache [default: .icicle-cache]
     --json                   Emit the aggregate report as JSON
     --csv                    Emit the aggregate report as CSV
+
+OPTIONS (verify):
+    --matrix                 Verify the full workload × core × arch grid
+                             (the default when --fuzz is absent)
+    --fuzz <N>               Fuzz N seeded random instruction mixes
+    --seed <S>               Fuzzer master seed [default: 0]
+    --bound <PCT>            Flat divergence bound in percent, replacing
+                             the derived per-class bounds
+    --jobs <N>               Worker threads for --matrix [default: 1]
+    --report <PATH>          Also write the JSON divergence report here
+    --json                   Emit the report as JSON on stdout
 
 OPTIONS (tma / trace / lanes / counters):
     --workload <NAME>        Workload name from `icicle-tma list` [required]
@@ -108,6 +120,16 @@ pub enum Command {
     },
     Soc {
         pairs: Vec<(String, CoreChoice)>,
+    },
+    Verify {
+        matrix: bool,
+        fuzz: Option<u64>,
+        seed: u64,
+        /// Flat bound as a fraction (the flag takes percent).
+        bound: Option<f64>,
+        jobs: usize,
+        report: Option<String>,
+        json: bool,
     },
     Vlsi,
 }
@@ -261,6 +283,74 @@ fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
     })
 }
 
+fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
+    let mut matrix = false;
+    let mut fuzz = None;
+    let mut seed = 0u64;
+    let mut bound = None;
+    let mut jobs = 1usize;
+    let mut report = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--matrix" => matrix = true,
+            "--fuzz" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--fuzz expects a case count".into()))?;
+                if n == 0 {
+                    return err("--fuzz must be non-zero");
+                }
+                fuzz = Some(n);
+            }
+            "--seed" => {
+                seed = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--seed expects a number".into()))?;
+            }
+            "--bound" => {
+                let pct: f64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--bound expects a percentage".into()))?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return err("--bound must be a positive percentage");
+                }
+                bound = Some(pct / 100.0);
+            }
+            "--jobs" | "-j" => {
+                jobs = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--jobs expects a number".into()))?;
+                if jobs == 0 {
+                    return err("--jobs must be non-zero");
+                }
+            }
+            "--report" => report = Some(value()?.clone()),
+            "--json" => json = true,
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    // Plain `verify` means the matrix; `--fuzz` alone means just the
+    // fuzzer; both flags run both phases.
+    if fuzz.is_none() {
+        matrix = true;
+    }
+    Ok(Command::Verify {
+        matrix,
+        fuzz,
+        seed,
+        bound,
+        jobs,
+        report,
+        json,
+    })
+}
+
 fn required_workload(opts: &Options) -> Result<String, ParseError> {
     opts.workload
         .clone()
@@ -284,6 +374,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             Ok(Command::List { json: opts.json })
         }
         "campaign" => parse_campaign(rest),
+        "verify" => parse_verify(rest),
         "vlsi" => Ok(Command::Vlsi),
         "tma" => {
             let opts = parse_options(rest)?;
@@ -484,6 +575,70 @@ mod tests {
         assert!(parse(&argv("campaign s --jobs 0")).is_err());
         assert!(parse(&argv("campaign s --json --csv")).is_err());
         assert!(parse(&argv("campaign s --frob")).is_err());
+    }
+
+    #[test]
+    fn verify_defaults_to_the_matrix() {
+        assert_eq!(
+            parse(&argv("verify")).unwrap(),
+            Command::Verify {
+                matrix: true,
+                fuzz: None,
+                seed: 0,
+                bound: None,
+                jobs: 1,
+                report: None,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn verify_fuzz_alone_skips_the_matrix() {
+        assert_eq!(
+            parse(&argv("verify --fuzz 50 --seed 7 --report out.json")).unwrap(),
+            Command::Verify {
+                matrix: false,
+                fuzz: Some(50),
+                seed: 7,
+                bound: None,
+                jobs: 1,
+                report: Some("out.json".into()),
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn verify_combines_matrix_fuzz_and_percent_bound() {
+        let cmd = parse(&argv("verify --matrix --fuzz 10 --bound 2.5 -j 4 --json")).unwrap();
+        match cmd {
+            Command::Verify {
+                matrix,
+                fuzz,
+                bound,
+                jobs,
+                json,
+                ..
+            } => {
+                assert!(matrix);
+                assert_eq!(fuzz, Some(10));
+                // --bound takes percent; the command gets a fraction.
+                assert!((bound.unwrap() - 0.025).abs() < 1e-12);
+                assert_eq!(jobs, 4);
+                assert!(json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_rejects_bad_values() {
+        assert!(parse(&argv("verify --fuzz 0")).is_err());
+        assert!(parse(&argv("verify --jobs 0")).is_err());
+        assert!(parse(&argv("verify --bound -1")).is_err());
+        assert!(parse(&argv("verify --bound nan")).is_err());
+        assert!(parse(&argv("verify --frob")).is_err());
     }
 
     #[test]

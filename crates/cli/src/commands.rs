@@ -70,6 +70,15 @@ pub fn run(cmd: Command) -> Result<()> {
         } => profile(&workload, core, period, event),
         Command::Soc { pairs } => soc(&pairs),
         Command::Counters { workload, core } => counters(&workload, core),
+        Command::Verify {
+            matrix,
+            fuzz,
+            seed,
+            bound,
+            jobs,
+            report,
+            json,
+        } => verify(matrix, fuzz, seed, bound, jobs, report.as_deref(), json),
         Command::Vlsi => vlsi(),
     }
 }
@@ -192,6 +201,98 @@ fn campaign(
     }
     if report.cells.is_empty() && !report.failures.is_empty() {
         return Err(format!("all {} cells failed", report.failures.len()).into());
+    }
+    Ok(())
+}
+
+fn verify(
+    matrix: bool,
+    fuzz: Option<u64>,
+    seed: u64,
+    bound: Option<f64>,
+    jobs: usize,
+    report_path: Option<&str>,
+    json: bool,
+) -> Result<()> {
+    use icicle::campaign::Progress;
+    use icicle::verify::{default_matrix, run_fuzz, run_matrix, FuzzOptions, MatrixOptions};
+
+    // The machine artifact accumulates one JSON document per phase;
+    // stdout mirrors it under --json, or carries the human summary.
+    let mut artifact = String::new();
+    let mut all_passed = true;
+
+    if matrix {
+        let spec = default_matrix();
+        let options = MatrixOptions {
+            jobs,
+            flat_bound: bound,
+            progress: if json {
+                None
+            } else {
+                Some(Box::new(|p: Progress| {
+                    eprint!(
+                        "\r[{}/{}] {} within bound, {} diverged or failed",
+                        p.done(),
+                        p.total,
+                        p.simulated,
+                        p.failed
+                    );
+                }))
+            },
+        };
+        let report = run_matrix(&spec, &options);
+        if !json {
+            eprintln!();
+        }
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{report}");
+        }
+        artifact.push_str(&report.to_json());
+        all_passed &= report.passed();
+    }
+
+    if let Some(cases) = fuzz {
+        let options = FuzzOptions {
+            cases,
+            seed,
+            flat_bound: bound,
+            progress: if json {
+                None
+            } else {
+                Some(Box::new(|p: Progress| {
+                    eprint!(
+                        "\r[{}/{}] fuzz cases, {} diverged or errored",
+                        p.done(),
+                        p.total,
+                        p.failed
+                    );
+                }))
+            },
+            ..FuzzOptions::default()
+        };
+        let report = run_fuzz(&options);
+        if !json {
+            eprintln!();
+        }
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{report}");
+        }
+        artifact.push_str(&report.to_json());
+        all_passed &= report.passed();
+    }
+
+    if let Some(path) = report_path {
+        std::fs::write(path, &artifact)
+            .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
+    }
+
+    if !all_passed {
+        return Err("verification failed: counter TMA diverged from the trace ground truth".into());
     }
     Ok(())
 }

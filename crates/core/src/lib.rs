@@ -25,6 +25,7 @@
 //! | [`vlsi`] | `icicle-vlsi` | post-placement cost model (Fig. 9) |
 //! | [`workloads`] | `icicle-workloads` | microbenchmarks + SPEC proxies (Table III) |
 //! | [`campaign`] | `icicle-campaign` | parallel experiment campaigns with result caching |
+//! | [`verify`] | `icicle-verify` | differential counter-vs-trace TMA verification (§V) |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use icicle_rocket as rocket;
 pub use icicle_soc as soc;
 pub use icicle_tma as tma;
 pub use icicle_trace as trace;
+pub use icicle_verify as verify;
 pub use icicle_vlsi as vlsi;
 pub use icicle_workloads as workloads;
 
@@ -76,6 +78,9 @@ pub mod prelude {
     pub use icicle_soc::{Soc, SocBuilder, SocReport};
     pub use icicle_tma::{TmaBreakdown, TmaInput, TmaModel};
     pub use icicle_trace::{Trace, TraceChannel, TraceConfig};
+    pub use icicle_verify::{
+        run_fuzz, run_matrix, verify_cell, FuzzOptions, FuzzReport, MatrixOptions, MatrixReport,
+    };
     pub use icicle_vlsi::evaluate as evaluate_vlsi;
     pub use icicle_workloads::Workload;
 }

@@ -212,7 +212,10 @@ impl Perf {
                 core.name()
             );
             if let Some(m) = mux {
-                if num_groups > 1 && core.cycle().is_multiple_of(m.quantum.max(1)) && core.cycle() > 0 {
+                if num_groups > 1
+                    && core.cycle().is_multiple_of(m.quantum.max(1))
+                    && core.cycle() > 0
+                {
                     // Rotate: freeze the active group, release the next.
                     for (slot, _) in &slot_map {
                         if group_of(*slot) == active_group {

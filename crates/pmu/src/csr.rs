@@ -510,7 +510,10 @@ mod tests {
         }
         let exact = 400;
         let sw = csr.read(0).unwrap();
-        assert!(sw.is_multiple_of(4), "post-processed value is a multiple of 2^N");
+        assert!(
+            sw.is_multiple_of(4),
+            "post-processed value is a multiple of 2^N"
+        );
         assert!(sw <= exact);
         assert_eq!(csr.read_precise(0).unwrap(), exact);
     }

@@ -356,7 +356,7 @@ impl Rocket {
             if self.recovering {
                 self.events.raise(EventId::Recovering);
             } else if !self.done && !matches!(self.fetch_state, FetchState::Drained) {
-                self.events.raise(EventId::FetchBubbles);
+                self.events.raise_lane(EventId::FetchBubbles, 0);
                 if self.refill_until > self.cycle {
                     self.events.raise(EventId::ICacheBlocked);
                 }

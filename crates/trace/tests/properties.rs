@@ -1,0 +1,169 @@
+//! Property tests for the trace-side TMA analyzers: on randomized cycle
+//! patterns, the slot classifier's classes must partition the slots
+//! exactly (and so its fractions must sum to 1.0), and both analyzers
+//! must agree with an independent reference model computed straight from
+//! the generated lane masks.
+
+use icicle_events::{EventId, EventVector};
+use icicle_trace::{SlotReport, SlotTemporalTma, TemporalTma, Trace, TraceChannel, TraceConfig};
+use proptest::prelude::*;
+
+/// One generated cycle: which lanes retired, which lanes saw a fetch
+/// bubble, and whether the core was recovering.
+type Cycle = (u16, u16, bool);
+
+/// Builds a trace carrying both the per-lane slot-TMA channels and the
+/// scalar channels the cycle-granular analyzer reads.
+fn record(width: usize, pattern: &[Cycle]) -> Trace {
+    let mut channels = SlotTemporalTma::required_channels(width);
+    channels.push(TraceChannel::scalar(EventId::FetchBubbles));
+    let mut trace = Trace::new(TraceConfig::new(channels).unwrap());
+    for &(retired, bubbles, recovering) in pattern {
+        let mut v = EventVector::new();
+        for lane in 0..width {
+            if retired & (1 << lane) != 0 {
+                v.raise_lane(EventId::UopsRetired, lane);
+            }
+            if bubbles & (1 << lane) != 0 {
+                v.raise_lane(EventId::FetchBubbles, lane);
+            }
+        }
+        if recovering {
+            v.raise(EventId::Recovering);
+        }
+        trace.record(&v);
+    }
+    trace
+}
+
+/// The slot classification computed independently from the masks.
+fn reference_slots(width: usize, pattern: &[Cycle]) -> SlotReport {
+    let mut r = SlotReport {
+        slots: (pattern.len() * width) as u64,
+        ..SlotReport::default()
+    };
+    for &(retired, bubbles, recovering) in pattern {
+        for lane in 0..width {
+            if retired & (1 << lane) != 0 {
+                r.retiring += 1;
+            } else if recovering {
+                r.bad_speculation += 1;
+            } else if bubbles & (1 << lane) != 0 {
+                r.frontend += 1;
+            } else {
+                r.backend += 1;
+            }
+        }
+    }
+    r
+}
+
+fn pattern_strategy() -> impl Strategy<Value = Vec<Cycle>> {
+    proptest::collection::vec((any::<u16>(), any::<u16>(), any::<bool>()), 0..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slot_classes_partition_the_slots(
+        width in 1usize..=4,
+        raw in pattern_strategy(),
+    ) {
+        let mask = (1u16 << width) - 1;
+        let pattern: Vec<Cycle> =
+            raw.iter().map(|&(r, b, rec)| (r & mask, b & mask, rec)).collect();
+        let trace = record(width, &pattern);
+        let tma = SlotTemporalTma::for_trace(&trace, width).unwrap();
+        let report = tma.analyze(&trace);
+
+        prop_assert_eq!(report.slots, (pattern.len() * width) as u64);
+        prop_assert_eq!(
+            report.retiring + report.bad_speculation + report.frontend + report.backend,
+            report.slots
+        );
+        prop_assert_eq!(report, reference_slots(width, &pattern));
+
+        let sum = report.retiring_fraction()
+            + report.bad_speculation_fraction()
+            + report.frontend_fraction()
+            + report.backend_fraction();
+        if report.slots == 0 {
+            prop_assert!(sum == 0.0);
+        } else {
+            prop_assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slot_fraction_helpers_are_consistent_on_any_partition(
+        parts in proptest::collection::vec(0u64..(1 << 40), 4),
+    ) {
+        let report = SlotReport {
+            slots: parts.iter().sum(),
+            retiring: parts[0],
+            bad_speculation: parts[1],
+            frontend: parts[2],
+            backend: parts[3],
+        };
+        let fractions = [
+            report.retiring_fraction(),
+            report.bad_speculation_fraction(),
+            report.frontend_fraction(),
+            report.backend_fraction(),
+        ];
+        for f in fractions {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        let sum: f64 = fractions.iter().sum();
+        if report.slots == 0 {
+            prop_assert!(sum == 0.0);
+        } else {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn temporal_classes_never_exceed_the_cycle_count(
+        width in 1usize..=4,
+        raw in pattern_strategy(),
+    ) {
+        let mask = (1u16 << width) - 1;
+        let pattern: Vec<Cycle> =
+            raw.iter().map(|&(r, b, rec)| (r & mask, b & mask, rec)).collect();
+        let trace = record(width, &pattern);
+        let tma = TemporalTma::for_trace(&trace).unwrap();
+        let report = tma.analyze(&trace);
+
+        prop_assert_eq!(report.cycles, pattern.len() as u64);
+        prop_assert!(report.recovering_cycles + report.fetch_bubble_cycles <= report.cycles);
+
+        // Independent reference: recovery outranks bubbles, cycle-wise.
+        let recovering = pattern.iter().filter(|&&(_, _, rec)| rec).count() as u64;
+        let bubbles = pattern
+            .iter()
+            .filter(|&&(_, b, rec)| !rec && b != 0)
+            .count() as u64;
+        prop_assert_eq!(report.recovering_cycles, recovering);
+        prop_assert_eq!(report.fetch_bubble_cycles, bubbles);
+    }
+
+    #[test]
+    fn slot_and_temporal_views_agree_on_recovery(
+        width in 1usize..=4,
+        raw in pattern_strategy(),
+    ) {
+        // Every recovering cycle contributes exactly `width` non-retiring
+        // slots split between Retiring and Bad Speculation, so slot-level
+        // bad-spec can never exceed `recovering_cycles × width`.
+        let mask = (1u16 << width) - 1;
+        let pattern: Vec<Cycle> =
+            raw.iter().map(|&(r, b, rec)| (r & mask, b & mask, rec)).collect();
+        let trace = record(width, &pattern);
+        let slots = SlotTemporalTma::for_trace(&trace, width)
+            .unwrap()
+            .analyze(&trace);
+        let cycles = TemporalTma::for_trace(&trace).unwrap().analyze(&trace);
+        prop_assert!(slots.bad_speculation <= cycles.recovering_cycles * width as u64);
+    }
+}

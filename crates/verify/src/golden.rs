@@ -1,0 +1,154 @@
+//! Golden-snapshot comparison.
+//!
+//! A snapshot is the canonical rendering of a matrix's TMA breakdowns
+//! ([`MatrixReport::snapshot`](crate::MatrixReport::snapshot)) written
+//! under `tests/golden/`. Comparison is byte-for-byte: the JSON emitter
+//! is canonical (fixed float precision, insertion-ordered keys) and the
+//! matrix aggregates in grid order, so a mismatch is a real behavioral
+//! change, never thread-count noise. Set `ICICLE_UPDATE_GOLDEN=1` to
+//! regenerate snapshots instead of comparing.
+
+use std::fs;
+use std::path::Path;
+
+/// The environment variable that switches comparison to regeneration.
+pub const UPDATE_ENV: &str = "ICICLE_UPDATE_GOLDEN";
+
+/// What a snapshot check did.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum GoldenOutcome {
+    /// The snapshot existed and matched byte-for-byte.
+    Matched,
+    /// `ICICLE_UPDATE_GOLDEN=1`: the snapshot was (re)written.
+    Updated,
+}
+
+/// Whether the regeneration path is active.
+pub fn update_requested() -> bool {
+    std::env::var(UPDATE_ENV).is_ok_and(|v| v == "1")
+}
+
+/// Compares `rendered` against the snapshot at `path`, or regenerates it
+/// when [`update_requested`].
+///
+/// # Errors
+///
+/// Returns a description of the first differing line, a missing
+/// snapshot (with the regeneration hint), or an I/O failure.
+pub fn compare_or_update(path: &Path, rendered: &str) -> Result<GoldenOutcome, String> {
+    if update_requested() {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+        // Write-then-rename so a crashed update never leaves a torn
+        // snapshot for the next comparison.
+        let tmp = path.with_extension("json.tmp");
+        fs::write(&tmp, rendered).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, path).map_err(|e| format!("renaming into {}: {e}", path.display()))?;
+        return Ok(GoldenOutcome::Updated);
+    }
+    let expected = fs::read_to_string(path).map_err(|e| {
+        format!(
+            "missing or unreadable golden snapshot {}: {e}\n\
+             (run once with {UPDATE_ENV}=1 to generate it)",
+            path.display()
+        )
+    })?;
+    if expected == rendered {
+        return Ok(GoldenOutcome::Matched);
+    }
+    Err(first_difference(path, &expected, rendered))
+}
+
+fn first_difference(path: &Path, expected: &str, actual: &str) -> String {
+    let mut expected_lines = expected.lines();
+    let mut actual_lines = actual.lines();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        match (expected_lines.next(), actual_lines.next()) {
+            (Some(e), Some(a)) if e == a => continue,
+            (Some(e), Some(a)) => {
+                return format!(
+                    "golden snapshot {} differs at line {lineno}:\n\
+                       expected: {e}\n\
+                       actual:   {a}\n\
+                     (re-run with {UPDATE_ENV}=1 if the change is intentional)",
+                    path.display()
+                );
+            }
+            (Some(e), None) => {
+                return format!(
+                    "golden snapshot {} differs at line {lineno}: \
+                     actual output ends early (expected: {e})",
+                    path.display()
+                );
+            }
+            (None, Some(a)) => {
+                return format!(
+                    "golden snapshot {} differs at line {lineno}: \
+                     actual output has extra content ({a})",
+                    path.display()
+                );
+            }
+            (None, None) => {
+                // Same lines but different bytes (trailing newline or
+                // line endings).
+                return format!(
+                    "golden snapshot {} differs only in trailing whitespace or line endings",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "icicle-golden-test-{tag}-{}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn matching_snapshots_pass() {
+        let path = tmpfile("match");
+        fs::write(&path, "{\n  \"x\": 1\n}\n").unwrap();
+        assert_eq!(
+            compare_or_update(&path, "{\n  \"x\": 1\n}\n"),
+            Ok(GoldenOutcome::Matched)
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn differing_snapshots_report_the_first_line() {
+        let path = tmpfile("diff");
+        fs::write(&path, "line one\nline two\n").unwrap();
+        let err = compare_or_update(&path, "line one\nline 2!\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("line two"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_snapshots_mention_the_update_path() {
+        let path = tmpfile("missing-never-created");
+        let err = compare_or_update(&path, "anything").unwrap_err();
+        assert!(err.contains(UPDATE_ENV), "{err}");
+    }
+
+    #[test]
+    fn length_mismatches_are_reported() {
+        let path = tmpfile("short");
+        fs::write(&path, "a\nb\n").unwrap();
+        let err = compare_or_update(&path, "a\n").unwrap_err();
+        assert!(err.contains("ends early"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,73 @@
+//! # icicle-verify
+//!
+//! The differential verification harness of the Icicle reproduction —
+//! the machinery behind the paper's central credibility claim that
+//! counter-derived TMA is *validated against cycle-accurate traces*
+//! (§V, Table VI).
+//!
+//! Four pillars:
+//!
+//! * **Model differential** ([`verify_cell`], [`run_matrix`]) — every
+//!   campaign cell runs once, producing both the counter-based Table II
+//!   breakdown (through the real PMU model, quantization and all) and
+//!   the trace-based slot-granular temporal breakdown. Per-class
+//!   divergence must stay within a [`DivergenceBound`] derived from the
+//!   same run: priority-overlap slots counted in the trace, Table II's
+//!   wrong-path terms, the Table VI window ambiguity, and the
+//!   distributed-counter quantization envelope.
+//! * **Architecture differential** ([`ArchDifferential`]) — scalar,
+//!   add-wires, and distributed counters observe identical per-cycle
+//!   assertion masks and must agree exactly (distributed up to its
+//!   documented `S · (2^N − 1 + 2^N)` software-visible envelope), while
+//!   stock OR semantics document the undercount that motivates the
+//!   paper.
+//! * **Seeded fuzzing** ([`run_fuzz`]) — random instruction mixes
+//!   stress the differential beyond the curated suite; any divergence
+//!   is shrunk to a minimal reproducer.
+//! * **Golden snapshots** ([`compare_or_update`]) — canonical
+//!   byte-for-byte TMA breakdowns per cell, regenerated with
+//!   `ICICLE_UPDATE_GOLDEN=1`.
+//!
+//! ```
+//! use icicle_campaign::{CampaignSpec, CoreSelect};
+//! use icicle_pmu::CounterArch;
+//! use icicle_verify::{run_matrix, MatrixOptions};
+//!
+//! let spec = CampaignSpec::new("demo")
+//!     .workloads(["vvadd"])
+//!     .cores([CoreSelect::Rocket])
+//!     .archs([CounterArch::AddWires]);
+//! let report = run_matrix(&spec, &MatrixOptions::with_jobs(2));
+//! assert!(report.passed(), "{report}");
+//! ```
+
+pub mod archdiff;
+pub mod bound;
+pub mod differential;
+pub mod fuzz;
+pub mod golden;
+pub mod matrix;
+pub mod report;
+
+pub use archdiff::{diff_synthetic, diff_workload, ArchAgreement, ArchDifferential};
+pub use bound::{BoundDerivation, DivergenceBound};
+pub use differential::{verify_cell, verify_workload, CellVerdict, ClassReading, CLASS_NAMES};
+pub use fuzz::{run_fuzz, shrink, FuzzCase, FuzzDivergence, FuzzOp, FuzzOptions, FuzzReport};
+pub use golden::{compare_or_update, update_requested, GoldenOutcome, UPDATE_ENV};
+pub use matrix::{default_matrix, run_matrix, MatrixOptions};
+pub use report::MatrixReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The matrix runner moves verdicts across worker threads.
+    #[test]
+    fn verify_moved_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CellVerdict>();
+        assert_send::<MatrixReport>();
+        assert_send::<FuzzReport>();
+        assert_send::<ArchAgreement>();
+    }
+}

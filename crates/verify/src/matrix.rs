@@ -1,0 +1,185 @@
+//! The matrix runner: every campaign cell through the differential,
+//! drained by the campaign worker pool.
+//!
+//! The runner reuses [`JobQueue`] and the campaign determinism recipe —
+//! jobs land in slots indexed by grid position and aggregate in grid
+//! order — so the divergence report and golden snapshots are
+//! byte-identical at any `--jobs` count. There is no result cache:
+//! verification exists to re-measure, not to trust old measurements.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use icicle_boom::BoomSize;
+use icicle_campaign::{CampaignSpec, CoreSelect, JobQueue, Progress, ProgressFn};
+use icicle_pmu::CounterArch;
+
+use crate::differential::{verify_cell, CellVerdict};
+use crate::report::MatrixReport;
+
+/// Knobs of one matrix run.
+#[derive(Default)]
+pub struct MatrixOptions {
+    /// Worker threads (clamped to ≥ 1).
+    pub jobs: usize,
+    /// Replace the derived per-class bounds with one flat fraction.
+    pub flat_bound: Option<f64>,
+    /// Optional live progress callback (cells that verified within
+    /// bound count as `simulated`, out-of-bound or errored cells as
+    /// `failed`).
+    pub progress: Option<Box<ProgressFn>>,
+}
+
+impl MatrixOptions {
+    /// `jobs` workers, derived bounds, no progress reporting.
+    pub fn with_jobs(jobs: usize) -> MatrixOptions {
+        MatrixOptions {
+            jobs,
+            ..MatrixOptions::default()
+        }
+    }
+}
+
+/// The default verification grid: the full micro suite on the scalar
+/// core and two BOOM widths, under every TMA-capable counter
+/// architecture. Stock is deliberately absent — its OR semantics cannot
+/// feed TMA (§IV-A); the architecture differential covers it instead.
+pub fn default_matrix() -> CampaignSpec {
+    CampaignSpec::new("verify-matrix")
+        .workloads(
+            icicle_workloads::micro_suite()
+                .iter()
+                .map(|w| w.name().to_string()),
+        )
+        .cores([
+            CoreSelect::Rocket,
+            CoreSelect::Boom(BoomSize::Small),
+            CoreSelect::Boom(BoomSize::Large),
+        ])
+        .archs([
+            CounterArch::Scalar,
+            CounterArch::AddWires,
+            CounterArch::Distributed,
+        ])
+}
+
+/// Runs every cell of `spec` through the counter-vs-trace differential.
+pub fn run_matrix(spec: &CampaignSpec, options: &MatrixOptions) -> MatrixReport {
+    let cells = spec.cells();
+    let total = cells.len();
+    let queue = JobQueue::new();
+    for index in 0..total {
+        queue.push(index);
+    }
+    queue.close();
+
+    let slots: Vec<Mutex<Option<Result<CellVerdict, String>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let verified = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+
+    let worker_count = options.jobs.max(1).min(total.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count {
+            scope.spawn(|| {
+                while let Some(index) = queue.pop() {
+                    let outcome = verify_cell(&cells[index], options.flat_bound);
+                    let ok = matches!(&outcome, Ok(v) if v.passed());
+                    let counter = if ok { &verified } else { &failed };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    *slots[index].lock().unwrap() = Some(outcome);
+                    if let Some(report) = &options.progress {
+                        report(Progress {
+                            total,
+                            simulated: verified.load(Ordering::Relaxed),
+                            cached: 0,
+                            failed: failed.load(Ordering::Relaxed),
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    // Aggregate in grid order — the source of byte-identical output.
+    let mut report = MatrixReport {
+        name: spec.name.clone(),
+        flat_bound: options.flat_bound,
+        verdicts: Vec::with_capacity(total),
+        failures: Vec::new(),
+    };
+    for (slot, cell) in slots.into_iter().zip(&cells) {
+        match slot.into_inner().unwrap() {
+            Some(Ok(verdict)) => report.verdicts.push(verdict),
+            Some(Err(error)) => report.failures.push((cell.label(), error)),
+            None => report
+                .failures
+                .push((cell.label(), "worker never produced a verdict".into())),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new("unit")
+            .workloads(["vvadd", "towers"])
+            .cores([CoreSelect::Rocket])
+            .archs([CounterArch::AddWires])
+    }
+
+    #[test]
+    fn tiny_matrix_verifies_and_is_thread_count_invariant() {
+        let spec = tiny_spec();
+        let one = run_matrix(&spec, &MatrixOptions::with_jobs(1));
+        let four = run_matrix(&spec, &MatrixOptions::with_jobs(4));
+        assert!(one.passed(), "{one}");
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.snapshot(), four.snapshot());
+        assert_eq!(one.verdicts.len(), 2);
+    }
+
+    #[test]
+    fn bad_cells_are_isolated_as_failures() {
+        let spec = CampaignSpec::new("mixed")
+            .workloads(["vvadd", "definitely-not-a-workload"])
+            .cores([CoreSelect::Rocket])
+            .archs([CounterArch::AddWires]);
+        let report = run_matrix(&spec, &MatrixOptions::with_jobs(2));
+        assert_eq!(report.verdicts.len(), 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn the_default_matrix_covers_the_paper_grid() {
+        let spec = default_matrix();
+        assert!(spec.workloads.len() >= 10, "the whole micro suite");
+        assert_eq!(spec.cores.len(), 3);
+        assert_eq!(spec.archs.len(), 3);
+        assert!(!spec.archs.contains(&CounterArch::Stock));
+    }
+
+    #[test]
+    fn progress_reports_every_cell() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        let done_in_cb = Arc::clone(&done);
+        let report = run_matrix(
+            &tiny_spec(),
+            &MatrixOptions {
+                jobs: 1,
+                flat_bound: None,
+                progress: Some(Box::new(move |p: Progress| {
+                    done_in_cb.store(p.done(), Ordering::Relaxed);
+                })),
+            },
+        );
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+        assert!(report.passed());
+    }
+}

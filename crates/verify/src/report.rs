@@ -1,0 +1,181 @@
+//! Aggregated matrix verdicts and the canonical divergence report.
+
+use std::fmt;
+
+use icicle_campaign::json::Json;
+
+use crate::differential::CellVerdict;
+
+/// Every cell verdict of one verification matrix, in grid order.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// The campaign spec's name.
+    pub name: String,
+    /// The flat bound, if one overrode the derived bounds.
+    pub flat_bound: Option<f64>,
+    /// Per-cell verdicts in grid order (byte-identical output at any
+    /// worker count).
+    pub verdicts: Vec<CellVerdict>,
+    /// Cells that could not be verified at all, as `(label, error)`.
+    pub failures: Vec<(String, String)>,
+}
+
+impl MatrixReport {
+    /// Whether every cell verified and none failed outright.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.verdicts.iter().all(CellVerdict::passed)
+    }
+
+    /// The cell closest to (or past) its bound.
+    pub fn worst(&self) -> Option<&CellVerdict> {
+        self.verdicts
+            .iter()
+            .max_by(|a, b| a.worst_ratio().total_cmp(&b.worst_ratio()))
+    }
+
+    /// The canonical divergence report (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let bound = match self.flat_bound {
+            Some(fraction) => Json::Num(fraction),
+            None => Json::Str("derived".to_string()),
+        };
+        let worst = match self.worst() {
+            Some(v) => Json::object(vec![
+                ("cell", Json::Str(v.cell.label())),
+                ("class", Json::Str(v.worst().name.to_string())),
+                ("ratio", Json::Num(v.worst_ratio())),
+            ]),
+            None => Json::Null,
+        };
+        let mut json = Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("bound", bound),
+            ("passed", Json::Bool(self.passed())),
+            ("worst", worst),
+            (
+                "cells",
+                Json::Array(self.verdicts.iter().map(CellVerdict::to_json).collect()),
+            ),
+        ]);
+        if let Json::Object(pairs) = &mut json {
+            pairs.push((
+                "failures".to_string(),
+                Json::Array(
+                    self.failures
+                        .iter()
+                        .map(|(label, error)| {
+                            Json::object(vec![
+                                ("cell", Json::Str(label.clone())),
+                                ("error", Json::Str(error.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        let mut out = json.render();
+        out.push('\n');
+        out
+    }
+
+    /// The golden-snapshot payload: the two TMA breakdowns per cell and
+    /// nothing derived from them, so snapshots survive bound-derivation
+    /// refinements.
+    pub fn snapshot(&self) -> String {
+        let json = Json::object(vec![
+            ("name", Json::Str(self.name.clone())),
+            (
+                "cells",
+                Json::Array(
+                    self.verdicts
+                        .iter()
+                        .map(CellVerdict::snapshot_json)
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut out = json.render();
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for MatrixReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let within = self.verdicts.iter().filter(|v| v.passed()).count();
+        writeln!(
+            f,
+            "verify `{}`: {}/{} cells within bound, {} failed outright",
+            self.name,
+            within,
+            self.verdicts.len(),
+            self.failures.len()
+        )?;
+        if let Some(worst) = self.worst() {
+            let class = worst.worst();
+            writeln!(
+                f,
+                "  worst cell {}: {} diverges {:.6} of bound {:.6} ({:.0}% consumed)",
+                worst.cell.label(),
+                class.name,
+                class.divergence(),
+                class.bound,
+                100.0 * class.ratio(),
+            )?;
+        }
+        for v in self.verdicts.iter().filter(|v| !v.passed()) {
+            let class = v.worst();
+            writeln!(
+                f,
+                "  FAIL {}: {} diverges {:.6} > bound {:.6}",
+                v.cell.label(),
+                class.name,
+                class.divergence(),
+                class.bound,
+            )?;
+        }
+        for (label, error) in &self.failures {
+            writeln!(f, "  ERROR {label}: {error}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty() -> MatrixReport {
+        MatrixReport {
+            name: "unit".to_string(),
+            flat_bound: None,
+            verdicts: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn an_empty_matrix_passes_vacuously() {
+        let report = empty();
+        assert!(report.passed());
+        assert!(report.worst().is_none());
+        assert!(report.to_json().contains("\"derived\""));
+        assert!(report.to_json().ends_with('\n'));
+    }
+
+    #[test]
+    fn failures_sink_the_matrix() {
+        let mut report = empty();
+        report.failures.push(("cell".into(), "boom".into()));
+        assert!(!report.passed());
+        assert!(report.to_json().contains("\"boom\""));
+        assert!(format!("{report}").contains("ERROR cell: boom"));
+    }
+
+    #[test]
+    fn flat_bounds_render_numerically() {
+        let mut report = empty();
+        report.flat_bound = Some(0.05);
+        assert!(report.to_json().contains("\"bound\": 0.050000"));
+    }
+}

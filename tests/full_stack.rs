@@ -22,43 +22,54 @@ fn run_boom(w: &Workload, config: BoomConfig) -> PerfReport {
     Perf::new().run(&mut core).expect("perf run succeeds")
 }
 
-fn small_micro_suite() -> Vec<Workload> {
-    use icicle::workloads::{micro, synth};
-    vec![
-        micro::mergesort(256),
-        micro::qsort(256),
-        micro::rsort(256),
-        micro::memcpy(16 * 1024),
-        micro::mm(10),
-        micro::vvadd(512),
-        micro::brmiss(300),
-        micro::brmiss_inv(300),
-        synth::dhrystone(100),
-        synth::coremark(20, false),
-    ]
+fn assert_characterizes_on_rocket(w: &Workload) {
+    let r = run_rocket(w);
+    assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{}", w.name());
+    assert!(r.cycles > 0 && r.instret > 0, "{}", w.name());
+    let ipc = r.ipc();
+    assert!(ipc > 0.0 && ipc <= 1.0, "{} rocket ipc {ipc}", w.name());
 }
 
-#[test]
-fn every_micro_workload_characterizes_on_rocket() {
-    for w in small_micro_suite() {
-        let r = run_rocket(&w);
-        assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{}", w.name());
-        assert!(r.cycles > 0 && r.instret > 0, "{}", w.name());
-        let ipc = r.ipc();
-        assert!(ipc > 0.0 && ipc <= 1.0, "{} rocket ipc {ipc}", w.name());
-    }
+fn assert_characterizes_on_boom(w: &Workload) {
+    let r = run_boom(w, BoomConfig::large());
+    assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{}", w.name());
+    let ipc = r.ipc();
+    assert!(ipc > 0.0 && ipc <= 3.0, "{} boom ipc {ipc}", w.name());
+    // Retired instructions equal the architectural stream exactly.
+    assert_eq!(r.instret, w.execute().unwrap().len() as u64, "{}", w.name());
 }
 
-#[test]
-fn every_micro_workload_characterizes_on_boom() {
-    for w in small_micro_suite() {
-        let r = run_boom(&w, BoomConfig::large());
-        assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{}", w.name());
-        let ipc = r.ipc();
-        assert!(ipc > 0.0 && ipc <= 3.0, "{} boom ipc {ipc}", w.name());
-        // Retired instructions equal the architectural stream exactly.
-        assert_eq!(r.instret, w.execute().unwrap().len() as u64, "{}", w.name());
-    }
+// One named test pair per workload, so a regression points straight at
+// the workload × core scenario that broke.
+macro_rules! characterization_tests {
+    ($($name:ident => $workload:expr;)*) => {$(
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn characterizes_on_rocket() {
+                assert_characterizes_on_rocket(&$workload);
+            }
+
+            #[test]
+            fn characterizes_on_boom() {
+                assert_characterizes_on_boom(&$workload);
+            }
+        }
+    )*};
+}
+
+characterization_tests! {
+    mergesort => icicle::workloads::micro::mergesort(256);
+    qsort => icicle::workloads::micro::qsort(256);
+    rsort => icicle::workloads::micro::rsort(256);
+    memcpy => icicle::workloads::micro::memcpy(16 * 1024);
+    mm => icicle::workloads::micro::mm(10);
+    vvadd => icicle::workloads::micro::vvadd(512);
+    brmiss => icicle::workloads::micro::brmiss(300);
+    brmiss_inv => icicle::workloads::micro::brmiss_inv(300);
+    dhrystone => icicle::workloads::synth::dhrystone(100);
+    coremark => icicle::workloads::synth::coremark(20, false);
 }
 
 #[test]
@@ -203,24 +214,39 @@ fn exchange2_proxy_retires_most_slots() {
     assert!(r.ipc() > 1.5, "exchange2 ipc {}", r.ipc());
 }
 
+// One named test per BOOM size, so a regression points at the exact
+// configuration that broke.
+macro_rules! boom_size_tests {
+    ($($name:ident => $size:expr;)*) => {$(
+        #[test]
+        fn $name() {
+            let w = icicle::workloads::micro::mergesort(256);
+            let r = run_boom(&w, BoomConfig::for_size($size));
+            assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{}", $size);
+            assert!(r.cycles > 0 && r.instret > 0, "{}", $size);
+        }
+    )*};
+}
+
+boom_size_tests! {
+    small_boom_runs_mergesort => BoomSize::Small;
+    medium_boom_runs_mergesort => BoomSize::Medium;
+    large_boom_runs_mergesort => BoomSize::Large;
+    mega_boom_runs_mergesort => BoomSize::Mega;
+    giga_boom_runs_mergesort => BoomSize::Giga;
+}
+
 #[test]
-fn all_boom_sizes_run_the_same_workload() {
+fn giga_boom_outruns_small_boom() {
+    // Not strictly monotonic across adjacent sizes, but the widest core
+    // must beat the narrowest clearly.
     let w = icicle::workloads::micro::mergesort(256);
-    let mut last_cycles = u64::MAX;
-    for size in BoomSize::ALL {
-        let r = run_boom(&w, BoomConfig::for_size(size));
-        assert!((r.tma.top.total() - 1.0).abs() < 1e-9, "{size}");
-        // Not strictly monotonic, but the widest core must beat the
-        // narrowest clearly.
-        if size == BoomSize::Small {
-            last_cycles = r.cycles;
-        }
-        if size == BoomSize::Giga {
-            assert!(
-                r.cycles < last_cycles,
-                "giga {} vs small {last_cycles}",
-                r.cycles
-            );
-        }
-    }
+    let small = run_boom(&w, BoomConfig::for_size(BoomSize::Small));
+    let giga = run_boom(&w, BoomConfig::for_size(BoomSize::Giga));
+    assert!(
+        giga.cycles < small.cycles,
+        "giga {} vs small {}",
+        giga.cycles,
+        small.cycles
+    );
 }

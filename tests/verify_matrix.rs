@@ -1,0 +1,98 @@
+//! End-to-end contract of the verification subsystem: a representative
+//! workload × core × arch grid verifies counter TMA against the trace
+//! ground truth within derived bounds, the aggregate output is
+//! byte-identical at any worker count, the golden snapshot under
+//! `tests/golden/` matches byte-for-byte (regenerate with
+//! `ICICLE_UPDATE_GOLDEN=1`), and a seeded fuzz smoke finds no
+//! divergence.
+//!
+//! The grid holds to light workload sizes so the whole file stays
+//! CI-sized; `icicle-tma verify --matrix` covers the full micro suite.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+use icicle::campaign::{CampaignSpec, CoreSelect};
+use icicle::prelude::{BoomSize, CounterArch};
+use icicle::verify::{
+    compare_or_update, run_fuzz, run_matrix, FuzzOptions, GoldenOutcome, MatrixOptions,
+    MatrixReport,
+};
+
+/// 4 workloads × 3 cores × 3 archs = 36 cells.
+fn golden_grid() -> CampaignSpec {
+    CampaignSpec::new("golden-small")
+        .workloads(["vvadd", "towers", "qsort", "brmiss"])
+        .cores([
+            CoreSelect::Rocket,
+            CoreSelect::Boom(BoomSize::Small),
+            CoreSelect::Boom(BoomSize::Large),
+        ])
+        .archs([
+            CounterArch::Scalar,
+            CounterArch::AddWires,
+            CounterArch::Distributed,
+        ])
+}
+
+/// One shared parallel run; every test compares against it.
+fn shared_report() -> &'static MatrixReport {
+    static REPORT: OnceLock<MatrixReport> = OnceLock::new();
+    REPORT.get_or_init(|| run_matrix(&golden_grid(), &MatrixOptions::with_jobs(4)))
+}
+
+#[test]
+fn the_grid_verifies_within_derived_bounds() {
+    let report = shared_report();
+    assert_eq!(report.verdicts.len(), 36);
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert!(report.passed(), "{report}");
+    // The bounds are tight enough to mean something: some cell consumes
+    // a real fraction of its allowance.
+    let worst = report.worst().expect("non-empty grid");
+    assert!(worst.worst_ratio() > 0.0);
+    assert!(worst.worst_ratio() <= 1.0);
+}
+
+#[test]
+fn matrix_output_is_thread_count_invariant() {
+    let serial = run_matrix(&golden_grid(), &MatrixOptions::with_jobs(1));
+    let parallel = shared_report();
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert_eq!(serial.snapshot(), parallel.snapshot());
+}
+
+#[test]
+fn golden_snapshot_matches_byte_for_byte() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/small_matrix.json");
+    match compare_or_update(&path, &shared_report().snapshot()) {
+        Ok(GoldenOutcome::Matched | GoldenOutcome::Updated) => {}
+        Err(e) => panic!("{e}"),
+    }
+}
+
+#[test]
+fn seeded_fuzz_smoke_finds_no_divergence() {
+    let report = run_fuzz(&FuzzOptions {
+        cases: 50,
+        seed: 2026,
+        ..FuzzOptions::default()
+    });
+    assert!(report.passed(), "{report}");
+    // Divergence is nonzero but bounded — the differential is measuring
+    // something, not vacuously passing.
+    assert!(report.max_ratio > 0.0);
+    assert!(report.max_ratio <= 1.0);
+}
+
+#[test]
+fn stock_counters_cannot_enter_the_matrix() {
+    let spec = CampaignSpec::new("stock-rejected")
+        .workloads(["vvadd"])
+        .cores([CoreSelect::Rocket])
+        .archs([CounterArch::Stock]);
+    let report = run_matrix(&spec, &MatrixOptions::with_jobs(1));
+    assert!(report.verdicts.is_empty());
+    assert_eq!(report.failures.len(), 1);
+    assert!(report.failures[0].1.contains("stock"));
+}
