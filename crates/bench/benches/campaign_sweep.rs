@@ -54,7 +54,7 @@ fn bench_warm_cache(c: &mut Criterion) {
     let options = RunOptions {
         jobs: 1,
         cache: Some(Arc::clone(&cache)),
-        progress: None,
+        ..RunOptions::default()
     };
     let primed = run_campaign(&spec, &options);
     assert_eq!(primed.stats.failed, 0, "priming run failed");

@@ -15,11 +15,13 @@ use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::report::CellResult;
+use crate::sync::lock_unpoisoned;
 
 /// A two-tier (memory + optional disk) result cache, safe to share
 /// across worker threads.
@@ -27,6 +29,7 @@ use crate::report::CellResult;
 pub struct ResultCache {
     memory: Mutex<HashMap<u64, CellResult>>,
     disk: Option<PathBuf>,
+    quarantined: AtomicUsize,
 }
 
 impl ResultCache {
@@ -47,6 +50,7 @@ impl ResultCache {
         Ok(ResultCache {
             memory: Mutex::new(HashMap::new()),
             disk: Some(dir),
+            quarantined: AtomicUsize::new(0),
         })
     }
 
@@ -59,16 +63,35 @@ impl ResultCache {
     }
 
     /// Looks `fp` up, promoting disk hits into the memory tier.
+    ///
+    /// A disk entry that fails to parse is quarantined (renamed to
+    /// `<entry>.corrupt`) and treated as a miss: the cell re-simulates
+    /// and the next [`ResultCache::put`] writes a fresh entry, while
+    /// the corrupt bytes stay around for a post-mortem.
     pub fn get(&self, fp: Fingerprint) -> Option<CellResult> {
-        if let Some(hit) = self.memory.lock().unwrap().get(&fp.0) {
+        if let Some(hit) = lock_unpoisoned(&self.memory).get(&fp.0) {
             return Some(hit.clone());
         }
         let path = self.entry_path(fp)?;
-        let text = fs::read_to_string(path).ok()?;
-        let parsed = Json::parse(&text).ok()?;
-        let result = CellResult::from_json(&parsed).ok()?;
-        self.memory.lock().unwrap().insert(fp.0, result.clone());
+        let text = fs::read_to_string(&path).ok()?;
+        let result = match Json::parse(&text)
+            .ok()
+            .and_then(|parsed| CellResult::from_json(&parsed).ok())
+        {
+            Some(result) => result,
+            None => {
+                let _ = fs::rename(&path, path.with_extension("json.corrupt"));
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        lock_unpoisoned(&self.memory).insert(fp.0, result.clone());
         Some(result)
+    }
+
+    /// Corrupt disk entries quarantined by this handle so far.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Stores a result under `fp` in both tiers.
@@ -76,7 +99,7 @@ impl ResultCache {
     /// Disk failures are swallowed: a cache that cannot persist only
     /// costs future runs a re-simulation, it must not fail this one.
     pub fn put(&self, fp: Fingerprint, result: &CellResult) {
-        self.memory.lock().unwrap().insert(fp.0, result.clone());
+        lock_unpoisoned(&self.memory).insert(fp.0, result.clone());
         if let Some(path) = self.entry_path(fp) {
             let _ = write_atomically(&path, &(result.to_json().render() + "\n"));
         }
@@ -84,7 +107,7 @@ impl ResultCache {
 
     /// Number of entries in the memory tier.
     pub fn len(&self) -> usize {
-        self.memory.lock().unwrap().len()
+        lock_unpoisoned(&self.memory).len()
     }
 
     /// Whether the memory tier is empty.
@@ -234,6 +257,12 @@ mod tests {
         fs::create_dir_all(path.parent().unwrap()).unwrap();
         fs::write(&path, "{ not json").unwrap();
         assert!(cache.get(fp).is_none());
+        assert_eq!(cache.quarantined(), 1);
+        assert!(
+            path.with_extension("json.corrupt").exists(),
+            "corrupt bytes kept for post-mortem"
+        );
+        assert!(!path.exists(), "corrupt entry moved out of the way");
         cache.put(fp, &sample(3));
         // Re-read through a fresh handle to force the disk path.
         let fresh = ResultCache::with_disk(&dir).unwrap();

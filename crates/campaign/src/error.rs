@@ -1,0 +1,160 @@
+//! Typed per-cell failure causes.
+//!
+//! Every way a campaign cell can fail gets a variant, so reports can
+//! carry a stable machine-readable `kind` alongside the human message,
+//! and the retry policy can distinguish failures worth retrying (a
+//! panicked worker, a tripped watchdog) from deterministic ones (an
+//! unknown workload will not appear on attempt two).
+
+use std::error::Error;
+use std::fmt;
+
+use icicle_isa::IsaError;
+use icicle_perf::PerfError;
+use icicle_pmu::PmuError;
+
+/// Why one campaign cell failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CellError {
+    /// The workload name is not in the catalog.
+    UnknownWorkload(String),
+    /// Architectural execution failed.
+    Execution(IsaError),
+    /// Counter programming or readback failed.
+    Measurement(PmuError),
+    /// The cell's cycle-budget watchdog tripped.
+    TimedOut {
+        /// The core that was still running.
+        core: String,
+        /// The budget it exceeded.
+        budget: u64,
+    },
+    /// The worker thread panicked while simulating the cell.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The cell was never run: an earlier failure stopped the campaign
+    /// (fail-fast mode).
+    Skipped,
+}
+
+impl CellError {
+    /// The stable machine-readable failure class used in reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellError::UnknownWorkload(_) => "unknown-workload",
+            CellError::Execution(_) => "execution",
+            CellError::Measurement(_) => "measurement",
+            CellError::TimedOut { .. } => "timeout",
+            CellError::Panicked { .. } => "panic",
+            CellError::Skipped => "skipped",
+        }
+    }
+
+    /// Whether a retry could plausibly succeed. Deterministic failures
+    /// (unknown workload, execution fault, mis-programmed counter)
+    /// reproduce on every attempt; panics and timeouts may be induced
+    /// by the environment (or an injected transient fault) and get the
+    /// bounded-retry treatment.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            CellError::TimedOut { .. } | CellError::Panicked { .. }
+        )
+    }
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            CellError::Execution(e) => write!(f, "architectural execution failed: {e}"),
+            CellError::Measurement(e) => write!(f, "measurement failed: {e}"),
+            CellError::TimedOut { core, budget } => {
+                write!(f, "timed out: exceeded the {budget}-cycle budget on {core}")
+            }
+            CellError::Panicked { message } => write!(f, "worker panicked: {message}"),
+            CellError::Skipped => write!(f, "skipped after an earlier failure (fail-fast)"),
+        }
+    }
+}
+
+impl Error for CellError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CellError::Execution(e) => Some(e),
+            CellError::Measurement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for CellError {
+    fn from(e: IsaError) -> CellError {
+        CellError::Execution(e)
+    }
+}
+
+impl From<PerfError> for CellError {
+    fn from(e: PerfError) -> CellError {
+        match e {
+            PerfError::Pmu(e) => CellError::Measurement(e),
+            PerfError::CycleBudget { core, budget } => CellError::TimedOut { core, budget },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let errors = [
+            CellError::UnknownWorkload("x".into()),
+            CellError::Execution(IsaError::EmptyProgram),
+            CellError::Measurement(PmuError::NotEnabled),
+            CellError::TimedOut {
+                core: "rocket".into(),
+                budget: 1,
+            },
+            CellError::Panicked {
+                message: "boom".into(),
+            },
+            CellError::Skipped,
+        ];
+        let mut kinds: Vec<&str> = errors.iter().map(CellError::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errors.len());
+    }
+
+    #[test]
+    fn only_panics_and_timeouts_retry() {
+        assert!(CellError::Panicked {
+            message: "x".into()
+        }
+        .retryable());
+        assert!(CellError::TimedOut {
+            core: "rocket".into(),
+            budget: 5
+        }
+        .retryable());
+        assert!(!CellError::UnknownWorkload("x".into()).retryable());
+        assert!(!CellError::Execution(IsaError::EmptyProgram).retryable());
+        assert!(!CellError::Skipped.retryable());
+    }
+
+    #[test]
+    fn budget_errors_convert_from_perf() {
+        let e = CellError::from(icicle_perf::PerfError::CycleBudget {
+            core: "rocket".into(),
+            budget: 64,
+        });
+        assert_eq!(e.kind(), "timeout");
+        assert!(e.to_string().contains("64-cycle budget"));
+        let m = CellError::from(icicle_perf::PerfError::Pmu(PmuError::NotEnabled));
+        assert_eq!(m.kind(), "measurement");
+    }
+}

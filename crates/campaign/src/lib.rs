@@ -32,15 +32,20 @@
 //! ```
 
 pub mod cache;
+pub mod checkpoint;
+pub mod error;
 pub mod fingerprint;
 pub mod json;
 pub mod report;
 pub mod runner;
 pub mod spec;
+pub mod sync;
 
 pub use cache::ResultCache;
+pub use checkpoint::CheckpointLog;
+pub use error::CellError;
 pub use fingerprint::{data_seed, fingerprint, Fingerprint, CACHE_FORMAT_VERSION};
-pub use report::{CampaignReport, CellResult, RunStats, TmaSummary};
+pub use report::{CampaignReport, CellFailure, CellResult, Incident, RunStats, TmaSummary};
 pub use runner::{run_campaign, simulate_cell, JobQueue, Progress, ProgressFn, RunOptions};
 pub use spec::{CampaignSpec, CellSpec, CoreSelect, SpecError};
 

@@ -233,6 +233,36 @@ impl CellResult {
     }
 }
 
+/// One failed grid cell, with its typed failure class and the number
+/// of supervised attempts the runner spent on it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellFailure {
+    /// The cell's grid label.
+    pub label: String,
+    /// The stable machine-readable class ([`crate::CellError::kind`]):
+    /// `unknown-workload`, `execution`, `measurement`, `timeout`,
+    /// `panic`.
+    pub kind: String,
+    /// The human-readable cause.
+    pub error: String,
+    /// Supervised attempts made (> 1 means retries were granted).
+    pub attempts: u32,
+}
+
+/// A fault the runner absorbed without losing the cell: a retried
+/// attempt, a quarantined cache entry, a recovered lock. Incidents are
+/// collected per cell, so the list is deterministic at any `--jobs`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Incident {
+    /// The grid label of the affected cell.
+    pub label: String,
+    /// The incident class (`retry`, `corrupt-cache-entry`,
+    /// `truncated-report`, `poisoned-lock`, `resume-cache-miss`).
+    pub kind: String,
+    /// What happened and how it was absorbed.
+    pub detail: String,
+}
+
 /// How the cells of a finished campaign were produced.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
 pub struct RunStats {
@@ -240,14 +270,19 @@ pub struct RunStats {
     pub simulated: usize,
     /// Cells served from the result cache.
     pub cached: usize,
-    /// Cells that failed (unknown workload, measurement error).
+    /// Cells a checkpoint proved complete in an earlier run.
+    pub resumed: usize,
+    /// Cells that failed (unknown workload, measurement error, panic,
+    /// timeout).
     pub failed: usize,
+    /// Cells cancelled by fail-fast before they ran.
+    pub skipped: usize,
 }
 
 impl RunStats {
     /// Total cells accounted for.
     pub fn total(&self) -> usize {
-        self.simulated + self.cached + self.failed
+        self.simulated + self.cached + self.resumed + self.failed + self.skipped
     }
 }
 
@@ -260,7 +295,14 @@ impl fmt::Display for RunStats {
             self.simulated,
             self.cached,
             self.failed
-        )
+        )?;
+        if self.resumed > 0 {
+            write!(f, ", {} resumed", self.resumed)?;
+        }
+        if self.skipped > 0 {
+            write!(f, ", {} skipped", self.skipped)?;
+        }
+        Ok(())
     }
 }
 
@@ -271,14 +313,25 @@ pub struct CampaignReport {
     pub name: String,
     /// Completed cells in canonical grid order.
     pub cells: Vec<CellResult>,
-    /// Failed cells as `(label, error)`, in grid order.
-    pub failures: Vec<(String, String)>,
+    /// Failed cells with typed causes, in grid order.
+    pub failures: Vec<CellFailure>,
+    /// Cells cancelled by fail-fast before they ran (labels, grid
+    /// order).
+    pub skipped: Vec<String>,
+    /// Faults absorbed without losing a cell, in grid order.
+    pub incidents: Vec<Incident>,
     /// Provenance counters for this run (not serialized: a warm re-run
     /// must emit byte-identical JSON/CSV to its cold twin).
     pub stats: RunStats,
 }
 
 impl CampaignReport {
+    /// Whether every cell completed: no failures and no fail-fast
+    /// skips. (Recovered incidents do not fail a campaign.)
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.skipped.is_empty()
+    }
+
     /// The canonical JSON document (stable across thread counts and
     /// cache states).
     pub fn to_json(&self) -> String {
@@ -295,10 +348,40 @@ impl CampaignReport {
                 Json::Array(
                     self.failures
                         .iter()
-                        .map(|(label, error)| {
+                        .map(|f| {
                             Json::object(vec![
-                                ("cell", Json::Str(label.clone())),
-                                ("error", Json::Str(error.clone())),
+                                ("cell", Json::Str(f.label.clone())),
+                                ("kind", Json::Str(f.kind.clone())),
+                                ("error", Json::Str(f.error.clone())),
+                                ("attempts", Json::Int(u64::from(f.attempts))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.skipped.is_empty() {
+            doc.push((
+                "skipped".to_string(),
+                Json::Array(
+                    self.skipped
+                        .iter()
+                        .map(|label| Json::Str(label.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.incidents.is_empty() {
+            doc.push((
+                "incidents".to_string(),
+                Json::Array(
+                    self.incidents
+                        .iter()
+                        .map(|i| {
+                            Json::object(vec![
+                                ("cell", Json::Str(i.label.clone())),
+                                ("kind", Json::Str(i.kind.clone())),
+                                ("detail", Json::Str(i.detail.clone())),
                             ])
                         })
                         .collect(),
@@ -394,8 +477,26 @@ impl fmt::Display for CampaignReport {
                 if c.from_cache { "  (cached)" } else { "" },
             )?;
         }
-        for (label, error) in &self.failures {
-            writeln!(f, "FAILED {label}: {error}")?;
+        for failure in &self.failures {
+            writeln!(
+                f,
+                "FAILED {} [{}, {} attempt{}]: {}",
+                failure.label,
+                failure.kind,
+                failure.attempts,
+                if failure.attempts == 1 { "" } else { "s" },
+                failure.error
+            )?;
+        }
+        for label in &self.skipped {
+            writeln!(f, "SKIPPED {label} (fail-fast)")?;
+        }
+        for incident in &self.incidents {
+            writeln!(
+                f,
+                "RECOVERED {} [{}]: {}",
+                incident.label, incident.kind, incident.detail
+            )?;
         }
         Ok(())
     }
@@ -453,11 +554,19 @@ mod tests {
         let mut report = CampaignReport {
             name: "t".into(),
             cells: vec![sample_cell("qsort", 0), sample_cell("rsort", 1)],
-            failures: vec![("bogus/rocket/stock/s0/r0".into(), "unknown workload".into())],
+            failures: vec![CellFailure {
+                label: "bogus/rocket/stock/s0/r0".into(),
+                kind: "unknown-workload".into(),
+                error: "unknown workload".into(),
+                attempts: 1,
+            }],
+            skipped: Vec::new(),
+            incidents: Vec::new(),
             stats: RunStats {
                 simulated: 2,
                 cached: 0,
                 failed: 1,
+                ..RunStats::default()
             },
         };
         let cold_json = report.to_json();
@@ -470,6 +579,7 @@ mod tests {
             simulated: 0,
             cached: 2,
             failed: 1,
+            ..RunStats::default()
         };
         assert_eq!(report.to_json(), cold_json);
         assert_eq!(report.to_csv(), cold_csv);
@@ -490,6 +600,8 @@ mod tests {
             name: "t".into(),
             cells: vec![a, b],
             failures: Vec::new(),
+            skipped: Vec::new(),
+            incidents: Vec::new(),
             stats: RunStats::default(),
         };
         assert_eq!(

@@ -1,36 +1,50 @@
-//! The parallel campaign runner.
+//! The parallel, fault-tolerant campaign runner.
 //!
 //! Jobs (grid cells) go into a shared queue; a `std::thread` worker pool
-//! drains it. Three properties the rest of the stack relies on:
+//! drains it. Four properties the rest of the stack relies on:
 //!
 //! * **Determinism** — each job's inputs are a pure function of its
 //!   [`CellSpec`] (the workload-data seed is derived by
 //!   [`crate::fingerprint::data_seed`], never from global state), and
 //!   results are written into a slot indexed by the cell's grid
-//!   position. The aggregate report is therefore byte-identical whether
-//!   the campaign runs on 1 thread or 64, and regardless of how the
-//!   scheduler interleaves workers.
+//!   position. Retry backoff is a pure function of the cell fingerprint
+//!   and the attempt number. The aggregate report is therefore
+//!   byte-identical whether the campaign runs on 1 thread or 64, and
+//!   regardless of how the scheduler interleaves workers.
 //! * **Caching** — before simulating, a worker consults the
 //!   [`ResultCache`] under the cell's fingerprint; hits skip simulation
 //!   entirely. A campaign re-run over an unchanged grid does zero
-//!   simulations.
-//! * **Isolation** — a failed cell (unknown workload, measurement
-//!   error) is recorded and the campaign continues; one bad cell cannot
-//!   sink a thousand-cell sweep.
+//!   simulations. With a [`CheckpointLog`] attached, completed cells
+//!   are also journalled so `--resume` re-runs only unfinished ones.
+//! * **Isolation** — every cell is supervised: the simulation runs
+//!   under [`std::panic::catch_unwind`], so a panicking worker costs
+//!   the campaign exactly one cell (recorded as a typed
+//!   [`CellError::Panicked`] failure), and every lock on the path
+//!   recovers from poison instead of cascading.
+//! * **Supervision** — retryable failures (panics, tripped watchdogs)
+//!   get up to `retries` extra attempts with deterministic backoff; the
+//!   attempt count lands in the report. In fail-fast mode
+//!   (`keep_going: false`) the first failure cancels the queue and the
+//!   cells that never ran are reported as skipped, not lost.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use icicle_boom::{Boom, BoomConfig};
+use icicle_faults::FaultInjector;
 use icicle_perf::{Perf, PerfOptions};
 use icicle_rocket::{Rocket, RocketConfig};
 use icicle_workloads as workloads;
 
 use crate::cache::ResultCache;
-use crate::fingerprint::{data_seed, fingerprint};
-use crate::report::{CampaignReport, CellResult, RunStats};
+use crate::checkpoint::CheckpointLog;
+use crate::error::CellError;
+use crate::fingerprint::{data_seed, fingerprint, Fingerprint};
+use crate::report::{CampaignReport, CellFailure, CellResult, Incident, RunStats};
 use crate::spec::{CampaignSpec, CellSpec, CoreSelect};
+use crate::sync::{into_inner_unpoisoned, lock_unpoisoned, wait_unpoisoned};
 
 /// A blocking multi-producer multi-consumer queue of job indices
 /// (`Mutex<VecDeque>` + condvar — the workspace stays dependency-free).
@@ -38,6 +52,11 @@ use crate::spec::{CampaignSpec, CellSpec, CoreSelect};
 /// The campaign runner fills it up front and closes it, but the
 /// blocking-pop shape means a future streaming producer (e.g. a spec
 /// arriving over a socket) plugs in without touching the workers.
+///
+/// The queue also carries the runner's accounting contract: it counts
+/// every submission, so after a run the caller can assert that each
+/// submitted job produced exactly one outcome — drained, cancelled, or
+/// failed, never silently lost.
 #[derive(Debug, Default)]
 pub struct JobQueue {
     state: Mutex<QueueState>,
@@ -48,6 +67,7 @@ pub struct JobQueue {
 struct QueueState {
     jobs: VecDeque<usize>,
     closed: bool,
+    submitted: usize,
 }
 
 impl JobQueue {
@@ -62,23 +82,42 @@ impl JobQueue {
     ///
     /// Panics if the queue is already closed.
     pub fn push(&self, job: usize) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.state);
         assert!(!state.closed, "push into a closed JobQueue");
         state.jobs.push_back(job);
+        state.submitted += 1;
         drop(state);
         self.ready.notify_one();
     }
 
     /// Marks the queue complete: workers drain what remains, then stop.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.ready.notify_all();
+    }
+
+    /// Cancels the queue (fail-fast): closes it *and* drains the jobs
+    /// that have not been popped yet, returning them so the caller can
+    /// record a skipped outcome for each — cancellation must not leave
+    /// submitted jobs unaccounted for.
+    pub fn cancel(&self) -> Vec<usize> {
+        let mut state = lock_unpoisoned(&self.state);
+        state.closed = true;
+        let cancelled = state.jobs.drain(..).collect();
+        drop(state);
+        self.ready.notify_all();
+        cancelled
+    }
+
+    /// Jobs ever submitted via [`JobQueue::push`].
+    pub fn submitted(&self) -> usize {
+        lock_unpoisoned(&self.state).submitted
     }
 
     /// Blocks for the next job; `None` once the queue is closed and
     /// empty.
     pub fn pop(&self) -> Option<usize> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_unpoisoned(&self.state);
         loop {
             if let Some(job) = state.jobs.pop_front() {
                 return Some(job);
@@ -86,7 +125,7 @@ impl JobQueue {
             if state.closed {
                 return None;
             }
-            state = self.ready.wait(state).unwrap();
+            state = wait_unpoisoned(&self.ready, state);
         }
     }
 }
@@ -100,14 +139,19 @@ pub struct Progress {
     pub simulated: usize,
     /// Cells served from the cache.
     pub cached: usize,
+    /// Cells skipped because a checkpoint (plus cache entry) proved
+    /// them complete in an earlier run.
+    pub resumed: usize,
     /// Cells that failed.
     pub failed: usize,
+    /// Cells cancelled by fail-fast before they ran.
+    pub skipped: usize,
 }
 
 impl Progress {
     /// Cells accounted for so far.
     pub fn done(&self) -> usize {
-        self.simulated + self.cached + self.failed
+        self.simulated + self.cached + self.resumed + self.failed + self.skipped
     }
 }
 
@@ -123,6 +167,21 @@ pub struct RunOptions {
     pub cache: Option<Arc<ResultCache>>,
     /// Optional live progress callback.
     pub progress: Option<Box<ProgressFn>>,
+    /// Extra attempts granted to retryable failures (panics, tripped
+    /// watchdogs). `1` means: one retry after the first failure.
+    pub retries: u32,
+    /// `true` (the default): a failed cell is recorded and the campaign
+    /// continues. `false`: the first failure cancels the queue and the
+    /// unstarted cells are reported as skipped.
+    pub keep_going: bool,
+    /// Completed-cell journal backing `--resume`.
+    pub checkpoint: Option<Arc<CheckpointLog>>,
+    /// Skip cells the checkpoint proves complete (requires their result
+    /// to still be in the cache; otherwise they re-run normally).
+    pub resume: bool,
+    /// Deterministic fault-injection plan, exercised by the `faults`
+    /// subcommand and the resilience test-suite.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for RunOptions {
@@ -131,6 +190,11 @@ impl Default for RunOptions {
             jobs: 1,
             cache: Some(Arc::new(ResultCache::in_memory())),
             progress: None,
+            retries: 1,
+            keep_going: true,
+            checkpoint: None,
+            resume: false,
+            faults: None,
         }
     }
 }
@@ -145,10 +209,25 @@ impl RunOptions {
     }
 }
 
+/// How one finished cell came to be.
+enum Provenance {
+    Simulated,
+    Cached,
+    Resumed,
+}
+
+/// Everything a worker knows about one finished cell.
+struct CellOutcome {
+    result: Result<CellResult, CellError>,
+    provenance: Provenance,
+    attempts: u32,
+    incidents: Vec<Incident>,
+}
+
 /// Runs every cell of `spec` and aggregates the results.
 ///
-/// See the module docs for the determinism / caching / isolation
-/// contract.
+/// See the module docs for the determinism / caching / isolation /
+/// supervision contract.
 pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport {
     let cells = spec.cells();
     let total = cells.len();
@@ -158,11 +237,13 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
     }
     queue.close();
 
-    let slots: Vec<Mutex<Option<Result<CellResult, String>>>> =
-        (0..total).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<CellOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let simulated = AtomicUsize::new(0);
     let cached = AtomicUsize::new(0);
+    let resumed = AtomicUsize::new(0);
     let failed = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
 
     let worker_count = options.jobs.max(1).min(total.max(1));
     std::thread::scope(|scope| {
@@ -170,34 +251,58 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
             scope.spawn(|| {
                 while let Some(index) = queue.pop() {
                     let cell = &cells[index];
-                    let fp = fingerprint(cell);
-                    let (outcome, was_cached) =
-                        match options.cache.as_ref().and_then(|cache| cache.get(fp)) {
-                            Some(mut hit) => {
-                                hit.from_cache = true;
-                                (Ok(hit), true)
-                            }
-                            None => {
-                                let outcome = simulate_cell(cell);
-                                if let (Some(cache), Ok(result)) = (&options.cache, &outcome) {
-                                    cache.put(fp, result);
-                                }
-                                (outcome, false)
-                            }
-                        };
-                    let counter = match (&outcome, was_cached) {
+                    let mut outcome = run_one_cell(cell, index, options);
+                    if let Some(injector) = options.faults.as_deref() {
+                        if injector.should_poison_lock(index, 1) {
+                            // Poison the cell's own result-slot mutex
+                            // the only way `std::sync` allows — a
+                            // panicking holder — then store through it
+                            // anyway, proving the recovery path.
+                            poison_for_fault(&slots[index]);
+                            outcome.incidents.push(Incident {
+                                label: cell.label(),
+                                kind: "poisoned-lock".to_string(),
+                                detail: "result-slot mutex poisoned by a panicking holder; \
+                                         recovered via PoisonError::into_inner"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                    let counter = match (&outcome.result, &outcome.provenance) {
                         (Err(_), _) => &failed,
-                        (Ok(_), true) => &cached,
-                        (Ok(_), false) => &simulated,
+                        (Ok(_), Provenance::Resumed) => &resumed,
+                        (Ok(_), Provenance::Cached) => &cached,
+                        (Ok(_), Provenance::Simulated) => &simulated,
                     };
                     counter.fetch_add(1, Ordering::Relaxed);
-                    *slots[index].lock().unwrap() = Some(outcome);
+                    let failed_cell = outcome.result.is_err();
+                    store_outcome(&slots[index], outcome);
+                    if failed_cell && !options.keep_going && !cancelled.swap(true, Ordering::SeqCst)
+                    {
+                        // Fail-fast: cancel the queue and give every
+                        // job that never ran a skipped outcome, so the
+                        // accounting below still balances.
+                        for job in queue.cancel() {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                            store_outcome(
+                                &slots[job],
+                                CellOutcome {
+                                    result: Err(CellError::Skipped),
+                                    provenance: Provenance::Simulated,
+                                    attempts: 0,
+                                    incidents: Vec::new(),
+                                },
+                            );
+                        }
+                    }
                     if let Some(report) = &options.progress {
                         report(Progress {
                             total,
                             simulated: simulated.load(Ordering::Relaxed),
                             cached: cached.load(Ordering::Relaxed),
+                            resumed: resumed.load(Ordering::Relaxed),
                             failed: failed.load(Ordering::Relaxed),
+                            skipped: skipped.load(Ordering::Relaxed),
                         });
                     }
                 }
@@ -205,38 +310,274 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
         }
     });
 
+    // Every submitted job must have an outcome — drained, retried,
+    // failed, or cancelled. A hole here is a runner bug, not a cell
+    // failure, so it asserts instead of degrading.
+    assert_eq!(queue.submitted(), total, "runner submitted every cell");
+
     // Aggregate in grid order — the source of byte-identical output.
     let mut report = CampaignReport {
         name: spec.name.clone(),
         cells: Vec::with_capacity(total),
         failures: Vec::new(),
+        skipped: Vec::new(),
+        incidents: Vec::new(),
         stats: RunStats {
             simulated: simulated.into_inner(),
             cached: cached.into_inner(),
+            resumed: resumed.into_inner(),
             failed: failed.into_inner(),
+            skipped: skipped.into_inner(),
         },
     };
     for (slot, cell) in slots.into_iter().zip(&cells) {
-        match slot.into_inner().unwrap() {
-            Some(Ok(result)) => report.cells.push(result),
-            Some(Err(error)) => report.failures.push((cell.label(), error)),
-            None => report
-                .failures
-                .push((cell.label(), "worker never produced a result".into())),
+        let outcome = into_inner_unpoisoned(slot)
+            .expect("every submitted job produced an outcome (runner invariant)");
+        match outcome.result {
+            Ok(result) => report.cells.push(result),
+            Err(CellError::Skipped) => report.skipped.push(cell.label()),
+            Err(error) => report.failures.push(CellFailure {
+                label: cell.label(),
+                kind: error.kind().to_string(),
+                error: error.to_string(),
+                attempts: outcome.attempts,
+            }),
         }
+        report.incidents.extend(outcome.incidents);
     }
     report
 }
 
+/// Stores an outcome into its slot, recovering the lock if an injected
+/// fault (or a real bug) poisoned it.
+fn store_outcome(slot: &Mutex<Option<CellOutcome>>, outcome: CellOutcome) {
+    *lock_unpoisoned(slot) = Some(outcome);
+}
+
+/// Produces the outcome for one cell: resume check, cache check, then
+/// supervised simulation with bounded retry.
+fn run_one_cell(cell: &CellSpec, index: usize, options: &RunOptions) -> CellOutcome {
+    let fp = fingerprint(cell);
+    let mut incidents = Vec::new();
+
+    // Resume: a checkpointed cell whose result is still cached is
+    // complete — skip even the cache-provenance bookkeeping of a
+    // normal warm hit. A checkpointed cell whose cache entry rotted
+    // falls through and re-runs: the checkpoint is a journal, not a
+    // substitute for the data.
+    if options.resume {
+        if let (Some(checkpoint), Some(cache)) = (&options.checkpoint, &options.cache) {
+            if checkpoint.contains(fp) {
+                if let Some(mut hit) = cache.get(fp) {
+                    hit.from_cache = true;
+                    return CellOutcome {
+                        result: Ok(hit),
+                        provenance: Provenance::Resumed,
+                        attempts: 0,
+                        incidents,
+                    };
+                }
+                incidents.push(Incident {
+                    label: cell.label(),
+                    kind: "resume-cache-miss".to_string(),
+                    detail: "checkpointed but its cache entry was lost or corrupt; re-running"
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    if let Some(hit) = options.cache.as_ref().and_then(|cache| cache.get(fp)) {
+        let mut hit = hit;
+        hit.from_cache = true;
+        checkpoint_cell(fp, cell, index, options, &mut incidents);
+        return CellOutcome {
+            result: Ok(hit),
+            provenance: Provenance::Cached,
+            attempts: 0,
+            incidents,
+        };
+    }
+
+    let (result, attempts) = supervised_simulate(cell, index, fp, options, &mut incidents);
+    if let Ok(result) = &result {
+        if let Some(cache) = &options.cache {
+            cache.put(fp, result);
+            corrupt_cache_entry(fp, cell, index, attempts, options, &mut incidents);
+        }
+        checkpoint_cell(fp, cell, index, options, &mut incidents);
+    }
+    CellOutcome {
+        result,
+        provenance: Provenance::Simulated,
+        attempts,
+        incidents,
+    }
+}
+
+/// Runs the simulation under `catch_unwind`, retrying retryable
+/// failures up to `options.retries` times with deterministic backoff.
+fn supervised_simulate(
+    cell: &CellSpec,
+    index: usize,
+    fp: Fingerprint,
+    options: &RunOptions,
+    incidents: &mut Vec<Incident>,
+) -> (Result<CellResult, CellError>, u32) {
+    let injector = options.faults.as_deref();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut attempt_cell = cell.clone();
+        if let Some(budget) = injector.and_then(|i| i.cycle_budget_override(index, attempt)) {
+            // An injected slow cell: clamp the watchdog budget so the
+            // cell times out the way a genuinely wedged one would.
+            attempt_cell.max_cycles = attempt_cell.max_cycles.min(budget);
+        }
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(i) = injector {
+                i.maybe_panic(index, attempt);
+            }
+            simulate_cell(&attempt_cell)
+        }));
+        let outcome = match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(CellError::Panicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        };
+        match outcome {
+            Ok(result) => return (Ok(result), attempt),
+            Err(error) if error.retryable() && attempt <= options.retries => {
+                let steps = retry_backoff(fp, attempt);
+                incidents.push(Incident {
+                    label: cell.label(),
+                    kind: "retry".to_string(),
+                    detail: format!(
+                        "attempt {attempt} failed ({}); backed off {steps} steps and retried",
+                        error.kind()
+                    ),
+                });
+            }
+            Err(error) => return (Err(error), attempt),
+        }
+    }
+}
+
+/// Records `fp` in the checkpoint, then applies the truncated-report
+/// fault (chopping the log mid-line the way a dying disk or a SIGKILL
+/// mid-write would) if one is planned for this cell.
+fn checkpoint_cell(
+    fp: Fingerprint,
+    cell: &CellSpec,
+    index: usize,
+    options: &RunOptions,
+    incidents: &mut Vec<Incident>,
+) {
+    let Some(checkpoint) = &options.checkpoint else {
+        return;
+    };
+    checkpoint.record(fp);
+    if let Some(injector) = options.faults.as_deref() {
+        if injector.should_truncate_report(index, 1) {
+            truncate_tail(checkpoint.path(), 5);
+            incidents.push(Incident {
+                label: cell.label(),
+                kind: "truncated-report".to_string(),
+                detail: "checkpoint log truncated mid-entry; the torn line is dropped on resume"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Applies the corrupt-cache-entry fault: scribbles over the entry just
+/// written, proving later runs degrade it to a miss (and quarantine it)
+/// instead of failing.
+fn corrupt_cache_entry(
+    fp: Fingerprint,
+    cell: &CellSpec,
+    index: usize,
+    attempts: u32,
+    options: &RunOptions,
+    incidents: &mut Vec<Incident>,
+) {
+    let Some(injector) = options.faults.as_deref() else {
+        return;
+    };
+    if !injector.should_corrupt_cache(index, attempts) {
+        return;
+    }
+    let Some(path) = options.cache.as_ref().and_then(|c| c.entry_path(fp)) else {
+        return;
+    };
+    let _ = std::fs::write(&path, "{ corrupted by fault injection");
+    incidents.push(Incident {
+        label: cell.label(),
+        kind: "corrupt-cache-entry".to_string(),
+        detail: "disk cache entry corrupted after write; future reads quarantine it as a miss"
+            .to_string(),
+    });
+}
+
+/// Poisons `mutex` the only way `std::sync` allows: panic while holding
+/// it. Used by the runner to realize the poisoned-lock fault.
+pub fn poison_for_fault<T: Send>(mutex: &Mutex<T>) {
+    std::thread::scope(|scope| {
+        let _ = scope
+            .spawn(|| {
+                let _guard = mutex.lock();
+                panic!("injected fault: poisoning lock");
+            })
+            .join();
+    });
+}
+
+/// Chops `keep_off` bytes from the end of the file at `path`
+/// (best-effort), simulating a torn write.
+fn truncate_tail(path: &std::path::Path, keep_off: u64) {
+    let Ok(metadata) = std::fs::metadata(path) else {
+        return;
+    };
+    let Ok(file) = std::fs::OpenOptions::new().write(true).open(path) else {
+        return;
+    };
+    let _ = file.set_len(metadata.len().saturating_sub(keep_off));
+}
+
+/// Deterministic retry backoff: a pure function of the cell fingerprint
+/// and the attempt number, realized as a bounded spin so it costs the
+/// same (and reports the same) on every run at every thread count.
+fn retry_backoff(fp: Fingerprint, attempt: u32) -> u64 {
+    let mix =
+        fp.0.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(attempt.min(63))
+            ^ u64::from(attempt);
+    let steps = (mix % 509) + (1 << attempt.min(10));
+    for _ in 0..steps {
+        std::hint::spin_loop();
+    }
+    steps
+}
+
+/// Renders a caught panic payload as the human-readable cause.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
 /// Simulates one cell: workload → stream → core → perf → distilled
 /// result.
-pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, String> {
+pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, CellError> {
     let seed = data_seed(cell);
     let workload = workloads::by_name_seeded(&cell.workload, seed)
-        .ok_or_else(|| format!("unknown workload `{}`", cell.workload))?;
-    let stream = workload
-        .execute()
-        .map_err(|e| format!("architectural execution failed: {e}"))?;
+        .ok_or_else(|| CellError::UnknownWorkload(cell.workload.clone()))?;
+    let stream = workload.execute()?;
     let perf = Perf::with_options(PerfOptions {
         arch: cell.arch,
         max_cycles: cell.max_cycles,
@@ -255,14 +596,14 @@ pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, String> {
             );
             perf.run(&mut core)
         }
-    }
-    .map_err(|e| format!("measurement failed: {e}"))?;
+    }?;
     Ok(CellResult::from_report(cell.clone(), &report))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icicle_faults::{FaultKind, FaultPlan, SLOW_CELL_BUDGET};
     use icicle_pmu::CounterArch;
 
     fn tiny_spec() -> CampaignSpec {
@@ -279,6 +620,7 @@ mod tests {
         q.push(1);
         q.push(2);
         q.close();
+        assert_eq!(q.submitted(), 2);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
@@ -298,6 +640,19 @@ mod tests {
     }
 
     #[test]
+    fn queue_cancel_returns_the_unstarted_jobs() {
+        let q = JobQueue::new();
+        for job in 0..5 {
+            q.push(job);
+        }
+        assert_eq!(q.pop(), Some(0));
+        let cancelled = q.cancel();
+        assert_eq!(cancelled, vec![1, 2, 3, 4]);
+        assert_eq!(q.pop(), None, "cancelled queue is closed");
+        assert_eq!(q.submitted(), 5);
+    }
+
+    #[test]
     fn failed_cells_do_not_sink_the_campaign() {
         let spec = CampaignSpec::new("mixed")
             .workloads(["vvadd", "definitely-not-a-workload"])
@@ -308,9 +663,15 @@ mod tests {
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.stats.failed, 1);
         assert!(report.failures[0]
-            .0
+            .label
             .starts_with("definitely-not-a-workload"));
-        assert!(report.failures[0].1.contains("unknown workload"));
+        assert_eq!(report.failures[0].kind, "unknown-workload");
+        assert!(report.failures[0].error.contains("unknown workload"));
+        assert_eq!(
+            report.failures[0].attempts, 1,
+            "a non-retryable failure is not retried"
+        );
+        assert!(!report.passed());
     }
 
     #[test]
@@ -322,7 +683,7 @@ mod tests {
             &RunOptions {
                 jobs: 2,
                 cache: Some(Arc::clone(&cache)),
-                progress: None,
+                ..RunOptions::default()
             },
         );
         assert_eq!(cold.stats.simulated, 2);
@@ -332,7 +693,7 @@ mod tests {
             &RunOptions {
                 jobs: 2,
                 cache: Some(cache),
-                progress: None,
+                ..RunOptions::default()
             },
         );
         assert_eq!(warm.stats.simulated, 0, "warm run must simulate nothing");
@@ -357,9 +718,150 @@ mod tests {
                     seen_in_cb.store(p.done(), Ordering::Relaxed);
                     assert_eq!(p.total, 2);
                 })),
+                ..RunOptions::default()
             },
         );
         assert_eq!(seen.load(Ordering::Relaxed), 2);
         assert_eq!(report.stats.total(), 2);
+    }
+
+    #[test]
+    fn injected_panic_is_contained_to_its_cell() {
+        let spec = tiny_spec();
+        let plan = FaultPlan::new().with(FaultKind::PanicInCell, 0, true);
+        let report = run_campaign(
+            &spec,
+            &RunOptions {
+                cache: None,
+                retries: 1,
+                faults: Some(Arc::new(FaultInjector::new(plan))),
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(report.cells.len(), 1, "the other cell still completes");
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].kind, "panic");
+        assert!(report.failures[0].error.contains("injected fault"));
+        assert_eq!(report.failures[0].attempts, 2, "one retry was granted");
+    }
+
+    #[test]
+    fn transient_faults_recover_on_retry() {
+        let spec = tiny_spec();
+        let plan = FaultPlan::new()
+            .with(FaultKind::PanicInCell, 0, false)
+            .with(FaultKind::SlowCell, 1, false);
+        let faulted = run_campaign(
+            &spec,
+            &RunOptions {
+                cache: None,
+                retries: 1,
+                faults: Some(Arc::new(FaultInjector::new(plan))),
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(faulted.cells.len(), 2, "both cells recover on retry");
+        assert!(faulted.failures.is_empty());
+        let retries: Vec<_> = faulted
+            .incidents
+            .iter()
+            .filter(|i| i.kind == "retry")
+            .collect();
+        assert_eq!(retries.len(), 2);
+        assert!(retries.iter().any(|i| i.detail.contains("(panic)")));
+        assert!(retries.iter().any(|i| i.detail.contains("(timeout)")));
+        // The recovered results match a clean run exactly.
+        let clean = run_campaign(
+            &spec,
+            &RunOptions {
+                cache: None,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(faulted.cells, clean.cells);
+    }
+
+    #[test]
+    fn slow_cells_trip_the_watchdog_as_typed_timeouts() {
+        let spec = tiny_spec();
+        let plan = FaultPlan::new().with(FaultKind::SlowCell, 0, true);
+        let report = run_campaign(
+            &spec,
+            &RunOptions {
+                cache: None,
+                retries: 1,
+                faults: Some(Arc::new(FaultInjector::new(plan))),
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].kind, "timeout");
+        assert!(report.failures[0]
+            .error
+            .contains(&format!("{SLOW_CELL_BUDGET}-cycle budget")));
+    }
+
+    #[test]
+    fn fail_fast_cancels_and_reports_skips() {
+        let spec = CampaignSpec::new("fail-fast")
+            .workloads(["definitely-not-a-workload", "vvadd", "towers"])
+            .cores([CoreSelect::Rocket])
+            .archs([CounterArch::AddWires]);
+        let report = run_campaign(
+            &spec,
+            &RunOptions {
+                jobs: 1,
+                cache: None,
+                keep_going: false,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.stats.failed, 1);
+        assert_eq!(report.stats.skipped, 2, "unstarted cells become skips");
+        assert_eq!(report.skipped.len(), 2);
+        assert_eq!(report.stats.total(), 3, "no cell is lost");
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_thread_counts_with_faults() {
+        let spec = CampaignSpec::new("jobs-invariant")
+            .workloads(["vvadd", "towers", "no-such-workload"])
+            .cores([CoreSelect::Rocket])
+            .archs([CounterArch::AddWires]);
+        let plan = FaultPlan::new().with(FaultKind::PanicInCell, 0, true).with(
+            FaultKind::SlowCell,
+            1,
+            false,
+        );
+        let run = |jobs: usize| {
+            run_campaign(
+                &spec,
+                &RunOptions {
+                    jobs,
+                    cache: None,
+                    retries: 1,
+                    faults: Some(Arc::new(FaultInjector::new(plan.clone()))),
+                    ..RunOptions::default()
+                },
+            )
+        };
+        let solo = run(1);
+        let pooled = run(4);
+        assert_eq!(solo.to_json(), pooled.to_json());
+        assert_eq!(solo.to_csv(), pooled.to_csv());
+        assert_eq!(solo.failures, pooled.failures);
+        assert_eq!(solo.incidents, pooled.incidents);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let fp = Fingerprint(0x1234_5678_9abc_def0);
+        assert_eq!(retry_backoff(fp, 1), retry_backoff(fp, 1));
+        assert_ne!(retry_backoff(fp, 1), retry_backoff(fp, 2));
+        for attempt in 1..20 {
+            assert!(retry_backoff(fp, attempt) < 2048);
+        }
     }
 }

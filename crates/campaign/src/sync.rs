@@ -1,0 +1,54 @@
+//! Poison-recovering lock helpers.
+//!
+//! A panicking worker must cost the campaign one cell, not the whole
+//! run. `std::sync` poisons a mutex when a holder panics; every lock in
+//! the runner's hot path recovers instead of propagating, because the
+//! data each mutex guards (a job queue, a write-once result slot, a
+//! cache map) stays structurally valid across any panic point — writes
+//! into them are single `push`/`insert`/`=` operations, never
+//! multi-step updates that a panic could leave half-done.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery on wake-up.
+pub fn wait_unpoisoned<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Mutex::into_inner`] with poison recovery, for post-join
+/// aggregation of result slots.
+pub fn into_inner_unpoisoned<T>(mutex: Mutex<T>) -> T {
+    mutex.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn poison<T: Send>(mutex: &Mutex<T>) {
+        std::thread::scope(|s| {
+            let _ = s
+                .spawn(|| {
+                    let _guard = mutex.lock().unwrap();
+                    panic!("poisoning on purpose");
+                })
+                .join();
+        });
+    }
+
+    #[test]
+    fn locks_recover_from_poison() {
+        let m = Mutex::new(7);
+        poison(&m);
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 9;
+        assert_eq!(into_inner_unpoisoned(m), 9);
+    }
+}

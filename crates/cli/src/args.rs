@@ -22,6 +22,7 @@ COMMANDS:
     soc                      Co-run workloads on a shared-L2 SoC
     campaign                 Run an experiment campaign from a spec file
     verify                   Differentially verify counter TMA against traces
+    faults                   Fuzz the campaign runner with injected faults
     vlsi                     Print the physical-design cost model (Fig. 9)
 
 OPTIONS (list):
@@ -32,8 +33,23 @@ OPTIONS (campaign):
     --jobs <N>               Worker threads [default: 1]
     --no-cache               Disable the result cache entirely
     --cache-dir <DIR>        On-disk cache [default: .icicle-cache]
+    --keep-going, -k         Keep running after a cell fails; the report
+                             carries a structured failure section and the
+                             exit code is still nonzero
+    --retries <N>            Extra attempts for panicked or timed-out
+                             cells [default: 1]
+    --resume                 Skip cells a previous run checkpointed
+                             (needs the disk cache)
     --json                   Emit the aggregate report as JSON
     --csv                    Emit the aggregate report as CSV
+
+OPTIONS (faults):
+    --seed <S>               Fault-plan master seed [default: 0]
+    --cases <N>              Fault plans to fuzz [default: 8]
+    --demo                   Run one injected-fault campaign and print the
+                             degraded report instead of fuzzing
+    --report <PATH>          Also write the JSON report here
+    --json                   Emit the report as JSON on stdout
 
 OPTIONS (verify):
     --matrix                 Verify the full workload × core × arch grid
@@ -83,8 +99,18 @@ pub enum Command {
         jobs: usize,
         no_cache: bool,
         cache_dir: String,
+        keep_going: bool,
+        retries: u32,
+        resume: bool,
         json: bool,
         csv: bool,
+    },
+    Faults {
+        seed: u64,
+        cases: u64,
+        demo: bool,
+        report: Option<String>,
+        json: bool,
     },
     Tma {
         workload: String,
@@ -245,6 +271,9 @@ fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
     let mut jobs = 1usize;
     let mut no_cache = false;
     let mut cache_dir = ".icicle-cache".to_string();
+    let mut keep_going = false;
+    let mut retries = 1u32;
+    let mut resume = false;
     let mut json = false;
     let mut csv = false;
     let mut it = args.iter();
@@ -264,6 +293,13 @@ fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
             }
             "--no-cache" => no_cache = true,
             "--cache-dir" => cache_dir = value()?.clone(),
+            "--keep-going" | "-k" => keep_going = true,
+            "--retries" => {
+                retries = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--retries expects a number".into()))?;
+            }
+            "--resume" => resume = true,
             "--json" => json = true,
             "--csv" => csv = true,
             other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
@@ -273,13 +309,60 @@ fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
     if json && csv {
         return err("--json and --csv are mutually exclusive");
     }
+    if resume && no_cache {
+        return err("--resume needs the disk cache (drop --no-cache)");
+    }
     Ok(Command::Campaign {
         spec: spec.ok_or_else(|| ParseError("campaign needs a spec file path".into()))?,
         jobs,
         no_cache,
         cache_dir,
+        keep_going,
+        retries,
+        resume,
         json,
         csv,
+    })
+}
+
+fn parse_faults(args: &[String]) -> Result<Command, ParseError> {
+    let mut seed = 0u64;
+    let mut cases = 8u64;
+    let mut demo = false;
+    let mut report = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--seed expects a number".into()))?;
+            }
+            "--cases" => {
+                cases = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--cases expects a number".into()))?;
+                if cases == 0 {
+                    return err("--cases must be non-zero");
+                }
+            }
+            "--demo" => demo = true,
+            "--report" => report = Some(value()?.clone()),
+            "--json" => json = true,
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Command::Faults {
+        seed,
+        cases,
+        demo,
+        report,
+        json,
     })
 }
 
@@ -375,6 +458,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "campaign" => parse_campaign(rest),
         "verify" => parse_verify(rest),
+        "faults" => parse_faults(rest),
         "vlsi" => Ok(Command::Vlsi),
         "tma" => {
             let opts = parse_options(rest)?;
@@ -556,6 +640,9 @@ mod tests {
                 jobs: 8,
                 no_cache: true,
                 cache_dir: ".icicle-cache".into(),
+                keep_going: false,
+                retries: 1,
+                resume: false,
                 json: true,
                 csv: false,
             }
@@ -567,6 +654,9 @@ mod tests {
                 jobs: 1,
                 no_cache: false,
                 cache_dir: "/tmp/c".into(),
+                keep_going: false,
+                retries: 1,
+                resume: false,
                 json: false,
                 csv: false,
             }
@@ -575,6 +665,57 @@ mod tests {
         assert!(parse(&argv("campaign s --jobs 0")).is_err());
         assert!(parse(&argv("campaign s --json --csv")).is_err());
         assert!(parse(&argv("campaign s --frob")).is_err());
+    }
+
+    #[test]
+    fn campaign_parses_resilience_flags() {
+        match parse(&argv("campaign s -k --retries 3 --resume")).unwrap() {
+            Command::Campaign {
+                keep_going,
+                retries,
+                resume,
+                ..
+            } => {
+                assert!(keep_going);
+                assert_eq!(retries, 3);
+                assert!(resume);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            parse(&argv("campaign s --resume --no-cache")).is_err(),
+            "resume needs the disk cache"
+        );
+        assert!(parse(&argv("campaign s --retries nope")).is_err());
+    }
+
+    #[test]
+    fn faults_parses_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("faults")).unwrap(),
+            Command::Faults {
+                seed: 0,
+                cases: 8,
+                demo: false,
+                report: None,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "faults --seed 9 --cases 4 --demo --report f.json --json"
+            ))
+            .unwrap(),
+            Command::Faults {
+                seed: 9,
+                cases: 4,
+                demo: true,
+                report: Some("f.json".into()),
+                json: true,
+            }
+        );
+        assert!(parse(&argv("faults --cases 0")).is_err());
+        assert!(parse(&argv("faults --frob")).is_err());
     }
 
     #[test]

@@ -21,14 +21,14 @@ pub fn run(cmd: Command) -> Result<()> {
             Ok(())
         }
         Command::List { json } => list(json),
-        Command::Campaign {
-            spec,
-            jobs,
-            no_cache,
-            cache_dir,
+        cmd @ Command::Campaign { .. } => campaign(cmd),
+        Command::Faults {
+            seed,
+            cases,
+            demo,
+            report,
             json,
-            csv,
-        } => campaign(&spec, jobs, no_cache, &cache_dir, json, csv),
+        } => faults(seed, cases, demo, report.as_deref(), json),
         Command::Tma {
             workload,
             core,
@@ -147,25 +147,51 @@ fn list(json: bool) -> Result<()> {
     Ok(())
 }
 
-fn campaign(
-    path: &str,
-    jobs: usize,
-    no_cache: bool,
-    cache_dir: &str,
-    json: bool,
-    csv: bool,
-) -> Result<()> {
-    use icicle::campaign::{run_campaign, CampaignSpec, Progress, ResultCache, RunOptions};
+fn campaign(cmd: Command) -> Result<()> {
+    use icicle::campaign::{
+        run_campaign, CampaignSpec, CheckpointLog, Progress, ResultCache, RunOptions,
+    };
     use std::sync::Arc;
-    let text = std::fs::read_to_string(path)
+    let Command::Campaign {
+        spec: path,
+        jobs,
+        no_cache,
+        cache_dir,
+        keep_going,
+        retries,
+        resume,
+        json,
+        csv,
+    } = cmd
+    else {
+        unreachable!("run() dispatches only Campaign here");
+    };
+    let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read campaign spec `{path}`: {e}"))?;
     let spec = CampaignSpec::parse(&text)?;
     let cache = if no_cache {
         None
     } else {
-        Some(Arc::new(ResultCache::with_disk(cache_dir).map_err(
+        Some(Arc::new(ResultCache::with_disk(&cache_dir).map_err(
             |e| format!("cannot open cache dir `{cache_dir}`: {e}"),
         )?))
+    };
+    // Completed cells are checkpointed next to the disk cache so a
+    // killed campaign can `--resume`; corrupt logs are quarantined by
+    // the open itself, never fatal.
+    let checkpoint = if no_cache {
+        None
+    } else {
+        let log_path = std::path::Path::new(&cache_dir).join(format!("{}.checkpoint", spec.name));
+        let log = CheckpointLog::open(&log_path)
+            .map_err(|e| format!("cannot open checkpoint `{}`: {e}", log_path.display()))?;
+        if let Some(quarantined) = log.quarantined() {
+            eprintln!(
+                "warning: corrupt checkpoint entries quarantined to {}",
+                quarantined.display()
+            );
+        }
+        Some(Arc::new(log))
     };
     // Machine-readable modes keep stdout clean; progress goes to stderr
     // either way and stays off entirely when piping JSON/CSV.
@@ -173,20 +199,27 @@ fn campaign(
     let options = RunOptions {
         jobs,
         cache,
+        checkpoint,
+        resume,
+        retries,
+        keep_going,
         progress: if quiet {
             None
         } else {
             Some(Box::new(|p: Progress| {
                 eprint!(
-                    "\r[{}/{}] {} simulated, {} cached, {} failed",
+                    "\r[{}/{}] {} simulated, {} cached, {} resumed, {} failed, {} skipped",
                     p.done(),
                     p.total,
                     p.simulated,
                     p.cached,
-                    p.failed
+                    p.resumed,
+                    p.failed,
+                    p.skipped
                 );
             }))
         },
+        ..RunOptions::default()
     };
     let report = run_campaign(&spec, &options);
     if !quiet {
@@ -199,8 +232,127 @@ fn campaign(
     } else {
         println!("{report}");
     }
-    if report.cells.is_empty() && !report.failures.is_empty() {
-        return Err(format!("all {} cells failed", report.failures.len()).into());
+    // Completed cells are never discarded: the full report is emitted
+    // above before the nonzero exit signals the failures.
+    if !report.passed() {
+        return Err(format!(
+            "campaign completed with {} failed and {} skipped cells",
+            report.failures.len(),
+            report.skipped.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Restores the panic hook it displaced when dropped, so injected-fault
+/// runs can't leave the process with a silenced hook on any exit path.
+struct PanicHookGuard(Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>>);
+
+impl PanicHookGuard {
+    fn silence() -> PanicHookGuard {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        PanicHookGuard(Some(previous))
+    }
+}
+
+impl Drop for PanicHookGuard {
+    fn drop(&mut self) {
+        if let Some(previous) = self.0.take() {
+            std::panic::set_hook(previous);
+        }
+    }
+}
+
+fn faults(seed: u64, cases: u64, demo: bool, report_path: Option<&str>, json: bool) -> Result<()> {
+    use icicle::campaign::{run_campaign, Progress, RunOptions};
+    use icicle::faults::{FaultInjector, FaultPlan};
+    use icicle::verify::{fault_fuzz_spec, run_fault_fuzz, FaultFuzzOptions};
+    use std::sync::Arc;
+
+    // Every injected panic is caught by the supervised runner and
+    // reported as a typed failure; the default hook's backtraces would
+    // only drown the report.
+    let _hook = PanicHookGuard::silence();
+
+    if demo {
+        // One injected-fault campaign, narrated: the plan up front, the
+        // degraded report after, and which faults actually fired.
+        let spec = fault_fuzz_spec();
+        let plan = FaultPlan::generate(seed, spec.cells().len());
+        let injector = Arc::new(FaultInjector::new(plan.clone()));
+        if !json {
+            println!("{}", plan.describe());
+        }
+        let report = run_campaign(
+            &spec,
+            &RunOptions {
+                jobs: 2,
+                retries: 1,
+                faults: Some(Arc::clone(&injector)),
+                ..RunOptions::default()
+            },
+        );
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            println!("{report}");
+            let fired = injector.fired();
+            if !fired.is_empty() {
+                println!("faults fired: {}", fired.join(", "));
+            }
+        }
+        if let Some(path) = report_path {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
+        }
+        if !report.passed() {
+            return Err(format!(
+                "fault demo degraded gracefully: {} failed, {} skipped cells",
+                report.failures.len(),
+                report.skipped.len()
+            )
+            .into());
+        }
+        return Ok(());
+    }
+
+    let options = FaultFuzzOptions {
+        cases,
+        seed,
+        progress: if json {
+            None
+        } else {
+            Some(Box::new(|p: Progress| {
+                eprint!(
+                    "\r[{}/{}] fault plans, {} violating",
+                    p.done(),
+                    p.total,
+                    p.failed
+                );
+            }))
+        },
+    };
+    let report = run_fault_fuzz(&options);
+    if !json {
+        eprintln!();
+    }
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if let Some(path) = report_path {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
+    }
+    if !report.passed() {
+        return Err(format!(
+            "fault fuzzing found {} graceful-degradation violations",
+            report.violations.len()
+        )
+        .into());
     }
     Ok(())
 }
@@ -475,7 +627,7 @@ fn profile(name: &str, core: CoreChoice, period: u64, event: Option<EventId>) ->
     let run = |c: &mut dyn icicle::events::EventCore| -> Result<icicle::perf::Profile> {
         Ok(match event {
             Some(e) => profiler.profile_event(c, workload.program(), e)?,
-            None => profiler.profile(c, workload.program()),
+            None => profiler.profile(c, workload.program())?,
         })
     };
     let profile = match core {

@@ -1,0 +1,154 @@
+//! The facade-level error type.
+//!
+//! Every fallible layer of the stack has its own typed error —
+//! [`IsaError`](icicle_isa::IsaError) for the execution substrate,
+//! [`PmuError`](icicle_pmu::PmuError) for counter programming,
+//! [`PerfError`](icicle_perf::PerfError) for the measurement harness,
+//! [`SocError`](icicle_soc::SocError) for multi-core runs,
+//! [`TraceError`](icicle_trace::TraceError) for the trace channel,
+//! [`SpecError`](icicle_campaign::SpecError) and
+//! [`CellError`](icicle_campaign::CellError) for campaigns.
+//! [`IcicleError`] unifies them for callers (the CLI, scripts, tests)
+//! that drive several layers and want one `?`-able type end-to-end
+//! without reaching for `Box<dyn Error>`.
+
+use std::error::Error;
+use std::fmt;
+
+use icicle_campaign::{CellError, SpecError};
+use icicle_isa::IsaError;
+use icicle_perf::PerfError;
+use icicle_pmu::PmuError;
+use icicle_soc::SocError;
+use icicle_trace::TraceError;
+
+/// Any failure the Icicle stack can report, by layer.
+#[derive(Clone, Debug)]
+pub enum IcicleError {
+    /// Architectural execution failed.
+    Isa(IsaError),
+    /// Counter programming or readback failed.
+    Pmu(PmuError),
+    /// The perf harness failed (counter fault or watchdog).
+    Perf(PerfError),
+    /// A multi-core SoC run failed.
+    Soc(SocError),
+    /// The trace channel rejected a configuration or window.
+    Trace(TraceError),
+    /// A campaign spec did not parse or validate.
+    Spec(SpecError),
+    /// One campaign cell failed.
+    Cell(CellError),
+    /// Anything else (I/O, CLI usage), as a message.
+    Other(String),
+}
+
+impl IcicleError {
+    /// The layer that failed, as a stable lowercase name.
+    pub fn layer(&self) -> &'static str {
+        match self {
+            IcicleError::Isa(_) => "isa",
+            IcicleError::Pmu(_) => "pmu",
+            IcicleError::Perf(_) => "perf",
+            IcicleError::Soc(_) => "soc",
+            IcicleError::Trace(_) => "trace",
+            IcicleError::Spec(_) => "spec",
+            IcicleError::Cell(_) => "cell",
+            IcicleError::Other(_) => "other",
+        }
+    }
+}
+
+impl fmt::Display for IcicleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcicleError::Isa(e) => write!(f, "isa: {e}"),
+            IcicleError::Pmu(e) => write!(f, "pmu: {e}"),
+            IcicleError::Perf(e) => write!(f, "perf: {e}"),
+            IcicleError::Soc(e) => write!(f, "soc: {e}"),
+            IcicleError::Trace(e) => write!(f, "trace: {e}"),
+            IcicleError::Spec(e) => write!(f, "spec: {e}"),
+            IcicleError::Cell(e) => write!(f, "cell: {e}"),
+            IcicleError::Other(message) => f.write_str(message),
+        }
+    }
+}
+
+impl Error for IcicleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IcicleError::Isa(e) => Some(e),
+            IcicleError::Pmu(e) => Some(e),
+            IcicleError::Perf(e) => Some(e),
+            IcicleError::Soc(e) => Some(e),
+            IcicleError::Trace(e) => Some(e),
+            IcicleError::Spec(e) => Some(e),
+            IcicleError::Cell(e) => Some(e),
+            IcicleError::Other(_) => None,
+        }
+    }
+}
+
+macro_rules! from_layer {
+    ($variant:ident, $inner:ty) => {
+        impl From<$inner> for IcicleError {
+            fn from(e: $inner) -> IcicleError {
+                IcicleError::$variant(e)
+            }
+        }
+    };
+}
+
+from_layer!(Isa, IsaError);
+from_layer!(Pmu, PmuError);
+from_layer!(Perf, PerfError);
+from_layer!(Soc, SocError);
+from_layer!(Trace, TraceError);
+from_layer!(Spec, SpecError);
+from_layer!(Cell, CellError);
+
+impl From<String> for IcicleError {
+    fn from(message: String) -> IcicleError {
+        IcicleError::Other(message)
+    }
+}
+
+impl From<&str> for IcicleError {
+    fn from(message: &str) -> IcicleError {
+        IcicleError::Other(message.to_string())
+    }
+}
+
+impl From<std::io::Error> for IcicleError {
+    fn from(e: std::io::Error) -> IcicleError {
+        IcicleError::Other(format!("i/o: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_are_named_and_sources_chain() {
+        let e = IcicleError::from(PerfError::CycleBudget {
+            core: "rocket".into(),
+            budget: 10,
+        });
+        assert_eq!(e.layer(), "perf");
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("10-cycle budget"));
+        let o = IcicleError::from("plain message");
+        assert_eq!(o.layer(), "other");
+        assert!(o.source().is_none());
+    }
+
+    #[test]
+    fn question_mark_converts_every_layer() {
+        fn run() -> Result<(), IcicleError> {
+            Err(icicle_pmu::PmuError::NotEnabled)?;
+            Ok(())
+        }
+        assert_eq!(run().unwrap_err().layer(), "pmu");
+    }
+}

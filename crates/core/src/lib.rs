@@ -48,9 +48,14 @@
 //! # }
 //! ```
 
+pub mod error;
+
+pub use error::IcicleError;
+
 pub use icicle_boom as boom;
 pub use icicle_campaign as campaign;
 pub use icicle_events as events;
+pub use icicle_faults as faults;
 pub use icicle_isa as isa;
 pub use icicle_mem as mem;
 pub use icicle_perf as perf;
@@ -65,6 +70,7 @@ pub use icicle_workloads as workloads;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use crate::error::IcicleError;
     pub use icicle_boom::{Boom, BoomConfig, BoomSize};
     pub use icicle_campaign::{
         run_campaign, CampaignReport, CampaignSpec, CoreSelect, ResultCache, RunOptions,

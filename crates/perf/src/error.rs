@@ -1,0 +1,69 @@
+//! Typed measurement errors.
+
+use std::error::Error;
+use std::fmt;
+
+use icicle_pmu::PmuError;
+
+/// Everything that can go wrong in a measurement session.
+///
+/// The cycle-budget watchdog used to be an `assert!`; a runaway
+/// workload would take the whole process (and, in a campaign, the
+/// worker pool) down with it. As a typed error it degrades into a
+/// per-cell timeout instead.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PerfError {
+    /// Counter programming or readback failed.
+    Pmu(PmuError),
+    /// The core did not finish within the cycle budget.
+    CycleBudget {
+        /// The core that was still running.
+        core: String,
+        /// The budget it exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::Pmu(e) => write!(f, "pmu: {e}"),
+            PerfError::CycleBudget { core, budget } => {
+                write!(f, "workload exceeded the {budget}-cycle budget on {core}")
+            }
+        }
+    }
+}
+
+impl Error for PerfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PerfError::Pmu(e) => Some(e),
+            PerfError::CycleBudget { .. } => None,
+        }
+    }
+}
+
+impl From<PmuError> for PerfError {
+    fn from(e: PmuError) -> PerfError {
+        PerfError::Pmu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_both_arms() {
+        let pmu = PerfError::from(PmuError::NotEnabled);
+        assert!(pmu.to_string().contains("not enabled"));
+        assert!(Error::source(&pmu).is_some());
+        let budget = PerfError::CycleBudget {
+            core: "rocket".into(),
+            budget: 64,
+        };
+        assert!(budget.to_string().contains("64-cycle budget on rocket"));
+        assert!(Error::source(&budget).is_none());
+    }
+}

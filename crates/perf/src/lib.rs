@@ -21,10 +21,12 @@
 //! # }
 //! ```
 
+mod error;
 mod profile;
 mod report;
 mod session;
 
+pub use error::PerfError;
 pub use profile::{Profile, ProfileEntry, Profiler};
 pub use report::PerfReport;
 pub use session::{MultiplexOptions, Perf, PerfOptions};

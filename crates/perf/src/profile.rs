@@ -10,7 +10,9 @@ use std::collections::HashMap;
 
 use icicle_events::{EventCore, EventId};
 use icicle_isa::Program;
-use icicle_pmu::{CounterArch, CsrFile, EventSelection, HpmConfig, PmuError};
+use icicle_pmu::{CounterArch, CsrFile, EventSelection, HpmConfig};
+
+use crate::error::PerfError;
 
 /// One symbolized profile entry.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -120,13 +122,14 @@ impl Profiler {
     ///
     /// # Errors
     ///
-    /// Propagates counter-programming failures.
+    /// Propagates counter-programming failures and reports a
+    /// [`PerfError::CycleBudget`] if the core never finishes.
     pub fn profile_event(
         &self,
         core: &mut dyn EventCore,
         program: &Program,
         event: EventId,
-    ) -> Result<Profile, PmuError> {
+    ) -> Result<Profile, PerfError> {
         let mut csr = CsrFile::new();
         csr.enable();
         csr.configure(
@@ -144,10 +147,12 @@ impl Profiler {
         let mut total = 0u64;
         let mut last_pc: Option<u64> = None;
         while !core.is_done() {
-            assert!(
-                core.cycle() < self.max_cycles,
-                "profiled workload exceeded the cycle budget"
-            );
+            if core.cycle() >= self.max_cycles {
+                return Err(PerfError::CycleBudget {
+                    core: core.name().to_string(),
+                    budget: self.max_cycles,
+                });
+            }
             let v = core.step();
             csr.tick(v);
             if let Some(&pc) = core.retired_pcs().last() {
@@ -171,15 +176,25 @@ impl Profiler {
 
     /// Runs `core` to completion, sampling retirement PCs, and
     /// symbolizes against `program`'s labels.
-    pub fn profile(&self, core: &mut dyn EventCore, program: &Program) -> Profile {
+    ///
+    /// # Errors
+    ///
+    /// Reports a [`PerfError::CycleBudget`] if the core never finishes.
+    pub fn profile(
+        &self,
+        core: &mut dyn EventCore,
+        program: &Program,
+    ) -> Result<Profile, PerfError> {
         let mut histogram: HashMap<String, u64> = HashMap::new();
         let mut total = 0u64;
         let mut until_next = self.period;
         while !core.is_done() {
-            assert!(
-                core.cycle() < self.max_cycles,
-                "profiled workload exceeded the cycle budget"
-            );
+            if core.cycle() >= self.max_cycles {
+                return Err(PerfError::CycleBudget {
+                    core: core.name().to_string(),
+                    budget: self.max_cycles,
+                });
+            }
             core.step();
             for &pc in core.retired_pcs() {
                 until_next -= 1;
@@ -194,11 +209,11 @@ impl Profiler {
                 }
             }
         }
-        Profile {
+        Ok(Profile {
             entries: sorted_entries(histogram),
             total_samples: total,
             period: self.period,
-        }
+        })
     }
 }
 
@@ -246,7 +261,7 @@ mod tests {
         let program = two_loop_program();
         let stream = Interpreter::new(&program).run(1_000_000).unwrap();
         let mut core = Rocket::new(RocketConfig::default(), stream);
-        let profile = Profiler::new(23).profile(&mut core, &program);
+        let profile = Profiler::new(23).profile(&mut core, &program).unwrap();
         assert!(profile.total_samples() > 400);
         assert_eq!(profile.entries()[0].label, "hot");
         let hot = profile.fraction_of("hot");
@@ -262,7 +277,7 @@ mod tests {
         let program = two_loop_program();
         let stream = Interpreter::new(&program).run(1_000_000).unwrap();
         let mut core = Rocket::new(RocketConfig::default(), stream);
-        let profile = Profiler::default().profile(&mut core, &program);
+        let profile = Profiler::default().profile(&mut core, &program).unwrap();
         let text = profile.to_string();
         let hot_pos = text.find("hot").unwrap();
         let cold_pos = text.find("cold").unwrap();

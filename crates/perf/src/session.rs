@@ -5,6 +5,7 @@ use icicle_pmu::{CounterArch, CsrFile, EventSelection, HpmConfig, PmuError};
 use icicle_tma::{TlbCosts, TlbInput, TlbLevel, TmaInput, TmaModel};
 use icicle_trace::{Trace, TraceConfig};
 
+use crate::error::PerfError;
 use crate::report::PerfReport;
 
 /// Time-multiplexing configuration for counter-constrained PMUs.
@@ -160,10 +161,12 @@ impl Perf {
     ///
     /// # Errors
     ///
-    /// Returns a [`PmuError`] if counter programming fails. An
-    /// over-budget run (`max_cycles` exceeded) panics instead, since it
-    /// indicates a broken workload rather than a recoverable condition.
-    pub fn run(&self, core: &mut dyn EventCore) -> Result<PerfReport, PmuError> {
+    /// Returns [`PerfError::Pmu`] if counter programming fails and
+    /// [`PerfError::CycleBudget`] if the core has not finished after
+    /// `max_cycles` — a runaway workload degrades into a typed error
+    /// the campaign runner can record as a per-cell timeout, instead of
+    /// panicking the worker.
+    pub fn run(&self, core: &mut dyn EventCore) -> Result<PerfReport, PerfError> {
         let (mut csr, slot_map) = Perf::program_all_events(core, self.options.arch)?;
 
         // Multiplex bookkeeping: which group each slot belongs to and how
@@ -205,12 +208,12 @@ impl Perf {
             .collect();
 
         while !core.is_done() {
-            assert!(
-                core.cycle() < self.options.max_cycles,
-                "workload exceeded the {}-cycle budget on {}",
-                self.options.max_cycles,
-                core.name()
-            );
+            if core.cycle() >= self.options.max_cycles {
+                return Err(PerfError::CycleBudget {
+                    core: core.name().to_string(),
+                    budget: self.options.max_cycles,
+                });
+            }
             if let Some(m) = mux {
                 if num_groups > 1
                     && core.cycle().is_multiple_of(m.quantum.max(1))
@@ -480,6 +483,26 @@ mod tests {
         for e in EventId::ALL {
             assert_eq!(full.hw_counts.get(e), muxed.hw_counts.get(e), "{e}");
         }
+    }
+
+    #[test]
+    fn over_budget_runs_become_typed_errors() {
+        let w = micro::mergesort(1 << 10);
+        let mut core = rocket_core(&w);
+        let err = Perf::with_options(PerfOptions {
+            max_cycles: 100,
+            ..PerfOptions::default()
+        })
+        .run(&mut core)
+        .unwrap_err();
+        match &err {
+            PerfError::CycleBudget { core, budget } => {
+                assert_eq!(core, "rocket");
+                assert_eq!(*budget, 100);
+            }
+            other => panic!("expected a budget error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("100-cycle budget"));
     }
 
     #[test]

@@ -40,13 +40,13 @@ use icicle_boom::{Boom, BoomConfig};
 use icicle_events::{EventCore, EventCounts, EventId};
 use icicle_mem::{CacheConfig, MemoryHierarchy, SharedL2};
 use icicle_perf::{Perf, PerfReport};
-use icicle_pmu::{CounterArch, CsrFile};
+use icicle_pmu::{CounterArch, CsrFile, PmuError};
 use icicle_rocket::{Rocket, RocketConfig};
 use icicle_tma::{TlbCosts, TlbInput, TlbLevel, TmaInput, TmaModel};
 use icicle_workloads::Workload;
 
 /// Errors from SoC construction or simulation.
-#[derive(Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SocError {
     /// A workload failed to execute architecturally.
     Workload(icicle_isa::IsaError),
@@ -54,6 +54,8 @@ pub enum SocError {
     Empty,
     /// A core did not finish within the cycle budget.
     CycleBudget { core: String, budget: u64 },
+    /// Counter programming or readback failed on a core's CSR file.
+    Pmu(PmuError),
 }
 
 impl fmt::Display for SocError {
@@ -64,15 +66,30 @@ impl fmt::Display for SocError {
             SocError::CycleBudget { core, budget } => {
                 write!(f, "core {core} exceeded the {budget}-cycle budget")
             }
+            SocError::Pmu(e) => write!(f, "pmu: {e}"),
         }
     }
 }
 
-impl Error for SocError {}
+impl Error for SocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SocError::Workload(e) => Some(e),
+            SocError::Pmu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<icicle_isa::IsaError> for SocError {
     fn from(e: icicle_isa::IsaError) -> SocError {
         SocError::Workload(e)
+    }
+}
+
+impl From<PmuError> for SocError {
+    fn from(e: PmuError) -> SocError {
+        SocError::Pmu(e)
     }
 }
 
@@ -139,7 +156,8 @@ impl SocBuilder {
     ///
     /// # Errors
     ///
-    /// Propagates architectural execution failures.
+    /// Propagates architectural execution and counter-programming
+    /// failures.
     pub fn rocket(
         mut self,
         config: RocketConfig,
@@ -149,8 +167,7 @@ impl SocBuilder {
         let mem = MemoryHierarchy::with_shared_l2(config.memory, self.shared_l2.clone())
             .with_address_salt(self.next_salt());
         let core = Rocket::with_memory(config, stream, mem);
-        let (csr, slot_map) =
-            Perf::program_all_events(&core, CounterArch::AddWires).expect("fresh csr programs");
+        let (csr, slot_map) = Perf::program_all_events(&core, CounterArch::AddWires)?;
         self.cores.push(SocCore {
             core: Box::new(core),
             workload_name: workload.name().to_string(),
@@ -166,14 +183,14 @@ impl SocBuilder {
     ///
     /// # Errors
     ///
-    /// Propagates architectural execution failures.
+    /// Propagates architectural execution and counter-programming
+    /// failures.
     pub fn boom(mut self, config: BoomConfig, workload: &Workload) -> Result<SocBuilder, SocError> {
         let stream = workload.execute()?;
         let mem = MemoryHierarchy::with_shared_l2(config.memory, self.shared_l2.clone())
             .with_address_salt(self.next_salt());
         let core = Boom::with_memory(config, stream, workload.program().clone(), mem);
-        let (csr, slot_map) =
-            Perf::program_all_events(&core, CounterArch::AddWires).expect("fresh csr programs");
+        let (csr, slot_map) = Perf::program_all_events(&core, CounterArch::AddWires)?;
         self.cores.push(SocCore {
             core: Box::new(core),
             workload_name: workload.name().to_string(),
@@ -259,51 +276,49 @@ impl Soc {
             }
             self.step();
         }
-        Ok(self
-            .cores
-            .iter()
-            .map(|c| {
-                let cycles = c.finished_at.expect("all finished");
-                // Read this core's own CSR file back.
-                let mut hw = EventCounts::new();
-                hw.set(EventId::Cycles, c.csr.mcycle().min(cycles));
-                hw.set(EventId::InstrRetired, c.csr.minstret());
-                for (slot, event) in &c.slot_map {
-                    hw.set(*event, c.csr.read(*slot).expect("slot configured"));
-                }
-                let model = if c.core.commit_width() == 1 {
-                    TmaModel::rocket()
-                } else {
-                    TmaModel::boom(c.core.commit_width())
-                };
-                let tma = model.analyze(&TmaInput::from_counts(&hw));
-                let tlb = TlbLevel::analyze(
-                    &tma,
-                    &TlbInput {
-                        itlb_misses: hw.get(EventId::ITlbMiss),
-                        dtlb_misses: hw.get(EventId::DTlbMiss),
-                        l2_tlb_misses: hw.get(EventId::L2TlbMiss),
-                    },
-                    &TlbCosts::default(),
+        let mut reports = Vec::with_capacity(self.cores.len());
+        for c in &self.cores {
+            let cycles = c.finished_at.expect("all finished");
+            // Read this core's own CSR file back.
+            let mut hw = EventCounts::new();
+            hw.set(EventId::Cycles, c.csr.mcycle().min(cycles));
+            hw.set(EventId::InstrRetired, c.csr.minstret());
+            for (slot, event) in &c.slot_map {
+                hw.set(*event, c.csr.read(*slot)?);
+            }
+            let model = if c.core.commit_width() == 1 {
+                TmaModel::rocket()
+            } else {
+                TmaModel::boom(c.core.commit_width())
+            };
+            let tma = model.analyze(&TmaInput::from_counts(&hw));
+            let tlb = TlbLevel::analyze(
+                &tma,
+                &TlbInput {
+                    itlb_misses: hw.get(EventId::ITlbMiss),
+                    dtlb_misses: hw.get(EventId::DTlbMiss),
+                    l2_tlb_misses: hw.get(EventId::L2TlbMiss),
+                },
+                &TlbCosts::default(),
+                cycles,
+                model.commit_width,
+            );
+            reports.push(SocReport {
+                workload: c.workload_name.clone(),
+                report: PerfReport {
+                    core_name: c.core.name().to_string(),
                     cycles,
-                    model.commit_width,
-                );
-                SocReport {
-                    workload: c.workload_name.clone(),
-                    report: PerfReport {
-                        core_name: c.core.name().to_string(),
-                        cycles,
-                        instret: hw.get(EventId::InstrRetired),
-                        hw_counts: hw,
-                        perfect_counts: c.counts.clone(),
-                        tma,
-                        tlb,
-                        trace: None,
-                        lanes: Vec::new(),
-                    },
-                }
-            })
-            .collect())
+                    instret: hw.get(EventId::InstrRetired),
+                    hw_counts: hw,
+                    perfect_counts: c.counts.clone(),
+                    tma,
+                    tlb,
+                    trace: None,
+                    lanes: Vec::new(),
+                },
+            });
+        }
+        Ok(reports)
     }
 }
 

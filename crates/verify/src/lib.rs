@@ -44,6 +44,7 @@
 pub mod archdiff;
 pub mod bound;
 pub mod differential;
+pub mod faultfuzz;
 pub mod fuzz;
 pub mod golden;
 pub mod matrix;
@@ -52,6 +53,10 @@ pub mod report;
 pub use archdiff::{diff_synthetic, diff_workload, ArchAgreement, ArchDifferential};
 pub use bound::{BoundDerivation, DivergenceBound};
 pub use differential::{verify_cell, verify_workload, CellVerdict, ClassReading, CLASS_NAMES};
+pub use faultfuzz::{
+    check_plan, fault_fuzz_spec, run_fault_fuzz, shrink_plan, FaultFuzzOptions, FaultFuzzReport,
+    FaultViolation,
+};
 pub use fuzz::{run_fuzz, shrink, FuzzCase, FuzzDivergence, FuzzOp, FuzzOptions, FuzzReport};
 pub use golden::{compare_or_update, update_requested, GoldenOutcome, UPDATE_ENV};
 pub use matrix::{default_matrix, run_matrix, MatrixOptions};

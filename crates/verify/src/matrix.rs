@@ -7,10 +7,12 @@
 //! byte-identical at any `--jobs` count. There is no result cache:
 //! verification exists to re-measure, not to trust old measurements.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use icicle_boom::BoomSize;
+use icicle_campaign::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use icicle_campaign::{CampaignSpec, CoreSelect, JobQueue, Progress, ProgressFn};
 use icicle_pmu::CounterArch;
 
@@ -83,17 +85,31 @@ pub fn run_matrix(spec: &CampaignSpec, options: &MatrixOptions) -> MatrixReport 
         for _ in 0..worker_count {
             scope.spawn(|| {
                 while let Some(index) = queue.pop() {
-                    let outcome = verify_cell(&cells[index], options.flat_bound);
+                    // Supervised like the campaign runner: a panicking
+                    // differential costs the matrix one cell, reported
+                    // as that cell's failure, never the whole run.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        verify_cell(&cells[index], options.flat_bound)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        Err(format!("verifier panicked: {message}"))
+                    });
                     let ok = matches!(&outcome, Ok(v) if v.passed());
                     let counter = if ok { &verified } else { &failed };
                     counter.fetch_add(1, Ordering::Relaxed);
-                    *slots[index].lock().unwrap() = Some(outcome);
+                    *lock_unpoisoned(&slots[index]) = Some(outcome);
                     if let Some(report) = &options.progress {
                         report(Progress {
                             total,
                             simulated: verified.load(Ordering::Relaxed),
                             cached: 0,
                             failed: failed.load(Ordering::Relaxed),
+                            ..Progress::default()
                         });
                     }
                 }
@@ -109,7 +125,7 @@ pub fn run_matrix(spec: &CampaignSpec, options: &MatrixOptions) -> MatrixReport 
         failures: Vec::new(),
     };
     for (slot, cell) in slots.into_iter().zip(&cells) {
-        match slot.into_inner().unwrap() {
+        match into_inner_unpoisoned(slot) {
             Some(Ok(verdict)) => report.verdicts.push(verdict),
             Some(Err(error)) => report.failures.push((cell.label(), error)),
             None => report

@@ -49,7 +49,7 @@ fn warm_disk_cache_replays_without_simulating() {
             &RunOptions {
                 jobs: 4,
                 cache: Some(cache),
-                progress: None,
+                ..RunOptions::default()
             },
         )
     };
@@ -65,7 +65,7 @@ fn warm_disk_cache_replays_without_simulating() {
         &RunOptions {
             jobs: 4,
             cache: Some(cache),
-            progress: None,
+            ..RunOptions::default()
         },
     );
     assert_eq!(warm.stats.simulated, 0, "warm run must not simulate");

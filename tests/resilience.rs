@@ -1,0 +1,249 @@
+//! The resilience layer, end-to-end: supervised workers surviving
+//! poisoned locks and panicking cells, deterministic retries, and
+//! checkpoint/resume after a mid-campaign kill.
+//!
+//! Faults are injected through the seed-pure [`icicle_faults`] plans —
+//! the same machinery `icicle-tma faults` drives — so every scenario
+//! here is reproducible byte-for-byte.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use icicle::campaign::sync::lock_unpoisoned;
+use icicle::campaign::{
+    fingerprint, run_campaign, runner::poison_for_fault, CampaignSpec, CheckpointLog, CoreSelect,
+    ResultCache, RunOptions,
+};
+use icicle::faults::{FaultInjector, FaultKind, FaultPlan};
+use icicle::prelude::CounterArch;
+
+/// 2 workloads × 1 core × 1 arch × 2 seeds = 4 cells, small enough to
+/// simulate repeatedly.
+fn grid() -> CampaignSpec {
+    CampaignSpec::new("resilience")
+        .workloads(["vvadd", "towers"])
+        .cores([CoreSelect::Rocket])
+        .archs([CounterArch::AddWires])
+        .seeds([0, 1])
+}
+
+fn faulted_options(plan: FaultPlan) -> RunOptions {
+    RunOptions {
+        jobs: 2,
+        faults: Some(Arc::new(FaultInjector::new(plan))),
+        ..RunOptions::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icicle-resilience-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn a_poisoned_slot_lock_is_recovered_not_fatal() {
+    // The primitive itself first: a mutex poisoned by a panicking
+    // thread still yields its data through the recovering lock.
+    let slot = std::sync::Mutex::new(7u64);
+    poison_for_fault(&slot);
+    assert!(slot.is_poisoned());
+    assert_eq!(*lock_unpoisoned(&slot), 7);
+
+    // Then the whole campaign: a poisoned-lock fault on cell 1 is
+    // recorded as a recovered incident and costs nothing.
+    let spec = grid();
+    let plan = FaultPlan::new().with(FaultKind::PoisonedLock, 1, false);
+    let report = run_campaign(&spec, &faulted_options(plan));
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.cells.len(), spec.cells().len());
+    assert!(report.incidents.iter().any(|i| i.kind == "poisoned-lock"));
+}
+
+#[test]
+fn a_panicking_cell_is_isolated_and_typed() {
+    let spec = grid();
+    let plan = FaultPlan::new().with(FaultKind::PanicInCell, 0, true);
+    let report = run_campaign(&spec, &faulted_options(plan));
+
+    // One typed failure after the full retry budget; every other cell
+    // completes untouched.
+    assert_eq!(report.failures.len(), 1);
+    let failure = &report.failures[0];
+    assert_eq!(failure.kind, "panic");
+    assert_eq!(failure.attempts, 2, "default retry budget is 1 retry");
+    assert!(failure.error.contains("panicked"));
+    assert_eq!(report.cells.len(), spec.cells().len() - 1);
+    assert!(report.skipped.is_empty(), "keep-going never skips");
+}
+
+#[test]
+fn transient_retries_are_deterministic_and_recover() {
+    let spec = grid();
+    let plan = FaultPlan::new()
+        .with(FaultKind::PanicInCell, 2, false)
+        .with(FaultKind::SlowCell, 3, false);
+    let first = run_campaign(&spec, &faulted_options(plan.clone()));
+    let second = run_campaign(&spec, &faulted_options(plan));
+    let clean = run_campaign(&spec, &RunOptions::with_jobs(1));
+
+    // Transient faults fire only on attempt 1: the retry recovers and
+    // the results match a fault-free run exactly — twice over.
+    assert!(first.passed(), "{first}");
+    assert_eq!(first.to_json(), second.to_json());
+    assert_eq!(first.cells, clean.cells);
+    let retries: Vec<_> = first
+        .incidents
+        .iter()
+        .filter(|i| i.kind == "retry")
+        .collect();
+    assert_eq!(retries.len(), 2, "one retry incident per faulted cell");
+}
+
+#[test]
+fn resume_reruns_only_the_unfinished_cells() {
+    let spec = grid();
+    let dir = scratch_dir("resume");
+    let checkpoint_path = dir.join("resilience.checkpoint");
+
+    // First run: a persistent panic kills cell 0 — standing in for a
+    // campaign killed partway through, with the other three cells
+    // already checkpointed next to the disk cache.
+    let interrupted = run_campaign(
+        &spec,
+        &RunOptions {
+            jobs: 2,
+            cache: Some(Arc::new(ResultCache::with_disk(&dir).unwrap())),
+            checkpoint: Some(Arc::new(CheckpointLog::open(&checkpoint_path).unwrap())),
+            faults: Some(Arc::new(FaultInjector::new(FaultPlan::new().with(
+                FaultKind::PanicInCell,
+                0,
+                true,
+            )))),
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(interrupted.cells.len(), 3);
+    assert_eq!(interrupted.failures.len(), 1);
+
+    // Second run, resumed in a "new process": fresh cache handle,
+    // reopened checkpoint, no faults. Only the dead cell simulates.
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            jobs: 2,
+            cache: Some(Arc::new(ResultCache::with_disk(&dir).unwrap())),
+            checkpoint: Some(Arc::new(CheckpointLog::open(&checkpoint_path).unwrap())),
+            resume: true,
+            ..RunOptions::default()
+        },
+    );
+    assert!(resumed.passed(), "{resumed}");
+    assert_eq!(resumed.stats.resumed, 3);
+    assert_eq!(resumed.stats.simulated, 1);
+    let clean = run_campaign(&spec, &RunOptions::with_jobs(1));
+    assert_eq!(resumed.to_json(), clean.to_json());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_are_quarantined_on_resume() {
+    let spec = grid();
+    let dir = scratch_dir("quarantine");
+    let checkpoint_path = dir.join("resilience.checkpoint");
+
+    // A clean checkpointed run, then fault injection corrupts one
+    // just-written disk entry (what `corrupt-cache-entry` simulates).
+    let first = run_campaign(
+        &spec,
+        &RunOptions {
+            jobs: 1,
+            cache: Some(Arc::new(ResultCache::with_disk(&dir).unwrap())),
+            checkpoint: Some(Arc::new(CheckpointLog::open(&checkpoint_path).unwrap())),
+            faults: Some(Arc::new(FaultInjector::new(FaultPlan::new().with(
+                FaultKind::CorruptCacheEntry,
+                2,
+                true,
+            )))),
+            ..RunOptions::default()
+        },
+    );
+    assert!(first.passed(), "corruption lands on disk, not in the run");
+
+    // Resume: the corrupt entry is quarantined, the checkpointed-but-
+    // missing cell re-simulates, and the run still converges.
+    let cache = Arc::new(ResultCache::with_disk(&dir).unwrap());
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            jobs: 1,
+            cache: Some(Arc::clone(&cache)),
+            checkpoint: Some(Arc::new(CheckpointLog::open(&checkpoint_path).unwrap())),
+            resume: true,
+            ..RunOptions::default()
+        },
+    );
+    assert!(resumed.passed(), "{resumed}");
+    assert_eq!(cache.quarantined(), 1);
+    assert_eq!(resumed.stats.resumed, 3);
+    assert_eq!(resumed.stats.simulated, 1);
+    assert!(resumed
+        .incidents
+        .iter()
+        .any(|i| i.kind == "resume-cache-miss"));
+    // Entries shard into two-level subdirectories; walk them all.
+    let mut corrupt = 0;
+    for shard in std::fs::read_dir(&dir).unwrap().filter_map(|e| e.ok()) {
+        if !shard.path().is_dir() {
+            continue;
+        }
+        corrupt += std::fs::read_dir(shard.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "corrupt"))
+            .count();
+    }
+    assert_eq!(corrupt, 1, "quarantined entry kept for forensics");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_acceptance_scenario_reports_all_three_fault_kinds() {
+    // ISSUE acceptance: a campaign with an injected panic, a watchdog
+    // timeout, and a corrupt cache entry completes the remaining cells
+    // and reports all three structurally.
+    let spec = grid();
+    let dir = scratch_dir("acceptance");
+    let plan = FaultPlan::new()
+        .with(FaultKind::PanicInCell, 0, true)
+        .with(FaultKind::SlowCell, 1, true)
+        .with(FaultKind::CorruptCacheEntry, 2, true);
+    let report = run_campaign(
+        &spec,
+        &RunOptions {
+            jobs: 2,
+            cache: Some(Arc::new(ResultCache::with_disk(&dir).unwrap())),
+            faults: Some(Arc::new(FaultInjector::new(plan))),
+            ..RunOptions::default()
+        },
+    );
+
+    let kinds: Vec<&str> = report.failures.iter().map(|f| f.kind.as_str()).collect();
+    assert!(kinds.contains(&"panic"), "{kinds:?}");
+    assert!(kinds.contains(&"timeout"), "{kinds:?}");
+    assert_eq!(report.cells.len(), 2, "remaining cells completed");
+    assert!(!report.passed(), "the CLI exits nonzero on this report");
+    let json = report.to_json();
+    assert!(json.contains("\"failures\""));
+    assert!(json.contains("\"attempts\""));
+
+    // The corrupt entry surfaces as a quarantine on the next read.
+    let cache = Arc::new(ResultCache::with_disk(&dir).unwrap());
+    let cell = &spec.cells()[2];
+    assert!(cache.get(fingerprint(cell)).is_none());
+    assert_eq!(cache.quarantined(), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
