@@ -17,7 +17,7 @@ use icicle::tma::TmaInput;
 use icicle::trace::SlotTemporalTma;
 
 fn boom_with(w: &Workload, config: BoomConfig, perf: Perf) -> PerfReport {
-    let mut core = Boom::new(config, w.execute().unwrap(), w.program().clone());
+    let mut core = Boom::new(config, w.execute().unwrap(), w.program_arc());
     perf.run(&mut core).unwrap()
 }
 

@@ -38,7 +38,7 @@ fn main() {
     let mut boom = Boom::new(
         BoomConfig::large(),
         workload.execute().unwrap(),
-        workload.program().clone(),
+        workload.program_arc(),
     );
     let report_b = Perf::new()
         .trace(TraceConfig::new(channels.clone()).unwrap())

@@ -32,7 +32,7 @@ fn bench_cores(c: &mut Criterion) {
     });
     group.bench_function("large-boom", |b| {
         b.iter_batched_ref(
-            || Boom::new(BoomConfig::large(), stream.clone(), w.program().clone()),
+            || Boom::new(BoomConfig::large(), stream.clone(), w.program_arc()),
             |core| {
                 for _ in 0..256 {
                     core.step();

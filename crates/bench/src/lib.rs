@@ -20,6 +20,8 @@
 
 use icicle::prelude::*;
 
+pub mod ledger;
+
 /// Runs a workload on the default Rocket and returns the perf report.
 pub fn rocket_report(workload: &Workload) -> PerfReport {
     rocket_report_with(workload, RocketConfig::default())
@@ -47,7 +49,7 @@ pub fn boom_perf(workload: &Workload, config: BoomConfig, perf: Perf) -> PerfRep
     let stream = workload
         .execute()
         .unwrap_or_else(|e| panic!("{} failed to execute: {e}", workload.name()));
-    let mut core = Boom::new(config, stream, workload.program().clone());
+    let mut core = Boom::new(config, stream, workload.program_arc());
     perf.run(&mut core)
         .unwrap_or_else(|e| panic!("{} failed to measure: {e}", workload.name()))
 }

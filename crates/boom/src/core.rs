@@ -1,6 +1,7 @@
 //! The BOOM out-of-order pipeline timing model.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use icicle_events::{EventCore, EventId, EventVector};
 use icicle_isa::{DynStream, InstrClass, MemAccess, Op, Program, RegId};
@@ -29,7 +30,7 @@ struct Uop {
     class: InstrClass,
     dst: Option<RegId>,
     /// Producer µops still in flight at dispatch time.
-    deps: Vec<UopId>,
+    deps: Deps,
     mem: Option<MemAccess>,
     mispredict: Option<Mispredict>,
     is_fence_i: bool,
@@ -41,6 +42,112 @@ struct Uop {
 impl Uop {
     fn complete(&self, now: u64) -> bool {
         self.issued && self.complete_cycle <= now
+    }
+}
+
+/// Producer dependences of a µop, stored inline: an operation reads at
+/// most two registers, so a µop can depend on at most two in-flight
+/// writers and a heap-backed list is never needed.
+#[derive(Copy, Clone, Debug)]
+struct Deps {
+    ids: [UopId; 2],
+    len: u8,
+}
+
+impl Deps {
+    fn new() -> Deps {
+        Deps {
+            ids: [0; 2],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, id: UopId) {
+        self.ids[self.len as usize] = id;
+        self.len += 1;
+    }
+
+    fn as_slice(&self) -> &[UopId] {
+        &self.ids[..self.len as usize]
+    }
+}
+
+/// The in-flight µop table, indexed by [`UopId`].
+///
+/// Ids are allocated monotonically in fetch order and dispatched in that
+/// same order, so the live set is always a sliding window of recent ids
+/// (bounded by the ROB plus squash gaps). A deque of slots over a moving
+/// `base` makes every lookup an index subtraction instead of a hash —
+/// this table is touched several times per issue port per cycle, where a
+/// `HashMap` shows up prominently in profiles.
+///
+/// Squashes leave id gaps (fetch-buffer µops consume ids but never
+/// dispatch): `insert` pads them with empty slots and `remove` trims
+/// dead slots off both edges to keep the window tight.
+#[derive(Clone, Debug, Default)]
+struct UopArena {
+    base: UopId,
+    slots: VecDeque<Option<Uop>>,
+}
+
+impl UopArena {
+    fn slot_of(&self, id: UopId) -> Option<usize> {
+        if id < self.base {
+            return None;
+        }
+        let idx = (id - self.base) as usize;
+        (idx < self.slots.len()).then_some(idx)
+    }
+
+    fn get(&self, id: UopId) -> Option<&Uop> {
+        self.slot_of(id).and_then(|i| self.slots[i].as_ref())
+    }
+
+    fn get_mut(&mut self, id: UopId) -> Option<&mut Uop> {
+        match self.slot_of(id) {
+            Some(i) => self.slots[i].as_mut(),
+            None => None,
+        }
+    }
+
+    fn contains(&self, id: UopId) -> bool {
+        self.get(id).is_some()
+    }
+
+    fn insert(&mut self, u: Uop) {
+        let id = u.id;
+        if self.slots.is_empty() {
+            self.base = id;
+        }
+        debug_assert!(
+            id >= self.base + self.slots.len() as UopId,
+            "µop ids must be inserted in increasing order"
+        );
+        while (self.slots.len() as UopId) < id - self.base {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(u));
+    }
+
+    fn remove(&mut self, id: UopId) -> Option<Uop> {
+        let idx = self.slot_of(id)?;
+        let u = self.slots[idx].take();
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        while matches!(self.slots.back(), Some(None)) {
+            self.slots.pop_back();
+        }
+        u
+    }
+}
+
+impl std::ops::Index<UopId> for UopArena {
+    type Output = Uop;
+
+    fn index(&self, id: UopId) -> &Uop {
+        self.get(id).expect("µop not in flight")
     }
 }
 
@@ -106,7 +213,7 @@ pub struct Boom {
     btb: BoomBtb,
     ras: ReturnAddressStack,
     stream: DynStream,
-    program: Program,
+    program: Arc<Program>,
 
     cycle: u64,
     done: bool,
@@ -125,7 +232,7 @@ pub struct Boom {
     fb: VecDeque<Uop>,
 
     // Back-end
-    uops: HashMap<UopId, Uop>,
+    uops: UopArena,
     rob: VecDeque<UopId>,
     iq_int: VecDeque<UopId>,
     iq_mem: VecDeque<UopId>,
@@ -143,6 +250,8 @@ pub struct Boom {
     /// PCs of loads that have caused ordering violations (the
     /// store-set-style memory dependence predictor's training state).
     violating_loads: HashSet<u64>,
+    /// Reused across squashes so a flush does not allocate.
+    squash_scratch: Vec<UopId>,
 
     retired_pcs: Vec<u64>,
 
@@ -154,7 +263,13 @@ pub struct Boom {
 
 impl Boom {
     /// Creates a core positioned at the first instruction of `stream`.
-    pub fn new(config: BoomConfig, stream: DynStream, program: Program) -> Boom {
+    ///
+    /// The program is accepted as anything convertible to an
+    /// `Arc<Program>`: passing an owned [`Program`] still works, while
+    /// callers that run many measurements over the same workload can
+    /// share one `Arc` and skip the per-run copy of the text and data
+    /// image.
+    pub fn new(config: BoomConfig, stream: DynStream, program: impl Into<Arc<Program>>) -> Boom {
         let mem = MemoryHierarchy::new(config.memory);
         Boom::with_memory(config, stream, program, mem)
     }
@@ -164,7 +279,7 @@ impl Boom {
     pub fn with_memory(
         config: BoomConfig,
         stream: DynStream,
-        program: Program,
+        program: impl Into<Arc<Program>>,
         mem: MemoryHierarchy,
     ) -> Boom {
         Boom {
@@ -177,7 +292,7 @@ impl Boom {
             btb: BoomBtb::new(config.btb_entries),
             ras: ReturnAddressStack::new(config.ras_entries),
             stream,
-            program,
+            program: program.into(),
             cycle: 0,
             done: false,
             instret: 0,
@@ -191,7 +306,7 @@ impl Boom {
             wrong_path: false,
             wp_pc: 0,
             fb: VecDeque::with_capacity(config.fetch_buffer_entries),
-            uops: HashMap::new(),
+            uops: UopArena::default(),
             rob: VecDeque::with_capacity(config.rob_entries),
             iq_int: VecDeque::new(),
             iq_mem: VecDeque::new(),
@@ -207,6 +322,7 @@ impl Boom {
             fence_head_since: None,
             halt_dispatched: false,
             violating_loads: HashSet::new(),
+            squash_scratch: Vec::new(),
             retired_pcs: Vec::with_capacity(8),
             issued_this_cycle: 0,
             events: EventVector::new(),
@@ -262,15 +378,17 @@ impl Boom {
     /// Squashes every µop with `id > cut` (or `>= cut` when `inclusive`).
     fn squash_younger(&mut self, cut: UopId, inclusive: bool) {
         let keep = |id: UopId| if inclusive { id < cut } else { id <= cut };
-        let removed: Vec<UopId> = self.rob.iter().copied().filter(|&id| !keep(id)).collect();
+        let mut removed = std::mem::take(&mut self.squash_scratch);
+        removed.clear();
+        removed.extend(self.rob.iter().copied().filter(|&id| !keep(id)));
         self.rob.retain(|&id| keep(id));
         self.iq_int.retain(|&id| keep(id));
         self.iq_mem.retain(|&id| keep(id));
         self.iq_fp.retain(|&id| keep(id));
         self.inflight_loads.retain(|&(id, _, _)| keep(id));
         self.pending_branch_flushes.retain(|&(_, id)| keep(id));
-        for id in removed {
-            if let Some(u) = self.uops.remove(&id) {
+        for &id in &removed {
+            if let Some(u) = self.uops.remove(id) {
                 match u.class {
                     InstrClass::Load | InstrClass::FpLoad | InstrClass::Amo => {
                         self.loads_in_rob -= 1
@@ -281,11 +399,13 @@ impl Boom {
                 }
             }
         }
+        removed.clear();
+        self.squash_scratch = removed;
         self.fb.clear();
         // Rebuild the rename table from the surviving ROB, oldest first.
         self.rename = [None; RegId::COUNT];
         for &id in &self.rob {
-            if let Some(dst) = self.uops[&id].dst {
+            if let Some(dst) = self.uops[id].dst {
                 self.rename[dst.index()] = Some(id);
             }
         }
@@ -293,7 +413,7 @@ impl Boom {
             && !self
                 .rob
                 .iter()
-                .any(|id| self.uops[id].class == InstrClass::Fence)
+                .any(|&id| self.uops[id].class == InstrClass::Fence)
         {
             self.fence_in_rob = false;
         }
@@ -324,14 +444,14 @@ impl Boom {
                     ready <= self.cycle
                         && self
                             .uops
-                            .get(&id)
+                            .get(id)
                             .map(|u| u.complete(self.cycle))
                             .unwrap_or(false)
                 })
                 .min_by_key(|&(_, id)| id);
             let Some((_, id)) = due else { return };
             self.pending_branch_flushes.retain(|&(_, i)| i != id);
-            let u = &self.uops[&id];
+            let u = &self.uops[id];
             let kind = u.mispredict.expect("flush source is mispredicted");
             let resume = u.stream_idx.expect("on-path branch") + 1;
             match kind {
@@ -349,7 +469,7 @@ impl Boom {
             id < load_id
                 && self
                     .uops
-                    .get(&id)
+                    .get(id)
                     .map(|u| {
                         !u.issued
                             && matches!(
@@ -365,7 +485,7 @@ impl Boom {
     /// with an overlapping address. Flush from the load (inclusive) and
     /// replay.
     fn machine_clear(&mut self, load_id: UopId) {
-        let load = &self.uops[&load_id];
+        let load = &self.uops[load_id];
         let resume = load.stream_idx.expect("replayed load is on-path");
         self.violating_loads.insert(load.pc);
         self.events.raise(EventId::Flush);
@@ -376,9 +496,21 @@ impl Boom {
     // --- Commit -------------------------------------------------------------
 
     fn commit(&mut self) {
-        for lane in 0..self.config.decode_width {
+        let retired = self.commit_lanes();
+        // Commit lanes fill in order from lane 0; raising the whole group
+        // as one span produces the exact vector the per-lane raises did.
+        self.events
+            .raise_lane_span(EventId::UopsRetired, 0, retired);
+        self.events.raise_n(EventId::InstrRetired, retired as u16);
+    }
+
+    /// Retires up to `decode_width` µops from the ROB head and returns
+    /// how many lanes retired; the caller raises the per-lane events.
+    fn commit_lanes(&mut self) -> usize {
+        let mut retired = 0;
+        while retired < self.config.decode_width {
             let Some(&head) = self.rob.front() else { break };
-            let u = &self.uops[&head];
+            let u = &self.uops[head];
             if u.class == InstrClass::Fence {
                 if !u.issued {
                     // A fence waits at the ROB head for the pipeline to
@@ -386,7 +518,7 @@ impl Boom {
                     if self.rob.len() == 1 {
                         let since = *self.fence_head_since.get_or_insert(self.cycle);
                         if self.cycle >= since + self.config.fence_latency {
-                            let u = self.uops.get_mut(&head).expect("head exists");
+                            let u = self.uops.get_mut(head).expect("head exists");
                             u.issued = true;
                             u.complete_cycle = self.cycle;
                         }
@@ -397,14 +529,13 @@ impl Boom {
                 break;
             }
             // Retire.
-            let u = self.uops.remove(&head).expect("head exists");
+            let u = self.uops.remove(head).expect("head exists");
             self.rob.pop_front();
             self.last_commit_cycle = self.cycle;
-            self.events.raise_lane(EventId::UopsRetired, lane);
+            retired += 1;
             debug_assert!(u.stream_idx.is_some(), "wrong-path µop reached commit");
             self.retired_pcs.push(u.pc);
             self.instret += 1;
-            self.events.raise(EventId::InstrRetired);
             if let Some(dst) = u.dst {
                 if self.rename[dst.index()] == Some(head) {
                     self.rename[dst.index()] = None;
@@ -431,21 +562,22 @@ impl Boom {
                     let resume = u.stream_idx.expect("fence is on-path") + 1;
                     self.squash_younger(head, false);
                     self.redirect_fetch(resume);
-                    return;
+                    return retired;
                 }
                 InstrClass::Halt => {
                     self.done = true;
-                    return;
+                    return retired;
                 }
                 _ => {}
             }
         }
+        retired
     }
 
     // --- Issue ---------------------------------------------------------------
 
     fn deps_ready(&self, u: &Uop) -> bool {
-        u.deps.iter().all(|d| {
+        u.deps.as_slice().iter().all(|&d| {
             self.uops
                 .get(d)
                 .map(|p| p.complete(self.cycle))
@@ -475,7 +607,7 @@ impl Boom {
                 IqKind::Fp => &self.iq_fp,
             };
             let Some(&id) = queue.get(pos) else { break };
-            let Some(u) = self.uops.get(&id) else {
+            let Some(u) = self.uops.get(id) else {
                 pos += 1;
                 continue;
             };
@@ -526,7 +658,7 @@ impl Boom {
             }
             // Grant.
             let cfg = self.config;
-            let u = self.uops.get_mut(&id).expect("candidate exists");
+            let u = self.uops.get_mut(id).expect("candidate exists");
             u.issued = true;
             let class = u.class;
             let acc = u.mem;
@@ -589,26 +721,29 @@ impl Boom {
                 }
                 _ => {}
             }
-            let u = self.uops.get_mut(&id).expect("candidate exists");
+            let u = self.uops.get_mut(id).expect("candidate exists");
             u.complete_cycle = complete;
             if u.mispredict.is_some() {
                 self.pending_branch_flushes.push((complete, id));
             }
-            self.events
-                .raise_lane(EventId::UopsIssued, first_lane + granted);
             self.issued_this_cycle += 1;
             granted += 1;
-            // Remove from the queue.
+            // Remove the granted entry in place (it sits at `pos`, so no
+            // full-queue scan); `pos` is not advanced because the next
+            // candidate shifted into it.
             match kind {
-                IqKind::Int => self.iq_int.retain(|&q| q != id),
-                IqKind::Mem => self.iq_mem.retain(|&q| q != id),
-                IqKind::Fp => self.iq_fp.retain(|&q| q != id),
-            }
-            // `pos` intentionally not advanced: the element shifted left.
+                IqKind::Int => self.iq_int.remove(pos),
+                IqKind::Mem => self.iq_mem.remove(pos),
+                IqKind::Fp => self.iq_fp.remove(pos),
+            };
         }
+        // Grants filled lanes `first_lane..first_lane + granted` in order;
+        // one span raise matches the per-grant raises exactly.
+        self.events
+            .raise_lane_span(EventId::UopsIssued, first_lane, granted);
         // Apply at most the oldest machine clear.
         if let Some(&lid) = clears.iter().min() {
-            if self.uops.contains_key(&lid) {
+            if self.uops.contains(lid) {
                 self.machine_clear(lid);
             }
         }
@@ -661,9 +796,11 @@ impl Boom {
                 // fetch-bubble event, suppressed while recovering and when
                 // the program is simply over.
                 if !self.recovering && !self.stream_drained() {
-                    for l in lane..self.config.decode_width {
-                        self.events.raise_lane(EventId::FetchBubbles, l);
-                    }
+                    self.events.raise_lane_span(
+                        EventId::FetchBubbles,
+                        lane,
+                        self.config.decode_width - lane,
+                    );
                 }
                 return;
             };
@@ -729,7 +866,7 @@ impl Boom {
                 },
             }
             self.rob.push_back(id);
-            self.uops.insert(id, u);
+            self.uops.insert(u);
             let _ = lane;
         }
     }
@@ -924,11 +1061,12 @@ impl Boom {
     fn push_on_path_uop(&mut self, stream_idx: usize, mispredict: Option<Mispredict>) {
         let d = self.stream.instrs()[stream_idx];
         let id = self.alloc_id();
-        let deps =
-            d.op.srcs()
-                .into_iter()
-                .filter_map(|r| self.pending_writer(r))
-                .collect();
+        let mut deps = Deps::new();
+        for &r in d.op.src_list().as_slice() {
+            if let Some(w) = self.pending_writer(r) {
+                deps.push(w);
+            }
+        }
         self.fb.push_back(Uop {
             id,
             stream_idx: Some(stream_idx),
@@ -973,11 +1111,12 @@ impl Boom {
                 class = InstrClass::Alu;
             }
             let id = self.alloc_id();
-            let deps = op
-                .srcs()
-                .into_iter()
-                .filter_map(|r| self.pending_writer(r))
-                .collect();
+            let mut deps = Deps::new();
+            for &r in op.src_list().as_slice() {
+                if let Some(w) = self.pending_writer(r) {
+                    deps.push(w);
+                }
+            }
             self.fb.push_back(Uop {
                 id,
                 stream_idx: None,
@@ -1032,11 +1171,12 @@ impl Boom {
             !self.iq_int.is_empty() || !self.iq_mem.is_empty() || !self.iq_fp.is_empty();
         let mshr_ok = !self.config.dcache_blocked_requires_mshr || self.mshrs.any_busy(self.cycle);
         if iq_occupied && mshr_ok {
-            for lane in
-                self.issued_this_cycle.min(self.config.decode_width)..self.config.decode_width
-            {
-                self.events.raise_lane(EventId::DCacheBlocked, lane);
-            }
+            let first = self.issued_this_cycle.min(self.config.decode_width);
+            self.events.raise_lane_span(
+                EventId::DCacheBlocked,
+                first,
+                self.config.decode_width - first,
+            );
         }
     }
 }

@@ -589,11 +589,7 @@ pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, CellError> {
             perf.run(&mut core)
         }
         CoreSelect::Boom(size) => {
-            let mut core = Boom::new(
-                BoomConfig::for_size(size),
-                stream,
-                workload.program().clone(),
-            );
+            let mut core = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             perf.run(&mut core)
         }
     }?;

@@ -23,6 +23,8 @@ COMMANDS:
     campaign                 Run an experiment campaign from a spec file
     verify                   Differentially verify counter TMA against traces
     faults                   Fuzz the campaign runner with injected faults
+    bench                    Measure simulator throughput into a ledger,
+                             or gate one ledger against another
     vlsi                     Print the physical-design cost model (Fig. 9)
 
 OPTIONS (list):
@@ -61,6 +63,19 @@ OPTIONS (verify):
     --jobs <N>               Worker threads for --matrix [default: 1]
     --report <PATH>          Also write the JSON divergence report here
     --json                   Emit the report as JSON on stdout
+
+OPTIONS (bench):
+    --json <PATH>            Write the throughput ledger here (canonical
+                             JSON; print-only when omitted)
+    --baseline <PATH>        Embed per-cell baseline/speedup fields from
+                             an earlier ledger
+    --warmup <N>             Untimed runs per cell [default: 1]
+    --repeats <N>            Timed runs per cell; the median is reported
+                             [default: 3]
+    --compare <OLD> <NEW>    Gate NEW against OLD instead of measuring;
+                             exits nonzero on regression or missing cells
+    --tolerance <PCT>        Allowed cycles/sec regression in percent
+                             [default: 10]
 
 OPTIONS (tma / trace / lanes / counters):
     --workload <NAME>        Workload name from `icicle-tma list` [required]
@@ -156,6 +171,22 @@ pub enum Command {
         jobs: usize,
         report: Option<String>,
         json: bool,
+    },
+    /// Measure simulator throughput over the fixed grid.
+    Bench {
+        /// Write the ledger to this path (always printed as a table).
+        json: Option<String>,
+        /// Embed baseline/speedup fields from this earlier ledger.
+        baseline: Option<String>,
+        warmup: u32,
+        repeats: u32,
+    },
+    /// Gate a new ledger against an old one.
+    BenchCompare {
+        old: String,
+        new: String,
+        /// Allowed regression as a fraction (the flag takes percent).
+        tolerance: f64,
     },
     Vlsi,
 }
@@ -434,6 +465,78 @@ fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
     })
 }
 
+fn parse_bench(args: &[String]) -> Result<Command, ParseError> {
+    let mut json = None;
+    let mut baseline = None;
+    let mut warmup = 1u32;
+    let mut repeats = 3u32;
+    let mut compare: Option<(String, String)> = None;
+    let mut tolerance = 0.10f64;
+    let mut saw_tolerance = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--json" => json = Some(value()?.clone()),
+            "--baseline" => baseline = Some(value()?.clone()),
+            "--warmup" => {
+                warmup = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--warmup expects a number".into()))?;
+            }
+            "--repeats" => {
+                repeats = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--repeats expects a number".into()))?;
+                if repeats == 0 {
+                    return err("--repeats must be non-zero");
+                }
+            }
+            "--compare" => {
+                let old = value()?.clone();
+                let new = it
+                    .next()
+                    .ok_or_else(|| ParseError("--compare expects OLD and NEW paths".into()))?
+                    .clone();
+                compare = Some((old, new));
+            }
+            "--tolerance" => {
+                let pct: f64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--tolerance expects a percentage".into()))?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return err("--tolerance must be a non-negative percentage");
+                }
+                tolerance = pct / 100.0;
+                saw_tolerance = true;
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    if let Some((old, new)) = compare {
+        if json.is_some() || baseline.is_some() {
+            return err("--compare does not measure; drop --json/--baseline");
+        }
+        Ok(Command::BenchCompare {
+            old,
+            new,
+            tolerance,
+        })
+    } else if saw_tolerance {
+        err("--tolerance only applies with --compare")
+    } else {
+        Ok(Command::Bench {
+            json,
+            baseline,
+            warmup,
+            repeats,
+        })
+    }
+}
+
 fn required_workload(opts: &Options) -> Result<String, ParseError> {
     opts.workload
         .clone()
@@ -459,6 +562,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "campaign" => parse_campaign(rest),
         "verify" => parse_verify(rest),
         "faults" => parse_faults(rest),
+        "bench" => parse_bench(rest),
         "vlsi" => Ok(Command::Vlsi),
         "tma" => {
             let opts = parse_options(rest)?;
@@ -780,6 +884,53 @@ mod tests {
         assert!(parse(&argv("verify --bound -1")).is_err());
         assert!(parse(&argv("verify --bound nan")).is_err());
         assert!(parse(&argv("verify --frob")).is_err());
+    }
+
+    #[test]
+    fn bench_parses_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("bench")).unwrap(),
+            Command::Bench {
+                json: None,
+                baseline: None,
+                warmup: 1,
+                repeats: 3,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "bench --json out.json --baseline old.json --warmup 0 --repeats 5"
+            ))
+            .unwrap(),
+            Command::Bench {
+                json: Some("out.json".into()),
+                baseline: Some("old.json".into()),
+                warmup: 0,
+                repeats: 5,
+            }
+        );
+        assert!(parse(&argv("bench --repeats 0")).is_err());
+        assert!(parse(&argv("bench --frob")).is_err());
+    }
+
+    #[test]
+    fn bench_compare_takes_two_paths_and_a_percent() {
+        match parse(&argv("bench --compare old.json new.json --tolerance 40")).unwrap() {
+            Command::BenchCompare {
+                old,
+                new,
+                tolerance,
+            } => {
+                assert_eq!(old, "old.json");
+                assert_eq!(new, "new.json");
+                assert!((tolerance - 0.40).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("bench --compare only-one.json")).is_err());
+        assert!(parse(&argv("bench --tolerance 10")).is_err());
+        assert!(parse(&argv("bench --compare a b --json c")).is_err());
+        assert!(parse(&argv("bench --compare a b --tolerance -3")).is_err());
     }
 
     #[test]

@@ -79,8 +79,84 @@ pub fn run(cmd: Command) -> Result<()> {
             report,
             json,
         } => verify(matrix, fuzz, seed, bound, jobs, report.as_deref(), json),
+        Command::Bench {
+            json,
+            baseline,
+            warmup,
+            repeats,
+        } => bench(json.as_deref(), baseline.as_deref(), warmup, repeats),
+        Command::BenchCompare {
+            old,
+            new,
+            tolerance,
+        } => bench_compare(&old, &new, tolerance),
         Command::Vlsi => vlsi(),
     }
+}
+
+fn bench(
+    json_path: Option<&str>,
+    baseline_path: Option<&str>,
+    warmup: u32,
+    repeats: u32,
+) -> Result<()> {
+    use icicle_bench::ledger::{self, Ledger, LedgerOptions};
+    if cfg!(debug_assertions) {
+        eprintln!(
+            "warning: this is a debug build; ledger timings will not be \
+             comparable to release numbers"
+        );
+    }
+    let baseline = match baseline_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline ledger `{path}`: {e}"))?;
+            Some(Ledger::parse(&text).map_err(|e| format!("bad baseline ledger `{path}`: {e}"))?)
+        }
+        None => None,
+    };
+    let options = LedgerOptions {
+        warmup,
+        repeats,
+        progress: Some(Box::new(|done, total, key| {
+            eprint!("\r[{done}/{total}] {key:<40}");
+        })),
+        ..LedgerOptions::default()
+    };
+    let mut ledger = ledger::run_grid(&ledger::default_grid(), &options)?;
+    eprintln!();
+    if let Some(base) = &baseline {
+        ledger = ledger.with_baseline(base);
+    }
+    print!("{ledger}");
+    if let Some(path) = json_path {
+        std::fs::write(path, ledger.to_json())
+            .map_err(|e| format!("cannot write ledger `{path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+fn bench_compare(old_path: &str, new_path: &str, tolerance: f64) -> Result<()> {
+    use icicle_bench::ledger::{compare, Ledger};
+    let read = |path: &str| -> Result<Ledger> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read ledger `{path}`: {e}"))?;
+        Ok(Ledger::parse(&text).map_err(|e| format!("bad ledger `{path}`: {e}"))?)
+    };
+    let old = read(old_path)?;
+    let new = read(new_path)?;
+    let report = compare(&old, &new, tolerance);
+    print!("{report}");
+    if !report.passed() {
+        return Err(format!(
+            "throughput regression: {} cells beyond {:.0}% tolerance, {} missing",
+            report.regressions(),
+            tolerance * 100.0,
+            report.missing.len()
+        )
+        .into());
+    }
+    Ok(())
 }
 
 fn lookup(name: &str) -> Result<Workload> {
@@ -96,11 +172,7 @@ fn measure(workload: &Workload, core: CoreChoice, perf: Perf) -> Result<PerfRepo
             perf.run(&mut c)?
         }
         CoreChoice::Boom(size) => {
-            let mut c = Boom::new(
-                BoomConfig::for_size(size),
-                stream,
-                workload.program().clone(),
-            );
+            let mut c = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             perf.run(&mut c)?
         }
     };
@@ -247,7 +319,9 @@ fn campaign(cmd: Command) -> Result<()> {
 
 /// Restores the panic hook it displaced when dropped, so injected-fault
 /// runs can't leave the process with a silenced hook on any exit path.
-struct PanicHookGuard(Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>>);
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+
+struct PanicHookGuard(Option<PanicHook>);
 
 impl PanicHookGuard {
     fn silence() -> PanicHookGuard {
@@ -636,11 +710,7 @@ fn profile(name: &str, core: CoreChoice, period: u64, event: Option<EventId>) ->
             run(&mut c)?
         }
         CoreChoice::Boom(size) => {
-            let mut c = Boom::new(
-                BoomConfig::for_size(size),
-                stream,
-                workload.program().clone(),
-            );
+            let mut c = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             run(&mut c)?
         }
     };

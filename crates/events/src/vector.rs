@@ -19,6 +19,9 @@ pub const MAX_LANES: usize = 16;
 pub struct EventVector {
     counts: [u16; EventId::COUNT],
     lanes: [u16; EventId::COUNT],
+    /// Bit `e as usize` set iff `counts[e] > 0`: lets consumers skip the
+    /// quiet events without scanning all of `EventId::ALL` every cycle.
+    active: u32,
 }
 
 impl Default for EventVector {
@@ -33,6 +36,7 @@ impl EventVector {
         EventVector {
             counts: [0; EventId::COUNT],
             lanes: [0; EventId::COUNT],
+            active: 0,
         }
     }
 
@@ -40,17 +44,23 @@ impl EventVector {
     pub fn clear(&mut self) {
         self.counts = [0; EventId::COUNT];
         self.lanes = [0; EventId::COUNT];
+        self.active = 0;
     }
 
     /// Asserts a scalar event once.
     pub fn raise(&mut self, event: EventId) {
         self.counts[event as usize] += 1;
+        self.active |= 1 << event as u32;
     }
 
     /// Asserts a scalar event `n` times (e.g. multiple flushes retired in
     /// one commit group).
     pub fn raise_n(&mut self, event: EventId, n: u16) {
+        if n == 0 {
+            return;
+        }
         self.counts[event as usize] += n;
+        self.active |= 1 << event as u32;
     }
 
     /// Asserts a per-lane event on `lane`.
@@ -69,6 +79,41 @@ impl EventVector {
         );
         self.lanes[event as usize] |= bit;
         self.counts[event as usize] += 1;
+        self.active |= 1 << event as u32;
+    }
+
+    /// Asserts `count` contiguous lanes of `event` starting at `first`,
+    /// in one batched update.
+    ///
+    /// Equivalent to calling [`raise_lane`](EventVector::raise_lane) for
+    /// each lane in `first..first + count`, but with a single
+    /// overlap/range check and one count addition — core models raise
+    /// whole issue or commit groups per cycle, and dispatching them
+    /// lane-by-lane is measurable on the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span reaches past `MAX_LANES` or overlaps a lane
+    /// already asserted this cycle.
+    pub fn raise_lane_span(&mut self, event: EventId, first: usize, count: usize) {
+        if count == 0 {
+            return;
+        }
+        assert!(
+            first + count <= MAX_LANES,
+            "lane span {first}..{} out of range",
+            first + count
+        );
+        let bits = (((1u32 << count) - 1) << first) as u16;
+        assert_eq!(
+            self.lanes[event as usize] & bits,
+            0,
+            "lane span {first}..{} of {event} overlaps lanes already asserted this cycle",
+            first + count
+        );
+        self.lanes[event as usize] |= bits;
+        self.counts[event as usize] += count as u16;
+        self.active |= 1 << event as u32;
     }
 
     /// Number of assertions of `event` this cycle (lanes + scalar raises).
@@ -90,6 +135,16 @@ impl EventVector {
     /// The raw lane mask of `event`.
     pub fn lane_mask(&self, event: EventId) -> u16 {
         self.lanes[event as usize]
+    }
+
+    /// Bitmask of events asserted this cycle (bit `e as usize` per event).
+    ///
+    /// The hot measurement loop touches this vector once per simulated
+    /// cycle per counter slot; the mask lets the PMU and the perfect
+    /// accumulator visit only the handful of live events instead of
+    /// scanning all of [`EventId::ALL`].
+    pub fn active_events(&self) -> u32 {
+        self.active
     }
 }
 
@@ -122,8 +177,11 @@ impl EventCounts {
     /// Folds one cycle's vector into the totals.
     pub fn observe(&mut self, vector: &EventVector) {
         self.cycles_observed += 1;
-        for e in EventId::ALL {
-            self.totals[e as usize] += vector.count(e) as u64;
+        let mut live = vector.active_events();
+        while live != 0 {
+            let idx = live.trailing_zeros() as usize;
+            live &= live - 1;
+            self.totals[idx] += vector.counts[idx] as u64;
         }
     }
 

@@ -282,7 +282,16 @@ impl Op {
     ///
     /// Reads of `x0` are omitted: they never stall.
     pub fn srcs(&self) -> Vec<RegId> {
-        let mut out: Vec<RegId> = Vec::with_capacity(2);
+        self.src_list().as_slice().to_vec()
+    }
+
+    /// The source registers as a fixed-capacity inline list.
+    ///
+    /// Identical contents to [`srcs`](Op::srcs) (reads of `x0` omitted)
+    /// without the heap allocation — the pipeline models walk every
+    /// instruction's sources on the simulation hot path.
+    pub fn src_list(&self) -> SrcList {
+        let mut out = SrcList::new();
         let mut push_int = |r: Reg| {
             if !r.is_zero() {
                 out.push(r.into());
@@ -327,6 +336,60 @@ impl Op {
             Op::FpToInt { rs1, .. } => out.push(rs1.into()),
         }
         out
+    }
+}
+
+/// A fixed-capacity inline list of source registers.
+///
+/// Every RISC-V operation reads at most two registers, so the list never
+/// spills; it exists so the cores' dependence tracking does not allocate
+/// per decoded instruction.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SrcList {
+    regs: [RegId; 2],
+    len: u8,
+}
+
+impl SrcList {
+    fn new() -> SrcList {
+        SrcList {
+            regs: [RegId::from(Reg::ZERO); 2],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, r: RegId) {
+        self.regs[self.len as usize] = r;
+        self.len += 1;
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the operation reads no registers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The sources as a slice.
+    pub fn as_slice(&self) -> &[RegId] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Iterates over the sources.
+    pub fn iter(&self) -> std::slice::Iter<'_, RegId> {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SrcList {
+    type Item = &'a RegId;
+    type IntoIter = std::slice::Iter<'a, RegId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 

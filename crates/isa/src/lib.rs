@@ -47,7 +47,9 @@ mod reg;
 
 pub use dynamic::{BranchInfo, DynInstr, DynStream, MemAccess};
 pub use error::IsaError;
-pub use instr::{AluKind, AmoKind, BranchKind, FpKind, Instr, InstrClass, MemWidth, Op, Src2};
+pub use instr::{
+    AluKind, AmoKind, BranchKind, FpKind, Instr, InstrClass, MemWidth, Op, Src2, SrcList,
+};
 pub use interp::Interpreter;
 pub use memory::Memory;
 pub use program::{Program, ProgramBuilder, DATA_BASE, TEXT_BASE};

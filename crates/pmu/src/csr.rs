@@ -120,6 +120,10 @@ struct Slot {
     config: HpmConfig,
     state: SlotState,
     inhibit: bool,
+    /// Bit `e as usize` set for every selected event: the selection is
+    /// fixed at configure time, so `tick` matches it against the cycle's
+    /// active-event mask instead of re-walking the event set per cycle.
+    selected: u32,
     /// Overflow sampling: fire when the value crosses the next multiple
     /// of the period.
     overflow_period: Option<u64>,
@@ -188,10 +192,15 @@ impl CsrFile {
             CounterArch::AddWires => SlotState::AddWires(AddWiresCounter::new(sources)),
             CounterArch::Distributed => SlotState::Distributed(DistributedCounter::new(sources)),
         };
+        let mut selected = 0u32;
+        for event in config.selection.events() {
+            selected |= 1 << event as u32;
+        }
         self.slots[counter] = Some(Slot {
             config: HpmConfig { sources, ..config },
             state,
             inhibit: true,
+            selected,
             overflow_period: None,
             next_overflow: u64::MAX,
             overflow_pending: false,
@@ -317,20 +326,24 @@ impl CsrFile {
     pub fn tick(&mut self, vector: &EventVector) {
         self.mcycle += 1;
         self.minstret += vector.count(EventId::InstrRetired) as u64;
+        let active = vector.active_events();
         for slot in self.slots.iter_mut().flatten() {
             if slot.inhibit {
                 continue;
             }
+            // Only the selected events that actually fired this cycle can
+            // contribute an increment; the rest OR in nothing.
+            let live = slot.selected & active;
             match &mut slot.state {
                 SlotState::Stock { value } => {
                     // §II-A: concurrent selected events increment by one.
-                    if slot.config.selection.events().any(|e| vector.is_set(e)) {
+                    if live != 0 {
                         *value += 1;
                     }
                 }
-                SlotState::Scalar(bank) => bank.tick(combined_mask(&slot.config, vector)),
-                SlotState::AddWires(c) => c.tick(combined_mask(&slot.config, vector)),
-                SlotState::Distributed(c) => c.tick(combined_mask(&slot.config, vector)),
+                SlotState::Scalar(bank) => bank.tick(live_mask(live, &slot.config, vector)),
+                SlotState::AddWires(c) => c.tick(live_mask(live, &slot.config, vector)),
+                SlotState::Distributed(c) => c.tick(live_mask(live, &slot.config, vector)),
             }
             if let Some(period) = slot.overflow_period {
                 let value = match &slot.state {
@@ -350,14 +363,20 @@ impl CsrFile {
     }
 }
 
-/// ORs the lane masks of every selected event into one per-source mask.
+/// ORs the lane masks of every selected-and-asserted event into one
+/// per-source mask.
 ///
 /// Events with plain (scalar) assertions map onto the low lanes, padded to
 /// the slot's source width — the "pad the smaller increment signal" case
-/// the paper describes for add-wires with mixed-width events.
-fn combined_mask(config: &HpmConfig, vector: &EventVector) -> u16 {
+/// the paper describes for add-wires with mixed-width events. `live` is
+/// the slot's selection restricted to this cycle's active events; quiet
+/// events contribute an all-zero mask either way, so skipping them is
+/// exact.
+fn live_mask(mut live: u32, config: &HpmConfig, vector: &EventVector) -> u16 {
     let mut mask = 0u16;
-    for event in config.selection.events() {
+    while live != 0 {
+        let event = EventId::ALL[live.trailing_zeros() as usize];
+        live &= live - 1;
         let lanes = vector.lane_mask(event);
         if lanes != 0 {
             mask |= lanes;

@@ -367,7 +367,7 @@ impl Rocket {
         let d = *self.dyn_at(seq);
 
         // Operand interlocks.
-        for src in d.op.srcs() {
+        for &src in d.op.src_list().as_slice() {
             if self.scoreboard[src.index()] > self.cycle {
                 match self.producer[src.index()] {
                     Some(InstrClass::Load | InstrClass::FpLoad) => {

@@ -189,7 +189,7 @@ impl SocBuilder {
         let stream = workload.execute()?;
         let mem = MemoryHierarchy::with_shared_l2(config.memory, self.shared_l2.clone())
             .with_address_salt(self.next_salt());
-        let core = Boom::with_memory(config, stream, workload.program().clone(), mem);
+        let core = Boom::with_memory(config, stream, workload.program_arc(), mem);
         let (csr, slot_map) = Perf::program_all_events(&core, CounterArch::AddWires)?;
         self.cores.push(SocCore {
             core: Box::new(core),

@@ -154,7 +154,7 @@ pub fn diff_workload(
     let stream = workload
         .execute()
         .map_err(|e| format!("architectural execution failed: {e}"))?;
-    let mut core = Boom::new(config, stream, workload.program().clone());
+    let mut core = Boom::new(config, stream, workload.program_arc());
     let events = [
         (EventId::UopsIssued, core.issue_width()),
         (EventId::UopsRetired, core.commit_width()),

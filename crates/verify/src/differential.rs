@@ -178,11 +178,7 @@ pub fn verify_workload(
             verify_run(&mut core, cell, flat_bound)
         }
         CoreSelect::Boom(size) => {
-            let mut core = Boom::new(
-                BoomConfig::for_size(size),
-                stream,
-                workload.program().clone(),
-            );
+            let mut core = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             verify_run(&mut core, cell, flat_bound)
         }
     }

@@ -1,12 +1,18 @@
 //! The workload wrapper type.
 
+use std::sync::Arc;
+
 use icicle_isa::{DynStream, Interpreter, IsaError, Program};
 
 /// A named, ready-to-run benchmark program.
+///
+/// The program image is reference-counted: benchmark harnesses build a
+/// core per measurement repeat, and sharing one [`Arc`] keeps those
+/// repeats from copying the text and data image every time.
 #[derive(Clone, Debug)]
 pub struct Workload {
     name: String,
-    program: Program,
+    program: Arc<Program>,
     max_instrs: u64,
 }
 
@@ -15,7 +21,7 @@ impl Workload {
     pub fn new(name: impl Into<String>, program: Program, max_instrs: u64) -> Workload {
         Workload {
             name: name.into(),
-            program,
+            program: Arc::new(program),
             max_instrs,
         }
     }
@@ -28,6 +34,12 @@ impl Workload {
     /// The program text and data image.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// A shared handle to the program — pass this to core constructors
+    /// to avoid cloning the whole image per run.
+    pub fn program_arc(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
     }
 
     /// Architecturally executes the workload.

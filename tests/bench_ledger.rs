@@ -1,0 +1,139 @@
+//! Integration tests of the benchmark ledger: the canonical JSON is
+//! byte-stable in its non-timing fields, `compare` implements the CI
+//! perf-regression gate's semantics, and the serialized schema matches
+//! the golden snapshot under `tests/golden/` (regenerate with
+//! `ICICLE_UPDATE_GOLDEN=1`).
+
+use std::path::Path;
+
+use icicle::verify::compare_or_update;
+use icicle_bench::ledger::{compare, measure_cell, Ledger, LedgerCell, LedgerOptions, SCHEMA};
+use icicle_campaign::CoreSelect;
+use icicle_pmu::CounterArch;
+
+/// A ledger with fully pinned values: nothing in it depends on the
+/// machine, build profile, or wall clock, so its rendering is stable.
+fn fixed_ledger() -> Ledger {
+    Ledger {
+        package: "0.1.0".to_string(),
+        profile: "release".to_string(),
+        debug_assertions: false,
+        host_os: "linux".to_string(),
+        host_arch: "x86_64".to_string(),
+        warmup: 1,
+        repeats: 3,
+        cells: vec![
+            LedgerCell {
+                workload: "vvadd".to_string(),
+                core: "rocket".to_string(),
+                arch: "add-wires".to_string(),
+                cycles: 150_119,
+                instret: 49_160,
+                repeats: 3,
+                wall_ms: 20.5,
+                cycles_per_sec: 7_322_878.048780,
+                insts_per_sec: 2_398_048.780488,
+                baseline_cycles_per_sec: None,
+            },
+            LedgerCell {
+                workload: "coremark".to_string(),
+                core: "medium-boom".to_string(),
+                arch: "distributed".to_string(),
+                cycles: 8_532,
+                instret: 9_795,
+                repeats: 3,
+                wall_ms: 3.0,
+                cycles_per_sec: 2_844_000.0,
+                insts_per_sec: 3_265_000.0,
+                baseline_cycles_per_sec: Some(262_000.0),
+            },
+        ],
+    }
+}
+
+#[test]
+fn canonical_json_round_trips_byte_for_byte() {
+    let ledger = fixed_ledger();
+    let rendered = ledger.to_json();
+    assert!(rendered.starts_with('{'), "canonical JSON is an object");
+    assert!(rendered.ends_with('\n'), "canonical JSON ends in a newline");
+    assert!(rendered.contains(SCHEMA), "schema tag embedded");
+    let reparsed = Ledger::parse(&rendered).expect("own output parses");
+    assert_eq!(
+        reparsed.to_json(),
+        rendered,
+        "parse → render must be the identity on canonical JSON"
+    );
+}
+
+#[test]
+fn parse_rejects_foreign_schemas() {
+    let mut text = fixed_ledger().to_json();
+    text = text.replace(SCHEMA, "someone-elses-ledger/v9");
+    let err = Ledger::parse(&text).expect_err("schema mismatch must fail");
+    assert!(err.contains("schema"), "error names the schema: {err}");
+}
+
+#[test]
+fn measured_cells_are_deterministic_in_non_timing_fields() {
+    let options = LedgerOptions {
+        warmup: 0,
+        repeats: 2,
+        ..LedgerOptions::default()
+    };
+    let a = measure_cell("vvadd", CoreSelect::Rocket, CounterArch::AddWires, &options)
+        .expect("vvadd on rocket/add-wires measures");
+    let b = measure_cell("vvadd", CoreSelect::Rocket, CounterArch::AddWires, &options)
+        .expect("vvadd on rocket/add-wires measures");
+    // Wall time varies run to run; the simulation itself must not.
+    assert_eq!(a.key(), b.key());
+    assert_eq!(a.cycles, b.cycles, "cycle count is architectural");
+    assert_eq!(a.instret, b.instret, "instret is architectural");
+    assert!(a.cycles > 0 && a.instret > 0);
+    assert!(a.wall_ms > 0.0 && a.cycles_per_sec > 0.0);
+}
+
+#[test]
+fn compare_flags_regressions_and_missing_cells() {
+    let old = fixed_ledger();
+
+    // Identical ledgers pass at any tolerance.
+    let same = compare(&old, &old, 0.0);
+    assert!(same.passed(), "identical ledgers must pass");
+    assert_eq!(same.regressions(), 0);
+
+    // A cell slowed beyond tolerance fails; within tolerance passes.
+    let mut slower = fixed_ledger();
+    slower.cells[0].cycles_per_sec *= 0.5;
+    assert!(!compare(&old, &slower, 0.40).passed(), "50% drop > 40% tol");
+    assert!(compare(&old, &slower, 0.60).passed(), "50% drop < 60% tol");
+
+    // Speedups never fail the gate.
+    let mut faster = fixed_ledger();
+    for c in &mut faster.cells {
+        c.cycles_per_sec *= 10.0;
+    }
+    assert!(compare(&old, &faster, 0.10).passed());
+
+    // A cell present in the baseline but absent from the new run fails.
+    let mut shrunk = fixed_ledger();
+    shrunk.cells.pop();
+    let report = compare(&old, &shrunk, 0.40);
+    assert!(!report.passed(), "missing cells must fail the gate");
+    assert_eq!(report.missing.len(), 1);
+
+    // Counter drift is surfaced but is the verify suite's job to fail.
+    let mut drifted = fixed_ledger();
+    drifted.cells[0].cycles += 1;
+    let report = compare(&old, &drifted, 0.40);
+    assert!(report.rows.iter().any(|r| r.counters_drifted));
+}
+
+#[test]
+fn ledger_schema_matches_golden_snapshot() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/bench_ledger_schema.json");
+    match compare_or_update(&path, &fixed_ledger().to_json()) {
+        Ok(_) => {}
+        Err(msg) => panic!("{msg}"),
+    }
+}
