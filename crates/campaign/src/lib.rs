@@ -35,11 +35,15 @@ pub mod cache;
 pub mod checkpoint;
 pub mod error;
 pub mod fingerprint;
-pub mod json;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod sync;
+
+// The canonical JSON module moved down into `icicle-obs` so the
+// observability layer can sit below every harness crate; the re-export
+// keeps `icicle_campaign::json::Json` paths working.
+pub use icicle_obs::json;
 
 pub use cache::ResultCache;
 pub use checkpoint::CheckpointLog;

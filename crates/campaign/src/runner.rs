@@ -34,6 +34,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use icicle_boom::{Boom, BoomConfig};
 use icicle_faults::FaultInjector;
+use icicle_obs::{self as obs, MetricsRegistry};
 use icicle_perf::{Perf, PerfOptions};
 use icicle_rocket::{Rocket, RocketConfig};
 use icicle_workloads as workloads;
@@ -182,6 +183,12 @@ pub struct RunOptions {
     /// Deterministic fault-injection plan, exercised by the `faults`
     /// subcommand and the resilience test-suite.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Metrics registry for this run's counters (cells by provenance,
+    /// cache hits/misses, retries, checkpoint writes, a cell-cycles
+    /// histogram). `None` (the default) records nothing. Every recorded
+    /// quantity is deterministic, so a snapshot is byte-identical at any
+    /// `jobs` count.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for RunOptions {
@@ -195,6 +202,7 @@ impl Default for RunOptions {
             checkpoint: None,
             resume: false,
             faults: None,
+            metrics: None,
         }
     }
 }
@@ -231,6 +239,13 @@ struct CellOutcome {
 pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport {
     let cells = spec.cells();
     let total = cells.len();
+    let _run_span = obs::span_with(obs::Level::Info, "campaign.run", || {
+        vec![
+            ("name", spec.name.as_str().into()),
+            ("cells", total.into()),
+            ("jobs", options.jobs.max(1).into()),
+        ]
+    });
     let queue = JobQueue::new();
     for index in 0..total {
         queue.push(index);
@@ -251,6 +266,9 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
             scope.spawn(|| {
                 while let Some(index) = queue.pop() {
                     let cell = &cells[index];
+                    let _cell_span = obs::span_with(obs::Level::Info, "campaign.cell", || {
+                        vec![("cell", cell.label().into()), ("index", index.into())]
+                    });
                     let mut outcome = run_one_cell(cell, index, options);
                     if let Some(injector) = options.faults.as_deref() {
                         if injector.should_poison_lock(index, 1) {
@@ -330,11 +348,22 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
             skipped: skipped.into_inner(),
         },
     };
+    let cycles_histogram = options.metrics.as_deref().map(|m| {
+        m.histogram(
+            "campaign.cell_cycles",
+            &[1_000, 10_000, 100_000, 1_000_000, 10_000_000],
+        )
+    });
     for (slot, cell) in slots.into_iter().zip(&cells) {
         let outcome = into_inner_unpoisoned(slot)
             .expect("every submitted job produced an outcome (runner invariant)");
         match outcome.result {
-            Ok(result) => report.cells.push(result),
+            Ok(result) => {
+                if let Some(histogram) = &cycles_histogram {
+                    histogram.observe(result.cycles);
+                }
+                report.cells.push(result)
+            }
             Err(CellError::Skipped) => report.skipped.push(cell.label()),
             Err(error) => report.failures.push(CellFailure {
                 label: cell.label(),
@@ -344,6 +373,24 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
             }),
         }
         report.incidents.extend(outcome.incidents);
+    }
+    if let Some(metrics) = options.metrics.as_deref() {
+        metrics.counter("campaign.cells.total").add(total as u64);
+        metrics
+            .counter("campaign.cells.simulated")
+            .add(report.stats.simulated as u64);
+        metrics
+            .counter("campaign.cells.cached")
+            .add(report.stats.cached as u64);
+        metrics
+            .counter("campaign.cells.resumed")
+            .add(report.stats.resumed as u64);
+        metrics
+            .counter("campaign.cells.failed")
+            .add(report.stats.failed as u64);
+        metrics
+            .counter("campaign.cells.skipped")
+            .add(report.stats.skipped as u64);
     }
     report
 }
@@ -387,16 +434,29 @@ fn run_one_cell(cell: &CellSpec, index: usize, options: &RunOptions) -> CellOutc
         }
     }
 
-    if let Some(hit) = options.cache.as_ref().and_then(|cache| cache.get(fp)) {
-        let mut hit = hit;
-        hit.from_cache = true;
-        checkpoint_cell(fp, cell, index, options, &mut incidents);
-        return CellOutcome {
-            result: Ok(hit),
-            provenance: Provenance::Cached,
-            attempts: 0,
-            incidents,
-        };
+    if let Some(cache) = options.cache.as_ref() {
+        if let Some(mut hit) = cache.get(fp) {
+            hit.from_cache = true;
+            obs::event_with(obs::Level::Debug, "campaign.cache.hit", || {
+                vec![("cell", cell.label().into())]
+            });
+            if let Some(metrics) = options.metrics.as_deref() {
+                metrics.counter("campaign.cache.hits").inc();
+            }
+            checkpoint_cell(fp, cell, index, options, &mut incidents);
+            return CellOutcome {
+                result: Ok(hit),
+                provenance: Provenance::Cached,
+                attempts: 0,
+                incidents,
+            };
+        }
+        obs::event_with(obs::Level::Debug, "campaign.cache.miss", || {
+            vec![("cell", cell.label().into())]
+        });
+        if let Some(metrics) = options.metrics.as_deref() {
+            metrics.counter("campaign.cache.misses").inc();
+        }
     }
 
     let (result, attempts) = supervised_simulate(cell, index, fp, options, &mut incidents);
@@ -449,6 +509,16 @@ fn supervised_simulate(
         match outcome {
             Ok(result) => return (Ok(result), attempt),
             Err(error) if error.retryable() && attempt <= options.retries => {
+                obs::event_with(obs::Level::Warn, "campaign.retry", || {
+                    vec![
+                        ("cell", cell.label().into()),
+                        ("attempt", attempt.into()),
+                        ("kind", error.kind().into()),
+                    ]
+                });
+                if let Some(metrics) = options.metrics.as_deref() {
+                    metrics.counter("campaign.retries").inc();
+                }
                 let steps = retry_backoff(fp, attempt);
                 incidents.push(Incident {
                     label: cell.label(),
@@ -478,6 +548,12 @@ fn checkpoint_cell(
         return;
     };
     checkpoint.record(fp);
+    obs::event_with(obs::Level::Debug, "campaign.checkpoint.write", || {
+        vec![("cell", cell.label().into())]
+    });
+    if let Some(metrics) = options.metrics.as_deref() {
+        metrics.counter("campaign.checkpoint.writes").inc();
+    }
     if let Some(injector) = options.faults.as_deref() {
         if injector.should_truncate_report(index, 1) {
             truncate_tail(checkpoint.path(), 5);

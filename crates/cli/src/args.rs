@@ -10,10 +10,20 @@ icicle-tma — Top-Down Microarchitectural Analysis on simulated RISC-V cores
 USAGE:
     icicle-tma <COMMAND> [OPTIONS]
 
+GLOBAL OPTIONS:
+    --log-level <LEVEL[:PATH]>
+                             Structured-log verbosity (error | warn | info |
+                             debug | trace | off) and optional JSONL sink
+                             path; stderr when PATH is omitted. The
+                             ICICLE_LOG environment variable is the same
+                             spec with lower precedence. [default: off]
+
 COMMANDS:
     list                     List available workloads and cores
     tma                      Run a workload and print its TMA breakdown
     trace                    Run with tracing and print an event timeline
+    trace export             Export one cell's cycle timeline as Chrome
+                             trace_events JSON (open in ui.perfetto.dev)
     lanes                    Print per-lane event rates (Table V style)
     counters                 Compare counter implementations on one run
     disasm                   Print a workload's disassembly
@@ -44,6 +54,8 @@ OPTIONS (campaign):
                              (needs the disk cache)
     --json                   Emit the aggregate report as JSON
     --csv                    Emit the aggregate report as CSV
+    --metrics-out <PATH>     Write the run's metrics-registry snapshot
+                             (campaign.* counters, sim cycle tallies) here
 
 OPTIONS (faults):
     --seed <S>               Fault-plan master seed [default: 0]
@@ -63,19 +75,29 @@ OPTIONS (verify):
     --jobs <N>               Worker threads for --matrix [default: 1]
     --report <PATH>          Also write the JSON divergence report here
     --json                   Emit the report as JSON on stdout
+    --metrics-out <PATH>     Write the run's metrics-registry snapshot here
 
 OPTIONS (bench):
-    --json <PATH>            Write the throughput ledger here (canonical
-                             JSON; print-only when omitted)
+    --json [PATH]            Emit the ledger as canonical JSON on stdout
+                             (the human table moves to stderr); with a
+                             PATH, also write the ledger there
     --baseline <PATH>        Embed per-cell baseline/speedup fields from
                              an earlier ledger
     --warmup <N>             Untimed runs per cell [default: 1]
-    --repeats <N>            Timed runs per cell; the median is reported
+    --repeats <N>            Timed runs per cell; the best (minimum) is reported
                              [default: 3]
     --compare <OLD> <NEW>    Gate NEW against OLD instead of measuring;
                              exits nonzero on regression or missing cells
     --tolerance <PCT>        Allowed cycles/sec regression in percent
                              [default: 10]
+    --metrics-out <PATH>     Write the run's metrics-registry snapshot here
+
+OPTIONS (trace export):
+    --cell <W/C/A>           The cell to export, as workload/core/arch,
+                             e.g. vvadd/rocket/add-wires [required]
+    --out <PATH>             Write the trace_events document here
+                             (stdout when omitted)
+    --window <CYCLES>        Keep only the last N cycles of the trace
 
 OPTIONS (tma / trace / lanes / counters):
     --workload <NAME>        Workload name from `icicle-tma list` [required]
@@ -97,10 +119,10 @@ OPTIONS (soc):
                              e.g. --pair qsort:rocket --pair 505.mcf_r:large-boom
 ";
 
-/// Which core model to run. This is the campaign engine's
-/// [`CoreSelect`](icicle::campaign::CoreSelect) under its historical CLI
-/// name, so the two layers parse and print core names identically.
-pub use icicle::campaign::CoreSelect as CoreChoice;
+/// Which core model to run. The CLI shares the campaign engine's
+/// [`CoreSelect`](icicle::campaign::CoreSelect) directly, so the two
+/// layers parse and print core names identically.
+pub use icicle::campaign::CoreSelect;
 
 /// A parsed command line.
 #[derive(Clone, PartialEq, Debug)]
@@ -119,6 +141,7 @@ pub enum Command {
         resume: bool,
         json: bool,
         csv: bool,
+        metrics_out: Option<String>,
     },
     Faults {
         seed: u64,
@@ -129,23 +152,32 @@ pub enum Command {
     },
     Tma {
         workload: String,
-        core: CoreChoice,
+        core: CoreSelect,
         arch: icicle::prelude::CounterArch,
         json: bool,
     },
     Trace {
         workload: String,
-        core: CoreChoice,
+        core: CoreSelect,
         window: u64,
         start: Option<u64>,
     },
+    /// `trace export`: one cell's cycle timeline as Chrome trace_events.
+    TraceExport {
+        /// `workload/core/arch`, resolved by the command implementation.
+        cell: String,
+        /// Output path; stdout when absent.
+        out: Option<String>,
+        /// Keep only the last N cycles of the trace.
+        window: Option<u64>,
+    },
     Lanes {
         workload: String,
-        core: CoreChoice,
+        core: CoreSelect,
     },
     Counters {
         workload: String,
-        core: CoreChoice,
+        core: CoreSelect,
     },
     Disasm {
         workload: String,
@@ -155,12 +187,12 @@ pub enum Command {
     },
     Profile {
         workload: String,
-        core: CoreChoice,
+        core: CoreSelect,
         period: u64,
         event: Option<icicle::events::EventId>,
     },
     Soc {
-        pairs: Vec<(String, CoreChoice)>,
+        pairs: Vec<(String, CoreSelect)>,
     },
     Verify {
         matrix: bool,
@@ -171,15 +203,20 @@ pub enum Command {
         jobs: usize,
         report: Option<String>,
         json: bool,
+        metrics_out: Option<String>,
     },
     /// Measure simulator throughput over the fixed grid.
     Bench {
-        /// Write the ledger to this path (always printed as a table).
-        json: Option<String>,
+        /// Emit the ledger as canonical JSON on stdout (the human table
+        /// moves to stderr).
+        json: bool,
+        /// Also write the ledger to this path.
+        json_path: Option<String>,
         /// Embed baseline/speedup fields from this earlier ledger.
         baseline: Option<String>,
         warmup: u32,
         repeats: u32,
+        metrics_out: Option<String>,
     },
     /// Gate a new ledger against an old one.
     BenchCompare {
@@ -209,21 +246,21 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
 
 struct Options {
     workload: Option<String>,
-    core: CoreChoice,
+    core: CoreSelect,
     arch: icicle::prelude::CounterArch,
     window: u64,
     start: Option<u64>,
     json: bool,
     period: u64,
     event: Option<icicle::events::EventId>,
-    pairs: Vec<(String, CoreChoice)>,
+    pairs: Vec<(String, CoreSelect)>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, ParseError> {
     use icicle::prelude::{BoomSize, CounterArch};
     let mut opts = Options {
         workload: None,
-        core: CoreChoice::Boom(BoomSize::Large),
+        core: CoreSelect::Boom(BoomSize::Large),
         arch: CounterArch::AddWires,
         window: 64,
         start: None,
@@ -242,7 +279,7 @@ fn parse_options(args: &[String]) -> Result<Options, ParseError> {
             "--workload" | "-w" => opts.workload = Some(value()?.clone()),
             "--core" | "-c" => {
                 let name = value()?;
-                opts.core = CoreChoice::from_name(name)
+                opts.core = CoreSelect::from_name(name)
                     .ok_or_else(|| ParseError(format!("unknown core `{name}`")))?;
             }
             "--arch" | "-a" => {
@@ -287,7 +324,7 @@ fn parse_options(args: &[String]) -> Result<Options, ParseError> {
                 let (w, c) = v.split_once(':').ok_or_else(|| {
                     ParseError(format!("--pair expects workload:core, got `{v}`"))
                 })?;
-                let core = CoreChoice::from_name(c)
+                let core = CoreSelect::from_name(c)
                     .ok_or_else(|| ParseError(format!("unknown core `{c}`")))?;
                 opts.pairs.push((w.to_string(), core));
             }
@@ -307,6 +344,7 @@ fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
     let mut resume = false;
     let mut json = false;
     let mut csv = false;
+    let mut metrics_out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = || -> Result<&String, ParseError> {
@@ -333,6 +371,7 @@ fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
             "--resume" => resume = true,
             "--json" => json = true,
             "--csv" => csv = true,
+            "--metrics-out" => metrics_out = Some(value()?.clone()),
             other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
             other => return err(format!("unknown option `{other}`")),
         }
@@ -353,6 +392,7 @@ fn parse_campaign(args: &[String]) -> Result<Command, ParseError> {
         resume,
         json,
         csv,
+        metrics_out,
     })
 }
 
@@ -405,6 +445,7 @@ fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
     let mut jobs = 1usize;
     let mut report = None;
     let mut json = false;
+    let mut metrics_out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = || -> Result<&String, ParseError> {
@@ -446,6 +487,7 @@ fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
             }
             "--report" => report = Some(value()?.clone()),
             "--json" => json = true,
+            "--metrics-out" => metrics_out = Some(value()?.clone()),
             other => return err(format!("unknown option `{other}`")),
         }
     }
@@ -462,17 +504,20 @@ fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
         jobs,
         report,
         json,
+        metrics_out,
     })
 }
 
 fn parse_bench(args: &[String]) -> Result<Command, ParseError> {
-    let mut json = None;
+    let mut json = false;
+    let mut json_path = None;
     let mut baseline = None;
     let mut warmup = 1u32;
     let mut repeats = 3u32;
     let mut compare: Option<(String, String)> = None;
     let mut tolerance = 0.10f64;
     let mut saw_tolerance = false;
+    let mut metrics_out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = || -> Result<&String, ParseError> {
@@ -480,7 +525,15 @@ fn parse_bench(args: &[String]) -> Result<Command, ParseError> {
                 .ok_or_else(|| ParseError(format!("missing value for {arg}")))
         };
         match arg.as_str() {
-            "--json" => json = Some(value()?.clone()),
+            "--json" => {
+                json = true;
+                // The PATH is optional: a bare `--json` just switches
+                // stdout to canonical JSON.
+                if let Some(path) = it.clone().next().filter(|v| !v.starts_with('-')) {
+                    json_path = Some(path.clone());
+                    it.next();
+                }
+            }
             "--baseline" => baseline = Some(value()?.clone()),
             "--warmup" => {
                 warmup = value()?
@@ -513,11 +566,12 @@ fn parse_bench(args: &[String]) -> Result<Command, ParseError> {
                 tolerance = pct / 100.0;
                 saw_tolerance = true;
             }
+            "--metrics-out" => metrics_out = Some(value()?.clone()),
             other => return err(format!("unknown option `{other}`")),
         }
     }
     if let Some((old, new)) = compare {
-        if json.is_some() || baseline.is_some() {
+        if json || baseline.is_some() {
             return err("--compare does not measure; drop --json/--baseline");
         }
         Ok(Command::BenchCompare {
@@ -530,11 +584,46 @@ fn parse_bench(args: &[String]) -> Result<Command, ParseError> {
     } else {
         Ok(Command::Bench {
             json,
+            json_path,
             baseline,
             warmup,
             repeats,
+            metrics_out,
         })
     }
+}
+
+fn parse_trace_export(args: &[String]) -> Result<Command, ParseError> {
+    let mut cell = None;
+    let mut out = None;
+    let mut window = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--cell" => cell = Some(value()?.clone()),
+            "--out" => out = Some(value()?.clone()),
+            "--window" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--window expects a number".into()))?;
+                if n == 0 {
+                    return err("--window must be non-zero");
+                }
+                window = Some(n);
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Command::TraceExport {
+        cell: cell
+            .ok_or_else(|| ParseError("trace export needs --cell workload/core/arch".into()))?,
+        out,
+        window,
+    })
 }
 
 fn required_workload(opts: &Options) -> Result<String, ParseError> {
@@ -601,6 +690,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Soc { pairs: opts.pairs })
         }
+        "trace" if rest.first().map(String::as_str) == Some("export") => {
+            parse_trace_export(&rest[1..])
+        }
         "trace" => {
             let opts = parse_options(rest)?;
             Ok(Command::Trace {
@@ -644,7 +736,7 @@ mod tests {
             cmd,
             Command::Tma {
                 workload: "qsort".into(),
-                core: CoreChoice::Boom(BoomSize::Large),
+                core: CoreSelect::Boom(BoomSize::Large),
                 arch: CounterArch::AddWires,
                 json: false,
             }
@@ -656,7 +748,7 @@ mod tests {
         let cmd = parse(&argv("tma -w mcf -c rocket -a distributed")).unwrap();
         match cmd {
             Command::Tma { core, arch, .. } => {
-                assert_eq!(core, CoreChoice::Rocket);
+                assert_eq!(core, CoreSelect::Rocket);
                 assert_eq!(arch, CounterArch::Distributed);
             }
             other => panic!("unexpected {other:?}"),
@@ -714,10 +806,10 @@ mod tests {
         match parse(&argv("soc --pair qsort:rocket --pair mergesort:large-boom")).unwrap() {
             Command::Soc { pairs } => {
                 assert_eq!(pairs.len(), 2);
-                assert_eq!(pairs[0], ("qsort".to_string(), CoreChoice::Rocket));
+                assert_eq!(pairs[0], ("qsort".to_string(), CoreSelect::Rocket));
                 assert_eq!(
                     pairs[1],
-                    ("mergesort".to_string(), CoreChoice::Boom(BoomSize::Large))
+                    ("mergesort".to_string(), CoreSelect::Boom(BoomSize::Large))
                 );
             }
             other => panic!("unexpected {other:?}"),
@@ -749,10 +841,14 @@ mod tests {
                 resume: false,
                 json: true,
                 csv: false,
+                metrics_out: None,
             }
         );
         assert_eq!(
-            parse(&argv("campaign --cache-dir /tmp/c spec.txt")).unwrap(),
+            parse(&argv(
+                "campaign --cache-dir /tmp/c spec.txt --metrics-out m.json"
+            ))
+            .unwrap(),
             Command::Campaign {
                 spec: "spec.txt".into(),
                 jobs: 1,
@@ -763,6 +859,7 @@ mod tests {
                 resume: false,
                 json: false,
                 csv: false,
+                metrics_out: Some("m.json".into()),
             }
         );
         assert!(parse(&argv("campaign")).is_err(), "spec path is required");
@@ -834,6 +931,7 @@ mod tests {
                 jobs: 1,
                 report: None,
                 json: false,
+                metrics_out: None,
             }
         );
     }
@@ -850,6 +948,7 @@ mod tests {
                 jobs: 1,
                 report: Some("out.json".into()),
                 json: false,
+                metrics_out: None,
             }
         );
     }
@@ -891,10 +990,12 @@ mod tests {
         assert_eq!(
             parse(&argv("bench")).unwrap(),
             Command::Bench {
-                json: None,
+                json: false,
+                json_path: None,
                 baseline: None,
                 warmup: 1,
                 repeats: 3,
+                metrics_out: None,
             }
         );
         assert_eq!(
@@ -903,14 +1004,86 @@ mod tests {
             ))
             .unwrap(),
             Command::Bench {
-                json: Some("out.json".into()),
+                json: true,
+                json_path: Some("out.json".into()),
                 baseline: Some("old.json".into()),
                 warmup: 0,
                 repeats: 5,
+                metrics_out: None,
             }
         );
         assert!(parse(&argv("bench --repeats 0")).is_err());
         assert!(parse(&argv("bench --frob")).is_err());
+    }
+
+    #[test]
+    fn bench_json_path_is_optional() {
+        // Bare --json before another flag must not swallow the flag.
+        match parse(&argv("bench --json --warmup 2")).unwrap() {
+            Command::Bench {
+                json,
+                json_path,
+                warmup,
+                ..
+            } => {
+                assert!(json);
+                assert_eq!(json_path, None);
+                assert_eq!(warmup, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("bench --json")).unwrap() {
+            Command::Bench {
+                json, json_path, ..
+            } => {
+                assert!(json);
+                assert_eq!(json_path, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_export_parses_cell_out_and_window() {
+        assert_eq!(
+            parse(&argv(
+                "trace export --cell vvadd/rocket/add-wires --out t.json --window 64"
+            ))
+            .unwrap(),
+            Command::TraceExport {
+                cell: "vvadd/rocket/add-wires".into(),
+                out: Some("t.json".into()),
+                window: Some(64),
+            }
+        );
+        assert_eq!(
+            parse(&argv("trace export --cell qsort/large-boom/scalar")).unwrap(),
+            Command::TraceExport {
+                cell: "qsort/large-boom/scalar".into(),
+                out: None,
+                window: None,
+            }
+        );
+        assert!(parse(&argv("trace export")).is_err(), "--cell is required");
+        assert!(parse(&argv("trace export --cell a/b/c --window 0")).is_err());
+        assert!(parse(&argv("trace export --frob")).is_err());
+    }
+
+    #[test]
+    fn metrics_out_parses_on_verify_and_bench() {
+        match parse(&argv("verify --metrics-out m.json")).unwrap() {
+            Command::Verify { metrics_out, .. } => {
+                assert_eq!(metrics_out, Some("m.json".into()))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv("bench --metrics-out m.json")).unwrap() {
+            Command::Bench { metrics_out, .. } => {
+                assert_eq!(metrics_out, Some("m.json".into()))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("bench --metrics-out")).is_err());
     }
 
     #[test]

@@ -1,13 +1,44 @@
 //! Command implementations.
 
 use std::error::Error;
+use std::io::IsTerminal;
+use std::sync::Arc;
+use std::time::Instant;
 
 use icicle::events::EventId;
 use icicle::prelude::*;
 
-use crate::args::{Command, CoreChoice, USAGE};
+use crate::args::{Command, CoreSelect, USAGE};
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+/// Writes the registry snapshot to `path`, with the process-wide
+/// simulator tallies folded in as `sim.*` counters so one document
+/// carries both clock domains' totals.
+fn write_metrics(path: &str, registry: &MetricsRegistry) -> Result<()> {
+    let sim = icicle::obs::sim_stats();
+    registry
+        .counter("sim.rocket_cycles")
+        .add(sim.rocket_cycles.load(std::sync::atomic::Ordering::Relaxed));
+    registry
+        .counter("sim.boom_cycles")
+        .add(sim.boom_cycles.load(std::sync::atomic::Ordering::Relaxed));
+    std::fs::write(path, registry.render())
+        .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
+    Ok(())
+}
+
+/// `1h02m`, `3m09s`, or `42s` — wide enough for campaign ETAs.
+fn format_eta(seconds: f64) -> String {
+    let s = seconds.max(0.0).round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
 
 /// Executes a parsed command.
 ///
@@ -46,6 +77,7 @@ pub fn run(cmd: Command) -> Result<()> {
             window,
             start,
         } => trace(&workload, core, window, start),
+        Command::TraceExport { cell, out, window } => trace_export(&cell, out.as_deref(), window),
         Command::Lanes { workload, core } => lanes(&workload, core),
         Command::Mix { workload } => {
             let w = lookup(&workload)?;
@@ -78,13 +110,32 @@ pub fn run(cmd: Command) -> Result<()> {
             jobs,
             report,
             json,
-        } => verify(matrix, fuzz, seed, bound, jobs, report.as_deref(), json),
+            metrics_out,
+        } => verify(
+            matrix,
+            fuzz,
+            seed,
+            bound,
+            jobs,
+            report.as_deref(),
+            json,
+            metrics_out.as_deref(),
+        ),
         Command::Bench {
             json,
+            json_path,
             baseline,
             warmup,
             repeats,
-        } => bench(json.as_deref(), baseline.as_deref(), warmup, repeats),
+            metrics_out,
+        } => bench(
+            json,
+            json_path.as_deref(),
+            baseline.as_deref(),
+            warmup,
+            repeats,
+            metrics_out.as_deref(),
+        ),
         Command::BenchCompare {
             old,
             new,
@@ -95,10 +146,12 @@ pub fn run(cmd: Command) -> Result<()> {
 }
 
 fn bench(
+    json: bool,
     json_path: Option<&str>,
     baseline_path: Option<&str>,
     warmup: u32,
     repeats: u32,
+    metrics_out: Option<&str>,
 ) -> Result<()> {
     use icicle_bench::ledger::{self, Ledger, LedgerOptions};
     if cfg!(debug_assertions) {
@@ -115,23 +168,47 @@ fn bench(
         }
         None => None,
     };
+    let registry = Arc::new(MetricsRegistry::new());
+    if metrics_out.is_some() {
+        icicle::obs::set_sim_stats(true);
+    }
+    // Progress ticks are ephemeral terminal feedback; skip them when
+    // stderr is redirected so logs stay clean.
+    let ticks = std::io::stderr().is_terminal();
     let options = LedgerOptions {
         warmup,
         repeats,
-        progress: Some(Box::new(|done, total, key| {
-            eprint!("\r[{done}/{total}] {key:<40}");
-        })),
+        progress: if ticks {
+            Some(Box::new(|done, total, key| {
+                eprint!("\r[{done}/{total}] {key:<40}");
+            }))
+        } else {
+            None
+        },
+        metrics: Some(Arc::clone(&registry)),
         ..LedgerOptions::default()
     };
     let mut ledger = ledger::run_grid(&ledger::default_grid(), &options)?;
-    eprintln!();
+    if ticks {
+        eprintln!();
+    }
     if let Some(base) = &baseline {
         ledger = ledger.with_baseline(base);
     }
-    print!("{ledger}");
+    // Under --json, stdout carries exactly the canonical ledger and
+    // nothing else; the human table moves to stderr.
+    if json {
+        print!("{}", ledger.to_json());
+        eprint!("{ledger}");
+    } else {
+        print!("{ledger}");
+    }
     if let Some(path) = json_path {
         std::fs::write(path, ledger.to_json())
             .map_err(|e| format!("cannot write ledger `{path}`: {e}"))?;
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(path, &registry)?;
     }
     Ok(())
 }
@@ -164,14 +241,14 @@ fn lookup(name: &str) -> Result<Workload> {
         .ok_or_else(|| format!("unknown workload `{name}` (see `icicle-tma list`)").into())
 }
 
-fn measure(workload: &Workload, core: CoreChoice, perf: Perf) -> Result<PerfReport> {
+fn measure(workload: &Workload, core: CoreSelect, perf: Perf) -> Result<PerfReport> {
     let stream = workload.execute()?;
     let report = match core {
-        CoreChoice::Rocket => {
+        CoreSelect::Rocket => {
             let mut c = Rocket::new(RocketConfig::default(), stream);
             perf.run(&mut c)?
         }
-        CoreChoice::Boom(size) => {
+        CoreSelect::Boom(size) => {
             let mut c = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             perf.run(&mut c)?
         }
@@ -185,9 +262,9 @@ fn list(json: bool) -> Result<()> {
         .iter()
         .map(|w| w.name().to_string())
         .collect();
-    let cores: Vec<String> = CoreChoice::all()
+    let cores: Vec<String> = CoreSelect::all()
         .into_iter()
-        .map(CoreChoice::name)
+        .map(CoreSelect::name)
         .collect();
     let archs: Vec<String> = CounterArch::ALL
         .iter()
@@ -223,7 +300,6 @@ fn campaign(cmd: Command) -> Result<()> {
     use icicle::campaign::{
         run_campaign, CampaignSpec, CheckpointLog, Progress, ResultCache, RunOptions,
     };
-    use std::sync::Arc;
     let Command::Campaign {
         spec: path,
         jobs,
@@ -234,6 +310,7 @@ fn campaign(cmd: Command) -> Result<()> {
         resume,
         json,
         csv,
+        metrics_out,
     } = cmd
     else {
         unreachable!("run() dispatches only Campaign here");
@@ -265,9 +342,21 @@ fn campaign(cmd: Command) -> Result<()> {
         }
         Some(Arc::new(log))
     };
-    // Machine-readable modes keep stdout clean; progress goes to stderr
-    // either way and stays off entirely when piping JSON/CSV.
+    // Machine-readable modes keep stdout clean; progress ticks go to
+    // stderr, and only when it is a live terminal — piped JSON/CSV and
+    // redirected logs see none of them.
     let quiet = json || csv;
+    let ticks = !quiet && std::io::stderr().is_terminal();
+    let registry = Arc::new(MetricsRegistry::new());
+    if metrics_out.is_some() {
+        icicle::obs::set_sim_stats(true);
+    }
+    // The tick line is rendered from the metrics registry: the progress
+    // callback folds each report into gauges, then formats from those
+    // same gauges, so the ETA shown is exactly what --metrics-out
+    // records.
+    let tick_registry = Arc::clone(&registry);
+    let started = Instant::now();
     let options = RunOptions {
         jobs,
         cache,
@@ -275,27 +364,45 @@ fn campaign(cmd: Command) -> Result<()> {
         resume,
         retries,
         keep_going,
-        progress: if quiet {
-            None
-        } else {
-            Some(Box::new(|p: Progress| {
+        progress: if ticks {
+            Some(Box::new(move |p: Progress| {
+                let done = p.done();
+                let gauges = &tick_registry;
+                gauges.gauge("campaign.progress.done").set(done as f64);
+                gauges.gauge("campaign.progress.total").set(p.total as f64);
+                let elapsed = started.elapsed().as_secs_f64();
+                if done > 0 {
+                    let eta = elapsed / done as f64 * (p.total - done) as f64;
+                    gauges.gauge("campaign.progress.eta_seconds").set(eta);
+                }
+                let eta = match gauges.gauge("campaign.progress.eta_seconds").get() {
+                    eta if done > 0 && done < p.total => format!(" eta {}", format_eta(eta)),
+                    _ => String::new(),
+                };
                 eprint!(
-                    "\r[{}/{}] {} simulated, {} cached, {} resumed, {} failed, {} skipped",
-                    p.done(),
-                    p.total,
+                    "\r[{}/{}] {} simulated, {} cached, {} resumed, {} failed, {} skipped{}",
+                    gauges.gauge("campaign.progress.done").get() as u64,
+                    gauges.gauge("campaign.progress.total").get() as u64,
                     p.simulated,
                     p.cached,
                     p.resumed,
                     p.failed,
-                    p.skipped
+                    p.skipped,
+                    eta
                 );
             }))
+        } else {
+            None
         },
+        metrics: Some(Arc::clone(&registry)),
         ..RunOptions::default()
     };
     let report = run_campaign(&spec, &options);
-    if !quiet {
+    if ticks {
         eprintln!();
+    }
+    if let Some(path) = &metrics_out {
+        write_metrics(path, &registry)?;
     }
     if json {
         print!("{}", report.to_json());
@@ -431,6 +538,7 @@ fn faults(seed: u64, cases: u64, demo: bool, report_path: Option<&str>, json: bo
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn verify(
     matrix: bool,
     fuzz: Option<u64>,
@@ -439,6 +547,7 @@ fn verify(
     jobs: usize,
     report_path: Option<&str>,
     json: bool,
+    metrics_out: Option<&str>,
 ) -> Result<()> {
     use icicle::campaign::Progress;
     use icicle::verify::{default_matrix, run_fuzz, run_matrix, FuzzOptions, MatrixOptions};
@@ -447,15 +556,18 @@ fn verify(
     // stdout mirrors it under --json, or carries the human summary.
     let mut artifact = String::new();
     let mut all_passed = true;
+    let registry = Arc::new(MetricsRegistry::new());
+    if metrics_out.is_some() {
+        icicle::obs::set_sim_stats(true);
+    }
+    let ticks = !json && std::io::stderr().is_terminal();
 
     if matrix {
         let spec = default_matrix();
         let options = MatrixOptions {
             jobs,
             flat_bound: bound,
-            progress: if json {
-                None
-            } else {
+            progress: if ticks {
                 Some(Box::new(|p: Progress| {
                     eprint!(
                         "\r[{}/{}] {} within bound, {} diverged or failed",
@@ -465,10 +577,13 @@ fn verify(
                         p.failed
                     );
                 }))
+            } else {
+                None
             },
+            metrics: Some(Arc::clone(&registry)),
         };
         let report = run_matrix(&spec, &options);
-        if !json {
+        if ticks {
             eprintln!();
         }
         if json {
@@ -485,9 +600,7 @@ fn verify(
             cases,
             seed,
             flat_bound: bound,
-            progress: if json {
-                None
-            } else {
+            progress: if ticks {
                 Some(Box::new(|p: Progress| {
                     eprint!(
                         "\r[{}/{}] fuzz cases, {} diverged or errored",
@@ -496,11 +609,13 @@ fn verify(
                         p.failed
                     );
                 }))
+            } else {
+                None
             },
             ..FuzzOptions::default()
         };
         let report = run_fuzz(&options);
-        if !json {
+        if ticks {
             eprintln!();
         }
         if json {
@@ -516,6 +631,9 @@ fn verify(
         std::fs::write(path, &artifact)
             .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
     }
+    if let Some(path) = metrics_out {
+        write_metrics(path, &registry)?;
+    }
 
     if !all_passed {
         return Err("verification failed: counter TMA diverged from the trace ground truth".into());
@@ -523,7 +641,7 @@ fn verify(
     Ok(())
 }
 
-fn tma(name: &str, core: CoreChoice, arch: CounterArch, json: bool) -> Result<()> {
+fn tma(name: &str, core: CoreSelect, arch: CounterArch, json: bool) -> Result<()> {
     let workload = lookup(name)?;
     let report = measure(
         &workload,
@@ -589,7 +707,7 @@ fn report_json(workload: &Workload, r: &PerfReport) -> String {
     )
 }
 
-fn trace(name: &str, core: CoreChoice, window: u64, start: Option<u64>) -> Result<()> {
+fn trace(name: &str, core: CoreSelect, window: u64, start: Option<u64>) -> Result<()> {
     let workload = lookup(name)?;
     let channels = vec![
         TraceChannel::scalar(EventId::ICacheMiss),
@@ -626,7 +744,37 @@ fn trace(name: &str, core: CoreChoice, window: u64, start: Option<u64>) -> Resul
     Ok(())
 }
 
-fn lanes(name: &str, core: CoreChoice) -> Result<()> {
+/// `trace export`: run one cell and emit its cycle timeline as a Chrome
+/// `trace_events` document for ui.perfetto.dev.
+fn trace_export(cell: &str, out: Option<&str>, window: Option<u64>) -> Result<()> {
+    use icicle::campaign::CellSpec;
+    let parts: Vec<&str> = cell.split('/').collect();
+    let [workload, core, arch] = parts.as_slice() else {
+        return Err(format!("--cell expects workload/core/arch, got `{cell}`").into());
+    };
+    let spec = CellSpec {
+        workload: (*workload).to_string(),
+        core: CoreSelect::from_name(core).ok_or_else(|| format!("unknown core `{core}`"))?,
+        arch: CounterArch::from_name(arch)
+            .ok_or_else(|| format!("unknown counter arch `{arch}`"))?,
+        seed: 0,
+        repeat: 0,
+        max_cycles: 100_000_000,
+    };
+    let doc = icicle::verify::export_cell_timeline(&spec, window.map(|w| w as usize))?;
+    let rendered = doc.render();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+            eprintln!("wrote {path}; open it in ui.perfetto.dev");
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn lanes(name: &str, core: CoreSelect) -> Result<()> {
     let workload = lookup(name)?;
     let report = measure(
         &workload,
@@ -655,7 +803,7 @@ fn lanes(name: &str, core: CoreChoice) -> Result<()> {
     Ok(())
 }
 
-fn counters(name: &str, core: CoreChoice) -> Result<()> {
+fn counters(name: &str, core: CoreSelect) -> Result<()> {
     let workload = lookup(name)?;
     println!(
         "{:<14} {:>14} {:>14} {:>14} {:>14}",
@@ -694,7 +842,7 @@ fn counters(name: &str, core: CoreChoice) -> Result<()> {
     Ok(())
 }
 
-fn profile(name: &str, core: CoreChoice, period: u64, event: Option<EventId>) -> Result<()> {
+fn profile(name: &str, core: CoreSelect, period: u64, event: Option<EventId>) -> Result<()> {
     let workload = lookup(name)?;
     let profiler = Profiler::new(period);
     let stream = workload.execute()?;
@@ -705,11 +853,11 @@ fn profile(name: &str, core: CoreChoice, period: u64, event: Option<EventId>) ->
         })
     };
     let profile = match core {
-        CoreChoice::Rocket => {
+        CoreSelect::Rocket => {
             let mut c = Rocket::new(RocketConfig::default(), stream);
             run(&mut c)?
         }
-        CoreChoice::Boom(size) => {
+        CoreSelect::Boom(size) => {
             let mut c = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             run(&mut c)?
         }
@@ -721,13 +869,13 @@ fn profile(name: &str, core: CoreChoice, period: u64, event: Option<EventId>) ->
     Ok(())
 }
 
-fn soc(pairs: &[(String, CoreChoice)]) -> Result<()> {
+fn soc(pairs: &[(String, CoreSelect)]) -> Result<()> {
     let mut builder = SocBuilder::new();
     for (name, core) in pairs {
         let w = lookup(name)?;
         builder = match core {
-            CoreChoice::Rocket => builder.rocket(RocketConfig::default(), &w)?,
-            CoreChoice::Boom(size) => builder.boom(BoomConfig::for_size(*size), &w)?,
+            CoreSelect::Rocket => builder.rocket(RocketConfig::default(), &w)?,
+            CoreSelect::Boom(size) => builder.boom(BoomConfig::for_size(*size), &w)?,
         };
     }
     let mut soc = builder.build();

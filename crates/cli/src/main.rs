@@ -7,6 +7,7 @@
 //! icicle-tma tma --core large-boom --workload qsort
 //! icicle-tma tma --core rocket --workload 505.mcf_r --arch distributed
 //! icicle-tma trace --core large-boom --workload mergesort --window 80
+//! icicle-tma trace export --cell vvadd/rocket/add-wires --out trace.json
 //! icicle-tma lanes --workload 525.x264_r
 //! icicle-tma vlsi
 //! ```
@@ -16,9 +17,35 @@ use std::process::ExitCode;
 mod args;
 mod commands;
 
+/// Pulls the global `--log-level LEVEL[:PATH]` pair out of `argv` (it is
+/// valid in any position) and returns the spec, leaving the per-command
+/// parsers none the wiser.
+fn extract_log_level(argv: &mut Vec<String>) -> Result<Option<String>, String> {
+    let Some(at) = argv.iter().position(|a| a == "--log-level") else {
+        return Ok(None);
+    };
+    if at + 1 >= argv.len() {
+        return Err("missing value for --log-level".to_string());
+    }
+    let spec = argv.remove(at + 1);
+    argv.remove(at);
+    Ok(Some(spec))
+}
+
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&argv) {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    // The flag wins over the ICICLE_LOG environment variable; both feed
+    // the same `LEVEL[:PATH]` spec.
+    let init = match extract_log_level(&mut argv) {
+        Ok(Some(spec)) => icicle::obs::init_from_spec(&spec),
+        Ok(None) => icicle::obs::init_from_env(),
+        Err(e) => Err(e),
+    };
+    if let Err(e) = init {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let code = match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -31,5 +58,8 @@ fn main() -> ExitCode {
             eprintln!("{}", args::USAGE);
             ExitCode::FAILURE
         }
-    }
+    };
+    // Flush any JSONL sink before the process exits.
+    icicle::obs::shutdown();
+    code
 }

@@ -26,6 +26,7 @@
 //! | [`workloads`] | `icicle-workloads` | microbenchmarks + SPEC proxies (Table III) |
 //! | [`campaign`] | `icicle-campaign` | parallel experiment campaigns with result caching |
 //! | [`verify`] | `icicle-verify` | differential counter-vs-trace TMA verification (§V) |
+//! | [`obs`] | `icicle-obs` | structured tracing, metrics, Perfetto timeline export |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use icicle_events as events;
 pub use icicle_faults as faults;
 pub use icicle_isa as isa;
 pub use icicle_mem as mem;
+pub use icicle_obs as obs;
 pub use icicle_perf as perf;
 pub use icicle_pmu as pmu;
 pub use icicle_rocket as rocket;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use icicle_events::{EventCore, EventCounts, EventId, EventVector, LaneCounts};
     pub use icicle_isa::{DynStream, Interpreter, Program, ProgramBuilder, Reg};
     pub use icicle_mem::{HierarchyConfig, MemoryHierarchy};
+    pub use icicle_obs::MetricsRegistry;
     pub use icicle_perf::{MultiplexOptions, Perf, PerfOptions, PerfReport, Profiler};
     pub use icicle_pmu::{CounterArch, CsrFile};
     pub use icicle_rocket::{Rocket, RocketConfig};

@@ -231,6 +231,13 @@ impl FaultInjector {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(format!("{kind} @ cell {cell} attempt {attempt}"));
+            icicle_obs::event_with(icicle_obs::Level::Warn, "fault.fired", || {
+                vec![
+                    ("kind", kind.name().into()),
+                    ("cell", cell.into()),
+                    ("attempt", attempt.into()),
+                ]
+            });
         }
         fires
     }

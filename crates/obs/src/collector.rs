@@ -1,0 +1,614 @@
+//! The structured-tracing core: spans, events, and pluggable collectors.
+//!
+//! A [`Record`] is one emitted fact — a span opening, a span closing,
+//! or a point event — carrying a process-monotonic id, the id of the
+//! enclosing span on the same thread (the *parent link*), and a list of
+//! key=value [`Field`]s. Records flow to whatever [`Collector`] is
+//! installed; with none installed (the default) every emit site reduces
+//! to one relaxed atomic load and a branch, which is the whole
+//! "zero-cost when disabled" contract.
+//!
+//! Spans are scoped guards: [`span`] emits `SpanStart`, pushes itself
+//! onto a thread-local stack (so nested spans link to it), and the
+//! returned [`SpanGuard`] emits `SpanEnd` on drop. Field vectors are
+//! built through closures so the disabled path never allocates.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// The environment variable consulted by [`init_from_env`].
+pub const LOG_ENV: &str = "ICICLE_LOG";
+
+/// Verbosity of a record; greater is chattier.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parses a level name (case-insensitive). `None` for unknown names
+    /// — "off" is not a level; [`init_from_spec`] handles it.
+    pub fn parse(name: &str) -> Option<Level> {
+        match name.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`Record`] describes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RecordKind {
+    SpanStart,
+    SpanEnd,
+    Event,
+}
+
+impl RecordKind {
+    /// Canonical serialized name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd => "span_end",
+            RecordKind::Event => "event",
+        }
+    }
+}
+
+/// One structured field value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FieldValue {
+    Bool(bool),
+    U64(u64),
+    F64(f64),
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> FieldValue {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> FieldValue {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    /// The value as a JSON node.
+    pub fn to_json(&self) -> Json {
+        match self {
+            FieldValue::Bool(b) => Json::Bool(*b),
+            FieldValue::U64(n) => Json::Int(*n),
+            FieldValue::F64(x) => Json::Num(*x),
+            FieldValue::Str(s) => Json::Str(s.clone()),
+        }
+    }
+}
+
+/// A named field; keys are static because every emit site names its
+/// fields in source.
+pub type Field = (&'static str, FieldValue);
+
+/// One emitted tracing record.
+#[derive(Clone, Debug)]
+pub struct Record {
+    pub kind: RecordKind,
+    /// Process-monotonic id; a span's start and end share it.
+    pub id: u64,
+    /// The enclosing span on the emitting thread, if any.
+    pub parent: Option<u64>,
+    /// Small dense per-thread id (1, 2, …) in first-emit order.
+    pub thread: u64,
+    pub level: Level,
+    /// Microseconds since the process-wide tracing epoch.
+    pub t_us: u64,
+    pub name: &'static str,
+    pub fields: Vec<Field>,
+}
+
+impl Record {
+    /// The record as a canonical JSON object (the JSONL line body).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("id", Json::Int(self.id)),
+        ];
+        if let Some(parent) = self.parent {
+            pairs.push(("parent", Json::Int(parent)));
+        }
+        pairs.push(("thread", Json::Int(self.thread)));
+        pairs.push(("level", Json::Str(self.level.name().to_string())));
+        pairs.push(("t_us", Json::Int(self.t_us)));
+        pairs.push(("name", Json::Str(self.name.to_string())));
+        if !self.fields.is_empty() {
+            pairs.push((
+                "fields",
+                Json::Object(
+                    self.fields
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::object(pairs)
+    }
+}
+
+/// A sink for tracing records. Implementations must be cheap and
+/// thread-safe: records arrive from every worker thread.
+pub trait Collector: Send + Sync {
+    fn record(&self, record: &Record);
+    /// Flushes buffered output; called by [`shutdown`].
+    fn flush(&self) {}
+}
+
+/// Discards everything — the explicit form of the default state.
+#[derive(Default)]
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {
+    fn record(&self, _record: &Record) {}
+}
+
+/// Keeps the last `capacity` records in memory; the source for
+/// wall-clock Perfetto export and the test harness.
+pub struct RingCollector {
+    capacity: usize,
+    buf: Mutex<VecDeque<Record>>,
+}
+
+impl RingCollector {
+    pub fn new(capacity: usize) -> RingCollector {
+        RingCollector {
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// A snapshot of the buffered records, oldest first.
+    pub fn records(&self) -> Vec<Record> {
+        self.buf.lock().unwrap().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Collector for RingCollector {
+    fn record(&self, record: &Record) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(record.clone());
+    }
+}
+
+/// Writes one compact JSON object per record to a stream.
+pub struct JsonlCollector {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlCollector {
+    pub fn new(writer: impl Write + Send + 'static) -> JsonlCollector {
+        JsonlCollector {
+            out: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// A collector that streams to stderr (stdout stays machine-clean).
+    pub fn stderr() -> JsonlCollector {
+        JsonlCollector::new(io::stderr())
+    }
+
+    /// A collector that streams to a file, truncating it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: &str) -> io::Result<JsonlCollector> {
+        Ok(JsonlCollector::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl Collector for JsonlCollector {
+    fn record(&self, record: &Record) {
+        let line = record.to_json().render_compact();
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap().flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The process-wide runtime.
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+fn collector_slot() -> &'static RwLock<Option<Arc<dyn Collector>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Collector>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|cell| {
+        if cell.get() == 0 {
+            cell.set(NEXT_THREAD.fetch_add(1, Ordering::Relaxed));
+        }
+        cell.get()
+    })
+}
+
+/// Installs `collector` and enables emission up to `level`.
+pub fn install(level: Level, collector: Arc<dyn Collector>) {
+    *collector_slot().write().unwrap() = Some(collector);
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disables emission, flushes, and drops the installed collector.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Relaxed);
+    MAX_LEVEL.store(0, Ordering::Relaxed);
+    if let Some(collector) = collector_slot().write().unwrap().take() {
+        collector.flush();
+    }
+}
+
+/// Whether a record at `level` would be collected. This is the guard
+/// every emit site takes first: one relaxed load and a compare.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    ENABLED.load(Ordering::Relaxed) && level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+fn emit(record: &Record) {
+    if let Some(collector) = collector_slot().read().unwrap().as_ref() {
+        collector.record(record);
+    }
+}
+
+/// Installs a JSONL collector from a `LEVEL[:PATH]` spec — `"info"`
+/// streams to stderr, `"debug:run.jsonl"` to a file, `"off"` disables.
+///
+/// # Errors
+///
+/// Returns a description for an unknown level or an unwritable path.
+pub fn init_from_spec(spec: &str) -> Result<(), String> {
+    let (level_name, path) = match spec.split_once(':') {
+        Some((level, path)) => (level, Some(path)),
+        None => (spec, None),
+    };
+    if matches!(
+        level_name.to_ascii_lowercase().as_str(),
+        "" | "off" | "none"
+    ) {
+        shutdown();
+        return Ok(());
+    }
+    let level = Level::parse(level_name).ok_or_else(|| {
+        format!("unknown log level `{level_name}` (error|warn|info|debug|trace|off)")
+    })?;
+    let collector: Arc<dyn Collector> = match path {
+        Some(path) => Arc::new(
+            JsonlCollector::create(path).map_err(|e| format!("cannot open `{path}`: {e}"))?,
+        ),
+        None => Arc::new(JsonlCollector::stderr()),
+    };
+    install(level, collector);
+    Ok(())
+}
+
+/// [`init_from_spec`] from the `ICICLE_LOG` environment variable; unset
+/// means "leave tracing off".
+///
+/// # Errors
+///
+/// See [`init_from_spec`].
+pub fn init_from_env() -> Result<(), String> {
+    match std::env::var(LOG_ENV) {
+        Ok(spec) => init_from_spec(&spec),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Closes its span on drop. An inert guard (tracing disabled at open
+/// time) does nothing.
+pub struct SpanGuard {
+    open: Option<(u64, &'static str, Level)>,
+}
+
+impl SpanGuard {
+    /// The span id, if the span is live.
+    pub fn id(&self) -> Option<u64> {
+        self.open.map(|(id, _, _)| id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((id, name, level)) = self.open.take() {
+            SPAN_STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if stack.last() == Some(&id) {
+                    stack.pop();
+                } else {
+                    // Out-of-order drop (guards moved around): unlink
+                    // just this span.
+                    stack.retain(|&open| open != id);
+                }
+            });
+            emit(&Record {
+                kind: RecordKind::SpanEnd,
+                id,
+                parent: None,
+                thread: thread_id(),
+                level,
+                t_us: now_us(),
+                name,
+                fields: Vec::new(),
+            });
+        }
+    }
+}
+
+/// Opens a span with no fields.
+pub fn span(level: Level, name: &'static str) -> SpanGuard {
+    span_with(level, name, Vec::new)
+}
+
+/// Opens a span; `fields` is only invoked when tracing is enabled, so
+/// the disabled path never allocates.
+pub fn span_with<F>(level: Level, name: &'static str, fields: F) -> SpanGuard
+where
+    F: FnOnce() -> Vec<Field>,
+{
+    if !enabled(level) {
+        return SpanGuard { open: None };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied());
+    emit(&Record {
+        kind: RecordKind::SpanStart,
+        id,
+        parent,
+        thread: thread_id(),
+        level,
+        t_us: now_us(),
+        name,
+        fields: fields(),
+    });
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
+    SpanGuard {
+        open: Some((id, name, level)),
+    }
+}
+
+/// Emits a point event with no fields.
+pub fn event(level: Level, name: &'static str) {
+    event_with(level, name, Vec::new);
+}
+
+/// Emits a point event; `fields` is only invoked when tracing is
+/// enabled.
+pub fn event_with<F>(level: Level, name: &'static str, fields: F)
+where
+    F: FnOnce() -> Vec<Field>,
+{
+    if !enabled(level) {
+        return;
+    }
+    emit(&Record {
+        kind: RecordKind::Event,
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        parent: SPAN_STACK.with(|stack| stack.borrow().last().copied()),
+        thread: thread_id(),
+        level,
+        t_us: now_us(),
+        name,
+        fields: fields(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The runtime is process-global; tests that install collectors must
+    // not overlap.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracing_emits_nothing_and_returns_inert_guards() {
+        let _serial = serial();
+        shutdown();
+        assert!(!enabled(Level::Error));
+        let guard = span(Level::Info, "ignored");
+        assert!(guard.id().is_none());
+        event(Level::Error, "also ignored");
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let _serial = serial();
+        let ring = Arc::new(RingCollector::new(16));
+        install(Level::Debug, ring.clone());
+        {
+            let outer = span(Level::Info, "outer");
+            let inner = span_with(Level::Debug, "inner", || vec![("k", 7u64.into())]);
+            assert!(outer.id().unwrap() < inner.id().unwrap());
+            event(Level::Debug, "tick");
+        }
+        shutdown();
+        let records = ring.records();
+        assert_eq!(records.len(), 5);
+        let outer_id = records[0].id;
+        assert_eq!(records[0].parent, None);
+        assert_eq!(records[1].parent, Some(outer_id), "inner links to outer");
+        assert_eq!(records[2].kind, RecordKind::Event);
+        assert_eq!(records[2].parent, Some(records[1].id));
+        // Guards drop in reverse declaration order: inner closes first.
+        assert_eq!(records[3].kind, RecordKind::SpanEnd);
+        assert_eq!(records[3].id, records[1].id);
+        assert_eq!(records[4].id, outer_id);
+    }
+
+    #[test]
+    fn level_filter_suppresses_chattier_records() {
+        let _serial = serial();
+        let ring = Arc::new(RingCollector::new(16));
+        install(Level::Info, ring.clone());
+        event(Level::Debug, "dropped");
+        event(Level::Info, "kept");
+        shutdown();
+        let records = ring.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "kept");
+    }
+
+    #[test]
+    fn ring_collector_keeps_the_tail() {
+        let _serial = serial();
+        let ring = Arc::new(RingCollector::new(3));
+        install(Level::Trace, ring.clone());
+        for _ in 0..5 {
+            event(Level::Info, "e");
+        }
+        shutdown();
+        let records = ring.records();
+        assert_eq!(records.len(), 3);
+        assert!(records.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn jsonl_collector_writes_parseable_lines() {
+        let _serial = serial();
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        install(
+            Level::Info,
+            Arc::new(JsonlCollector::new(Shared(buf.clone()))),
+        );
+        {
+            let _span = span_with(Level::Info, "cell", || vec![("workload", "vvadd".into())]);
+        }
+        shutdown();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let start = Json::parse(lines[0]).unwrap();
+        assert_eq!(start.get("kind").unwrap().as_str(), Some("span_start"));
+        assert_eq!(
+            start
+                .get("fields")
+                .unwrap()
+                .get("workload")
+                .unwrap()
+                .as_str(),
+            Some("vvadd")
+        );
+    }
+
+    #[test]
+    fn spec_parsing_accepts_levels_and_off() {
+        let _serial = serial();
+        assert!(init_from_spec("bogus").is_err());
+        init_from_spec("off").unwrap();
+        assert!(!enabled(Level::Error));
+        init_from_spec("warn").unwrap();
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        shutdown();
+    }
+}

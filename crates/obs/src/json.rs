@@ -1,11 +1,16 @@
 //! A minimal JSON value, writer, and parser.
 //!
 //! The workspace deliberately keeps its dependency set to the simulation
-//! essentials, so the campaign engine carries its own JSON support: the
-//! writer produces *canonical* output (object keys stay in insertion
-//! order, floats always print with six decimals) so that two runs of the
-//! same campaign emit byte-identical reports regardless of thread count,
-//! and the parser reads cache entries back.
+//! essentials, so the harness carries its own JSON support: the writer
+//! produces *canonical* output (object keys stay in insertion order,
+//! floats always print with six decimals) so that two runs of the same
+//! campaign emit byte-identical reports regardless of thread count, and
+//! the parser reads cache entries back.
+//!
+//! The module lives in `icicle-obs` (the bottom-most harness crate) and
+//! is re-exported by `icicle-campaign`, its original home, so both
+//! `icicle_obs::json::Json` and `icicle_campaign::json::Json` name the
+//! same type.
 
 use std::fmt::Write as _;
 
@@ -81,6 +86,43 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out, 0);
         out
+    }
+
+    /// Serializes on a single line with no whitespace — the JSONL form
+    /// used by streaming collectors. Parses back to the same value as
+    /// [`render`](Self::render).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write(out, 0),
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -408,5 +450,21 @@ mod tests {
     fn floats_render_at_fixed_precision() {
         assert_eq!(Json::Num(0.5).render(), "0.500000");
         assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn compact_rendering_round_trips_on_one_line() {
+        let doc = Json::object(vec![
+            ("a", Json::Int(1)),
+            (
+                "b",
+                Json::Array(vec![Json::Bool(true), Json::Str("x y".into())]),
+            ),
+            ("c", Json::Object(vec![])),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(line, r#"{"a":1,"b":[true,"x y"],"c":{}}"#);
+        assert_eq!(Json::parse(&line).unwrap(), doc);
     }
 }

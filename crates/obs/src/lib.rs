@@ -1,0 +1,61 @@
+//! # icicle-obs
+//!
+//! The observability layer of the Icicle reproduction: structured
+//! tracing, a metrics registry, and Perfetto timeline export — all
+//! **zero-cost when disabled**, because a 135-cell campaign must not pay
+//! for introspection it did not ask for.
+//!
+//! Three pillars:
+//!
+//! * [`collector`] — `Span`/`Event` records with monotonic ids, parent
+//!   links, and key=value fields, routed through a pluggable
+//!   [`Collector`] (no-op by default, in-memory ring buffer for tests
+//!   and wall-clock export, JSONL writer selected by `ICICLE_LOG` or
+//!   `--log-level`). Every emit site is guarded by a relaxed atomic
+//!   load, so the disabled path is a load-and-branch.
+//! * [`metrics`] — named counters, gauges, and fixed-bucket histograms
+//!   behind atomics; [`MetricsRegistry::snapshot`] serializes in the
+//!   same canonical-JSON style as the bench ledger, so snapshots are
+//!   byte-identical across thread counts when the recorded quantities
+//!   are deterministic.
+//! * [`perfetto`] — Chrome `trace_events` JSON on two clock domains:
+//!   simulated cycles (the paper's temporal TMA rendered as a per-lane
+//!   timeline, built on `icicle-trace`) and wall-clock harness spans
+//!   (campaign cells, cache hits, retries, checkpoint writes).
+//!
+//! The crate also hosts [`json`], the workspace's canonical JSON value;
+//! it moved here from `icicle-campaign` so the observability layer can
+//! sit below every harness crate (campaign re-exports it, existing
+//! paths keep working).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use icicle_obs as obs;
+//!
+//! let ring = Arc::new(obs::RingCollector::new(64));
+//! obs::install(obs::Level::Debug, ring.clone());
+//! {
+//!     let _span = obs::span_with(obs::Level::Info, "cell", || {
+//!         vec![("workload", "vvadd".into())]
+//!     });
+//!     obs::event(obs::Level::Debug, "cache.miss");
+//! }
+//! obs::shutdown();
+//! assert_eq!(ring.records().len(), 3); // start, event, end
+//! ```
+
+pub mod collector;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod sim;
+
+pub use collector::{
+    enabled, event, event_with, init_from_env, init_from_spec, install, shutdown, span, span_with,
+    Collector, Field, FieldValue, JsonlCollector, Level, NoopCollector, Record, RecordKind,
+    RingCollector, SpanGuard, LOG_ENV,
+};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, METRICS_SCHEMA};
+pub use perfetto::{cycle_timeline, trace_events_document, wall_timeline, PERFETTO_SCHEMA};
+pub use sim::{set_sim_stats, sim_enabled, sim_stats, SimStats};

@@ -1,0 +1,288 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms behind atomics.
+//!
+//! A [`MetricsRegistry`] is an explicit value, not a process global:
+//! the harness threads one through `RunOptions`-style structs so that a
+//! campaign's metrics are scoped to that campaign, tests can assert on
+//! isolated registries, and the default (`None`) costs nothing.
+//!
+//! [`MetricsRegistry::snapshot`] serializes in the same canonical-JSON
+//! style as the bench ledger — names sort lexicographically, floats
+//! print at fixed precision — so a snapshot of deterministic quantities
+//! is byte-identical regardless of how many worker threads recorded
+//! them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Schema tag stamped into every snapshot.
+pub const METRICS_SCHEMA: &str = "icicle-metrics/v1";
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float gauge handle (stored as bits in an atomic).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram over fixed integer bucket bounds; an observation lands
+/// in the first bucket whose bound is ≥ the value, or the implicit
+/// `+inf` overflow bucket.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..sorted.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(self.bounds.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets = self
+            .bounds
+            .iter()
+            .map(|b| Json::Str(b.to_string()))
+            .chain(std::iter::once(Json::Str("+inf".to_string())))
+            .zip(&self.buckets)
+            .map(|(le, bucket)| {
+                Json::object(vec![
+                    ("le", le),
+                    ("count", Json::Int(bucket.load(Ordering::Relaxed))),
+                ])
+            })
+            .collect();
+        Json::object(vec![
+            ("count", Json::Int(self.count())),
+            ("sum", Json::Int(self.sum())),
+            ("buckets", Json::Array(buckets)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A set of named instruments. Registration takes a lock; the returned
+/// handles are lock-free atomics, so hot paths register once and bump
+/// forever.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        Counter(Arc::clone(
+            inner.counters.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// The gauge named `name`, created at 0.0 on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        Gauge(Arc::clone(
+            inner
+                .gauges
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0.0f64.to_bits()))),
+        ))
+    }
+
+    /// The histogram named `name`. The first registration fixes the
+    /// bucket bounds; later calls ignore `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        Arc::clone(
+            inner
+                .histograms
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// The registry as a canonical JSON document. Names sort
+    /// lexicographically, so two registries that recorded the same
+    /// quantities render byte-identically — the determinism the
+    /// campaign's `--jobs 1` vs `--jobs 8` contract relies on.
+    pub fn snapshot(&self) -> Json {
+        let inner = self.inner.lock().unwrap();
+        let counters = inner
+            .counters
+            .iter()
+            .map(|(name, cell)| (name.clone(), Json::Int(cell.load(Ordering::Relaxed))))
+            .collect();
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(name, cell)| {
+                (
+                    name.clone(),
+                    Json::Num(f64::from_bits(cell.load(Ordering::Relaxed))),
+                )
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(name, h)| (name.clone(), h.to_json()))
+            .collect();
+        Json::object(vec![
+            ("schema", Json::Str(METRICS_SCHEMA.to_string())),
+            ("counters", Json::Object(counters)),
+            ("gauges", Json::Object(gauges)),
+            ("histograms", Json::Object(histograms)),
+        ])
+    }
+
+    /// [`snapshot`](Self::snapshot) rendered as pretty canonical JSON.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_across_handles_and_threads() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    let c = registry.counter("cells.simulated");
+                    for _ in 0..100 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(registry.counter("cells.simulated").get(), 400);
+    }
+
+    #[test]
+    fn gauges_round_trip_floats() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("eta_s");
+        assert_eq!(g.get(), 0.0);
+        g.set(12.25);
+        assert_eq!(registry.gauge("eta_s").get(), 12.25);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("cycles", &[10, 100]);
+        for v in [1, 10, 11, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1022);
+        let json = registry.snapshot();
+        let buckets = json
+            .get("histograms")
+            .unwrap()
+            .get("cycles")
+            .unwrap()
+            .get("buckets")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let counts: Vec<u64> = buckets
+            .iter()
+            .map(|b| b.get("count").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn snapshots_sort_names_and_render_canonically() {
+        let a = MetricsRegistry::new();
+        a.counter("zeta").add(2);
+        a.counter("alpha").inc();
+        let b = MetricsRegistry::new();
+        b.counter("alpha").inc();
+        b.counter("zeta").add(2);
+        assert_eq!(a.render(), b.render());
+        let snapshot = a.snapshot();
+        assert_eq!(
+            snapshot.get("schema").unwrap().as_str(),
+            Some(METRICS_SCHEMA)
+        );
+        let rendered = a.render();
+        assert!(rendered.find("\"alpha\"").unwrap() < rendered.find("\"zeta\"").unwrap());
+    }
+}

@@ -1,0 +1,357 @@
+//! Chrome/Perfetto `trace_events` export on two clock domains.
+//!
+//! * **Simulated cycles** ([`cycle_timeline`]): the paper's temporal
+//!   TMA rendered as a timeline. Every commit lane becomes a Perfetto
+//!   thread track whose slices are contiguous runs of one TMA slot
+//!   class — classified by [`SlotTemporalTma::classify`], the same
+//!   single source of truth the aggregate verify report uses — plus one
+//!   track per scalar trace channel (recovery sequences, cache misses).
+//!   One cycle maps to one microsecond of trace time, so the export is
+//!   a pure function of the trace and golden-snapshot safe.
+//! * **Wall-clock harness spans** ([`wall_timeline`]): the records a
+//!   [`RingCollector`](crate::RingCollector) captured while a campaign
+//!   ran — cells, cache probes, retries, checkpoint writes — with one
+//!   track per harness thread. Wall timestamps are inherently
+//!   nondeterministic; this domain is for humans, not goldens.
+//!
+//! Both produce event lists for [`trace_events_document`], whose output
+//! loads directly in `ui.perfetto.dev` or `chrome://tracing`.
+
+use icicle_trace::{SlotTemporalTma, Trace};
+
+use crate::collector::{Record, RecordKind};
+use crate::json::Json;
+
+/// Schema tag stamped into the document's `otherData`.
+pub const PERFETTO_SCHEMA: &str = "icicle-perfetto/v1";
+
+/// Perfetto process id of the simulated-cycle clock domain.
+pub const CYCLE_PID: u64 = 1;
+/// Perfetto process id of the wall-clock harness domain.
+pub const WALL_PID: u64 = 2;
+
+/// Wraps event lists into a complete Chrome `trace_events` document.
+pub fn trace_events_document(events: Vec<Json>) -> Json {
+    Json::object(vec![
+        ("traceEvents", Json::Array(events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+        (
+            "otherData",
+            Json::object(vec![("schema", Json::Str(PERFETTO_SCHEMA.to_string()))]),
+        ),
+    ])
+}
+
+fn meta(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut pairs = vec![
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str("M".to_string())),
+        ("pid", Json::Int(pid)),
+    ];
+    if let Some(tid) = tid {
+        pairs.push(("tid", Json::Int(tid)));
+    }
+    pairs.push((
+        "args",
+        Json::object(vec![("name", Json::Str(value.to_string()))]),
+    ));
+    Json::object(pairs)
+}
+
+fn complete(name: &str, cat: &str, pid: u64, tid: u64, ts: u64, dur: u64) -> Json {
+    Json::object(vec![
+        ("name", Json::Str(name.to_string())),
+        ("cat", Json::Str(cat.to_string())),
+        ("ph", Json::Str("X".to_string())),
+        ("ts", Json::Int(ts)),
+        ("dur", Json::Int(dur)),
+        ("pid", Json::Int(pid)),
+        ("tid", Json::Int(tid)),
+    ])
+}
+
+/// Renders a recorded cycle trace as per-lane TMA slot-class slices
+/// plus one track per scalar channel. Returns `None` when the trace
+/// lacks the slot-TMA channels for `width` lanes.
+///
+/// The export is deterministic: slices appear lane-major, cycle-
+/// ascending, with contiguous same-class slots merged into one slice.
+pub fn cycle_timeline(trace: &Trace, width: usize, label: &str) -> Option<Vec<Json>> {
+    let tma = SlotTemporalTma::for_trace(trace, width)?;
+    let mut events = vec![meta(
+        "process_name",
+        CYCLE_PID,
+        None,
+        &format!("sim cycles: {label}"),
+    )];
+
+    for lane in 0..width {
+        let tid = lane as u64 + 1;
+        events.push(meta(
+            "thread_name",
+            CYCLE_PID,
+            Some(tid),
+            &format!("commit lane {lane}"),
+        ));
+        let mut run: Option<(u64, u64, &'static str)> = None; // (start, len, class)
+        for cycle in trace.first_cycle()..trace.end_cycle() {
+            let class = tma.classify(trace, cycle, lane).name();
+            match &mut run {
+                Some((_, len, current)) if *current == class => *len += 1,
+                _ => {
+                    if let Some((start, len, name)) = run.take() {
+                        events.push(complete(name, "tma", CYCLE_PID, tid, start, len));
+                    }
+                    run = Some((cycle, 1, class));
+                }
+            }
+        }
+        if let Some((start, len, name)) = run {
+            events.push(complete(name, "tma", CYCLE_PID, tid, start, len));
+        }
+    }
+
+    // Scalar signal tracks: recovery sequences, cache misses — whatever
+    // the trace carries beyond the per-lane slot channels.
+    let mut tid = width as u64 + 1;
+    for (bit, channel) in trace.config().channels().iter().enumerate() {
+        if channel.lane.is_some() {
+            continue;
+        }
+        let name = channel.event.to_string();
+        events.push(meta("thread_name", CYCLE_PID, Some(tid), &name));
+        for window in trace.windows(bit) {
+            events.push(complete(
+                &name,
+                "signal",
+                CYCLE_PID,
+                tid,
+                window.start,
+                window.len,
+            ));
+        }
+        tid += 1;
+    }
+    Some(events)
+}
+
+/// Renders collected harness records as wall-clock tracks: closed spans
+/// become complete slices, point events become instants. Spans without
+/// a matching end (still open when the ring was drained, or evicted
+/// starts) are dropped.
+pub fn wall_timeline(records: &[Record]) -> Vec<Json> {
+    let mut events = vec![meta("process_name", WALL_PID, None, "harness (wall clock)")];
+    let mut threads: Vec<u64> = records.iter().map(|r| r.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for tid in &threads {
+        events.push(meta(
+            "thread_name",
+            WALL_PID,
+            Some(*tid),
+            &format!("harness thread {tid}"),
+        ));
+    }
+
+    let mut open: Vec<&Record> = Vec::new();
+    let mut slices: Vec<Json> = Vec::new();
+    for record in records {
+        match record.kind {
+            RecordKind::SpanStart => open.push(record),
+            RecordKind::SpanEnd => {
+                if let Some(at) = open.iter().rposition(|r| r.id == record.id) {
+                    let start = open.swap_remove(at);
+                    let mut slice = complete(
+                        start.name,
+                        "harness",
+                        WALL_PID,
+                        start.thread,
+                        start.t_us,
+                        record.t_us.saturating_sub(start.t_us),
+                    );
+                    attach_args(&mut slice, start);
+                    slices.push(slice);
+                }
+            }
+            RecordKind::Event => {
+                let mut instant = Json::object(vec![
+                    ("name", Json::Str(record.name.to_string())),
+                    ("cat", Json::Str("harness".to_string())),
+                    ("ph", Json::Str("i".to_string())),
+                    ("ts", Json::Int(record.t_us)),
+                    ("pid", Json::Int(WALL_PID)),
+                    ("tid", Json::Int(record.thread)),
+                    ("s", Json::Str("t".to_string())),
+                ]);
+                attach_args(&mut instant, record);
+                slices.push(instant);
+            }
+        }
+    }
+    events.extend(slices);
+    events
+}
+
+fn attach_args(event: &mut Json, record: &Record) {
+    if record.fields.is_empty() {
+        return;
+    }
+    if let Json::Object(pairs) = event {
+        pairs.push((
+            "args".to_string(),
+            Json::Object(
+                record
+                    .fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_json()))
+                    .collect(),
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{FieldValue, Level};
+    use icicle_events::{EventId, EventVector};
+    use icicle_trace::{TraceChannel, TraceConfig};
+
+    fn sample_trace() -> Trace {
+        let mut channels = SlotTemporalTma::required_channels(2);
+        channels.push(TraceChannel::scalar(EventId::ICacheMiss));
+        let mut trace = Trace::new(TraceConfig::new(channels).unwrap());
+        // Cycle 0: both lanes retire. Cycle 1: recovery. Cycle 2: lane 0
+        // retires, lane 1 sees a fetch bubble + an I$ miss.
+        let mut v = EventVector::new();
+        v.raise_lane(EventId::UopsRetired, 0);
+        v.raise_lane(EventId::UopsRetired, 1);
+        trace.record(&v);
+        let mut v = EventVector::new();
+        v.raise(EventId::Recovering);
+        trace.record(&v);
+        let mut v = EventVector::new();
+        v.raise_lane(EventId::UopsRetired, 0);
+        v.raise_lane(EventId::FetchBubbles, 1);
+        v.raise(EventId::ICacheMiss);
+        trace.record(&v);
+        trace
+    }
+
+    #[test]
+    fn cycle_timeline_slices_match_slot_classification() {
+        let trace = sample_trace();
+        let events = cycle_timeline(&trace, 2, "test").unwrap();
+        let slice = |tid: u64, ts: u64| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").unwrap().as_str() == Some("X")
+                        && e.get("tid").unwrap().as_u64() == Some(tid)
+                        && e.get("ts").unwrap().as_u64() == Some(ts)
+                })
+                .unwrap_or_else(|| panic!("no slice at tid {tid} ts {ts}"))
+        };
+        // Lane 0: retiring, bad_speculation, retiring.
+        assert_eq!(slice(1, 0).get("name").unwrap().as_str(), Some("retiring"));
+        assert_eq!(
+            slice(1, 1).get("name").unwrap().as_str(),
+            Some("bad_speculation")
+        );
+        assert_eq!(slice(1, 2).get("name").unwrap().as_str(), Some("retiring"));
+        // Lane 1 cycle 2: a bubble with no retirement is Frontend.
+        assert_eq!(slice(2, 2).get("name").unwrap().as_str(), Some("frontend"));
+        // Slice totals per class must equal the aggregate report.
+        let tma = SlotTemporalTma::for_trace(&trace, 2).unwrap();
+        let report = tma.analyze(&trace);
+        let total = |class: &str| -> u64 {
+            events
+                .iter()
+                .filter(|e| {
+                    e.get("cat").unwrap_or(&Json::Null).as_str() == Some("tma")
+                        && e.get("name").unwrap().as_str() == Some(class)
+                })
+                .map(|e| e.get("dur").unwrap().as_u64().unwrap())
+                .sum()
+        };
+        assert_eq!(total("retiring"), report.retiring);
+        assert_eq!(total("bad_speculation"), report.bad_speculation);
+        assert_eq!(total("frontend"), report.frontend);
+        assert_eq!(total("backend"), report.backend);
+    }
+
+    #[test]
+    fn cycle_timeline_adds_scalar_signal_tracks() {
+        let trace = sample_trace();
+        let events = cycle_timeline(&trace, 2, "test").unwrap();
+        let signal: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").unwrap_or(&Json::Null).as_str() == Some("signal"))
+            .collect();
+        // Recovering window at cycle 1 and the I$ miss at cycle 2.
+        assert_eq!(signal.len(), 2);
+        assert!(signal
+            .iter()
+            .any(|e| e.get("ts").unwrap().as_u64() == Some(1)));
+        assert!(signal
+            .iter()
+            .any(|e| e.get("ts").unwrap().as_u64() == Some(2)));
+    }
+
+    #[test]
+    fn cycle_timeline_requires_slot_channels() {
+        let cfg = TraceConfig::new(vec![TraceChannel::scalar(EventId::Cycles)]).unwrap();
+        let trace = Trace::new(cfg);
+        assert!(cycle_timeline(&trace, 2, "x").is_none());
+    }
+
+    #[test]
+    fn wall_timeline_pairs_spans_and_keeps_instants() {
+        let record = |kind, id, t_us, name: &'static str| Record {
+            kind,
+            id,
+            parent: None,
+            thread: 1,
+            level: Level::Info,
+            t_us,
+            name,
+            fields: vec![("cell", FieldValue::Str("vvadd/rocket".into()))],
+        };
+        let records = vec![
+            record(RecordKind::SpanStart, 10, 100, "cell"),
+            record(RecordKind::Event, 11, 150, "cache.miss"),
+            record(RecordKind::SpanEnd, 10, 400, "cell"),
+            record(RecordKind::SpanStart, 12, 500, "never-closed"),
+        ];
+        let events = wall_timeline(&records);
+        let slices: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(slices.len(), 1, "unclosed spans are dropped");
+        assert_eq!(slices[0].get("dur").unwrap().as_u64(), Some(300));
+        assert_eq!(
+            slices[0].get("args").unwrap().get("cell").unwrap().as_str(),
+            Some("vvadd/rocket")
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").unwrap().as_str() == Some("i")));
+    }
+
+    #[test]
+    fn documents_are_wellformed_and_tagged() {
+        let doc = trace_events_document(wall_timeline(&[]));
+        let parsed = Json::parse(&doc.render()).unwrap();
+        assert!(parsed.get("traceEvents").unwrap().as_array().is_some());
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .unwrap()
+                .get("schema")
+                .unwrap()
+                .as_str(),
+            Some(PERFETTO_SCHEMA)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Simulator hot-path statistics.
+//!
+//! The core models step millions of cycles per run; they cannot afford
+//! a registry lookup — or even a span — per cycle. Instead the harness
+//! settles a small set of fixed global atomics once per measurement
+//! session (`Perf::run` adds the cycles it stepped after its loop
+//! finishes), and only when [`sim_enabled`] says so. The per-cycle
+//! cost is therefore zero, enabled or not, which is what keeps the
+//! earlier hot-path wins intact (the bench ledger's ≤1% overhead
+//! contract is enforced in CI).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::json::Json;
+
+static SIM_ENABLED: AtomicBool = AtomicBool::new(false);
+static STATS: SimStats = SimStats {
+    rocket_cycles: AtomicU64::new(0),
+    boom_cycles: AtomicU64::new(0),
+};
+
+/// Cycle tallies per core family, settled once per measurement session.
+pub struct SimStats {
+    pub rocket_cycles: AtomicU64,
+    pub boom_cycles: AtomicU64,
+}
+
+impl SimStats {
+    /// The tallies as a canonical JSON object.
+    pub fn snapshot(&self) -> Json {
+        Json::object(vec![
+            (
+                "boom_cycles",
+                Json::Int(self.boom_cycles.load(Ordering::Relaxed)),
+            ),
+            (
+                "rocket_cycles",
+                Json::Int(self.rocket_cycles.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+
+    /// Zeroes every tally.
+    pub fn reset(&self) {
+        self.rocket_cycles.store(0, Ordering::Relaxed);
+        self.boom_cycles.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The guard the harness takes before touching [`sim_stats`].
+#[inline(always)]
+pub fn sim_enabled() -> bool {
+    SIM_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns simulator statistics collection on or off (process-wide).
+pub fn set_sim_stats(enabled: bool) {
+    SIM_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// The process-wide tallies.
+pub fn sim_stats() -> &'static SimStats {
+    &STATS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        // Process-global state: run the whole lifecycle in one test.
+        assert!(!sim_enabled());
+        set_sim_stats(true);
+        assert!(sim_enabled());
+        sim_stats().rocket_cycles.fetch_add(3, Ordering::Relaxed);
+        sim_stats().boom_cycles.fetch_add(2, Ordering::Relaxed);
+        let json = sim_stats().snapshot();
+        assert_eq!(json.get("rocket_cycles").unwrap().as_u64(), Some(3));
+        assert_eq!(json.get("boom_cycles").unwrap().as_u64(), Some(2));
+        sim_stats().reset();
+        set_sim_stats(false);
+        assert_eq!(
+            sim_stats()
+                .snapshot()
+                .get("rocket_cycles")
+                .unwrap()
+                .as_u64(),
+            Some(0)
+        );
+    }
+}

@@ -167,6 +167,15 @@ impl Perf {
     /// the campaign runner can record as a per-cell timeout, instead of
     /// panicking the worker.
     pub fn run(&self, core: &mut dyn EventCore) -> Result<PerfReport, PerfError> {
+        // One span per measurement session (never per cycle — the loop
+        // below is the hottest path in the workspace).
+        let _session_span = icicle_obs::span_with(icicle_obs::Level::Debug, "perf.run", || {
+            vec![
+                ("core", core.name().into()),
+                ("max_cycles", self.options.max_cycles.into()),
+                ("traced", self.options.trace.is_some().into()),
+            ]
+        });
         let (mut csr, slot_map) = Perf::program_all_events(core, self.options.arch)?;
 
         // Multiplex bookkeeping: which group each slot belongs to and how
@@ -207,6 +216,7 @@ impl Perf {
             .map(|e| LaneCounts::new(*e))
             .collect();
 
+        let start_cycle = core.cycle();
         while !core.is_done() {
             if core.cycle() >= self.options.max_cycles {
                 return Err(PerfError::CycleBudget {
@@ -243,6 +253,20 @@ impl Perf {
             for l in &mut lanes {
                 l.observe(vector);
             }
+        }
+
+        // Global simulator tallies, settled once per session rather than
+        // per cycle — the step() loop above stays free of any
+        // observability cost, enabled or not.
+        if icicle_obs::sim_enabled() {
+            let stepped = core.cycle() - start_cycle;
+            let stats = icicle_obs::sim_stats();
+            let tally = if core.name() == "rocket" {
+                &stats.rocket_cycles
+            } else {
+                &stats.boom_cycles
+            };
+            tally.fetch_add(stepped, std::sync::atomic::Ordering::Relaxed);
         }
 
         // Read the counters back into an event-count view (the software

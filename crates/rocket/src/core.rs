@@ -528,6 +528,10 @@ impl Rocket {
 
 impl EventCore for Rocket {
     fn step(&mut self) -> &EventVector {
+        // Deliberately free of observability hooks: the global cycle
+        // tallies are settled once per session by `Perf::run`, so this
+        // loop pays nothing for the tracing layer. The bench ledger's
+        // ≤1% overhead contract rides on that staying true.
         self.events.clear();
         self.retired_pcs.clear();
         self.events.raise(EventId::Cycles);

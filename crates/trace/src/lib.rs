@@ -45,5 +45,5 @@ mod trace;
 
 pub use analysis::{OverlapAnalysis, OverlapReport, TemporalClass, TemporalReport, TemporalTma};
 pub use cdf::Cdf;
-pub use slots::{SlotReport, SlotTemporalTma};
+pub use slots::{SlotClass, SlotReport, SlotTemporalTma};
 pub use trace::{Trace, TraceChannel, TraceConfig, TraceError, Window};

@@ -52,6 +52,28 @@ impl SlotReport {
     }
 }
 
+/// The class of one slot (cycle × commit lane).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SlotClass {
+    Retiring,
+    BadSpeculation,
+    Frontend,
+    Backend,
+}
+
+impl SlotClass {
+    /// Canonical snake_case name, matching the verify report's class
+    /// order.
+    pub fn name(self) -> &'static str {
+        match self {
+            SlotClass::Retiring => "retiring",
+            SlotClass::BadSpeculation => "bad_speculation",
+            SlotClass::Frontend => "frontend",
+            SlotClass::Backend => "backend",
+        }
+    }
+}
+
 /// The slot-granular classifier.
 #[derive(Clone, Debug)]
 pub struct SlotTemporalTma {
@@ -97,6 +119,27 @@ impl SlotTemporalTma {
         })
     }
 
+    /// The commit width the classifier was bound for.
+    pub fn width(&self) -> usize {
+        self.retired_bits.len()
+    }
+
+    /// Classifies one slot. This is the *only* place the classification
+    /// rules live: [`analyze`](Self::analyze) and the Perfetto timeline
+    /// exporter both go through it, so a rendered timeline can never
+    /// drift from the aggregate report.
+    pub fn classify(&self, trace: &Trace, cycle: u64, lane: usize) -> SlotClass {
+        if trace.is_high(self.retired_bits[lane], cycle) {
+            SlotClass::Retiring
+        } else if trace.is_high(self.recovering_bit, cycle) {
+            SlotClass::BadSpeculation
+        } else if trace.is_high(self.bubble_bits[lane], cycle) {
+            SlotClass::Frontend
+        } else {
+            SlotClass::Backend
+        }
+    }
+
     /// Classifies every slot in the trace.
     pub fn analyze(&self, trace: &Trace) -> SlotReport {
         let width = self.retired_bits.len();
@@ -105,16 +148,12 @@ impl SlotTemporalTma {
             ..SlotReport::default()
         };
         for cycle in trace.first_cycle()..trace.end_cycle() {
-            let recovering = trace.is_high(self.recovering_bit, cycle);
             for lane in 0..width {
-                if trace.is_high(self.retired_bits[lane], cycle) {
-                    report.retiring += 1;
-                } else if recovering {
-                    report.bad_speculation += 1;
-                } else if trace.is_high(self.bubble_bits[lane], cycle) {
-                    report.frontend += 1;
-                } else {
-                    report.backend += 1;
+                match self.classify(trace, cycle, lane) {
+                    SlotClass::Retiring => report.retiring += 1,
+                    SlotClass::BadSpeculation => report.bad_speculation += 1,
+                    SlotClass::Frontend => report.frontend += 1,
+                    SlotClass::Backend => report.backend += 1,
                 }
             }
         }

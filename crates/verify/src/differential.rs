@@ -233,13 +233,24 @@ fn verify_run(
         None => derivation.bound(),
     };
 
-    Ok(CellVerdict {
+    let verdict = CellVerdict {
         cell: cell.clone(),
         cycles: report.cycles,
         slots: temporal.slots,
         classes: readings(&report.tma.top, &temporal, &bound),
         derivation,
-    })
+    };
+    icicle_obs::event_with(icicle_obs::Level::Debug, "verify.divergence", || {
+        let worst = verdict.worst();
+        vec![
+            ("cell", verdict.cell.label().into()),
+            ("passed", verdict.passed().into()),
+            ("worst_class", worst.name.into()),
+            ("worst_divergence", worst.divergence().into()),
+            ("worst_bound", worst.bound.into()),
+        ]
+    });
+    Ok(verdict)
 }
 
 fn readings(

@@ -49,6 +49,7 @@ pub mod fuzz;
 pub mod golden;
 pub mod matrix;
 pub mod report;
+pub mod timeline;
 
 pub use archdiff::{diff_synthetic, diff_workload, ArchAgreement, ArchDifferential};
 pub use bound::{BoundDerivation, DivergenceBound};
@@ -61,6 +62,7 @@ pub use fuzz::{run_fuzz, shrink, FuzzCase, FuzzDivergence, FuzzOp, FuzzOptions, 
 pub use golden::{compare_or_update, update_requested, GoldenOutcome, UPDATE_ENV};
 pub use matrix::{default_matrix, run_matrix, MatrixOptions};
 pub use report::MatrixReport;
+pub use timeline::export_cell_timeline;
 
 #[cfg(test)]
 mod tests {

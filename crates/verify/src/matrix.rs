@@ -9,11 +9,12 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use icicle_boom::BoomSize;
 use icicle_campaign::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use icicle_campaign::{CampaignSpec, CoreSelect, JobQueue, Progress, ProgressFn};
+use icicle_obs::{self as obs, MetricsRegistry};
 use icicle_pmu::CounterArch;
 
 use crate::differential::{verify_cell, CellVerdict};
@@ -30,6 +31,9 @@ pub struct MatrixOptions {
     /// bound count as `simulated`, out-of-bound or errored cells as
     /// `failed`).
     pub progress: Option<Box<ProgressFn>>,
+    /// Metrics registry for this run's counters (`verify.cells.*`).
+    /// `None` (the default) records nothing.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl MatrixOptions {
@@ -85,6 +89,9 @@ pub fn run_matrix(spec: &CampaignSpec, options: &MatrixOptions) -> MatrixReport 
         for _ in 0..worker_count {
             scope.spawn(|| {
                 while let Some(index) = queue.pop() {
+                    let _cell_span = obs::span_with(obs::Level::Info, "verify.cell", || {
+                        vec![("cell", cells[index].label().into())]
+                    });
                     // Supervised like the campaign runner: a panicking
                     // differential costs the matrix one cell, reported
                     // as that cell's failure, never the whole run.
@@ -102,6 +109,16 @@ pub fn run_matrix(spec: &CampaignSpec, options: &MatrixOptions) -> MatrixReport 
                     let ok = matches!(&outcome, Ok(v) if v.passed());
                     let counter = if ok { &verified } else { &failed };
                     counter.fetch_add(1, Ordering::Relaxed);
+                    if let Some(metrics) = options.metrics.as_deref() {
+                        metrics.counter("verify.cells.total").inc();
+                        metrics
+                            .counter(if ok {
+                                "verify.cells.passed"
+                            } else {
+                                "verify.cells.failed"
+                            })
+                            .inc();
+                    }
                     *lock_unpoisoned(&slots[index]) = Some(outcome);
                     if let Some(report) = &options.progress {
                         report(Progress {
@@ -189,10 +206,10 @@ mod tests {
             &tiny_spec(),
             &MatrixOptions {
                 jobs: 1,
-                flat_bound: None,
                 progress: Some(Box::new(move |p: Progress| {
                     done_in_cb.store(p.done(), Ordering::Relaxed);
                 })),
+                ..MatrixOptions::default()
             },
         );
         assert_eq!(done.load(Ordering::Relaxed), 2);

@@ -1,0 +1,173 @@
+//! The observability layer end to end: span trees stay well-formed
+//! under the threaded campaign runner, and the metrics registry is
+//! deterministic at any worker count.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use icicle_campaign::{run_campaign, CampaignSpec, CoreSelect, RunOptions};
+use icicle_obs::{self as obs, MetricsRegistry, Record, RecordKind, RingCollector};
+use icicle_pmu::CounterArch;
+
+/// The tracing runtime is process-global; tests that install a
+/// collector must not overlap.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec::new("obs-layer")
+        .workloads(["vvadd", "towers"])
+        .cores([CoreSelect::Rocket])
+        .archs([CounterArch::AddWires])
+}
+
+/// Replays the record log and asserts the span tree is well-formed:
+/// per-thread starts and ends nest like brackets, every span closes
+/// exactly once, and every parent link points at an already-open span
+/// on the same thread.
+fn assert_well_formed(records: &[Record]) {
+    let mut open_per_thread: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut closed: Vec<u64> = Vec::new();
+    for r in records {
+        match r.kind {
+            RecordKind::SpanStart => {
+                if let Some(parent) = r.parent {
+                    let stack = open_per_thread.get(&r.thread).cloned().unwrap_or_default();
+                    assert_eq!(
+                        stack.last(),
+                        Some(&parent),
+                        "span {} `{}` links to parent {parent}, but that span \
+                         is not innermost on thread {}",
+                        r.id,
+                        r.name,
+                        r.thread
+                    );
+                }
+                open_per_thread.entry(r.thread).or_default().push(r.id);
+            }
+            RecordKind::SpanEnd => {
+                let stack = open_per_thread
+                    .get_mut(&r.thread)
+                    .unwrap_or_else(|| panic!("span {} ends on a thread with no opens", r.id));
+                assert_eq!(
+                    stack.pop(),
+                    Some(r.id),
+                    "span {} `{}` ends out of nesting order",
+                    r.id,
+                    r.name
+                );
+                assert!(!closed.contains(&r.id), "span {} closed twice", r.id);
+                closed.push(r.id);
+            }
+            RecordKind::Event => {
+                // Events may appear anywhere; nothing to check beyond
+                // the parent link, which mirrors SpanStart's rule.
+                if let Some(parent) = r.parent {
+                    let stack = open_per_thread.get(&r.thread).cloned().unwrap_or_default();
+                    assert_eq!(stack.last(), Some(&parent));
+                }
+            }
+        }
+    }
+    for (thread, stack) in &open_per_thread {
+        assert!(
+            stack.is_empty(),
+            "thread {thread} leaked open spans: {stack:?}"
+        );
+    }
+}
+
+#[test]
+fn campaign_span_tree_is_well_formed() {
+    let _guard = serial();
+    let ring = Arc::new(RingCollector::new(65_536));
+    obs::install(
+        obs::Level::Debug,
+        Arc::clone(&ring) as Arc<dyn obs::Collector>,
+    );
+    let report = run_campaign(&tiny_spec(), &RunOptions::with_jobs(4));
+    obs::shutdown();
+    assert!(report.passed(), "campaign must succeed to emit full spans");
+
+    let records = ring.records();
+    let starts = records
+        .iter()
+        .filter(|r| r.kind == RecordKind::SpanStart)
+        .count();
+    let ends = records
+        .iter()
+        .filter(|r| r.kind == RecordKind::SpanEnd)
+        .count();
+    // One campaign.run span plus one campaign.cell span per cell.
+    assert!(starts >= 3, "expected run + cell spans, got {starts}");
+    assert_eq!(starts, ends, "every span must close exactly once");
+    assert!(records
+        .iter()
+        .any(|r| r.kind == RecordKind::SpanStart && r.name == "campaign.run"));
+    assert!(records
+        .iter()
+        .any(|r| r.kind == RecordKind::SpanStart && r.name == "campaign.cell"));
+    assert_well_formed(&records);
+}
+
+#[test]
+fn campaign_metrics_are_worker_count_invariant() {
+    let _guard = serial();
+    let spec = tiny_spec();
+    let run = |jobs: usize| -> String {
+        let registry = Arc::new(MetricsRegistry::new());
+        let report = run_campaign(
+            &spec,
+            &RunOptions {
+                jobs,
+                metrics: Some(Arc::clone(&registry)),
+                ..RunOptions::default()
+            },
+        );
+        assert!(report.passed());
+        registry.render()
+    };
+    let one = run(1);
+    let eight = run(8);
+    assert_eq!(
+        one, eight,
+        "metrics snapshots must be byte-identical at any --jobs count"
+    );
+    assert!(one.contains("campaign.cells.total"));
+    assert!(one.contains("campaign.cell_cycles"));
+}
+
+#[test]
+fn verify_matrix_metrics_are_worker_count_invariant() {
+    let _guard = serial();
+    use icicle_verify::{run_matrix, MatrixOptions};
+    let spec = tiny_spec();
+    let run = |jobs: usize| -> String {
+        let registry = Arc::new(MetricsRegistry::new());
+        let report = run_matrix(
+            &spec,
+            &MatrixOptions {
+                jobs,
+                metrics: Some(Arc::clone(&registry)),
+                ..MatrixOptions::default()
+            },
+        );
+        assert!(report.passed(), "{report}");
+        registry.render()
+    };
+    assert_eq!(run(1), run(8));
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = serial();
+    obs::shutdown();
+    assert!(!obs::enabled(obs::Level::Error));
+    // The disabled path must not panic and must stay silent.
+    let _span = obs::span(obs::Level::Info, "never.seen");
+    obs::event(obs::Level::Info, "never.seen.event");
+}

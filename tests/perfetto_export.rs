@@ -1,0 +1,120 @@
+//! Perfetto export: the exported Chrome `trace_events` document is
+//! well-formed, schema-stable, and byte-identical to a golden snapshot
+//! for one fixed cell (regenerate with `ICICLE_UPDATE_GOLDEN=1`).
+
+use std::path::Path;
+
+use icicle_campaign::{CellSpec, CoreSelect};
+use icicle_obs::Json;
+use icicle_pmu::CounterArch;
+use icicle_verify::{export_cell_timeline, golden};
+
+fn golden_cell() -> CellSpec {
+    CellSpec {
+        workload: "vvadd".to_string(),
+        core: CoreSelect::Rocket,
+        arch: CounterArch::AddWires,
+        seed: 0,
+        repeat: 0,
+        max_cycles: 10_000_000,
+    }
+}
+
+/// Asserts `doc` is a structurally valid Chrome `trace_events` document
+/// — the same check CI runs against the exported artifact.
+fn assert_trace_events_schema(doc: &Json) {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    assert_eq!(
+        doc.get("otherData")
+            .and_then(|o| o.get("schema"))
+            .and_then(Json::as_str),
+        Some(icicle_obs::PERFETTO_SCHEMA)
+    );
+    for event in events {
+        let ph = event.get("ph").and_then(Json::as_str).expect("ph");
+        let name = event.get("name").and_then(Json::as_str).expect("name");
+        assert!(event.get("pid").and_then(Json::as_u64).is_some());
+        // Process-scoped metadata is the one event without a thread.
+        if !(ph == "M" && name == "process_name") {
+            assert!(event.get("tid").and_then(Json::as_u64).is_some(), "{name}");
+        }
+        match ph {
+            "X" => {
+                // Complete events carry a start and a duration.
+                assert!(event.get("ts").is_some(), "X event without ts");
+                assert!(event.get("dur").and_then(Json::as_u64).is_some());
+                assert!(event.get("cat").and_then(Json::as_str).is_some());
+            }
+            "M" => {
+                // Metadata names a process or thread.
+                let name = event.get("name").and_then(Json::as_str).unwrap();
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "unexpected metadata `{name}`"
+                );
+                assert!(event.get("args").and_then(|a| a.get("name")).is_some());
+            }
+            "i" => {
+                assert!(event.get("ts").is_some(), "instant without ts");
+            }
+            other => panic!("unexpected phase `{other}`"),
+        }
+    }
+}
+
+#[test]
+fn exported_document_matches_the_trace_events_schema() {
+    let doc = export_cell_timeline(&golden_cell(), Some(64)).unwrap();
+    assert_trace_events_schema(&doc);
+}
+
+#[test]
+fn fixed_cell_export_matches_the_golden_snapshot() {
+    let doc = export_cell_timeline(&golden_cell(), Some(64)).unwrap();
+    let rendered = format!("{}\n", doc.render());
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/perfetto_cell.json");
+    if let Err(e) = golden::compare_or_update(&path, &rendered) {
+        panic!("{e}");
+    }
+}
+
+#[test]
+fn golden_snapshot_slices_reproduce_slot_classification() {
+    use icicle_trace::SlotClass;
+    // The cycle-domain slices must partition the windowed slots into the
+    // four TMA classes — no gaps, no overlap, byte-for-byte the same
+    // classification the differential uses.
+    let doc = export_cell_timeline(&golden_cell(), Some(64)).unwrap();
+    let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+    let class_names = [
+        SlotClass::Retiring.name(),
+        SlotClass::BadSpeculation.name(),
+        SlotClass::Frontend.name(),
+        SlotClass::Backend.name(),
+    ];
+    // Rocket: a single commit lane on tid 1, pid 1 (the cycle domain).
+    let mut covered = 0u64;
+    let mut cursor: Option<u64> = None;
+    for event in events {
+        if event.get("pid").and_then(Json::as_u64) != Some(1)
+            || event.get("tid").and_then(Json::as_u64) != Some(1)
+            || event.get("ph").and_then(Json::as_str) != Some("X")
+        {
+            continue;
+        }
+        let name = event.get("name").and_then(Json::as_str).unwrap();
+        assert!(class_names.contains(&name), "non-class slice `{name}`");
+        let ts = event.get("ts").and_then(Json::as_u64).unwrap();
+        let dur = event.get("dur").and_then(Json::as_u64).unwrap();
+        if let Some(expected) = cursor {
+            assert_eq!(ts, expected, "gap or overlap in the slot timeline");
+        }
+        cursor = Some(ts + dur);
+        covered += dur;
+    }
+    assert_eq!(covered, 64, "the window's slots must be fully classified");
+}
