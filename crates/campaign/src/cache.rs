@@ -10,18 +10,27 @@
 //! Disk writes go through a temp file + rename, so a crashed or killed
 //! campaign never leaves a half-written entry that would poison later
 //! runs; unparsable entries are treated as misses and overwritten.
+//!
+//! The cache is also the workspace's **shared content-addressed
+//! store**: one `Arc<ResultCache>` can back any number of concurrent
+//! campaigns (the analysis server hands every job the same store), and
+//! [`ResultCache::lease`] adds single-flight semantics on top of plain
+//! `get`/`put` — when two runs race on the same fingerprint, exactly
+//! one becomes the *leader* and simulates while the others block and
+//! then read the leader's result, so overlapping grids dedupe work
+//! instead of duplicating it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use crate::fingerprint::Fingerprint;
 use crate::json::Json;
 use crate::report::CellResult;
-use crate::sync::lock_unpoisoned;
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 
 /// A two-tier (memory + optional disk) result cache, safe to share
 /// across worker threads.
@@ -30,6 +39,10 @@ pub struct ResultCache {
     memory: Mutex<HashMap<u64, CellResult>>,
     disk: Option<PathBuf>,
     quarantined: AtomicUsize,
+    /// Fingerprints some worker is currently computing (single-flight).
+    in_flight: Mutex<HashSet<u64>>,
+    /// Signalled whenever a flight completes (put) or aborts (drop).
+    flight_done: Condvar,
 }
 
 impl ResultCache {
@@ -48,9 +61,8 @@ impl ResultCache {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         Ok(ResultCache {
-            memory: Mutex::new(HashMap::new()),
             disk: Some(dir),
-            quarantined: AtomicUsize::new(0),
+            ..ResultCache::default()
         })
     }
 
@@ -101,7 +113,40 @@ impl ResultCache {
     pub fn put(&self, fp: Fingerprint, result: &CellResult) {
         lock_unpoisoned(&self.memory).insert(fp.0, result.clone());
         if let Some(path) = self.entry_path(fp) {
-            let _ = write_atomically(&path, &(result.to_json().render() + "\n"));
+            let _ = icicle_obs::write_atomic(&path, &(result.to_json().render() + "\n"));
+        }
+        // Wake any lease waiters parked on this fingerprint; they will
+        // re-check and find the memory-tier entry.
+        self.flight_done.notify_all();
+    }
+
+    /// Single-flight lookup: either the cached result, or the exclusive
+    /// right (and obligation) to compute it.
+    ///
+    /// * [`Lease::Hit`] — the result already exists (another run put it,
+    ///   possibly while this call was blocked waiting for it).
+    /// * [`Lease::Lead`] — this caller is the unique leader for `fp`;
+    ///   it must simulate and [`ResultCache::put`] the result. Dropping
+    ///   the returned [`FlightGuard`] without a `put` (the simulation
+    ///   failed) releases the flight so a blocked waiter takes over as
+    ///   the next leader instead of waiting forever.
+    ///
+    /// Callers racing on the same fingerprint therefore do the work
+    /// exactly once per success, no matter how many concurrent
+    /// campaigns submit the cell.
+    pub fn lease(&self, fp: Fingerprint) -> Lease<'_> {
+        let mut in_flight = lock_unpoisoned(&self.in_flight);
+        loop {
+            // Check under the in_flight lock so a leader's put (which
+            // inserts into memory before its guard drops) cannot be
+            // missed between the miss and the wait.
+            if let Some(hit) = self.get(fp) {
+                return Lease::Hit(hit);
+            }
+            if in_flight.insert(fp.0) {
+                return Lease::Lead(FlightGuard { cache: self, fp });
+            }
+            in_flight = wait_unpoisoned(&self.flight_done, in_flight);
         }
     }
 
@@ -116,14 +161,30 @@ impl ResultCache {
     }
 }
 
-fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
-    let parent = path
-        .parent()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "entry path has no parent"))?;
-    fs::create_dir_all(parent)?;
-    let tmp = path.with_extension("json.tmp");
-    fs::write(&tmp, contents)?;
-    fs::rename(&tmp, path)
+/// The outcome of a [`ResultCache::lease`] call.
+pub enum Lease<'a> {
+    /// The result already exists.
+    Hit(CellResult),
+    /// The caller is the unique leader for this fingerprint and must
+    /// compute + [`ResultCache::put`] the result (or drop the guard to
+    /// abdicate).
+    Lead(FlightGuard<'a>),
+}
+
+/// The leader's exclusive claim on one in-flight fingerprint.
+///
+/// Dropping it releases the claim and wakes every blocked
+/// [`ResultCache::lease`] waiter, whether or not a result was `put`.
+pub struct FlightGuard<'a> {
+    cache: &'a ResultCache,
+    fp: Fingerprint,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        lock_unpoisoned(&self.cache.in_flight).remove(&self.fp.0);
+        self.cache.flight_done.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +307,68 @@ mod tests {
         let fresh = ResultCache::with_disk(&dir).unwrap();
         assert_eq!(fresh.get(fp), Some(sample(9)));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_single_flight_dedupes_concurrent_computation() {
+        let cache = ResultCache::in_memory();
+        let fp = Fingerprint(0x51f1);
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| match cache.lease(fp) {
+                    Lease::Hit(hit) => assert_eq!(hit, sample(1)),
+                    Lease::Lead(_guard) => {
+                        computed.fetch_add(1, Ordering::Relaxed);
+                        // Linger so the other threads park on the flight
+                        // instead of hitting after the fact.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        cache.put(fp, &sample(1));
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one leader");
+        assert_eq!(cache.get(fp), Some(sample(1)));
+    }
+
+    #[test]
+    fn dropped_lead_releases_the_flight() {
+        let cache = ResultCache::in_memory();
+        let fp = Fingerprint(0xabad);
+        let Lease::Lead(guard) = cache.lease(fp) else {
+            panic!("fresh fingerprint must lead");
+        };
+        drop(guard);
+        // The flight was released: a second lease leads again instead of
+        // blocking forever on an abandoned computation.
+        assert!(
+            matches!(cache.lease(fp), Lease::Lead(_)),
+            "nothing was put, so the second lease must lead"
+        );
+    }
+
+    #[test]
+    fn waiter_takes_over_after_leader_failure() {
+        let cache = ResultCache::in_memory();
+        let fp = Fingerprint(0x7a7a);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let Lease::Lead(guard) = cache.lease(fp) else {
+                    panic!("first lease must lead");
+                };
+                barrier.wait();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                // Abdicate without a put: the simulation "failed".
+                drop(guard);
+            });
+            barrier.wait();
+            match cache.lease(fp) {
+                Lease::Lead(_guard) => {} // promoted once the leader dropped
+                Lease::Hit(_) => panic!("no result was ever put"),
+            }
+        });
     }
 
     #[test]

@@ -45,12 +45,14 @@ pub mod sync;
 // keeps `icicle_campaign::json::Json` paths working.
 pub use icicle_obs::json;
 
-pub use cache::ResultCache;
+pub use cache::{FlightGuard, Lease, ResultCache};
 pub use checkpoint::CheckpointLog;
 pub use error::CellError;
 pub use fingerprint::{data_seed, fingerprint, Fingerprint, CACHE_FORMAT_VERSION};
 pub use report::{CampaignReport, CellFailure, CellResult, Incident, RunStats, TmaSummary};
-pub use runner::{run_campaign, simulate_cell, JobQueue, Progress, ProgressFn, RunOptions};
+pub use runner::{
+    run_campaign, simulate_cell, JobQueue, Priority, Progress, ProgressFn, RunOptions,
+};
 pub use spec::{CampaignSpec, CellSpec, CoreSelect, SpecError};
 
 #[cfg(test)]

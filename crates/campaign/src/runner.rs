@@ -39,7 +39,7 @@ use icicle_perf::{Perf, PerfOptions};
 use icicle_rocket::{Rocket, RocketConfig};
 use icicle_workloads as workloads;
 
-use crate::cache::ResultCache;
+use crate::cache::{Lease, ResultCache};
 use crate::checkpoint::CheckpointLog;
 use crate::error::CellError;
 use crate::fingerprint::{data_seed, fingerprint, Fingerprint};
@@ -47,12 +47,62 @@ use crate::report::{CampaignReport, CellFailure, CellResult, Incident, RunStats}
 use crate::spec::{CampaignSpec, CellSpec, CoreSelect};
 use crate::sync::{into_inner_unpoisoned, lock_unpoisoned, wait_unpoisoned};
 
+/// Scheduling priority of one submitted job.
+///
+/// Three bands are enough for the analysis server's policy (interactive
+/// verifies ahead of bulk sweeps) without turning the queue into a full
+/// priority heap; within a band, FIFO order is preserved, which is what
+/// keeps the campaign runner's accounting and determinism tests stable.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Priority {
+    /// Drained before everything else (interactive clients).
+    High,
+    /// The default band; plain [`JobQueue::push`] lands here.
+    #[default]
+    Normal,
+    /// Drained only when the other bands are empty (bulk sweeps).
+    Low,
+}
+
+impl Priority {
+    /// Band index: 0 is drained first.
+    fn band(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// The wire name (`high` / `normal` / `low`) used by the service
+    /// API and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses a wire name produced by [`Priority::name`].
+    pub fn from_name(name: &str) -> Option<Priority> {
+        match name {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
 /// A blocking multi-producer multi-consumer queue of job indices
-/// (`Mutex<VecDeque>` + condvar — the workspace stays dependency-free).
+/// (`Mutex<VecDeque>` + condvar — the workspace stays dependency-free),
+/// with three FIFO priority bands (see [`Priority`]).
 ///
 /// The campaign runner fills it up front and closes it, but the
-/// blocking-pop shape means a future streaming producer (e.g. a spec
-/// arriving over a socket) plugs in without touching the workers.
+/// blocking-pop shape means a streaming producer (the analysis server's
+/// scheduler, a spec arriving over a socket) plugs in without touching
+/// the workers.
 ///
 /// The queue also carries the runner's accounting contract: it counts
 /// every submission, so after a run the caller can assert that each
@@ -66,7 +116,8 @@ pub struct JobQueue {
 
 #[derive(Debug, Default)]
 struct QueueState {
-    jobs: VecDeque<usize>,
+    /// One FIFO per band, indexed by [`Priority::band`].
+    bands: [VecDeque<usize>; 3],
     closed: bool,
     submitted: usize,
 }
@@ -77,15 +128,24 @@ impl JobQueue {
         JobQueue::default()
     }
 
-    /// Enqueues one job index.
+    /// Enqueues one job index at [`Priority::Normal`].
     ///
     /// # Panics
     ///
     /// Panics if the queue is already closed.
     pub fn push(&self, job: usize) {
+        self.push_with_priority(job, Priority::Normal);
+    }
+
+    /// Enqueues one job index into the band for `priority`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is already closed.
+    pub fn push_with_priority(&self, job: usize, priority: Priority) {
         let mut state = lock_unpoisoned(&self.state);
         assert!(!state.closed, "push into a closed JobQueue");
-        state.jobs.push_back(job);
+        state.bands[priority.band()].push_back(job);
         state.submitted += 1;
         drop(state);
         self.ready.notify_one();
@@ -100,27 +160,38 @@ impl JobQueue {
     /// Cancels the queue (fail-fast): closes it *and* drains the jobs
     /// that have not been popped yet, returning them so the caller can
     /// record a skipped outcome for each — cancellation must not leave
-    /// submitted jobs unaccounted for.
+    /// submitted jobs unaccounted for. Jobs come back in drain order
+    /// (high band first, FIFO within a band).
     pub fn cancel(&self) -> Vec<usize> {
         let mut state = lock_unpoisoned(&self.state);
         state.closed = true;
-        let cancelled = state.jobs.drain(..).collect();
+        let mut cancelled = Vec::new();
+        for band in &mut state.bands {
+            cancelled.extend(band.drain(..));
+        }
         drop(state);
         self.ready.notify_all();
         cancelled
     }
 
-    /// Jobs ever submitted via [`JobQueue::push`].
+    /// Jobs ever submitted via [`JobQueue::push`] /
+    /// [`JobQueue::push_with_priority`].
     pub fn submitted(&self) -> usize {
         lock_unpoisoned(&self.state).submitted
     }
 
-    /// Blocks for the next job; `None` once the queue is closed and
-    /// empty.
+    /// Jobs currently queued (not yet popped), across all bands.
+    pub fn queued(&self) -> usize {
+        let state = lock_unpoisoned(&self.state);
+        state.bands.iter().map(VecDeque::len).sum()
+    }
+
+    /// Blocks for the next job (highest non-empty band first); `None`
+    /// once the queue is closed and empty.
     pub fn pop(&self) -> Option<usize> {
         let mut state = lock_unpoisoned(&self.state);
         loop {
-            if let Some(job) = state.jobs.pop_front() {
+            if let Some(job) = state.bands.iter_mut().find_map(VecDeque::pop_front) {
                 return Some(job);
             }
             if state.closed {
@@ -189,6 +260,13 @@ pub struct RunOptions {
     /// quantity is deterministic, so a snapshot is byte-identical at any
     /// `jobs` count.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Cooperative cancellation: when the flag flips to `true`, workers
+    /// stop picking up new cells and every cell that has not run yet is
+    /// reported as skipped (the same accounting fail-fast uses). Cells
+    /// already simulating finish normally — the runner never tears down
+    /// a simulation mid-flight. `None` (the default) means the run is
+    /// not cancellable.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for RunOptions {
@@ -203,6 +281,7 @@ impl Default for RunOptions {
             resume: false,
             faults: None,
             metrics: None,
+            cancel: None,
         }
     }
 }
@@ -265,6 +344,41 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
         for _ in 0..worker_count {
             scope.spawn(|| {
                 while let Some(index) = queue.pop() {
+                    if options
+                        .cancel
+                        .as_deref()
+                        .is_some_and(|flag| flag.load(Ordering::SeqCst))
+                    {
+                        // External cancellation: this cell and everything
+                        // still queued become skips, reusing the
+                        // fail-fast accounting so nothing is lost.
+                        cancelled.store(true, Ordering::SeqCst);
+                        let mut to_skip = vec![index];
+                        to_skip.extend(queue.cancel());
+                        for job in to_skip {
+                            skipped.fetch_add(1, Ordering::Relaxed);
+                            store_outcome(
+                                &slots[job],
+                                CellOutcome {
+                                    result: Err(CellError::Skipped),
+                                    provenance: Provenance::Simulated,
+                                    attempts: 0,
+                                    incidents: Vec::new(),
+                                },
+                            );
+                        }
+                        if let Some(report) = &options.progress {
+                            report(Progress {
+                                total,
+                                simulated: simulated.load(Ordering::Relaxed),
+                                cached: cached.load(Ordering::Relaxed),
+                                resumed: resumed.load(Ordering::Relaxed),
+                                failed: failed.load(Ordering::Relaxed),
+                                skipped: skipped.load(Ordering::Relaxed),
+                            });
+                        }
+                        continue;
+                    }
                     let cell = &cells[index];
                     let _cell_span = obs::span_with(obs::Level::Info, "campaign.cell", || {
                         vec![("cell", cell.label().into()), ("index", index.into())]
@@ -434,8 +548,26 @@ fn run_one_cell(cell: &CellSpec, index: usize, options: &RunOptions) -> CellOutc
         }
     }
 
-    if let Some(cache) = options.cache.as_ref() {
-        if let Some(mut hit) = cache.get(fp) {
+    let Some(cache) = options.cache.as_ref() else {
+        // Uncached run: simulate unconditionally.
+        let (result, attempts) = supervised_simulate(cell, index, fp, options, &mut incidents);
+        if result.is_ok() {
+            checkpoint_cell(fp, cell, index, options, &mut incidents);
+        }
+        return CellOutcome {
+            result,
+            provenance: Provenance::Simulated,
+            attempts,
+            incidents,
+        };
+    };
+
+    // Single-flight through the shared store: when several campaigns
+    // (the server's concurrent jobs) race on the same fingerprint,
+    // exactly one worker leads and simulates; the others block inside
+    // `lease` and come back with a hit.
+    match cache.lease(fp) {
+        Lease::Hit(mut hit) => {
             hit.from_cache = true;
             obs::event_with(obs::Level::Debug, "campaign.cache.hit", || {
                 vec![("cell", cell.label().into())]
@@ -444,34 +576,37 @@ fn run_one_cell(cell: &CellSpec, index: usize, options: &RunOptions) -> CellOutc
                 metrics.counter("campaign.cache.hits").inc();
             }
             checkpoint_cell(fp, cell, index, options, &mut incidents);
-            return CellOutcome {
+            CellOutcome {
                 result: Ok(hit),
                 provenance: Provenance::Cached,
                 attempts: 0,
                 incidents,
-            };
+            }
         }
-        obs::event_with(obs::Level::Debug, "campaign.cache.miss", || {
-            vec![("cell", cell.label().into())]
-        });
-        if let Some(metrics) = options.metrics.as_deref() {
-            metrics.counter("campaign.cache.misses").inc();
+        Lease::Lead(flight) => {
+            obs::event_with(obs::Level::Debug, "campaign.cache.miss", || {
+                vec![("cell", cell.label().into())]
+            });
+            if let Some(metrics) = options.metrics.as_deref() {
+                metrics.counter("campaign.cache.misses").inc();
+            }
+            let (result, attempts) = supervised_simulate(cell, index, fp, options, &mut incidents);
+            if let Ok(result) = &result {
+                cache.put(fp, result);
+                corrupt_cache_entry(fp, cell, index, attempts, options, &mut incidents);
+                checkpoint_cell(fp, cell, index, options, &mut incidents);
+            }
+            // Release the flight only now: on success the result is
+            // already in the store, on failure a parked waiter is
+            // promoted to leader and retries the computation.
+            drop(flight);
+            CellOutcome {
+                result,
+                provenance: Provenance::Simulated,
+                attempts,
+                incidents,
+            }
         }
-    }
-
-    let (result, attempts) = supervised_simulate(cell, index, fp, options, &mut incidents);
-    if let Ok(result) = &result {
-        if let Some(cache) = &options.cache {
-            cache.put(fp, result);
-            corrupt_cache_entry(fp, cell, index, attempts, options, &mut incidents);
-        }
-        checkpoint_cell(fp, cell, index, options, &mut incidents);
-    }
-    CellOutcome {
-        result,
-        provenance: Provenance::Simulated,
-        attempts,
-        incidents,
     }
 }
 
@@ -709,6 +844,73 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(handle.join().unwrap(), None);
+    }
+
+    #[test]
+    fn queue_drains_bands_in_priority_order() {
+        let q = JobQueue::new();
+        q.push_with_priority(10, Priority::Low);
+        q.push(20); // Normal
+        q.push_with_priority(30, Priority::High);
+        q.push_with_priority(31, Priority::High);
+        q.push(21);
+        q.close();
+        assert_eq!(q.submitted(), 5);
+        assert_eq!(q.queued(), 5);
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![30, 31, 20, 21, 10]);
+    }
+
+    #[test]
+    fn priority_wire_names_round_trip() {
+        for p in [Priority::High, Priority::Normal, Priority::Low] {
+            assert_eq!(Priority::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Priority::from_name("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn cancel_flag_skips_the_remaining_cells() {
+        let spec = CampaignSpec::new("cancelled")
+            .workloads(["vvadd", "towers", "qsort"])
+            .cores([CoreSelect::Rocket])
+            .archs([CounterArch::AddWires]);
+        let flag = Arc::new(AtomicBool::new(true)); // cancelled before it starts
+        let report = run_campaign(
+            &spec,
+            &RunOptions {
+                jobs: 2,
+                cache: None,
+                cancel: Some(Arc::clone(&flag)),
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(report.stats.skipped, 3, "every cell becomes a skip");
+        assert_eq!(report.stats.total(), 3, "no cell is lost");
+        assert!(report.cells.is_empty());
+    }
+
+    #[test]
+    fn unset_cancel_flag_changes_nothing() {
+        let spec = tiny_spec();
+        let flag = Arc::new(AtomicBool::new(false));
+        let cancellable = run_campaign(
+            &spec,
+            &RunOptions {
+                cache: None,
+                cancel: Some(flag),
+                ..RunOptions::default()
+            },
+        );
+        let plain = run_campaign(
+            &spec,
+            &RunOptions {
+                cache: None,
+                ..RunOptions::default()
+            },
+        );
+        assert_eq!(cancellable.to_json(), plain.to_json());
     }
 
     #[test]

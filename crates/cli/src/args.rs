@@ -36,6 +36,12 @@ COMMANDS:
     bench                    Measure simulator throughput into a ledger,
                              or gate one ledger against another
     vlsi                     Print the physical-design cost model (Fig. 9)
+    serve                    Run the long-running analysis server
+                             (HTTP/1.1 + JSON jobs over TCP)
+    submit                   Submit a campaign/verify/bench job to a server
+    status                   Print one job's status, or every job's
+    result                   Fetch a finished job's canonical output
+    cancel                   Cancel a queued or running job
 
 OPTIONS (list):
     --json                   Machine-readable workload/core/arch catalog
@@ -91,6 +97,36 @@ OPTIONS (bench):
     --tolerance <PCT>        Allowed cycles/sec regression in percent
                              [default: 10]
     --metrics-out <PATH>     Write the run's metrics-registry snapshot here
+
+OPTIONS (serve):
+    --addr <HOST:PORT>       Listen address; port 0 picks an ephemeral
+                             port [default: 127.0.0.1:9300]
+    --data-dir <DIR>         Durable state: the shared result store and
+                             the checkpoint logs [default: .icicle-serve]
+    --jobs <N>               Worker threads per campaign run [default: 2]
+    --executors <N>          Jobs running concurrently [default: 2]
+    --capacity <N>           Outstanding jobs server-wide before
+                             submissions shed with 429 [default: 64]
+    --per-client <N>         Outstanding jobs per client identity
+                             [default: 8]
+
+OPTIONS (submit / status / result / cancel):
+    --addr <HOST:PORT>       Server address [default: 127.0.0.1:9300]
+    <SPEC>                   submit: path to a .campaign spec file
+    --verify                 submit: the verify matrix instead of a campaign
+    --bench                  submit: the bench ledger instead of a campaign
+    --bound <PCT>            submit --verify: flat divergence bound in
+                             percent, replacing the per-class bounds
+    --warmup <N>             submit --bench: untimed runs per cell
+                             [default: 1]
+    --repeats <N>            submit --bench: timed runs per cell
+                             [default: 3]
+    --priority <P>           submit: high | normal | low [default: normal]
+    --client <NAME>          submit: quota identity [default: anonymous]
+    --wait                   submit: poll until the job is terminal, then
+                             print its canonical result
+    <ID>                     status/result/cancel: the job id; status
+                             lists every job when the id is omitted
 
 OPTIONS (trace export):
     --cell <W/C/A>           The cell to export, as workload/core/arch,
@@ -226,7 +262,49 @@ pub enum Command {
         tolerance: f64,
     },
     Vlsi,
+    /// Run the analysis server.
+    Serve {
+        addr: String,
+        data_dir: String,
+        jobs: usize,
+        executors: usize,
+        capacity: usize,
+        per_client: usize,
+    },
+    /// Submit a job to a running server.
+    Submit {
+        addr: String,
+        /// Campaign spec path; `None` for --verify / --bench.
+        spec: Option<String>,
+        verify: bool,
+        bench: bool,
+        /// Flat verify bound as a fraction (the flag takes percent).
+        bound: Option<f64>,
+        warmup: u32,
+        repeats: u32,
+        priority: icicle::campaign::Priority,
+        client: Option<String>,
+        wait: bool,
+    },
+    /// Print one job's status, or list every job.
+    Status {
+        addr: String,
+        id: Option<u64>,
+    },
+    /// Fetch a finished job's canonical output.
+    JobResult {
+        addr: String,
+        id: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        addr: String,
+        id: u64,
+    },
 }
+
+/// Where the client verbs (and `serve`) point without `--addr`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:9300";
 
 /// A parse failure with a human-readable message.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -626,6 +704,160 @@ fn parse_trace_export(args: &[String]) -> Result<Command, ParseError> {
     })
 }
 
+fn nonzero_count(value: &str, flag: &str) -> Result<usize, ParseError> {
+    let n: usize = value
+        .parse()
+        .map_err(|_| ParseError(format!("{flag} expects a number")))?;
+    if n == 0 {
+        return err(format!("{flag} must be non-zero"));
+    }
+    Ok(n)
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, ParseError> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut data_dir = ".icicle-serve".to_string();
+    let mut jobs = 2usize;
+    let mut executors = 2usize;
+    let mut capacity = 64usize;
+    let mut per_client = 8usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value()?.clone(),
+            "--data-dir" => data_dir = value()?.clone(),
+            "--jobs" | "-j" => jobs = nonzero_count(value()?, "--jobs")?,
+            "--executors" => executors = nonzero_count(value()?, "--executors")?,
+            "--capacity" => capacity = nonzero_count(value()?, "--capacity")?,
+            "--per-client" => per_client = nonzero_count(value()?, "--per-client")?,
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Command::Serve {
+        addr,
+        data_dir,
+        jobs,
+        executors,
+        capacity,
+        per_client,
+    })
+}
+
+fn parse_submit(args: &[String]) -> Result<Command, ParseError> {
+    use icicle::campaign::Priority;
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut spec = None;
+    let mut verify = false;
+    let mut bench = false;
+    let mut bound = None;
+    let mut warmup = 1u32;
+    let mut repeats = 3u32;
+    let mut priority = Priority::Normal;
+    let mut client = None;
+    let mut wait = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value()?.clone(),
+            "--verify" => verify = true,
+            "--bench" => bench = true,
+            "--bound" => {
+                let pct: f64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--bound expects a percentage".into()))?;
+                if !pct.is_finite() || pct <= 0.0 {
+                    return err("--bound must be a positive percentage");
+                }
+                bound = Some(pct / 100.0);
+            }
+            "--warmup" => {
+                warmup = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--warmup expects a number".into()))?;
+            }
+            "--repeats" => {
+                repeats = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--repeats expects a number".into()))?;
+                if repeats == 0 {
+                    return err("--repeats must be non-zero");
+                }
+            }
+            "--priority" => {
+                let name = value()?;
+                priority = Priority::from_name(name)
+                    .ok_or_else(|| ParseError(format!("unknown priority `{name}`")))?;
+            }
+            "--client" => client = Some(value()?.clone()),
+            "--wait" => wait = true,
+            other if !other.starts_with('-') && spec.is_none() => spec = Some(other.to_string()),
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    match (spec.is_some(), verify, bench) {
+        (true, false, false) | (false, true, false) | (false, false, true) => {}
+        (false, false, false) => {
+            return err("submit needs a campaign spec path, --verify, or --bench")
+        }
+        _ => return err("submit takes exactly one of: a spec path, --verify, --bench"),
+    }
+    if bound.is_some() && !verify {
+        return err("--bound only applies with --verify");
+    }
+    Ok(Command::Submit {
+        addr,
+        spec,
+        verify,
+        bench,
+        bound,
+        warmup,
+        repeats,
+        priority,
+        client,
+        wait,
+    })
+}
+
+/// `status` / `result` / `cancel`: an `--addr` and a positional job id
+/// (required unless `id_optional`, which `status` uses to list jobs).
+fn parse_job_verb(
+    verb: &str,
+    args: &[String],
+    id_optional: bool,
+) -> Result<(String, Option<u64>), ParseError> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut id = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .ok_or_else(|| ParseError("missing value for --addr".into()))?
+                    .clone();
+            }
+            other if !other.starts_with('-') && id.is_none() => {
+                id = Some(other.parse().map_err(|_| {
+                    ParseError(format!("{verb} expects a numeric job id, got `{other}`"))
+                })?);
+            }
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    if id.is_none() && !id_optional {
+        return err(format!("{verb} needs a job id"));
+    }
+    Ok((addr, id))
+}
+
 fn required_workload(opts: &Options) -> Result<String, ParseError> {
     opts.workload
         .clone()
@@ -653,6 +885,26 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "faults" => parse_faults(rest),
         "bench" => parse_bench(rest),
         "vlsi" => Ok(Command::Vlsi),
+        "serve" => parse_serve(rest),
+        "submit" => parse_submit(rest),
+        "status" => {
+            let (addr, id) = parse_job_verb("status", rest, true)?;
+            Ok(Command::Status { addr, id })
+        }
+        "result" => {
+            let (addr, id) = parse_job_verb("result", rest, false)?;
+            Ok(Command::JobResult {
+                addr,
+                id: id.expect("result requires an id"),
+            })
+        }
+        "cancel" => {
+            let (addr, id) = parse_job_verb("cancel", rest, false)?;
+            Ok(Command::Cancel {
+                addr,
+                id: id.expect("cancel requires an id"),
+            })
+        }
         "tma" => {
             let opts = parse_options(rest)?;
             Ok(Command::Tma {
@@ -1104,6 +1356,140 @@ mod tests {
         assert!(parse(&argv("bench --tolerance 10")).is_err());
         assert!(parse(&argv("bench --compare a b --json c")).is_err());
         assert!(parse(&argv("bench --compare a b --tolerance -3")).is_err());
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: DEFAULT_ADDR.into(),
+                data_dir: ".icicle-serve".into(),
+                jobs: 2,
+                executors: 2,
+                capacity: 64,
+                per_client: 8,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --addr 0.0.0.0:0 --data-dir /tmp/d -j 4 --executors 3 \
+                 --capacity 16 --per-client 2"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:0".into(),
+                data_dir: "/tmp/d".into(),
+                jobs: 4,
+                executors: 3,
+                capacity: 16,
+                per_client: 2,
+            }
+        );
+        assert!(parse(&argv("serve --jobs 0")).is_err());
+        assert!(parse(&argv("serve --capacity nope")).is_err());
+        assert!(parse(&argv("serve --frob")).is_err());
+    }
+
+    #[test]
+    fn submit_takes_exactly_one_kind() {
+        use icicle::campaign::Priority;
+        assert_eq!(
+            parse(&argv("submit fig7.campaign")).unwrap(),
+            Command::Submit {
+                addr: DEFAULT_ADDR.into(),
+                spec: Some("fig7.campaign".into()),
+                verify: false,
+                bench: false,
+                bound: None,
+                warmup: 1,
+                repeats: 3,
+                priority: Priority::Normal,
+                client: None,
+                wait: false,
+            }
+        );
+        assert!(parse(&argv("submit")).is_err(), "a kind is required");
+        assert!(parse(&argv("submit spec --verify")).is_err());
+        assert!(parse(&argv("submit --verify --bench")).is_err());
+    }
+
+    #[test]
+    fn submit_parses_kind_knobs_and_priority() {
+        use icicle::campaign::Priority;
+        match parse(&argv("submit --verify --bound 2.5 --priority high --wait")).unwrap() {
+            Command::Submit {
+                verify,
+                bound,
+                priority,
+                wait,
+                ..
+            } => {
+                assert!(verify && wait);
+                assert!((bound.unwrap() - 0.025).abs() < 1e-12);
+                assert_eq!(priority, Priority::High);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "submit --bench --warmup 0 --repeats 5 --client ci --addr h:1",
+        ))
+        .unwrap()
+        {
+            Command::Submit {
+                addr,
+                bench,
+                warmup,
+                repeats,
+                client,
+                ..
+            } => {
+                assert!(bench);
+                assert_eq!((warmup, repeats), (0, 5));
+                assert_eq!(client.as_deref(), Some("ci"));
+                assert_eq!(addr, "h:1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("submit --bench --bound 2")).is_err());
+        assert!(parse(&argv("submit spec --priority max")).is_err());
+        assert!(parse(&argv("submit --bench --repeats 0")).is_err());
+    }
+
+    #[test]
+    fn job_verbs_parse_ids_and_addr() {
+        assert_eq!(
+            parse(&argv("status")).unwrap(),
+            Command::Status {
+                addr: DEFAULT_ADDR.into(),
+                id: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv("status 7 --addr h:2")).unwrap(),
+            Command::Status {
+                addr: "h:2".into(),
+                id: Some(7),
+            }
+        );
+        assert_eq!(
+            parse(&argv("result 3")).unwrap(),
+            Command::JobResult {
+                addr: DEFAULT_ADDR.into(),
+                id: 3,
+            }
+        );
+        assert_eq!(
+            parse(&argv("cancel 4")).unwrap(),
+            Command::Cancel {
+                addr: DEFAULT_ADDR.into(),
+                id: 4,
+            }
+        );
+        assert!(parse(&argv("result")).is_err(), "result needs an id");
+        assert!(parse(&argv("cancel")).is_err(), "cancel needs an id");
+        assert!(parse(&argv("status seven")).is_err());
+        assert!(parse(&argv("result 1 --frob")).is_err());
     }
 
     #[test]

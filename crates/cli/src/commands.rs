@@ -12,18 +12,24 @@ use crate::args::{Command, CoreSelect, USAGE};
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
 
-/// Writes the registry snapshot to `path`, with the process-wide
-/// simulator tallies folded in as `sim.*` counters so one document
-/// carries both clock domains' totals.
-fn write_metrics(path: &str, registry: &MetricsRegistry) -> Result<()> {
-    let sim = icicle::obs::sim_stats();
+/// Writes the registry snapshot to `path` (atomically, so a reader or a
+/// crash never sees a torn file), with the process-wide simulator
+/// tallies folded in as `sim.*` counters so one document carries both
+/// clock domains' totals. The tallies are settled as the delta since
+/// `baseline` — they are cumulative process globals, and adding the
+/// running total would double-count everything simulated before this
+/// command's own work.
+fn write_metrics(
+    path: &str,
+    registry: &MetricsRegistry,
+    baseline: icicle::obs::SimCounts,
+) -> Result<()> {
+    let delta = icicle::obs::sim_stats().counts().since(baseline);
     registry
         .counter("sim.rocket_cycles")
-        .add(sim.rocket_cycles.load(std::sync::atomic::Ordering::Relaxed));
-    registry
-        .counter("sim.boom_cycles")
-        .add(sim.boom_cycles.load(std::sync::atomic::Ordering::Relaxed));
-    std::fs::write(path, registry.render())
+        .add(delta.rocket_cycles);
+    registry.counter("sim.boom_cycles").add(delta.boom_cycles);
+    icicle::obs::write_atomic(path, &registry.render())
         .map_err(|e| format!("cannot write metrics `{path}`: {e}"))?;
     Ok(())
 }
@@ -142,7 +148,149 @@ pub fn run(cmd: Command) -> Result<()> {
             tolerance,
         } => bench_compare(&old, &new, tolerance),
         Command::Vlsi => vlsi(),
+        Command::Serve {
+            addr,
+            data_dir,
+            jobs,
+            executors,
+            capacity,
+            per_client,
+        } => serve(&addr, &data_dir, jobs, executors, capacity, per_client),
+        cmd @ Command::Submit { .. } => submit(cmd),
+        Command::Status { addr, id } => status(&addr, id),
+        Command::JobResult { addr, id } => job_result(&addr, id),
+        Command::Cancel { addr, id } => cancel(&addr, id),
     }
+}
+
+/// `serve`: run the analysis server until the process is killed.
+fn serve(
+    addr: &str,
+    data_dir: &str,
+    jobs: usize,
+    executors: usize,
+    capacity: usize,
+    per_client: usize,
+) -> Result<()> {
+    use icicle_serve::{AnalysisService, SchedulerConfig, Server, ServiceConfig};
+    let service = Arc::new(
+        AnalysisService::open(ServiceConfig {
+            data_dir: data_dir.into(),
+            jobs,
+            executors,
+            scheduler: SchedulerConfig {
+                capacity,
+                per_client,
+            },
+        })
+        .map_err(|e| format!("cannot open data dir `{data_dir}`: {e}"))?,
+    );
+    // The executor pool lives as long as the process; the handles are
+    // never joined because `run` only returns on listener failure.
+    let _executors = service.start();
+    let server = Server::bind(Arc::clone(&service), addr)
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    // The resolved address goes to stderr (port 0 binds ephemerally);
+    // stdout stays clean for scripted consumers.
+    eprintln!("icicle-tma serving on {}", server.local_addr()?);
+    server.run()?;
+    Ok(())
+}
+
+/// `submit`: POST a job and print its id, or `--wait` for the result.
+fn submit(cmd: Command) -> Result<()> {
+    use icicle::obs::Json;
+    use icicle_serve::{Client, JobKind, Submission};
+    let Command::Submit {
+        addr,
+        spec,
+        verify,
+        bench,
+        bound,
+        warmup,
+        repeats,
+        priority,
+        client,
+        wait,
+    } = cmd
+    else {
+        unreachable!("run() dispatches only Submit here");
+    };
+    let kind = if verify {
+        JobKind::Verify { flat_bound: bound }
+    } else if bench {
+        JobKind::Bench { warmup, repeats }
+    } else {
+        let path = spec.expect("the parser requires a spec path");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read campaign spec `{path}`: {e}"))?;
+        JobKind::Campaign { spec: text }
+    };
+    let submission = Submission {
+        kind,
+        priority,
+        client: client.unwrap_or_else(|| "anonymous".to_string()),
+    };
+    let api = Client::new(addr);
+    let id = api.submit(&submission)?;
+    if !wait {
+        // Just the id on stdout, so scripts can capture it.
+        println!("{id}");
+        return Ok(());
+    }
+    eprintln!("job {id} submitted; waiting");
+    let status = api.wait(id, std::time::Duration::from_millis(200))?;
+    match status.get("state").and_then(Json::as_str) {
+        Some("done") => {
+            // The canonical bytes, exactly as the direct command would
+            // have printed them.
+            print!("{}", api.result(id)?);
+            // A job that finished with failing cells still fails the
+            // command, mirroring the direct CLI's exit semantics.
+            if matches!(status.get("passed"), Some(Json::Bool(false))) {
+                return Err("job finished with failures (see the report)".into());
+            }
+            Ok(())
+        }
+        Some("cancelled") => Err(format!("job {id} was cancelled").into()),
+        _ => Err(format!(
+            "job {id} failed: {}",
+            status
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error")
+        )
+        .into()),
+    }
+}
+
+/// `status`: one job's status document, or one JSONL line per job.
+fn status(addr: &str, id: Option<u64>) -> Result<()> {
+    use icicle_serve::Client;
+    let api = Client::new(addr);
+    match id {
+        Some(id) => println!("{}", api.status(id)?.render()),
+        None => {
+            for doc in api.jobs()? {
+                println!("{}", doc.render_compact());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `result`: a finished job's canonical output, verbatim.
+fn job_result(addr: &str, id: u64) -> Result<()> {
+    use icicle_serve::Client;
+    print!("{}", Client::new(addr).result(id)?);
+    Ok(())
+}
+
+/// `cancel`: request cancellation and print the status after it.
+fn cancel(addr: &str, id: u64) -> Result<()> {
+    use icicle_serve::Client;
+    println!("{}", Client::new(addr).cancel(id)?.render());
+    Ok(())
 }
 
 fn bench(
@@ -169,6 +317,7 @@ fn bench(
         None => None,
     };
     let registry = Arc::new(MetricsRegistry::new());
+    let sim_baseline = icicle::obs::sim_stats().counts();
     if metrics_out.is_some() {
         icicle::obs::set_sim_stats(true);
     }
@@ -204,11 +353,11 @@ fn bench(
         print!("{ledger}");
     }
     if let Some(path) = json_path {
-        std::fs::write(path, ledger.to_json())
+        icicle::obs::write_atomic(path, &ledger.to_json())
             .map_err(|e| format!("cannot write ledger `{path}`: {e}"))?;
     }
     if let Some(path) = metrics_out {
-        write_metrics(path, &registry)?;
+        write_metrics(path, &registry, sim_baseline)?;
     }
     Ok(())
 }
@@ -348,6 +497,7 @@ fn campaign(cmd: Command) -> Result<()> {
     let quiet = json || csv;
     let ticks = !quiet && std::io::stderr().is_terminal();
     let registry = Arc::new(MetricsRegistry::new());
+    let sim_baseline = icicle::obs::sim_stats().counts();
     if metrics_out.is_some() {
         icicle::obs::set_sim_stats(true);
     }
@@ -402,7 +552,7 @@ fn campaign(cmd: Command) -> Result<()> {
         eprintln!();
     }
     if let Some(path) = &metrics_out {
-        write_metrics(path, &registry)?;
+        write_metrics(path, &registry, sim_baseline)?;
     }
     if json {
         print!("{}", report.to_json());
@@ -485,7 +635,7 @@ fn faults(seed: u64, cases: u64, demo: bool, report_path: Option<&str>, json: bo
             }
         }
         if let Some(path) = report_path {
-            std::fs::write(path, report.to_json())
+            icicle::obs::write_atomic(path, &report.to_json())
                 .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
         }
         if !report.passed() {
@@ -525,7 +675,7 @@ fn faults(seed: u64, cases: u64, demo: bool, report_path: Option<&str>, json: bo
         print!("{report}");
     }
     if let Some(path) = report_path {
-        std::fs::write(path, report.to_json())
+        icicle::obs::write_atomic(path, &report.to_json())
             .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
     }
     if !report.passed() {
@@ -557,6 +707,7 @@ fn verify(
     let mut artifact = String::new();
     let mut all_passed = true;
     let registry = Arc::new(MetricsRegistry::new());
+    let sim_baseline = icicle::obs::sim_stats().counts();
     if metrics_out.is_some() {
         icicle::obs::set_sim_stats(true);
     }
@@ -628,11 +779,11 @@ fn verify(
     }
 
     if let Some(path) = report_path {
-        std::fs::write(path, &artifact)
+        icicle::obs::write_atomic(path, &artifact)
             .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
     }
     if let Some(path) = metrics_out {
-        write_metrics(path, &registry)?;
+        write_metrics(path, &registry, sim_baseline)?;
     }
 
     if !all_passed {
@@ -765,7 +916,7 @@ fn trace_export(cell: &str, out: Option<&str>, window: Option<u64>) -> Result<()
     let rendered = doc.render();
     match out {
         Some(path) => {
-            std::fs::write(path, &rendered)
+            icicle::obs::write_atomic(path, &rendered)
                 .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
             eprintln!("wrote {path}; open it in ui.perfetto.dev");
         }

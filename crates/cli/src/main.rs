@@ -10,6 +10,8 @@
 //! icicle-tma trace export --cell vvadd/rocket/add-wires --out trace.json
 //! icicle-tma lanes --workload 525.x264_r
 //! icicle-tma vlsi
+//! icicle-tma serve --addr 127.0.0.1:9300 --data-dir .icicle-serve &
+//! icicle-tma submit fig7.campaign --wait
 //! ```
 
 use std::process::ExitCode;

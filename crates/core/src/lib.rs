@@ -28,6 +28,10 @@
 //! | [`verify`] | `icicle-verify` | differential counter-vs-trace TMA verification (§V) |
 //! | [`obs`] | `icicle-obs` | structured tracing, metrics, Perfetto timeline export |
 //!
+//! The analysis server (`icicle-serve`) sits *above* this facade — it
+//! drives the campaign/verify/bench engines the way the CLI does, so it
+//! is a sibling dependency rather than a module here.
+//!
 //! ## Quickstart
 //!
 //! ```

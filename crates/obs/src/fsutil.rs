@@ -1,0 +1,86 @@
+//! Crash-safe file output.
+//!
+//! Every durable artifact the harness writes — cache entries, campaign
+//! reports, bench ledgers, metrics snapshots — goes through the same
+//! temp-file + rename pattern: a reader (or a post-crash resume) either
+//! sees the complete old content or the complete new content, never a
+//! torn prefix. The helper lives in `icicle-obs` because this is the
+//! bottom-most harness crate; everything above it shares one
+//! implementation instead of growing divergent copies.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// `<file name>.tmp` first and are renamed over `path` only once fully
+/// written, so a crash mid-write never leaves a torn file at `path`.
+///
+/// Parent directories are created as needed. A leftover `.tmp` from a
+/// previously killed writer is silently reclaimed by the next write.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (directory creation, write, or
+/// rename).
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    let parent = path
+        .parent()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no parent"))?;
+    if !parent.as_os_str().is_empty() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("icicle-fsutil-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_land_and_leave_no_debris() {
+        let dir = tmpdir("basic");
+        let path = dir.join("nested").join("report.json");
+        write_atomic(&path, "{\n}\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\n}\n");
+        assert!(!path.with_file_name("report.json.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrites_replace_the_whole_file() {
+        let dir = tmpdir("overwrite");
+        let path = dir.join("out.json");
+        write_atomic(&path, "a very long first version").unwrap();
+        write_atomic(&path, "short").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "short");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leftover_tmp_from_a_killed_writer_is_reclaimed() {
+        let dir = tmpdir("leftover");
+        let path = dir.join("out.json");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(path.with_file_name("out.json.tmp"), "torn prefi").unwrap();
+        write_atomic(&path, "fresh").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "fresh");
+        assert!(!path.with_file_name("out.json.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

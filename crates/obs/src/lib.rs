@@ -45,6 +45,7 @@
 //! ```
 
 pub mod collector;
+pub mod fsutil;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
@@ -55,7 +56,8 @@ pub use collector::{
     Collector, Field, FieldValue, JsonlCollector, Level, NoopCollector, Record, RecordKind,
     RingCollector, SpanGuard, LOG_ENV,
 };
+pub use fsutil::write_atomic;
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, METRICS_SCHEMA};
 pub use perfetto::{cycle_timeline, trace_events_document, wall_timeline, PERFETTO_SCHEMA};
-pub use sim::{set_sim_stats, sim_enabled, sim_stats, SimStats};
+pub use sim::{set_sim_stats, sim_enabled, sim_stats, SimCounts, SimStats};

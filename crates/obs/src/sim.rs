@@ -25,7 +25,40 @@ pub struct SimStats {
     pub boom_cycles: AtomicU64,
 }
 
+/// A point-in-time copy of the [`SimStats`] tallies.
+///
+/// The tallies are process-global and monotonically increasing, so a
+/// harness that reports per-job quantities must settle *deltas* between
+/// two snapshots — folding the raw cumulative totals into a registry on
+/// every job double-counts as soon as one process serves more than one
+/// job (the long-running server, or a CLI invocation that runs several
+/// phases).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct SimCounts {
+    pub rocket_cycles: u64,
+    pub boom_cycles: u64,
+}
+
+impl SimCounts {
+    /// The per-field increase from `earlier` to `self` (saturating, so
+    /// a reset between snapshots degrades to zero instead of wrapping).
+    pub fn since(self, earlier: SimCounts) -> SimCounts {
+        SimCounts {
+            rocket_cycles: self.rocket_cycles.saturating_sub(earlier.rocket_cycles),
+            boom_cycles: self.boom_cycles.saturating_sub(earlier.boom_cycles),
+        }
+    }
+}
+
 impl SimStats {
+    /// A point-in-time copy of the tallies.
+    pub fn counts(&self) -> SimCounts {
+        SimCounts {
+            rocket_cycles: self.rocket_cycles.load(Ordering::Relaxed),
+            boom_cycles: self.boom_cycles.load(Ordering::Relaxed),
+        }
+    }
+
     /// The tallies as a canonical JSON object.
     pub fn snapshot(&self) -> Json {
         Json::object(vec![
@@ -66,6 +99,27 @@ pub fn sim_stats() -> &'static SimStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counts_delta_is_saturating() {
+        let a = SimCounts {
+            rocket_cycles: 10,
+            boom_cycles: 5,
+        };
+        let b = SimCounts {
+            rocket_cycles: 17,
+            boom_cycles: 5,
+        };
+        assert_eq!(
+            b.since(a),
+            SimCounts {
+                rocket_cycles: 7,
+                boom_cycles: 0
+            }
+        );
+        // A reset between snapshots (b < a) degrades to zero.
+        assert_eq!(a.since(b).rocket_cycles, 0);
+    }
 
     #[test]
     fn stats_accumulate_and_reset() {

@@ -1,0 +1,180 @@
+//! The thin blocking client the CLI verbs (and tests) use.
+//!
+//! One method per endpoint, one TCP connection per call (the server
+//! closes every connection after its response). The client never
+//! interprets result bodies — `result` hands back the canonical bytes
+//! exactly as served, preserving the CLI-equivalence contract end to
+//! end.
+
+use std::fmt;
+use std::time::Duration;
+
+use icicle_obs::Json;
+
+use crate::http::roundtrip;
+use crate::job::Submission;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server answered with a non-success status.
+    Http {
+        /// The HTTP status code.
+        status: u16,
+        /// The `error` field of the body, or the raw body.
+        message: String,
+    },
+    /// The transport or the response shape failed.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Http { status, message } => write!(f, "server said {status}: {message}"),
+            ClientError::Protocol(message) => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A handle on one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let response = roundtrip(&self.addr, method, path, body).map_err(ClientError::Protocol)?;
+        Ok((response.status, response.body))
+    }
+
+    fn expect_success(&self, outcome: (u16, String)) -> Result<String, ClientError> {
+        let (status, body) = outcome;
+        if (200..300).contains(&status) {
+            return Ok(body);
+        }
+        let message = Json::parse(&body)
+            .ok()
+            .and_then(|doc| doc.get("error").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or(body);
+        Err(ClientError::Http { status, message })
+    }
+
+    /// `GET /healthz`: whether the server is up.
+    pub fn health(&self) -> bool {
+        matches!(self.call("GET", "/healthz", None), Ok((200, _)))
+    }
+
+    /// `POST /v1/jobs`: submits and returns the assigned job id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on rejection (400 bad request, 429 shed) or
+    /// transport failure.
+    pub fn submit(&self, submission: &Submission) -> Result<u64, ClientError> {
+        let body = submission.to_json().render();
+        let outcome = self.call("POST", "/v1/jobs", Some(&body))?;
+        let body = self.expect_success(outcome)?;
+        Json::parse(&body)
+            .ok()
+            .and_then(|doc| doc.get("id").and_then(Json::as_u64))
+            .ok_or_else(|| ClientError::Protocol(format!("malformed submit response: {body}")))
+    }
+
+    /// `GET /v1/jobs/<id>`: the status document.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on 404 or transport failure.
+    pub fn status(&self, id: u64) -> Result<Json, ClientError> {
+        let outcome = self.call("GET", &format!("/v1/jobs/{id}"), None)?;
+        let body = self.expect_success(outcome)?;
+        Json::parse(&body).map_err(|e| ClientError::Protocol(format!("malformed status: {e}")))
+    }
+
+    /// Polls status until the job is terminal; returns the final
+    /// status document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any polling failure.
+    pub fn wait(&self, id: u64, poll: Duration) -> Result<Json, ClientError> {
+        loop {
+            let status = self.status(id)?;
+            let state = status
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ClientError::Protocol("status without state".to_string()))?;
+            if matches!(state, "done" | "failed" | "cancelled") {
+                return Ok(status);
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    /// `GET /v1/jobs`: status documents for every job the server has
+    /// accepted, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or a malformed body.
+    pub fn jobs(&self) -> Result<Vec<Json>, ClientError> {
+        let outcome = self.call("GET", "/v1/jobs", None)?;
+        let body = self.expect_success(outcome)?;
+        match Json::parse(&body) {
+            Ok(Json::Array(statuses)) => Ok(statuses),
+            Ok(_) => Err(ClientError::Protocol(format!(
+                "job listing is not an array: {body}"
+            ))),
+            Err(e) => Err(ClientError::Protocol(format!("malformed job listing: {e}"))),
+        }
+    }
+
+    /// `GET /v1/jobs/<id>/result`: the canonical engine output,
+    /// byte-for-byte as the CLI would print it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] while the job is unfinished (409), unknown
+    /// (404), or failed (500 with the failure message).
+    pub fn result(&self, id: u64) -> Result<String, ClientError> {
+        let outcome = self.call("GET", &format!("/v1/jobs/{id}/result"), None)?;
+        self.expect_success(outcome)
+    }
+
+    /// `POST /v1/jobs/<id>/cancel`: requests cancellation; returns the
+    /// status after the request.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on 404 or transport failure.
+    pub fn cancel(&self, id: u64) -> Result<Json, ClientError> {
+        let outcome = self.call("POST", &format!("/v1/jobs/{id}/cancel"), None)?;
+        let body = self.expect_success(outcome)?;
+        Json::parse(&body)
+            .map_err(|e| ClientError::Protocol(format!("malformed cancel response: {e}")))
+    }
+
+    /// `GET /metrics`: the server metrics document.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let outcome = self.call("GET", "/metrics", None)?;
+        self.expect_success(outcome)
+    }
+}

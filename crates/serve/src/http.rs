@@ -1,0 +1,307 @@
+//! A minimal HTTP/1.1 layer over `std::net`.
+//!
+//! The workspace keeps its dependency set to the simulation essentials,
+//! so the analysis server carries its own request parser and response
+//! writer instead of pulling in a framework. The subset is deliberately
+//! small and strict:
+//!
+//! * one request per connection (`Connection: close` on every
+//!   response), which sidesteps keep-alive bookkeeping entirely;
+//! * request bodies are delimited by `Content-Length` only — no chunked
+//!   transfer encoding in either direction;
+//! * streaming responses (the progress endpoint) omit `Content-Length`
+//!   and let connection close delimit the body, which is valid
+//!   HTTP/1.1 and trivially parseable by the hand-rolled client.
+//!
+//! Hard limits keep a misbehaving peer from wedging the server: the
+//! head (request line + headers) is capped at 16 KiB and bodies at
+//! 8 MiB; anything larger is an error the handler turns into a 4xx.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum bytes of request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum request body bytes.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Raw query string (empty when absent).
+    pub query: String,
+    /// Header name/value pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text.
+    pub fn body_text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not UTF-8".to_string())
+    }
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed or oversized
+/// requests; the caller answers with a 400.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read byte-wise up to the blank line; BufReader keeps this cheap.
+    loop {
+        let mut line = Vec::new();
+        reader
+            .read_until(b'\n', &mut line)
+            .map_err(|e| format!("read error: {e}"))?;
+        if line.is_empty() {
+            return Err("connection closed mid-request".to_string());
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err("request head exceeds 16 KiB".to_string());
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header `{line}`"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| format!("bad content-length `{v}`"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body exceeds 8 MiB".to_string());
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("short body: {e}"))?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the handful of statuses the server
+/// uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with `Content-Length` and
+/// `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates the underlying socket error.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes the head of a streaming response: no `Content-Length`, the
+/// body is delimited by connection close. The caller writes the body
+/// incrementally (JSONL lines) and then drops the stream.
+///
+/// # Errors
+///
+/// Propagates the underlying socket error.
+pub fn write_stream_head(stream: &mut TcpStream, status: u16) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/jsonl\r\nConnection: close\r\n\r\n",
+        reason(status),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.flush()
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// The full body (read to `Content-Length` or connection close).
+    pub body: String,
+}
+
+/// Performs one request against `addr` and reads the full response.
+///
+/// # Errors
+///
+/// Returns a message for connection failures or malformed responses.
+pub fn roundtrip(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<ClientResponse, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("write to `{addr}` failed: {e}"))?;
+    read_response(&mut stream)
+}
+
+/// Reads a full response (status + body) from `stream`.
+///
+/// # Errors
+///
+/// Returns a message for malformed responses.
+pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, String> {
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read failed: {e}"))?;
+    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or("malformed response: no blank line")?;
+    let status_line = head.lines().next().ok_or("empty response")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    Ok(ClientResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn parse_str(raw: &str) -> Result<Request, String> {
+        // Round-trip through a real socket pair so the parser is tested
+        // against the exact API the server uses.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut stream);
+        writer.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_str(
+            "POST /v1/jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 11\r\n\r\nhello world",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body_text().unwrap(), "hello world");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse_str("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_str("not http at all\r\n\r\n").is_err());
+        assert!(parse_str("GET / FTP/9\r\n\r\n").is_err());
+        assert!(parse_str("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn server_and_client_halves_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.path, "/echo");
+            write_response(&mut stream, 200, req.body_text().unwrap()).unwrap();
+        });
+        let resp = roundtrip(&addr, "POST", "/echo", Some("{\"a\":1}")).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{\"a\":1}");
+    }
+}

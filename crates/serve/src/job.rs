@@ -1,0 +1,506 @@
+//! Jobs: the unit of work the analysis server schedules.
+//!
+//! A job wraps one engine invocation — a campaign, the verify matrix,
+//! or the bench ledger — behind the lifecycle state machine
+//!
+//! ```text
+//! queued ──▶ running ──▶ done
+//!    │           │  └───▶ failed
+//!    └───────────┴──────▶ cancelled
+//! ```
+//!
+//! Transitions only move rightward; `done`, `failed`, and `cancelled`
+//! are terminal. A cancel request on a queued job takes effect
+//! immediately; on a running job it flips a cooperative flag that the
+//! campaign runner polls between cells (cells already simulating finish
+//! — the server never tears down a simulation mid-flight), and the
+//! partial report is kept so the client can see which cells completed.
+//!
+//! The stored result is the *exact* string the CLI would print for the
+//! same request (`campaign --json`, `verify --matrix --json`,
+//! `bench --json`): the byte-identity contract lives here, in "store
+//! the canonical rendering verbatim", not in any re-serialization.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use icicle_campaign::sync::{lock_unpoisoned, wait_unpoisoned};
+use icicle_campaign::Priority;
+use icicle_obs::{Json, MetricsRegistry};
+
+/// Where a job is in its lifecycle.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum JobState {
+    /// Accepted, waiting for an executor.
+    Queued,
+    /// An executor is running the engine.
+    Running,
+    /// The engine completed and the result is available.
+    Done,
+    /// The request was invalid or the engine errored.
+    Failed,
+    /// Cancelled by the client (a partial result may be attached).
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name used in status documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the state admits no further transitions.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// Which engine a job invokes, with its knobs.
+#[derive(Clone, PartialEq, Debug)]
+pub enum JobKind {
+    /// `run_campaign` over a spec in the campaign key=value format.
+    Campaign {
+        /// The spec text (what `icicle-tma campaign <spec>` reads from
+        /// a file).
+        spec: String,
+    },
+    /// The verify matrix over the default grid.
+    Verify {
+        /// Replace the derived per-class bounds with one flat fraction.
+        flat_bound: Option<f64>,
+    },
+    /// The bench ledger over the default grid.
+    Bench {
+        /// Untimed runs per cell before measurement.
+        warmup: u32,
+        /// Timed runs per cell.
+        repeats: u32,
+    },
+}
+
+impl JobKind {
+    /// The wire name (`campaign` / `verify` / `bench`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Campaign { .. } => "campaign",
+            JobKind::Verify { .. } => "verify",
+            JobKind::Bench { .. } => "bench",
+        }
+    }
+}
+
+/// A parsed submission: what `POST /v1/jobs` carries.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Submission {
+    /// The engine to invoke.
+    pub kind: JobKind,
+    /// Scheduling band.
+    pub priority: Priority,
+    /// Client identity for quota accounting (defaults to `anonymous`).
+    pub client: String,
+}
+
+impl Submission {
+    /// A campaign submission at normal priority.
+    pub fn campaign(spec: impl Into<String>) -> Submission {
+        Submission {
+            kind: JobKind::Campaign { spec: spec.into() },
+            priority: Priority::Normal,
+            client: "anonymous".to_string(),
+        }
+    }
+
+    /// Sets the scheduling band.
+    pub fn with_priority(mut self, priority: Priority) -> Submission {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the client identity.
+    pub fn with_client(mut self, client: impl Into<String>) -> Submission {
+        self.client = client.into();
+        self
+    }
+
+    /// The JSON envelope the client POSTs.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("kind", Json::Str(self.kind.name().to_string()))];
+        match &self.kind {
+            JobKind::Campaign { spec } => pairs.push(("spec", Json::Str(spec.clone()))),
+            JobKind::Verify { flat_bound } => {
+                if let Some(bound) = flat_bound {
+                    pairs.push(("flat_bound", Json::Num(*bound)));
+                }
+            }
+            JobKind::Bench { warmup, repeats } => {
+                pairs.push(("warmup", Json::Int(u64::from(*warmup))));
+                pairs.push(("repeats", Json::Int(u64::from(*repeats))));
+            }
+        }
+        pairs.push(("priority", Json::Str(self.priority.name().to_string())));
+        pairs.push(("client", Json::Str(self.client.clone())));
+        Json::object(pairs)
+    }
+
+    /// Parses the JSON envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for missing or ill-typed
+    /// fields; the server answers with a 400.
+    pub fn parse(body: &str) -> Result<Submission, String> {
+        let doc = Json::parse(body).map_err(|e| format!("bad JSON: {e}"))?;
+        let kind_name = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `kind`")?;
+        let kind = match kind_name {
+            "campaign" => JobKind::Campaign {
+                spec: doc
+                    .get("spec")
+                    .and_then(Json::as_str)
+                    .ok_or("campaign submission needs a string field `spec`")?
+                    .to_string(),
+            },
+            "verify" => JobKind::Verify {
+                flat_bound: doc.get("flat_bound").and_then(Json::as_f64),
+            },
+            "bench" => JobKind::Bench {
+                warmup: doc
+                    .get("warmup")
+                    .map(|v| v.as_u64().ok_or("`warmup` must be an integer"))
+                    .transpose()?
+                    .unwrap_or(1) as u32,
+                repeats: doc
+                    .get("repeats")
+                    .map(|v| v.as_u64().ok_or("`repeats` must be an integer"))
+                    .transpose()?
+                    .unwrap_or(3) as u32,
+            },
+            other => return Err(format!("unknown job kind `{other}`")),
+        };
+        let priority = match doc.get("priority").and_then(Json::as_str) {
+            Some(name) => {
+                Priority::from_name(name).ok_or_else(|| format!("unknown priority `{name}`"))?
+            }
+            None => Priority::Normal,
+        };
+        let client = doc
+            .get("client")
+            .and_then(Json::as_str)
+            .unwrap_or("anonymous")
+            .to_string();
+        Ok(Submission {
+            kind,
+            priority,
+            client,
+        })
+    }
+}
+
+/// The mutable half of a job, behind one mutex.
+#[derive(Debug, Default)]
+struct JobStatus {
+    state: Option<JobState>, // None only during construction
+    result: Option<String>,
+    error: Option<String>,
+    passed: Option<bool>,
+}
+
+/// One scheduled engine invocation.
+pub struct Job {
+    /// Server-assigned id, unique for the server's lifetime.
+    pub id: u64,
+    /// What to run.
+    pub kind: JobKind,
+    /// Scheduling band.
+    pub priority: Priority,
+    /// Quota-accounting identity.
+    pub client: String,
+    /// Per-job metrics; the campaign progress callback maintains the
+    /// `campaign.progress.{done,total,eta_seconds}` gauges here, and
+    /// the engines record their usual counters.
+    pub metrics: Arc<MetricsRegistry>,
+    /// Cooperative cancellation flag, polled by the campaign runner.
+    pub cancel: Arc<AtomicBool>,
+    status: Mutex<JobStatus>,
+    changed: Condvar,
+}
+
+impl Job {
+    /// A freshly queued job.
+    pub fn new(id: u64, submission: Submission) -> Job {
+        Job {
+            id,
+            kind: submission.kind,
+            priority: submission.priority,
+            client: submission.client,
+            metrics: Arc::new(MetricsRegistry::new()),
+            cancel: Arc::new(AtomicBool::new(false)),
+            status: Mutex::new(JobStatus {
+                state: Some(JobState::Queued),
+                ..JobStatus::default()
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> JobState {
+        lock_unpoisoned(&self.status)
+            .state
+            .expect("state always set")
+    }
+
+    /// The stored canonical result, once terminal.
+    pub fn result(&self) -> Option<String> {
+        lock_unpoisoned(&self.status).result.clone()
+    }
+
+    /// The failure message, if the job failed.
+    pub fn error(&self) -> Option<String> {
+        lock_unpoisoned(&self.status).error.clone()
+    }
+
+    /// Marks the job running. Returns `false` (and changes nothing) if
+    /// the job is no longer queued — a cancel won the race.
+    pub fn start(&self) -> bool {
+        let mut status = lock_unpoisoned(&self.status);
+        if status.state != Some(JobState::Queued) {
+            return false;
+        }
+        status.state = Some(JobState::Running);
+        drop(status);
+        self.changed.notify_all();
+        true
+    }
+
+    /// Completes the job with its canonical result.
+    pub fn finish(&self, result: String, passed: bool) {
+        self.transition(JobState::Done, Some(result), None, Some(passed));
+    }
+
+    /// Fails the job with a message.
+    pub fn fail(&self, error: String) {
+        self.transition(JobState::Failed, None, Some(error), None);
+    }
+
+    /// Marks the job cancelled, optionally attaching the partial report
+    /// the cancelled campaign still produced.
+    pub fn cancelled(&self, partial: Option<String>) {
+        self.transition(JobState::Cancelled, partial, None, None);
+    }
+
+    fn transition(
+        &self,
+        state: JobState,
+        result: Option<String>,
+        error: Option<String>,
+        passed: Option<bool>,
+    ) {
+        let mut status = lock_unpoisoned(&self.status);
+        if status.state.is_some_and(JobState::is_terminal) {
+            return; // terminal states are final
+        }
+        status.state = Some(state);
+        status.result = result;
+        status.error = error;
+        status.passed = passed;
+        drop(status);
+        self.changed.notify_all();
+    }
+
+    /// Requests cancellation. A queued job flips to `cancelled` right
+    /// away; a running one keeps running until the runner notices the
+    /// flag. Returns the state after the request plus whether *this
+    /// call* performed the queued → cancelled flip — the job then never
+    /// starts, so the caller that sees `true` owes the scheduler
+    /// exactly one quota settlement (the executor skips dead entries
+    /// without settling).
+    pub fn request_cancel(&self) -> (JobState, bool) {
+        self.cancel.store(true, Ordering::SeqCst);
+        let mut status = lock_unpoisoned(&self.status);
+        if status.state == Some(JobState::Queued) {
+            status.state = Some(JobState::Cancelled);
+            drop(status);
+            self.changed.notify_all();
+            return (JobState::Cancelled, true);
+        }
+        let state = status.state.expect("state always set");
+        drop(status);
+        (state, false)
+    }
+
+    /// Blocks until the job reaches a terminal state, returning it.
+    pub fn wait(&self) -> JobState {
+        let mut status = lock_unpoisoned(&self.status);
+        loop {
+            let state = status.state.expect("state always set");
+            if state.is_terminal() {
+                return state;
+            }
+            status = wait_unpoisoned(&self.changed, status);
+        }
+    }
+
+    /// The status document served by `GET /v1/jobs/<id>` and emitted as
+    /// progress JSONL lines.
+    pub fn status_json(&self) -> Json {
+        let status = lock_unpoisoned(&self.status);
+        let state = status.state.expect("state always set");
+        let mut pairs = vec![
+            ("id", Json::Int(self.id)),
+            ("kind", Json::Str(self.kind.name().to_string())),
+            ("state", Json::Str(state.name().to_string())),
+            ("priority", Json::Str(self.priority.name().to_string())),
+            ("client", Json::Str(self.client.clone())),
+            (
+                "done",
+                Json::Int(self.metrics.gauge("campaign.progress.done").get() as u64),
+            ),
+            (
+                "total",
+                Json::Int(self.metrics.gauge("campaign.progress.total").get() as u64),
+            ),
+        ];
+        // How the work was satisfied, from the job's own registry —
+        // CI's resume check reads these over HTTP instead of reaching
+        // into the service.
+        for (field, counter) in [
+            ("simulated", "campaign.cells.simulated"),
+            ("cached", "campaign.cells.cached"),
+            ("resumed", "campaign.cells.resumed"),
+        ] {
+            pairs.push((field, Json::Int(self.metrics.counter(counter).get())));
+        }
+        let eta = self.metrics.gauge("campaign.progress.eta_seconds").get();
+        if state == JobState::Running && eta > 0.0 {
+            pairs.push(("eta_seconds", Json::Num(eta)));
+        }
+        if let Some(passed) = status.passed {
+            pairs.push(("passed", Json::Bool(passed)));
+        }
+        if let Some(error) = &status.error {
+            pairs.push(("error", Json::Str(error.clone())));
+        }
+        pairs.push(("result_ready", Json::Bool(status.result.is_some())));
+        Json::object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submission_envelope_round_trips() {
+        let original = Submission::campaign("name = x\nworkloads = vvadd\n")
+            .with_priority(Priority::High)
+            .with_client("ci");
+        let parsed = Submission::parse(&original.to_json().render()).unwrap();
+        assert_eq!(parsed, original);
+
+        let bench = Submission {
+            kind: JobKind::Bench {
+                warmup: 2,
+                repeats: 5,
+            },
+            priority: Priority::Low,
+            client: "bench-bot".to_string(),
+        };
+        assert_eq!(Submission::parse(&bench.to_json().render()).unwrap(), bench);
+    }
+
+    #[test]
+    fn submission_rejects_garbage() {
+        assert!(Submission::parse("{").is_err());
+        assert!(Submission::parse("{\"kind\": \"sorcery\"}").is_err());
+        assert!(
+            Submission::parse("{\"kind\": \"campaign\"}").is_err(),
+            "no spec"
+        );
+        assert!(Submission::parse(
+            "{\"kind\": \"campaign\", \"spec\": \"s\", \"priority\": \"max\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lifecycle_moves_rightward_only() {
+        let job = Job::new(1, Submission::campaign("spec"));
+        assert_eq!(job.state(), JobState::Queued);
+        assert!(job.start());
+        assert_eq!(job.state(), JobState::Running);
+        job.finish("{}".to_string(), true);
+        assert_eq!(job.state(), JobState::Done);
+        // Terminal states are final: later transitions are ignored.
+        job.fail("too late".to_string());
+        assert_eq!(job.state(), JobState::Done);
+        assert_eq!(job.result().as_deref(), Some("{}"));
+        assert!(job.error().is_none());
+    }
+
+    #[test]
+    fn cancel_beats_start_on_a_queued_job() {
+        let job = Job::new(2, Submission::campaign("spec"));
+        assert_eq!(job.request_cancel(), (JobState::Cancelled, true));
+        assert!(!job.start(), "an executor must not start a cancelled job");
+        assert_eq!(job.state(), JobState::Cancelled);
+        assert!(job.cancel.load(Ordering::SeqCst));
+        // A second request does not claim the flip again — whoever saw
+        // `true` already settled the quota.
+        assert_eq!(job.request_cancel(), (JobState::Cancelled, false));
+    }
+
+    #[test]
+    fn cancel_on_a_running_job_only_sets_the_flag() {
+        let job = Job::new(3, Submission::campaign("spec"));
+        assert!(job.start());
+        assert_eq!(job.request_cancel(), (JobState::Running, false));
+        assert!(job.cancel.load(Ordering::SeqCst));
+        job.cancelled(Some("partial".to_string()));
+        assert_eq!(job.state(), JobState::Cancelled);
+        assert_eq!(job.result().as_deref(), Some("partial"));
+    }
+
+    #[test]
+    fn wait_blocks_until_terminal() {
+        let job = Arc::new(Job::new(4, Submission::campaign("spec")));
+        let waiter = {
+            let job = Arc::clone(&job);
+            std::thread::spawn(move || job.wait())
+        };
+        job.start();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        job.finish("{}".to_string(), true);
+        assert_eq!(waiter.join().unwrap(), JobState::Done);
+    }
+
+    #[test]
+    fn status_json_carries_the_lifecycle() {
+        let job = Job::new(9, Submission::campaign("spec").with_client("smoke"));
+        let doc = job.status_json();
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(9));
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("queued"));
+        assert_eq!(doc.get("client").unwrap().as_str(), Some("smoke"));
+        job.start();
+        job.metrics.gauge("campaign.progress.done").set(3.0);
+        job.metrics.gauge("campaign.progress.total").set(9.0);
+        let doc = job.status_json();
+        assert_eq!(doc.get("done").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("total").unwrap().as_u64(), Some(9));
+        job.fail("boom".to_string());
+        let doc = job.status_json();
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("failed"));
+        assert_eq!(doc.get("error").unwrap().as_str(), Some("boom"));
+    }
+}

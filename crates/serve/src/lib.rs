@@ -1,0 +1,54 @@
+//! # icicle-serve
+//!
+//! Icicle as a service: a long-running TMA analysis server.
+//!
+//! The paper positions top-down analysis as infrastructure other people
+//! consume; this crate turns the one-shot CLI engines (campaign,
+//! verify, bench) into a daemon behind a stable HTTP/1.1 + JSON API —
+//! hand-rolled over `std::net`, because the workspace keeps its
+//! dependency set to the simulation essentials.
+//!
+//! Layers, bottom up:
+//!
+//! * [`http`] — a strict, minimal HTTP/1.1 request parser and response
+//!   writer (one request per connection, `Content-Length` bodies,
+//!   close-delimited streaming).
+//! * [`job`] — the job lifecycle state machine (`queued → running →
+//!   done | failed | cancelled`) around one engine invocation; the
+//!   stored result is the *exact* canonical string the CLI prints for
+//!   the same request.
+//! * [`scheduler`] — admission control over the campaign crate's
+//!   priority-banded `JobQueue`: per-client quotas and a server-wide
+//!   capacity, shed as HTTP 429.
+//! * [`service`] — [`AnalysisService`], the transport-free core: the
+//!   shared content-addressed result store (single-flight deduped
+//!   across concurrent jobs), per-spec checkpoint logs replayed with
+//!   resume on every run, the executor pool, and delta-settled server
+//!   metrics.
+//! * [`server`] — the HTTP front-end ([`Server`]), one thread per
+//!   connection.
+//! * [`client`] — the thin blocking [`Client`] behind the CLI's
+//!   `submit` / `status` / `result` / `cancel` verbs.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use icicle_serve::{AnalysisService, Server, ServiceConfig};
+//!
+//! let service = Arc::new(AnalysisService::open(ServiceConfig::default()).unwrap());
+//! let _executors = service.start();
+//! let server = Server::bind(Arc::clone(&service), "127.0.0.1:9300").unwrap();
+//! server.run().unwrap();
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod scheduler;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError};
+pub use job::{Job, JobKind, JobState, Submission};
+pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};
+pub use server::Server;
+pub use service::{AnalysisService, ServiceConfig};

@@ -1,0 +1,201 @@
+//! Admission control and dispatch order.
+//!
+//! The scheduler layers the service's policy on top of the campaign
+//! crate's [`JobQueue`] (which contributes the blocking pop and the
+//! three FIFO priority bands):
+//!
+//! * **priorities** — `high` jobs dispatch before `normal` before
+//!   `low`, FIFO within a band;
+//! * **per-client quotas** — each client identity may have at most
+//!   `per_client` jobs outstanding (queued + running);
+//! * **backpressure** — the server as a whole admits at most
+//!   `capacity` outstanding jobs.
+//!
+//! Both rejections are *load shedding*, not errors: the HTTP layer
+//! turns them into `429 Too Many Requests` and the client retries
+//! later. Quota is charged at submit and refunded when the job reaches
+//! a terminal state (including cancellation), so a client that fills
+//! its quota and cancels everything is immediately whole again.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use icicle_campaign::sync::lock_unpoisoned;
+use icicle_campaign::{JobQueue, Priority};
+
+/// Admission-control limits.
+#[derive(Copy, Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Maximum outstanding (queued + running) jobs server-wide.
+    pub capacity: usize,
+    /// Maximum outstanding jobs per client identity.
+    pub per_client: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            capacity: 64,
+            per_client: 8,
+        }
+    }
+}
+
+/// Why a submission was shed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SubmitError {
+    /// The server-wide outstanding-job limit is reached.
+    AtCapacity,
+    /// This client's outstanding-job quota is exhausted.
+    QuotaExceeded,
+}
+
+impl SubmitError {
+    /// The human-readable rejection served in the 429 body.
+    pub fn message(self) -> &'static str {
+        match self {
+            SubmitError::AtCapacity => "server at capacity; retry later",
+            SubmitError::QuotaExceeded => "client quota exceeded; wait for submitted jobs",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Accounting {
+    outstanding: usize,
+    per_client: HashMap<String, usize>,
+}
+
+/// Priority dispatch with quota accounting.
+#[derive(Debug)]
+pub struct Scheduler {
+    config: SchedulerConfig,
+    queue: JobQueue,
+    accounting: Mutex<Accounting>,
+}
+
+impl Scheduler {
+    /// An empty scheduler with `config` limits.
+    pub fn new(config: SchedulerConfig) -> Scheduler {
+        Scheduler {
+            config,
+            queue: JobQueue::new(),
+            accounting: Mutex::new(Accounting::default()),
+        }
+    }
+
+    /// Admits job `id` for `client` at `priority`, or sheds it.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when a limit is reached; nothing is enqueued.
+    pub fn submit(&self, id: usize, priority: Priority, client: &str) -> Result<(), SubmitError> {
+        let mut accounting = lock_unpoisoned(&self.accounting);
+        if accounting.outstanding >= self.config.capacity {
+            return Err(SubmitError::AtCapacity);
+        }
+        let client_count = accounting.per_client.entry(client.to_string()).or_insert(0);
+        if *client_count >= self.config.per_client {
+            return Err(SubmitError::QuotaExceeded);
+        }
+        *client_count += 1;
+        accounting.outstanding += 1;
+        drop(accounting);
+        self.queue.push_with_priority(id, priority);
+        Ok(())
+    }
+
+    /// Blocks for the next job id to execute; `None` after
+    /// [`Scheduler::close`] once the queue drains.
+    pub fn next(&self) -> Option<usize> {
+        self.queue.pop()
+    }
+
+    /// Refunds `client`'s quota slot when its job reaches a terminal
+    /// state.
+    pub fn settle(&self, client: &str) {
+        let mut accounting = lock_unpoisoned(&self.accounting);
+        accounting.outstanding = accounting.outstanding.saturating_sub(1);
+        if let Some(count) = accounting.per_client.get_mut(client) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                accounting.per_client.remove(client);
+            }
+        }
+    }
+
+    /// Outstanding (queued + running) jobs.
+    pub fn outstanding(&self) -> usize {
+        lock_unpoisoned(&self.accounting).outstanding
+    }
+
+    /// Stops dispatch: executors drain what is queued, then exit.
+    pub fn close(&self) {
+        self.queue.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            capacity: 3,
+            per_client: 2,
+        })
+    }
+
+    #[test]
+    fn dispatches_in_priority_order() {
+        let s = Scheduler::new(SchedulerConfig::default());
+        s.submit(0, Priority::Low, "a").unwrap();
+        s.submit(1, Priority::Normal, "a").unwrap();
+        s.submit(2, Priority::High, "b").unwrap();
+        s.close();
+        let order: Vec<_> = std::iter::from_fn(|| s.next()).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn per_client_quota_sheds_then_refunds() {
+        let s = small();
+        s.submit(0, Priority::Normal, "a").unwrap();
+        s.submit(1, Priority::Normal, "a").unwrap();
+        assert_eq!(
+            s.submit(2, Priority::Normal, "a"),
+            Err(SubmitError::QuotaExceeded)
+        );
+        // Another client is unaffected by a's quota.
+        s.submit(2, Priority::Normal, "b").unwrap();
+        // Settling refunds the slot.
+        s.settle("a");
+        s.submit(3, Priority::Normal, "a").unwrap();
+        assert_eq!(s.outstanding(), 3);
+    }
+
+    #[test]
+    fn capacity_sheds_across_clients() {
+        let s = small();
+        s.submit(0, Priority::Normal, "a").unwrap();
+        s.submit(1, Priority::Normal, "b").unwrap();
+        s.submit(2, Priority::Normal, "c").unwrap();
+        assert_eq!(
+            s.submit(3, Priority::Normal, "d"),
+            Err(SubmitError::AtCapacity)
+        );
+        s.settle("b");
+        s.submit(3, Priority::Normal, "d").unwrap();
+    }
+
+    #[test]
+    fn a_shed_submission_enqueues_nothing() {
+        let s = small();
+        s.submit(0, Priority::Normal, "a").unwrap();
+        s.submit(1, Priority::Normal, "a").unwrap();
+        let _ = s.submit(2, Priority::Normal, "a");
+        s.close();
+        let order: Vec<_> = std::iter::from_fn(|| s.next()).collect();
+        assert_eq!(order, vec![0, 1], "the rejected job never dispatches");
+    }
+}

@@ -1,0 +1,218 @@
+//! The HTTP front-end over [`AnalysisService`].
+//!
+//! Routes (all responses `application/json` unless noted):
+//!
+//! | method | path                     | response |
+//! |--------|--------------------------|----------|
+//! | GET    | `/healthz`               | `{"ok": true}` |
+//! | GET    | `/metrics`               | the server metrics document |
+//! | POST   | `/v1/jobs`               | 202 + job status, or 400/429 |
+//! | GET    | `/v1/jobs`               | array of job statuses |
+//! | GET    | `/v1/jobs/<id>`          | job status |
+//! | GET    | `/v1/jobs/<id>/result`   | the canonical engine output, verbatim |
+//! | GET    | `/v1/jobs/<id>/progress` | streaming JSONL until terminal |
+//! | POST   | `/v1/jobs/<id>/cancel`   | job status after the request |
+//!
+//! Error shape is always `{"error": "<message>"}`. `result` answers
+//! 409 while the job is still queued or running, 404 for unknown ids,
+//! and 500 with the failure message for failed jobs — the 200 body is
+//! byte-for-byte what the CLI would have printed for the same request.
+//!
+//! Every connection carries one request (`Connection: close`); each is
+//! handled on its own thread, which is plenty for an analysis service
+//! whose requests are dominated by simulation time, and keeps the
+//! accept loop free of poll machinery.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use icicle_obs::Json;
+
+use crate::http::{read_request, write_response, write_stream_head, Request};
+use crate::job::{Job, Submission};
+use crate::service::AnalysisService;
+
+/// How often the progress stream polls a job for a new line.
+const PROGRESS_POLL: Duration = Duration::from_millis(50);
+
+/// A bound listener serving one [`AnalysisService`].
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<AnalysisService>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind(service: Arc<AnalysisService>, addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address (port resolved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns only if the listener itself fails.
+    pub fn run(&self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let service = Arc::clone(&self.service);
+            std::thread::spawn(move || handle_connection(&service, stream));
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(service: &AnalysisService, mut stream: TcpStream) {
+    service.metrics().counter("server.http.requests").inc();
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(error) => {
+            let _ = respond_error(&mut stream, 400, &error);
+            return;
+        }
+    };
+    // The progress stream writes incrementally; everything else is a
+    // one-shot (status, body) pair.
+    if request.method == "GET" {
+        if let Some(rest) = request.path.strip_prefix("/v1/jobs/") {
+            if let Some(id) = rest.strip_suffix("/progress") {
+                match id.parse::<u64>().ok().and_then(|id| service.job(id)) {
+                    Some(job) => {
+                        let _ = stream_progress(&mut stream, &job);
+                    }
+                    None => {
+                        let _ = respond_error(&mut stream, 404, "no such job");
+                    }
+                }
+                return;
+            }
+        }
+    }
+    let (status, body) = route(service, &request);
+    if status >= 400 {
+        service.metrics().counter("server.http.errors").inc();
+    }
+    let _ = write_response(&mut stream, status, &body);
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    write_response(stream, status, &error_body(message))
+}
+
+fn error_body(message: &str) -> String {
+    Json::object(vec![("error", Json::Str(message.to_string()))]).render()
+}
+
+/// Dispatches one parsed request to the service.
+fn route(service: &AnalysisService, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, Json::object(vec![("ok", Json::Bool(true))]).render()),
+        ("GET", "/metrics") => (200, service.metrics_snapshot()),
+        ("POST", "/v1/jobs") => submit(service, request),
+        ("GET", "/v1/jobs") => {
+            let statuses: Vec<Json> = service.jobs().iter().map(|j| j.status_json()).collect();
+            (200, Json::Array(statuses).render())
+        }
+        (method, path) => {
+            let Some(rest) = path.strip_prefix("/v1/jobs/") else {
+                return (404, error_body("no such route"));
+            };
+            let (id, action) = match rest.split_once('/') {
+                Some((id, action)) => (id, Some(action)),
+                None => (rest, None),
+            };
+            let Ok(id) = id.parse::<u64>() else {
+                return (400, error_body("job id must be an integer"));
+            };
+            let Some(job) = service.job(id) else {
+                return (404, error_body("no such job"));
+            };
+            match (method, action) {
+                ("GET", None) => (200, job.status_json().render()),
+                ("GET", Some("result")) => result(&job),
+                ("POST", Some("cancel")) => {
+                    service.cancel(id);
+                    (200, job.status_json().render())
+                }
+                _ => (405, error_body("unsupported method or action")),
+            }
+        }
+    }
+}
+
+fn submit(service: &AnalysisService, request: &Request) -> (u16, String) {
+    let body = match request.body_text() {
+        Ok(body) => body,
+        Err(error) => return (400, error_body(&error)),
+    };
+    let submission = match Submission::parse(body) {
+        Ok(submission) => submission,
+        Err(error) => return (400, error_body(&error)),
+    };
+    match service.submit(submission) {
+        Ok(job) => (202, job.status_json().render()),
+        Err(shed) => (429, error_body(shed.message())),
+    }
+}
+
+fn result(job: &Job) -> (u16, String) {
+    use crate::job::JobState;
+    match job.state() {
+        JobState::Queued | JobState::Running => {
+            (409, error_body("job is not finished; poll its status"))
+        }
+        JobState::Done => (200, job.result().expect("done jobs always carry a result")),
+        JobState::Cancelled => match job.result() {
+            // A cancelled campaign still reports the cells it finished.
+            Some(partial) => (200, partial),
+            None => (409, error_body("job was cancelled before it ran")),
+        },
+        JobState::Failed => (
+            500,
+            error_body(&job.error().unwrap_or_else(|| "job failed".to_string())),
+        ),
+    }
+}
+
+/// Writes JSONL status lines until the job is terminal: one line per
+/// observed change, plus a final line for the terminal state. The body
+/// is delimited by connection close.
+fn stream_progress(stream: &mut TcpStream, job: &Job) -> io::Result<()> {
+    write_stream_head(stream, 200)?;
+    let mut last = String::new();
+    loop {
+        // Read the terminal flag before rendering: terminal states are
+        // final, so a `true` here guarantees the rendered line carries
+        // the terminal state and is the stream's last.
+        let terminal = job.state().is_terminal();
+        let line = job.status_json().render_compact();
+        if line != last {
+            stream.write_all(line.as_bytes())?;
+            stream.write_all(b"\n")?;
+            stream.flush()?;
+            last = line;
+        }
+        if terminal {
+            return Ok(());
+        }
+        std::thread::sleep(PROGRESS_POLL);
+    }
+}

@@ -1,0 +1,557 @@
+//! The analysis service: engines behind a job table.
+//!
+//! [`AnalysisService`] is the transport-free core of the server — the
+//! HTTP layer is just one front-end over it (the integration tests use
+//! it directly). It owns:
+//!
+//! * the **shared content-addressed store**: one disk-backed
+//!   [`ResultCache`] under `<data_dir>/cache`, handed to every campaign
+//!   job, so concurrent clients submitting overlapping grids dedupe
+//!   work through the cache's single-flight lease instead of racing;
+//! * the **checkpoint logs** under `<data_dir>/checkpoints`, one per
+//!   campaign name, shared between jobs of the same spec and replayed
+//!   with `resume` on every run — a `kill -9`'d server re-simulates
+//!   only the cells that had not completed;
+//! * the **scheduler** (priorities, quotas, backpressure) and a pool of
+//!   executor threads draining it;
+//! * the **server metrics registry** served at `/metrics`, including
+//!   the process-global simulator cycle tallies settled as *deltas*
+//!   (never cumulative re-adds) so per-server totals stay correct over
+//!   any number of jobs.
+//!
+//! Each job gets its own [`MetricsRegistry`]: the engines record their
+//! usual counters there and the progress callback maintains the
+//! `campaign.progress.{done,total,eta_seconds}` gauges that feed the
+//! status and streaming-progress endpoints.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use icicle_campaign::sync::lock_unpoisoned;
+use icicle_campaign::{
+    run_campaign, CampaignSpec, CheckpointLog, Progress, ProgressFn, ResultCache, RunOptions,
+};
+use icicle_obs::{self as obs, MetricsRegistry, SimCounts};
+
+use crate::job::{Job, JobKind, JobState, Submission};
+use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
+
+/// Service-level knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Root of the durable state: `cache/` (the shared store) and
+    /// `checkpoints/` live here. Reusing the directory across restarts
+    /// is what makes resume work.
+    pub data_dir: PathBuf,
+    /// Worker threads per campaign run (the CLI's `--jobs`).
+    pub jobs: usize,
+    /// Executor threads, i.e. jobs running concurrently.
+    pub executors: usize,
+    /// Admission-control limits.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            data_dir: PathBuf::from(".icicle-serve"),
+            jobs: 2,
+            executors: 2,
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+}
+
+/// The transport-free analysis service.
+pub struct AnalysisService {
+    config: ServiceConfig,
+    store: Arc<ResultCache>,
+    scheduler: Scheduler,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    checkpoints: Mutex<HashMap<String, Arc<CheckpointLog>>>,
+    metrics: Arc<MetricsRegistry>,
+    sim_baseline: Mutex<SimCounts>,
+}
+
+impl AnalysisService {
+    /// Opens (or creates) the durable state under `config.data_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the data directory or the store
+    /// cannot be created.
+    pub fn open(config: ServiceConfig) -> io::Result<AnalysisService> {
+        let store = Arc::new(ResultCache::with_disk(config.data_dir.join("cache"))?);
+        std::fs::create_dir_all(config.data_dir.join("checkpoints"))?;
+        // The simulator tallies are process-global and cumulative; the
+        // service reports deltas against this baseline.
+        obs::set_sim_stats(true);
+        let sim_baseline = Mutex::new(obs::sim_stats().counts());
+        Ok(AnalysisService {
+            scheduler: Scheduler::new(config.scheduler),
+            config,
+            store,
+            jobs: Mutex::new(Vec::new()),
+            checkpoints: Mutex::new(HashMap::new()),
+            metrics: Arc::new(MetricsRegistry::new()),
+            sim_baseline,
+        })
+    }
+
+    /// The shared content-addressed store.
+    pub fn store(&self) -> &Arc<ResultCache> {
+        &self.store
+    }
+
+    /// The server-wide metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Spawns the executor pool; the handles join after
+    /// [`AnalysisService::shutdown`] once the queue drains.
+    pub fn start(self: &Arc<Self>) -> Vec<JoinHandle<()>> {
+        (0..self.config.executors.max(1))
+            .map(|_| {
+                let service = Arc::clone(self);
+                std::thread::spawn(move || service.executor_loop())
+            })
+            .collect()
+    }
+
+    /// Admits a submission, returning the queued job.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the scheduler sheds it (429 at the HTTP
+    /// layer); nothing is recorded.
+    pub fn submit(&self, submission: Submission) -> Result<Arc<Job>, SubmitError> {
+        // The jobs lock is held across the scheduler push so an
+        // executor that pops the id immediately still finds the job
+        // registered by the time its own `job()` lookup acquires it.
+        let mut jobs = lock_unpoisoned(&self.jobs);
+        let id = jobs.len();
+        let job = Arc::new(Job::new(id as u64, submission));
+        if let Err(shed) = self.scheduler.submit(id, job.priority, &job.client) {
+            self.metrics.counter("server.jobs.shed").inc();
+            return Err(shed);
+        }
+        jobs.push(Arc::clone(&job));
+        self.metrics.counter("server.jobs.submitted").inc();
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        lock_unpoisoned(&self.jobs).get(id as usize).cloned()
+    }
+
+    /// A snapshot of every job, in submission order.
+    pub fn jobs(&self) -> Vec<Arc<Job>> {
+        lock_unpoisoned(&self.jobs).clone()
+    }
+
+    /// Requests cancellation of job `id`; `None` for an unknown id.
+    ///
+    /// A queued job flips to `cancelled` immediately and its quota slot
+    /// is refunded here, right away — not when an executor eventually
+    /// pops the dead entry, which could leave a client locked out of
+    /// its quota behind a long-running job. A running job keeps running
+    /// until the campaign runner polls the flag; its slot settles when
+    /// the executor finishes it.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let job = self.job(id)?;
+        let (state, flipped) = job.request_cancel();
+        if flipped {
+            self.scheduler.settle(&job.client);
+            self.metrics.counter("server.jobs.cancelled").inc();
+        }
+        Some(state)
+    }
+
+    /// Jobs outstanding (queued + running).
+    pub fn outstanding(&self) -> usize {
+        self.scheduler.outstanding()
+    }
+
+    /// Stops dispatch; executors drain what is already queued and exit.
+    pub fn shutdown(&self) {
+        self.scheduler.close();
+    }
+
+    /// The canonical metrics document served at `/metrics`, with the
+    /// simulator tallies settled up to now.
+    pub fn metrics_snapshot(&self) -> String {
+        self.settle_sim();
+        self.metrics.render()
+    }
+
+    /// Folds the simulator-cycle *increase* since the last settlement
+    /// into the server counters. Cumulative tallies are never re-added,
+    /// so serving many jobs from one process cannot double-count.
+    fn settle_sim(&self) {
+        let mut baseline = lock_unpoisoned(&self.sim_baseline);
+        let now = obs::sim_stats().counts();
+        let delta = now.since(*baseline);
+        *baseline = now;
+        drop(baseline);
+        self.metrics
+            .counter("sim.rocket_cycles")
+            .add(delta.rocket_cycles);
+        self.metrics
+            .counter("sim.boom_cycles")
+            .add(delta.boom_cycles);
+    }
+
+    fn executor_loop(self: &Arc<Self>) {
+        while let Some(id) = self.scheduler.next() {
+            let job = self.job(id as u64).expect("scheduled job is registered");
+            if !job.start() {
+                // A cancel won the race while the job was queued; the
+                // canceller settled its quota and counted it already.
+                continue;
+            }
+            self.execute(&job);
+            self.settle_sim();
+            self.scheduler.settle(&job.client);
+            let counter = match job.state() {
+                JobState::Done => "server.jobs.done",
+                JobState::Cancelled => "server.jobs.cancelled",
+                _ => "server.jobs.failed",
+            };
+            self.metrics.counter(counter).inc();
+        }
+    }
+
+    fn execute(&self, job: &Arc<Job>) {
+        match job.kind.clone() {
+            JobKind::Campaign { spec } => self.execute_campaign(job, &spec),
+            JobKind::Verify { flat_bound } => self.execute_verify(job, flat_bound),
+            JobKind::Bench { warmup, repeats } => self.execute_bench(job, warmup, repeats),
+        }
+    }
+
+    fn execute_campaign(&self, job: &Arc<Job>, text: &str) {
+        let spec = match CampaignSpec::parse(text) {
+            Ok(spec) => spec,
+            Err(error) => return job.fail(format!("bad campaign spec: {error}")),
+        };
+        let checkpoint = match self.checkpoint_for(&spec.name) {
+            Ok(checkpoint) => checkpoint,
+            Err(error) => return job.fail(format!("cannot open checkpoint: {error}")),
+        };
+        let options = RunOptions {
+            jobs: self.config.jobs,
+            cache: Some(Arc::clone(&self.store)),
+            checkpoint: Some(checkpoint),
+            resume: true,
+            progress: Some(progress_gauges(&job.metrics)),
+            metrics: Some(Arc::clone(&job.metrics)),
+            cancel: Some(Arc::clone(&job.cancel)),
+            ..RunOptions::default()
+        };
+        let report = run_campaign(&spec, &options);
+        // The stored string is exactly what `icicle-tma campaign --json`
+        // prints for this spec: the byte-identity contract.
+        if job.cancel.load(Ordering::SeqCst) {
+            job.cancelled(Some(report.to_json()));
+        } else {
+            let passed = report.passed();
+            job.finish(report.to_json(), passed);
+        }
+    }
+
+    fn execute_verify(&self, job: &Arc<Job>, flat_bound: Option<f64>) {
+        let options = icicle_verify::MatrixOptions {
+            jobs: self.config.jobs,
+            flat_bound,
+            progress: Some(progress_gauges(&job.metrics)),
+            metrics: Some(Arc::clone(&job.metrics)),
+        };
+        let report = icicle_verify::run_matrix(&icicle_verify::default_matrix(), &options);
+        let passed = report.passed();
+        job.finish(report.to_json(), passed);
+    }
+
+    fn execute_bench(&self, job: &Arc<Job>, warmup: u32, repeats: u32) {
+        let gauges = Arc::clone(&job.metrics);
+        let options = icicle_bench::ledger::LedgerOptions {
+            warmup,
+            repeats,
+            progress: Some(Box::new(move |done, total, _key| {
+                gauges.gauge("campaign.progress.done").set(done as f64);
+                gauges.gauge("campaign.progress.total").set(total as f64);
+            })),
+            metrics: Some(Arc::clone(&job.metrics)),
+            ..icicle_bench::ledger::LedgerOptions::default()
+        };
+        match icicle_bench::ledger::run_grid(&icicle_bench::ledger::default_grid(), &options) {
+            Ok(ledger) => job.finish(ledger.to_json(), true),
+            Err(error) => job.fail(format!("bench failed: {error}")),
+        }
+    }
+
+    /// One shared checkpoint handle per campaign name, so concurrent
+    /// jobs of the same spec append to one journal.
+    fn checkpoint_for(&self, name: &str) -> io::Result<Arc<CheckpointLog>> {
+        let key = sanitize(name);
+        let mut checkpoints = lock_unpoisoned(&self.checkpoints);
+        if let Some(existing) = checkpoints.get(&key) {
+            return Ok(Arc::clone(existing));
+        }
+        let path = self
+            .config
+            .data_dir
+            .join("checkpoints")
+            .join(format!("{key}.checkpoint"));
+        let log = Arc::new(CheckpointLog::open(&path)?);
+        checkpoints.insert(key, Arc::clone(&log));
+        Ok(log)
+    }
+}
+
+/// Campaign names become checkpoint file names; anything outside
+/// `[A-Za-z0-9._-]` is mapped to `_` so a hostile name cannot escape
+/// the checkpoints directory.
+fn sanitize(name: &str) -> String {
+    let mapped: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if mapped.is_empty() {
+        "unnamed".to_string()
+    } else {
+        mapped
+    }
+}
+
+/// The progress callback every engine shares: fold each report into the
+/// job's gauges, from which the status endpoint and the streaming
+/// progress lines read.
+fn progress_gauges(metrics: &Arc<MetricsRegistry>) -> Box<ProgressFn> {
+    let gauges = Arc::clone(metrics);
+    let started = Instant::now();
+    Box::new(move |p: Progress| {
+        let done = p.done();
+        gauges.gauge("campaign.progress.done").set(done as f64);
+        gauges.gauge("campaign.progress.total").set(p.total as f64);
+        if done > 0 && done < p.total {
+            let elapsed = started.elapsed().as_secs_f64();
+            let eta = elapsed / done as f64 * (p.total - done) as f64;
+            gauges.gauge("campaign.progress.eta_seconds").set(eta);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icicle_campaign::Priority;
+
+    const TINY_SPEC: &str =
+        "name = serve-unit\nworkloads = vvadd\ncores = rocket\narchs = add-wires\nseeds = 0\n";
+
+    fn tmp_service(tag: &str, executors: usize) -> Arc<AnalysisService> {
+        let dir =
+            std::env::temp_dir().join(format!("icicle-serve-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(
+            AnalysisService::open(ServiceConfig {
+                data_dir: dir,
+                jobs: 2,
+                executors,
+                scheduler: SchedulerConfig::default(),
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn campaign_job_matches_the_direct_engine_output() {
+        let service = tmp_service("direct", 1);
+        let handles = service.start();
+        let job = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        assert_eq!(job.wait(), JobState::Done);
+        let spec = CampaignSpec::parse(TINY_SPEC).unwrap();
+        let direct = run_campaign(&spec, &RunOptions::default());
+        assert_eq!(job.result().unwrap(), direct.to_json());
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_submissions_dedupe_through_the_store() {
+        let service = tmp_service("dedupe", 2);
+        let handles = service.start();
+        let first = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        let second = service
+            .submit(Submission::campaign(TINY_SPEC).with_client("other"))
+            .unwrap();
+        assert_eq!(first.wait(), JobState::Done);
+        assert_eq!(second.wait(), JobState::Done);
+        assert_eq!(first.result(), second.result(), "byte-identical results");
+        // The grid has one cell; across both jobs it simulated once —
+        // the other saw a cache/lease hit or a checkpoint resume.
+        let simulated = first.metrics.counter("campaign.cells.simulated").get()
+            + second.metrics.counter("campaign.cells.simulated").get();
+        assert_eq!(simulated, 1, "the overlapping cell ran exactly once");
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn restart_resumes_without_resimulating() {
+        let dir =
+            std::env::temp_dir().join(format!("icicle-serve-unit-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ServiceConfig {
+            data_dir: dir.clone(),
+            jobs: 1,
+            executors: 1,
+            scheduler: SchedulerConfig::default(),
+        };
+        let baseline = {
+            let service = Arc::new(AnalysisService::open(config.clone()).unwrap());
+            let handles = service.start();
+            let job = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+            assert_eq!(job.wait(), JobState::Done);
+            assert_eq!(job.metrics.counter("campaign.cells.simulated").get(), 1);
+            service.shutdown();
+            for h in handles {
+                h.join().unwrap();
+            }
+            job.result().unwrap()
+        };
+        // A "restarted server": a fresh service over the same data dir.
+        let service = Arc::new(AnalysisService::open(config).unwrap());
+        let handles = service.start();
+        let job = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        assert_eq!(job.wait(), JobState::Done);
+        assert_eq!(
+            job.metrics.counter("campaign.cells.simulated").get(),
+            0,
+            "every completed cell resumes from the checkpoint + store"
+        );
+        assert_eq!(job.metrics.counter("campaign.cells.resumed").get(), 1);
+        assert_eq!(
+            job.result().unwrap(),
+            baseline,
+            "byte-identical after resume"
+        );
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_specs_fail_without_poisoning_the_executor() {
+        let service = tmp_service("badspec", 1);
+        let handles = service.start();
+        let bad = service
+            .submit(Submission::campaign("workloads = \n"))
+            .unwrap();
+        assert_eq!(bad.wait(), JobState::Failed);
+        assert!(bad.error().unwrap().contains("bad campaign spec"));
+        // The executor survives and runs the next job.
+        let good = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        assert_eq!(good.wait(), JobState::Done);
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn queued_cancel_never_executes() {
+        // No executors: the job stays queued until we cancel it.
+        let service = tmp_service("cancel", 1);
+        let job = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        assert_eq!(service.cancel(job.id), Some(JobState::Cancelled));
+        let handles = service.start();
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(job.state(), JobState::Cancelled);
+        assert!(job.result().is_none());
+        assert_eq!(service.outstanding(), 0, "the quota slot was refunded");
+    }
+
+    #[test]
+    fn sim_counters_settle_deltas_not_cumulative_totals() {
+        let service = tmp_service("simdelta", 1);
+        let handles = service.start();
+        let job = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        assert_eq!(job.wait(), JobState::Done);
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            service.metrics().counter("sim.rocket_cycles").get() > 0,
+            "the simulated rocket cell settled its cycles"
+        );
+        // Repeated snapshots settle deltas, never cumulative re-adds:
+        // the counter can only track the process-global tally, not
+        // multiply it. (Other tests simulate concurrently in this
+        // process, so the check is an inequality against the global
+        // total rather than an exact value.)
+        let _ = service.metrics_snapshot();
+        let _ = service.metrics_snapshot();
+        let settled = service.metrics().counter("sim.rocket_cycles").get();
+        let global = obs::sim_stats().counts().rocket_cycles;
+        assert!(
+            settled <= global,
+            "settled {settled} cycles but only {global} were ever simulated"
+        );
+    }
+
+    #[test]
+    fn priority_orders_queued_jobs() {
+        // No executors yet: submissions stack up, then drain in band
+        // order when the pool starts.
+        let service = tmp_service("prio", 1);
+        let low = service
+            .submit(Submission::campaign(TINY_SPEC).with_priority(Priority::Low))
+            .unwrap();
+        let high = service
+            .submit(
+                Submission::campaign(
+                    "name = other\nworkloads = towers\ncores = rocket\narchs = add-wires\n",
+                )
+                .with_priority(Priority::High),
+            )
+            .unwrap();
+        let handles = service.start();
+        assert_eq!(high.wait(), JobState::Done);
+        assert_eq!(low.wait(), JobState::Done);
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(service.metrics().counter("server.jobs.done").get(), 2);
+    }
+
+    #[test]
+    fn sanitize_confines_checkpoint_names() {
+        assert_eq!(sanitize("fig7-sweep"), "fig7-sweep");
+        assert_eq!(sanitize("../../etc/passwd"), ".._.._etc_passwd");
+        assert_eq!(sanitize(""), "unnamed");
+    }
+}

@@ -1,0 +1,276 @@
+//! End-to-end tests of the analysis server over real sockets: a
+//! [`Server`] bound to an ephemeral port, driven exclusively through
+//! the [`Client`] the CLI verbs use. The contract under test is the
+//! headline one from the service layer: a campaign submitted over HTTP
+//! returns *byte-identical* output to `icicle-tma campaign --json` —
+//! at any executor count, with concurrent clients deduping through the
+//! shared store, and across a server restart that resumes from the
+//! checkpoint log.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use icicle::campaign::{run_campaign, CampaignSpec, RunOptions};
+use icicle_obs::Json;
+use icicle_serve::{
+    AnalysisService, Client, JobKind, SchedulerConfig, Server, ServiceConfig, Submission,
+};
+
+/// Two cells (vvadd on rocket, seeds 0 and 1): fast enough to simulate
+/// in-process, rich enough that resume/dedupe accounting is visible.
+const SPEC: &str = "\
+name = serve-e2e
+workloads = vvadd
+cores = rocket
+archs = add-wires
+seeds = 0, 1
+";
+
+const POLL: Duration = Duration::from_millis(10);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icicle-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Boots a service + HTTP server on an ephemeral port; the accept loop
+/// runs on a detached thread for the rest of the test process.
+fn boot(data_dir: &Path, config: ServiceConfig) -> (Arc<AnalysisService>, SocketAddr) {
+    let service = Arc::new(
+        AnalysisService::open(ServiceConfig {
+            data_dir: data_dir.to_path_buf(),
+            ..config
+        })
+        .expect("open service"),
+    );
+    let _executors = service.start();
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    (service, addr)
+}
+
+/// What `icicle-tma campaign --json` prints for [`SPEC`]: the engine's
+/// canonical rendering, fresh uncached run.
+fn direct_cli_output() -> String {
+    let spec = CampaignSpec::parse(SPEC).expect("spec parses");
+    run_campaign(&spec, &RunOptions::default()).to_json()
+}
+
+#[test]
+fn campaign_over_http_is_byte_identical_to_the_direct_cli() {
+    let dir = scratch_dir("e2e");
+    let (_service, addr) = boot(&dir, ServiceConfig::default());
+    let api = Client::new(addr.to_string());
+    assert!(api.health(), "server answers /healthz");
+
+    let id = api
+        .submit(&Submission::campaign(SPEC).with_client("e2e"))
+        .expect("submit");
+    let status = api.wait(id, POLL).expect("poll to completion");
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(status.get("passed"), Some(&Json::Bool(true)));
+
+    let over_http = api.result(id).expect("fetch result");
+    assert_eq!(
+        over_http,
+        direct_cli_output(),
+        "the served bytes must match `icicle-tma campaign --json` exactly"
+    );
+
+    // The status list and metrics endpoints answer too.
+    let jobs = api.jobs().expect("list jobs");
+    assert_eq!(jobs.len(), 1);
+    let metrics = api.metrics().expect("metrics");
+    assert!(metrics.contains("server.jobs.done"), "{metrics}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_clients_dedupe_through_the_shared_store() {
+    let dir = scratch_dir("dedupe");
+    // Two executors so both jobs genuinely run concurrently.
+    let (service, addr) = boot(
+        &dir,
+        ServiceConfig {
+            executors: 2,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let submit = |client: &'static str| {
+        let addr = addr.to_string();
+        std::thread::spawn(move || {
+            let api = Client::new(addr);
+            let id = api
+                .submit(&Submission::campaign(SPEC).with_client(client))
+                .expect("submit");
+            let status = api.wait(id, POLL).expect("wait");
+            assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+            api.result(id).expect("result")
+        })
+    };
+    let first = submit("alice");
+    let second = submit("bob");
+    let first = first.join().expect("first client");
+    let second = second.join().expect("second client");
+
+    let expected = direct_cli_output();
+    assert_eq!(first, expected, "first client sees the canonical bytes");
+    assert_eq!(second, expected, "second client sees the canonical bytes");
+
+    // The single-flight store deduped the overlap: across both jobs,
+    // each of the two cells was simulated exactly once — the other
+    // job's cells were cache hits (or lease waits), never re-runs.
+    let simulated: u64 = service
+        .jobs()
+        .iter()
+        .map(|job| job.metrics.counter("campaign.cells.simulated").get())
+        .sum();
+    assert_eq!(simulated, 2, "two cells total, each simulated once");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_restarted_server_resumes_without_resimulating() {
+    let dir = scratch_dir("restart");
+    // First server lifetime: run the campaign to completion.
+    {
+        let (_service, addr) = boot(&dir, ServiceConfig::default());
+        let api = Client::new(addr.to_string());
+        let id = api.submit(&Submission::campaign(SPEC)).expect("submit");
+        let status = api.wait(id, POLL).expect("wait");
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    }
+    // "Restart": a fresh service over the same data dir (the CI job
+    // does this with a real kill -9; in-process the durable state is
+    // the same files). Every cell must come back from the checkpoint.
+    let (service, addr) = boot(&dir, ServiceConfig::default());
+    let api = Client::new(addr.to_string());
+    let id = api.submit(&Submission::campaign(SPEC)).expect("submit");
+    let status = api.wait(id, POLL).expect("wait");
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(
+        api.result(id).expect("result"),
+        direct_cli_output(),
+        "resumed output still byte-identical"
+    );
+    // The status document exposes the same accounting over the wire.
+    assert_eq!(status.get("simulated").and_then(Json::as_u64), Some(0));
+    assert_eq!(status.get("resumed").and_then(Json::as_u64), Some(2));
+
+    let job = service.job(id).expect("job exists");
+    assert_eq!(
+        job.metrics.counter("campaign.cells.simulated").get(),
+        0,
+        "no completed cell may re-run after the restart"
+    );
+    assert_eq!(job.metrics.counter("campaign.cells.resumed").get(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quotas_and_capacity_shed_submissions_with_429() {
+    let dir = scratch_dir("quota");
+    // No executors drain the queue: admission decisions are the only
+    // observable behavior, and they are fully deterministic.
+    let service = Arc::new(
+        AnalysisService::open(ServiceConfig {
+            data_dir: dir.clone(),
+            scheduler: SchedulerConfig {
+                capacity: 2,
+                per_client: 1,
+            },
+            ..ServiceConfig::default()
+        })
+        .expect("open service"),
+    );
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    let api = Client::new(addr.to_string());
+
+    let first = api
+        .submit(&Submission::campaign(SPEC).with_client("alice"))
+        .expect("first submission fits");
+    // Same client again: over the per-client quota.
+    let err = api
+        .submit(&Submission::campaign(SPEC).with_client("alice"))
+        .expect_err("quota exceeded");
+    assert!(
+        matches!(err, icicle_serve::ClientError::Http { status: 429, .. }),
+        "unexpected {err:?}"
+    );
+    // A different client fits — until the server-wide capacity.
+    api.submit(&Submission::campaign(SPEC).with_client("bob"))
+        .expect("second client fits");
+    let err = api
+        .submit(&Submission::campaign(SPEC).with_client("carol"))
+        .expect_err("at capacity");
+    assert!(
+        matches!(err, icicle_serve::ClientError::Http { status: 429, .. }),
+        "unexpected {err:?}"
+    );
+
+    // Cancelling refunds the quota: the shed client now fits.
+    let status = api.cancel(first).expect("cancel");
+    assert_eq!(
+        status.get("state").and_then(Json::as_str),
+        Some("cancelled")
+    );
+    api.submit(&Submission::campaign(SPEC).with_client("alice"))
+        .expect("cancel refunded the quota");
+
+    // A cancelled-before-running job has no result to serve.
+    let err = api
+        .result(first)
+        .expect_err("no result for a cancelled job");
+    assert!(
+        matches!(err, icicle_serve::ClientError::Http { status: 409, .. }),
+        "unexpected {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_progress_stream_ends_on_a_terminal_line() {
+    use std::io::Read;
+    let dir = scratch_dir("stream");
+    let (_service, addr) = boot(&dir, ServiceConfig::default());
+    let api = Client::new(addr.to_string());
+    let id = api
+        .submit(&Submission {
+            kind: JobKind::Verify { flat_bound: None },
+            priority: icicle::campaign::Priority::High,
+            client: "streamer".to_string(),
+        })
+        .expect("submit");
+
+    // Raw HTTP: the stream is JSONL delimited by connection close.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    use std::io::Write;
+    write!(
+        stream,
+        "GET /v1/jobs/{id}/progress HTTP/1.1\r\nHost: test\r\n\r\n"
+    )
+    .expect("send request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read until close");
+    let lines: Vec<&str> = body
+        .lines()
+        .skip_while(|line| !line.is_empty())
+        .filter(|line| line.starts_with('{'))
+        .collect();
+    assert!(!lines.is_empty(), "at least one progress line: {body}");
+    let last = Json::parse(lines.last().expect("nonempty")).expect("JSONL line parses");
+    let state = last.get("state").and_then(Json::as_str).expect("state");
+    assert!(
+        matches!(state, "done" | "failed"),
+        "the final line carries the terminal state, got {state}"
+    );
+    assert_eq!(last.get("kind").and_then(Json::as_str), Some("verify"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
