@@ -44,6 +44,12 @@ pub struct LedgerOptions {
     /// Metrics registry for this run's counters (`bench.cells`,
     /// `bench.runs`, a wall-ms histogram). `None` records nothing.
     pub metrics: Option<std::sync::Arc<icicle_obs::MetricsRegistry>>,
+    /// Cycle-skipping policy for every measured run; `None` (the
+    /// default) defers to the ambient [`SkipPolicy::resolve`]. The
+    /// simulated counters are identical either way — only the wall
+    /// clock moves — so skip-on and skip-off ledgers are comparable
+    /// cell for cell.
+    pub skip: Option<SkipPolicy>,
 }
 
 impl Default for LedgerOptions {
@@ -54,6 +60,7 @@ impl Default for LedgerOptions {
             max_cycles: 100_000_000,
             progress: None,
             metrics: None,
+            skip: None,
         }
     }
 }
@@ -304,12 +311,14 @@ impl std::fmt::Display for Ledger {
 
 /// The fixed grid the committed `BENCH_icicle.json` covers: three
 /// workloads of distinct character (streaming, branchy sorting, and a
-/// CoreMark-like composite), both pipeline models (the BOOM at the
-/// paper's medium size, per the throughput target), and the two
-/// counter implementations at the cost extremes (add-wires and
-/// distributed).
+/// CoreMark-like composite) plus the stall-heavy pair (`ptrchase`
+/// pointer-chasing D$ misses, `muldiv` long-latency execution stalls)
+/// that exercises event-driven cycle skipping, both pipeline models
+/// (the BOOM at the paper's medium size, per the throughput target),
+/// and the two counter implementations at the cost extremes
+/// (add-wires and distributed).
 pub fn default_grid() -> Vec<(String, CoreSelect, CounterArch)> {
-    let workloads = ["vvadd", "qsort", "coremark"];
+    let workloads = ["vvadd", "qsort", "coremark", "ptrchase", "muldiv"];
     let cores = [CoreSelect::Rocket, CoreSelect::Boom(BoomSize::Medium)];
     let archs = [CounterArch::AddWires, CounterArch::Distributed];
     let mut grid = Vec::new();
@@ -328,11 +337,12 @@ fn run_once(
     stream: &icicle::isa::DynStream,
     core: CoreSelect,
     arch: CounterArch,
-    max_cycles: u64,
+    options: &LedgerOptions,
 ) -> Result<(PerfReport, f64), String> {
     let perf = Perf::with_options(PerfOptions {
         arch,
-        max_cycles,
+        max_cycles: options.max_cycles,
+        skip: options.skip.unwrap_or_else(SkipPolicy::resolve),
         ..PerfOptions::default()
     });
     // Core construction (stream copy, cache arrays) happens before the
@@ -387,13 +397,13 @@ pub fn measure_cell(
         .execute()
         .map_err(|e| format!("{name} failed to execute: {e}"))?;
     for _ in 0..options.warmup {
-        run_once(&workload, &stream, core, arch, options.max_cycles)?;
+        run_once(&workload, &stream, core, arch, options)?;
     }
     let repeats = options.repeats.max(1);
     let mut walls = Vec::with_capacity(repeats as usize);
     let mut counters: Option<(u64, u64)> = None;
     for _ in 0..repeats {
-        let (report, wall_s) = run_once(&workload, &stream, core, arch, options.max_cycles)?;
+        let (report, wall_s) = run_once(&workload, &stream, core, arch, options)?;
         let this = (report.cycles, report.instret);
         if let Some(previous) = counters {
             // The simulator is deterministic; nondeterministic counter
@@ -661,10 +671,13 @@ mod tests {
     }
 
     #[test]
-    fn default_grid_covers_medium_boom() {
+    fn default_grid_covers_medium_boom_and_the_stall_pair() {
         let grid = default_grid();
-        assert_eq!(grid.len(), 12);
+        assert_eq!(grid.len(), 20);
         assert!(grid.iter().any(|(_, core, _)| core.name() == "medium-boom"));
+        for stall in ["ptrchase", "muldiv"] {
+            assert!(grid.iter().any(|(w, _, _)| w == stall), "{stall} missing");
+        }
     }
 
     #[test]

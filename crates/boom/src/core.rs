@@ -1179,6 +1179,204 @@ impl Boom {
             );
         }
     }
+
+    // --- Quiescence analysis ----------------------------------------------
+
+    /// Computes [`EventCore::time_until_next_event`] purely from current
+    /// state: a strictly positive span is returned only when every
+    /// pipeline structure — pending flushes, the ROB head, the MSHR file,
+    /// all three issue queues, dispatch, and fetch — is provably replaying
+    /// the same stall cycle until some absolute wake time, so each skipped
+    /// step would raise the exact event vector of the step before it and
+    /// mutate nothing but `cycle`.
+    fn quiescent_span(&self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let c = self.cycle;
+        // Earliest absolute cycle at which any unit's behavior changes.
+        let mut wake = u64::MAX;
+
+        // Pending branch flushes: an issued mispredict flushes the moment
+        // it completes.
+        for &(ready, id) in &self.pending_branch_flushes {
+            let Some(u) = self.uops.get(id) else { continue };
+            if !u.issued {
+                // Its issue is analyzed with its queue below.
+                continue;
+            }
+            let due = ready.max(u.complete_cycle);
+            if due <= c {
+                return None; // Flush would apply next cycle.
+            }
+            wake = wake.min(due);
+        }
+
+        // Commit: the ROB head.
+        if let Some(&head) = self.rob.front() {
+            let u = &self.uops[head];
+            if u.class == InstrClass::Fence && !u.issued {
+                if self.rob.len() != 1 {
+                    // A fence behind other work is not a steady state the
+                    // analysis models; step normally.
+                    return None;
+                }
+                match self.fence_head_since {
+                    // The next step records the head-arrival cycle.
+                    None => return None,
+                    Some(since) => {
+                        let t = since + self.config.fence_latency;
+                        if t <= c {
+                            return None; // Fence issues next cycle.
+                        }
+                        wake = wake.min(t);
+                    }
+                }
+            } else if u.complete(c) {
+                return None; // Head retires next cycle.
+            } else if u.issued {
+                wake = wake.min(u.complete_cycle);
+            }
+            // An unissued non-fence head is analyzed with its issue queue.
+        }
+
+        // MSHRs: a landed refill mutates the file on the next drain and
+        // flips both the D$-blocked annotation and MSHR-full stalls.
+        if self.mshrs.has_completed(c) {
+            return None;
+        }
+        if let Some(t) = self.mshrs.next_ready(c) {
+            wake = wake.min(t);
+        }
+
+        // Issue queues: any entry that could be granted ends the
+        // analysis; blocked entries contribute their producers'
+        // completion times.
+        for queue in [&self.iq_int, &self.iq_mem, &self.iq_fp] {
+            for &id in queue {
+                let Some(u) = self.uops.get(id) else { continue };
+                let mut blocked = false;
+                for &d in u.deps.as_slice() {
+                    if let Some(p) = self.uops.get(d) {
+                        if !p.complete(c) {
+                            blocked = true;
+                            if p.issued {
+                                wake = wake.min(p.complete_cycle);
+                            }
+                            // An unissued producer is covered by its own
+                            // queue entry (or by dispatch, if still in the
+                            // fetch buffer).
+                        }
+                    }
+                }
+                if blocked {
+                    continue;
+                }
+                match u.class {
+                    InstrClass::Div if self.div_busy_until > c => {
+                        wake = wake.min(self.div_busy_until);
+                    }
+                    InstrClass::FpDiv if self.fp_div_busy_until > c => {
+                        wake = wake.min(self.fp_div_busy_until);
+                    }
+                    InstrClass::Load
+                    | InstrClass::FpLoad
+                    | InstrClass::Store
+                    | InstrClass::FpStore
+                    | InstrClass::Amo => {
+                        if self.config.mem_dep_prediction
+                            && matches!(u.class, InstrClass::Load | InstrClass::FpLoad)
+                            && self.violating_loads.contains(&u.pc)
+                            && self.older_store_unissued(id)
+                        {
+                            // Waits on the older store, analyzed by its
+                            // own queue entry.
+                            continue;
+                        }
+                        if let Some(acc) = u.mem {
+                            let block = acc.addr / self.config.memory.l1d.block_bytes;
+                            if !self.mem.peek_data(acc.addr)
+                                && self.mshrs.lookup(block, c).is_none()
+                                && !self.mshrs.can_allocate(c)
+                            {
+                                // MSHR-full: wakes with `next_ready` above.
+                                continue;
+                            }
+                        }
+                        return None; // Would issue next cycle.
+                    }
+                    _ => return None, // Would issue next cycle.
+                }
+            }
+        }
+
+        // Dispatch: would the front of the fetch buffer dispatch? (Pure
+        // back-pressure raises no events; fence/halt serialization is
+        // resolved by the commit timers above.)
+        if !self.fence_in_rob && !self.halt_dispatched {
+            if let Some(front) = self.fb.front() {
+                let class = front.class;
+                let blocked = if self.rob.len() >= self.config.rob_entries {
+                    true
+                } else {
+                    match iq_of(class) {
+                        IqKind::Int => {
+                            class != InstrClass::Fence
+                                && class != InstrClass::Halt
+                                && self.iq_int.len() >= self.config.int_iq_entries
+                        }
+                        IqKind::Mem => {
+                            let is_load = matches!(
+                                class,
+                                InstrClass::Load | InstrClass::FpLoad | InstrClass::Amo
+                            );
+                            self.iq_mem.len() >= self.config.mem_iq_entries
+                                || (is_load && self.loads_in_rob >= self.config.lq_entries)
+                                || (!is_load && self.stores_in_rob >= self.config.stq_entries)
+                        }
+                        IqKind::Fp => self.iq_fp.len() >= self.config.fp_iq_entries,
+                    }
+                };
+                if !blocked {
+                    return None; // Would dispatch next cycle.
+                }
+            }
+        }
+
+        // Fetch. A full fetch buffer stays full for the whole span: the
+        // back end is blocked above, so dispatch drains nothing.
+        match self.fetch_state {
+            FetchState::Drained => {}
+            FetchState::Starting => {
+                if self.fb.len() < self.config.fetch_buffer_entries {
+                    if self.fetch_allowed > c {
+                        wake = wake.min(self.fetch_allowed);
+                    } else {
+                        return None; // Would start an I-cache access.
+                    }
+                }
+            }
+            FetchState::Waiting { ready } => {
+                if self.fb.len() < self.config.fetch_buffer_entries {
+                    if ready > c {
+                        wake = wake.min(ready);
+                    } else {
+                        return None; // Would deliver a fetch packet.
+                    }
+                }
+            }
+        }
+
+        // The I$-blocked annotation drops the cycle the refill lands.
+        if self.refill_until > c && self.fb.is_empty() {
+            wake = wake.min(self.refill_until);
+        }
+
+        match wake {
+            u64::MAX => None,
+            w => Some(w - c),
+        }
+    }
 }
 
 impl EventCore for Boom {
@@ -1244,6 +1442,28 @@ impl EventCore for Boom {
             crate::config::BoomSize::Mega => "mega-boom",
             crate::config::BoomSize::Giga => "giga-boom",
         }
+    }
+
+    fn time_until_next_event(&self) -> Option<u64> {
+        self.quiescent_span()
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        self.cycle += cycles;
+        // Mirror the per-step runaway check: a span long enough to cross
+        // the no-commit bound must still panic, as stepping would have.
+        // `<=` (not `<`): the wake cycle itself gets a real step where
+        // commit runs before the per-step assert, so only cycles strictly
+        // inside the span may trip it here.
+        assert!(
+            self.cycle - self.last_commit_cycle <= 200_000,
+            "no commit for 200k cycles at cycle {} (rob {:?} head, iqs {}/{}/{})",
+            self.cycle,
+            self.rob.front(),
+            self.iq_int.len(),
+            self.iq_mem.len(),
+            self.iq_fp.len()
+        );
     }
 }
 
@@ -1513,6 +1733,69 @@ mod tests {
             "dependent misses should block commit slots: {blocked_frac}"
         );
         assert!(c.dcache_miss > 2000);
+    }
+
+    #[test]
+    fn quiescent_skip_matches_stepping() {
+        // Same stream twice: one core stepped cycle-by-cycle, one
+        // fast-forwarded through every claimed quiescent span. Final
+        // cycle, instret, and every event total must match exactly.
+        let n = 32768u64;
+        let mut b = ProgramBuilder::new("skipmix");
+        let mut entries: Vec<u64> = (0..n).collect();
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        for i in (1..n as usize).rev() {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let j = (rng % i as u64) as usize;
+            entries.swap(i, j);
+        }
+        let table = b.data_u64(&entries);
+        b.li(Reg::T0, table as i64);
+        b.li(Reg::T1, 0);
+        b.li(Reg::T2, 2000);
+        b.li(Reg::T3, 0);
+        b.li(Reg::S0, 1_000_000);
+        b.li(Reg::S1, 7);
+        b.label("l");
+        b.slli(Reg::T4, Reg::T1, 3);
+        b.add(Reg::T4, Reg::T0, Reg::T4);
+        b.ld(Reg::T1, Reg::T4, 0); // dependent, mostly missing
+        b.div(Reg::S2, Reg::S0, Reg::S1); // serializing divide
+        b.addi(Reg::T3, Reg::T3, 1);
+        b.blt(Reg::T3, Reg::T2, "l");
+        b.halt();
+        let program = b.build().unwrap();
+        let stream = Interpreter::new(&program).run(5_000_000).unwrap();
+
+        let mut stepped = Boom::new(BoomConfig::large(), stream.clone(), program.clone());
+        let mut step_counts = icicle_events::EventCounts::new();
+        while !stepped.is_done() {
+            step_counts.observe(stepped.step());
+        }
+
+        let mut skipped = Boom::new(BoomConfig::large(), stream, program);
+        let mut skip_counts = icicle_events::EventCounts::new();
+        let mut spans = 0u64;
+        while !skipped.is_done() {
+            let span = skipped.time_until_next_event();
+            let v = skipped.step().clone();
+            skip_counts.observe(&v);
+            if let Some(n) = span {
+                if n >= 2 {
+                    skipped.fast_forward(n - 1);
+                    skip_counts.observe_many(&v, n - 1);
+                    spans += 1;
+                }
+            }
+            assert!(skipped.cycle() < 10_000_000, "runaway skip loop");
+        }
+
+        assert!(spans > 100, "stall-heavy program must skip, got {spans}");
+        assert_eq!(stepped.cycle(), skipped.cycle());
+        assert_eq!(stepped.instret(), skipped.instret());
+        assert_eq!(step_counts, skip_counts);
     }
 
     #[test]

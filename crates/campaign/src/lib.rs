@@ -45,13 +45,18 @@ pub mod sync;
 // keeps `icicle_campaign::json::Json` paths working.
 pub use icicle_obs::json;
 
+// Re-exported so harness-level crates (the server, the CLI) can plumb
+// a skip policy without depending on `icicle-perf` directly.
+pub use icicle_perf::SkipPolicy;
+
 pub use cache::{FlightGuard, Lease, ResultCache};
 pub use checkpoint::CheckpointLog;
 pub use error::CellError;
 pub use fingerprint::{data_seed, fingerprint, Fingerprint, CACHE_FORMAT_VERSION};
 pub use report::{CampaignReport, CellFailure, CellResult, Incident, RunStats, TmaSummary};
 pub use runner::{
-    run_campaign, simulate_cell, JobQueue, Priority, Progress, ProgressFn, RunOptions,
+    run_campaign, simulate_cell, simulate_cell_with, JobQueue, Priority, Progress, ProgressFn,
+    RunOptions,
 };
 pub use spec::{CampaignSpec, CellSpec, CoreSelect, SpecError};
 

@@ -35,7 +35,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use icicle_boom::{Boom, BoomConfig};
 use icicle_faults::FaultInjector;
 use icicle_obs::{self as obs, MetricsRegistry};
-use icicle_perf::{Perf, PerfOptions};
+use icicle_perf::{Perf, PerfOptions, SkipPolicy};
 use icicle_rocket::{Rocket, RocketConfig};
 use icicle_workloads as workloads;
 
@@ -267,6 +267,11 @@ pub struct RunOptions {
     /// a simulation mid-flight. `None` (the default) means the run is
     /// not cancellable.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Cycle-skipping policy for every simulated cell; `None` (the
+    /// default) defers to the ambient [`SkipPolicy::resolve`]. The policy
+    /// never enters the cell fingerprint: both modes produce bit-identical
+    /// results, so cached entries are interchangeable across modes.
+    pub skip: Option<SkipPolicy>,
 }
 
 impl Default for RunOptions {
@@ -282,6 +287,7 @@ impl Default for RunOptions {
             faults: None,
             metrics: None,
             cancel: None,
+            skip: None,
         }
     }
 }
@@ -633,7 +639,7 @@ fn supervised_simulate(
             if let Some(i) = injector {
                 i.maybe_panic(index, attempt);
             }
-            simulate_cell(&attempt_cell)
+            simulate_cell_with(&attempt_cell, options.skip)
         }));
         let outcome = match caught {
             Ok(outcome) => outcome,
@@ -783,8 +789,17 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Simulates one cell: workload → stream → core → perf → distilled
-/// result.
+/// result. Uses the ambient [`SkipPolicy`].
 pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, CellError> {
+    simulate_cell_with(cell, None)
+}
+
+/// [`simulate_cell`] with an explicit cycle-skipping policy (`None`
+/// defers to the ambient [`SkipPolicy::resolve`]).
+pub fn simulate_cell_with(
+    cell: &CellSpec,
+    skip: Option<SkipPolicy>,
+) -> Result<CellResult, CellError> {
     let seed = data_seed(cell);
     let workload = workloads::by_name_seeded(&cell.workload, seed)
         .ok_or_else(|| CellError::UnknownWorkload(cell.workload.clone()))?;
@@ -792,6 +807,7 @@ pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, CellError> {
     let perf = Perf::with_options(PerfOptions {
         arch: cell.arch,
         max_cycles: cell.max_cycles,
+        skip: skip.unwrap_or_else(SkipPolicy::resolve),
         ..PerfOptions::default()
     });
     let report = match cell.core {

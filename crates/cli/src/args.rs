@@ -17,6 +17,12 @@ GLOBAL OPTIONS:
                              path; stderr when PATH is omitted. The
                              ICICLE_LOG environment variable is the same
                              spec with lower precedence. [default: off]
+    --skip                   Enable event-driven cycle skipping: quiescent
+                             stall spans are fast-forwarded in bulk.
+                             Results are bit-identical to normal stepping;
+                             only the wall clock changes. ICICLE_SKIP=on|off
+                             is the same knob with lower precedence.
+                             [default: off]
 
 COMMANDS:
     list                     List available workloads and cores

@@ -230,6 +230,9 @@ fn submit(cmd: Command) -> Result<()> {
         kind,
         priority,
         client: client.unwrap_or_else(|| "anonymous".to_string()),
+        // The server picks its own skip policy; results are identical
+        // either way, so the CLI does not forward its local `--skip`.
+        skip: None,
     };
     let api = Client::new(addr);
     let id = api.submit(&submission)?;
@@ -732,6 +735,9 @@ fn verify(
                 None
             },
             metrics: Some(Arc::clone(&registry)),
+            // `None`: the ambient policy (`--skip` / `ICICLE_SKIP`)
+            // applies.
+            skip: None,
         };
         let report = run_matrix(&spec, &options);
         if ticks {

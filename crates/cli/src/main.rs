@@ -34,6 +34,16 @@ fn extract_log_level(argv: &mut Vec<String>) -> Result<Option<String>, String> {
     Ok(Some(spec))
 }
 
+/// Pulls the global `--skip` flag out of `argv` (valid in any position)
+/// and returns whether it was present.
+fn extract_skip(argv: &mut Vec<String>) -> bool {
+    let Some(at) = argv.iter().position(|a| a == "--skip") else {
+        return false;
+    };
+    argv.remove(at);
+    true
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     // The flag wins over the ICICLE_LOG environment variable; both feed
@@ -46,6 +56,11 @@ fn main() -> ExitCode {
     if let Err(e) = init {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
+    }
+    // `--skip` wins over the ICICLE_SKIP environment variable, which
+    // every measurement session resolves on its own.
+    if extract_skip(&mut argv) {
+        icicle::perf::SkipPolicy::set_global(icicle::perf::SkipPolicy::On);
     }
     let code = match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {

@@ -85,7 +85,7 @@ pub mod prelude {
     pub use icicle_isa::{DynStream, Interpreter, Program, ProgramBuilder, Reg};
     pub use icicle_mem::{HierarchyConfig, MemoryHierarchy};
     pub use icicle_obs::MetricsRegistry;
-    pub use icicle_perf::{MultiplexOptions, Perf, PerfOptions, PerfReport, Profiler};
+    pub use icicle_perf::{MultiplexOptions, Perf, PerfOptions, PerfReport, Profiler, SkipPolicy};
     pub use icicle_pmu::{CounterArch, CsrFile};
     pub use icicle_rocket::{Rocket, RocketConfig};
     pub use icicle_soc::{Soc, SocBuilder, SocReport};

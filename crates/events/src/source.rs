@@ -36,4 +36,38 @@ pub trait EventCore {
     fn retired_pcs(&self) -> &[u64] {
         &[]
     }
+
+    /// Lower bound on the number of cycles until the core's architectural
+    /// state next changes, computed purely from current state.
+    ///
+    /// The contract: if this returns `Some(n)` when called *between* steps,
+    /// then the next `n` calls to [`step`](Self::step) would all produce
+    /// one identical [`EventVector`] (equal to one another, though not
+    /// necessarily to the step before the span), retire nothing, and
+    /// mutate nothing except the cycle counter. A harness may
+    /// therefore take one real step (to obtain that repeated vector), call
+    /// [`fast_forward`](Self::fast_forward) for the remaining `n - 1`
+    /// cycles, and settle the vector's counter contributions in bulk — the
+    /// final state is bit-identical to stepping `n` times.
+    ///
+    /// `None` means "no claim": the next cycle may do real work, so the
+    /// harness must step normally. Cores that do not implement quiescence
+    /// analysis return `None` (the default) and are simply never skipped.
+    /// The value need not be tight — any underestimate of the true
+    /// quiescent span is sound; overestimates are bugs.
+    fn time_until_next_event(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advances the cycle counter by `cycles` without simulating, under
+    /// the guarantee established by
+    /// [`time_until_next_event`](Self::time_until_next_event).
+    ///
+    /// Only called with `cycles <= n - 1` after a `Some(n)` answer and one
+    /// real step. Cores that return `None` above never receive this call;
+    /// the default panics to catch harness misuse.
+    fn fast_forward(&mut self, cycles: u64) {
+        let _ = cycles;
+        unimplemented!("fast_forward on a core without quiescence analysis");
+    }
 }

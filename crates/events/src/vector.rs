@@ -185,6 +185,20 @@ impl EventCounts {
         }
     }
 
+    /// Folds `repeats` identical copies of `vector` into the totals in
+    /// one pass — the bulk-settlement path used when a quiescent core is
+    /// fast-forwarded through cycles that would all have produced this
+    /// exact vector. `observe_many(v, 1)` ≡ `observe(v)`.
+    pub fn observe_many(&mut self, vector: &EventVector, repeats: u64) {
+        self.cycles_observed += repeats;
+        let mut live = vector.active_events();
+        while live != 0 {
+            let idx = live.trailing_zeros() as usize;
+            live &= live - 1;
+            self.totals[idx] += vector.counts[idx] as u64 * repeats;
+        }
+    }
+
     /// The total count of `event`.
     pub fn get(&self, event: EventId) -> u64 {
         self.totals[event as usize]
@@ -232,6 +246,18 @@ impl LaneCounts {
         for (lane, total) in self.totals.iter_mut().enumerate() {
             if mask & (1 << lane) != 0 {
                 *total += 1;
+            }
+        }
+    }
+
+    /// Folds `repeats` identical copies of `vector` into the accumulator
+    /// in one pass (see [`EventCounts::observe_many`]).
+    pub fn observe_many(&mut self, vector: &EventVector, repeats: u64) {
+        self.cycles += repeats;
+        let mask = vector.lane_mask(self.event);
+        for (lane, total) in self.totals.iter_mut().enumerate() {
+            if mask & (1 << lane) != 0 {
+                *total += repeats;
             }
         }
     }

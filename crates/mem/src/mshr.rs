@@ -60,6 +60,24 @@ impl MshrFile {
         self.busy(now) < self.capacity
     }
 
+    /// Whether any slot completed at or before `now` but has not yet been
+    /// retired by [`drain_completed`](MshrFile::drain_completed). Such a
+    /// slot means the next `drain_completed` call will mutate the file, so
+    /// a quiescence analysis must not claim the coming cycle is pure.
+    pub fn has_completed(&self, now: u64) -> bool {
+        self.slots.iter().any(|s| s.ready_cycle <= now)
+    }
+
+    /// The earliest refill-completion cycle strictly after `now`, if any
+    /// miss is still in flight.
+    pub fn next_ready(&self, now: u64) -> Option<u64> {
+        self.slots
+            .iter()
+            .filter(|s| s.ready_cycle > now)
+            .map(|s| s.ready_cycle)
+            .min()
+    }
+
     /// Looks for an in-flight miss on the same block (a secondary miss
     /// merges instead of allocating a new slot).
     pub fn lookup(&self, block_addr: u64, now: u64) -> Option<MshrSlot> {

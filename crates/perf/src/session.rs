@@ -8,6 +8,83 @@ use icicle_trace::{Trace, TraceConfig};
 use crate::error::PerfError;
 use crate::report::PerfReport;
 
+/// Whether the measurement loop may fast-forward quiescent spans.
+///
+/// With skipping on, the harness asks the core for a
+/// [`time_until_next_event`](EventCore::time_until_next_event) bound each
+/// cycle; when the core proves the next `n` cycles are pure stall (one
+/// repeated event vector, nothing retired), the harness takes one real
+/// step, fast-forwards the remaining `n − 1` cycles, and settles every
+/// counter, trace, and lane contribution in closed form. The contract is
+/// bit-identity: every observable output — counters, TMA slots, traces,
+/// even the cycle at which a budget error fires — is byte-for-byte equal
+/// between the two policies. `tests/skip_equivalence.rs` enforces this
+/// over the full verification matrix.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SkipPolicy {
+    /// Step every cycle (the reference behavior).
+    #[default]
+    Off,
+    /// Fast-forward spans the core proves quiescent.
+    On,
+}
+
+/// Process-wide override set by the CLI's `--skip` flag: 0 = unset,
+/// 1 = off, 2 = on.
+static GLOBAL_SKIP: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+impl SkipPolicy {
+    /// The kebab-case name used in logs and job specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkipPolicy::Off => "off",
+            SkipPolicy::On => "on",
+        }
+    }
+
+    /// Parses `"on"`/`"1"`/`"true"` and `"off"`/`"0"`/`"false"`.
+    pub fn from_name(name: &str) -> Option<SkipPolicy> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "on" | "1" | "true" => Some(SkipPolicy::On),
+            "off" | "0" | "false" => Some(SkipPolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// Installs a process-wide override (the CLI's `--skip` flag).
+    ///
+    /// Tests must not use this (nor `ICICLE_SKIP`) to flip modes within a
+    /// process — they run multi-threaded; pass an explicit policy through
+    /// the options struct instead.
+    pub fn set_global(policy: SkipPolicy) {
+        let encoded = match policy {
+            SkipPolicy::Off => 1,
+            SkipPolicy::On => 2,
+        };
+        GLOBAL_SKIP.store(encoded, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The ambient policy: the process-wide override if set, else the
+    /// `ICICLE_SKIP` environment variable, else `Off`.
+    pub fn resolve() -> SkipPolicy {
+        match GLOBAL_SKIP.load(std::sync::atomic::Ordering::Relaxed) {
+            1 => return SkipPolicy::Off,
+            2 => return SkipPolicy::On,
+            _ => {}
+        }
+        std::env::var("ICICLE_SKIP")
+            .ok()
+            .and_then(|v| SkipPolicy::from_name(&v))
+            .unwrap_or(SkipPolicy::Off)
+    }
+}
+
+impl std::fmt::Display for SkipPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Time-multiplexing configuration for counter-constrained PMUs.
 ///
 /// Counter pressure is real: the paper cites it as the reason vendors
@@ -46,6 +123,11 @@ pub struct PerfOptions {
     /// Time-multiplex the counters instead of counting every event all
     /// the time.
     pub multiplex: Option<MultiplexOptions>,
+    /// Whether quiescent spans may be fast-forwarded. The default is the
+    /// *ambient* policy ([`SkipPolicy::resolve`]): `--skip` /
+    /// `ICICLE_SKIP=1` flip every session in the process that does not
+    /// pin a policy explicitly.
+    pub skip: SkipPolicy,
 }
 
 impl Default for PerfOptions {
@@ -58,6 +140,7 @@ impl Default for PerfOptions {
             lane_events: Vec::new(),
             tma_model: None,
             multiplex: None,
+            skip: SkipPolicy::resolve(),
         }
     }
 }
@@ -103,6 +186,12 @@ impl Perf {
     /// Accumulate per-lane totals for `event` (Table V).
     pub fn lanes(mut self, event: EventId) -> Perf {
         self.options.lane_events.push(event);
+        self
+    }
+
+    /// Pin the cycle-skipping policy, overriding the ambient default.
+    pub fn skip(mut self, policy: SkipPolicy) -> Perf {
+        self.options.skip = policy;
         self
     }
 
@@ -216,19 +305,27 @@ impl Perf {
             .map(|e| LaneCounts::new(*e))
             .collect();
 
+        let skipping = self.options.skip == SkipPolicy::On;
+        // Probe throttle: `time_until_next_event` walks every pipeline
+        // structure, which costs about as much as a step on the larger
+        // cores. A quiescent span retires nothing on any of its cycles,
+        // so a cycle that *did* retire cannot be inside one — after such
+        // a cycle the next probe is deferred until a retire-free cycle
+        // goes by. Probing later within a span only shortens the claim
+        // (soundness is untouched); at most one leading cycle per span
+        // falls back to the stepped path.
+        let mut probe = true;
         let start_cycle = core.cycle();
         while !core.is_done() {
-            if core.cycle() >= self.options.max_cycles {
+            let c = core.cycle();
+            if c >= self.options.max_cycles {
                 return Err(PerfError::CycleBudget {
                     core: core.name().to_string(),
                     budget: self.options.max_cycles,
                 });
             }
             if let Some(m) = mux {
-                if num_groups > 1
-                    && core.cycle().is_multiple_of(m.quantum.max(1))
-                    && core.cycle() > 0
-                {
+                if num_groups > 1 && c.is_multiple_of(m.quantum.max(1)) && c > 0 {
                     // Rotate: freeze the active group, release the next.
                     for (slot, _) in &slot_map {
                         if group_of(*slot) == active_group {
@@ -243,8 +340,39 @@ impl Perf {
                     }
                 }
             }
+            if skipping && probe {
+                if let Some(n) = core.time_until_next_event() {
+                    // Cap the span so the budget check and the multiplex
+                    // rotation still land on exactly the cycles they
+                    // would in stepped mode.
+                    let mut k = n.min(self.options.max_cycles - c);
+                    if let Some(m) = mux {
+                        if num_groups > 1 {
+                            let q = m.quantum.max(1);
+                            k = k.min((c / q + 1) * q - c);
+                        }
+                    }
+                    if k >= 2 {
+                        // One real step yields the span's repeated vector;
+                        // the rest of the span is settled in closed form.
+                        active_cycles[active_group] += k;
+                        let vector = core.step().clone();
+                        core.fast_forward(k - 1);
+                        csr.tick_many(&vector, k);
+                        perfect.observe_many(&vector, k);
+                        if let Some(t) = &mut trace {
+                            t.record_many(&vector, k);
+                        }
+                        for l in &mut lanes {
+                            l.observe_many(&vector, k);
+                        }
+                        continue;
+                    }
+                }
+            }
             active_cycles[active_group] += 1;
             let vector = core.step();
+            probe = !skipping || vector.count(EventId::InstrRetired) == 0;
             csr.tick(vector);
             perfect.observe(vector);
             if let Some(t) = &mut trace {
@@ -527,6 +655,120 @@ mod tests {
             other => panic!("expected a budget error, got {other:?}"),
         }
         assert!(err.to_string().contains("100-cycle budget"));
+    }
+
+    fn assert_reports_identical(off: &PerfReport, on: &PerfReport) {
+        assert_eq!(off.cycles, on.cycles, "cycle counts diverged");
+        assert_eq!(off.instret, on.instret, "instret diverged");
+        assert_eq!(off.hw_counts, on.hw_counts, "hw counters diverged");
+        assert_eq!(
+            off.perfect_counts, on.perfect_counts,
+            "perfect counters diverged"
+        );
+        assert_eq!(off.lanes, on.lanes, "lane totals diverged");
+        match (&off.trace, &on.trace) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.dropped(), b.dropped());
+                assert_eq!(a.end_cycle(), b.end_cycle());
+                for cycle in a.first_cycle()..a.end_cycle() {
+                    assert_eq!(a.word(cycle), b.word(cycle), "trace word at {cycle}");
+                }
+            }
+            _ => panic!("one mode produced a trace, the other did not"),
+        }
+    }
+
+    #[test]
+    fn skip_mode_is_bit_identical_on_both_cores() {
+        let w = micro::mergesort(512);
+        for traced in [false, true] {
+            let opts = |skip| PerfOptions {
+                skip,
+                trace: traced.then(|| {
+                    TraceConfig::new(vec![
+                        TraceChannel::scalar(EventId::DCacheBlocked),
+                        TraceChannel::lane(EventId::FetchBubbles, 0),
+                        TraceChannel::scalar(EventId::Recovering),
+                    ])
+                    .unwrap()
+                }),
+                lane_events: vec![EventId::FetchBubbles, EventId::UopsIssued],
+                ..PerfOptions::default()
+            };
+            let mut core = rocket_core(&w);
+            let off = Perf::with_options(opts(SkipPolicy::Off))
+                .run(&mut core)
+                .unwrap();
+            let mut core = rocket_core(&w);
+            let on = Perf::with_options(opts(SkipPolicy::On))
+                .run(&mut core)
+                .unwrap();
+            assert_reports_identical(&off, &on);
+
+            let mut core = boom_core(&w);
+            let off = Perf::with_options(opts(SkipPolicy::Off))
+                .run(&mut core)
+                .unwrap();
+            let mut core = boom_core(&w);
+            let on = Perf::with_options(opts(SkipPolicy::On))
+                .run(&mut core)
+                .unwrap();
+            assert_reports_identical(&off, &on);
+        }
+    }
+
+    #[test]
+    fn skip_mode_respects_multiplex_rotation() {
+        // Spans must be cut at quantum boundaries so rotations land on the
+        // exact cycles stepped mode rotates on.
+        let w = micro::rsort(512);
+        let opts = |skip| PerfOptions {
+            skip,
+            multiplex: Some(MultiplexOptions {
+                hw_counters: 6,
+                quantum: 512,
+            }),
+            ..PerfOptions::default()
+        };
+        let mut core = boom_core(&w);
+        let off = Perf::with_options(opts(SkipPolicy::Off))
+            .run(&mut core)
+            .unwrap();
+        let mut core = boom_core(&w);
+        let on = Perf::with_options(opts(SkipPolicy::On))
+            .run(&mut core)
+            .unwrap();
+        assert_reports_identical(&off, &on);
+    }
+
+    #[test]
+    fn skip_mode_budget_errors_fire_on_the_same_cycle() {
+        let w = micro::mergesort(1 << 10);
+        for skip in [SkipPolicy::Off, SkipPolicy::On] {
+            let mut core = rocket_core(&w);
+            let err = Perf::with_options(PerfOptions {
+                max_cycles: 100,
+                skip,
+                ..PerfOptions::default()
+            })
+            .run(&mut core)
+            .unwrap_err();
+            assert!(matches!(err, PerfError::CycleBudget { budget: 100, .. }));
+            // The core must stop exactly at the budget, not beyond it.
+            assert_eq!(core.cycle(), 100, "skip {skip} overshot the budget");
+        }
+    }
+
+    #[test]
+    fn skip_policy_parsing_round_trips() {
+        assert_eq!(SkipPolicy::from_name("on"), Some(SkipPolicy::On));
+        assert_eq!(SkipPolicy::from_name("1"), Some(SkipPolicy::On));
+        assert_eq!(SkipPolicy::from_name("TRUE"), Some(SkipPolicy::On));
+        assert_eq!(SkipPolicy::from_name("off"), Some(SkipPolicy::Off));
+        assert_eq!(SkipPolicy::from_name("0"), Some(SkipPolicy::Off));
+        assert_eq!(SkipPolicy::from_name("maybe"), None);
+        assert_eq!(SkipPolicy::On.to_string(), "on");
     }
 
     #[test]

@@ -86,6 +86,17 @@ impl ScalarBank {
         }
     }
 
+    /// Advances `repeats` cycles that all carry the same assertion mask,
+    /// bit-identically to calling [`tick`](ScalarBank::tick) that many
+    /// times.
+    pub fn tick_many(&mut self, asserted: u16, repeats: u64) {
+        for (i, v) in self.values.iter_mut().enumerate() {
+            if asserted & (1 << i) != 0 {
+                *v += repeats;
+            }
+        }
+    }
+
     /// The counter of a single source.
     ///
     /// # Panics
@@ -146,6 +157,14 @@ impl AddWiresCounter {
     pub fn tick(&mut self, asserted: u16) {
         let masked = asserted & mask_for(self.num_sources);
         self.value += masked.count_ones() as u64;
+    }
+
+    /// Advances `repeats` cycles that all carry the same assertion mask,
+    /// bit-identically to calling [`tick`](AddWiresCounter::tick) that
+    /// many times.
+    pub fn tick_many(&mut self, asserted: u16, repeats: u64) {
+        let masked = asserted & mask_for(self.num_sources);
+        self.value += masked.count_ones() as u64 * repeats;
     }
 
     /// The software-visible counter value.
@@ -261,6 +280,70 @@ impl DistributedCounter {
             self.principal += 1;
         }
         self.grant = (self.grant + 1) % self.locals.len();
+    }
+
+    /// Advances `repeats` cycles that all carry the same assertion mask,
+    /// bit-identically to calling [`tick`](DistributedCounter::tick) that
+    /// many times — in closed form, so fast-forwarding a long stall span
+    /// does not loop the arbiter.
+    ///
+    /// The derivation leans on the width invariant `2^N ≥ S` (enforced at
+    /// construction): an asserted local wraps at most once between two of
+    /// its arbiter grants, so over `repeats` ticks every wrap except
+    /// possibly the last is guaranteed to be harvested, and the last wrap
+    /// and any initially-pending flag are decided by comparing their next
+    /// grant tick against the span length.
+    pub fn tick_many(&mut self, asserted: u16, repeats: u64) {
+        if repeats == 0 {
+            return;
+        }
+        let s = self.locals.len() as u64;
+        let wrap = 1u64 << self.width;
+        let k = repeats;
+        let mut principal_delta = 0u64;
+        for (i, local) in self.locals.iter_mut().enumerate() {
+            // First tick (1-based, within the span) at which the arbiter
+            // inspects this local, then every `s` ticks after.
+            let d = (i as u64 + s - self.grant as u64) % s + 1;
+            let visits = if k >= d { (k - d) / s + 1 } else { 0 };
+            let hit = asserted & (1 << i) != 0;
+            let wraps = if hit { (local.count + k) / wrap } else { 0 };
+            let mut harvested = 0u64;
+            if local.overflow && visits > 0 {
+                // The initially-pending flag is collected at the first
+                // visit (possibly re-set by a later wrap, counted below).
+                harvested += 1;
+            }
+            if wraps > 0 {
+                // All but the last wrap precede the span end by ≥ 2^N ≥ S
+                // ticks, so each has a harvesting visit inside the span.
+                harvested += wraps - 1;
+                let first_wrap = wrap - local.count;
+                let last_wrap = first_wrap + (wraps - 1) * wrap;
+                // Increments precede the grant within a tick, so a visit
+                // on the wrap tick itself harvests it.
+                let next_visit = if last_wrap <= d {
+                    d
+                } else {
+                    d + (last_wrap - d).div_ceil(s) * s
+                };
+                if next_visit <= k {
+                    harvested += 1;
+                }
+            }
+            let flags = u64::from(local.overflow) + wraps;
+            debug_assert!(
+                flags <= harvested + 1,
+                "local counter wrapped twice between grants"
+            );
+            local.overflow = flags > harvested;
+            if hit {
+                local.count = (local.count + k) % wrap;
+            }
+            principal_delta += harvested;
+        }
+        self.principal += principal_delta;
+        self.grant = ((self.grant as u64 + k) % s) as usize;
     }
 
     /// The raw principal counter (counts overflows, not events).
@@ -409,6 +492,42 @@ mod tests {
         let fetch_bubbles = 929.0;
         let err = residual_only as f64 / (fetch_bubbles + residual_only as f64);
         assert!((err - 0.0128).abs() < 0.0005, "error was {err}");
+    }
+
+    #[test]
+    fn distributed_tick_many_matches_looped_ticks() {
+        // Brute-force the closed form against the per-cycle arbiter over a
+        // grid of source counts, widths, warm-up lengths (arbitrary local
+        // counts, flags, and grant positions), constant masks, and span
+        // lengths. Full-state equality, not just the software value.
+        let mut x = 0x9e3779b9u32;
+        let mut rand = move || {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            x >> 16
+        };
+        for sources in [1usize, 2, 3, 4, 7, 8] {
+            let min_width = (usize::BITS - (sources.max(2) - 1).leading_zeros()).max(1);
+            for width in [min_width, min_width + 1] {
+                for _ in 0..40 {
+                    let mut bulk = DistributedCounter::with_width(sources, width);
+                    let warm_len = (rand() % 37) as usize;
+                    let span_mask = (rand() as u16) & mask_for(sources);
+                    for _ in 0..warm_len {
+                        bulk.tick((rand() as u16) & mask_for(sources));
+                    }
+                    let mut stepped = bulk.clone();
+                    let k = 1 + (rand() as u64 % 300);
+                    bulk.tick_many(span_mask, k);
+                    for _ in 0..k {
+                        stepped.tick(span_mask);
+                    }
+                    assert_eq!(
+                        bulk, stepped,
+                        "sources={sources} width={width} mask={span_mask:#b} k={k}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -361,6 +361,61 @@ impl CsrFile {
             }
         }
     }
+
+    /// Advances `repeats` cycles that all carry the same event vector,
+    /// bit-identically to calling [`tick`](CsrFile::tick) that many times.
+    ///
+    /// This is the counter half of the quiescence fast-forward path: the
+    /// per-slot lane mask is a pure function of the vector, so it is
+    /// computed once and each implementation settles its contribution in
+    /// closed form. Overflow sampling is equivalent because counter values
+    /// are monotone within the span and the flag is only taken between
+    /// cycles — a single final-value crossing check reproduces the
+    /// per-cycle loop.
+    pub fn tick_many(&mut self, vector: &EventVector, repeats: u64) {
+        if repeats == 0 {
+            return;
+        }
+        self.mcycle += repeats;
+        self.minstret += vector.count(EventId::InstrRetired) as u64 * repeats;
+        let active = vector.active_events();
+        for slot in self.slots.iter_mut().flatten() {
+            if slot.inhibit {
+                continue;
+            }
+            let live = slot.selected & active;
+            match &mut slot.state {
+                SlotState::Stock { value } => {
+                    if live != 0 {
+                        *value += repeats;
+                    }
+                }
+                SlotState::Scalar(bank) => {
+                    bank.tick_many(live_mask(live, &slot.config, vector), repeats);
+                }
+                SlotState::AddWires(c) => {
+                    c.tick_many(live_mask(live, &slot.config, vector), repeats);
+                }
+                SlotState::Distributed(c) => {
+                    c.tick_many(live_mask(live, &slot.config, vector), repeats);
+                }
+            }
+            if let Some(period) = slot.overflow_period {
+                let value = match &slot.state {
+                    SlotState::Stock { value } => *value,
+                    SlotState::Scalar(bank) => bank.total(),
+                    SlotState::AddWires(c) => c.value(),
+                    SlotState::Distributed(c) => c.software_value(),
+                };
+                if value >= slot.next_overflow {
+                    slot.overflow_pending = true;
+                    while slot.next_overflow <= value {
+                        slot.next_overflow += period;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// ORs the lane masks of every selected-and-asserted event into one
@@ -581,6 +636,105 @@ mod tests {
         )
         .unwrap();
         assert!(csr.arm_overflow(0, 0).is_err());
+    }
+
+    #[test]
+    fn tick_many_matches_repeated_ticks_across_arches() {
+        // One slot per implementation, all watching the same events, plus
+        // an armed overflow on the stock slot. tick_many(v, k) must land
+        // on the same state as k individual ticks.
+        let arches = [
+            CounterArch::Stock,
+            CounterArch::Scalar,
+            CounterArch::AddWires,
+            CounterArch::Distributed,
+        ];
+        let mut bulk = CsrFile::new();
+        let mut stepped = CsrFile::new();
+        for csr in [&mut bulk, &mut stepped] {
+            csr.enable();
+            for (i, arch) in arches.iter().enumerate() {
+                csr.configure(
+                    i,
+                    HpmConfig {
+                        selection: EventSelection::single(EventId::FetchBubbles),
+                        arch: *arch,
+                        sources: 3,
+                    },
+                )
+                .unwrap();
+                csr.clear_inhibit(i).unwrap();
+            }
+            csr.arm_overflow(0, 7).unwrap();
+        }
+        // A warm-up with a different vector desynchronises the distributed
+        // arbiter from its reset position before the bulk span.
+        let warm = vector_with(EventId::FetchBubbles, &[1]);
+        for _ in 0..5 {
+            bulk.tick(&warm);
+            stepped.tick(&warm);
+        }
+        let mut span = vector_with(EventId::FetchBubbles, &[0, 2]);
+        span.raise_n(EventId::InstrRetired, 2);
+        for k in [1u64, 2, 3, 17, 100] {
+            bulk.tick_many(&span, k);
+            for _ in 0..k {
+                stepped.tick(&span);
+            }
+            assert_eq!(bulk.mcycle(), stepped.mcycle());
+            assert_eq!(bulk.minstret(), stepped.minstret());
+            for i in 0..arches.len() {
+                assert_eq!(
+                    bulk.read(i).unwrap(),
+                    stepped.read(i).unwrap(),
+                    "arch {:?} diverged after span of {k}",
+                    arches[i]
+                );
+                assert_eq!(
+                    bulk.read_precise(i).unwrap(),
+                    stepped.read_precise(i).unwrap()
+                );
+            }
+            assert_eq!(bulk.take_overflow(0).unwrap(), stepped.take_overflow(0).unwrap());
+        }
+    }
+
+    #[test]
+    fn tick_many_with_quiet_vector_still_rotates_distributed() {
+        // A quiet span must still drain pending distributed flags and
+        // advance the arbiter exactly as idle ticks do.
+        let mut bulk = CsrFile::new();
+        let mut stepped = CsrFile::new();
+        for csr in [&mut bulk, &mut stepped] {
+            csr.enable();
+            csr.configure(
+                0,
+                HpmConfig {
+                    selection: EventSelection::single(EventId::UopsIssued),
+                    arch: CounterArch::Distributed,
+                    sources: 4,
+                },
+            )
+            .unwrap();
+            csr.clear_inhibit(0).unwrap();
+            // Load the locals close to wrap so flags are in flight.
+            for _ in 0..3 {
+                csr.tick(&vector_with(EventId::UopsIssued, &[0, 1, 2, 3]));
+            }
+        }
+        let quiet = EventVector::new();
+        bulk.tick_many(&quiet, 11);
+        for _ in 0..11 {
+            stepped.tick(&quiet);
+        }
+        assert_eq!(bulk.read(0).unwrap(), stepped.read(0).unwrap());
+        // One more asserted tick lands identically, proving the arbiter
+        // position and flags match, not just the software value.
+        let v = vector_with(EventId::UopsIssued, &[0, 1, 2, 3]);
+        bulk.tick(&v);
+        stepped.tick(&v);
+        assert_eq!(bulk.read(0).unwrap(), stepped.read(0).unwrap());
+        assert_eq!(bulk.read_precise(0).unwrap(), stepped.read_precise(0).unwrap());
     }
 
     #[test]

@@ -524,6 +524,88 @@ impl Rocket {
         // Anything the wrong-path fetch had in flight is squashed.
         self.refill_until = 0;
     }
+
+    // --- Quiescence analysis ----------------------------------------------
+
+    /// Computes [`EventCore::time_until_next_event`] purely from current
+    /// state: a strictly positive span is returned only when both pipeline
+    /// halves are provably replaying the same stall cycle until some
+    /// absolute wake time, so each skipped step would raise the exact
+    /// event vector of the step before it and mutate nothing but `cycle`.
+    fn quiescent_span(&self) -> Option<u64> {
+        if self.done {
+            return None;
+        }
+        let c = self.cycle;
+        // Earliest absolute cycle at which any unit's behavior changes.
+        let mut wake = u64::MAX;
+
+        // Back end.
+        if self.exec_busy_until > c {
+            wake = wake.min(self.exec_busy_until);
+        } else if let Some(&(seq, _)) = self.ibuf.front() {
+            let d = self.dyn_at(seq);
+            let mut blocked = false;
+            for &src in d.op.src_list().as_slice() {
+                let ready = self.scoreboard[src.index()];
+                if ready > c {
+                    blocked = true;
+                    wake = wake.min(ready);
+                    // A load wait flips from D$-blocked to load-use
+                    // interlock two cycles before the data arrives, which
+                    // changes the raised event mid-wait.
+                    if matches!(
+                        self.producer[src.index()],
+                        Some(InstrClass::Load | InstrClass::FpLoad)
+                    ) && ready > c + 2
+                    {
+                        wake = wake.min(ready - 2);
+                    }
+                    break;
+                }
+            }
+            if !blocked {
+                // The head would issue next cycle.
+                return None;
+            }
+        } else if self.refill_until > c {
+            // Decode bubble: pure, but the I$-blocked annotation drops
+            // the cycle the refill lands.
+            wake = wake.min(self.refill_until);
+        }
+
+        // Front end. A full instruction buffer stays full for the whole
+        // span (the back end is blocked above, so nothing is popped), so
+        // it needs no timer.
+        match self.fetch_state {
+            FetchState::WrongPath | FetchState::Drained => {}
+            FetchState::Starting => {
+                if self.ibuf.len() < self.config.ibuf_entries {
+                    if self.fetch_allowed > c {
+                        wake = wake.min(self.fetch_allowed);
+                    } else {
+                        // Would start an I-cache access next cycle.
+                        return None;
+                    }
+                }
+            }
+            FetchState::Waiting { ready } => {
+                if self.ibuf.len() < self.config.ibuf_entries {
+                    if ready > c {
+                        wake = wake.min(ready);
+                    } else {
+                        // Would deliver a fetch packet next cycle.
+                        return None;
+                    }
+                }
+            }
+        }
+
+        match wake {
+            u64::MAX => None,
+            w => Some(w - c),
+        }
+    }
 }
 
 impl EventCore for Rocket {
@@ -565,6 +647,14 @@ impl EventCore for Rocket {
 
     fn retired_pcs(&self) -> &[u64] {
         &self.retired_pcs
+    }
+
+    fn time_until_next_event(&self) -> Option<u64> {
+        self.quiescent_span()
+    }
+
+    fn fast_forward(&mut self, cycles: u64) {
+        self.cycle += cycles;
     }
 }
 
@@ -789,6 +879,61 @@ mod tests {
         let ev = core.step();
         assert_eq!(ev.count(EventId::InstrRetired), 0);
         assert!(ev.is_set(EventId::Cycles));
+    }
+
+    #[test]
+    fn quiescent_skip_matches_stepping() {
+        // Same stream twice: one core stepped cycle-by-cycle, one
+        // fast-forwarded through every claimed quiescent span. Final
+        // cycle, instret, and every event total must match exactly.
+        let mut b = ProgramBuilder::new("skipmix");
+        let n = 4096u64;
+        let entries: Vec<u64> = (0..n).map(|i| (i + 97) % n).collect();
+        let table = b.data_u64(&entries);
+        b.li(Reg::S0, table as i64);
+        b.li(Reg::T0, 1_000_000);
+        b.li(Reg::T1, 7);
+        b.li(Reg::T2, 0);
+        b.li(Reg::T3, 500);
+        b.li(Reg::T5, 0);
+        b.label("l");
+        b.div(Reg::T4, Reg::T0, Reg::T1);
+        b.slli(Reg::T6, Reg::T5, 3);
+        b.add(Reg::T6, Reg::S0, Reg::T6);
+        b.ld(Reg::T5, Reg::T6, 0); // dependent, often missing load
+        b.addi(Reg::T2, Reg::T2, 1);
+        b.blt(Reg::T2, Reg::T3, "l");
+        b.halt();
+        let program = b.build().unwrap();
+        let stream = Interpreter::new(&program).run(5_000_000).unwrap();
+
+        let mut stepped = Rocket::new(RocketConfig::default(), stream.clone());
+        let mut step_counts = icicle_events::EventCounts::new();
+        while !stepped.is_done() {
+            step_counts.observe(stepped.step());
+        }
+
+        let mut skipped = Rocket::new(RocketConfig::default(), stream);
+        let mut skip_counts = icicle_events::EventCounts::new();
+        let mut spans = 0u64;
+        while !skipped.is_done() {
+            let span = skipped.time_until_next_event();
+            let v = skipped.step().clone();
+            skip_counts.observe(&v);
+            if let Some(n) = span {
+                if n >= 2 {
+                    skipped.fast_forward(n - 1);
+                    skip_counts.observe_many(&v, n - 1);
+                    spans += 1;
+                }
+            }
+            assert!(skipped.cycle() < 10_000_000, "runaway skip loop");
+        }
+
+        assert!(spans > 100, "stall-heavy program must skip, got {spans}");
+        assert_eq!(stepped.cycle(), skipped.cycle());
+        assert_eq!(stepped.instret(), skipped.instret());
+        assert_eq!(step_counts, skip_counts);
     }
 
     #[test]

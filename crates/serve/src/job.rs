@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use icicle_campaign::sync::{lock_unpoisoned, wait_unpoisoned};
-use icicle_campaign::Priority;
+use icicle_campaign::{Priority, SkipPolicy};
 use icicle_obs::{Json, MetricsRegistry};
 
 /// Where a job is in its lifecycle.
@@ -107,6 +107,13 @@ pub struct Submission {
     pub priority: Priority,
     /// Client identity for quota accounting (defaults to `anonymous`).
     pub client: String,
+    /// Cycle-skipping policy for the engine run. `None` (the default,
+    /// and the only value older clients can produce) defers to the
+    /// server's ambient [`SkipPolicy::resolve`]. Results are
+    /// byte-identical either way — the policy never enters cache
+    /// fingerprints, so a skip-on job can be satisfied by a skip-off
+    /// cache entry and vice versa.
+    pub skip: Option<SkipPolicy>,
 }
 
 impl Submission {
@@ -116,6 +123,7 @@ impl Submission {
             kind: JobKind::Campaign { spec: spec.into() },
             priority: Priority::Normal,
             client: "anonymous".to_string(),
+            skip: None,
         }
     }
 
@@ -128,6 +136,13 @@ impl Submission {
     /// Sets the client identity.
     pub fn with_client(mut self, client: impl Into<String>) -> Submission {
         self.client = client.into();
+        self
+    }
+
+    /// Pins the cycle-skipping policy instead of deferring to the
+    /// server's ambient default.
+    pub fn with_skip(mut self, skip: SkipPolicy) -> Submission {
+        self.skip = Some(skip);
         self
     }
 
@@ -148,6 +163,9 @@ impl Submission {
         }
         pairs.push(("priority", Json::Str(self.priority.name().to_string())));
         pairs.push(("client", Json::Str(self.client.clone())));
+        if let Some(skip) = self.skip {
+            pairs.push(("skip", Json::Str(skip.name().to_string())));
+        }
         Json::object(pairs)
     }
 
@@ -199,10 +217,18 @@ impl Submission {
             .and_then(Json::as_str)
             .unwrap_or("anonymous")
             .to_string();
+        let skip = match doc.get("skip").and_then(Json::as_str) {
+            Some(name) => Some(
+                SkipPolicy::from_name(name)
+                    .ok_or_else(|| format!("unknown skip policy `{name}`"))?,
+            ),
+            None => None,
+        };
         Ok(Submission {
             kind,
             priority,
             client,
+            skip,
         })
     }
 }
@@ -226,6 +252,8 @@ pub struct Job {
     pub priority: Priority,
     /// Quota-accounting identity.
     pub client: String,
+    /// Cycle-skipping policy, `None` deferring to the ambient default.
+    pub skip: Option<SkipPolicy>,
     /// Per-job metrics; the campaign progress callback maintains the
     /// `campaign.progress.{done,total,eta_seconds}` gauges here, and
     /// the engines record their usual counters.
@@ -244,6 +272,7 @@ impl Job {
             kind: submission.kind,
             priority: submission.priority,
             client: submission.client,
+            skip: submission.skip,
             metrics: Arc::new(MetricsRegistry::new()),
             cancel: Arc::new(AtomicBool::new(false)),
             status: Mutex::new(JobStatus {
@@ -416,8 +445,11 @@ mod tests {
             },
             priority: Priority::Low,
             client: "bench-bot".to_string(),
+            skip: Some(SkipPolicy::On),
         };
         assert_eq!(Submission::parse(&bench.to_json().render()).unwrap(), bench);
+        // Absent on the wire when unset, so old envelopes stay valid.
+        assert!(!Submission::campaign("s").to_json().render().contains("skip"));
     }
 
     #[test]
@@ -432,6 +464,7 @@ mod tests {
             "{\"kind\": \"campaign\", \"spec\": \"s\", \"priority\": \"max\"}"
         )
         .is_err());
+        assert!(Submission::parse("{\"kind\": \"verify\", \"skip\": \"warp\"}").is_err());
     }
 
     #[test]

@@ -253,6 +253,7 @@ impl AnalysisService {
             progress: Some(progress_gauges(&job.metrics)),
             metrics: Some(Arc::clone(&job.metrics)),
             cancel: Some(Arc::clone(&job.cancel)),
+            skip: job.skip,
             ..RunOptions::default()
         };
         let report = run_campaign(&spec, &options);
@@ -272,6 +273,7 @@ impl AnalysisService {
             flat_bound,
             progress: Some(progress_gauges(&job.metrics)),
             metrics: Some(Arc::clone(&job.metrics)),
+            skip: job.skip,
         };
         let report = icicle_verify::run_matrix(&icicle_verify::default_matrix(), &options);
         let passed = report.passed();
@@ -288,6 +290,7 @@ impl AnalysisService {
                 gauges.gauge("campaign.progress.total").set(total as f64);
             })),
             metrics: Some(Arc::clone(&job.metrics)),
+            skip: job.skip,
             ..icicle_bench::ledger::LedgerOptions::default()
         };
         match icicle_bench::ledger::run_grid(&icicle_bench::ledger::default_grid(), &options) {

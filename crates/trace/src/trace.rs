@@ -196,6 +196,39 @@ impl Trace {
         self.words.push_back(word);
     }
 
+    /// Records `repeats` consecutive cycles that all carry the same event
+    /// vector, bit-identically to calling [`record`](Trace::record) that
+    /// many times. The trace word is sampled once and replicated; ring
+    /// eviction accounts for every replica.
+    pub fn record_many(&mut self, vector: &EventVector, repeats: u64) {
+        if repeats == 0 {
+            return;
+        }
+        let mut word = 0u64;
+        for (bit, ch) in self.config.channels.iter().enumerate() {
+            if ch.sample(vector) {
+                word |= 1 << bit;
+            }
+        }
+        if let Some(cap) = self.capacity {
+            if repeats >= cap as u64 {
+                // The span alone fills the ring: everything previously
+                // retained is evicted, as are the span's own early cycles.
+                self.dropped += self.words.len() as u64 + repeats - cap as u64;
+                self.words.clear();
+                self.words.extend(std::iter::repeat_n(word, cap));
+                return;
+            }
+            let evict = (self.words.len() + repeats as usize).saturating_sub(cap);
+            for _ in 0..evict {
+                self.words.pop_front();
+            }
+            self.dropped += evict as u64;
+        }
+        self.words
+            .extend(std::iter::repeat_n(word, repeats as usize));
+    }
+
     /// Number of *retained* cycles.
     pub fn len(&self) -> usize {
         self.words.len()
@@ -384,6 +417,43 @@ mod tests {
         // Windows report absolute cycles.
         assert_eq!(t.windows(0), vec![Window { start: 7, len: 2 }]);
         assert_eq!(t.high_count(0), 2);
+    }
+
+    #[test]
+    fn record_many_matches_repeated_records() {
+        let channels = vec![
+            TraceChannel::scalar(EventId::Recovering),
+            TraceChannel::lane(EventId::FetchBubbles, 1),
+        ];
+        let mut v = EventVector::new();
+        v.raise(EventId::Recovering);
+        v.raise_lane(EventId::FetchBubbles, 1);
+        let quiet = EventVector::new();
+        // Unbounded and ring traces, bulk vs stepped; spans chosen to
+        // cross the ring boundary and to exceed the capacity outright.
+        for capacity in [None, Some(6usize)] {
+            let mk = |cfg: TraceConfig| match capacity {
+                None => Trace::new(cfg),
+                Some(c) => Trace::with_capacity(cfg, c),
+            };
+            let mut bulk = mk(TraceConfig::new(channels.clone()).unwrap());
+            let mut stepped = mk(TraceConfig::new(channels.clone()).unwrap());
+            for (vector, repeats) in [(&v, 3u64), (&quiet, 4), (&v, 9), (&quiet, 2)] {
+                bulk.record_many(vector, repeats);
+                for _ in 0..repeats {
+                    stepped.record(vector);
+                }
+                assert_eq!(bulk.len(), stepped.len());
+                assert_eq!(bulk.dropped(), stepped.dropped());
+                for cycle in bulk.first_cycle()..bulk.end_cycle() {
+                    assert_eq!(
+                        bulk.word(cycle),
+                        stepped.word(cycle),
+                        "cycle {cycle}, capacity {capacity:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use icicle_boom::{Boom, BoomConfig};
 use icicle_campaign::json::Json;
 use icicle_campaign::{data_seed, CellSpec, CoreSelect};
 use icicle_events::{EventCore, EventId};
-use icicle_perf::{Perf, PerfOptions};
+use icicle_perf::{Perf, PerfOptions, SkipPolicy};
 use icicle_pmu::CounterArch;
 use icicle_rocket::{Rocket, RocketConfig};
 use icicle_tma::TopLevel;
@@ -146,9 +146,23 @@ impl CellVerdict {
 /// Returns a description of the failure: unknown workload, stock
 /// counters (which cannot support TMA at all), or a measurement error.
 pub fn verify_cell(cell: &CellSpec, flat_bound: Option<f64>) -> Result<CellVerdict, String> {
+    verify_cell_with(cell, flat_bound, None)
+}
+
+/// [`verify_cell`] with an explicit cycle-skipping policy (`None` defers
+/// to the ambient [`SkipPolicy::resolve`]).
+///
+/// # Errors
+///
+/// See [`verify_cell`].
+pub fn verify_cell_with(
+    cell: &CellSpec,
+    flat_bound: Option<f64>,
+    skip: Option<SkipPolicy>,
+) -> Result<CellVerdict, String> {
     let workload = workloads::by_name_seeded(&cell.workload, data_seed(cell))
         .ok_or_else(|| format!("unknown workload `{}`", cell.workload))?;
-    verify_workload(&workload, cell, flat_bound)
+    verify_workload_with(&workload, cell, flat_bound, skip)
 }
 
 /// Verifies one (workload, cell) pair; the workload may be synthetic
@@ -161,6 +175,20 @@ pub fn verify_workload(
     workload: &Workload,
     cell: &CellSpec,
     flat_bound: Option<f64>,
+) -> Result<CellVerdict, String> {
+    verify_workload_with(workload, cell, flat_bound, None)
+}
+
+/// [`verify_workload`] with an explicit cycle-skipping policy.
+///
+/// # Errors
+///
+/// See [`verify_cell`].
+pub fn verify_workload_with(
+    workload: &Workload,
+    cell: &CellSpec,
+    flat_bound: Option<f64>,
+    skip: Option<SkipPolicy>,
 ) -> Result<CellVerdict, String> {
     if cell.arch == CounterArch::Stock {
         return Err(
@@ -175,11 +203,11 @@ pub fn verify_workload(
     match cell.core {
         CoreSelect::Rocket => {
             let mut core = Rocket::new(RocketConfig::default(), stream);
-            verify_run(&mut core, cell, flat_bound)
+            verify_run(&mut core, cell, flat_bound, skip)
         }
         CoreSelect::Boom(size) => {
             let mut core = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
-            verify_run(&mut core, cell, flat_bound)
+            verify_run(&mut core, cell, flat_bound, skip)
         }
     }
 }
@@ -188,6 +216,7 @@ fn verify_run(
     core: &mut dyn EventCore,
     cell: &CellSpec,
     flat_bound: Option<f64>,
+    skip: Option<SkipPolicy>,
 ) -> Result<CellVerdict, String> {
     let width = core.commit_width();
     let issue_width = core.issue_width();
@@ -203,6 +232,7 @@ fn verify_run(
         arch: cell.arch,
         max_cycles: cell.max_cycles,
         trace: Some(config),
+        skip: skip.unwrap_or_else(SkipPolicy::resolve),
         ..PerfOptions::default()
     })
     .run(core)

@@ -19,11 +19,12 @@ use icicle_boom::BoomSize;
 use icicle_campaign::json::Json;
 use icicle_campaign::{CellSpec, CoreSelect, Progress, ProgressFn};
 use icicle_isa::{ProgramBuilder, Reg};
+use icicle_perf::SkipPolicy;
 use icicle_pmu::CounterArch;
 use icicle_workloads::Workload;
 use proptest::test_runner::TestRng;
 
-use crate::differential::{verify_workload, CellVerdict};
+use crate::differential::{verify_workload_with, CellVerdict};
 
 /// Data-table length (a power of two so the index wraps with one mask).
 const TABLE_WORDS: usize = 16;
@@ -226,6 +227,9 @@ pub struct FuzzOptions {
     pub max_cycles: u64,
     /// Optional live progress callback.
     pub progress: Option<Box<ProgressFn>>,
+    /// Cycle-skipping policy for every case; `None` (the default) defers
+    /// to the ambient [`SkipPolicy::resolve`].
+    pub skip: Option<SkipPolicy>,
 }
 
 impl Default for FuzzOptions {
@@ -238,6 +242,7 @@ impl Default for FuzzOptions {
             flat_bound: None,
             max_cycles: 2_000_000,
             progress: None,
+            skip: None,
         }
     }
 }
@@ -373,7 +378,7 @@ fn check(case: &FuzzCase, options: &FuzzOptions) -> Result<CellVerdict, String> 
         repeat: 0,
         max_cycles: options.max_cycles,
     };
-    verify_workload(&workload, &cell, options.flat_bound)
+    verify_workload_with(&workload, &cell, options.flat_bound, options.skip)
 }
 
 /// Greedily shrinks a diverging case: keeps any candidate that still

@@ -53,7 +53,10 @@ pub mod timeline;
 
 pub use archdiff::{diff_synthetic, diff_workload, ArchAgreement, ArchDifferential};
 pub use bound::{BoundDerivation, DivergenceBound};
-pub use differential::{verify_cell, verify_workload, CellVerdict, ClassReading, CLASS_NAMES};
+pub use differential::{
+    verify_cell, verify_cell_with, verify_workload, verify_workload_with, CellVerdict,
+    ClassReading, CLASS_NAMES,
+};
 pub use faultfuzz::{
     check_plan, fault_fuzz_spec, run_fault_fuzz, shrink_plan, FaultFuzzOptions, FaultFuzzReport,
     FaultViolation,
@@ -62,7 +65,7 @@ pub use fuzz::{run_fuzz, shrink, FuzzCase, FuzzDivergence, FuzzOp, FuzzOptions, 
 pub use golden::{compare_or_update, update_requested, GoldenOutcome, UPDATE_ENV};
 pub use matrix::{default_matrix, run_matrix, MatrixOptions};
 pub use report::MatrixReport;
-pub use timeline::export_cell_timeline;
+pub use timeline::{export_cell_timeline, export_cell_timeline_with};
 
 #[cfg(test)]
 mod tests {

@@ -15,9 +15,10 @@ use icicle_boom::BoomSize;
 use icicle_campaign::sync::{into_inner_unpoisoned, lock_unpoisoned};
 use icicle_campaign::{CampaignSpec, CoreSelect, JobQueue, Progress, ProgressFn};
 use icicle_obs::{self as obs, MetricsRegistry};
+use icicle_perf::SkipPolicy;
 use icicle_pmu::CounterArch;
 
-use crate::differential::{verify_cell, CellVerdict};
+use crate::differential::{verify_cell_with, CellVerdict};
 use crate::report::MatrixReport;
 
 /// Knobs of one matrix run.
@@ -34,6 +35,9 @@ pub struct MatrixOptions {
     /// Metrics registry for this run's counters (`verify.cells.*`).
     /// `None` (the default) records nothing.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Cycle-skipping policy for every cell; `None` (the default) defers
+    /// to the ambient [`SkipPolicy::resolve`].
+    pub skip: Option<SkipPolicy>,
 }
 
 impl MatrixOptions {
@@ -96,7 +100,7 @@ pub fn run_matrix(spec: &CampaignSpec, options: &MatrixOptions) -> MatrixReport 
                     // differential costs the matrix one cell, reported
                     // as that cell's failure, never the whole run.
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        verify_cell(&cells[index], options.flat_bound)
+                        verify_cell_with(&cells[index], options.flat_bound, options.skip)
                     }))
                     .unwrap_or_else(|payload| {
                         let message = payload

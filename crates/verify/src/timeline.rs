@@ -12,7 +12,7 @@ use icicle_boom::{Boom, BoomConfig};
 use icicle_campaign::{data_seed, CellSpec, CoreSelect};
 use icicle_events::{EventCore, EventId};
 use icicle_obs::{cycle_timeline, trace_events_document, Json};
-use icicle_perf::{Perf, PerfOptions};
+use icicle_perf::{Perf, PerfOptions, SkipPolicy};
 use icicle_pmu::CounterArch;
 use icicle_rocket::{Rocket, RocketConfig};
 use icicle_trace::{SlotTemporalTma, TraceChannel, TraceConfig};
@@ -28,6 +28,22 @@ use icicle_workloads::{self as workloads};
 /// Returns a description of the failure: unknown workload, stock
 /// counters, or a measurement error.
 pub fn export_cell_timeline(cell: &CellSpec, window: Option<usize>) -> Result<Json, String> {
+    export_cell_timeline_with(cell, window, None)
+}
+
+/// [`export_cell_timeline`] with an explicit cycle-skipping policy
+/// (`None` defers to the ambient [`SkipPolicy::resolve`]). The rendered
+/// document is byte-identical under either policy — fast-forwarded spans
+/// replay into the trace ring via bulk settlement.
+///
+/// # Errors
+///
+/// Same failure modes as [`export_cell_timeline`].
+pub fn export_cell_timeline_with(
+    cell: &CellSpec,
+    window: Option<usize>,
+    skip: Option<SkipPolicy>,
+) -> Result<Json, String> {
     if cell.arch == CounterArch::Stock {
         return Err(
             "stock counters cannot support TMA; export with scalar/add-wires/distributed"
@@ -42,11 +58,11 @@ pub fn export_cell_timeline(cell: &CellSpec, window: Option<usize>) -> Result<Js
     match cell.core {
         CoreSelect::Rocket => {
             let mut core = Rocket::new(RocketConfig::default(), stream);
-            export_run(&mut core, cell, window)
+            export_run(&mut core, cell, window, skip)
         }
         CoreSelect::Boom(size) => {
             let mut core = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
-            export_run(&mut core, cell, window)
+            export_run(&mut core, cell, window, skip)
         }
     }
 }
@@ -55,6 +71,7 @@ fn export_run(
     core: &mut dyn EventCore,
     cell: &CellSpec,
     window: Option<usize>,
+    skip: Option<SkipPolicy>,
 ) -> Result<Json, String> {
     let width = core.commit_width();
     let mut channels = SlotTemporalTma::required_channels(width);
@@ -68,6 +85,7 @@ fn export_run(
         max_cycles: cell.max_cycles,
         trace: Some(config),
         trace_capacity: window,
+        skip: skip.unwrap_or_else(SkipPolicy::resolve),
         ..PerfOptions::default()
     })
     .run(core)

@@ -69,6 +69,11 @@ pub fn catalog() -> Vec<Workload> {
     let mut all = micro_suite();
     all.extend(spec_intrate_suite());
     all.push(synth::coremark(60, true));
+    // The stall-heavy pair: kept out of `micro_suite` (they measure
+    // simulator throughput under long quiescent spans, not a Fig. 7
+    // bottleneck signature) but addressable by name for the bench grid.
+    all.push(micro::ptrchase(1 << 14, 20_000));
+    all.push(micro::muldiv(2_000));
     all
 }
 

@@ -547,6 +547,112 @@ fn branch_chain(name: &str, units: u64, always_taken: bool) -> Workload {
     )
 }
 
+/// Serial pointer chase through a Sattolo single-cycle permutation of
+/// `slots` cache-line-spaced slots — the maximally stall-heavy
+/// Memory-Bound workload: every hop is a dependent load that misses the
+/// L1D (the working set is `slots × 64` bytes, ~1 MiB at the default
+/// 16384 slots), and nothing else is in flight while it resolves. The
+/// long quiescent D$-miss spans make it the stress case for
+/// event-driven cycle skipping.
+///
+/// `a0` ends as the sum of the visited slot indices.
+///
+/// # Panics
+///
+/// Panics if `slots < 2` or `hops` is zero.
+pub fn ptrchase(slots: u64, hops: u64) -> Workload {
+    assert!(slots >= 2, "need at least 2 slots");
+    assert!(hops > 0, "need at least one hop");
+    let mut b = ProgramBuilder::new("ptrchase");
+    // Sattolo's algorithm: a uniformly random *single-cycle*
+    // permutation, so the chase visits every slot before repeating and
+    // no prefix of the walk ever revisits a line.
+    let mut perm: Vec<u64> = (0..slots).collect();
+    let mut rng = XorShift::new(0x5eed_0006);
+    for i in (1..slots as usize).rev() {
+        let j = rng.below(i as u64) as usize;
+        perm.swap(i, j);
+    }
+    // One slot per 64-byte line: word 0 holds the successor index, the
+    // remaining 7 words are padding.
+    let mut lines = vec![0u64; (slots * 8) as usize];
+    for (i, next) in perm.iter().enumerate() {
+        lines[i * 8] = *next;
+    }
+    let base = b.data_u64(&lines);
+    b.li(Reg::S0, base as i64);
+    b.li(Reg::S1, hops as i64);
+    b.li(Reg::T0, 0); // current slot index
+    b.li(Reg::A0, 0); // checksum
+    b.li(Reg::T2, 0); // hop counter
+    b.label("chase_loop");
+    b.bge(Reg::T2, Reg::S1, "chase_done");
+    b.slli(Reg::T1, Reg::T0, 6); // line-spaced: index → byte offset
+    b.add(Reg::T1, Reg::S0, Reg::T1);
+    b.ld(Reg::T0, Reg::T1, 0); // the dependent miss
+    b.add(Reg::A0, Reg::A0, Reg::T0);
+    b.addi(Reg::T2, Reg::T2, 1);
+    b.j("chase_loop");
+    b.label("chase_done");
+    b.halt();
+    Workload::new(
+        "ptrchase",
+        b.build().expect("ptrchase builds"),
+        20 * hops + 10_000,
+    )
+}
+
+/// One loop-carried multiply/divide chain over `iters` iterations —
+/// the execution-latency stall workload: each iteration regrows the
+/// chain value with one `mul`, then pushes it through a run of
+/// back-to-back dependent `div`s, and the result feeds the *next*
+/// iteration, so even an out-of-order window cannot overlap
+/// iterations — the core spends most cycles with the (unpipelined)
+/// divider busy and nothing to issue. The divisor is a positive
+/// constant, so no division ever traps.
+///
+/// `a0` ends as the wrapping sum of the chain value after each
+/// iteration.
+///
+/// # Panics
+///
+/// Panics if `iters` is zero.
+pub fn muldiv(iters: u64) -> Workload {
+    assert!(iters > 0, "need at least one iteration");
+    let mut b = ProgramBuilder::new("muldiv");
+    b.li(Reg::S1, iters as i64);
+    b.li(Reg::S3, MULDIV_MUL as i64);
+    b.li(Reg::S4, MULDIV_DIV as i64);
+    b.li(Reg::A0, 0);
+    b.li(Reg::T0, MULDIV_SEED as i64); // the loop-carried chain value
+    b.li(Reg::T2, 0); // i
+    b.label("md_loop");
+    b.bge(Reg::T2, Reg::S1, "md_done");
+    b.xor(Reg::T0, Reg::T0, Reg::T2); // fold i into the carried chain
+    b.mul(Reg::T0, Reg::T0, Reg::S3); // one regrow, then a pure div chain
+    for _ in 0..8 {
+        b.div(Reg::T0, Reg::T0, Reg::S4);
+    }
+    b.add(Reg::A0, Reg::A0, Reg::T0);
+    b.addi(Reg::T2, Reg::T2, 1);
+    b.j("md_loop");
+    b.label("md_done");
+    b.halt();
+    Workload::new(
+        "muldiv",
+        b.build().expect("muldiv builds"),
+        60 * iters + 10_000,
+    )
+}
+
+/// The chain re-seed constant of [`muldiv`] (a splitmix64 increment).
+const MULDIV_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+/// The multiplier of each [`muldiv`] chain step (odd, so products keep
+/// their low-bit entropy).
+const MULDIV_MUL: u64 = 0x5_deec_e66d;
+/// The divisor of each [`muldiv`] chain step (positive: never traps).
+const MULDIV_DIV: u64 = 1337;
+
 /// Case study 2's `brmiss`: a chain of `units` *taken* branch
 /// instructions without a loop — every branch executes once against a
 /// cold predictor and mispredicts. `a0` counts the units.
@@ -653,6 +759,52 @@ mod tests {
         assert_eq!(i.trailing_reg(Reg::A0), 100);
         // Identical dynamic instruction counts: only prediction differs.
         assert_eq!(t.len(), i.len());
+    }
+
+    #[test]
+    fn ptrchase_walks_the_permutation() {
+        let (slots, hops) = (64u64, 500u64);
+        let s = ptrchase(slots, hops).execute().unwrap();
+        // Mirror the Sattolo construction and walk it.
+        let mut perm: Vec<u64> = (0..slots).collect();
+        let mut rng = XorShift::new(0x5eed_0006);
+        for i in (1..slots as usize).rev() {
+            let j = rng.below(i as u64) as usize;
+            perm.swap(i, j);
+        }
+        let mut index = 0u64;
+        let mut sum = 0u64;
+        for _ in 0..hops {
+            index = perm[index as usize];
+            sum = sum.wrapping_add(index);
+        }
+        assert_eq!(s.trailing_reg(Reg::A0), sum);
+        // Sattolo yields a single cycle: the walk returns to slot 0
+        // after exactly `slots` hops and not before.
+        let mut probe = perm[0];
+        let mut steps = 1;
+        while probe != 0 {
+            probe = perm[probe as usize];
+            steps += 1;
+        }
+        assert_eq!(steps, slots, "permutation must be one cycle");
+    }
+
+    #[test]
+    fn muldiv_matches_reference() {
+        let iters = 200u64;
+        let s = muldiv(iters).execute().unwrap();
+        let mut sum = 0u64;
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for i in 0..iters {
+            x ^= i;
+            x = x.wrapping_mul(0x5_deec_e66d);
+            for _ in 0..8 {
+                x = (x as i64).wrapping_div(1337) as u64;
+            }
+            sum = sum.wrapping_add(x);
+        }
+        assert_eq!(s.trailing_reg(Reg::A0), sum);
     }
 
     #[test]

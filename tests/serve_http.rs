@@ -236,6 +236,66 @@ fn quotas_and_capacity_shed_submissions_with_429() {
 }
 
 #[test]
+fn a_skip_mode_job_returns_the_same_bytes_as_a_skip_off_job() {
+    use icicle::campaign::SkipPolicy;
+    let expected = direct_cli_output();
+
+    // Each policy gets its own data dir so both jobs genuinely execute
+    // (no cross-server cache hits): the equality below is between two
+    // real runs, one event-driven and one cycle-by-cycle.
+    for (tag, skip) in [("skip-on", SkipPolicy::On), ("skip-off", SkipPolicy::Off)] {
+        let dir = scratch_dir(tag);
+        let (service, addr) = boot(&dir, ServiceConfig::default());
+        let api = Client::new(addr.to_string());
+        let id = api
+            .submit(&Submission::campaign(SPEC).with_client(tag).with_skip(skip))
+            .expect("submit");
+        let status = api.wait(id, POLL).expect("wait");
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(
+            api.result(id).expect("result"),
+            expected,
+            "{tag}: served bytes must not depend on the skip policy"
+        );
+        let simulated = service
+            .job(id)
+            .expect("job exists")
+            .metrics
+            .counter("campaign.cells.simulated")
+            .get();
+        assert_eq!(simulated, 2, "{tag}: both cells actually ran");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The fingerprint must not encode the policy: a skip-on and a
+    // skip-off submission of the same work dedupe through one store.
+    let dir = scratch_dir("skip-dedupe");
+    let (service, addr) = boot(&dir, ServiceConfig::default());
+    let api = Client::new(addr.to_string());
+    let first = api
+        .submit(&Submission::campaign(SPEC).with_skip(SkipPolicy::On))
+        .expect("submit skip-on");
+    api.wait(first, POLL).expect("wait");
+    let second = api
+        .submit(&Submission::campaign(SPEC).with_skip(SkipPolicy::Off))
+        .expect("submit skip-off");
+    api.wait(second, POLL).expect("wait");
+    assert_eq!(api.result(first).expect("result"), expected);
+    assert_eq!(api.result(second).expect("result"), expected);
+    let resimulated = service
+        .job(second)
+        .expect("job exists")
+        .metrics
+        .counter("campaign.cells.simulated")
+        .get();
+    assert_eq!(
+        resimulated, 0,
+        "a policy flip must not invalidate cached cells"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn the_progress_stream_ends_on_a_terminal_line() {
     use std::io::Read;
     let dir = scratch_dir("stream");
@@ -246,6 +306,7 @@ fn the_progress_stream_ends_on_a_terminal_line() {
             kind: JobKind::Verify { flat_bound: None },
             priority: icicle::campaign::Priority::High,
             client: "streamer".to_string(),
+            skip: None,
         })
         .expect("submit");
 

@@ -1,0 +1,171 @@
+//! Golden snapshot of counter state at skip-span boundaries.
+//!
+//! The equivalence suite proves skip-on and skip-off agree at the *end*
+//! of a run; this test pins the counters at the exact cycles where the
+//! harness enters and leaves fast-forwarded spans — the places a bulk
+//! settlement would first go wrong. Two walks over the same stall-heavy
+//! cells:
+//!
+//! - a cycle-by-cycle walk that observes every vector and snapshots the
+//!   exact counts at each span boundary;
+//! - a skipping walk that settles each claimed span with
+//!   `observe_many` + `fast_forward`, snapshotting at the same cycles.
+//!
+//! The two snapshot sequences must be identical, and their canonical
+//! rendering is compared against `tests/golden/skip_boundaries.json`
+//! byte-for-byte (regenerate with `ICICLE_UPDATE_GOLDEN=1`).
+
+use std::path::Path;
+
+use icicle::events::{EventCore, EventCounts, EventId};
+use icicle::prelude::{Rocket, RocketConfig, Workload};
+use icicle::verify::compare_or_update;
+use icicle::workloads::micro;
+use icicle_obs::Json;
+
+/// Counter state captured at one boundary cycle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Snapshot {
+    /// Cycle the claim was made at (the span covers the next `span`
+    /// cycles).
+    cycle: u64,
+    span: u64,
+    instret: u64,
+    retired: u64,
+    dcache_misses: u64,
+    branch_mispredicts: u64,
+    /// Bitmask of events asserted by the (single, repeated) span vector.
+    active: u32,
+}
+
+impl Snapshot {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("cycle", Json::Int(self.cycle)),
+            ("span", Json::Int(self.span)),
+            ("instret", Json::Int(self.instret)),
+            ("retired", Json::Int(self.retired)),
+            ("dcache_misses", Json::Int(self.dcache_misses)),
+            ("branch_mispredicts", Json::Int(self.branch_mispredicts)),
+            ("active_events", Json::Int(u64::from(self.active))),
+        ])
+    }
+}
+
+/// How many span boundaries each walk records.
+const BOUNDARIES: usize = 6;
+/// Minimum claim length that counts as a boundary worth pinning.
+const MIN_SPAN: u64 = 4;
+
+fn snapshot(core: &Rocket, counts: &EventCounts, span: u64, active: u32) -> Snapshot {
+    Snapshot {
+        cycle: core.cycle(),
+        span,
+        instret: core.instret(),
+        retired: counts.get(EventId::InstrRetired),
+        dcache_misses: counts.get(EventId::DCacheMiss),
+        branch_mispredicts: counts.get(EventId::BranchMispredict),
+        active,
+    }
+}
+
+/// Cycle-by-cycle reference walk: observe every vector; at each claim
+/// of at least [`MIN_SPAN`], snapshot the pre-span counter state and
+/// then step through the whole claimed span one cycle at a time.
+fn reference_walk(workload: &Workload) -> Vec<Snapshot> {
+    let stream = workload.execute().expect("architectural execution");
+    let mut core = Rocket::new(RocketConfig::default(), stream);
+    let mut counts = EventCounts::new();
+    let mut out = Vec::new();
+    while !core.is_done() && out.len() < BOUNDARIES {
+        if let Some(n) = core.time_until_next_event() {
+            if n >= MIN_SPAN {
+                let mut snap = snapshot(&core, &counts, n, 0);
+                // Consume the claimed span cycle-by-cycle; the first
+                // vector is the one the whole span repeats.
+                snap.active = {
+                    let v = core.step();
+                    counts.observe(v);
+                    v.active_events()
+                };
+                for _ in 1..n {
+                    let v = core.step();
+                    counts.observe(v);
+                }
+                out.push(snap);
+                continue;
+            }
+        }
+        let v = core.step();
+        counts.observe(v);
+    }
+    out
+}
+
+/// Skipping walk: every claim of 2+ cycles is settled in bulk, exactly
+/// the way the perf harness does it (one real step, then `observe_many`
+/// and `fast_forward` for the rest). Snapshots are taken at the same
+/// pre-span points as the reference walk, so each one pins the bulk
+/// settlement of every span before it.
+fn skipping_walk(workload: &Workload) -> Vec<Snapshot> {
+    let stream = workload.execute().expect("architectural execution");
+    let mut core = Rocket::new(RocketConfig::default(), stream);
+    let mut counts = EventCounts::new();
+    let mut out = Vec::new();
+    while !core.is_done() && out.len() < BOUNDARIES {
+        if let Some(n) = core.time_until_next_event() {
+            if n >= 2 {
+                let record = n >= MIN_SPAN;
+                let mut snap = snapshot(&core, &counts, n, 0);
+                snap.active = {
+                    let v = core.step();
+                    counts.observe(v);
+                    counts.observe_many(v, n - 1);
+                    v.active_events()
+                };
+                if record {
+                    out.push(snap);
+                }
+                core.fast_forward(n - 1);
+                continue;
+            }
+        }
+        let v = core.step();
+        counts.observe(v);
+    }
+    out
+}
+
+#[test]
+fn boundary_counters_match_and_pin_the_golden_snapshot() {
+    let cells = [
+        ("ptrchase", micro::ptrchase(1024, 2_000)),
+        ("muldiv", micro::muldiv(500)),
+    ];
+    let mut docs = Vec::new();
+    for (name, workload) in &cells {
+        let reference = reference_walk(workload);
+        let skipping = skipping_walk(workload);
+        assert_eq!(
+            reference.len(),
+            BOUNDARIES,
+            "{name}: too few skip boundaries to pin"
+        );
+        assert_eq!(
+            reference, skipping,
+            "{name}: bulk settlement diverged from the cycle-by-cycle walk"
+        );
+        docs.push(Json::object(vec![
+            ("workload", Json::Str(name.to_string())),
+            ("core", Json::Str("rocket".to_string())),
+            (
+                "boundaries",
+                Json::Array(reference.iter().map(Snapshot::to_json).collect()),
+            ),
+        ]));
+    }
+    let mut rendered = Json::object(vec![("cells", Json::Array(docs))]).render();
+    rendered.push('\n');
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/skip_boundaries.json");
+    compare_or_update(&path, &rendered).expect("golden comparison");
+}

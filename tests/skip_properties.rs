@@ -1,0 +1,207 @@
+//! Property tests for the `time_until_next_event` skip protocol.
+//!
+//! The contract (see `crates/events/src/source.rs`): between two steps,
+//! a claim of `Some(n)` promises that the next `n` calls to `step()`
+//! all produce one identical event vector, retire nothing, and mutate
+//! nothing but the cycle counter. Underestimates are sound (the harness
+//! just skips less); an overestimate is a correctness bug that the
+//! equivalence suite would surface as a counter divergence. Here the
+//! protocol itself is fuzzed directly on the cores:
+//!
+//! 1. a claim is never an overestimate — the claimed span really is
+//!    quiescent, vector-for-vector;
+//! 2. claims are monotone — one step into a claimed span of `n`, the
+//!    core still claims at least `n - 1`;
+//! 3. fast-forwarding composes — `ff(a + b)` lands in the same state as
+//!    `ff(a); ff(b)`, observed through every subsequent step.
+//!
+//! Rocket and BOOM are not `Clone`, so the composition property uses
+//! two freshly built cores: construction and architectural replay are
+//! deterministic, which the test asserts before relying on it.
+
+use icicle::events::{EventCore, EventId};
+use icicle::prelude::{Boom, BoomConfig, Rocket, RocketConfig, Workload};
+use icicle::verify::FuzzCase;
+use icicle::workloads::micro;
+use proptest::prelude::*;
+
+/// A small stall-heavy workload zoo: pointer chases expose memory
+/// quiescence, muldiv exposes long-latency-unit quiescence, fuzz cases
+/// mix both with flaky branches.
+fn pick_workload(choice: u8, a: u64, b: u64) -> Workload {
+    match choice {
+        0 => micro::ptrchase(64 + (a % 1024), 50 + b % 300),
+        1 => micro::muldiv(20 + a % 150),
+        _ => FuzzCase::generate(a, b % 16).workload(),
+    }
+}
+
+fn build_core(workload: &Workload, boom: bool) -> Box<dyn EventCore> {
+    let stream = workload.execute().expect("architectural execution");
+    if boom {
+        Box::new(Boom::new(
+            BoomConfig::small(),
+            stream,
+            workload.program_arc(),
+        ))
+    } else {
+        Box::new(Rocket::new(RocketConfig::default(), stream))
+    }
+}
+
+/// Steps `core` until its `occurrence`-th claim of at least `min_span`
+/// cycles, returning `(claim, steps_taken_before_the_claim)`.
+fn find_claim(
+    core: &mut dyn EventCore,
+    min_span: u64,
+    occurrence: usize,
+) -> Option<(u64, u64)> {
+    let mut seen = 0usize;
+    let mut steps = 0u64;
+    while !core.is_done() && core.cycle() < 200_000 {
+        if let Some(n) = core.time_until_next_event() {
+            if n >= min_span {
+                if seen == occurrence {
+                    return Some((n, steps));
+                }
+                seen += 1;
+            }
+        }
+        core.step();
+        steps += 1;
+    }
+    None
+}
+
+/// Guard against vacuity: every workload family must expose claims on
+/// both cores, or the properties above quantify over an empty set.
+#[test]
+fn every_workload_family_exposes_claims() {
+    for choice in 0u8..3 {
+        for boom in [false, true] {
+            let workload = pick_workload(choice, 7, 3);
+            let mut core = build_core(&workload, boom);
+            assert!(
+                find_claim(core.as_mut(), 2, 0).is_some(),
+                "family {choice} on {} never claimed a span",
+                if boom { "small-boom" } else { "rocket" }
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Protocol clause 1: the claimed span is genuinely quiescent. All
+    /// `n` vectors must be equal and none may retire an instruction —
+    /// an overestimate would hand the harness a wrong bulk settlement.
+    #[test]
+    fn claims_never_overestimate(
+        choice in 0u8..3,
+        boom in 0u8..2,
+        occurrence in 0u8..4,
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+    ) {
+        let workload = pick_workload(choice, a, b);
+        let mut core = build_core(&workload, boom == 1);
+        if let Some((n, _)) = find_claim(core.as_mut(), 2, occurrence as usize) {
+            let first = core.step().clone();
+            prop_assert_eq!(
+                first.count(EventId::InstrRetired), 0,
+                "a claimed span must not retire (claim {})", n
+            );
+            for k in 1..n {
+                let vector = core.step().clone();
+                prop_assert_eq!(
+                    &vector, &first,
+                    "cycle {} of a {}-cycle claim produced a different vector", k, n
+                );
+            }
+        }
+    }
+
+    /// Protocol clause 2: one step into a span claimed at `n`, at least
+    /// `n - 1` quiescent cycles remain and the core must still see them
+    /// — a collapsing claim would make the harness fall back to
+    /// cycle-by-cycle stepping mid-span (correct but a perf bug).
+    #[test]
+    fn claims_are_monotone_across_the_span(
+        choice in 0u8..3,
+        boom in 0u8..2,
+        occurrence in 0u8..4,
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+    ) {
+        let workload = pick_workload(choice, a, b);
+        let mut core = build_core(&workload, boom == 1);
+        if let Some((n, _)) = find_claim(core.as_mut(), 3, occurrence as usize) {
+            core.step();
+            let remaining = core.time_until_next_event();
+            prop_assert!(
+                remaining.is_some_and(|m| m >= n - 1),
+                "claim collapsed from {} to {:?} after one step", n, remaining
+            );
+        }
+    }
+
+    /// Protocol clause 3: `ff(a + b)` ≡ `ff(a); ff(b)`. Two identically
+    /// built cores are stepped to the same claim point, fast-forwarded
+    /// through the same span in one jump vs. two, then stepped onward:
+    /// cycle counters and every subsequent vector must agree.
+    #[test]
+    fn fast_forward_composes(
+        choice in 0u8..3,
+        boom in 0u8..2,
+        occurrence in 0u8..3,
+        a in 0u64..1_000,
+        b in 0u64..1_000,
+        split in 1u64..1_000,
+    ) {
+        let workload = pick_workload(choice, a, b);
+        let is_boom = boom == 1;
+        let mut whole = build_core(&workload, is_boom);
+        if let Some((n, steps)) = find_claim(whole.as_mut(), 3, occurrence as usize) {
+            // Deterministic reconstruction: the sibling core replays the
+            // same number of steps and must land on the same claim.
+            let mut halves = build_core(&workload, is_boom);
+            for _ in 0..steps {
+                halves.step();
+            }
+            prop_assert_eq!(halves.cycle(), whole.cycle(), "replay drifted");
+            prop_assert_eq!(
+                halves.time_until_next_event(), Some(n),
+                "replay landed on a different claim"
+            );
+
+            // Enter the span with one real step (the harness does the
+            // same), leaving n - 1 >= 2 skippable cycles.
+            whole.step();
+            halves.step();
+            let span = n - 1;
+            let first = 1 + split % (span - 1);
+            whole.fast_forward(span);
+            halves.fast_forward(first);
+            halves.fast_forward(span - first);
+            prop_assert_eq!(whole.cycle(), halves.cycle(), "cycle counters diverged");
+
+            for k in 0..50 {
+                prop_assert_eq!(
+                    whole.is_done(), halves.is_done(),
+                    "completion diverged {} steps after the span", k
+                );
+                if whole.is_done() {
+                    break;
+                }
+                let v = whole.step().clone();
+                let w = halves.step().clone();
+                prop_assert_eq!(
+                    &v, &w,
+                    "vectors diverged {} steps after the span (split {}+{})",
+                    k, first, span - first
+                );
+            }
+        }
+    }
+}
