@@ -39,6 +39,8 @@ COMMANDS:
     campaign                 Run an experiment campaign from a spec file
     verify                   Differentially verify counter TMA against traces
     faults                   Fuzz the campaign runner with injected faults
+    chaos                    Fuzz the analysis server through a
+                             fault-injecting TCP proxy
     bench                    Measure simulator throughput into a ledger,
                              or gate one ledger against another
     vlsi                     Print the physical-design cost model (Fig. 9)
@@ -74,6 +76,15 @@ OPTIONS (faults):
     --cases <N>              Fault plans to fuzz [default: 8]
     --demo                   Run one injected-fault campaign and print the
                              degraded report instead of fuzzing
+    --report <PATH>          Also write the JSON report here
+    --json                   Emit the report as JSON on stdout
+
+OPTIONS (chaos):
+    --seed <S>               Fault-schedule master seed [default: 0]
+    --cases <N>              Fault schedules to fuzz [default: 8]
+    --connections <N>        Connection horizon per schedule [default: 8]
+    --weaken <KNOB>          Deliberately weaken the server to prove the
+                             harness catches it (`read-deadline`)
     --report <PATH>          Also write the JSON report here
     --json                   Emit the report as JSON on stdout
 
@@ -189,6 +200,17 @@ pub enum Command {
         seed: u64,
         cases: u64,
         demo: bool,
+        report: Option<String>,
+        json: bool,
+    },
+    /// `chaos`: fuzz the analysis server through the fault proxy.
+    Chaos {
+        seed: u64,
+        cases: u64,
+        connections: usize,
+        /// Deliberate server weakening (`read-deadline`), to prove the
+        /// harness catches a regression.
+        weaken: Option<String>,
         report: Option<String>,
         json: bool,
     },
@@ -516,6 +538,65 @@ fn parse_faults(args: &[String]) -> Result<Command, ParseError> {
         seed,
         cases,
         demo,
+        report,
+        json,
+    })
+}
+
+fn parse_chaos(args: &[String]) -> Result<Command, ParseError> {
+    let mut seed = 0u64;
+    let mut cases = 8u64;
+    let mut connections = 8usize;
+    let mut weaken = None;
+    let mut report = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("missing value for {arg}")))
+        };
+        match arg.as_str() {
+            "--seed" => {
+                seed = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--seed expects a number".into()))?;
+            }
+            "--cases" => {
+                cases = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--cases expects a number".into()))?;
+                if cases == 0 {
+                    return err("--cases must be non-zero");
+                }
+            }
+            "--connections" => {
+                connections = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--connections expects a number".into()))?;
+                if connections == 0 {
+                    return err("--connections must be non-zero");
+                }
+            }
+            "--weaken" => {
+                let knob = value()?.clone();
+                if knob != "read-deadline" {
+                    return err(format!(
+                        "unknown --weaken knob `{knob}` (expected `read-deadline`)"
+                    ));
+                }
+                weaken = Some(knob);
+            }
+            "--report" => report = Some(value()?.clone()),
+            "--json" => json = true,
+            other => return err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Command::Chaos {
+        seed,
+        cases,
+        connections,
+        weaken,
         report,
         json,
     })
@@ -889,6 +970,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "campaign" => parse_campaign(rest),
         "verify" => parse_verify(rest),
         "faults" => parse_faults(rest),
+        "chaos" => parse_chaos(rest),
         "bench" => parse_bench(rest),
         "vlsi" => Ok(Command::Vlsi),
         "serve" => parse_serve(rest),
@@ -1175,6 +1257,40 @@ mod tests {
         );
         assert!(parse(&argv("faults --cases 0")).is_err());
         assert!(parse(&argv("faults --frob")).is_err());
+    }
+
+    #[test]
+    fn chaos_parses_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("chaos")).unwrap(),
+            Command::Chaos {
+                seed: 0,
+                cases: 8,
+                connections: 8,
+                weaken: None,
+                report: None,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "chaos --seed 7 --cases 3 --connections 12 --weaken read-deadline \
+                 --report c.json --json"
+            ))
+            .unwrap(),
+            Command::Chaos {
+                seed: 7,
+                cases: 3,
+                connections: 12,
+                weaken: Some("read-deadline".into()),
+                report: Some("c.json".into()),
+                json: true,
+            }
+        );
+        assert!(parse(&argv("chaos --cases 0")).is_err());
+        assert!(parse(&argv("chaos --connections 0")).is_err());
+        assert!(parse(&argv("chaos --weaken frobnicate")).is_err());
+        assert!(parse(&argv("chaos --frob")).is_err());
     }
 
     #[test]

@@ -66,6 +66,21 @@ pub fn run(cmd: Command) -> Result<()> {
             report,
             json,
         } => faults(seed, cases, demo, report.as_deref(), json),
+        Command::Chaos {
+            seed,
+            cases,
+            connections,
+            weaken,
+            report,
+            json,
+        } => chaos(
+            seed,
+            cases,
+            connections,
+            weaken.as_deref(),
+            report.as_deref(),
+            json,
+        ),
         Command::Tma {
             workload,
             core,
@@ -185,17 +200,58 @@ fn serve(
         })
         .map_err(|e| format!("cannot open data dir `{data_dir}`: {e}"))?,
     );
-    // The executor pool lives as long as the process; the handles are
-    // never joined because `run` only returns on listener failure.
-    let _executors = service.start();
+    let executor_pool = service.start();
     let server = Server::bind(Arc::clone(&service), addr)
         .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    // SIGTERM (and `POST /v1/shutdown`) trigger the same graceful
+    // drain: stop accepting, cancel cooperatively at cell boundaries,
+    // flush checkpoints, exit 0 — acknowledged work survives a restart.
+    let shutdown = server.shutdown_handle()?;
+    watch_sigterm(shutdown);
     // The resolved address goes to stderr (port 0 binds ephemerally);
     // stdout stays clean for scripted consumers.
     eprintln!("icicle-tma serving on {}", server.local_addr()?);
     server.run()?;
+    for handle in executor_pool {
+        let _ = handle.join();
+    }
+    service.flush();
+    eprintln!("icicle-tma drained cleanly");
     Ok(())
 }
+
+/// Translates SIGTERM into a graceful server drain.
+///
+/// Installed with raw `signal(2)` — the workspace links no signal
+/// crate — and kept async-signal-safe by doing nothing in the handler
+/// but a store; a watcher thread turns the flag into the actual
+/// shutdown trigger (which allocates and takes locks).
+#[cfg(unix)]
+fn watch_sigterm(shutdown: icicle_serve::ShutdownHandle) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static TERM: AtomicBool = AtomicBool::new(false);
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term);
+    }
+    std::thread::spawn(move || loop {
+        if TERM.load(Ordering::SeqCst) {
+            eprintln!("icicle-tma caught SIGTERM; draining");
+            shutdown.trigger();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+}
+
+#[cfg(not(unix))]
+fn watch_sigterm(_shutdown: icicle_serve::ShutdownHandle) {}
 
 /// `submit`: POST a job and print its id, or `--wait` for the result.
 fn submit(cmd: Command) -> Result<()> {
@@ -233,6 +289,8 @@ fn submit(cmd: Command) -> Result<()> {
         // The server picks its own skip policy; results are identical
         // either way, so the CLI does not forward its local `--skip`.
         skip: None,
+        // The client stamps a fresh key per submit call.
+        idempotency_key: None,
     };
     let api = Client::new(addr);
     let id = api.submit(&submission)?;
@@ -684,6 +742,51 @@ fn faults(seed: u64, cases: u64, demo: bool, report_path: Option<&str>, json: bo
     if !report.passed() {
         return Err(format!(
             "fault fuzzing found {} graceful-degradation violations",
+            report.violations.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// `chaos`: fuzz the analysis server through the fault-injecting proxy
+/// against the no-lost-jobs contract.
+fn chaos(
+    seed: u64,
+    cases: u64,
+    connections: usize,
+    weaken: Option<&str>,
+    report_path: Option<&str>,
+    json: bool,
+) -> Result<()> {
+    use icicle_serve::{run_chaos, ChaosOptions, Weaken};
+    let weaken = match weaken {
+        None => Weaken::None,
+        Some("read-deadline") => Weaken::ReadDeadline,
+        Some(other) => return Err(format!("unknown --weaken knob `{other}`").into()),
+    };
+    if !json {
+        eprintln!("chaos: fuzzing {cases} fault schedule(s) from seed {seed}");
+    }
+    let report = run_chaos(&ChaosOptions {
+        seed,
+        cases,
+        connections,
+        weaken,
+        data_root: None,
+    });
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if let Some(path) = report_path {
+        icicle::obs::write_atomic(path, &report.to_json())
+            .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
+    }
+    if !report.passed() {
+        return Err(format!(
+            "chaos found {} contract-violating schedule(s)",
             report.violations.len()
         )
         .into());

@@ -23,6 +23,8 @@
 //! campaigns; the runner interprets each [`FaultKind`] at its own hook
 //! point.
 
+pub mod net;
+
 use std::fmt;
 use std::sync::Mutex;
 

@@ -1,0 +1,747 @@
+//! Network-level fault injection: a deterministic TCP chaos proxy.
+//!
+//! The in-process [`FaultPlan`](crate::FaultPlan) machinery proves the
+//! campaign layer degrades gracefully; this module does the same for the
+//! network boundary between `icicle-tma submit` and `icicle-serve`. A
+//! [`NetFaultPlan`] is a seed-pure schedule of connection-level faults
+//! (refused connections, mid-stream drops, truncated responses,
+//! slow-trickle writes, injected latency, duplicated submissions), and a
+//! [`FaultProxy`] is its runtime arm — a real TCP proxy that sits
+//! between client and server in tests and applies the scheduled fault to
+//! each accepted connection by index.
+//!
+//! Faults are keyed on the *connection index* (0-based order of
+//! acceptance), not on request content: the proxy never parses HTTP, so
+//! it cannot accidentally "help" either side. The same two properties
+//! the in-process plans guarantee hold here too:
+//!
+//! * **Seed purity** — [`NetFaultPlan::generate`] is a pure function of
+//!   `(seed, connections)`; a violating schedule found by the chaos
+//!   fuzzer reproduces exactly.
+//! * **Shrinkability** — [`NetFaultPlan::without`] removes one fault, so
+//!   greedy shrinking converges on a minimal violating plan.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long a slow-trickle fault holds back the tail of a request —
+/// long enough to trip any sane server read deadline, short enough to
+/// keep chaos runs fast.
+pub const TRICKLE_HOLD: Duration = Duration::from_millis(600);
+
+/// The delay an [`NetFaultKind::InjectLatency`] fault adds before the
+/// upstream connection is even attempted.
+pub const INJECTED_LATENCY: Duration = Duration::from_millis(50);
+
+/// How many bytes a mid-request drop forwards before killing both
+/// sides — small enough to cut inside the request head.
+pub const DROP_REQUEST_BUDGET: usize = 24;
+
+/// How many bytes a mid-response drop forwards before closing the
+/// client — cuts inside the status line.
+pub const DROP_RESPONSE_BUDGET: usize = 12;
+
+/// How many bytes a response truncation forwards — usually enough for
+/// the head, cutting inside the body.
+pub const TRUNCATE_RESPONSE_BUDGET: usize = 120;
+
+/// Socket timeout applied to both legs inside the proxy, so a
+/// misbehaving peer can never leak a relay thread forever.
+const PROXY_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Every injectable network failure mode.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NetFaultKind {
+    /// The connection is accepted and immediately closed — the client
+    /// sees a reset before it can write a byte (a crashed or
+    /// overloaded server).
+    ConnectRefused,
+    /// The first [`DROP_REQUEST_BUDGET`] request bytes are forwarded,
+    /// then both sides are torn down — the server sees a truncated
+    /// request, the client sees a dead socket.
+    DropMidRequest,
+    /// The first [`DROP_RESPONSE_BUDGET`] response bytes are forwarded,
+    /// then the client side is closed — the status line is cut in half.
+    DropMidResponse,
+    /// The response is truncated after [`TRUNCATE_RESPONSE_BUDGET`]
+    /// bytes — headers usually survive, the body does not.
+    TruncateResponse,
+    /// The request trickles: everything but the last two bytes is
+    /// forwarded, then the proxy sleeps [`TRICKLE_HOLD`] before sending
+    /// the tail — a slowloris client. A hardened server answers 408; a
+    /// server without a read deadline serves the request as if nothing
+    /// happened.
+    SlowTrickle,
+    /// [`INJECTED_LATENCY`] of extra delay before the upstream
+    /// connection is made; the request then proceeds untouched.
+    InjectLatency,
+    /// The request is relayed normally, then replayed byte-for-byte on
+    /// a fresh upstream connection — a duplicated submission that only
+    /// idempotency keys can deduplicate.
+    DuplicateSubmit,
+}
+
+impl NetFaultKind {
+    /// Every kind, in canonical order.
+    pub const ALL: [NetFaultKind; 7] = [
+        NetFaultKind::ConnectRefused,
+        NetFaultKind::DropMidRequest,
+        NetFaultKind::DropMidResponse,
+        NetFaultKind::TruncateResponse,
+        NetFaultKind::SlowTrickle,
+        NetFaultKind::InjectLatency,
+        NetFaultKind::DuplicateSubmit,
+    ];
+
+    /// The kebab-case name used in reports and plan descriptions.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultKind::ConnectRefused => "connect-refused",
+            NetFaultKind::DropMidRequest => "drop-mid-request",
+            NetFaultKind::DropMidResponse => "drop-mid-response",
+            NetFaultKind::TruncateResponse => "truncate-response",
+            NetFaultKind::SlowTrickle => "slow-trickle",
+            NetFaultKind::InjectLatency => "inject-latency",
+            NetFaultKind::DuplicateSubmit => "duplicate-submit",
+        }
+    }
+}
+
+impl fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled network fault, bound to a connection index.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PlannedNetFault {
+    /// What goes wrong.
+    pub kind: NetFaultKind,
+    /// The 0-based index (in order of acceptance) of the proxied
+    /// connection this fault fires on.
+    pub conn: usize,
+}
+
+impl fmt::Display for PlannedNetFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ conn {}", self.kind, self.conn)
+    }
+}
+
+/// A deterministic, seed-pure schedule of network faults.
+///
+/// At most one fault is scheduled per connection index, so the fault a
+/// connection experiences is unambiguous.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NetFaultPlan {
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub seed: u64,
+    /// The scheduled faults.
+    pub faults: Vec<PlannedNetFault>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan — the proxy becomes a faithful relay.
+    pub fn new() -> NetFaultPlan {
+        NetFaultPlan::default()
+    }
+
+    /// Builder-style append (later faults on an already-claimed
+    /// connection index are ignored, preserving the one-fault-per-
+    /// connection invariant).
+    pub fn with(mut self, kind: NetFaultKind, conn: usize) -> NetFaultPlan {
+        if self.fault_for(conn).is_none() {
+            self.faults.push(PlannedNetFault { kind, conn });
+        }
+        self
+    }
+
+    /// Generates a plan over the first `connections` proxied
+    /// connections — a pure function of `(seed, connections)`. Draws
+    /// between 1 and `min(connections, 4)` faults; zero connections
+    /// yields an empty plan.
+    pub fn generate(seed: u64, connections: usize) -> NetFaultPlan {
+        let mut plan = NetFaultPlan {
+            seed,
+            faults: Vec::new(),
+        };
+        if connections == 0 {
+            return plan;
+        }
+        let mut stream = SplitMix64::new(seed ^ 0x4e65_7446_6175_6c74); // "NetFault"
+        let count = 1 + (stream.next() as usize % connections.min(4));
+        for _ in 0..count {
+            let kind = NetFaultKind::ALL[stream.next() as usize % NetFaultKind::ALL.len()];
+            let conn = stream.next() as usize % connections;
+            if plan.fault_for(conn).is_none() {
+                plan.faults.push(PlannedNetFault { kind, conn });
+            }
+        }
+        plan
+    }
+
+    /// The fault scheduled for connection `conn`, if any.
+    pub fn fault_for(&self, conn: usize) -> Option<NetFaultKind> {
+        self.faults.iter().find(|f| f.conn == conn).map(|f| f.kind)
+    }
+
+    /// The highest connection index any fault targets.
+    pub fn max_conn(&self) -> Option<usize> {
+        self.faults.iter().map(|f| f.conn).max()
+    }
+
+    /// A one-line-per-fault human description.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return format!("net fault plan (seed {}): empty\n", self.seed);
+        }
+        let mut out = format!(
+            "net fault plan (seed {}): {} fault(s)\n",
+            self.seed,
+            self.faults.len()
+        );
+        for f in &self.faults {
+            out.push_str(&format!("  {f}\n"));
+        }
+        out
+    }
+
+    /// A plan with fault `index` removed — the chaos fuzzer's shrink
+    /// step.
+    pub fn without(&self, index: usize) -> NetFaultPlan {
+        let mut shrunk = self.clone();
+        if index < shrunk.faults.len() {
+            shrunk.faults.remove(index);
+        }
+        shrunk
+    }
+}
+
+/// Shared proxy state: how many connections were handled and which
+/// faults actually fired.
+#[derive(Debug, Default)]
+struct ProxyState {
+    connections: AtomicUsize,
+    /// Relay threads currently running; the fired log is complete only
+    /// once this drains (a relay records its fault as its last act).
+    active: AtomicUsize,
+    fired: Mutex<Vec<String>>,
+}
+
+impl ProxyState {
+    fn log(&self, fault: PlannedNetFault) {
+        self.fired
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(fault.to_string());
+    }
+}
+
+/// A real TCP proxy that applies a [`NetFaultPlan`] to the traffic it
+/// relays. Dropping the proxy stops it.
+#[derive(Debug)]
+pub struct FaultProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<ProxyState>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy on an ephemeral localhost port, relaying every
+    /// accepted connection to `upstream` under `plan`.
+    pub fn start(upstream: SocketAddr, plan: NetFaultPlan) -> std::io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(ProxyState::default());
+        let accept_stop = Arc::clone(&stop);
+        let accept_state = Arc::clone(&state);
+        let accept_thread = thread::Builder::new()
+            .name("fault-proxy".into())
+            .spawn(move || {
+                for client in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(client) = client else { continue };
+                    let conn = accept_state.connections.fetch_add(1, Ordering::SeqCst);
+                    let fault = plan
+                        .fault_for(conn)
+                        .map(|kind| PlannedNetFault { kind, conn });
+                    let state = Arc::clone(&accept_state);
+                    // Counted in the accept thread, not the relay, so
+                    // `active` can never read 0 while a relay is still
+                    // being spawned.
+                    state.active.fetch_add(1, Ordering::SeqCst);
+                    let spawned = thread::Builder::new()
+                        .name(format!("fault-proxy-conn-{conn}"))
+                        .spawn(move || {
+                            relay(client, upstream, fault, &state);
+                            state.active.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        accept_state.active.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            })?;
+        Ok(FaultProxy {
+            addr,
+            stop,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many connections the proxy has accepted so far.
+    pub fn connections(&self) -> usize {
+        self.state.connections.load(Ordering::SeqCst)
+    }
+
+    /// Whether every accepted connection's relay has finished — after
+    /// this returns `true`, [`FaultProxy::fired`] is complete, not a
+    /// racy snapshot. Polls up to `timeout` (relays park on held-back
+    /// trickles and socket timeouts, so drain is not instant).
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.state.active.load(Ordering::SeqCst) != 0 {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Every fault that actually fired, sorted (relay threads race; see
+    /// [`FaultProxy::quiesce`] for a complete log).
+    pub fn fired(&self) -> Vec<String> {
+        let mut log = self
+            .state
+            .fired
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        log.sort();
+        log
+    }
+
+    /// Stops accepting; in-flight relays die on their socket timeouts.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocked accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// What the client→upstream leg does with the bytes it relays.
+enum RequestPolicy {
+    Clean,
+    /// Forward `budget` bytes, then tear both sockets down.
+    KillAfter(usize),
+    /// Hold back the last two bytes of the first chunk for
+    /// [`TRICKLE_HOLD`].
+    Trickle,
+}
+
+/// What the upstream→client leg does with the bytes it relays.
+enum ResponsePolicy {
+    Clean,
+    /// Forward `budget` bytes, then close the client side.
+    CutAfter(usize),
+}
+
+fn relay(
+    client: TcpStream,
+    upstream_addr: SocketAddr,
+    fault: Option<PlannedNetFault>,
+    state: &ProxyState,
+) {
+    if let Some(f) = fault {
+        match f.kind {
+            NetFaultKind::ConnectRefused => {
+                state.log(f);
+                let _ = client.shutdown(Shutdown::Both);
+                return;
+            }
+            NetFaultKind::InjectLatency => {
+                state.log(f);
+                thread::sleep(INJECTED_LATENCY);
+            }
+            _ => {}
+        }
+    }
+    let Ok(upstream) = TcpStream::connect(upstream_addr) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    for stream in [&client, &upstream] {
+        let _ = stream.set_read_timeout(Some(PROXY_IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(PROXY_IO_TIMEOUT));
+    }
+    let (request_policy, response_policy) = match fault.map(|f| f.kind) {
+        Some(NetFaultKind::DropMidRequest) => (
+            RequestPolicy::KillAfter(DROP_REQUEST_BUDGET),
+            ResponsePolicy::Clean,
+        ),
+        Some(NetFaultKind::SlowTrickle) => (RequestPolicy::Trickle, ResponsePolicy::Clean),
+        Some(NetFaultKind::DropMidResponse) => (
+            RequestPolicy::Clean,
+            ResponsePolicy::CutAfter(DROP_RESPONSE_BUDGET),
+        ),
+        Some(NetFaultKind::TruncateResponse) => (
+            RequestPolicy::Clean,
+            ResponsePolicy::CutAfter(TRUNCATE_RESPONSE_BUDGET),
+        ),
+        _ => (RequestPolicy::Clean, ResponsePolicy::Clean),
+    };
+    let duplicate = matches!(fault.map(|f| f.kind), Some(NetFaultKind::DuplicateSubmit));
+    let captured: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Client→upstream leg in its own thread; upstream→client inline.
+    let up_client = match client.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let up_upstream = match upstream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let capture = duplicate.then(|| Arc::clone(&captured));
+    let fired_request_fault = Arc::new(AtomicBool::new(false));
+    let fired_flag = Arc::clone(&fired_request_fault);
+    let forward = thread::Builder::new()
+        .name("fault-proxy-up".into())
+        .spawn(move || {
+            copy_request(up_client, up_upstream, request_policy, capture, &fired_flag);
+        });
+
+    let response_cut = copy_response(&upstream, &client, response_policy);
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = upstream.shutdown(Shutdown::Both);
+    if let Ok(handle) = forward {
+        let _ = handle.join();
+    }
+    if let Some(f) = fault {
+        let request_fired = fired_request_fault.load(Ordering::SeqCst);
+        match f.kind {
+            NetFaultKind::DropMidRequest | NetFaultKind::SlowTrickle if request_fired => {
+                state.log(f);
+            }
+            NetFaultKind::DropMidResponse | NetFaultKind::TruncateResponse if response_cut => {
+                state.log(f);
+            }
+            NetFaultKind::DuplicateSubmit => {
+                let bytes = captured
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone();
+                if !bytes.is_empty() && replay(upstream_addr, &bytes) {
+                    state.log(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Relays client bytes to the upstream under `policy`. Sets `fired`
+/// when the policy actually altered the stream.
+fn copy_request(
+    mut client: TcpStream,
+    mut upstream: TcpStream,
+    policy: RequestPolicy,
+    capture: Option<Arc<Mutex<Vec<u8>>>>,
+    fired: &AtomicBool,
+) {
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0usize;
+    let mut first_chunk = true;
+    loop {
+        let n = match client.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &buf[..n];
+        if let Some(cap) = &capture {
+            cap.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .extend_from_slice(chunk);
+        }
+        match policy {
+            RequestPolicy::Clean => {
+                if upstream.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            RequestPolicy::KillAfter(budget) => {
+                let take = chunk.len().min(budget.saturating_sub(forwarded));
+                if take > 0 && upstream.write_all(&chunk[..take]).is_err() {
+                    break;
+                }
+                forwarded += take;
+                if forwarded >= budget {
+                    fired.store(true, Ordering::SeqCst);
+                    let _ = upstream.shutdown(Shutdown::Both);
+                    let _ = client.shutdown(Shutdown::Both);
+                    break;
+                }
+            }
+            RequestPolicy::Trickle => {
+                if first_chunk && chunk.len() > 2 {
+                    let head = &chunk[..chunk.len() - 2];
+                    if upstream.write_all(head).is_err() {
+                        break;
+                    }
+                    let _ = upstream.flush();
+                    fired.store(true, Ordering::SeqCst);
+                    thread::sleep(TRICKLE_HOLD);
+                    if upstream.write_all(&chunk[chunk.len() - 2..]).is_err() {
+                        break;
+                    }
+                } else if upstream.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+        }
+        forwarded += match policy {
+            RequestPolicy::KillAfter(_) => 0, // already counted above
+            _ => n,
+        };
+        first_chunk = false;
+    }
+    let _ = upstream.shutdown(Shutdown::Write);
+}
+
+/// Relays upstream bytes back to the client under `policy`; returns
+/// whether the policy cut the stream short.
+fn copy_response(upstream: &TcpStream, client: &TcpStream, policy: ResponsePolicy) -> bool {
+    let mut upstream = upstream;
+    let mut client = client;
+    let mut buf = [0u8; 4096];
+    let mut forwarded = 0usize;
+    loop {
+        let n = match upstream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let chunk = &buf[..n];
+        match policy {
+            ResponsePolicy::Clean => {
+                if client.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+            ResponsePolicy::CutAfter(budget) => {
+                let take = chunk.len().min(budget.saturating_sub(forwarded));
+                if take > 0 && client.write_all(&chunk[..take]).is_err() {
+                    break;
+                }
+                forwarded += n;
+                if forwarded >= budget {
+                    let _ = client.shutdown(Shutdown::Both);
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Replays captured request bytes on a fresh upstream connection and
+/// drains the (discarded) duplicate response. Returns success.
+fn replay(upstream_addr: SocketAddr, bytes: &[u8]) -> bool {
+    let Ok(mut conn) = TcpStream::connect(upstream_addr) else {
+        return false;
+    };
+    let _ = conn.set_read_timeout(Some(PROXY_IO_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(PROXY_IO_TIMEOUT));
+    if conn.write_all(bytes).is_err() {
+        return false;
+    }
+    let _ = conn.shutdown(Shutdown::Write);
+    let mut sink = Vec::new();
+    let _ = conn.take(1 << 20).read_to_end(&mut sink);
+    true
+}
+
+/// SplitMix64, kept local so the module mirrors the crate root's
+/// generator without sharing mutable state.
+#[derive(Copy, Clone, Debug)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_pure() {
+        for seed in 0..32 {
+            assert_eq!(
+                NetFaultPlan::generate(seed, 8),
+                NetFaultPlan::generate(seed, 8)
+            );
+        }
+    }
+
+    #[test]
+    fn at_most_one_fault_per_connection() {
+        for seed in 0..128 {
+            let plan = NetFaultPlan::generate(seed, 6);
+            let mut conns: Vec<usize> = plan.faults.iter().map(|f| f.conn).collect();
+            conns.sort_unstable();
+            conns.dedup();
+            assert_eq!(conns.len(), plan.faults.len(), "seed {seed} double-booked");
+            assert!(!plan.faults.is_empty());
+            assert!(plan.faults.iter().all(|f| f.conn < 6));
+        }
+        assert!(NetFaultPlan::generate(3, 0).faults.is_empty());
+    }
+
+    #[test]
+    fn every_kind_is_eventually_generated() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..512 {
+            for f in NetFaultPlan::generate(seed, 8).faults {
+                seen.insert(f.kind);
+            }
+        }
+        for kind in NetFaultKind::ALL {
+            assert!(seen.contains(&kind), "{kind} never generated");
+        }
+    }
+
+    #[test]
+    fn builder_respects_one_fault_per_connection() {
+        let plan = NetFaultPlan::new()
+            .with(NetFaultKind::SlowTrickle, 0)
+            .with(NetFaultKind::ConnectRefused, 0)
+            .with(NetFaultKind::InjectLatency, 2);
+        assert_eq!(plan.faults.len(), 2);
+        assert_eq!(plan.fault_for(0), Some(NetFaultKind::SlowTrickle));
+        assert_eq!(plan.fault_for(1), None);
+        assert_eq!(plan.max_conn(), Some(2));
+    }
+
+    #[test]
+    fn shrink_removes_one_fault() {
+        let plan = NetFaultPlan::generate(5, 8);
+        let n = plan.faults.len();
+        assert_eq!(plan.without(0).faults.len(), n - 1);
+        assert_eq!(plan.without(99).faults.len(), n);
+    }
+
+    #[test]
+    fn describe_names_every_fault() {
+        let plan = NetFaultPlan::new().with(NetFaultKind::DuplicateSubmit, 3);
+        assert!(plan.describe().contains("duplicate-submit @ conn 3"));
+        assert!(NetFaultPlan::new().describe().contains("empty"));
+    }
+
+    /// A minimal upstream echo server good enough to exercise the relay
+    /// paths without HTTP.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                thread::spawn(move || {
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = stream.read(&mut buf) {
+                        if n == 0 || stream.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn clean_proxy_relays_faithfully() {
+        let upstream = echo_upstream();
+        let mut proxy = FaultProxy::start(upstream, NetFaultPlan::new()).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"hello proxy").unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
+        let mut back = Vec::new();
+        conn.read_to_end(&mut back).unwrap();
+        assert_eq!(back, b"hello proxy");
+        assert_eq!(proxy.connections(), 1);
+        assert!(
+            proxy.quiesce(Duration::from_secs(5)),
+            "relays drain once both peers close"
+        );
+        assert!(proxy.fired().is_empty());
+        proxy.stop();
+    }
+
+    #[test]
+    fn refused_connection_yields_no_bytes() {
+        let upstream = echo_upstream();
+        let plan = NetFaultPlan::new().with(NetFaultKind::ConnectRefused, 0);
+        let mut proxy = FaultProxy::start(upstream, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let mut back = Vec::new();
+        // Either an immediate EOF or a reset error — never data.
+        let _ = conn.read_to_end(&mut back);
+        assert!(back.is_empty());
+        assert_eq!(proxy.fired(), vec!["connect-refused @ conn 0".to_string()]);
+        proxy.stop();
+    }
+
+    #[test]
+    fn truncated_response_is_cut_at_the_budget() {
+        let upstream = echo_upstream();
+        let plan = NetFaultPlan::new().with(NetFaultKind::DropMidResponse, 0);
+        let mut proxy = FaultProxy::start(upstream, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let payload = vec![b'x'; 256];
+        conn.write_all(&payload).unwrap();
+        conn.shutdown(Shutdown::Write).unwrap();
+        let mut back = Vec::new();
+        let _ = conn.read_to_end(&mut back);
+        assert!(
+            back.len() <= DROP_RESPONSE_BUDGET,
+            "got {} bytes back",
+            back.len()
+        );
+        proxy.stop();
+    }
+}

@@ -683,19 +683,21 @@ mod tests {
             }
             assert_eq!(bulk.mcycle(), stepped.mcycle());
             assert_eq!(bulk.minstret(), stepped.minstret());
-            for i in 0..arches.len() {
+            for (i, arch) in arches.iter().enumerate() {
                 assert_eq!(
                     bulk.read(i).unwrap(),
                     stepped.read(i).unwrap(),
-                    "arch {:?} diverged after span of {k}",
-                    arches[i]
+                    "arch {arch:?} diverged after span of {k}"
                 );
                 assert_eq!(
                     bulk.read_precise(i).unwrap(),
                     stepped.read_precise(i).unwrap()
                 );
             }
-            assert_eq!(bulk.take_overflow(0).unwrap(), stepped.take_overflow(0).unwrap());
+            assert_eq!(
+                bulk.take_overflow(0).unwrap(),
+                stepped.take_overflow(0).unwrap()
+            );
         }
     }
 
@@ -734,7 +736,10 @@ mod tests {
         bulk.tick(&v);
         stepped.tick(&v);
         assert_eq!(bulk.read(0).unwrap(), stepped.read(0).unwrap());
-        assert_eq!(bulk.read_precise(0).unwrap(), stepped.read_precise(0).unwrap());
+        assert_eq!(
+            bulk.read_precise(0).unwrap(),
+            stepped.read_precise(0).unwrap()
+        );
     }
 
     #[test]

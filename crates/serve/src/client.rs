@@ -1,18 +1,47 @@
-//! The thin blocking client the CLI verbs (and tests) use.
+//! The hardened blocking client the CLI verbs (and tests) use.
 //!
 //! One method per endpoint, one TCP connection per call (the server
 //! closes every connection after its response). The client never
 //! interprets result bodies — `result` hands back the canonical bytes
 //! exactly as served, preserving the CLI-equivalence contract end to
 //! end.
+//!
+//! Three things make it safe on a bad network:
+//!
+//! * **Bounded retries with deterministic backoff** — transport
+//!   failures (refused, reset, timed out, truncated response) and the
+//!   retryable statuses 408/503 are retried up to
+//!   [`Client::with_retries`] times, sleeping a pure function of
+//!   `(request fingerprint, attempt)` between attempts — the same
+//!   fingerprint-keyed idiom the campaign runner uses, so two clients
+//!   hammering one server desynchronize deterministically instead of
+//!   thundering in lockstep.
+//! * **Idempotency keys** — every [`Client::submit`] stamps an
+//!   `Idempotency-Key` header (unique per *logical* submission, shared
+//!   across its retries), so a retry of a submit whose response was
+//!   lost can never double-schedule the job: the service answers with
+//!   the original. Non-idempotent calls without a key are never
+//!   retried after bytes were written.
+//! * **A retry-tolerant wait loop** — a transient connection reset
+//!   during a poll is not a job failure; [`Client::wait`] keeps
+//!   polling through bounded consecutive transport errors and only
+//!   treats the *job's* terminal state (or a 404) as the answer.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use icicle_obs::Json;
+use icicle_obs::{Json, MetricsRegistry};
 
-use crate::http::roundtrip;
+use crate::http::{call, CallOptions};
 use crate::job::Submission;
+
+/// Statuses worth retrying: the server cut a slow read (408) or is
+/// shedding/draining (503). Everything else is an answer.
+fn retryable_status(status: u16) -> bool {
+    matches!(status, 408 | 503)
+}
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -24,8 +53,20 @@ pub enum ClientError {
         /// The `error` field of the body, or the raw body.
         message: String,
     },
-    /// The transport or the response shape failed.
+    /// The transport or the response shape failed (after retries).
     Protocol(String),
+}
+
+impl ClientError {
+    /// Whether another attempt could change the answer: transport
+    /// failures and the retryable statuses, as opposed to a definitive
+    /// server answer like 404 or 400.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Http { status, .. } => retryable_status(*status),
+            ClientError::Protocol(_) => true,
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -40,15 +81,112 @@ impl fmt::Display for ClientError {
 impl std::error::Error for ClientError {}
 
 /// A handle on one server address.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Client {
     addr: String,
+    retries: u32,
+    connect_timeout: Option<Duration>,
+    io_timeout: Option<Duration>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client")
+            .field("addr", &self.addr)
+            .field("retries", &self.retries)
+            .field("connect_timeout", &self.connect_timeout)
+            .field("io_timeout", &self.io_timeout)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`).
+    /// A client for `addr` (`host:port`) with default deadlines (5 s
+    /// connect, 30 s per read/write) and 3 retries.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into() }
+        Client {
+            addr: addr.into(),
+            retries: 3,
+            connect_timeout: Some(Duration::from_secs(5)),
+            io_timeout: Some(Duration::from_secs(30)),
+            metrics: None,
+        }
+    }
+
+    /// Sets how many times a retryable failure is retried (0 disables
+    /// retrying).
+    pub fn with_retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the connect and per-read/write deadlines (`None` blocks
+    /// forever — only sensible in tests).
+    pub fn with_timeouts(mut self, connect: Option<Duration>, io: Option<Duration>) -> Client {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+
+    /// Records `client.http.*` counters (retries, calls) into
+    /// `metrics`.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Client {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// One HTTP exchange with bounded retries. `idempotency_key`
+    /// carries both the permission to retry unsafe methods and the
+    /// header that makes those retries exactly-once on the server.
+    fn call_retrying(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        idempotency_key: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        // GETs are safe to repeat; POSTs only under an idempotency key
+        // (cancel is idempotent by construction and submits carry one).
+        let safe_to_retry =
+            method == "GET" || idempotency_key.is_some() || path.ends_with("/cancel");
+        let fingerprint = fnv1a(&[
+            self.addr.as_bytes(),
+            method.as_bytes(),
+            path.as_bytes(),
+            body.unwrap_or("").as_bytes(),
+        ]);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let mut headers = Vec::new();
+            if let Some(key) = idempotency_key {
+                headers.push(("Idempotency-Key".to_string(), key.to_string()));
+                headers.push(("Idempotency-Attempt".to_string(), attempt.to_string()));
+            }
+            let options = CallOptions {
+                connect_timeout: self.connect_timeout,
+                io_timeout: self.io_timeout,
+                headers,
+            };
+            let outcome: Result<(u16, String), String> =
+                match call(&self.addr, method, path, body, &options) {
+                    Ok(response) if retryable_status(response.status) => Err(format!(
+                        "server said {}: {}",
+                        response.status, response.body
+                    )),
+                    Ok(response) => return Ok((response.status, response.body)),
+                    Err(error) => Err(error.to_string()),
+                };
+            let failure = outcome.expect_err("success returned above");
+            if !safe_to_retry || attempt > self.retries {
+                return Err(ClientError::Protocol(failure));
+            }
+            if let Some(metrics) = &self.metrics {
+                metrics.counter("client.http.retries").inc();
+            }
+            std::thread::sleep(backoff(fingerprint, attempt));
+        }
     }
 
     fn call(
@@ -57,8 +195,7 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), ClientError> {
-        let response = roundtrip(&self.addr, method, path, body).map_err(ClientError::Protocol)?;
-        Ok((response.status, response.body))
+        self.call_retrying(method, path, body, None)
     }
 
     fn expect_success(&self, outcome: (u16, String)) -> Result<String, ClientError> {
@@ -78,15 +215,32 @@ impl Client {
         matches!(self.call("GET", "/healthz", None), Ok((200, _)))
     }
 
-    /// `POST /v1/jobs`: submits and returns the assigned job id.
+    /// `POST /v1/jobs`: submits and returns the assigned job id, under
+    /// a fresh auto-generated idempotency key — retries of this one
+    /// logical submission can never double-schedule.
     ///
     /// # Errors
     ///
-    /// [`ClientError`] on rejection (400 bad request, 429 shed) or
-    /// transport failure.
+    /// [`ClientError`] on rejection (400 bad request, 429 shed, 503
+    /// draining) or transport failure after retries.
     pub fn submit(&self, submission: &Submission) -> Result<u64, ClientError> {
         let body = submission.to_json().render();
-        let outcome = self.call("POST", "/v1/jobs", Some(&body))?;
+        let key = generate_key(&self.addr, &body);
+        self.submit_raw(&body, &key)
+    }
+
+    /// [`Client::submit`] under an explicit idempotency key — two
+    /// calls with the same key are one logical submission.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::submit`].
+    pub fn submit_with_key(&self, submission: &Submission, key: &str) -> Result<u64, ClientError> {
+        self.submit_raw(&submission.to_json().render(), key)
+    }
+
+    fn submit_raw(&self, body: &str, key: &str) -> Result<u64, ClientError> {
+        let outcome = self.call_retrying("POST", "/v1/jobs", Some(body), Some(key))?;
         let body = self.expect_success(outcome)?;
         Json::parse(&body)
             .ok()
@@ -108,18 +262,33 @@ impl Client {
     /// Polls status until the job is terminal; returns the final
     /// status document.
     ///
+    /// A transient transport failure mid-poll is not a job failure:
+    /// polling continues through up to `retries + 1` *consecutive*
+    /// failed polls (each itself retried at the transport layer) and
+    /// only a persistent failure — or a definitive server answer like
+    /// 404 — propagates.
+    ///
     /// # Errors
     ///
-    /// Propagates any polling failure.
+    /// [`ClientError`] once polling fails persistently.
     pub fn wait(&self, id: u64, poll: Duration) -> Result<Json, ClientError> {
+        let mut consecutive_failures: u32 = 0;
         loop {
-            let status = self.status(id)?;
-            let state = status
-                .get("state")
-                .and_then(Json::as_str)
-                .ok_or_else(|| ClientError::Protocol("status without state".to_string()))?;
-            if matches!(state, "done" | "failed" | "cancelled") {
-                return Ok(status);
+            match self.status(id) {
+                Ok(status) => {
+                    consecutive_failures = 0;
+                    let state = status
+                        .get("state")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ClientError::Protocol("status without state".to_string()))?;
+                    if matches!(state, "done" | "failed" | "cancelled") {
+                        return Ok(status);
+                    }
+                }
+                Err(error) if error.is_retryable() && consecutive_failures <= self.retries => {
+                    consecutive_failures += 1;
+                }
+                Err(error) => return Err(error),
             }
             std::thread::sleep(poll);
         }
@@ -156,7 +325,8 @@ impl Client {
     }
 
     /// `POST /v1/jobs/<id>/cancel`: requests cancellation; returns the
-    /// status after the request.
+    /// status after the request. Cancels are idempotent, so transport
+    /// failures retry.
     ///
     /// # Errors
     ///
@@ -168,6 +338,17 @@ impl Client {
             .map_err(|e| ClientError::Protocol(format!("malformed cancel response: {e}")))
     }
 
+    /// `POST /v1/shutdown`: asks the server to drain gracefully.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure (a connection that dies
+    /// *after* the request may still have triggered the drain).
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        let outcome = self.call_retrying("POST", "/v1/shutdown", None, Some("shutdown"))?;
+        self.expect_success(outcome).map(|_| ())
+    }
+
     /// `GET /metrics`: the server metrics document.
     ///
     /// # Errors
@@ -176,5 +357,89 @@ impl Client {
     pub fn metrics(&self) -> Result<String, ClientError> {
         let outcome = self.call("GET", "/metrics", None)?;
         self.expect_success(outcome)
+    }
+}
+
+/// The deterministic retry backoff: a pure function of the request
+/// fingerprint and the attempt number (the campaign runner's idiom,
+/// scaled to wall-clock). Exponential base with a fingerprint-keyed
+/// jitter, capped well under a second so bounded retries stay fast.
+fn backoff(fingerprint: u64, attempt: u32) -> Duration {
+    let mix = fingerprint
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(attempt.min(63))
+        ^ u64::from(attempt);
+    let millis = (mix % 23) + (1u64 << attempt.min(6));
+    Duration::from_millis(millis)
+}
+
+/// FNV-1a over the concatenated parts.
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &byte in *part {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// A key unique per logical submission: content hash, process id, and
+/// a process-local sequence number. Two *intentional* submissions of
+/// the same body get different keys; the retries of one submission
+/// share theirs.
+fn generate_key(addr: &str, body: &str) -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let content = fnv1a(&[addr.as_bytes(), body.as_bytes()]);
+    format!("{:08x}-{content:016x}-{seq:x}", std::process::id())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        for attempt in 1..10 {
+            assert_eq!(backoff(42, attempt), backoff(42, attempt));
+            assert!(backoff(42, attempt) < Duration::from_millis(100));
+        }
+        // Different fingerprints desynchronize.
+        assert_ne!(backoff(1, 1), backoff(2, 1));
+    }
+
+    #[test]
+    fn generated_keys_are_unique_per_logical_submission() {
+        let a = generate_key("addr", "body");
+        let b = generate_key("addr", "body");
+        assert_ne!(a, b, "each submit call is its own logical submission");
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(retryable_status(408));
+        assert!(retryable_status(503));
+        assert!(!retryable_status(429), "backpressure is an answer");
+        assert!(!retryable_status(404));
+        assert!(ClientError::Protocol("reset".into()).is_retryable());
+        assert!(!ClientError::Http {
+            status: 404,
+            message: "no".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn connection_refused_is_a_typed_error_after_retries() {
+        // Nothing listens on this port (bound then dropped).
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let client = Client::new(addr).with_retries(1);
+        let error = client.status(0).unwrap_err();
+        assert!(matches!(error, ClientError::Protocol(_)));
     }
 }

@@ -15,10 +15,15 @@
 //!
 //! Hard limits keep a misbehaving peer from wedging the server: the
 //! head (request line + headers) is capped at 16 KiB and bodies at
-//! 8 MiB; anything larger is an error the handler turns into a 4xx.
+//! 8 MiB, and the whole read happens under an optional deadline. Each
+//! failure mode is a typed [`RequestError`] with its own status — a
+//! slow sender gets 408, an oversized head 431, an oversized body 413,
+//! and garbage 400 — so the handler can answer precisely and close.
 
+use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Maximum bytes of request line + headers.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -55,41 +60,111 @@ impl Request {
     }
 }
 
-/// Reads and parses one request from `stream`.
+/// Every way reading a request can fail, each with its own status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The peer went silent past the read deadline — answered 408.
+    Timeout,
+    /// Request line + headers exceeded [`MAX_HEAD_BYTES`] — 431.
+    HeadTooLarge,
+    /// Declared `Content-Length` exceeded [`MAX_BODY_BYTES`] — 413.
+    BodyTooLarge,
+    /// The peer closed before a complete request arrived; there is
+    /// nobody left to answer.
+    Disconnected,
+    /// Anything else unparseable — 400.
+    Malformed(String),
+}
+
+impl RequestError {
+    /// The status to answer with, or `None` when the peer is gone.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RequestError::Timeout => Some(408),
+            RequestError::HeadTooLarge => Some(431),
+            RequestError::BodyTooLarge => Some(413),
+            RequestError::Disconnected => None,
+            RequestError::Malformed(_) => Some(400),
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Timeout => f.write_str("request read deadline exceeded"),
+            RequestError::HeadTooLarge => f.write_str("request head exceeds 16 KiB"),
+            RequestError::BodyTooLarge => f.write_str("request body exceeds 8 MiB"),
+            RequestError::Disconnected => f.write_str("connection closed mid-request"),
+            RequestError::Malformed(message) => f.write_str(message),
+        }
+    }
+}
+
+fn classify_io(error: &io::Error) -> RequestError {
+    match error.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => RequestError::Timeout,
+        io::ErrorKind::UnexpectedEof => RequestError::Disconnected,
+        _ => RequestError::Disconnected,
+    }
+}
+
+/// Reads and parses one request from `stream`, applying `deadline` as a
+/// per-read timeout before the first byte — a peer that connects and
+/// sends nothing (or trickles) is cut off with [`RequestError::Timeout`]
+/// instead of pinning the handler thread forever.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message for malformed or oversized
-/// requests; the caller answers with a 400.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// A typed [`RequestError`]; the caller answers with
+/// [`RequestError::status`] and closes.
+pub fn read_request(
+    stream: &mut TcpStream,
+    deadline: Option<Duration>,
+) -> Result<Request, RequestError> {
+    // Applied before the first byte is awaited: a silent peer trips
+    // this rather than blocking the thread indefinitely.
+    let _ = stream.set_read_timeout(deadline);
     let mut reader = BufReader::new(stream);
     let mut head = Vec::new();
-    // Read byte-wise up to the blank line; BufReader keeps this cheap.
+    // Read line-wise up to the blank line; BufReader keeps this cheap.
     loop {
         let mut line = Vec::new();
         reader
             .read_until(b'\n', &mut line)
-            .map_err(|e| format!("read error: {e}"))?;
+            .map_err(|e| classify_io(&e))?;
         if line.is_empty() {
-            return Err("connection closed mid-request".to_string());
+            return Err(RequestError::Disconnected);
         }
         head.extend_from_slice(&line);
         if head.len() > MAX_HEAD_BYTES {
-            return Err("request head exceeds 16 KiB".to_string());
+            return Err(RequestError::HeadTooLarge);
         }
         if line == b"\r\n" || line == b"\n" {
             break;
         }
     }
-    let head = std::str::from_utf8(&head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let head = std::str::from_utf8(&head)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".to_string()))?;
     let mut lines = head.lines();
-    let request_line = lines.next().ok_or("empty request")?;
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request".to_string()))?;
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_string();
-    let target = parts.next().ok_or("missing request target")?;
-    let version = parts.next().ok_or("missing HTTP version")?;
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing method".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing request target".to_string()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing HTTP version".to_string()))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol `{version}`"));
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
@@ -102,7 +177,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or_else(|| format!("malformed header `{line}`"))?;
+            .ok_or_else(|| RequestError::Malformed(format!("malformed header `{line}`")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     let content_length = headers
@@ -110,17 +185,21 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         .find(|(k, _)| k == "content-length")
         .map(|(_, v)| {
             v.parse::<usize>()
-                .map_err(|_| format!("bad content-length `{v}`"))
+                .map_err(|_| RequestError::Malformed(format!("bad content-length `{v}`")))
         })
         .transpose()?
         .unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
-        return Err("request body exceeds 8 MiB".to_string());
+        return Err(RequestError::BodyTooLarge);
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| format!("short body: {e}"))?;
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            RequestError::Malformed("short body".to_string())
+        } else {
+            classify_io(&e)
+        }
+    })?;
     Ok(Request {
         method,
         path,
@@ -139,9 +218,13 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -188,7 +271,98 @@ pub struct ClientResponse {
     pub body: String,
 }
 
-/// Performs one request against `addr` and reads the full response.
+/// Knobs for one client-side [`call`].
+#[derive(Debug, Clone, Default)]
+pub struct CallOptions {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Per-read/write socket timeout once connected.
+    pub io_timeout: Option<Duration>,
+    /// Extra request headers (name, value), written verbatim.
+    pub headers: Vec<(String, String)>,
+}
+
+/// Why a client-side [`call`] failed, coarse enough for the retry
+/// policy to classify: every variant is a transport-level failure whose
+/// outcome on the server is unknown, so all are safe to retry only for
+/// idempotent requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallError {
+    /// The connection could not be established.
+    Connect(String),
+    /// The connection died (or timed out) mid-exchange.
+    Io(String),
+    /// Bytes arrived but did not parse as an HTTP response.
+    Malformed(String),
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Connect(m) | CallError::Io(m) | CallError::Malformed(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Performs one request against `addr` under `options` and reads the
+/// full response.
+///
+/// # Errors
+///
+/// A typed [`CallError`] for connection, transport, or parse failures.
+pub fn call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    options: &CallOptions,
+) -> Result<ClientResponse, CallError> {
+    let mut stream = connect(addr, options.connect_timeout)?;
+    let _ = stream.set_read_timeout(options.io_timeout);
+    let _ = stream.set_write_timeout(options.io_timeout);
+    let body = body.unwrap_or("");
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len(),
+    );
+    for (name, value) in &options.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush())
+        .map_err(|e| CallError::Io(format!("write to `{addr}` failed: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| CallError::Io(format!("read from `{addr}` failed: {e}")))?;
+    parse_response(&raw).map_err(CallError::Malformed)
+}
+
+fn connect(addr: &str, timeout: Option<Duration>) -> Result<TcpStream, CallError> {
+    match timeout {
+        None => TcpStream::connect(addr)
+            .map_err(|e| CallError::Connect(format!("cannot connect to `{addr}`: {e}"))),
+        Some(timeout) => {
+            let resolved = addr
+                .to_socket_addrs()
+                .map_err(|e| CallError::Connect(format!("cannot resolve `{addr}`: {e}")))?
+                .next()
+                .ok_or_else(|| CallError::Connect(format!("`{addr}` resolves to nothing")))?;
+            TcpStream::connect_timeout(&resolved, timeout)
+                .map_err(|e| CallError::Connect(format!("cannot connect to `{addr}`: {e}")))
+        }
+    }
+}
+
+/// Performs one request against `addr` and reads the full response —
+/// the no-frills wrapper around [`call`] with no deadlines or extra
+/// headers.
 ///
 /// # Errors
 ///
@@ -199,19 +373,7 @@ pub fn roundtrip(
     path: &str,
     body: Option<&str>,
 ) -> Result<ClientResponse, String> {
-    let mut stream =
-        TcpStream::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len(),
-    );
-    stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body.as_bytes()))
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("write to `{addr}` failed: {e}"))?;
-    read_response(&mut stream)
+    call(addr, method, path, body, &CallOptions::default()).map_err(|e| e.to_string())
 }
 
 /// Reads a full response (status + body) from `stream`.
@@ -224,7 +386,11 @@ pub fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, String> {
     stream
         .read_to_end(&mut raw)
         .map_err(|e| format!("read failed: {e}"))?;
-    let text = String::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_string())?;
     let (head, body) = text
         .split_once("\r\n\r\n")
         .ok_or("malformed response: no blank line")?;
@@ -245,7 +411,7 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    fn parse_str(raw: &str) -> Result<Request, String> {
+    fn parse_str(raw: &str) -> Result<Request, RequestError> {
         // Round-trip through a real socket pair so the parser is tested
         // against the exact API the server uses.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -256,7 +422,7 @@ mod tests {
             s.write_all(raw.as_bytes()).unwrap();
         });
         let (mut stream, _) = listener.accept().unwrap();
-        let parsed = read_request(&mut stream);
+        let parsed = read_request(&mut stream, None);
         writer.join().unwrap();
         parsed
     }
@@ -283,10 +449,82 @@ mod tests {
     }
 
     #[test]
-    fn rejects_garbage() {
-        assert!(parse_str("not http at all\r\n\r\n").is_err());
-        assert!(parse_str("GET / FTP/9\r\n\r\n").is_err());
-        assert!(parse_str("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+    fn rejects_garbage_with_malformed() {
+        assert!(matches!(
+            parse_str("not http at all\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_str("GET / FTP/9\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_str("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse_str(&raw), Err(RequestError::BodyTooLarge)));
+        assert_eq!(RequestError::BodyTooLarge.status(), Some(413));
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse_str(&raw), Err(RequestError::HeadTooLarge)));
+        assert_eq!(RequestError::HeadTooLarge.status(), Some(431));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        assert!(matches!(
+            parse_str("POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nonly ten b"),
+            Err(RequestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn silent_peer_trips_the_read_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _quiet = TcpStream::connect(addr).unwrap();
+        let (mut stream, _) = listener.accept().unwrap();
+        let error = read_request(&mut stream, Some(Duration::from_millis(50))).unwrap_err();
+        assert_eq!(error, RequestError::Timeout);
+        assert_eq!(error.status(), Some(408));
+    }
+
+    #[test]
+    fn call_carries_extra_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, None).unwrap();
+            let key = req
+                .header("idempotency-key")
+                .unwrap_or("missing")
+                .to_string();
+            write_response(&mut stream, 200, &key).unwrap();
+        });
+        let options = CallOptions {
+            io_timeout: Some(Duration::from_secs(5)),
+            headers: vec![("Idempotency-Key".to_string(), "k-42".to_string())],
+            ..CallOptions::default()
+        };
+        let resp = call(&addr, "POST", "/echo", Some("{}"), &options).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "k-42");
     }
 
     #[test]
@@ -295,7 +533,7 @@ mod tests {
         let addr = listener.local_addr().unwrap().to_string();
         let server = std::thread::spawn(move || {
             let (mut stream, _) = listener.accept().unwrap();
-            let req = read_request(&mut stream).unwrap();
+            let req = read_request(&mut stream, None).unwrap();
             assert_eq!(req.path, "/echo");
             write_response(&mut stream, 200, req.body_text().unwrap()).unwrap();
         });

@@ -114,6 +114,12 @@ pub struct Submission {
     /// fingerprints, so a skip-on job can be satisfied by a skip-off
     /// cache entry and vice versa.
     pub skip: Option<SkipPolicy>,
+    /// Logical-submission identity for exactly-once scheduling. A
+    /// retried (or network-duplicated) submission carrying a key the
+    /// service has already seen is answered with the *original* job
+    /// instead of scheduling a second one. Absent on the wire when
+    /// unset, so old envelopes stay valid.
+    pub idempotency_key: Option<String>,
 }
 
 impl Submission {
@@ -124,6 +130,7 @@ impl Submission {
             priority: Priority::Normal,
             client: "anonymous".to_string(),
             skip: None,
+            idempotency_key: None,
         }
     }
 
@@ -146,6 +153,13 @@ impl Submission {
         self
     }
 
+    /// Tags the submission with a logical-submission identity; resends
+    /// carrying the same key dedupe onto the original job.
+    pub fn with_idempotency_key(mut self, key: impl Into<String>) -> Submission {
+        self.idempotency_key = Some(key.into());
+        self
+    }
+
     /// The JSON envelope the client POSTs.
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![("kind", Json::Str(self.kind.name().to_string()))];
@@ -165,6 +179,9 @@ impl Submission {
         pairs.push(("client", Json::Str(self.client.clone())));
         if let Some(skip) = self.skip {
             pairs.push(("skip", Json::Str(skip.name().to_string())));
+        }
+        if let Some(key) = &self.idempotency_key {
+            pairs.push(("idempotency_key", Json::Str(key.clone())));
         }
         Json::object(pairs)
     }
@@ -224,11 +241,16 @@ impl Submission {
             ),
             None => None,
         };
+        let idempotency_key = doc
+            .get("idempotency_key")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Ok(Submission {
             kind,
             priority,
             client,
             skip,
+            idempotency_key,
         })
     }
 }
@@ -254,6 +276,8 @@ pub struct Job {
     pub client: String,
     /// Cycle-skipping policy, `None` deferring to the ambient default.
     pub skip: Option<SkipPolicy>,
+    /// The logical-submission key this job was admitted under, if any.
+    pub idempotency_key: Option<String>,
     /// Per-job metrics; the campaign progress callback maintains the
     /// `campaign.progress.{done,total,eta_seconds}` gauges here, and
     /// the engines record their usual counters.
@@ -273,6 +297,7 @@ impl Job {
             priority: submission.priority,
             client: submission.client,
             skip: submission.skip,
+            idempotency_key: submission.idempotency_key,
             metrics: Arc::new(MetricsRegistry::new()),
             cancel: Arc::new(AtomicBool::new(false)),
             status: Mutex::new(JobStatus {
@@ -446,10 +471,16 @@ mod tests {
             priority: Priority::Low,
             client: "bench-bot".to_string(),
             skip: Some(SkipPolicy::On),
+            idempotency_key: Some("bench-key-1".to_string()),
         };
         assert_eq!(Submission::parse(&bench.to_json().render()).unwrap(), bench);
         // Absent on the wire when unset, so old envelopes stay valid.
-        assert!(!Submission::campaign("s").to_json().render().contains("skip"));
+        let bare = Submission::campaign("s").to_json().render();
+        assert!(!bare.contains("skip"));
+        assert!(!bare.contains("idempotency_key"));
+        let keyed = Submission::campaign("s").with_idempotency_key("k-1");
+        let parsed = Submission::parse(&keyed.to_json().render()).unwrap();
+        assert_eq!(parsed.idempotency_key.as_deref(), Some("k-1"));
     }
 
     #[test]

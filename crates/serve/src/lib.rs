@@ -27,8 +27,13 @@
 //!   metrics.
 //! * [`server`] — the HTTP front-end ([`Server`]), one thread per
 //!   connection.
-//! * [`client`] — the thin blocking [`Client`] behind the CLI's
-//!   `submit` / `status` / `result` / `cancel` verbs.
+//! * [`client`] — the hardened blocking [`Client`] behind the CLI's
+//!   `submit` / `status` / `result` / `cancel` verbs: bounded retries
+//!   with deterministic backoff, idempotency keys on submit, and a
+//!   wait loop that rides out transient transport failures.
+//! * [`chaos`] — the network chaos harness: fuzzes deterministic
+//!   fault-proxy schedules against the five-point no-lost-jobs
+//!   contract and shrinks every violating schedule to a minimal plan.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -40,6 +45,7 @@
 //! server.run().unwrap();
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod job;
@@ -47,8 +53,9 @@ pub mod scheduler;
 pub mod server;
 pub mod service;
 
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport, Weaken};
 pub use client::{Client, ClientError};
 pub use job::{Job, JobKind, JobState, Submission};
 pub use scheduler::{Scheduler, SchedulerConfig, SubmitError};
-pub use server::Server;
+pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use service::{AnalysisService, ServiceConfig};

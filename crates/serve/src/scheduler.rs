@@ -48,14 +48,27 @@ pub enum SubmitError {
     AtCapacity,
     /// This client's outstanding-job quota is exhausted.
     QuotaExceeded,
+    /// The server is draining for shutdown and admits nothing new.
+    Draining,
 }
 
 impl SubmitError {
-    /// The human-readable rejection served in the 429 body.
+    /// The human-readable rejection served in the error body.
     pub fn message(self) -> &'static str {
         match self {
             SubmitError::AtCapacity => "server at capacity; retry later",
             SubmitError::QuotaExceeded => "client quota exceeded; wait for submitted jobs",
+            SubmitError::Draining => "server is draining; resubmit after restart",
+        }
+    }
+
+    /// The HTTP status the rejection is served with: backpressure is
+    /// 429 (retry the same server later), draining is 503 (this server
+    /// is going away).
+    pub fn status(self) -> u16 {
+        match self {
+            SubmitError::AtCapacity | SubmitError::QuotaExceeded => 429,
+            SubmitError::Draining => 503,
         }
     }
 }
@@ -64,6 +77,7 @@ impl SubmitError {
 struct Accounting {
     outstanding: usize,
     per_client: HashMap<String, usize>,
+    closed: bool,
 }
 
 /// Priority dispatch with quota accounting.
@@ -91,6 +105,9 @@ impl Scheduler {
     /// [`SubmitError`] when a limit is reached; nothing is enqueued.
     pub fn submit(&self, id: usize, priority: Priority, client: &str) -> Result<(), SubmitError> {
         let mut accounting = lock_unpoisoned(&self.accounting);
+        if accounting.closed {
+            return Err(SubmitError::Draining);
+        }
         if accounting.outstanding >= self.config.capacity {
             return Err(SubmitError::AtCapacity);
         }
@@ -129,8 +146,11 @@ impl Scheduler {
         lock_unpoisoned(&self.accounting).outstanding
     }
 
-    /// Stops dispatch: executors drain what is queued, then exit.
+    /// Stops dispatch: new submissions shed with
+    /// [`SubmitError::Draining`], executors drain what is queued, then
+    /// exit.
     pub fn close(&self) {
+        lock_unpoisoned(&self.accounting).closed = true;
         self.queue.close();
     }
 }
@@ -186,6 +206,22 @@ mod tests {
         );
         s.settle("b");
         s.submit(3, Priority::Normal, "d").unwrap();
+    }
+
+    #[test]
+    fn a_closed_scheduler_sheds_with_draining() {
+        let s = small();
+        s.submit(0, Priority::Normal, "a").unwrap();
+        s.close();
+        assert_eq!(
+            s.submit(1, Priority::Normal, "b"),
+            Err(SubmitError::Draining)
+        );
+        assert_eq!(SubmitError::Draining.status(), 503);
+        assert_eq!(SubmitError::AtCapacity.status(), 429);
+        // Already-queued work still drains.
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(s.next(), None);
     }
 
     #[test]

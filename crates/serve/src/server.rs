@@ -6,12 +6,13 @@
 //! |--------|--------------------------|----------|
 //! | GET    | `/healthz`               | `{"ok": true}` |
 //! | GET    | `/metrics`               | the server metrics document |
-//! | POST   | `/v1/jobs`               | 202 + job status, or 400/429 |
+//! | POST   | `/v1/jobs`               | 202 + job status, or 400/429/503 |
 //! | GET    | `/v1/jobs`               | array of job statuses |
 //! | GET    | `/v1/jobs/<id>`          | job status |
 //! | GET    | `/v1/jobs/<id>/result`   | the canonical engine output, verbatim |
 //! | GET    | `/v1/jobs/<id>/progress` | streaming JSONL until terminal |
 //! | POST   | `/v1/jobs/<id>/cancel`   | job status after the request |
+//! | POST   | `/v1/shutdown`           | `{"ok": true, "draining": true}`, then graceful drain |
 //!
 //! Error shape is always `{"error": "<message>"}`. `result` answers
 //! 409 while the job is still queued or running, 404 for unknown ids,
@@ -21,38 +22,123 @@
 //! Every connection carries one request (`Connection: close`); each is
 //! handled on its own thread, which is plenty for an analysis service
 //! whose requests are dominated by simulation time, and keeps the
-//! accept loop free of poll machinery.
+//! accept loop free of poll machinery. Three [`ServerConfig`] knobs
+//! keep that model safe against hostile or broken peers:
+//!
+//! * a **read deadline** — a peer that connects and trickles (or sends
+//!   nothing) is answered `408` and closed instead of pinning its
+//!   handler thread (`server.http.requests_timed_out`);
+//! * a **write deadline** — a progress-stream reader that stops reading
+//!   has its connection dropped instead of wedging the handler;
+//! * a **connection cap** — excess concurrent connections are shed
+//!   deterministically with `503` before a handler thread is even
+//!   spawned (`server.http.connections_shed`).
+//!
+//! Graceful shutdown (`POST /v1/shutdown`, or SIGTERM via the CLI)
+//! stops the accept loop, sheds new submissions with 503, cancels
+//! running jobs cooperatively so every finished cell is checkpointed,
+//! and returns from [`Server::run`] — the caller joins the executors,
+//! flushes state, and exits 0.
 
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use icicle_obs::Json;
 
-use crate::http::{read_request, write_response, write_stream_head, Request};
+use crate::http::{read_request, write_response, write_stream_head, Request, RequestError};
 use crate::job::{Job, Submission};
 use crate::service::AnalysisService;
 
 /// How often the progress stream polls a job for a new line.
 const PROGRESS_POLL: Duration = Duration::from_millis(50);
 
+/// Socket-level robustness knobs.
+#[derive(Copy, Clone, Debug)]
+pub struct ServerConfig {
+    /// Per-read deadline while receiving a request; `None` disables it
+    /// (the chaos suite's deliberately weakened server).
+    pub read_deadline: Option<Duration>,
+    /// Per-write deadline on responses and progress streams.
+    pub write_deadline: Option<Duration>,
+    /// Maximum concurrent in-flight connections; excess connections
+    /// are shed with 503 before a handler is spawned.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_deadline: Some(Duration::from_secs(10)),
+            write_deadline: Some(Duration::from_secs(10)),
+            max_connections: 256,
+        }
+    }
+}
+
+/// Cross-thread server state: the shutdown latch and the in-flight
+/// connection count.
+#[derive(Debug, Default)]
+struct ServerState {
+    shutting_down: AtomicBool,
+    active: AtomicUsize,
+}
+
+/// Flips the server into graceful shutdown from any thread (the SIGTERM
+/// watcher, the `/v1/shutdown` handler, or a test).
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    state: Arc<ServerState>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: the accept loop exits at its next wake-up
+    /// (a throwaway self-connection guarantees there is one).
+    pub fn trigger(&self) {
+        if self.state.shutting_down.swap(true, Ordering::SeqCst) {
+            return; // already shutting down
+        }
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
 /// A bound listener serving one [`AnalysisService`].
 pub struct Server {
     listener: TcpListener,
     service: Arc<AnalysisService>,
+    config: ServerConfig,
+    state: Arc<ServerState>,
 }
 
 impl Server {
-    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) with
+    /// default deadlines.
     ///
     /// # Errors
     ///
     /// Propagates the bind error.
     pub fn bind(service: Arc<AnalysisService>, addr: &str) -> io::Result<Server> {
+        Server::bind_with(service, addr, ServerConfig::default())
+    }
+
+    /// Binds `addr` with explicit socket-robustness knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn bind_with(
+        service: Arc<AnalysisService>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service,
+            config,
+            state: Arc::new(ServerState::default()),
         })
     }
 
@@ -65,30 +151,102 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Accepts connections forever, one handler thread per connection.
+    /// A handle that triggers graceful shutdown from another thread.
     ///
     /// # Errors
     ///
-    /// Returns only if the listener itself fails.
+    /// Propagates the underlying socket error.
+    pub fn shutdown_handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            state: Arc::clone(&self.state),
+            addr: self.listener.local_addr()?,
+        })
+    }
+
+    /// Accepts connections until shutdown is triggered, one handler
+    /// thread per connection, then drains the service and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns early only if the listener itself fails.
     pub fn run(&self) -> io::Result<()> {
+        let shutdown = self.shutdown_handle()?;
         for stream in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
             let stream = stream?;
+            // The connection cap is enforced before spawning: the shed
+            // is deterministic (a 503 straight from the accept loop)
+            // rather than dependent on how far behind the handlers are.
+            let active = self.state.active.fetch_add(1, Ordering::SeqCst);
+            if active >= self.config.max_connections {
+                self.state.active.fetch_sub(1, Ordering::SeqCst);
+                self.service
+                    .metrics()
+                    .counter("server.http.connections_shed")
+                    .inc();
+                let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    &error_body("connection limit reached; retry later"),
+                );
+                continue;
+            }
             let service = Arc::clone(&self.service);
-            std::thread::spawn(move || handle_connection(&service, stream));
+            let config = self.config;
+            let state = Arc::clone(&self.state);
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                handle_connection(&service, stream, config, &shutdown);
+                state.active.fetch_sub(1, Ordering::SeqCst);
+            });
         }
+        // Graceful exit: stop admitting, cancel cooperatively (every
+        // finished cell is already checkpointed), let executors drain.
+        self.service.drain();
         Ok(())
     }
 }
 
-fn handle_connection(service: &AnalysisService, mut stream: TcpStream) {
+fn handle_connection(
+    service: &AnalysisService,
+    mut stream: TcpStream,
+    config: ServerConfig,
+    shutdown: &ShutdownHandle,
+) {
     service.metrics().counter("server.http.requests").inc();
-    let request = match read_request(&mut stream) {
+    let _ = stream.set_write_timeout(config.write_deadline);
+    let request = match read_request(&mut stream, config.read_deadline) {
         Ok(request) => request,
         Err(error) => {
-            let _ = respond_error(&mut stream, 400, &error);
+            if error == RequestError::Timeout {
+                service
+                    .metrics()
+                    .counter("server.http.requests_timed_out")
+                    .inc();
+            }
+            service.metrics().counter("server.http.errors").inc();
+            if let Some(status) = error.status() {
+                let _ = write_response(&mut stream, status, &error_body(&error.to_string()));
+            }
             return;
         }
     };
+    // Shutdown is acknowledged first, then triggered — the client gets
+    // its 200 before the accept loop starts tearing down.
+    if request.method == "POST" && request.path == "/v1/shutdown" {
+        let body = Json::object(vec![
+            ("ok", Json::Bool(true)),
+            ("draining", Json::Bool(true)),
+        ])
+        .render();
+        let _ = write_response(&mut stream, 200, &body);
+        shutdown.trigger();
+        return;
+    }
     // The progress stream writes incrementally; everything else is a
     // one-shot (status, body) pair.
     if request.method == "GET" {
@@ -96,6 +254,9 @@ fn handle_connection(service: &AnalysisService, mut stream: TcpStream) {
             if let Some(id) = rest.strip_suffix("/progress") {
                 match id.parse::<u64>().ok().and_then(|id| service.job(id)) {
                     Some(job) => {
+                        // The write deadline set above is what
+                        // disconnects a reader that stops reading,
+                        // instead of wedging this handler forever.
                         let _ = stream_progress(&mut stream, &job);
                     }
                     None => {
@@ -163,13 +324,27 @@ fn submit(service: &AnalysisService, request: &Request) -> (u16, String) {
         Ok(body) => body,
         Err(error) => return (400, error_body(&error)),
     };
-    let submission = match Submission::parse(body) {
+    let mut submission = match Submission::parse(body) {
         Ok(submission) => submission,
         Err(error) => return (400, error_body(&error)),
     };
+    // The header form wins over the envelope field: the retrying
+    // client stamps the key on the wire, not in the body it signs.
+    if let Some(key) = request.header("idempotency-key") {
+        submission.idempotency_key = Some(key.to_string());
+    }
+    // Retried submissions announce which attempt they are; attempt > 1
+    // means a client somewhere actually exercised its retry loop.
+    if request
+        .header("idempotency-attempt")
+        .and_then(|v| v.parse::<u32>().ok())
+        .is_some_and(|attempt| attempt > 1)
+    {
+        service.metrics().counter("server.http.retries").inc();
+    }
     match service.submit(submission) {
         Ok(job) => (202, job.status_json().render()),
-        Err(shed) => (429, error_body(shed.message())),
+        Err(shed) => (shed.status(), error_body(shed.message())),
     }
 }
 

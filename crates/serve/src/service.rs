@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -76,6 +76,13 @@ pub struct AnalysisService {
     checkpoints: Mutex<HashMap<String, Arc<CheckpointLog>>>,
     metrics: Arc<MetricsRegistry>,
     sim_baseline: Mutex<SimCounts>,
+    /// Idempotency-key → job id: a resent submission carrying a known
+    /// key is answered with the original job instead of scheduling a
+    /// duplicate. In-memory only — a restart forgets keys, which is
+    /// safe: the shared store and checkpoints make the re-scheduled
+    /// work free, they just occupy a new job id.
+    idempotency: Mutex<HashMap<String, u64>>,
+    draining: AtomicBool,
 }
 
 impl AnalysisService {
@@ -92,14 +99,28 @@ impl AnalysisService {
         // service reports deltas against this baseline.
         obs::set_sim_stats(true);
         let sim_baseline = Mutex::new(obs::sim_stats().counts());
+        let metrics = Arc::new(MetricsRegistry::new());
+        // Robustness counters exist from the first snapshot, not from
+        // their first increment, so `/metrics` consumers can rely on
+        // the keys being present.
+        for name in [
+            "server.http.requests_timed_out",
+            "server.http.connections_shed",
+            "server.http.retries",
+            "server.jobs.idempotent_dedupes",
+        ] {
+            let _ = metrics.counter(name);
+        }
         Ok(AnalysisService {
             scheduler: Scheduler::new(config.scheduler),
             config,
             store,
             jobs: Mutex::new(Vec::new()),
             checkpoints: Mutex::new(HashMap::new()),
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             sim_baseline,
+            idempotency: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
         })
     }
 
@@ -124,22 +145,39 @@ impl AnalysisService {
             .collect()
     }
 
-    /// Admits a submission, returning the queued job.
+    /// Admits a submission, returning the queued job. A submission
+    /// carrying an idempotency key the service has already admitted is
+    /// answered with the *original* job (no new quota charge, nothing
+    /// scheduled) — the exactly-once half of the retry contract.
     ///
     /// # Errors
     ///
-    /// [`SubmitError`] when the scheduler sheds it (429 at the HTTP
-    /// layer); nothing is recorded.
+    /// [`SubmitError`] when the scheduler sheds it (429/503 at the
+    /// HTTP layer); nothing is recorded.
     pub fn submit(&self, submission: Submission) -> Result<Arc<Job>, SubmitError> {
         // The jobs lock is held across the scheduler push so an
         // executor that pops the id immediately still finds the job
         // registered by the time its own `job()` lookup acquires it.
+        // It also makes the key-lookup/key-record pair atomic against
+        // a racing duplicate.
         let mut jobs = lock_unpoisoned(&self.jobs);
+        if let Some(key) = &submission.idempotency_key {
+            if let Some(&original) = lock_unpoisoned(&self.idempotency).get(key) {
+                self.metrics.counter("server.jobs.idempotent_dedupes").inc();
+                return Ok(Arc::clone(&jobs[original as usize]));
+            }
+        }
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(SubmitError::Draining);
+        }
         let id = jobs.len();
         let job = Arc::new(Job::new(id as u64, submission));
         if let Err(shed) = self.scheduler.submit(id, job.priority, &job.client) {
             self.metrics.counter("server.jobs.shed").inc();
             return Err(shed);
+        }
+        if let Some(key) = &job.idempotency_key {
+            lock_unpoisoned(&self.idempotency).insert(key.clone(), id as u64);
         }
         jobs.push(Arc::clone(&job));
         self.metrics.counter("server.jobs.submitted").inc();
@@ -182,6 +220,46 @@ impl AnalysisService {
     /// Stops dispatch; executors drain what is already queued and exit.
     pub fn shutdown(&self) {
         self.scheduler.close();
+    }
+
+    /// Graceful drain, the SIGTERM / `POST /v1/shutdown` path:
+    ///
+    /// 1. new submissions shed with [`SubmitError::Draining`] (503);
+    /// 2. every non-terminal job is cooperatively cancelled — queued
+    ///    jobs flip immediately, running campaigns stop at the next
+    ///    cell boundary with everything finished so far checkpointed;
+    /// 3. the dispatch queue closes so executors exit.
+    ///
+    /// The caller joins the executor handles and then calls
+    /// [`AnalysisService::flush`]; cells completed before the drain are
+    /// on disk and a restarted server resumes them for free.
+    pub fn drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return; // already draining
+        }
+        self.scheduler.close();
+        for job in self.jobs() {
+            let (_, flipped) = job.request_cancel();
+            if flipped {
+                self.scheduler.settle(&job.client);
+                self.metrics.counter("server.jobs.cancelled").inc();
+            }
+        }
+    }
+
+    /// Whether a drain has started.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Forces every open checkpoint log to stable storage — the final
+    /// flush before a graceful exit. Each record was already flushed
+    /// when written; this adds an fsync so even the filesystem cache
+    /// cannot lose acknowledged cells.
+    pub fn flush(&self) {
+        for log in lock_unpoisoned(&self.checkpoints).values() {
+            log.sync();
+        }
     }
 
     /// The canonical metrics document served at `/metrics`, with the
@@ -549,6 +627,70 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(service.metrics().counter("server.jobs.done").get(), 2);
+    }
+
+    #[test]
+    fn idempotency_key_dedupes_onto_the_original_job() {
+        let service = tmp_service("idem", 1);
+        let handles = service.start();
+        let first = service
+            .submit(Submission::campaign(TINY_SPEC).with_idempotency_key("logical-1"))
+            .unwrap();
+        // A network-level duplicate: same key, possibly different
+        // envelope details — the original job answers.
+        let dup = service
+            .submit(
+                Submission::campaign(TINY_SPEC)
+                    .with_client("retry-path")
+                    .with_idempotency_key("logical-1"),
+            )
+            .unwrap();
+        assert_eq!(dup.id, first.id, "one logical submission, one job");
+        assert_eq!(
+            service
+                .metrics()
+                .counter("server.jobs.idempotent_dedupes")
+                .get(),
+            1
+        );
+        // A different key is a different logical submission.
+        let other = service
+            .submit(Submission::campaign(TINY_SPEC).with_idempotency_key("logical-2"))
+            .unwrap();
+        assert_ne!(other.id, first.id);
+        assert_eq!(first.wait(), JobState::Done);
+        assert_eq!(other.wait(), JobState::Done);
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            service.outstanding(),
+            0,
+            "dedupe never double-charges quota"
+        );
+    }
+
+    #[test]
+    fn drain_cancels_and_sheds_then_settles_to_zero() {
+        // No executors running: submissions stay queued.
+        let service = tmp_service("drain", 1);
+        let queued = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        service.drain();
+        assert!(service.draining());
+        // New work is shed with the draining status, not queued.
+        assert!(matches!(
+            service.submit(Submission::campaign(TINY_SPEC)),
+            Err(SubmitError::Draining)
+        ));
+        assert_eq!(queued.state(), JobState::Cancelled);
+        assert_eq!(service.outstanding(), 0, "drain settles every quota slot");
+        // Executors started after the drain exit immediately.
+        let handles = service.start();
+        for h in handles {
+            h.join().unwrap();
+        }
+        service.flush();
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Network chaos end-to-end: the fault-injecting proxy from
+//! `icicle-faults` interposed between the hardened [`icicle_serve`]
+//! client and a real server on an ephemeral port.
+//!
+//! The headline contract (ISSUE 8): under *any* deterministic fault
+//! schedule, a submit driven through the proxy either returns bytes
+//! identical to the direct engine output or a typed error — never
+//! silent corruption, never lost acknowledged work, never a cell
+//! simulated twice for one logical submission — and the server drains
+//! gracefully afterwards. A deliberately weakened server (read
+//! deadline disabled) must be *caught* and the violating schedule
+//! shrunk to a minimal plan.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use icicle::campaign::{run_campaign, CampaignSpec, RunOptions};
+use icicle_faults::net::{FaultProxy, NetFaultKind, NetFaultPlan};
+use icicle_serve::chaos::{check_net_plan, shrink_net_plan, CHAOS_SPEC};
+use icicle_serve::{
+    run_chaos, AnalysisService, ChaosOptions, Client, SchedulerConfig, Server, ServerConfig,
+    ServiceConfig, Submission, Weaken,
+};
+
+/// Each test here boots real servers with wall-clock deadlines and
+/// runs whole campaigns; concurrently they starve each other on a
+/// small CI box and the timing-sensitive checks turn flaky. One at a
+/// time.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    use std::sync::{Mutex, OnceLock};
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icicle-net-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Everything `boot` hands back: the service, its executor pool, the
+/// bound address, the shutdown handle, and the server thread.
+type Booted = (
+    Arc<AnalysisService>,
+    Vec<std::thread::JoinHandle<()>>,
+    SocketAddr,
+    icicle_serve::ShutdownHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+);
+
+/// Boots a service + server for the direct (non-chaos-harness) tests.
+fn boot(dir: &std::path::Path, config: ServerConfig) -> Booted {
+    let service = Arc::new(
+        AnalysisService::open(ServiceConfig {
+            data_dir: dir.to_path_buf(),
+            jobs: 1,
+            executors: 1,
+            scheduler: SchedulerConfig::default(),
+        })
+        .unwrap(),
+    );
+    let executors = service.start();
+    let server = Server::bind_with(Arc::clone(&service), "127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle().unwrap();
+    let thread = std::thread::spawn(move || server.run());
+    (service, executors, addr, shutdown, thread)
+}
+
+fn direct_bytes() -> String {
+    let spec = CampaignSpec::parse(CHAOS_SPEC).unwrap();
+    run_campaign(&spec, &RunOptions::default()).to_json()
+}
+
+#[test]
+fn clean_proxy_preserves_byte_identity() {
+    let _serial = serial();
+    let dir = tmp_dir("clean");
+    let (service, executors, addr, shutdown, server_thread) = boot(&dir, ServerConfig::default());
+    let mut proxy = FaultProxy::start(addr, NetFaultPlan::new()).unwrap();
+    let client = Client::new(proxy.addr().to_string());
+
+    let submission = Submission::campaign(CHAOS_SPEC);
+    let id = client.submit(&submission).unwrap();
+    let status = client.wait(id, Duration::from_millis(25)).unwrap();
+    assert_eq!(
+        status.get("state").and_then(icicle_obs::Json::as_str),
+        Some("done")
+    );
+    assert_eq!(
+        client.result(id).unwrap(),
+        direct_bytes(),
+        "a faithful relay is invisible: bytes identical to the direct engine"
+    );
+    assert!(proxy.fired().is_empty(), "an empty plan fires nothing");
+
+    proxy.stop();
+    shutdown.trigger();
+    server_thread.join().unwrap().unwrap();
+    for h in executors {
+        h.join().unwrap();
+    }
+    assert_eq!(service.outstanding(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_contract_holds_on_the_hardened_server() {
+    let _serial = serial();
+    let report = run_chaos(&ChaosOptions {
+        seed: 0,
+        cases: 3,
+        connections: 8,
+        weaken: Weaken::None,
+        data_root: Some(tmp_dir("hardened")),
+    });
+    assert!(
+        report.passed(),
+        "hardened server violated the contract:\n{report}"
+    );
+    assert_eq!(report.cases, 3);
+}
+
+#[test]
+fn weakened_server_is_caught_and_shrunk_to_the_trickle() {
+    let _serial = serial();
+    let dir = tmp_dir("weakened");
+    // A storm with one slow-trickle buried in it. On the hardened
+    // server the trickle 408s; with the read deadline disabled the
+    // request is served late and the contract flags it.
+    let plan = NetFaultPlan::new()
+        .with(NetFaultKind::SlowTrickle, 1)
+        .with(NetFaultKind::InjectLatency, 2)
+        .with(NetFaultKind::ConnectRefused, 3);
+    let violations = check_net_plan(&plan, Weaken::ReadDeadline, &dir);
+    assert!(
+        violations.iter().any(|v| v.contains("read deadline")),
+        "the weakened server must be caught: {violations:?}"
+    );
+    let (minimal, still) = shrink_net_plan(&plan, Weaken::ReadDeadline, &dir);
+    assert_eq!(
+        minimal.faults.len(),
+        1,
+        "shrinking reaches a single-fault plan: {}",
+        minimal.describe()
+    );
+    assert_eq!(minimal.faults[0].kind, NetFaultKind::SlowTrickle);
+    assert!(!still.is_empty(), "the minimal plan still violates");
+    // Sanity: the hardened server survives the identical storm.
+    let hardened = check_net_plan(&plan, Weaken::None, &dir);
+    assert!(
+        hardened.is_empty(),
+        "the hardened server fails its own schedule: {hardened:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicated_submission_simulates_each_cell_once() {
+    let _serial = serial();
+    let dir = tmp_dir("dup");
+    // The proxy replays the captured submit on a fresh connection; the
+    // idempotency key collapses the duplicate onto the original job,
+    // so the contract's double-work ceiling holds.
+    let plan = NetFaultPlan::new().with(NetFaultKind::DuplicateSubmit, 0);
+    let violations = check_net_plan(&plan, Weaken::None, &dir);
+    assert!(
+        violations.is_empty(),
+        "a duplicated submission broke the contract: {violations:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idempotent_resend_dedupes_over_http() {
+    let _serial = serial();
+    let dir = tmp_dir("idem");
+    let (service, executors, addr, shutdown, server_thread) = boot(&dir, ServerConfig::default());
+    let client = Client::new(addr.to_string());
+    let submission = Submission::campaign(CHAOS_SPEC);
+    let first = client.submit_with_key(&submission, "logical-A").unwrap();
+    let dup = client.submit_with_key(&submission, "logical-A").unwrap();
+    assert_eq!(dup, first, "same key, same job");
+    let other = client.submit_with_key(&submission, "logical-B").unwrap();
+    assert_ne!(other, first, "a new key is a new logical submission");
+    assert_eq!(
+        service
+            .metrics()
+            .counter("server.jobs.idempotent_dedupes")
+            .get(),
+        1
+    );
+    client.wait(first, Duration::from_millis(25)).unwrap();
+    client.wait(other, Duration::from_millis(25)).unwrap();
+    shutdown.trigger();
+    server_thread.join().unwrap().unwrap();
+    for h in executors {
+        h.join().unwrap();
+    }
+    assert_eq!(service.outstanding(), 0, "dedupes never double-charge");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_drain_then_restart_resumes_for_free() {
+    let _serial = serial();
+    let dir = tmp_dir("drain");
+    let baseline = {
+        let (service, executors, addr, _shutdown, server_thread) =
+            boot(&dir, ServerConfig::default());
+        let client = Client::new(addr.to_string());
+        let id = client.submit(&Submission::campaign(CHAOS_SPEC)).unwrap();
+        let status = client.wait(id, Duration::from_millis(25)).unwrap();
+        assert_eq!(
+            status.get("state").and_then(icicle_obs::Json::as_str),
+            Some("done")
+        );
+        let bytes = client.result(id).unwrap();
+        // Drain over HTTP: the same path SIGTERM takes.
+        client.shutdown().unwrap();
+        server_thread.join().unwrap().unwrap();
+        for h in executors {
+            h.join().unwrap();
+        }
+        service.flush();
+        assert!(service.draining());
+        assert!(!client.health(), "a drained server stops answering");
+        bytes
+    };
+    // "Restart": a fresh boot over the same durable state resumes every
+    // completed cell from the checkpoint + store — zero re-simulation.
+    let (service, executors, addr, shutdown, server_thread) = boot(&dir, ServerConfig::default());
+    let client = Client::new(addr.to_string());
+    let id = client.submit(&Submission::campaign(CHAOS_SPEC)).unwrap();
+    client.wait(id, Duration::from_millis(25)).unwrap();
+    assert_eq!(client.result(id).unwrap(), baseline);
+    let job = service.job(id).unwrap();
+    assert_eq!(
+        job.metrics.counter("campaign.cells.simulated").get(),
+        0,
+        "completed cells resume from the flushed checkpoint"
+    );
+    assert_eq!(job.metrics.counter("campaign.cells.resumed").get(), 2);
+    shutdown.trigger();
+    server_thread.join().unwrap().unwrap();
+    for h in executors {
+        h.join().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -19,10 +19,10 @@
 use std::sync::OnceLock;
 
 use icicle::campaign::{run_campaign, CampaignSpec, CellSpec, CoreSelect, RunOptions};
+use icicle::pmu::CounterArch;
 use icicle::prelude::{
     Boom, BoomConfig, BoomSize, Perf, PerfOptions, Rocket, RocketConfig, SkipPolicy,
 };
-use icicle::pmu::CounterArch;
 use icicle::verify::{
     default_matrix, export_cell_timeline_with, run_fuzz, run_matrix, verify_workload_with,
     FuzzCase, FuzzOptions, MatrixOptions,
@@ -113,8 +113,7 @@ fn per_cell_counters_and_instret_match_exactly() {
                     ..PerfOptions::default()
                 };
                 if boom {
-                    let mut core =
-                        Boom::new(BoomConfig::small(), stream, workload.program_arc());
+                    let mut core = Boom::new(BoomConfig::small(), stream, workload.program_arc());
                     Perf::with_options(options).run(&mut core).expect("measure")
                 } else {
                     let mut core = Rocket::new(RocketConfig::default(), stream);
@@ -132,7 +131,10 @@ fn per_cell_counters_and_instret_match_exactly() {
                 assert_eq!(off.cycles, on.cycles, "{tag}: cycles");
                 assert_eq!(off.instret, on.instret, "{tag}: instret");
                 assert_eq!(off.hw_counts, on.hw_counts, "{tag}: hardware counters");
-                assert_eq!(off.perfect_counts, on.perfect_counts, "{tag}: perfect counts");
+                assert_eq!(
+                    off.perfect_counts, on.perfect_counts,
+                    "{tag}: perfect counts"
+                );
                 assert_eq!(
                     format!("{off}"),
                     format!("{on}"),

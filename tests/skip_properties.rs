@@ -51,11 +51,7 @@ fn build_core(workload: &Workload, boom: bool) -> Box<dyn EventCore> {
 
 /// Steps `core` until its `occurrence`-th claim of at least `min_span`
 /// cycles, returning `(claim, steps_taken_before_the_claim)`.
-fn find_claim(
-    core: &mut dyn EventCore,
-    min_span: u64,
-    occurrence: usize,
-) -> Option<(u64, u64)> {
+fn find_claim(core: &mut dyn EventCore, min_span: u64, occurrence: usize) -> Option<(u64, u64)> {
     let mut seen = 0usize;
     let mut steps = 0u64;
     while !core.is_done() && core.cycle() < 200_000 {
