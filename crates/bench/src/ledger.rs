@@ -50,6 +50,11 @@ pub struct LedgerOptions {
     /// clock moves — so skip-on and skip-off ledgers are comparable
     /// cell for cell.
     pub skip: Option<SkipPolicy>,
+    /// Multi-core SoC engine for the mix cells; `None` (the default)
+    /// defers to the ambient [`SocJobs::resolve`]. Simulated counters
+    /// are byte-identical at any thread count — only the wall clock
+    /// moves — so ledgers from different engines stay comparable.
+    pub soc_jobs: Option<SocJobs>,
 }
 
 impl Default for LedgerOptions {
@@ -61,6 +66,7 @@ impl Default for LedgerOptions {
             progress: None,
             metrics: None,
             skip: None,
+            soc_jobs: None,
         }
     }
 }
@@ -316,7 +322,9 @@ impl std::fmt::Display for Ledger {
 /// that exercises event-driven cycle skipping, both pipeline models
 /// (the BOOM at the paper's medium size, per the throughput target),
 /// and the two counter implementations at the cost extremes
-/// (add-wires and distributed).
+/// (add-wires and distributed). Two multi-core cells (the homogeneous
+/// dual Rocket and the heterogeneous Rocket + medium BOOM) track the
+/// PDES engine's throughput under shared-L2 contention.
 pub fn default_grid() -> Vec<(String, CoreSelect, CounterArch)> {
     let workloads = ["vvadd", "qsort", "coremark", "ptrchase", "muldiv"];
     let cores = [CoreSelect::Rocket, CoreSelect::Boom(BoomSize::Medium)];
@@ -328,6 +336,15 @@ pub fn default_grid() -> Vec<(String, CoreSelect, CounterArch)> {
                 grid.push((w.to_string(), core, arch));
             }
         }
+    }
+    // SoC cores always measure with add-wires counters, so the mixes
+    // appear at that arch only.
+    for mix in [SocMix::DualRocket, SocMix::RocketMediumBoom] {
+        grid.push((
+            "qsort".to_string(),
+            CoreSelect::Soc(mix),
+            CounterArch::AddWires,
+        ));
     }
     grid
 }
@@ -364,8 +381,89 @@ fn run_once(
             let r = perf.run(&mut c).map_err(|e| e.to_string())?;
             (r, start.elapsed())
         }
+        CoreSelect::Soc(_) => unreachable!("soc cells measure through run_soc_once"),
     };
     Ok((report.0, report.1.as_secs_f64()))
+}
+
+/// One timed SoC run: build the system (workload execution and cache
+/// arrays land before the clock starts), run it under the requested
+/// [`SocJobs`] engine, and report summed per-core cycles and instret.
+fn run_soc_once(
+    mix: SocMix,
+    per_core: &[Workload],
+    options: &LedgerOptions,
+) -> Result<((u64, u64), f64), String> {
+    let mut soc = mix.build(per_core).map_err(|e| e.to_string())?;
+    let start = Instant::now();
+    let reports = soc
+        .run_with(options.max_cycles, SocJobs::resolve(options.soc_jobs))
+        .map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
+    let cycles = reports.iter().map(|r| r.report.cycles).sum();
+    let instret = reports.iter().map(|r| r.report.instret).sum();
+    Ok(((cycles, instret), wall))
+}
+
+/// [`measure_cell`] for a multi-core mix: core 0 runs the canonical
+/// dataset, core `k` the same workload reseeded with `k`, so the cell
+/// exercises genuine shared-L2 interleaving rather than `n` identical
+/// replays.
+fn measure_soc_cell(
+    name: &str,
+    mix: SocMix,
+    arch: CounterArch,
+    options: &LedgerOptions,
+) -> Result<LedgerCell, String> {
+    let per_core: Vec<Workload> = (0..mix.num_cores() as u64)
+        .map(|k| {
+            icicle::workloads::by_name_seeded(name, k)
+                .ok_or_else(|| format!("unknown workload `{name}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    for _ in 0..options.warmup {
+        run_soc_once(mix, &per_core, options)?;
+    }
+    let repeats = options.repeats.max(1);
+    let mut walls = Vec::with_capacity(repeats as usize);
+    let mut counters: Option<(u64, u64)> = None;
+    for _ in 0..repeats {
+        let (this, wall_s) = run_soc_once(mix, &per_core, options)?;
+        if let Some(previous) = counters {
+            if previous != this {
+                return Err(format!(
+                    "{name}/{} nondeterministic: {previous:?} vs {this:?}",
+                    mix.name()
+                ));
+            }
+        }
+        counters = Some(this);
+        walls.push(wall_s);
+    }
+    walls.sort_by(f64::total_cmp);
+    let best = walls[0];
+    let (cycles, instret) = counters.expect("at least one repeat ran");
+    if let Some(metrics) = options.metrics.as_deref() {
+        metrics.counter("bench.cells").inc();
+        metrics
+            .counter("bench.runs")
+            .add(u64::from(options.warmup) + u64::from(repeats));
+        metrics
+            .histogram("bench.cell_wall_ms", &[10, 100, 1_000, 10_000])
+            .observe((best * 1e3) as u64);
+    }
+    Ok(LedgerCell {
+        workload: name.to_string(),
+        core: mix.name().to_string(),
+        arch: arch.name().to_string(),
+        cycles,
+        instret,
+        repeats,
+        wall_ms: best * 1e3,
+        cycles_per_sec: cycles as f64 / best.max(f64::MIN_POSITIVE),
+        insts_per_sec: instret as f64 / best.max(f64::MIN_POSITIVE),
+        baseline_cycles_per_sec: None,
+    })
 }
 
 /// Measures one cell: `warmup` untimed runs, then `repeats` timed runs,
@@ -391,6 +489,9 @@ pub fn measure_cell(
             ("arch", arch.name().into()),
         ]
     });
+    if let CoreSelect::Soc(mix) = core {
+        return measure_soc_cell(name, mix, arch, options);
+    }
     let workload =
         icicle::workloads::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
     let stream = workload
@@ -673,11 +774,36 @@ mod tests {
     #[test]
     fn default_grid_covers_medium_boom_and_the_stall_pair() {
         let grid = default_grid();
-        assert_eq!(grid.len(), 20);
+        assert_eq!(grid.len(), 22);
         assert!(grid.iter().any(|(_, core, _)| core.name() == "medium-boom"));
         for stall in ["ptrchase", "muldiv"] {
             assert!(grid.iter().any(|(w, _, _)| w == stall), "{stall} missing");
         }
+        for mix in ["soc-2xrocket", "soc-rocket+medium-boom"] {
+            assert!(
+                grid.iter().any(|(_, c, _)| c.name() == mix),
+                "{mix} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn measure_soc_cell_smoke() {
+        let options = LedgerOptions {
+            warmup: 0,
+            repeats: 2,
+            ..LedgerOptions::default()
+        };
+        let cell = measure_cell(
+            "vvadd",
+            CoreSelect::Soc(SocMix::DualRocket),
+            CounterArch::AddWires,
+            &options,
+        )
+        .unwrap();
+        assert!(cell.cycles > 0);
+        assert!(cell.instret > 0);
+        assert_eq!(cell.key(), "vvadd/soc-2xrocket/add-wires");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use icicle_events::{EventCore, EventId, EventVector};
 use icicle_isa::{DynStream, InstrClass, MemAccess, Op, Program, RegId};
-use icicle_mem::{MemoryHierarchy, MshrFile};
+use icicle_mem::{L2Linked, L2Port, MemoryHierarchy, MshrFile};
 
 use crate::config::{BoomConfig, PredictorKind};
 use crate::predictor::{BoomBtb, Gshare};
@@ -1376,6 +1376,16 @@ impl Boom {
             u64::MAX => None,
             w => Some(w - c),
         }
+    }
+}
+
+impl L2Linked for Boom {
+    fn attach_l2_port(&mut self, port: L2Port) {
+        self.mem.attach_l2_port(port);
+    }
+
+    fn detach_l2_port(&mut self) {
+        self.mem.detach_l2_port();
     }
 }
 

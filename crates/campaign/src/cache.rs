@@ -141,7 +141,7 @@ impl ResultCache {
             // inserts into memory before its guard drops) cannot be
             // missed between the miss and the wait.
             if let Some(hit) = self.get(fp) {
-                return Lease::Hit(hit);
+                return Lease::Hit(Box::new(hit));
             }
             if in_flight.insert(fp.0) {
                 return Lease::Lead(FlightGuard { cache: self, fp });
@@ -163,8 +163,10 @@ impl ResultCache {
 
 /// The outcome of a [`ResultCache::lease`] call.
 pub enum Lease<'a> {
-    /// The result already exists.
-    Hit(CellResult),
+    /// The result already exists (boxed: a `CellResult` with per-core
+    /// entries is large, and the variant would otherwise dominate the
+    /// enum's size).
+    Hit(Box<CellResult>),
     /// The caller is the unique leader for this fingerprint and must
     /// compute + [`ResultCache::put`] the result (or drop the guard to
     /// abdicate).
@@ -211,6 +213,7 @@ mod tests {
             ipc: 0.75,
             tma: TmaSummary::default(),
             counters: vec![("cycles".into(), 123)],
+            cores: Vec::new(),
             from_cache: false,
         }
     }
@@ -317,7 +320,7 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| match cache.lease(fp) {
-                    Lease::Hit(hit) => assert_eq!(hit, sample(1)),
+                    Lease::Hit(hit) => assert_eq!(*hit, sample(1)),
                     Lease::Lead(_guard) => {
                         computed.fetch_add(1, Ordering::Relaxed);
                         // Linger so the other threads park on the flight

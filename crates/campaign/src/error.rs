@@ -105,6 +105,24 @@ impl From<PerfError> for CellError {
     }
 }
 
+impl From<icicle_soc::SocError> for CellError {
+    fn from(e: icicle_soc::SocError) -> CellError {
+        use icicle_soc::SocError;
+        match e {
+            SocError::Workload(e) => CellError::Execution(e),
+            SocError::Pmu(e) => CellError::Measurement(e),
+            // A multi-core budget trip names every stuck workload.
+            SocError::CycleBudget { cores, budget } => CellError::TimedOut {
+                core: cores.join(", "),
+                budget,
+            },
+            SocError::Empty => CellError::Panicked {
+                message: "soc cell built with no cores".to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

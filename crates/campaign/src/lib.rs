@@ -46,14 +46,18 @@ pub mod sync;
 pub use icicle_obs::json;
 
 // Re-exported so harness-level crates (the server, the CLI) can plumb
-// a skip policy without depending on `icicle-perf` directly.
+// a skip policy or SoC engine choice without depending on the model
+// crates directly.
 pub use icicle_perf::SkipPolicy;
+pub use icicle_soc::{SocJobs, SocMix};
 
 pub use cache::{FlightGuard, Lease, ResultCache};
 pub use checkpoint::CheckpointLog;
 pub use error::CellError;
 pub use fingerprint::{data_seed, fingerprint, Fingerprint, CACHE_FORMAT_VERSION};
-pub use report::{CampaignReport, CellFailure, CellResult, Incident, RunStats, TmaSummary};
+pub use report::{
+    CampaignReport, CellFailure, CellResult, CoreCellResult, Incident, RunStats, TmaSummary,
+};
 pub use runner::{
     run_campaign, simulate_cell, simulate_cell_with, JobQueue, Priority, Progress, ProgressFn,
     RunOptions,

@@ -85,6 +85,129 @@ impl TmaSummary {
     }
 }
 
+/// Distills the full two-level TMA breakdown out of a perf report.
+fn summarize_tma(report: &PerfReport) -> TmaSummary {
+    let t = &report.tma;
+    TmaSummary {
+        retiring: t.top.retiring,
+        bad_speculation: t.top.bad_speculation,
+        frontend: t.top.frontend,
+        backend: t.top.backend,
+        machine_clears: t.bad_spec.machine_clears,
+        branch_mispredicts: t.bad_spec.branch_mispredicts,
+        fetch_latency: t.frontend.fetch_latency,
+        pc_resteers: t.frontend.pc_resteers,
+        mem_bound: t.backend.mem_bound,
+        core_bound: t.backend.core_bound,
+        itlb_bound: report.tlb.itlb_bound,
+        dtlb_bound: report.tlb.dtlb_bound,
+    }
+}
+
+/// Every hardware counter of a report, in [`EventId::ALL`] order.
+fn summarize_counters(report: &PerfReport) -> Vec<(String, u64)> {
+    EventId::ALL
+        .into_iter()
+        .map(|e| (e.name().to_string(), report.hw_counts.get(e)))
+        .collect()
+}
+
+/// One core's slice of a multi-core (SoC) cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CoreCellResult {
+    /// The core model's name (`rocket`, `medium-boom`, …).
+    pub core_name: String,
+    /// The workload this core ran (each core derives its own seed).
+    pub workload: String,
+    /// Cycles until this core retired its workload.
+    pub cycles: u64,
+    /// Retired instructions on this core.
+    pub instret: u64,
+    /// Instructions per cycle on this core.
+    pub ipc: f64,
+    /// This core's TMA classification — where shared-L2 interference
+    /// shows up, as growth in the victim core's Mem-Bound slots.
+    pub tma: TmaSummary,
+    /// This core's hardware counters, in [`EventId::ALL`] order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl CoreCellResult {
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("core", Json::Str(self.core_name.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("cycles", Json::Int(self.cycles)),
+            ("instret", Json::Int(self.instret)),
+            ("ipc", Json::Num(self.ipc)),
+            (
+                "tma",
+                Json::Object(
+                    TmaSummary::FIELDS
+                        .iter()
+                        .zip(self.tma.values())
+                        .map(|(k, v)| ((*k).to_string(), Json::Num(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(node: &Json) -> Result<CoreCellResult, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            node.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("core entry: missing string field `{key}`"))
+        };
+        let int_field = |key: &str| -> Result<u64, String> {
+            node.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("core entry: missing integer field `{key}`"))
+        };
+        let tma_node = node.get("tma").ok_or("core entry: missing `tma` object")?;
+        let mut values = [0.0f64; 12];
+        for (slot, key) in values.iter_mut().zip(TmaSummary::FIELDS) {
+            *slot = tma_node
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("core entry: missing tma field `{key}`"))?;
+        }
+        let counters = match node.get("counters") {
+            Some(Json::Object(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("core entry: counter `{k}` is not an integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("core entry: missing `counters` object".into()),
+        };
+        Ok(CoreCellResult {
+            core_name: str_field("core")?,
+            workload: str_field("workload")?,
+            cycles: int_field("cycles")?,
+            instret: int_field("instret")?,
+            ipc: node
+                .get("ipc")
+                .and_then(Json::as_f64)
+                .ok_or("core entry: missing `ipc`")?,
+            tma: TmaSummary::from_values(values),
+            counters,
+        })
+    }
+}
+
 /// One completed grid cell.
 #[derive(Clone, PartialEq, Debug)]
 pub struct CellResult {
@@ -100,6 +223,10 @@ pub struct CellResult {
     pub tma: TmaSummary,
     /// Every hardware counter, in [`EventId::ALL`] order.
     pub counters: Vec<(String, u64)>,
+    /// Per-core results of a multi-core (SoC) cell, in core order;
+    /// empty for single-core cells. When non-empty, the top-level
+    /// fields mirror core 0 so single-core consumers keep working.
+    pub cores: Vec<CoreCellResult>,
     /// Whether this result was served from the cache (not serialized —
     /// a cached result must compare equal to its cold-run twin).
     pub from_cache: bool,
@@ -108,29 +235,42 @@ pub struct CellResult {
 impl CellResult {
     /// Distills a perf report into the durable cell record.
     pub fn from_report(cell: CellSpec, report: &PerfReport) -> CellResult {
-        let t = &report.tma;
         CellResult {
             cell,
             cycles: report.cycles,
             instret: report.instret,
             ipc: report.ipc(),
-            tma: TmaSummary {
-                retiring: t.top.retiring,
-                bad_speculation: t.top.bad_speculation,
-                frontend: t.top.frontend,
-                backend: t.top.backend,
-                machine_clears: t.bad_spec.machine_clears,
-                branch_mispredicts: t.bad_spec.branch_mispredicts,
-                fetch_latency: t.frontend.fetch_latency,
-                pc_resteers: t.frontend.pc_resteers,
-                mem_bound: t.backend.mem_bound,
-                core_bound: t.backend.core_bound,
-                itlb_bound: report.tlb.itlb_bound,
-                dtlb_bound: report.tlb.dtlb_bound,
-            },
-            counters: EventId::ALL
-                .into_iter()
-                .map(|e| (e.name().to_string(), report.hw_counts.get(e)))
+            tma: summarize_tma(report),
+            counters: summarize_counters(report),
+            cores: Vec::new(),
+            from_cache: false,
+        }
+    }
+
+    /// Distills a multi-core SoC run (one report per core) into the
+    /// durable cell record: core 0 fills the top-level fields, every
+    /// core gets an entry in [`CellResult::cores`].
+    pub fn from_soc_reports(cell: CellSpec, reports: &[icicle_soc::SocReport]) -> CellResult {
+        assert!(!reports.is_empty(), "soc cell produced no reports");
+        let first = &reports[0].report;
+        CellResult {
+            cell,
+            cycles: first.cycles,
+            instret: first.instret,
+            ipc: first.ipc(),
+            tma: summarize_tma(first),
+            counters: summarize_counters(first),
+            cores: reports
+                .iter()
+                .map(|r| CoreCellResult {
+                    core_name: r.report.core_name.clone(),
+                    workload: r.workload.clone(),
+                    cycles: r.report.cycles,
+                    instret: r.report.instret,
+                    ipc: r.report.ipc(),
+                    tma: summarize_tma(&r.report),
+                    counters: summarize_counters(&r.report),
+                })
                 .collect(),
             from_cache: false,
         }
@@ -138,7 +278,7 @@ impl CellResult {
 
     /// The canonical JSON node for this cell.
     pub fn to_json(&self) -> Json {
-        Json::object(vec![
+        let mut pairs = vec![
             ("workload", Json::Str(self.cell.workload.clone())),
             ("core", Json::Str(self.cell.core.name())),
             ("arch", Json::Str(self.cell.arch.name().to_string())),
@@ -167,7 +307,16 @@ impl CellResult {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        // Single-core cells stay byte-identical to the old format; the
+        // per-core array appears only for SoC cells.
+        if !self.cores.is_empty() {
+            pairs.push((
+                "cores",
+                Json::Array(self.cores.iter().map(CoreCellResult::to_json).collect()),
+            ));
+        }
+        Json::object(pairs)
     }
 
     /// Reconstructs a cell record from [`CellResult::to_json`] output.
@@ -218,6 +367,16 @@ impl CellResult {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("missing `counters` object".into()),
         };
+        // Absent for single-core cells (and in every pre-SoC cache
+        // entry), so absence means "no per-core breakdown".
+        let cores = match node.get("cores") {
+            Some(Json::Array(entries)) => entries
+                .iter()
+                .map(CoreCellResult::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("`cores` is not an array".into()),
+            None => Vec::new(),
+        };
         Ok(CellResult {
             cell,
             cycles: int_field("cycles")?,
@@ -228,6 +387,7 @@ impl CellResult {
                 .ok_or("missing `ipc`")?,
             tma: TmaSummary::from_values(values),
             counters,
+            cores,
             from_cache: false,
         })
     }
@@ -528,6 +688,7 @@ mod tests {
                 ..TmaSummary::default()
             },
             counters: vec![("cycles".into(), 1000), ("instret".into(), 800)],
+            cores: Vec::new(),
             from_cache: false,
         }
     }

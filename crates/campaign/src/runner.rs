@@ -37,12 +37,13 @@ use icicle_faults::FaultInjector;
 use icicle_obs::{self as obs, MetricsRegistry};
 use icicle_perf::{Perf, PerfOptions, SkipPolicy};
 use icicle_rocket::{Rocket, RocketConfig};
+use icicle_soc::{SocJobs, SocMix};
 use icicle_workloads as workloads;
 
 use crate::cache::{Lease, ResultCache};
 use crate::checkpoint::CheckpointLog;
 use crate::error::CellError;
-use crate::fingerprint::{data_seed, fingerprint, Fingerprint};
+use crate::fingerprint::{data_seed, fingerprint, mix_seed, Fingerprint};
 use crate::report::{CampaignReport, CellFailure, CellResult, Incident, RunStats};
 use crate::spec::{CampaignSpec, CellSpec, CoreSelect};
 use crate::sync::{into_inner_unpoisoned, lock_unpoisoned, wait_unpoisoned};
@@ -272,6 +273,12 @@ pub struct RunOptions {
     /// never enters the cell fingerprint: both modes produce bit-identical
     /// results, so cached entries are interchangeable across modes.
     pub skip: Option<SkipPolicy>,
+    /// Execution engine for multi-core (SoC) cells; `None` (the default)
+    /// defers to the ambient [`SocJobs::resolve`]. Like `skip`, the
+    /// engine never enters the cell fingerprint: lockstep and parallel
+    /// runs produce byte-identical results at any thread count, so
+    /// cached entries are interchangeable across engines.
+    pub soc_jobs: Option<SocJobs>,
 }
 
 impl Default for RunOptions {
@@ -288,6 +295,7 @@ impl Default for RunOptions {
             metrics: None,
             cancel: None,
             skip: None,
+            soc_jobs: None,
         }
     }
 }
@@ -583,7 +591,7 @@ fn run_one_cell(cell: &CellSpec, index: usize, options: &RunOptions) -> CellOutc
             }
             checkpoint_cell(fp, cell, index, options, &mut incidents);
             CellOutcome {
-                result: Ok(hit),
+                result: Ok(*hit),
                 provenance: Provenance::Cached,
                 attempts: 0,
                 incidents,
@@ -639,7 +647,7 @@ fn supervised_simulate(
             if let Some(i) = injector {
                 i.maybe_panic(index, attempt);
             }
-            simulate_cell_with(&attempt_cell, options.skip)
+            simulate_cell_with(&attempt_cell, options.skip, options.soc_jobs)
         }));
         let outcome = match caught {
             Ok(outcome) => outcome,
@@ -789,18 +797,23 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Simulates one cell: workload → stream → core → perf → distilled
-/// result. Uses the ambient [`SkipPolicy`].
+/// result. Uses the ambient [`SkipPolicy`] and [`SocJobs`].
 pub fn simulate_cell(cell: &CellSpec) -> Result<CellResult, CellError> {
-    simulate_cell_with(cell, None)
+    simulate_cell_with(cell, None, None)
 }
 
-/// [`simulate_cell`] with an explicit cycle-skipping policy (`None`
-/// defers to the ambient [`SkipPolicy::resolve`]).
+/// [`simulate_cell`] with an explicit cycle-skipping policy and SoC
+/// execution engine (`None` defers to the ambient
+/// [`SkipPolicy::resolve`] / [`SocJobs::resolve`]).
 pub fn simulate_cell_with(
     cell: &CellSpec,
     skip: Option<SkipPolicy>,
+    soc_jobs: Option<SocJobs>,
 ) -> Result<CellResult, CellError> {
     let seed = data_seed(cell);
+    if let CoreSelect::Soc(mix) = cell.core {
+        return simulate_soc_cell(cell, mix, seed, soc_jobs);
+    }
     let workload = workloads::by_name_seeded(&cell.workload, seed)
         .ok_or_else(|| CellError::UnknownWorkload(cell.workload.clone()))?;
     let stream = workload.execute()?;
@@ -819,8 +832,34 @@ pub fn simulate_cell_with(
             let mut core = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             perf.run(&mut core)
         }
+        CoreSelect::Soc(_) => unreachable!("soc cells handled above"),
     }?;
     Ok(CellResult::from_report(cell.clone(), &report))
+}
+
+/// Simulates one multi-core (SoC) cell. Every core runs the cell's
+/// workload, but each core derives its own data seed (core 0 keeps the
+/// cell's [`data_seed`], core `k` mixes in `k`), so cores never execute
+/// byte-identical streams and shared-L2 interference is non-trivial.
+/// SoC cores always measure with the add-wires counter architecture
+/// (the paper's hardware design); the engine choice never affects the
+/// result bytes, so it stays out of the cell fingerprint.
+fn simulate_soc_cell(
+    cell: &CellSpec,
+    mix: SocMix,
+    seed: u64,
+    soc_jobs: Option<SocJobs>,
+) -> Result<CellResult, CellError> {
+    let per_core: Vec<_> = (0..mix.num_cores() as u64)
+        .map(|k| {
+            let core_seed = if k == 0 { seed } else { mix_seed(seed, k) };
+            workloads::by_name_seeded(&cell.workload, core_seed)
+                .ok_or_else(|| CellError::UnknownWorkload(cell.workload.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut soc = mix.build(&per_core)?;
+    let reports = soc.run_with(cell.max_cycles, SocJobs::resolve(soc_jobs))?;
+    Ok(CellResult::from_soc_reports(cell.clone(), &reports))
 }
 
 #[cfg(test)]
@@ -835,6 +874,54 @@ mod tests {
             .cores([CoreSelect::Rocket])
             .archs([CounterArch::AddWires])
             .seeds([0])
+    }
+
+    #[test]
+    fn soc_cell_is_byte_identical_across_engines() {
+        let cell = CellSpec {
+            // qsort's retired-instruction count is data-dependent, so
+            // per-core seeding is observable in the per-core records.
+            workload: "qsort".into(),
+            core: CoreSelect::Soc(SocMix::DualRocket),
+            arch: CounterArch::AddWires,
+            seed: 0,
+            repeat: 0,
+            max_cycles: 1_000_000,
+        };
+        let lockstep = simulate_cell_with(&cell, None, Some(SocJobs::Lockstep)).unwrap();
+        assert_eq!(lockstep.cores.len(), 2);
+        // Top-level fields mirror core 0, so single-core consumers
+        // (CSV, bench ledgers) keep working on soc cells.
+        assert_eq!(lockstep.cycles, lockstep.cores[0].cycles);
+        assert_eq!(lockstep.instret, lockstep.cores[0].instret);
+        // Cores derive distinct data seeds, so their streams differ.
+        assert_ne!(lockstep.cores[0].instret, lockstep.cores[1].instret);
+        for jobs in [1, 2, 4] {
+            let parallel = simulate_cell_with(&cell, None, Some(SocJobs::Parallel(jobs))).unwrap();
+            assert_eq!(parallel, lockstep, "engine diverged at {jobs} jobs");
+        }
+    }
+
+    #[test]
+    fn soc_cell_runs_through_the_campaign_grid() {
+        let spec = CampaignSpec::new("soc-unit")
+            .workloads(["vvadd"])
+            .cores([CoreSelect::Rocket, CoreSelect::Soc(SocMix::DualRocket)])
+            .archs([CounterArch::AddWires])
+            .seeds([0]);
+        let report = run_campaign(&spec, &RunOptions::default());
+        assert!(report.passed());
+        assert_eq!(report.cells.len(), 2);
+        let soc = report
+            .cells
+            .iter()
+            .find(|c| c.cell.core.name() == "soc-2xrocket")
+            .expect("soc cell present");
+        assert_eq!(soc.cores.len(), 2);
+        // The distilled record survives the canonical JSON round-trip
+        // with its per-core breakdown intact.
+        let back = CellResult::from_json(&soc.to_json()).unwrap();
+        assert_eq!(&back, soc);
     }
 
     #[test]

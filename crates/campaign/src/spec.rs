@@ -23,30 +23,43 @@ use std::fmt;
 
 use icicle_boom::BoomSize;
 use icicle_pmu::CounterArch;
+use icicle_soc::SocMix;
 
 /// Which core model a cell runs on.
 ///
 /// This is the campaign-level twin of the CLI's core flag; the CLI
-/// re-uses it so the two layers cannot drift apart.
+/// re-uses it so the two layers cannot drift apart. The `Soc` variants
+/// run a whole multi-core topology as one cell: every core runs the
+/// cell's workload with a distinct derived seed, sharing the L2.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum CoreSelect {
     Rocket,
     Boom(BoomSize),
+    Soc(SocMix),
 }
 
 impl CoreSelect {
-    /// Every selectable core, Rocket first, BOOMs smallest-first.
+    /// Every selectable *single* core, Rocket first, BOOMs
+    /// smallest-first. SoC mixes are deliberately excluded: the default
+    /// verify/campaign grids (and their goldens) sweep single cores,
+    /// and multi-core cells opt in by name.
     pub fn all() -> Vec<CoreSelect> {
         let mut cores = vec![CoreSelect::Rocket];
         cores.extend(BoomSize::ALL.into_iter().map(CoreSelect::Boom));
         cores
     }
 
-    /// The kebab-case name (`rocket`, `large-boom`, …).
+    /// Every selectable SoC mix, in canonical order.
+    pub fn socs() -> Vec<CoreSelect> {
+        SocMix::ALL.into_iter().map(CoreSelect::Soc).collect()
+    }
+
+    /// The kebab-case name (`rocket`, `large-boom`, `soc-2xrocket`, …).
     pub fn name(self) -> String {
         match self {
             CoreSelect::Rocket => "rocket".to_string(),
             CoreSelect::Boom(size) => format!("{size}-boom"),
+            CoreSelect::Soc(mix) => mix.name().to_string(),
         }
     }
 
@@ -54,6 +67,9 @@ impl CoreSelect {
     pub fn from_name(name: &str) -> Option<CoreSelect> {
         if name == "rocket" {
             return Some(CoreSelect::Rocket);
+        }
+        if let Some(mix) = SocMix::from_name(name) {
+            return Some(CoreSelect::Soc(mix));
         }
         let size = name.strip_suffix("-boom")?;
         BoomSize::ALL
@@ -390,10 +406,27 @@ exclude = rsort:rocket
 
     #[test]
     fn core_names_round_trip() {
-        for core in CoreSelect::all() {
+        for core in CoreSelect::all().into_iter().chain(CoreSelect::socs()) {
             assert_eq!(CoreSelect::from_name(&core.name()), Some(core));
         }
         assert_eq!(CoreSelect::from_name("warp-drive"), None);
+    }
+
+    #[test]
+    fn soc_mixes_stay_out_of_the_default_grid() {
+        assert!(CoreSelect::all()
+            .into_iter()
+            .all(|c| !matches!(c, CoreSelect::Soc(_))));
+        assert_eq!(CoreSelect::socs().len(), icicle_soc::SocMix::ALL.len());
+        // Specs reach the mixes by name, like any other core.
+        let spec = CampaignSpec::parse("workloads = qsort\ncores = rocket, soc-2xrocket").unwrap();
+        assert_eq!(
+            spec.cores,
+            vec![
+                CoreSelect::Rocket,
+                CoreSelect::Soc(icicle_soc::SocMix::DualRocket)
+            ]
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@ GLOBAL OPTIONS:
                              only the wall clock changes. ICICLE_SKIP=on|off
                              is the same knob with lower precedence.
                              [default: off]
+    --soc-jobs <N|lockstep>  Multi-core SoC engine: `lockstep` (or 0) steps
+                             cores round-robin on one thread; N runs one
+                             worker thread per core under conservative
+                             synchronization, capped at N runnable at once.
+                             Results are byte-identical either way.
+                             ICICLE_SOC_JOBS is the same knob with lower
+                             precedence. [default: lockstep]
 
 COMMANDS:
     list                     List available workloads and cores
@@ -90,8 +97,12 @@ OPTIONS (chaos):
 
 OPTIONS (verify):
     --matrix                 Verify the full workload × core × arch grid
-                             (the default when --fuzz is absent)
+                             (the default when --fuzz and --pdes are absent)
     --fuzz <N>               Fuzz N seeded random instruction mixes
+    --pdes <N>               Differentially verify the parallel SoC engine:
+                             N seeded random multi-core scenarios, each run
+                             lockstep and at several thread counts, with
+                             greedy shrinking of any divergence
     --seed <S>               Fuzzer master seed [default: 0]
     --bound <PCT>            Flat divergence bound in percent, replacing
                              the derived per-class bounds
@@ -261,6 +272,8 @@ pub enum Command {
     Verify {
         matrix: bool,
         fuzz: Option<u64>,
+        /// PDES engine-differential cases (`--pdes N`).
+        pdes: Option<u64>,
         seed: u64,
         /// Flat bound as a fraction (the flag takes percent).
         bound: Option<f64>,
@@ -605,6 +618,7 @@ fn parse_chaos(args: &[String]) -> Result<Command, ParseError> {
 fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
     let mut matrix = false;
     let mut fuzz = None;
+    let mut pdes = None;
     let mut seed = 0u64;
     let mut bound = None;
     let mut jobs = 1usize;
@@ -627,6 +641,15 @@ fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
                     return err("--fuzz must be non-zero");
                 }
                 fuzz = Some(n);
+            }
+            "--pdes" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|_| ParseError("--pdes expects a case count".into()))?;
+                if n == 0 {
+                    return err("--pdes must be non-zero");
+                }
+                pdes = Some(n);
             }
             "--seed" => {
                 seed = value()?
@@ -656,14 +679,15 @@ fn parse_verify(args: &[String]) -> Result<Command, ParseError> {
             other => return err(format!("unknown option `{other}`")),
         }
     }
-    // Plain `verify` means the matrix; `--fuzz` alone means just the
-    // fuzzer; both flags run both phases.
-    if fuzz.is_none() {
+    // Plain `verify` means the matrix; `--fuzz` or `--pdes` alone mean
+    // just that phase; any combination runs every requested phase.
+    if fuzz.is_none() && pdes.is_none() {
         matrix = true;
     }
     Ok(Command::Verify {
         matrix,
         fuzz,
+        pdes,
         seed,
         bound,
         jobs,
@@ -1300,6 +1324,7 @@ mod tests {
             Command::Verify {
                 matrix: true,
                 fuzz: None,
+                pdes: None,
                 seed: 0,
                 bound: None,
                 jobs: 1,
@@ -1317,6 +1342,7 @@ mod tests {
             Command::Verify {
                 matrix: false,
                 fuzz: Some(50),
+                pdes: None,
                 seed: 7,
                 bound: None,
                 jobs: 1,
@@ -1351,8 +1377,30 @@ mod tests {
     }
 
     #[test]
+    fn verify_pdes_alone_skips_the_matrix() {
+        let cmd = parse(&argv("verify --pdes 8 --seed 3")).unwrap();
+        match cmd {
+            Command::Verify {
+                matrix,
+                fuzz,
+                pdes,
+                seed,
+                ..
+            } => {
+                assert!(!matrix);
+                assert_eq!(fuzz, None);
+                assert_eq!(pdes, Some(8));
+                assert_eq!(seed, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn verify_rejects_bad_values() {
         assert!(parse(&argv("verify --fuzz 0")).is_err());
+        assert!(parse(&argv("verify --pdes 0")).is_err());
+        assert!(parse(&argv("verify --pdes many")).is_err());
         assert!(parse(&argv("verify --jobs 0")).is_err());
         assert!(parse(&argv("verify --bound -1")).is_err());
         assert!(parse(&argv("verify --bound nan")).is_err());

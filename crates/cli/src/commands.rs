@@ -126,6 +126,7 @@ pub fn run(cmd: Command) -> Result<()> {
         Command::Verify {
             matrix,
             fuzz,
+            pdes,
             seed,
             bound,
             jobs,
@@ -135,6 +136,7 @@ pub fn run(cmd: Command) -> Result<()> {
         } => verify(
             matrix,
             fuzz,
+            pdes,
             seed,
             bound,
             jobs,
@@ -286,9 +288,11 @@ fn submit(cmd: Command) -> Result<()> {
         kind,
         priority,
         client: client.unwrap_or_else(|| "anonymous".to_string()),
-        // The server picks its own skip policy; results are identical
-        // either way, so the CLI does not forward its local `--skip`.
+        // The server picks its own skip policy and SoC engine; results
+        // are identical either way, so the CLI does not forward its
+        // local `--skip` / `--soc-jobs`.
         skip: None,
+        soc_jobs: None,
         // The client stamps a fresh key per submit call.
         idempotency_key: None,
     };
@@ -461,6 +465,13 @@ fn measure(workload: &Workload, core: CoreSelect, perf: Perf) -> Result<PerfRepo
         CoreSelect::Boom(size) => {
             let mut c = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             perf.run(&mut c)?
+        }
+        CoreSelect::Soc(mix) => {
+            return Err(format!(
+                "`{mix}` is a multi-core mix; run it through `icicle-tma campaign` \
+                 (or compose cores with `icicle-tma soc`)"
+            )
+            .into())
         }
     };
     Ok(report)
@@ -798,6 +809,7 @@ fn chaos(
 fn verify(
     matrix: bool,
     fuzz: Option<u64>,
+    pdes: Option<u64>,
     seed: u64,
     bound: Option<f64>,
     jobs: usize,
@@ -806,7 +818,9 @@ fn verify(
     metrics_out: Option<&str>,
 ) -> Result<()> {
     use icicle::campaign::Progress;
-    use icicle::verify::{default_matrix, run_fuzz, run_matrix, FuzzOptions, MatrixOptions};
+    use icicle::verify::{
+        default_matrix, run_fuzz, run_matrix, run_pdes, FuzzOptions, MatrixOptions, PdesOptions,
+    };
 
     // The machine artifact accumulates one JSON document per phase;
     // stdout mirrors it under --json, or carries the human summary.
@@ -887,6 +901,37 @@ fn verify(
         all_passed &= report.passed();
     }
 
+    if let Some(cases) = pdes {
+        let options = PdesOptions {
+            cases,
+            seed,
+            progress: if ticks {
+                Some(Box::new(|p: Progress| {
+                    eprint!(
+                        "\r[{}/{}] PDES scenarios, {} diverged or errored",
+                        p.done(),
+                        p.total,
+                        p.failed
+                    );
+                }))
+            } else {
+                None
+            },
+            ..PdesOptions::default()
+        };
+        let report = run_pdes(&options);
+        if ticks {
+            eprintln!();
+        }
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{report}");
+        }
+        artifact.push_str(&report.to_json());
+        all_passed &= report.passed();
+    }
+
     if let Some(path) = report_path {
         icicle::obs::write_atomic(path, &artifact)
             .map_err(|e| format!("cannot write report `{path}`: {e}"))?;
@@ -896,7 +941,11 @@ fn verify(
     }
 
     if !all_passed {
-        return Err("verification failed: counter TMA diverged from the trace ground truth".into());
+        return Err(
+            "verification failed: a phase diverged (counter TMA vs the trace ground truth, \
+             or the parallel SoC engine vs lockstep)"
+                .into(),
+        );
     }
     Ok(())
 }
@@ -1121,6 +1170,13 @@ fn profile(name: &str, core: CoreSelect, period: u64, event: Option<EventId>) ->
             let mut c = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             run(&mut c)?
         }
+        CoreSelect::Soc(mix) => {
+            return Err(format!(
+                "`{mix}` is a multi-core mix; the sampling profiler attributes \
+                 PCs on a single core — profile each core's workload separately"
+            )
+            .into())
+        }
     };
     if let Some(e) = event {
         println!("sampling on `{e}` (PC skid applies):");
@@ -1136,10 +1192,19 @@ fn soc(pairs: &[(String, CoreSelect)]) -> Result<()> {
         builder = match core {
             CoreSelect::Rocket => builder.rocket(RocketConfig::default(), &w)?,
             CoreSelect::Boom(size) => builder.boom(BoomConfig::for_size(*size), &w)?,
+            CoreSelect::Soc(mix) => {
+                return Err(format!(
+                    "`{mix}` is itself a mix; list individual cores (rocket, \
+                     small-boom, medium-boom, large-boom) to compose an SoC"
+                )
+                .into())
+            }
         };
     }
     let mut soc = builder.build();
-    let reports = soc.run(1_000_000_000)?;
+    // `run_auto` honours the ambient engine choice (`--soc-jobs` /
+    // ICICLE_SOC_JOBS); results are byte-identical at any thread count.
+    let reports = soc.run_auto(1_000_000_000)?;
     println!(
         "{:<18} {:<12} {:>10} {:>6} {:>9} {:>9} {:>9} {:>9}",
         "workload", "core", "cycles", "ipc", "retiring", "bad-spec", "frontend", "backend"

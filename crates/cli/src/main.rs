@@ -44,6 +44,22 @@ fn extract_skip(argv: &mut Vec<String>) -> bool {
     true
 }
 
+/// Pulls the global `--soc-jobs N` pair out of `argv` (valid in any
+/// position) and returns the parsed engine choice.
+fn extract_soc_jobs(argv: &mut Vec<String>) -> Result<Option<icicle::soc::SocJobs>, String> {
+    let Some(at) = argv.iter().position(|a| a == "--soc-jobs") else {
+        return Ok(None);
+    };
+    if at + 1 >= argv.len() {
+        return Err("missing value for --soc-jobs".to_string());
+    }
+    let value = argv.remove(at + 1);
+    argv.remove(at);
+    icicle::soc::SocJobs::from_name(&value)
+        .map(Some)
+        .ok_or_else(|| format!("invalid --soc-jobs `{value}` (want `lockstep` or a thread count)"))
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     // The flag wins over the ICICLE_LOG environment variable; both feed
@@ -61,6 +77,16 @@ fn main() -> ExitCode {
     // every measurement session resolves on its own.
     if extract_skip(&mut argv) {
         icicle::perf::SkipPolicy::set_global(icicle::perf::SkipPolicy::On);
+    }
+    // `--soc-jobs` wins over the ICICLE_SOC_JOBS environment variable,
+    // which every SoC run resolves on its own.
+    match extract_soc_jobs(&mut argv) {
+        Ok(Some(jobs)) => icicle::soc::SocJobs::set_global(jobs),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let code = match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {

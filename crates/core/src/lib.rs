@@ -88,7 +88,7 @@ pub mod prelude {
     pub use icicle_perf::{MultiplexOptions, Perf, PerfOptions, PerfReport, Profiler, SkipPolicy};
     pub use icicle_pmu::{CounterArch, CsrFile};
     pub use icicle_rocket::{Rocket, RocketConfig};
-    pub use icicle_soc::{Soc, SocBuilder, SocReport};
+    pub use icicle_soc::{Soc, SocBuilder, SocJobs, SocMix, SocReport};
     pub use icicle_tma::{TmaBreakdown, TmaInput, TmaModel};
     pub use icicle_trace::{Trace, TraceChannel, TraceConfig};
     pub use icicle_verify::{

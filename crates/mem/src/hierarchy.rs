@@ -1,6 +1,7 @@
 //! The composed two-level memory hierarchy.
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::link::{L2Linked, L2Port};
 use crate::shared::SharedL2;
 use crate::tlb::{Tlb, TlbResult};
 
@@ -105,6 +106,9 @@ pub struct MemoryHierarchy {
     l1i: Cache,
     l1d: Cache,
     l2: L2Backend,
+    /// When present, shared-L2 traffic goes through this PDES port
+    /// instead of straight at the shared cache (see [`L2Linked`]).
+    l2_port: Option<L2Port>,
     itlb: Tlb,
     dtlb: Tlb,
     l2_tlb: Tlb,
@@ -133,6 +137,7 @@ impl MemoryHierarchy {
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
             l2,
+            l2_port: None,
             itlb: Tlb::new(config.itlb_entries),
             dtlb: Tlb::new(config.dtlb_entries),
             l2_tlb: Tlb::new(config.l2_tlb_entries),
@@ -208,7 +213,10 @@ impl MemoryHierarchy {
                 }
             }
             L2Backend::Shared(shared) => {
-                let (hit, latency) = shared.access(addr, now);
+                let (hit, latency) = match &self.l2_port {
+                    Some(port) => port.access(addr, now),
+                    None => shared.access(addr, now),
+                };
                 if hit {
                     (true, latency)
                 } else {
@@ -261,7 +269,10 @@ impl MemoryHierarchy {
                             }
                         }
                         L2Backend::Shared(shared) => {
-                            let _ = shared.access(next, now);
+                            let _ = match &self.l2_port {
+                                Some(port) => port.access(next, now),
+                                None => shared.access(next, now),
+                            };
                         }
                         L2Backend::None => {}
                     }
@@ -316,6 +327,16 @@ impl MemoryHierarchy {
     /// Invalidates the instruction cache (models `fence.i`).
     pub fn flush_icache(&mut self) {
         self.l1i.flush_all();
+    }
+}
+
+impl L2Linked for MemoryHierarchy {
+    fn attach_l2_port(&mut self, port: L2Port) {
+        self.l2_port = Some(port);
+    }
+
+    fn detach_l2_port(&mut self) {
+        self.l2_port = None;
     }
 }
 

@@ -24,12 +24,14 @@
 
 mod cache;
 mod hierarchy;
+mod link;
 mod mshr;
 mod shared;
 mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use link::{L2Arbiter, L2Linked, L2Port, L2Waiter};
 pub use mshr::{MshrFile, MshrSlot};
 pub use shared::SharedL2;
 pub use tlb::{Tlb, TlbResult};

@@ -1,0 +1,291 @@
+//! Conservative-PDES links between cores and the shared L2.
+//!
+//! The lockstep SoC steps cores one cycle at a time in core order, so
+//! requests reach the [`SharedL2`] in a canonical order: ascending cycle,
+//! then ascending core index, then program order within a core's cycle.
+//! This module lets each core run on its *own* thread while reproducing
+//! exactly that order, so shared-L2 state (bus `next_free`, fill/evict
+//! sequence, contention tallies) — and therefore every counter and TMA
+//! report — is byte-identical to the lockstep reference at any thread
+//! count.
+//!
+//! The protocol is classic conservative parallel discrete-event
+//! simulation (null messages in the Chandy–Misra–Bryant style):
+//!
+//! * Every core owns an [`L2Port`] carrying a monotone **safe horizon**
+//!   `h`: a promise that the port will never issue an L2 request at any
+//!   cycle `< h`. A port publishes `advance(t + lookahead)` before
+//!   stepping cycle `t`, where the lookahead is the core's quiescent
+//!   span ([`time_until_next_event`]) — a core sleeping out an L2 miss
+//!   promises silence for the remaining miss latency, which is how the
+//!   hit/miss latency becomes the protocol's lookahead. A published
+//!   horizon with no accompanying request is precisely a null message.
+//! * A request at cycle `t` from port `i` is **safe** — may touch the
+//!   shared cache — once every other unfinished port `j` satisfies
+//!   `h_j > t`, or `h_j == t && j > i` (the index tie-break reproduces
+//!   the lockstep core order within one cycle). The globally minimum
+//!   `(cycle, index)` requester is always safe, so the protocol cannot
+//!   deadlock; everyone else spins (releasing its scheduler slot via
+//!   [`L2Waiter`]) until its predecessors pass it.
+//!
+//! [`time_until_next_event`]: https://docs.rs/icicle-events
+//! Determinism rests on one precondition the core models already meet:
+//! every hierarchy call passes the core's own current cycle as `now`,
+//! and requests within one core-cycle happen in program order on the
+//! core's thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::shared::SharedL2;
+
+/// A finished port never issues again; its horizon parks at infinity.
+const HORIZON_DONE: u64 = u64::MAX;
+
+/// Lets a port blocked in [`L2Port::access`] hand its scheduler slot to
+/// another core while it waits.
+///
+/// When the SoC runs more cores than worker permits, a blocked port must
+/// not camp on a permit: the port whose request is globally minimum may
+/// be the one waiting for a slot. `pause` is called once before the wait
+/// loop, `resume` once after; implementations release and reacquire one
+/// execution permit. Waiting affects only the wall clock — the order in
+/// which requests reach the L2 is fixed by the horizon protocol.
+pub trait L2Waiter: Send + Sync {
+    /// Releases the caller's execution permit for the duration of a wait.
+    fn pause(&self);
+    /// Reacquires an execution permit; may block.
+    fn resume(&self);
+}
+
+#[derive(Debug)]
+struct PortState {
+    /// This port promises no L2 request at any cycle `< horizon`.
+    horizon: AtomicU64,
+}
+
+/// Creates the timestamped per-core ports in front of one [`SharedL2`].
+///
+/// The arbiter itself is just the factory; arbitration is distributed —
+/// each port admits its own request once the horizon predicate proves it
+/// is globally next. [`SharedL2`]'s internal lock then makes the access
+/// atomic, so requests execute in exactly the lockstep order.
+pub struct L2Arbiter;
+
+impl L2Arbiter {
+    /// Builds one linked port per core, all in front of `shared`.
+    pub fn link(shared: SharedL2, cores: usize) -> Vec<L2Port> {
+        let states: Arc<[PortState]> = (0..cores)
+            .map(|_| PortState {
+                horizon: AtomicU64::new(0),
+            })
+            .collect();
+        (0..cores)
+            .map(|index| L2Port {
+                index,
+                states: states.clone(),
+                shared: shared.clone(),
+                waiter: None,
+            })
+            .collect()
+    }
+}
+
+/// One core's timestamped message link to the shared L2.
+#[derive(Clone)]
+pub struct L2Port {
+    index: usize,
+    states: Arc<[PortState]>,
+    shared: SharedL2,
+    waiter: Option<Arc<dyn L2Waiter>>,
+}
+
+impl std::fmt::Debug for L2Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("L2Port")
+            .field("index", &self.index)
+            .field(
+                "horizon",
+                &self.states[self.index].horizon.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl L2Port {
+    /// This port's core index (the lockstep tie-break rank).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Attaches the scheduler hook used while blocked in [`access`].
+    ///
+    /// [`access`]: L2Port::access
+    pub fn with_waiter(mut self, waiter: Arc<dyn L2Waiter>) -> L2Port {
+        self.waiter = Some(waiter);
+        self
+    }
+
+    /// Publishes a null message: this port will issue no request at any
+    /// cycle `< horizon`. Monotone (`fetch_max`), so stale re-publishes
+    /// are harmless.
+    pub fn advance(&self, horizon: u64) {
+        self.states[self.index]
+            .horizon
+            .fetch_max(horizon, Ordering::Release);
+    }
+
+    /// Marks this port permanently silent (core finished or stopped).
+    pub fn finish(&self) {
+        self.states[self.index]
+            .horizon
+            .store(HORIZON_DONE, Ordering::Release);
+    }
+
+    /// Whether a request at cycle `now` is globally next in the
+    /// canonical (cycle, core index) order.
+    fn is_safe(&self, now: u64) -> bool {
+        self.states.iter().enumerate().all(|(j, s)| {
+            if j == self.index {
+                return true;
+            }
+            let h = s.horizon.load(Ordering::Acquire);
+            h > now || (h == now && j > self.index)
+        })
+    }
+
+    /// Performs a timed shared-L2 access on behalf of this port's core,
+    /// blocking until the request is safe to admit.
+    ///
+    /// Returns `(hit, extra_latency)` exactly like the underlying
+    /// shared cache. The wait is pure wall clock; simulated time and
+    /// all cache state evolve identically to the lockstep reference.
+    pub fn access(&self, addr: u64, now: u64) -> (bool, u64) {
+        let own = self.states[self.index].horizon.load(Ordering::Relaxed);
+        assert!(
+            own <= now,
+            "L2 port {} broke its null-message promise: horizon {own} but \
+             requested at cycle {now} (unsound lookahead)",
+            self.index
+        );
+        if !self.is_safe(now) {
+            if let Some(w) = &self.waiter {
+                w.pause();
+            }
+            let mut spins = 0u32;
+            while !self.is_safe(now) {
+                // Single-vCPU friendly: brief spin, then yield, then an
+                // escalating micro-sleep. Only latency is at stake; the
+                // admission order is fixed by the predicate.
+                spins = spins.saturating_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else if spins < 1024 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+            if let Some(w) = &self.waiter {
+                w.resume();
+            }
+        }
+        self.shared.access(addr, now)
+    }
+}
+
+/// A component whose shared-L2 traffic can be rerouted through an
+/// [`L2Port`] — implemented by [`MemoryHierarchy`] and forwarded by the
+/// core models, so an SoC can link every core before spawning workers.
+///
+/// [`MemoryHierarchy`]: crate::MemoryHierarchy
+pub trait L2Linked {
+    /// Routes subsequent shared-L2 accesses through `port`.
+    fn attach_l2_port(&mut self, port: L2Port);
+    /// Restores direct (lockstep) shared-L2 access.
+    fn detach_l2_port(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn ports(n: usize) -> Vec<L2Port> {
+        L2Arbiter::link(SharedL2::new(CacheConfig::l2_default(), 2), n)
+    }
+
+    #[test]
+    fn lone_port_is_always_safe() {
+        let p = &ports(1)[0];
+        assert!(p.is_safe(0));
+        assert!(p.is_safe(1_000_000));
+    }
+
+    #[test]
+    fn lower_index_wins_the_same_cycle() {
+        let ps = ports(2);
+        // Both at cycle 0: port 0 may go, port 1 must wait for it.
+        assert!(ps[0].is_safe(0));
+        assert!(!ps[1].is_safe(0));
+        // Port 0 passes cycle 0; port 1 becomes safe.
+        ps[0].advance(1);
+        assert!(ps[1].is_safe(0));
+    }
+
+    #[test]
+    fn earlier_cycle_wins_regardless_of_index() {
+        let ps = ports(2);
+        ps[0].advance(10);
+        // Port 1 at cycle 3 precedes port 0's earliest possible request.
+        assert!(ps[1].is_safe(3));
+        // Port 0 at cycle 10 must wait for port 1 to pass cycle 10.
+        assert!(!ps[0].is_safe(10));
+        ps[1].advance(11);
+        assert!(ps[0].is_safe(10));
+    }
+
+    #[test]
+    fn finished_ports_never_block_anyone() {
+        let ps = ports(3);
+        ps[1].finish();
+        ps[2].finish();
+        assert!(ps[0].is_safe(123_456));
+    }
+
+    #[test]
+    fn horizon_is_monotone() {
+        let ps = ports(2);
+        ps[0].advance(50);
+        ps[0].advance(10); // stale null message: no-op
+        assert!(!ps[1].is_safe(50), "horizon must still be 50");
+        assert!(ps[1].is_safe(49));
+    }
+
+    #[test]
+    #[should_panic(expected = "null-message promise")]
+    fn requesting_before_the_published_horizon_panics() {
+        let ps = ports(2);
+        ps[0].advance(100);
+        ps[0].access(0x4000, 50);
+    }
+
+    #[test]
+    fn serialized_accesses_match_direct_shared_access() {
+        let shared = SharedL2::new(CacheConfig::l2_default(), 2);
+        let direct = SharedL2::new(CacheConfig::l2_default(), 2);
+        let ps = L2Arbiter::link(shared.clone(), 2);
+
+        // Canonical order: (cycle 0, port 0), (cycle 0, port 1), ...
+        let a = ps[0].access(0x4000, 0);
+        ps[0].advance(1);
+        let b = ps[1].access(0x8000, 0);
+        ps[1].advance(5);
+        let c = ps[0].access(0x8000, 1);
+
+        assert_eq!(a, direct.access(0x4000, 0));
+        assert_eq!(b, direct.access(0x8000, 0));
+        assert_eq!(c, direct.access(0x8000, 1));
+        assert_eq!(shared.contention_cycles(), direct.contention_cycles());
+    }
+}

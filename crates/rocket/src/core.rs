@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use icicle_events::{EventCore, EventId, EventVector};
 use icicle_isa::{DynInstr, DynStream, InstrClass, Op, RegId};
-use icicle_mem::MemoryHierarchy;
+use icicle_mem::{L2Linked, L2Port, MemoryHierarchy};
 
 use crate::config::RocketConfig;
 use crate::predictor::{Bht, Btb};
@@ -605,6 +605,16 @@ impl Rocket {
             u64::MAX => None,
             w => Some(w - c),
         }
+    }
+}
+
+impl L2Linked for Rocket {
+    fn attach_l2_port(&mut self, port: L2Port) {
+        self.mem.attach_l2_port(port);
+    }
+
+    fn detach_l2_port(&mut self) {
+        self.mem.detach_l2_port();
     }
 }
 

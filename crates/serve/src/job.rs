@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use icicle_campaign::sync::{lock_unpoisoned, wait_unpoisoned};
-use icicle_campaign::{Priority, SkipPolicy};
+use icicle_campaign::{Priority, SkipPolicy, SocJobs};
 use icicle_obs::{Json, MetricsRegistry};
 
 /// Where a job is in its lifecycle.
@@ -114,6 +114,12 @@ pub struct Submission {
     /// fingerprints, so a skip-on job can be satisfied by a skip-off
     /// cache entry and vice versa.
     pub skip: Option<SkipPolicy>,
+    /// Multi-core SoC engine for the run. `None` (the default, and the
+    /// only value older clients can produce) defers to the server's
+    /// ambient [`SocJobs::resolve`]. Results are byte-identical at any
+    /// thread count, so the engine never enters cache fingerprints
+    /// either.
+    pub soc_jobs: Option<SocJobs>,
     /// Logical-submission identity for exactly-once scheduling. A
     /// retried (or network-duplicated) submission carrying a key the
     /// service has already seen is answered with the *original* job
@@ -130,6 +136,7 @@ impl Submission {
             priority: Priority::Normal,
             client: "anonymous".to_string(),
             skip: None,
+            soc_jobs: None,
             idempotency_key: None,
         }
     }
@@ -150,6 +157,13 @@ impl Submission {
     /// server's ambient default.
     pub fn with_skip(mut self, skip: SkipPolicy) -> Submission {
         self.skip = Some(skip);
+        self
+    }
+
+    /// Pins the multi-core SoC engine instead of deferring to the
+    /// server's ambient default.
+    pub fn with_soc_jobs(mut self, soc_jobs: SocJobs) -> Submission {
+        self.soc_jobs = Some(soc_jobs);
         self
     }
 
@@ -179,6 +193,9 @@ impl Submission {
         pairs.push(("client", Json::Str(self.client.clone())));
         if let Some(skip) = self.skip {
             pairs.push(("skip", Json::Str(skip.name().to_string())));
+        }
+        if let Some(soc_jobs) = self.soc_jobs {
+            pairs.push(("soc_jobs", Json::Str(soc_jobs.name())));
         }
         if let Some(key) = &self.idempotency_key {
             pairs.push(("idempotency_key", Json::Str(key.clone())));
@@ -241,6 +258,12 @@ impl Submission {
             ),
             None => None,
         };
+        let soc_jobs = match doc.get("soc_jobs").and_then(Json::as_str) {
+            Some(name) => Some(
+                SocJobs::from_name(name).ok_or_else(|| format!("unknown soc engine `{name}`"))?,
+            ),
+            None => None,
+        };
         let idempotency_key = doc
             .get("idempotency_key")
             .and_then(Json::as_str)
@@ -250,6 +273,7 @@ impl Submission {
             priority,
             client,
             skip,
+            soc_jobs,
             idempotency_key,
         })
     }
@@ -276,6 +300,8 @@ pub struct Job {
     pub client: String,
     /// Cycle-skipping policy, `None` deferring to the ambient default.
     pub skip: Option<SkipPolicy>,
+    /// Multi-core SoC engine, `None` deferring to the ambient default.
+    pub soc_jobs: Option<SocJobs>,
     /// The logical-submission key this job was admitted under, if any.
     pub idempotency_key: Option<String>,
     /// Per-job metrics; the campaign progress callback maintains the
@@ -297,6 +323,7 @@ impl Job {
             priority: submission.priority,
             client: submission.client,
             skip: submission.skip,
+            soc_jobs: submission.soc_jobs,
             idempotency_key: submission.idempotency_key,
             metrics: Arc::new(MetricsRegistry::new()),
             cancel: Arc::new(AtomicBool::new(false)),
@@ -471,12 +498,17 @@ mod tests {
             priority: Priority::Low,
             client: "bench-bot".to_string(),
             skip: Some(SkipPolicy::On),
+            soc_jobs: Some(SocJobs::Parallel(4)),
             idempotency_key: Some("bench-key-1".to_string()),
         };
         assert_eq!(Submission::parse(&bench.to_json().render()).unwrap(), bench);
+        let lockstep = Submission::campaign("s").with_soc_jobs(SocJobs::Lockstep);
+        let parsed = Submission::parse(&lockstep.to_json().render()).unwrap();
+        assert_eq!(parsed.soc_jobs, Some(SocJobs::Lockstep));
         // Absent on the wire when unset, so old envelopes stay valid.
         let bare = Submission::campaign("s").to_json().render();
         assert!(!bare.contains("skip"));
+        assert!(!bare.contains("soc_jobs"));
         assert!(!bare.contains("idempotency_key"));
         let keyed = Submission::campaign("s").with_idempotency_key("k-1");
         let parsed = Submission::parse(&keyed.to_json().render()).unwrap();
@@ -496,6 +528,7 @@ mod tests {
         )
         .is_err());
         assert!(Submission::parse("{\"kind\": \"verify\", \"skip\": \"warp\"}").is_err());
+        assert!(Submission::parse("{\"kind\": \"verify\", \"soc_jobs\": \"turbo\"}").is_err());
     }
 
     #[test]

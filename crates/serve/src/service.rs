@@ -332,6 +332,7 @@ impl AnalysisService {
             metrics: Some(Arc::clone(&job.metrics)),
             cancel: Some(Arc::clone(&job.cancel)),
             skip: job.skip,
+            soc_jobs: job.soc_jobs,
             ..RunOptions::default()
         };
         let report = run_campaign(&spec, &options);
@@ -369,6 +370,7 @@ impl AnalysisService {
             })),
             metrics: Some(Arc::clone(&job.metrics)),
             skip: job.skip,
+            soc_jobs: job.soc_jobs,
             ..icicle_bench::ledger::LedgerOptions::default()
         };
         match icicle_bench::ledger::run_grid(&icicle_bench::ledger::default_grid(), &options) {

@@ -209,6 +209,10 @@ pub fn verify_workload_with(
             let mut core = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             verify_run(&mut core, cell, flat_bound, skip)
         }
+        CoreSelect::Soc(mix) => Err(format!(
+            "multi-core cells ({mix}) verify through the PDES engine differential \
+             (`verify --pdes`), not the per-core counter-vs-trace differential"
+        )),
     }
 }
 

@@ -48,6 +48,7 @@ pub mod faultfuzz;
 pub mod fuzz;
 pub mod golden;
 pub mod matrix;
+pub mod pdes;
 pub mod report;
 pub mod timeline;
 
@@ -64,6 +65,10 @@ pub use faultfuzz::{
 pub use fuzz::{run_fuzz, shrink, FuzzCase, FuzzDivergence, FuzzOp, FuzzOptions, FuzzReport};
 pub use golden::{compare_or_update, update_requested, GoldenOutcome, UPDATE_ENV};
 pub use matrix::{default_matrix, run_matrix, MatrixOptions};
+pub use pdes::{
+    check_case, run_pdes, shrink_case, PdesCase, PdesDivergence, PdesMismatch, PdesOptions,
+    PdesReport,
+};
 pub use report::MatrixReport;
 pub use timeline::{export_cell_timeline, export_cell_timeline_with};
 

@@ -64,6 +64,9 @@ pub fn export_cell_timeline_with(
             let mut core = Boom::new(BoomConfig::for_size(size), stream, workload.program_arc());
             export_run(&mut core, cell, window, skip)
         }
+        CoreSelect::Soc(mix) => Err(format!(
+            "multi-core cells ({mix}) have no single-core timeline; export a per-core cell"
+        )),
     }
 }
 

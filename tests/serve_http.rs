@@ -307,6 +307,7 @@ fn the_progress_stream_ends_on_a_terminal_line() {
             priority: icicle::campaign::Priority::High,
             client: "streamer".to_string(),
             skip: None,
+            soc_jobs: None,
             idempotency_key: None,
         })
         .expect("submit");
