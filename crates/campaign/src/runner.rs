@@ -29,8 +29,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use icicle_boom::{Boom, BoomConfig};
 use icicle_faults::FaultInjector;
@@ -279,6 +281,12 @@ pub struct RunOptions {
     /// runs produce byte-identical results at any thread count, so
     /// cached entries are interchangeable across engines.
     pub soc_jobs: Option<SocJobs>,
+    /// Directory for flight-recorder post-mortem dumps. When set *and*
+    /// the recorder is armed *and* a trace context is live, a worker
+    /// panic writes `<dir>/<trace>.jsonl` before being folded into a
+    /// typed [`CellError::Panicked`]. `None` (the default) never
+    /// touches the filesystem.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -296,6 +304,7 @@ impl Default for RunOptions {
             cancel: None,
             skip: None,
             soc_jobs: None,
+            postmortem_dir: None,
         }
     }
 }
@@ -339,6 +348,12 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
             ("jobs", options.jobs.max(1).into()),
         ]
     });
+    // Worker threads are raw `std::thread`s, so the caller's trace
+    // context does not follow them implicitly: capture it here — under
+    // the `campaign.run` span, so the hint points at it — and re-enter
+    // it in every worker. That is what parents `campaign.cell` spans
+    // into the submitting job's tree instead of orphaning them.
+    let trace = obs::handoff();
     let queue = JobQueue::new();
     for index in 0..total {
         queue.push(index);
@@ -357,6 +372,7 @@ pub fn run_campaign(spec: &CampaignSpec, options: &RunOptions) -> CampaignReport
     std::thread::scope(|scope| {
         for _ in 0..worker_count {
             scope.spawn(|| {
+                let _trace = trace.map(obs::enter);
                 while let Some(index) = queue.pop() {
                     if options
                         .cancel
@@ -579,8 +595,20 @@ fn run_one_cell(cell: &CellSpec, index: usize, options: &RunOptions) -> CellOutc
     // Single-flight through the shared store: when several campaigns
     // (the server's concurrent jobs) race on the same fingerprint,
     // exactly one worker leads and simulates; the others block inside
-    // `lease` and come back with a hit.
-    match cache.lease(fp) {
+    // `lease` and come back with a hit. The wait is wall-clock (it
+    // depends on scheduling), so its histogram is volatile: visible to
+    // `/metrics`, excluded from the canonical jobs-invariant snapshot.
+    let leased_at = Instant::now();
+    let lease = cache.lease(fp);
+    if let Some(metrics) = options.metrics.as_deref() {
+        metrics
+            .histogram_volatile(
+                "campaign.lease.wait_us",
+                &[100, 1_000, 10_000, 100_000, 1_000_000],
+            )
+            .observe(leased_at.elapsed().as_micros() as u64);
+    }
+    match lease {
         Lease::Hit(mut hit) => {
             hit.from_cache = true;
             obs::event_with(obs::Level::Debug, "campaign.cache.hit", || {
@@ -651,9 +679,11 @@ fn supervised_simulate(
         }));
         let outcome = match caught {
             Ok(outcome) => outcome,
-            Err(payload) => Err(CellError::Panicked {
-                message: panic_message(payload.as_ref()),
-            }),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                dump_panic_postmortem(cell, index, attempt, fp, &message, options, incidents);
+                Err(CellError::Panicked { message })
+            }
         };
         match outcome {
             Ok(result) => return (Ok(result), attempt),
@@ -680,6 +710,56 @@ fn supervised_simulate(
             }
             Err(error) => return (Err(error), attempt),
         }
+    }
+}
+
+/// Flight-recorder dump for a caught worker panic: when the run has a
+/// post-mortem directory, the recorder is armed, and a trace context is
+/// live on this worker, the recent ring records for the trace land in
+/// `<dir>/<trace>.jsonl` before the panic is folded into a typed
+/// [`CellError`]. Best-effort by design — a dump failure must never
+/// escalate a contained cell failure into a runner failure, so I/O
+/// errors are reported as incidents, not propagated.
+fn dump_panic_postmortem(
+    cell: &CellSpec,
+    index: usize,
+    attempt: u32,
+    fp: Fingerprint,
+    message: &str,
+    options: &RunOptions,
+    incidents: &mut Vec<Incident>,
+) {
+    let Some(dir) = options.postmortem_dir.as_deref() else {
+        return;
+    };
+    if !obs::flight_armed() {
+        return;
+    }
+    let Some(ctx) = obs::current() else {
+        return;
+    };
+    let extra = vec![
+        ("cell", obs::Json::Str(cell.label())),
+        ("cell_index", obs::Json::Int(index as u64)),
+        ("attempt", obs::Json::Int(u64::from(attempt))),
+        ("fingerprint", obs::Json::Str(format!("{:016x}", fp.0))),
+        ("panic", obs::Json::Str(message.to_string())),
+    ];
+    match obs::write_postmortem(dir, ctx.trace, "worker_panic", extra) {
+        Ok(path) => {
+            obs::event_with(obs::Level::Warn, "campaign.postmortem.write", || {
+                vec![
+                    ("cell", cell.label().into()),
+                    ("trace", ctx.trace.to_hex().into()),
+                    ("path", path.display().to_string().into()),
+                ]
+            });
+        }
+        Err(error) => incidents.push(Incident {
+            label: cell.label(),
+            kind: "postmortem-write-failed".to_string(),
+            detail: format!("flight-recorder dump failed: {error}"),
+        }),
     }
 }
 
@@ -1120,6 +1200,43 @@ mod tests {
         assert_eq!(report.failures[0].kind, "panic");
         assert!(report.failures[0].error.contains("injected fault"));
         assert_eq!(report.failures[0].attempts, 2, "one retry was granted");
+    }
+
+    #[test]
+    fn worker_panic_writes_a_postmortem_dump() {
+        let spec = tiny_spec();
+        let plan = FaultPlan::new().with(FaultKind::PanicInCell, 0, true);
+        let dir = std::env::temp_dir().join(format!("icicle-campaign-pm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        obs::arm_flight_recorder(64);
+        let trace = obs::TraceId::mint();
+        let report = {
+            let _ctx = obs::enter(obs::TraceContext::root(trace));
+            run_campaign(
+                &spec,
+                &RunOptions {
+                    cache: None,
+                    retries: 0,
+                    faults: Some(Arc::new(FaultInjector::new(plan))),
+                    postmortem_dir: Some(dir.clone()),
+                    ..RunOptions::default()
+                },
+            )
+        };
+        obs::disarm_flight_recorder();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].kind, "panic");
+        let path = dir.join(format!("{}.jsonl", trace.to_hex()));
+        let text = std::fs::read_to_string(&path).expect("post-mortem artifact written");
+        let header = text.lines().next().unwrap();
+        assert!(header.contains("\"reason\":\"worker_panic\""));
+        assert!(header.contains(&trace.to_hex()));
+        assert!(header.contains("injected fault"));
+        assert!(
+            text.contains("campaign.cell"),
+            "the ring captured the failing cell's span"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

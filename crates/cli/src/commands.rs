@@ -52,6 +52,15 @@ fn format_eta(seconds: f64) -> String {
 ///
 /// Returns an error for unknown workloads or measurement failures.
 pub fn run(cmd: Command) -> Result<()> {
+    // One trace per CLI invocation: anything the command emits (spans,
+    // events, flight-recorder records) correlates under this id unless
+    // a harness below mints its own run-scoped trace.
+    let invocation_trace = icicle::obs::TraceId::mint();
+    let _scope = icicle::obs::enter(icicle::obs::TraceContext::root(invocation_trace));
+    // The flight recorder is always on: bounded per-thread rings that
+    // only see harness-granularity emit sites (never the simulator's
+    // step loop), so the bench overhead gate holds with it armed.
+    icicle::obs::arm_flight_recorder(0);
     match cmd {
         Command::Help => {
             println!("{USAGE}");
@@ -694,6 +703,9 @@ fn faults(seed: u64, cases: u64, demo: bool, report_path: Option<&str>, json: bo
                 jobs: 2,
                 retries: 1,
                 faults: Some(Arc::clone(&injector)),
+                // Injected worker panics leave their flight-recorder
+                // dump behind, same as a real crash would.
+                postmortem_dir: Some(std::path::PathBuf::from(".icicle-postmortem")),
                 ..RunOptions::default()
             },
         );
@@ -917,6 +929,8 @@ fn verify(
             } else {
                 None
             },
+            // A divergence dumps the flight rings next to the report.
+            postmortem_dir: Some(std::path::PathBuf::from(".icicle-postmortem")),
             ..PdesOptions::default()
         };
         let report = run_pdes(&options);

@@ -31,7 +31,7 @@ mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, MemoryHierarchy};
-pub use link::{L2Arbiter, L2Linked, L2Port, L2Waiter};
+pub use link::{L2Arbiter, L2Linked, L2Port, L2PortStats, L2Waiter};
 pub use mshr::{MshrFile, MshrSlot};
 pub use shared::SharedL2;
 pub use tlb::{Tlb, TlbResult};

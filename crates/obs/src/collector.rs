@@ -148,10 +148,14 @@ pub struct Record {
     pub kind: RecordKind,
     /// Process-monotonic id; a span's start and end share it.
     pub id: u64,
-    /// The enclosing span on the emitting thread, if any.
+    /// The enclosing span on the emitting thread, if any — or, for the
+    /// first span after a cross-thread handoff, the parent carried by
+    /// the entered [`crate::trace::TraceContext`].
     pub parent: Option<u64>,
     /// Small dense per-thread id (1, 2, …) in first-emit order.
     pub thread: u64,
+    /// The trace the record belongs to (0 = emitted outside any trace).
+    pub trace: u64,
     pub level: Level,
     /// Microseconds since the process-wide tracing epoch.
     pub t_us: u64,
@@ -170,6 +174,9 @@ impl Record {
             pairs.push(("parent", Json::Int(parent)));
         }
         pairs.push(("thread", Json::Int(self.thread)));
+        if self.trace != 0 {
+            pairs.push(("trace", Json::Str(format!("{:016x}", self.trace))));
+        }
         pairs.push(("level", Json::Str(self.level.name().to_string())));
         pairs.push(("t_us", Json::Int(self.t_us)));
         pairs.push(("name", Json::Str(self.name.to_string())));
@@ -205,10 +212,14 @@ impl Collector for NoopCollector {
 }
 
 /// Keeps the last `capacity` records in memory; the source for
-/// wall-clock Perfetto export and the test harness.
+/// wall-clock Perfetto export, the flight recorder, and the test
+/// harness. Overflow evicts the oldest record and bumps a visible
+/// [`dropped`](RingCollector::dropped) counter, so a truncated
+/// post-mortem is detectable instead of silently incomplete.
 pub struct RingCollector {
     capacity: usize,
     buf: Mutex<VecDeque<Record>>,
+    dropped: AtomicU64,
 }
 
 impl RingCollector {
@@ -216,6 +227,7 @@ impl RingCollector {
         RingCollector {
             capacity: capacity.max(1),
             buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -231,6 +243,11 @@ impl RingCollector {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// How many records the ring has evicted to stay within capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
 }
 
 impl Collector for RingCollector {
@@ -238,6 +255,7 @@ impl Collector for RingCollector {
         let mut buf = self.buf.lock().unwrap();
         if buf.len() == self.capacity {
             buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back(record.clone());
     }
@@ -347,6 +365,24 @@ fn emit(record: &Record) {
     }
 }
 
+/// Routes one record to whichever sinks are live: the installed
+/// collector, the flight-recorder ring, or both.
+fn route(record: &Record, collect: bool, flight: bool) {
+    if collect {
+        emit(record);
+    }
+    if flight {
+        crate::flight::tee(record);
+    }
+}
+
+/// The innermost open span on the calling thread, if any. This is what
+/// [`crate::trace::handoff`] captures so a worker spawned from inside a
+/// span can parent its first span correctly.
+pub(crate) fn current_span() -> Option<u64> {
+    SPAN_STACK.with(|stack| stack.borrow().last().copied())
+}
+
 /// Installs a JSONL collector from a `LEVEL[:PATH]` spec — `"info"`
 /// streams to stderr, `"debug:run.jsonl"` to a file, `"off"` disables.
 ///
@@ -417,16 +453,25 @@ impl Drop for SpanGuard {
                     stack.retain(|&open| open != id);
                 }
             });
-            emit(&Record {
-                kind: RecordKind::SpanEnd,
-                id,
-                parent: None,
-                thread: thread_id(),
-                level,
-                t_us: now_us(),
-                name,
-                fields: Vec::new(),
-            });
+            let collect = enabled(level);
+            let flight = crate::flight::armed_for(level);
+            if collect || flight {
+                route(
+                    &Record {
+                        kind: RecordKind::SpanEnd,
+                        id,
+                        parent: None,
+                        thread: thread_id(),
+                        trace: crate::trace::current_trace(),
+                        level,
+                        t_us: now_us(),
+                        name,
+                        fields: Vec::new(),
+                    },
+                    collect,
+                    flight,
+                );
+            }
         }
     }
 }
@@ -442,21 +487,31 @@ pub fn span_with<F>(level: Level, name: &'static str, fields: F) -> SpanGuard
 where
     F: FnOnce() -> Vec<Field>,
 {
-    if !enabled(level) {
+    let collect = enabled(level);
+    let flight = crate::flight::armed_for(level);
+    if !collect && !flight {
         return SpanGuard { open: None };
     }
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-    let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied());
-    emit(&Record {
-        kind: RecordKind::SpanStart,
-        id,
-        parent,
-        thread: thread_id(),
-        level,
-        t_us: now_us(),
-        name,
-        fields: fields(),
-    });
+    let (trace, ctx_parent) = crate::trace::current_raw();
+    let parent = SPAN_STACK
+        .with(|stack| stack.borrow().last().copied())
+        .or(ctx_parent);
+    route(
+        &Record {
+            kind: RecordKind::SpanStart,
+            id,
+            parent,
+            thread: thread_id(),
+            trace,
+            level,
+            t_us: now_us(),
+            name,
+            fields: fields(),
+        },
+        collect,
+        flight,
+    );
     SPAN_STACK.with(|stack| stack.borrow_mut().push(id));
     SpanGuard {
         open: Some((id, name, level)),
@@ -474,30 +529,46 @@ pub fn event_with<F>(level: Level, name: &'static str, fields: F)
 where
     F: FnOnce() -> Vec<Field>,
 {
-    if !enabled(level) {
+    let collect = enabled(level);
+    let flight = crate::flight::armed_for(level);
+    if !collect && !flight {
         return;
     }
-    emit(&Record {
-        kind: RecordKind::Event,
-        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
-        parent: SPAN_STACK.with(|stack| stack.borrow().last().copied()),
-        thread: thread_id(),
-        level,
-        t_us: now_us(),
-        name,
-        fields: fields(),
-    });
+    let (trace, ctx_parent) = crate::trace::current_raw();
+    route(
+        &Record {
+            kind: RecordKind::Event,
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            parent: SPAN_STACK
+                .with(|stack| stack.borrow().last().copied())
+                .or(ctx_parent),
+            thread: thread_id(),
+            trace,
+            level,
+            t_us: now_us(),
+            name,
+            fields: fields(),
+        },
+        collect,
+        flight,
+    );
+}
+
+// The tracing runtime is process-global; tests anywhere in the crate
+// that install collectors, arm the flight recorder, or enter trace
+// contexts must not overlap.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // The runtime is process-global; tests that install collectors must
-    // not overlap.
     fn serial() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        test_serial()
     }
 
     #[test]

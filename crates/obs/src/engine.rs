@@ -1,0 +1,206 @@
+//! Process-wide engine-health tallies: what the skip engine and the
+//! parallel SoC interconnect did, counted outside the hot loops.
+//!
+//! Mirrors the [`crate::sim`] pattern: the engines accumulate in plain
+//! locals (zero atomics in `step()`/skip inner loops) and *settle* once
+//! per session into these statics; a consumer that wants per-interval
+//! numbers snapshots an [`EngineCounts`] baseline and diffs with
+//! [`EngineCounts::since`]. Only the serving layer settles the deltas
+//! into a metrics registry — always as *volatile* instruments, because
+//! stall cycles and wait times are timing-dependent by nature.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket bounds for the skip-span length histogram (cycles per
+/// accepted skip span).
+pub const SKIP_SPAN_BOUNDS: [u64; 6] = [4, 16, 64, 256, 1024, 4096];
+
+/// Per-core L2 slots tracked; cores past the last slot fold into it
+/// (the SoC mixes top out at 4 cores today).
+pub const ENGINE_CORES: usize = 8;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+struct EngineStats {
+    // Skip engine (crates/perf): accepted spans, cycles fast-forwarded,
+    // probe steps taken, probes that found no skippable span.
+    skip_spans: AtomicU64,
+    skip_cycles: AtomicU64,
+    skip_probes: AtomicU64,
+    skip_probe_misses: AtomicU64,
+    skip_span_buckets: [AtomicU64; SKIP_SPAN_BOUNDS.len() + 1],
+    // L2 interconnect (crates/mem link driven by crates/soc): null
+    // messages (horizon advances), stall episodes in `access`, spin
+    // iterations inside those episodes, and microseconds spent stalled.
+    l2_null_messages: [AtomicU64; ENGINE_CORES],
+    l2_stall_waits: [AtomicU64; ENGINE_CORES],
+    l2_stall_spins: [AtomicU64; ENGINE_CORES],
+    l2_stall_us: [AtomicU64; ENGINE_CORES],
+}
+
+static STATS: EngineStats = EngineStats {
+    skip_spans: ZERO,
+    skip_cycles: ZERO,
+    skip_probes: ZERO,
+    skip_probe_misses: ZERO,
+    skip_span_buckets: [ZERO; SKIP_SPAN_BOUNDS.len() + 1],
+    l2_null_messages: [ZERO; ENGINE_CORES],
+    l2_stall_waits: [ZERO; ENGINE_CORES],
+    l2_stall_spins: [ZERO; ENGINE_CORES],
+    l2_stall_us: [ZERO; ENGINE_CORES],
+};
+
+/// A plain-value snapshot of the engine tallies.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct EngineCounts {
+    pub skip_spans: u64,
+    pub skip_cycles: u64,
+    pub skip_probes: u64,
+    pub skip_probe_misses: u64,
+    pub skip_span_buckets: [u64; SKIP_SPAN_BOUNDS.len() + 1],
+    pub l2_null_messages: [u64; ENGINE_CORES],
+    pub l2_stall_waits: [u64; ENGINE_CORES],
+    pub l2_stall_spins: [u64; ENGINE_CORES],
+    pub l2_stall_us: [u64; ENGINE_CORES],
+}
+
+impl EngineCounts {
+    /// The saturating per-field delta `self - earlier`.
+    pub fn since(&self, earlier: &EngineCounts) -> EngineCounts {
+        let diff = |a: u64, b: u64| a.saturating_sub(b);
+        let mut out = EngineCounts {
+            skip_spans: diff(self.skip_spans, earlier.skip_spans),
+            skip_cycles: diff(self.skip_cycles, earlier.skip_cycles),
+            skip_probes: diff(self.skip_probes, earlier.skip_probes),
+            skip_probe_misses: diff(self.skip_probe_misses, earlier.skip_probe_misses),
+            ..EngineCounts::default()
+        };
+        for i in 0..self.skip_span_buckets.len() {
+            out.skip_span_buckets[i] =
+                diff(self.skip_span_buckets[i], earlier.skip_span_buckets[i]);
+        }
+        for i in 0..ENGINE_CORES {
+            out.l2_null_messages[i] = diff(self.l2_null_messages[i], earlier.l2_null_messages[i]);
+            out.l2_stall_waits[i] = diff(self.l2_stall_waits[i], earlier.l2_stall_waits[i]);
+            out.l2_stall_spins[i] = diff(self.l2_stall_spins[i], earlier.l2_stall_spins[i]);
+            out.l2_stall_us[i] = diff(self.l2_stall_us[i], earlier.l2_stall_us[i]);
+        }
+        out
+    }
+}
+
+/// The current cumulative tallies.
+pub fn engine_stats() -> EngineCounts {
+    let load = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+    let mut out = EngineCounts {
+        skip_spans: load(&STATS.skip_spans),
+        skip_cycles: load(&STATS.skip_cycles),
+        skip_probes: load(&STATS.skip_probes),
+        skip_probe_misses: load(&STATS.skip_probe_misses),
+        ..EngineCounts::default()
+    };
+    for (out_slot, cell) in out
+        .skip_span_buckets
+        .iter_mut()
+        .zip(&STATS.skip_span_buckets)
+    {
+        *out_slot = load(cell);
+    }
+    for i in 0..ENGINE_CORES {
+        out.l2_null_messages[i] = load(&STATS.l2_null_messages[i]);
+        out.l2_stall_waits[i] = load(&STATS.l2_stall_waits[i]);
+        out.l2_stall_spins[i] = load(&STATS.l2_stall_spins[i]);
+        out.l2_stall_us[i] = load(&STATS.l2_stall_us[i]);
+    }
+    out
+}
+
+/// The bucket index in [`SKIP_SPAN_BOUNDS`]-shaped arrays for a span of
+/// `cycles` — shared by the accumulating engine and the settling
+/// consumer so the two always agree.
+#[inline]
+pub fn skip_span_bucket(cycles: u64) -> usize {
+    SKIP_SPAN_BOUNDS
+        .iter()
+        .position(|&bound| cycles <= bound)
+        .unwrap_or(SKIP_SPAN_BOUNDS.len())
+}
+
+/// Settles one skip session's locals: `span_buckets` is a
+/// [`SKIP_SPAN_BOUNDS`]`+1`-shaped tally of accepted span lengths.
+pub fn record_skip(
+    spans: u64,
+    cycles: u64,
+    probes: u64,
+    probe_misses: u64,
+    span_buckets: &[u64; SKIP_SPAN_BOUNDS.len() + 1],
+) {
+    if spans == 0 && probes == 0 {
+        return;
+    }
+    STATS.skip_spans.fetch_add(spans, Ordering::Relaxed);
+    STATS.skip_cycles.fetch_add(cycles, Ordering::Relaxed);
+    STATS.skip_probes.fetch_add(probes, Ordering::Relaxed);
+    STATS
+        .skip_probe_misses
+        .fetch_add(probe_misses, Ordering::Relaxed);
+    for (cell, delta) in STATS.skip_span_buckets.iter().zip(span_buckets) {
+        if *delta > 0 {
+            cell.fetch_add(*delta, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Settles one core's L2 interconnect tallies for a finished run; cores
+/// beyond the tracked slots fold into the last slot.
+pub fn record_l2_core(
+    core: usize,
+    null_messages: u64,
+    stall_waits: u64,
+    stall_spins: u64,
+    stall_us: u64,
+) {
+    let slot = core.min(ENGINE_CORES - 1);
+    STATS.l2_null_messages[slot].fetch_add(null_messages, Ordering::Relaxed);
+    STATS.l2_stall_waits[slot].fetch_add(stall_waits, Ordering::Relaxed);
+    STATS.l2_stall_spins[slot].fetch_add(stall_spins, Ordering::Relaxed);
+    STATS.l2_stall_us[slot].fetch_add(stall_us, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_settle_and_diff() {
+        let before = engine_stats();
+        let mut buckets = [0u64; SKIP_SPAN_BOUNDS.len() + 1];
+        buckets[skip_span_bucket(3)] += 1;
+        buckets[skip_span_bucket(100)] += 1;
+        buckets[skip_span_bucket(1 << 20)] += 1;
+        record_skip(3, 1_000_103, 10, 7, &buckets);
+        record_l2_core(1, 50, 2, 300, 40);
+        record_l2_core(100, 5, 0, 0, 0); // folds into the last slot
+        let delta = engine_stats().since(&before);
+        assert_eq!(delta.skip_spans, 3);
+        assert_eq!(delta.skip_cycles, 1_000_103);
+        assert_eq!(delta.skip_probes, 10);
+        assert_eq!(delta.skip_probe_misses, 7);
+        assert_eq!(delta.skip_span_buckets[0], 1); // 3 ≤ 4
+        assert_eq!(delta.skip_span_buckets[skip_span_bucket(100)], 1);
+        assert_eq!(delta.skip_span_buckets[SKIP_SPAN_BOUNDS.len()], 1);
+        assert_eq!(delta.l2_null_messages[1], 50);
+        assert_eq!(delta.l2_stall_spins[1], 300);
+        assert_eq!(delta.l2_null_messages[ENGINE_CORES - 1], 5);
+    }
+
+    #[test]
+    fn bucket_mapping_matches_bounds() {
+        assert_eq!(skip_span_bucket(0), 0);
+        assert_eq!(skip_span_bucket(4), 0);
+        assert_eq!(skip_span_bucket(5), 1);
+        assert_eq!(skip_span_bucket(4096), SKIP_SPAN_BOUNDS.len() - 1);
+        assert_eq!(skip_span_bucket(4097), SKIP_SPAN_BOUNDS.len());
+    }
+}

@@ -1,0 +1,268 @@
+//! The flight recorder: always-on bounded per-thread rings plus
+//! post-mortem dumps.
+//!
+//! When armed, every span/event at `Debug` or terser is *teed* into a
+//! small per-thread [`RingCollector`] regardless of whether a collector
+//! is installed — the rings remember the recent past so that a worker
+//! panic, a fault-contract violation, a PDES divergence, or an explicit
+//! `POST /v1/jobs/ID/dump` can reconstruct what just happened. Nothing
+//! here instruments the simulator `step()` loop: the tee only fires at
+//! the existing span/event emit sites, so the disabled-overhead
+//! contract of the obs layer is untouched, and even the armed cost is
+//! one extra relaxed load per emit site plus a ring push.
+//!
+//! A dump selects records by trace id across *all* threads' rings
+//! (thread-locals cannot be read from outside, so each ring also
+//! registers itself in a process-wide list), orders them by
+//! `(t_us, id)`, and writes one canonical JSONL artifact:
+//! a header object (`icicle-postmortem/v1`, the trace, the reason, the
+//! drop counter, optional metrics snapshot and cell fingerprint)
+//! followed by one line per record.
+
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::collector::{Collector, Level, Record, RingCollector};
+use crate::json::Json;
+use crate::trace::TraceId;
+
+/// Schema tag on the first line of every post-mortem artifact.
+pub const POSTMORTEM_SCHEMA: &str = "icicle-postmortem/v1";
+
+/// Ring capacity when [`arm_flight_recorder`] is called with 0.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_FLIGHT_CAPACITY);
+// Bumped on every arm; threads holding a ring from an older generation
+// lazily re-register, so disarm/re-arm cycles (tests, reconfigs) start
+// from empty rings.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn registry() -> &'static Mutex<Vec<Arc<RingCollector>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<RingCollector>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static RING: RefCell<(u64, Option<Arc<RingCollector>>)> = const { RefCell::new((0, None)) };
+}
+
+/// Arms the recorder with per-thread rings of `capacity` records
+/// (0 = [`DEFAULT_FLIGHT_CAPACITY`]). Existing rings are discarded.
+pub fn arm_flight_recorder(capacity: usize) {
+    let capacity = if capacity == 0 {
+        DEFAULT_FLIGHT_CAPACITY
+    } else {
+        capacity
+    };
+    CAPACITY.store(capacity, Ordering::Relaxed);
+    registry().lock().unwrap().clear();
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms the recorder and forgets all rings.
+pub fn disarm_flight_recorder() {
+    ARMED.store(false, Ordering::Relaxed);
+    registry().lock().unwrap().clear();
+}
+
+/// Whether the recorder is armed at all.
+#[inline]
+pub fn flight_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Whether a record at `level` should be teed: armed, and not chattier
+/// than `Debug` (`Trace` stays out of the rings — it is the level
+/// reserved for firehose experiments).
+#[inline]
+pub(crate) fn armed_for(level: Level) -> bool {
+    flight_armed() && level <= Level::Debug
+}
+
+/// Tees one record into the calling thread's ring.
+pub(crate) fn tee(record: &Record) {
+    RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let generation = GENERATION.load(Ordering::Relaxed);
+        if slot.0 != generation || slot.1.is_none() {
+            let ring = Arc::new(RingCollector::new(CAPACITY.load(Ordering::Relaxed)));
+            registry().lock().unwrap().push(Arc::clone(&ring));
+            *slot = (generation, Some(ring));
+        }
+        if let Some(ring) = slot.1.as_ref() {
+            ring.record(record);
+        }
+    });
+}
+
+/// All flight-recorded records for `trace`, merged across every
+/// thread's ring and ordered by `(t_us, id)`.
+pub fn flight_records(trace: TraceId) -> Vec<Record> {
+    let rings: Vec<Arc<RingCollector>> = registry().lock().unwrap().clone();
+    let mut records: Vec<Record> = rings
+        .iter()
+        .flat_map(|ring| ring.records())
+        .filter(|record| record.trace == trace.as_u64())
+        .collect();
+    records.sort_by_key(|record| (record.t_us, record.id));
+    records
+}
+
+/// Total records evicted across all live rings — non-zero means the
+/// oldest part of some story has been overwritten.
+pub fn flight_dropped() -> u64 {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|ring| ring.dropped())
+        .sum()
+}
+
+/// Writes the post-mortem artifact for `trace` to
+/// `<dir>/<trace>.jsonl` (atomically, creating `dir` as needed) and
+/// returns its path. `reason` names the trigger (`worker_panic`,
+/// `pdes_divergence`, `fault_violation`, `dump_request`); `extra`
+/// pairs — a metrics snapshot, a cell fingerprint — land in the header
+/// object.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_postmortem(
+    dir: &Path,
+    trace: TraceId,
+    reason: &str,
+    extra: Vec<(&str, Json)>,
+) -> std::io::Result<PathBuf> {
+    let records = flight_records(trace);
+    let mut pairs = vec![
+        ("schema", Json::Str(POSTMORTEM_SCHEMA.to_string())),
+        ("trace", Json::Str(trace.to_hex())),
+        ("reason", Json::Str(reason.to_string())),
+        ("records", Json::Int(records.len() as u64)),
+        ("dropped", Json::Int(flight_dropped())),
+    ];
+    pairs.extend(extra);
+    let mut text = Json::object(pairs).render_compact();
+    text.push('\n');
+    for record in &records {
+        text.push_str(&record.to_json().render_compact());
+        text.push('\n');
+    }
+    let path = dir.join(format!("{}.jsonl", trace.to_hex()));
+    crate::fsutil::write_atomic(&path, &text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{event, shutdown, span, test_serial};
+    use crate::trace::{enter, TraceContext};
+
+    #[test]
+    fn armed_recorder_remembers_without_a_collector() {
+        let _serial = test_serial();
+        shutdown(); // no collector installed
+        arm_flight_recorder(8);
+        let trace = TraceId::mint();
+        {
+            let _ctx = enter(TraceContext::root(trace));
+            let _span = span(Level::Info, "cell");
+            event(Level::Debug, "cache.miss");
+        }
+        let records = flight_records(trace);
+        assert_eq!(records.len(), 3, "start, event, end survive in the ring");
+        assert!(records.iter().all(|r| r.trace == trace.as_u64()));
+        // Another trace's records do not bleed in.
+        assert!(flight_records(TraceId::mint()).is_empty());
+        disarm_flight_recorder();
+    }
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        let _serial = test_serial();
+        shutdown();
+        arm_flight_recorder(4);
+        let trace = TraceId::mint();
+        {
+            let _ctx = enter(TraceContext::root(trace));
+            for _ in 0..10 {
+                event(Level::Info, "tick");
+            }
+        }
+        assert_eq!(flight_records(trace).len(), 4);
+        assert_eq!(flight_dropped(), 6);
+        disarm_flight_recorder();
+    }
+
+    #[test]
+    fn postmortem_artifact_has_header_then_records() {
+        let _serial = test_serial();
+        shutdown();
+        arm_flight_recorder(16);
+        let trace = TraceId::mint();
+        {
+            let _ctx = enter(TraceContext::root(trace));
+            let _span = span(Level::Info, "cell");
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "icicle-flight-{}-{}",
+            std::process::id(),
+            trace.to_hex()
+        ));
+        let path = write_postmortem(
+            &dir,
+            trace,
+            "worker_panic",
+            vec![("fingerprint", Json::Str("abc".to_string()))],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            header.get("schema").unwrap().as_str(),
+            Some(POSTMORTEM_SCHEMA)
+        );
+        assert_eq!(
+            header.get("trace").unwrap().as_str(),
+            Some(trace.to_hex().as_str())
+        );
+        assert_eq!(header.get("reason").unwrap().as_str(), Some("worker_panic"));
+        assert_eq!(header.get("records").unwrap().as_u64(), Some(2));
+        assert_eq!(header.get("fingerprint").unwrap().as_str(), Some("abc"));
+        let first = Json::parse(lines[1]).unwrap();
+        assert_eq!(first.get("kind").unwrap().as_str(), Some("span_start"));
+        assert_eq!(
+            first.get("trace").unwrap().as_str(),
+            Some(trace.to_hex().as_str())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        disarm_flight_recorder();
+    }
+
+    #[test]
+    fn trace_level_stays_out_of_the_rings() {
+        let _serial = test_serial();
+        shutdown();
+        arm_flight_recorder(8);
+        let trace = TraceId::mint();
+        {
+            let _ctx = enter(TraceContext::root(trace));
+            event(Level::Trace, "firehose");
+            event(Level::Warn, "kept");
+        }
+        let records = flight_records(trace);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "kept");
+        disarm_flight_recorder();
+    }
+}

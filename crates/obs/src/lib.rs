@@ -45,19 +45,31 @@
 //! ```
 
 pub mod collector;
+pub mod engine;
+pub mod flight;
 pub mod fsutil;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod sim;
+pub mod trace;
 
 pub use collector::{
     enabled, event, event_with, init_from_env, init_from_spec, install, shutdown, span, span_with,
     Collector, Field, FieldValue, JsonlCollector, Level, NoopCollector, Record, RecordKind,
     RingCollector, SpanGuard, LOG_ENV,
 };
+pub use engine::{
+    engine_stats, record_l2_core, record_skip, skip_span_bucket, EngineCounts, ENGINE_CORES,
+    SKIP_SPAN_BOUNDS,
+};
+pub use flight::{
+    arm_flight_recorder, disarm_flight_recorder, flight_armed, flight_dropped, flight_records,
+    write_postmortem, DEFAULT_FLIGHT_CAPACITY, POSTMORTEM_SCHEMA,
+};
 pub use fsutil::write_atomic;
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, METRICS_SCHEMA};
 pub use perfetto::{cycle_timeline, trace_events_document, wall_timeline, PERFETTO_SCHEMA};
 pub use sim::{set_sim_stats, sim_enabled, sim_stats, SimCounts, SimStats};
+pub use trace::{current, enter, handoff, TraceContext, TraceId, TraceScope};

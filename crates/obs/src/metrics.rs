@@ -12,7 +12,8 @@
 //! is byte-identical regardless of how many worker threads recorded
 //! them.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -96,6 +97,38 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// The fixed bucket bounds (sorted, deduped at construction).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, one per bound plus the `+inf` overflow slot.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Folds pre-aggregated deltas in: `buckets` lines up with
+    /// [`bucket_counts`](Self::bucket_counts) (extra entries are
+    /// ignored, missing ones count as zero). This is how engine tallies
+    /// accumulated in plain locals get settled into a registry without
+    /// replaying each observation.
+    pub fn accumulate(&self, buckets: &[u64], count: u64, sum: u64) {
+        for (slot, delta) in self.buckets.iter().zip(buckets) {
+            if *delta > 0 {
+                slot.fetch_add(*delta, Ordering::Relaxed);
+            }
+        }
+        if count > 0 {
+            self.count.fetch_add(count, Ordering::Relaxed);
+        }
+        if sum > 0 {
+            self.sum.fetch_add(sum, Ordering::Relaxed);
+        }
+    }
+
     fn to_json(&self) -> Json {
         let buckets = self
             .bounds
@@ -123,6 +156,12 @@ struct Inner {
     counters: BTreeMap<String, Arc<AtomicU64>>,
     gauges: BTreeMap<String, Arc<AtomicU64>>,
     histograms: BTreeMap<String, Arc<Histogram>>,
+    /// Names excluded from the *canonical* snapshot: timing- and
+    /// load-dependent instruments (queue depths, wait histograms,
+    /// stall cycles) that legitimately vary run to run. They still
+    /// appear in [`MetricsRegistry::snapshot_full`] and the Prometheus
+    /// exposition — only the byte-identity contract skips them.
+    volatile: BTreeSet<String>,
 }
 
 /// A set of named instruments. Registration takes a lock; the returned
@@ -169,20 +208,55 @@ impl MetricsRegistry {
         )
     }
 
+    /// [`counter`](Self::counter), marked volatile: kept out of the
+    /// canonical snapshot because its value depends on timing or load.
+    pub fn counter_volatile(&self, name: &str) -> Counter {
+        self.inner.lock().unwrap().volatile.insert(name.to_string());
+        self.counter(name)
+    }
+
+    /// [`gauge`](Self::gauge), marked volatile.
+    pub fn gauge_volatile(&self, name: &str) -> Gauge {
+        self.inner.lock().unwrap().volatile.insert(name.to_string());
+        self.gauge(name)
+    }
+
+    /// [`histogram`](Self::histogram), marked volatile.
+    pub fn histogram_volatile(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        self.inner.lock().unwrap().volatile.insert(name.to_string());
+        self.histogram(name, bounds)
+    }
+
     /// The registry as a canonical JSON document. Names sort
     /// lexicographically, so two registries that recorded the same
     /// quantities render byte-identically — the determinism the
     /// campaign's `--jobs 1` vs `--jobs 8` contract relies on.
+    /// Volatile instruments are excluded; see
+    /// [`snapshot_full`](Self::snapshot_full) for everything.
     pub fn snapshot(&self) -> Json {
+        self.snapshot_inner(false)
+    }
+
+    /// The registry as JSON *including* volatile instruments — what
+    /// `GET /metrics` serves. Same canonical layout; no byte-identity
+    /// promise.
+    pub fn snapshot_full(&self) -> Json {
+        self.snapshot_inner(true)
+    }
+
+    fn snapshot_inner(&self, include_volatile: bool) -> Json {
         let inner = self.inner.lock().unwrap();
+        let keep = |name: &String| include_volatile || !inner.volatile.contains(name);
         let counters = inner
             .counters
             .iter()
+            .filter(|(name, _)| keep(name))
             .map(|(name, cell)| (name.clone(), Json::Int(cell.load(Ordering::Relaxed))))
             .collect();
         let gauges = inner
             .gauges
             .iter()
+            .filter(|(name, _)| keep(name))
             .map(|(name, cell)| {
                 (
                     name.clone(),
@@ -193,6 +267,7 @@ impl MetricsRegistry {
         let histograms = inner
             .histograms
             .iter()
+            .filter(|(name, _)| keep(name))
             .map(|(name, h)| (name.clone(), h.to_json()))
             .collect();
         Json::object(vec![
@@ -207,6 +282,67 @@ impl MetricsRegistry {
     pub fn render(&self) -> String {
         self.snapshot().render()
     }
+
+    /// [`snapshot_full`](Self::snapshot_full) rendered as pretty
+    /// canonical JSON.
+    pub fn render_full(&self) -> String {
+        self.snapshot_full().render()
+    }
+
+    /// The registry in the Prometheus text exposition format (volatile
+    /// instruments included): one `# TYPE` line per instrument,
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`. Names map
+    /// `.`/`-` (and anything else outside `[a-zA-Z0-9_]`) to `_` under
+    /// an `icicle_` prefix; output order is counters, gauges,
+    /// histograms, each sorted by name, so the rendering is
+    /// deterministic for a quiesced registry.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for (name, cell) in &inner.counters {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", cell.load(Ordering::Relaxed));
+        }
+        for (name, cell) in &inner.gauges {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(
+                out,
+                "{name} {:.6}",
+                f64::from_bits(cell.load(Ordering::Relaxed))
+            );
+        }
+        for (name, histogram) in &inner.histograms {
+            let name = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, bucket) in histogram.bounds.iter().zip(&histogram.buckets) {
+                cumulative += bucket.load(Ordering::Relaxed);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            cumulative += histogram.buckets[histogram.bounds.len()].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_sum {}", histogram.sum());
+            let _ = writeln!(out, "{name}_count {}", histogram.count());
+        }
+        out
+    }
+}
+
+/// `campaign.cache.hits` → `icicle_campaign_cache_hits`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("icicle_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -266,6 +402,86 @@ mod tests {
             .map(|b| b.get("count").unwrap().as_u64().unwrap())
             .collect();
         assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn volatile_instruments_skip_the_canonical_snapshot_only() {
+        let registry = MetricsRegistry::new();
+        registry.counter("stable.count").add(3);
+        registry.counter_volatile("engine.l2.stall_us").add(917);
+        registry.gauge_volatile("server.queue.high.depth").set(2.0);
+        registry
+            .histogram_volatile("campaign.lease.wait_us", &[10, 100])
+            .observe(42);
+        let canonical = registry.snapshot();
+        assert!(canonical
+            .get("counters")
+            .unwrap()
+            .get("stable.count")
+            .is_some());
+        assert!(canonical
+            .get("counters")
+            .unwrap()
+            .get("engine.l2.stall_us")
+            .is_none());
+        assert!(canonical
+            .get("gauges")
+            .unwrap()
+            .get("server.queue.high.depth")
+            .is_none());
+        assert!(canonical
+            .get("histograms")
+            .unwrap()
+            .get("campaign.lease.wait_us")
+            .is_none());
+        let full = registry.snapshot_full();
+        assert_eq!(
+            full.get("counters")
+                .unwrap()
+                .get("engine.l2.stall_us")
+                .unwrap()
+                .as_u64(),
+            Some(917)
+        );
+        assert!(full
+            .get("histograms")
+            .unwrap()
+            .get("campaign.lease.wait_us")
+            .is_some());
+    }
+
+    #[test]
+    fn histogram_accumulate_folds_deltas_in() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("spans", &[4, 16]);
+        h.observe(3);
+        h.accumulate(&[1, 0, 2], 3, 100);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 103);
+        assert_eq!(h.bucket_counts(), vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_prefixed() {
+        let registry = MetricsRegistry::new();
+        registry.counter("campaign.cells.total").add(4);
+        registry.gauge("campaign.progress.done").set(3.0);
+        let h = registry.histogram("cycles", &[10, 100]);
+        for v in [1, 10, 11, 1000] {
+            h.observe(v);
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE icicle_campaign_cells_total counter\n"));
+        assert!(text.contains("icicle_campaign_cells_total 4\n"));
+        assert!(text.contains("icicle_campaign_progress_done 3.000000\n"));
+        assert!(text.contains("icicle_cycles_bucket{le=\"10\"} 2\n"));
+        assert!(
+            text.contains("icicle_cycles_bucket{le=\"100\"} 3\n"),
+            "buckets are cumulative"
+        );
+        assert!(text.contains("icicle_cycles_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("icicle_cycles_sum 1022\n"));
+        assert!(text.contains("icicle_cycles_count 4\n"));
     }
 
     #[test]

@@ -312,6 +312,7 @@ mod tests {
             id,
             parent: None,
             thread: 1,
+            trace: 0,
             level: Level::Info,
             t_us,
             name,

@@ -1,0 +1,240 @@
+//! Explicit trace-context propagation.
+//!
+//! A [`TraceId`] is minted once per job or CLI invocation and names the
+//! *whole story* of that piece of work — every span and event emitted
+//! while a [`TraceContext`] carrying it is entered gets stamped with the
+//! id, no matter which thread emits. Propagation is deliberately
+//! explicit: crossing a thread-pool boundary means calling [`handoff`]
+//! on the spawning side, capturing the returned context into the spawn
+//! closure, and calling [`enter`] on the worker side. There is no
+//! ambient magic that leaks a context into a pool thread that never
+//! asked for it, so a worker that interleaves cells from different jobs
+//! always stamps each record with the right trace.
+//!
+//! The context also carries a *parent hint*: the innermost span open on
+//! the spawning thread at handoff time. A span opened on a fresh thread
+//! with an empty span stack parents to that hint, which is how
+//! `campaign.cell` spans on worker threads link under the one
+//! `campaign.run` span and the whole job renders as a single tree.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// SplitMix64 — the same mixer the fault planner uses; good enough to
+/// decorrelate sequential mint counters into ids that look random.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A process-unique, non-zero trace identifier, rendered on the wire as
+/// 16 lowercase hex characters (`X-Icicle-Trace`, status documents,
+/// post-mortem file names).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Mints a fresh id: a per-process random seed mixed with a
+    /// monotonic sequence, so ids are unique within the process and
+    /// almost surely unique across concurrent servers.
+    pub fn mint() -> TraceId {
+        static SEQ: AtomicU64 = AtomicU64::new(1);
+        static SEED: OnceLock<u64> = OnceLock::new();
+        let seed = *SEED.get_or_init(|| {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5eed);
+            splitmix64(nanos ^ ((std::process::id() as u64) << 32))
+        });
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(seed.wrapping_add(n.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        TraceId(if id == 0 { 1 } else { id })
+    }
+
+    /// The raw id (never zero for a minted id).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Wraps a raw id; zero means "no trace" and is rejected.
+    pub fn from_u64(raw: u64) -> Option<TraceId> {
+        if raw == 0 {
+            None
+        } else {
+            Some(TraceId(raw))
+        }
+    }
+
+    /// The canonical wire form: 16 lowercase hex characters.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the canonical wire form back.
+    pub fn parse_hex(text: &str) -> Option<TraceId> {
+        if text.len() != 16 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        u64::from_str_radix(text, 16)
+            .ok()
+            .and_then(TraceId::from_u64)
+    }
+}
+
+/// What gets handed across a thread boundary: the trace plus the span
+/// the receiving side should parent under.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TraceContext {
+    pub trace: TraceId,
+    /// Parent hint for the first span opened with an empty stack.
+    pub parent: Option<u64>,
+}
+
+impl TraceContext {
+    /// A context with no parent hint — the trace's root.
+    pub fn root(trace: TraceId) -> TraceContext {
+        TraceContext {
+            trace,
+            parent: None,
+        }
+    }
+}
+
+thread_local! {
+    // (trace, parent-hint) as raw u64s; 0 = absent. A Cell of a pair
+    // keeps the emit-path read branch-free.
+    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// The context entered on this thread, if any.
+pub fn current() -> Option<TraceContext> {
+    let (trace, parent) = CURRENT.with(Cell::get);
+    TraceId::from_u64(trace).map(|trace| TraceContext {
+        trace,
+        parent: if parent == 0 { None } else { Some(parent) },
+    })
+}
+
+/// The raw (trace, parent-hint) pair for the emit path.
+pub(crate) fn current_raw() -> (u64, Option<u64>) {
+    let (trace, parent) = CURRENT.with(Cell::get);
+    (trace, if parent == 0 { None } else { Some(parent) })
+}
+
+/// Just the raw trace id (0 = none) — for records that never parent.
+pub(crate) fn current_trace() -> u64 {
+    CURRENT.with(Cell::get).0
+}
+
+/// Restores the previously entered context when dropped.
+pub struct TraceScope {
+    prior: (u64, u64),
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let prior = self.prior;
+        CURRENT.with(|cell| cell.set(prior));
+    }
+}
+
+/// Enters `ctx` on the calling thread until the returned scope drops.
+/// Scopes nest; dropping restores whatever was entered before.
+pub fn enter(ctx: TraceContext) -> TraceScope {
+    let prior = CURRENT.with(|cell| {
+        let prior = cell.get();
+        cell.set((ctx.trace.as_u64(), ctx.parent.unwrap_or(0)));
+        prior
+    });
+    TraceScope { prior }
+}
+
+/// The context to capture on the spawning thread and [`enter`] on a
+/// worker: the current trace plus the innermost span open *here* (or
+/// the entered context's own parent hint if no span is open), so the
+/// worker's first span links under the spawner's span.
+pub fn handoff() -> Option<TraceContext> {
+    let ctx = current()?;
+    Some(TraceContext {
+        trace: ctx.trace,
+        parent: crate::collector::current_span().or(ctx.parent),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{install, shutdown, span, test_serial, Level, RingCollector};
+    use std::sync::Arc;
+
+    #[test]
+    fn minted_ids_are_unique_and_round_trip_hex() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_ne!(a.as_u64(), 0);
+        let hex = a.to_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceId::parse_hex(&hex), Some(a));
+        assert_eq!(TraceId::parse_hex("xyz"), None);
+        assert_eq!(TraceId::parse_hex("0000000000000000"), None);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let _serial = test_serial();
+        assert!(current().is_none());
+        let outer = TraceContext::root(TraceId::mint());
+        {
+            let _outer = enter(outer);
+            assert_eq!(current(), Some(outer));
+            let inner = TraceContext {
+                trace: TraceId::mint(),
+                parent: Some(42),
+            };
+            {
+                let _inner = enter(inner);
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer));
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn records_are_stamped_and_handoff_parents_across_threads() {
+        let _serial = test_serial();
+        let ring = Arc::new(RingCollector::new(32));
+        install(Level::Debug, ring.clone());
+        let trace = TraceId::mint();
+        let captured = {
+            let _ctx = enter(TraceContext::root(trace));
+            let _outer = span(Level::Info, "outer");
+            handoff().expect("context entered")
+        };
+        assert!(captured.parent.is_some(), "handoff captures the open span");
+        // Simulate the worker side: fresh thread, explicit enter.
+        let worker = std::thread::spawn(move || {
+            let _ctx = enter(captured);
+            let _cell = span(Level::Info, "cell");
+        });
+        worker.join().unwrap();
+        shutdown();
+        let records = ring.records();
+        assert!(records.iter().all(|r| r.trace == trace.as_u64()));
+        let outer_id = records[0].id;
+        let cell_start = records
+            .iter()
+            .find(|r| r.name == "cell")
+            .expect("worker span recorded");
+        assert_eq!(
+            cell_start.parent,
+            Some(outer_id),
+            "worker span parents under the handed-off span"
+        );
+    }
+}

@@ -315,6 +315,13 @@ impl Perf {
         // (soundness is untouched); at most one leading cycle per span
         // falls back to the stepped path.
         let mut probe = true;
+        // Skip-engine health, tallied in plain locals so the loop below
+        // carries no atomics; settled once after the loop.
+        let mut skip_spans = 0u64;
+        let mut skip_cycles = 0u64;
+        let mut skip_probes = 0u64;
+        let mut skip_probe_misses = 0u64;
+        let mut skip_buckets = [0u64; icicle_obs::SKIP_SPAN_BOUNDS.len() + 1];
         let start_cycle = core.cycle();
         while !core.is_done() {
             let c = core.cycle();
@@ -341,6 +348,7 @@ impl Perf {
                 }
             }
             if skipping && probe {
+                skip_probes += 1;
                 if let Some(n) = core.time_until_next_event() {
                     // Cap the span so the budget check and the multiplex
                     // rotation still land on exactly the cycles they
@@ -366,9 +374,13 @@ impl Perf {
                         for l in &mut lanes {
                             l.observe_many(&vector, k);
                         }
+                        skip_spans += 1;
+                        skip_cycles += k;
+                        skip_buckets[icicle_obs::skip_span_bucket(k)] += 1;
                         continue;
                     }
                 }
+                skip_probe_misses += 1;
             }
             active_cycles[active_group] += 1;
             let vector = core.step();
@@ -396,6 +408,14 @@ impl Perf {
             };
             tally.fetch_add(stepped, std::sync::atomic::Ordering::Relaxed);
         }
+        // Skip-engine tallies settle the same way: once, after the loop.
+        icicle_obs::record_skip(
+            skip_spans,
+            skip_cycles,
+            skip_probes,
+            skip_probe_misses,
+            &skip_buckets,
+        );
 
         // Read the counters back into an event-count view (the software
         // perspective: distributed counters include their 2^N

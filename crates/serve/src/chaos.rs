@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use icicle_campaign::{run_campaign, CampaignSpec, RunOptions};
 use icicle_faults::net::{FaultProxy, NetFaultPlan};
-use icicle_obs::Json;
+use icicle_obs::{self as obs, Json};
 
 use crate::client::Client;
 use crate::job::{JobState, Submission};
@@ -119,6 +119,12 @@ pub struct ChaosReport {
     pub seed: u64,
     /// Cases executed.
     pub cases: u64,
+    /// The run's trace id (hex) — every span and event the chaos
+    /// harness emitted is reachable from it.
+    pub trace: String,
+    /// Path of the flight-recorder dump written when the contract was
+    /// violated; `None` on a clean run.
+    pub postmortem: Option<String>,
     /// Violating schedules, shrunk; empty on a healthy server.
     pub violations: Vec<ChaosViolation>,
 }
@@ -146,13 +152,17 @@ impl ChaosReport {
                 ])
             })
             .collect();
-        Json::object(vec![
+        let mut pairs = vec![
             ("seed", Json::Int(self.seed)),
             ("cases", Json::Int(self.cases)),
+            ("trace", Json::Str(self.trace.clone())),
             ("passed", Json::Bool(self.passed())),
-            ("violations", Json::Array(violations)),
-        ])
-        .render()
+        ];
+        if let Some(path) = &self.postmortem {
+            pairs.push(("postmortem", Json::Str(path.clone())));
+        }
+        pairs.push(("violations", Json::Array(violations)));
+        Json::object(pairs).render()
     }
 }
 
@@ -413,6 +423,20 @@ pub fn run_chaos(options: &ChaosOptions) -> ChaosReport {
     let data_dir = options.data_root.clone().unwrap_or_else(|| {
         std::env::temp_dir().join(format!("icicle-chaos-{}", std::process::id()))
     });
+    // One trace spans the whole run so a violation's flight-recorder
+    // dump — and the report naming it — correlates every case.
+    let trace = obs::TraceId::mint();
+    let _scope = obs::enter(obs::TraceContext::root(trace));
+    let was_armed = obs::flight_armed();
+    if !was_armed {
+        obs::arm_flight_recorder(0);
+    }
+    let _span = obs::span_with(obs::Level::Info, "chaos.run", || {
+        vec![
+            ("seed", options.seed.into()),
+            ("cases", options.cases.into()),
+        ]
+    });
     let mut violations = Vec::new();
     for case in 0..options.cases {
         // The fault fuzzer's per-case seed derivation: distinct,
@@ -423,6 +447,13 @@ pub fn run_chaos(options: &ChaosOptions) -> ChaosReport {
             .wrapping_add(case);
         let plan = NetFaultPlan::generate(case_seed, options.connections);
         let caused = check_net_plan(&plan, options.weaken, &data_dir);
+        obs::event_with(obs::Level::Info, "chaos.case", || {
+            vec![
+                ("case", case.into()),
+                ("case_seed", case_seed.into()),
+                ("violations", caused.len().into()),
+            ]
+        });
         if !caused.is_empty() {
             let (minimal, details) = shrink_net_plan(&plan, options.weaken, &data_dir);
             violations.push(ChaosViolation {
@@ -434,9 +465,25 @@ pub fn run_chaos(options: &ChaosOptions) -> ChaosReport {
         }
     }
     let _ = std::fs::remove_dir_all(&data_dir);
+    // A broken contract writes the flight rings out post-mortem; the
+    // dump lands *next to* the (wiped) case data so it survives.
+    let postmortem = if violations.is_empty() {
+        None
+    } else {
+        let dump_dir = data_dir.with_extension("postmortem");
+        let extra = vec![
+            ("seed", Json::Int(options.seed)),
+            ("violations", Json::Int(violations.len() as u64)),
+        ];
+        obs::write_postmortem(&dump_dir, trace, "fault_violation", extra)
+            .ok()
+            .map(|path| path.display().to_string())
+    };
     ChaosReport {
         seed: options.seed,
         cases: options.cases,
+        trace: trace.to_hex(),
+        postmortem,
         violations,
     }
 }
@@ -450,6 +497,8 @@ mod tests {
         let report = ChaosReport {
             seed: 7,
             cases: 2,
+            trace: "00000000deadbeef".to_string(),
+            postmortem: Some("/tmp/pm/00000000deadbeef.jsonl".to_string()),
             violations: vec![ChaosViolation {
                 case: 1,
                 case_seed: 99,
@@ -460,6 +509,14 @@ mod tests {
         let doc = Json::parse(&report.to_json()).unwrap();
         assert_eq!(doc.get("passed"), Some(&Json::Bool(false)));
         assert_eq!(doc.get("seed"), Some(&Json::Int(7)));
+        assert_eq!(
+            doc.get("trace").and_then(Json::as_str),
+            Some("00000000deadbeef")
+        );
+        assert!(doc
+            .get("postmortem")
+            .and_then(Json::as_str)
+            .is_some_and(|p| p.ends_with(".jsonl")));
         let rendered = format!("{report}");
         assert!(rendered.contains("1 violating"));
         assert!(rendered.contains("slow-trickle on conn 0"));
@@ -470,11 +527,14 @@ mod tests {
         let report = ChaosReport {
             seed: 0,
             cases: 3,
+            trace: "0000000000000001".to_string(),
+            postmortem: None,
             violations: Vec::new(),
         };
         assert!(report.passed());
         assert!(format!("{report}").contains("contract held"));
         let doc = Json::parse(&report.to_json()).unwrap();
         assert_eq!(doc.get("passed"), Some(&Json::Bool(true)));
+        assert!(doc.get("postmortem").is_none(), "clean runs dump nothing");
     }
 }

@@ -236,11 +236,34 @@ pub fn reason(status: u16) -> &'static str {
 ///
 /// Propagates the underlying socket error.
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, body, "application/json", &[])
+}
+
+/// Writes a complete response with an explicit content type and extra
+/// response headers (written verbatim, e.g. `X-Icicle-Trace`).
+///
+/// # Errors
+///
+/// Propagates the underlying socket error.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len(),
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -267,8 +290,20 @@ pub fn write_stream_head(stream: &mut TcpStream, status: u16) -> io::Result<()> 
 pub struct ClientResponse {
     /// The status code.
     pub status: u16,
+    /// Response header name/value pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
     /// The full body (read to `Content-Length` or connection close).
     pub body: String,
+}
+
+impl ClientResponse {
+    /// The first value of response header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Knobs for one client-side [`call`].
@@ -400,8 +435,15 @@ fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or_else(|| format!("malformed status line `{status_line}`"))?;
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|line| line.split_once(':'))
+        .map(|(name, value)| (name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        .collect();
     Ok(ClientResponse {
         status,
+        headers,
         body: body.to_string(),
     })
 }

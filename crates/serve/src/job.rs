@@ -26,7 +26,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use icicle_campaign::sync::{lock_unpoisoned, wait_unpoisoned};
 use icicle_campaign::{Priority, SkipPolicy, SocJobs};
-use icicle_obs::{Json, MetricsRegistry};
+use icicle_obs::{Json, MetricsRegistry, TraceContext};
 
 /// Where a job is in its lifecycle.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -304,6 +304,10 @@ pub struct Job {
     pub soc_jobs: Option<SocJobs>,
     /// The logical-submission key this job was admitted under, if any.
     pub idempotency_key: Option<String>,
+    /// The trace context minted at submission. Executors re-enter it so
+    /// every span and event the engines emit — down to the SoC core
+    /// threads — correlates back to the originating `POST /v1/jobs`.
+    pub trace: TraceContext,
     /// Per-job metrics; the campaign progress callback maintains the
     /// `campaign.progress.{done,total,eta_seconds}` gauges here, and
     /// the engines record their usual counters.
@@ -315,8 +319,8 @@ pub struct Job {
 }
 
 impl Job {
-    /// A freshly queued job.
-    pub fn new(id: u64, submission: Submission) -> Job {
+    /// A freshly queued job carrying the trace context minted for it.
+    pub fn new(id: u64, submission: Submission, trace: TraceContext) -> Job {
         Job {
             id,
             kind: submission.kind,
@@ -325,6 +329,7 @@ impl Job {
             skip: submission.skip,
             soc_jobs: submission.soc_jobs,
             idempotency_key: submission.idempotency_key,
+            trace,
             metrics: Arc::new(MetricsRegistry::new()),
             cancel: Arc::new(AtomicBool::new(false)),
             status: Mutex::new(JobStatus {
@@ -444,6 +449,7 @@ impl Job {
             ("state", Json::Str(state.name().to_string())),
             ("priority", Json::Str(self.priority.name().to_string())),
             ("client", Json::Str(self.client.clone())),
+            ("trace", Json::Str(self.trace.trace.to_hex())),
             (
                 "done",
                 Json::Int(self.metrics.gauge("campaign.progress.done").get() as u64),
@@ -481,6 +487,11 @@ impl Job {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use icicle_obs::TraceId;
+
+    fn ctx() -> TraceContext {
+        TraceContext::root(TraceId::mint())
+    }
 
     #[test]
     fn submission_envelope_round_trips() {
@@ -533,7 +544,7 @@ mod tests {
 
     #[test]
     fn lifecycle_moves_rightward_only() {
-        let job = Job::new(1, Submission::campaign("spec"));
+        let job = Job::new(1, Submission::campaign("spec"), ctx());
         assert_eq!(job.state(), JobState::Queued);
         assert!(job.start());
         assert_eq!(job.state(), JobState::Running);
@@ -548,7 +559,7 @@ mod tests {
 
     #[test]
     fn cancel_beats_start_on_a_queued_job() {
-        let job = Job::new(2, Submission::campaign("spec"));
+        let job = Job::new(2, Submission::campaign("spec"), ctx());
         assert_eq!(job.request_cancel(), (JobState::Cancelled, true));
         assert!(!job.start(), "an executor must not start a cancelled job");
         assert_eq!(job.state(), JobState::Cancelled);
@@ -560,7 +571,7 @@ mod tests {
 
     #[test]
     fn cancel_on_a_running_job_only_sets_the_flag() {
-        let job = Job::new(3, Submission::campaign("spec"));
+        let job = Job::new(3, Submission::campaign("spec"), ctx());
         assert!(job.start());
         assert_eq!(job.request_cancel(), (JobState::Running, false));
         assert!(job.cancel.load(Ordering::SeqCst));
@@ -571,7 +582,7 @@ mod tests {
 
     #[test]
     fn wait_blocks_until_terminal() {
-        let job = Arc::new(Job::new(4, Submission::campaign("spec")));
+        let job = Arc::new(Job::new(4, Submission::campaign("spec"), ctx()));
         let waiter = {
             let job = Arc::clone(&job);
             std::thread::spawn(move || job.wait())
@@ -584,11 +595,16 @@ mod tests {
 
     #[test]
     fn status_json_carries_the_lifecycle() {
-        let job = Job::new(9, Submission::campaign("spec").with_client("smoke"));
+        let trace = ctx();
+        let job = Job::new(9, Submission::campaign("spec").with_client("smoke"), trace);
         let doc = job.status_json();
         assert_eq!(doc.get("id").unwrap().as_u64(), Some(9));
         assert_eq!(doc.get("state").unwrap().as_str(), Some("queued"));
         assert_eq!(doc.get("client").unwrap().as_str(), Some("smoke"));
+        assert_eq!(
+            doc.get("trace").unwrap().as_str(),
+            Some(trace.trace.to_hex().as_str())
+        );
         job.start();
         job.metrics.gauge("campaign.progress.done").set(3.0);
         job.metrics.gauge("campaign.progress.total").set(9.0);

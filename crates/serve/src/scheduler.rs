@@ -18,10 +18,15 @@
 //! its quota and cancels everything is immediately whole again.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use icicle_campaign::sync::lock_unpoisoned;
 use icicle_campaign::{JobQueue, Priority};
+use icicle_obs::MetricsRegistry;
+
+/// Bounds (µs) for the per-band queue-wait histograms: 100 µs to 1 s.
+const QUEUE_WAIT_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 
 /// Admission-control limits.
 #[derive(Copy, Clone, Debug)]
@@ -81,11 +86,16 @@ struct Accounting {
 }
 
 /// Priority dispatch with quota accounting.
-#[derive(Debug)]
 pub struct Scheduler {
     config: SchedulerConfig,
     queue: JobQueue,
     accounting: Mutex<Accounting>,
+    /// Enqueue instants per queued job id, for queue-age telemetry.
+    pending: Mutex<HashMap<usize, (Priority, Instant)>>,
+    /// Where queue depth/age telemetry lands; `None` disables it. The
+    /// instruments are registered volatile so canonical result
+    /// snapshots stay jobs-invariant.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Scheduler {
@@ -95,6 +105,30 @@ impl Scheduler {
             config,
             queue: JobQueue::new(),
             accounting: Mutex::new(Accounting::default()),
+            pending: Mutex::new(HashMap::new()),
+            metrics: None,
+        }
+    }
+
+    /// An empty scheduler that records per-band queue depth gauges and
+    /// queue-wait histograms into `metrics` (as volatile instruments).
+    pub fn with_metrics(config: SchedulerConfig, metrics: Arc<MetricsRegistry>) -> Scheduler {
+        let mut scheduler = Scheduler::new(config);
+        scheduler.metrics = Some(metrics);
+        scheduler
+    }
+
+    /// Recomputes the per-band depth gauges from the pending map.
+    fn update_depth_gauges(&self) {
+        let Some(metrics) = self.metrics.as_deref() else {
+            return;
+        };
+        let pending = lock_unpoisoned(&self.pending);
+        for band in [Priority::High, Priority::Normal, Priority::Low] {
+            let depth = pending.values().filter(|(p, _)| *p == band).count();
+            metrics
+                .gauge_volatile(&format!("server.queue.{}.depth", band.name()))
+                .set(depth as f64);
         }
     }
 
@@ -118,14 +152,28 @@ impl Scheduler {
         *client_count += 1;
         accounting.outstanding += 1;
         drop(accounting);
+        lock_unpoisoned(&self.pending).insert(id, (priority, Instant::now()));
         self.queue.push_with_priority(id, priority);
+        self.update_depth_gauges();
         Ok(())
     }
 
     /// Blocks for the next job id to execute; `None` after
     /// [`Scheduler::close`] once the queue drains.
     pub fn next(&self) -> Option<usize> {
-        self.queue.pop()
+        let id = self.queue.pop()?;
+        if let Some((priority, queued_at)) = lock_unpoisoned(&self.pending).remove(&id) {
+            if let Some(metrics) = self.metrics.as_deref() {
+                metrics
+                    .histogram_volatile(
+                        &format!("server.queue.{}.wait_us", priority.name()),
+                        &QUEUE_WAIT_BOUNDS_US,
+                    )
+                    .observe(queued_at.elapsed().as_micros() as u64);
+            }
+        }
+        self.update_depth_gauges();
+        Some(id)
     }
 
     /// Refunds `client`'s quota slot when its job reaches a terminal
@@ -222,6 +270,29 @@ mod tests {
         // Already-queued work still drains.
         assert_eq!(s.next(), Some(0));
         assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn queue_telemetry_tracks_depth_and_wait() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let s = Scheduler::with_metrics(SchedulerConfig::default(), Arc::clone(&metrics));
+        s.submit(0, Priority::High, "a").unwrap();
+        s.submit(1, Priority::Normal, "a").unwrap();
+        assert_eq!(metrics.gauge_volatile("server.queue.high.depth").get(), 1.0);
+        assert_eq!(
+            metrics.gauge_volatile("server.queue.normal.depth").get(),
+            1.0
+        );
+        assert_eq!(s.next(), Some(0));
+        assert_eq!(metrics.gauge_volatile("server.queue.high.depth").get(), 0.0);
+        assert_eq!(
+            metrics
+                .histogram_volatile("server.queue.high.wait_us", &QUEUE_WAIT_BOUNDS_US)
+                .count(),
+            1
+        );
+        // Volatile: queue telemetry never enters the canonical snapshot.
+        assert!(!metrics.render().contains("server.queue."));
     }
 
     #[test]

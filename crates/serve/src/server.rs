@@ -5,14 +5,21 @@
 //! | method | path                     | response |
 //! |--------|--------------------------|----------|
 //! | GET    | `/healthz`               | `{"ok": true}` |
-//! | GET    | `/metrics`               | the server metrics document |
+//! | GET    | `/metrics`               | the canonical (jobs-invariant) metrics document |
+//! | GET    | `/metrics?format=full`   | every instrument, volatile telemetry included |
+//! | GET    | `/metrics?format=prometheus` | Prometheus text exposition (`text/plain`) |
 //! | POST   | `/v1/jobs`               | 202 + job status, or 400/429/503 |
 //! | GET    | `/v1/jobs`               | array of job statuses |
 //! | GET    | `/v1/jobs/<id>`          | job status |
 //! | GET    | `/v1/jobs/<id>/result`   | the canonical engine output, verbatim |
 //! | GET    | `/v1/jobs/<id>/progress` | streaming JSONL until terminal |
 //! | POST   | `/v1/jobs/<id>/cancel`   | job status after the request |
+//! | POST   | `/v1/jobs/<id>/dump`     | write a flight-recorder dump; `{"ok", "trace", "path"}` |
 //! | POST   | `/v1/shutdown`           | `{"ok": true, "draining": true}`, then graceful drain |
+//!
+//! Job-scoped responses (submit, status, result, cancel, dump) carry
+//! the job's trace id in an `X-Icicle-Trace` header, correlating the
+//! HTTP exchange with every span and event the job's engines emit.
 //!
 //! Error shape is always `{"error": "<message>"}`. `result` answers
 //! 409 while the job is still queued or running, 404 for unknown ids,
@@ -48,7 +55,9 @@ use std::time::Duration;
 
 use icicle_obs::Json;
 
-use crate::http::{read_request, write_response, write_stream_head, Request, RequestError};
+use crate::http::{
+    read_request, write_response, write_response_with, write_stream_head, Request, RequestError,
+};
 use crate::job::{Job, Submission};
 use crate::service::AnalysisService;
 
@@ -267,11 +276,55 @@ fn handle_connection(
             }
         }
     }
-    let (status, body) = route(service, &request);
-    if status >= 400 {
+    let reply = route(service, &request);
+    if reply.status >= 400 {
         service.metrics().counter("server.http.errors").inc();
     }
-    let _ = write_response(&mut stream, status, &body);
+    let mut headers = Vec::new();
+    if let Some(trace) = reply.trace {
+        headers.push(("X-Icicle-Trace".to_string(), trace));
+    }
+    let _ = write_response_with(
+        &mut stream,
+        reply.status,
+        &reply.body,
+        reply.content_type,
+        &headers,
+    );
+}
+
+/// One non-streaming response: status, body, content type, and the
+/// optional trace id echoed as `X-Icicle-Trace`.
+struct Reply {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+    trace: Option<String>,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            content_type: "application/json",
+            trace: None,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            content_type: "text/plain; version=0.0.4",
+            trace: None,
+        }
+    }
+
+    fn with_trace(mut self, trace: String) -> Reply {
+        self.trace = Some(trace);
+        self
+    }
 }
 
 fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
@@ -283,50 +336,66 @@ fn error_body(message: &str) -> String {
 }
 
 /// Dispatches one parsed request to the service.
-fn route(service: &AnalysisService, request: &Request) -> (u16, String) {
+fn route(service: &AnalysisService, request: &Request) -> Reply {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, Json::object(vec![("ok", Json::Bool(true))]).render()),
-        ("GET", "/metrics") => (200, service.metrics_snapshot()),
+        ("GET", "/healthz") => {
+            Reply::json(200, Json::object(vec![("ok", Json::Bool(true))]).render())
+        }
+        ("GET", "/metrics") => {
+            let format = request
+                .query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("format="))
+                .unwrap_or("json");
+            match format {
+                "json" => Reply::json(200, service.metrics_snapshot()),
+                "full" => Reply::json(200, service.metrics_snapshot_full()),
+                "prometheus" => Reply::text(200, service.metrics_prometheus()),
+                other => Reply::json(400, error_body(&format!("unknown format `{other}`"))),
+            }
+        }
         ("POST", "/v1/jobs") => submit(service, request),
         ("GET", "/v1/jobs") => {
             let statuses: Vec<Json> = service.jobs().iter().map(|j| j.status_json()).collect();
-            (200, Json::Array(statuses).render())
+            Reply::json(200, Json::Array(statuses).render())
         }
         (method, path) => {
             let Some(rest) = path.strip_prefix("/v1/jobs/") else {
-                return (404, error_body("no such route"));
+                return Reply::json(404, error_body("no such route"));
             };
             let (id, action) = match rest.split_once('/') {
                 Some((id, action)) => (id, Some(action)),
                 None => (rest, None),
             };
             let Ok(id) = id.parse::<u64>() else {
-                return (400, error_body("job id must be an integer"));
+                return Reply::json(400, error_body("job id must be an integer"));
             };
             let Some(job) = service.job(id) else {
-                return (404, error_body("no such job"));
+                return Reply::json(404, error_body("no such job"));
             };
+            let trace = job.trace.trace.to_hex();
             match (method, action) {
-                ("GET", None) => (200, job.status_json().render()),
-                ("GET", Some("result")) => result(&job),
+                ("GET", None) => Reply::json(200, job.status_json().render()).with_trace(trace),
+                ("GET", Some("result")) => result(&job).with_trace(trace),
                 ("POST", Some("cancel")) => {
                     service.cancel(id);
-                    (200, job.status_json().render())
+                    Reply::json(200, job.status_json().render()).with_trace(trace)
                 }
-                _ => (405, error_body("unsupported method or action")),
+                ("POST", Some("dump")) => dump(service, &job).with_trace(trace),
+                _ => Reply::json(405, error_body("unsupported method or action")),
             }
         }
     }
 }
 
-fn submit(service: &AnalysisService, request: &Request) -> (u16, String) {
+fn submit(service: &AnalysisService, request: &Request) -> Reply {
     let body = match request.body_text() {
         Ok(body) => body,
-        Err(error) => return (400, error_body(&error)),
+        Err(error) => return Reply::json(400, error_body(&error)),
     };
     let mut submission = match Submission::parse(body) {
         Ok(submission) => submission,
-        Err(error) => return (400, error_body(&error)),
+        Err(error) => return Reply::json(400, error_body(&error)),
     };
     // The header form wins over the envelope field: the retrying
     // client stamps the key on the wire, not in the body it signs.
@@ -343,24 +412,44 @@ fn submit(service: &AnalysisService, request: &Request) -> (u16, String) {
         service.metrics().counter("server.http.retries").inc();
     }
     match service.submit(submission) {
-        Ok(job) => (202, job.status_json().render()),
-        Err(shed) => (shed.status(), error_body(shed.message())),
+        Ok(job) => {
+            Reply::json(202, job.status_json().render()).with_trace(job.trace.trace.to_hex())
+        }
+        Err(shed) => Reply::json(shed.status(), error_body(shed.message())),
     }
 }
 
-fn result(job: &Job) -> (u16, String) {
+/// `POST /v1/jobs/<id>/dump`: write the job's flight-recorder rings to
+/// a post-mortem file and answer with where it landed.
+fn dump(service: &AnalysisService, job: &Job) -> Reply {
+    match service.dump_job(job.id) {
+        Some(Ok(path)) => Reply::json(
+            200,
+            Json::object(vec![
+                ("ok", Json::Bool(true)),
+                ("trace", Json::Str(job.trace.trace.to_hex())),
+                ("path", Json::Str(path.display().to_string())),
+            ])
+            .render(),
+        ),
+        Some(Err(error)) => Reply::json(500, error_body(&format!("dump failed: {error}"))),
+        None => Reply::json(404, error_body("no such job")),
+    }
+}
+
+fn result(job: &Job) -> Reply {
     use crate::job::JobState;
     match job.state() {
         JobState::Queued | JobState::Running => {
-            (409, error_body("job is not finished; poll its status"))
+            Reply::json(409, error_body("job is not finished; poll its status"))
         }
-        JobState::Done => (200, job.result().expect("done jobs always carry a result")),
+        JobState::Done => Reply::json(200, job.result().expect("done jobs always carry a result")),
         JobState::Cancelled => match job.result() {
             // A cancelled campaign still reports the cells it finished.
-            Some(partial) => (200, partial),
-            None => (409, error_body("job was cancelled before it ran")),
+            Some(partial) => Reply::json(200, partial),
+            None => Reply::json(409, error_body("job was cancelled before it ran")),
         },
-        JobState::Failed => (
+        JobState::Failed => Reply::json(
             500,
             error_body(&job.error().unwrap_or_else(|| "job failed".to_string())),
         ),

@@ -36,7 +36,7 @@ use icicle_campaign::sync::lock_unpoisoned;
 use icicle_campaign::{
     run_campaign, CampaignSpec, CheckpointLog, Progress, ProgressFn, ResultCache, RunOptions,
 };
-use icicle_obs::{self as obs, MetricsRegistry, SimCounts};
+use icicle_obs::{self as obs, EngineCounts, MetricsRegistry, SimCounts};
 
 use crate::job::{Job, JobKind, JobState, Submission};
 use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
@@ -67,6 +67,11 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Single-flight lease wait bounds, in microseconds — must match the
+/// campaign runner's `campaign.lease.wait_us` histogram so per-job
+/// buckets fold losslessly into the server-wide one.
+const LEASE_WAIT_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
 /// The transport-free analysis service.
 pub struct AnalysisService {
     config: ServiceConfig,
@@ -76,6 +81,12 @@ pub struct AnalysisService {
     checkpoints: Mutex<HashMap<String, Arc<CheckpointLog>>>,
     metrics: Arc<MetricsRegistry>,
     sim_baseline: Mutex<SimCounts>,
+    /// Baseline for the process-global engine-health tallies (skip
+    /// spans, L2 horizon stalls, null messages), settled as deltas into
+    /// *volatile* instruments — visible in `/metrics` full/Prometheus
+    /// renders, excluded from canonical snapshots so results stay
+    /// jobs-invariant.
+    engine_baseline: Mutex<EngineCounts>,
     /// Idempotency-key → job id: a resent submission carrying a known
     /// key is answered with the original job instead of scheduling a
     /// duplicate. In-memory only — a restart forgets keys, which is
@@ -99,6 +110,11 @@ impl AnalysisService {
         // service reports deltas against this baseline.
         obs::set_sim_stats(true);
         let sim_baseline = Mutex::new(obs::sim_stats().counts());
+        let engine_baseline = Mutex::new(obs::engine_stats());
+        // The flight recorder stays armed for the server's lifetime:
+        // bounded per-thread rings whose contents become post-mortem
+        // dumps on worker panic or `POST /v1/jobs/<id>/dump`.
+        obs::arm_flight_recorder(0);
         let metrics = Arc::new(MetricsRegistry::new());
         // Robustness counters exist from the first snapshot, not from
         // their first increment, so `/metrics` consumers can rely on
@@ -112,13 +128,14 @@ impl AnalysisService {
             let _ = metrics.counter(name);
         }
         Ok(AnalysisService {
-            scheduler: Scheduler::new(config.scheduler),
+            scheduler: Scheduler::with_metrics(config.scheduler, Arc::clone(&metrics)),
             config,
             store,
             jobs: Mutex::new(Vec::new()),
             checkpoints: Mutex::new(HashMap::new()),
             metrics,
             sim_baseline,
+            engine_baseline,
             idempotency: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
         })
@@ -170,8 +187,21 @@ impl AnalysisService {
         if self.draining.load(Ordering::SeqCst) {
             return Err(SubmitError::Draining);
         }
+        // Mint the trace here, at admission: everything this job ever
+        // emits — executor span, campaign cells, SoC core threads —
+        // hangs off the `server.submit` span via the context handed to
+        // the job. The handler echoes the id in `X-Icicle-Trace`.
+        let trace = obs::TraceId::mint();
+        let _scope = obs::enter(obs::TraceContext::root(trace));
+        let _span = obs::span_with(obs::Level::Info, "server.submit", || {
+            vec![
+                ("kind", submission.kind.name().into()),
+                ("client", submission.client.clone().into()),
+            ]
+        });
         let id = jobs.len();
-        let job = Arc::new(Job::new(id as u64, submission));
+        let ctx = obs::handoff().unwrap_or(obs::TraceContext::root(trace));
+        let job = Arc::new(Job::new(id as u64, submission, ctx));
         if let Err(shed) = self.scheduler.submit(id, job.priority, &job.client) {
             self.metrics.counter("server.jobs.shed").inc();
             return Err(shed);
@@ -181,6 +211,12 @@ impl AnalysisService {
         }
         jobs.push(Arc::clone(&job));
         self.metrics.counter("server.jobs.submitted").inc();
+        obs::event_with(obs::Level::Info, "server.job.queued", || {
+            vec![
+                ("id", job.id.into()),
+                ("priority", job.priority.name().into()),
+            ]
+        });
         Ok(job)
     }
 
@@ -263,10 +299,50 @@ impl AnalysisService {
     }
 
     /// The canonical metrics document served at `/metrics`, with the
-    /// simulator tallies settled up to now.
+    /// simulator tallies settled up to now. Volatile instruments
+    /// (queue depth/age, engine health, lease waits) are excluded so
+    /// the document stays jobs-invariant.
     pub fn metrics_snapshot(&self) -> String {
         self.settle_sim();
         self.metrics.render()
+    }
+
+    /// The full metrics document including volatile instruments — what
+    /// the Prometheus exposition is generated from, in JSON.
+    pub fn metrics_snapshot_full(&self) -> String {
+        self.settle_sim();
+        self.settle_engine();
+        self.metrics.render_full()
+    }
+
+    /// The Prometheus text exposition served at
+    /// `/metrics?format=prometheus`.
+    pub fn metrics_prometheus(&self) -> String {
+        self.settle_sim();
+        self.settle_engine();
+        self.metrics.render_prometheus()
+    }
+
+    /// Writes an on-demand flight-recorder dump for job `id` — the
+    /// `POST /v1/jobs/<id>/dump` endpoint. `None` for an unknown id.
+    ///
+    /// # Errors
+    ///
+    /// The inner result carries the I/O error if the dump cannot be
+    /// written.
+    pub fn dump_job(&self, id: u64) -> Option<io::Result<PathBuf>> {
+        let job = self.job(id)?;
+        let extra = vec![
+            ("job", obs::Json::Int(job.id)),
+            ("kind", obs::Json::Str(job.kind.name().to_string())),
+            ("state", obs::Json::Str(job.state().name().to_string())),
+        ];
+        Some(obs::write_postmortem(
+            &self.config.data_dir.join("postmortem"),
+            job.trace.trace,
+            "dump_request",
+            extra,
+        ))
     }
 
     /// Folds the simulator-cycle *increase* since the last settlement
@@ -286,6 +362,61 @@ impl AnalysisService {
             .add(delta.boom_cycles);
     }
 
+    /// Folds the engine-health *increase* since the last settlement
+    /// into volatile server instruments: cycle-skip spans and probe
+    /// rates (with a span-length histogram), per-core L2 horizon-stall
+    /// and null-message tallies, and the flight-recorder drop count.
+    /// Only the service settles these globals — concurrent jobs would
+    /// cross-contaminate per-job registries.
+    fn settle_engine(&self) {
+        let mut baseline = lock_unpoisoned(&self.engine_baseline);
+        let now = obs::engine_stats();
+        let delta = now.since(&baseline);
+        *baseline = now;
+        drop(baseline);
+        let m = &self.metrics;
+        m.counter_volatile("engine.skip.spans")
+            .add(delta.skip_spans);
+        m.counter_volatile("engine.skip.cycles")
+            .add(delta.skip_cycles);
+        m.counter_volatile("engine.skip.probes")
+            .add(delta.skip_probes);
+        m.counter_volatile("engine.skip.probe_misses")
+            .add(delta.skip_probe_misses);
+        m.histogram_volatile("engine.skip.span_cycles", &obs::SKIP_SPAN_BOUNDS)
+            .accumulate(
+                &delta.skip_span_buckets,
+                delta.skip_spans,
+                delta.skip_cycles,
+            );
+        for core in 0..obs::ENGINE_CORES {
+            m.counter_volatile(&format!("engine.l2.core{core}.null_messages"))
+                .add(delta.l2_null_messages[core]);
+            m.counter_volatile(&format!("engine.l2.core{core}.stall_waits"))
+                .add(delta.l2_stall_waits[core]);
+            m.counter_volatile(&format!("engine.l2.core{core}.stall_spins"))
+                .add(delta.l2_stall_spins[core]);
+            m.counter_volatile(&format!("engine.l2.core{core}.stall_us"))
+                .add(delta.l2_stall_us[core]);
+        }
+        m.gauge_volatile("obs.flight.dropped")
+            .set(obs::flight_dropped() as f64);
+    }
+
+    /// Folds a finished job's single-flight lease waits into the
+    /// server-wide volatile histogram. Lease waits are observed into
+    /// the per-job registry (they belong to that job's story), but the
+    /// per-job registry dies with the job's status document — this
+    /// settlement, once per job, is their only path into `/metrics`.
+    fn settle_lease_waits(&self, job: &Job) {
+        let waits = job
+            .metrics
+            .histogram_volatile("campaign.lease.wait_us", &LEASE_WAIT_BOUNDS_US);
+        self.metrics
+            .histogram_volatile("campaign.lease.wait_us", &LEASE_WAIT_BOUNDS_US)
+            .accumulate(&waits.bucket_counts(), waits.count(), waits.sum());
+    }
+
     fn executor_loop(self: &Arc<Self>) {
         while let Some(id) = self.scheduler.next() {
             let job = self.job(id as u64).expect("scheduled job is registered");
@@ -294,8 +425,19 @@ impl AnalysisService {
                 // canceller settled its quota and counted it already.
                 continue;
             }
-            self.execute(&job);
+            {
+                // Re-enter the job's trace on this executor thread so
+                // the engine's spans parent under the submit span, one
+                // well-formed tree per trace id.
+                let _scope = obs::enter(job.trace);
+                let _span = obs::span_with(obs::Level::Info, "server.job.execute", || {
+                    vec![("id", job.id.into()), ("kind", job.kind.name().into())]
+                });
+                self.execute(&job);
+            }
             self.settle_sim();
+            self.settle_engine();
+            self.settle_lease_waits(&job);
             self.scheduler.settle(&job.client);
             let counter = match job.state() {
                 JobState::Done => "server.jobs.done",
@@ -333,6 +475,7 @@ impl AnalysisService {
             cancel: Some(Arc::clone(&job.cancel)),
             skip: job.skip,
             soc_jobs: job.soc_jobs,
+            postmortem_dir: Some(self.config.data_dir.join("postmortem")),
             ..RunOptions::default()
         };
         let report = run_campaign(&spec, &options);
@@ -693,6 +836,45 @@ mod tests {
             h.join().unwrap();
         }
         service.flush();
+    }
+
+    #[test]
+    fn on_demand_dump_names_the_jobs_trace() {
+        let service = tmp_service("dump", 1);
+        let handles = service.start();
+        let job = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        assert_eq!(job.wait(), JobState::Done);
+        let path = service.dump_job(job.id).unwrap().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(&job.trace.trace.to_hex()));
+        assert!(text.contains("\"reason\":\"dump_request\""));
+        assert!(service.dump_job(9_999).is_none(), "unknown job id");
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn engine_health_stays_out_of_the_canonical_snapshot() {
+        let service = tmp_service("enginehealth", 1);
+        let handles = service.start();
+        let job = service.submit(Submission::campaign(TINY_SPEC)).unwrap();
+        assert_eq!(job.wait(), JobState::Done);
+        service.shutdown();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let canonical = service.metrics_snapshot();
+        assert!(!canonical.contains("engine.skip."));
+        assert!(!canonical.contains("server.queue."));
+        let full = service.metrics_snapshot_full();
+        assert!(full.contains("engine.skip.spans"));
+        assert!(full.contains("engine.l2.core0.null_messages"));
+        assert!(full.contains("obs.flight.dropped"));
+        let prometheus = service.metrics_prometheus();
+        assert!(prometheus.contains("icicle_engine_skip_spans"));
+        assert!(prometheus.contains("icicle_engine_skip_span_cycles_bucket"));
     }
 
     #[test]

@@ -570,6 +570,10 @@ impl Soc {
         }
         let gate = Arc::new(StepGate::new(jobs.max(1).min(self.cores.len())));
         let ports = L2Arbiter::link(self.shared_l2.clone(), self.cores.len());
+        // Explicit trace handoff: captured here on the spawning thread,
+        // entered by each core worker, so core-thread records stay
+        // stamped with the enclosing job's trace.
+        let trace = icicle_obs::handoff();
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .cores
@@ -578,6 +582,18 @@ impl Soc {
                 .map(|(c, port)| {
                     let gate = Arc::clone(&gate);
                     s.spawn(move || {
+                        let _trace = trace.map(icicle_obs::enter);
+                        let workload = c.workload_name.clone();
+                        let index = port.index();
+                        // Debug-level so the Info-level span tree stays
+                        // byte-identical to the lockstep engine, which
+                        // interleaves cores and cannot emit per-core
+                        // spans at all.
+                        let _drive = icicle_obs::span_with(
+                            icicle_obs::Level::Debug,
+                            "soc.core.drive",
+                            || vec![("core", index.into()), ("workload", workload.into())],
+                        );
                         let waiter: Arc<dyn L2Waiter> = gate.clone();
                         c.core.attach_l2_port(port.clone().with_waiter(waiter));
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -587,6 +603,14 @@ impl Soc {
                         // on one core cannot wedge its neighbours.
                         port.finish();
                         c.core.detach_l2_port();
+                        let stats = port.stats();
+                        icicle_obs::record_l2_core(
+                            index,
+                            stats.null_messages,
+                            stats.stall_waits,
+                            stats.stall_spins,
+                            stats.stall_us,
+                        );
                         if let Err(payload) = outcome {
                             resume_unwind(payload);
                         }
@@ -653,7 +677,7 @@ impl Soc {
 
     fn reports(&self) -> Result<Vec<SocReport>, SocError> {
         let mut reports = Vec::with_capacity(self.cores.len());
-        for c in &self.cores {
+        for (index, c) in self.cores.iter().enumerate() {
             let cycles = c.finished_at.expect("all finished");
             // Read this core's own CSR file back.
             let mut hw = EventCounts::new();
@@ -679,6 +703,18 @@ impl Soc {
                 cycles,
                 model.commit_width,
             );
+            // Both engines call `reports` identically on the calling
+            // thread with deterministic values, so the Info-level tree
+            // stays byte-identical across lockstep and parallel runs.
+            icicle_obs::event_with(icicle_obs::Level::Info, "soc.core", || {
+                vec![
+                    ("core", index.into()),
+                    ("name", c.core.name().into()),
+                    ("workload", c.workload_name.clone().into()),
+                    ("cycles", cycles.into()),
+                    ("instret", hw.get(EventId::InstrRetired).into()),
+                ]
+            });
             reports.push(SocReport {
                 workload: c.workload_name.clone(),
                 report: PerfReport {

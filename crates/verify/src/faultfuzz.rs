@@ -28,6 +28,7 @@ use std::sync::Arc;
 use icicle_campaign::json::Json;
 use icicle_campaign::{run_campaign, CampaignSpec, CoreSelect, Progress, ProgressFn, RunOptions};
 use icicle_faults::{FaultInjector, FaultKind, FaultPlan};
+use icicle_obs::{self as obs};
 use icicle_pmu::CounterArch;
 
 /// Retries granted to every fuzzed run: exactly enough for a transient
@@ -82,6 +83,9 @@ pub struct FaultViolation {
 pub struct FaultFuzzReport {
     pub seed: u64,
     pub cases: u64,
+    /// The run's trace id (hex); spans and events the fuzzed campaigns
+    /// emitted are reachable from it.
+    pub trace: String,
     /// Plans that broke the contract, shrunk.
     pub violations: Vec<FaultViolation>,
     /// Distinct fault kinds exercised across all cases (sorted) — a
@@ -101,6 +105,7 @@ impl FaultFuzzReport {
         let json = Json::object(vec![
             ("seed", Json::Int(self.seed)),
             ("cases", Json::Int(self.cases)),
+            ("trace", Json::Str(self.trace.clone())),
             ("passed", Json::Bool(self.passed())),
             (
                 "kinds_exercised",
@@ -270,11 +275,22 @@ where
 /// Runs `options.cases` seed-pure fault plans against the fixed fuzz
 /// campaign, shrinking any contract violation to a minimal plan.
 pub fn run_fault_fuzz(options: &FaultFuzzOptions) -> FaultFuzzReport {
+    // One trace for the whole fuzzing run: every fuzzed campaign's
+    // spans and events correlate back to the report naming this id.
+    let trace = obs::TraceId::mint();
+    let _scope = obs::enter(obs::TraceContext::root(trace));
+    let _span = obs::span_with(obs::Level::Info, "faultfuzz.run", || {
+        vec![
+            ("seed", options.seed.into()),
+            ("cases", options.cases.into()),
+        ]
+    });
     let spec = fault_fuzz_spec();
     let cell_count = spec.cells().len();
     let mut report = FaultFuzzReport {
         seed: options.seed,
         cases: options.cases,
+        trace: trace.to_hex(),
         ..FaultFuzzReport::default()
     };
     let mut kinds: Vec<String> = Vec::new();

@@ -22,10 +22,12 @@
 //! [`TestRng`], exactly like the workload fuzzer.
 
 use std::fmt;
+use std::path::PathBuf;
 
 use icicle_campaign::json::Json;
 use icicle_campaign::{Progress, ProgressFn};
 use icicle_events::EventId;
+use icicle_obs::{self as obs};
 use icicle_soc::{SocJobs, SocMix, SocReport};
 use icicle_workloads::{self as workloads, Workload};
 use proptest::test_runner::TestRng;
@@ -270,6 +272,10 @@ pub struct PdesOptions {
     pub jobs: Vec<usize>,
     /// Optional live progress callback.
     pub progress: Option<Box<ProgressFn>>,
+    /// Directory for a flight-recorder dump when a divergence is found.
+    /// `None` (the default) never touches the filesystem; the dump also
+    /// requires the recorder to be armed.
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl Default for PdesOptions {
@@ -279,6 +285,7 @@ impl Default for PdesOptions {
             seed: 0,
             jobs: vec![1, 2, 4, 8],
             progress: None,
+            postmortem_dir: None,
         }
     }
 }
@@ -304,6 +311,12 @@ pub struct PdesReport {
     pub cases: u64,
     /// The thread counts each scenario was checked at.
     pub jobs: Vec<usize>,
+    /// The run's trace id (hex); every span and event the differential
+    /// emitted is reachable from it.
+    pub trace: String,
+    /// Path of the flight-recorder dump written when a divergence was
+    /// found (recorder armed and a dump directory configured).
+    pub postmortem: Option<String>,
     /// Scenarios that failed to run at all, as `(description, error)`.
     pub errors: Vec<(String, String)>,
     /// Scenarios whose engines diverged, shrunk.
@@ -319,14 +332,20 @@ impl PdesReport {
     /// The canonical JSON report (the CI artifact). Each divergence
     /// entry carries a replayable reproducer description.
     pub fn to_json(&self) -> String {
-        let json = Json::object(vec![
+        let mut pairs = vec![
             ("seed", Json::Int(self.seed)),
             ("cases", Json::Int(self.cases)),
             (
                 "jobs",
                 Json::Array(self.jobs.iter().map(|&n| Json::Int(n as u64)).collect()),
             ),
+            ("trace", Json::Str(self.trace.clone())),
             ("passed", Json::Bool(self.passed())),
+        ];
+        if let Some(path) = &self.postmortem {
+            pairs.push(("postmortem", Json::Str(path.clone())));
+        }
+        pairs.extend(vec![
             (
                 "divergences",
                 Json::Array(
@@ -361,7 +380,7 @@ impl PdesReport {
                 ),
             ),
         ]);
-        let mut out = json.render();
+        let mut out = Json::object(pairs).render();
         out.push('\n');
         out
     }
@@ -398,10 +417,21 @@ impl fmt::Display for PdesReport {
 /// Runs `options.cases` seeded scenarios through the lockstep-vs-parallel
 /// differential, shrinking any divergence to a minimal reproducer.
 pub fn run_pdes(options: &PdesOptions) -> PdesReport {
+    // One trace for the whole differential: divergence events — and the
+    // post-mortem dump naming them — correlate back to this run.
+    let trace = obs::TraceId::mint();
+    let _scope = obs::enter(obs::TraceContext::root(trace));
+    let _span = obs::span_with(obs::Level::Info, "pdes.run", || {
+        vec![
+            ("seed", options.seed.into()),
+            ("cases", options.cases.into()),
+        ]
+    });
     let mut report = PdesReport {
         seed: options.seed,
         cases: options.cases,
         jobs: options.jobs.clone(),
+        trace: trace.to_hex(),
         ..PdesReport::default()
     };
     let mut done = Progress {
@@ -424,6 +454,13 @@ pub fn run_pdes(options: &PdesOptions) -> PdesReport {
                     Ok(Some(m)) => m,
                     _ => mismatch,
                 };
+                obs::event_with(obs::Level::Warn, "pdes.divergence", || {
+                    vec![
+                        ("case", case.describe().into()),
+                        ("reproducer", shrunk.describe().into()),
+                        ("observable", mismatch.observable.clone().into()),
+                    ]
+                });
                 report.divergences.push(PdesDivergence {
                     case,
                     shrunk,
@@ -435,6 +472,21 @@ pub fn run_pdes(options: &PdesOptions) -> PdesReport {
         }
         if let Some(progress) = &options.progress {
             progress(done);
+        }
+    }
+    if !report.divergences.is_empty() && obs::flight_armed() {
+        if let Some(dir) = options.postmortem_dir.as_deref() {
+            let extra = vec![
+                ("seed", Json::Int(options.seed)),
+                ("divergences", Json::Int(report.divergences.len() as u64)),
+                (
+                    "reproducer",
+                    Json::Str(report.divergences[0].shrunk.describe()),
+                ),
+            ];
+            report.postmortem = obs::write_postmortem(dir, trace, "pdes_divergence", extra)
+                .ok()
+                .map(|path| path.display().to_string());
         }
     }
     report

@@ -1,0 +1,180 @@
+//! Golden snapshot of the Prometheus text exposition.
+//!
+//! A registry populated with fixed values — one instrument per family
+//! the server actually registers (job counters, queue telemetry, engine
+//! health, flight-recorder drops) — must render byte-for-byte the text
+//! committed at `tests/golden/metrics_prometheus.txt` (regenerate with
+//! `ICICLE_UPDATE_GOLDEN=1`). A second pass cross-checks the two
+//! renderings of the same registry: every value in the Prometheus text
+//! must agree with the full JSON snapshot, so the two endpoints can
+//! never drift apart.
+
+use std::path::Path;
+
+use icicle::verify::compare_or_update;
+use icicle_obs::{Json, MetricsRegistry, SKIP_SPAN_BOUNDS};
+
+/// Queue/lease wait bounds, in microseconds (mirrors the serve layer).
+const WAIT_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// A registry with one instrument per server family, every value fixed.
+fn fixture() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    registry.counter("server.jobs.submitted").add(5);
+    registry.counter("server.jobs.done").add(3);
+    registry.counter("campaign.cells.simulated").add(12);
+    registry.gauge("campaign.progress.done").set(12.0);
+
+    // Engine health: volatile (excluded from the canonical snapshot,
+    // present in full/Prometheus renders).
+    registry.counter_volatile("engine.skip.spans").add(7);
+    registry.counter_volatile("engine.skip.cycles").add(4_096);
+    registry.counter_volatile("engine.skip.probe_misses").add(2);
+    registry
+        .counter_volatile("engine.l2.core0.null_messages")
+        .add(31);
+    registry
+        .counter_volatile("engine.l2.core0.stall_waits")
+        .add(4);
+    registry
+        .gauge_volatile("server.queue.normal.depth")
+        .set(2.0);
+    registry.gauge_volatile("obs.flight.dropped").set(0.0);
+
+    let spans = registry.histogram_volatile("engine.skip.span_cycles", &SKIP_SPAN_BOUNDS);
+    spans.accumulate(&[1, 2, 0, 3, 0, 0, 1], 7, 4_096);
+    let lease = registry.histogram_volatile("campaign.lease.wait_us", &WAIT_BOUNDS_US);
+    for v in [50, 800, 12_000] {
+        lease.observe(v);
+    }
+    let queue = registry.histogram_volatile("server.queue.normal.wait_us", &WAIT_BOUNDS_US);
+    queue.observe(250);
+    registry
+}
+
+#[test]
+fn prometheus_exposition_matches_the_golden_snapshot() {
+    let rendered = fixture().render_prometheus();
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_prometheus.txt");
+    compare_or_update(&golden, &rendered).expect("prometheus exposition matches the snapshot");
+}
+
+#[test]
+fn prometheus_and_json_renderings_agree_on_every_value() {
+    let registry = fixture();
+    let text = registry.render_prometheus();
+    let full = Json::parse(&registry.render_full()).expect("full snapshot parses");
+
+    // Every Prometheus sample line, keyed by its series name.
+    let samples: Vec<(&str, &str)> = text
+        .lines()
+        .filter(|line| !line.starts_with('#') && !line.is_empty())
+        .map(|line| line.split_once(' ').expect("name value"))
+        .collect();
+    let sample = |name: &str| -> &str {
+        samples
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no Prometheus sample `{name}`:\n{text}"))
+            .1
+    };
+
+    let counters = full.get("counters").expect("counters");
+    if let Json::Object(pairs) = counters {
+        assert!(!pairs.is_empty());
+        for (name, value) in pairs {
+            let series = format!("icicle_{}", name.replace(['.', '-'], "_"));
+            assert_eq!(
+                sample(&series).parse::<u64>().ok(),
+                value.as_u64(),
+                "counter {name} drifted between JSON and Prometheus"
+            );
+        }
+    } else {
+        panic!("counters is not an object");
+    }
+
+    let gauges = full.get("gauges").expect("gauges");
+    if let Json::Object(pairs) = gauges {
+        for (name, value) in pairs {
+            let series = format!("icicle_{}", name.replace(['.', '-'], "_"));
+            let json_value = value.as_f64().expect("gauge is numeric");
+            let prom_value: f64 = sample(&series).parse().expect("gauge sample parses");
+            assert!(
+                (json_value - prom_value).abs() < 1e-6,
+                "gauge {name}: JSON {json_value} vs Prometheus {prom_value}"
+            );
+        }
+    } else {
+        panic!("gauges is not an object");
+    }
+
+    let histograms = full.get("histograms").expect("histograms");
+    if let Json::Object(pairs) = histograms {
+        assert!(!pairs.is_empty());
+        for (name, doc) in pairs {
+            let series = format!("icicle_{}", name.replace(['.', '-'], "_"));
+            assert_eq!(
+                sample(&format!("{series}_count")).parse::<u64>().ok(),
+                doc.get("count").and_then(Json::as_u64),
+                "{name}_count drifted"
+            );
+            assert_eq!(
+                sample(&format!("{series}_sum")).parse::<u64>().ok(),
+                doc.get("sum").and_then(Json::as_u64),
+                "{name}_sum drifted"
+            );
+            // JSON buckets are per-slot; Prometheus buckets are
+            // cumulative. Fold and compare each `le` rung.
+            let buckets = match doc.get("buckets") {
+                Some(Json::Array(buckets)) => buckets,
+                other => panic!("{name} buckets malformed: {other:?}"),
+            };
+            let mut cumulative = 0u64;
+            for bucket in buckets {
+                let le = bucket.get("le").and_then(Json::as_str).expect("le");
+                cumulative += bucket.get("count").and_then(Json::as_u64).expect("count");
+                let rung = if le == "+inf" {
+                    format!("{series}_bucket{{le=\"+Inf\"}}")
+                } else {
+                    format!("{series}_bucket{{le=\"{le}\"}}")
+                };
+                assert_eq!(
+                    sample(&rung).parse::<u64>().ok(),
+                    Some(cumulative),
+                    "{name} bucket le={le} drifted"
+                );
+            }
+        }
+    } else {
+        panic!("histograms is not an object");
+    }
+}
+
+#[test]
+fn volatile_engine_health_stays_out_of_the_canonical_snapshot() {
+    let registry = fixture();
+    let canonical = registry.render();
+    for name in [
+        "engine.skip",
+        "engine.l2",
+        "server.queue",
+        "campaign.lease",
+        "obs.flight",
+    ] {
+        assert!(
+            !canonical.contains(name),
+            "`{name}` leaked into the canonical snapshot"
+        );
+    }
+    let full = registry.render_full();
+    for name in [
+        "engine.skip.spans",
+        "engine.l2.core0.null_messages",
+        "server.queue.normal.depth",
+        "campaign.lease.wait_us",
+        "obs.flight.dropped",
+    ] {
+        assert!(full.contains(name), "`{name}` missing from the full render");
+    }
+}

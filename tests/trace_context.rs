@@ -1,0 +1,280 @@
+//! End-to-end trace correlation: one HTTP submission yields exactly one
+//! trace, surfaced in the `X-Icicle-Trace` response header and the job
+//! status document, and every span and event reachable from that
+//! trace_id forms a single well-parented tree spanning the server
+//! handler thread, the executor, the campaign cell workers, and the SoC
+//! core drivers. The canonicalized tree is byte-identical at any
+//! `--jobs` count and under either SoC engine (`lockstep` /
+//! `parallel`): parallelism may reorder and re-thread the records, but
+//! never change what happened.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use icicle_campaign::SocJobs;
+use icicle_obs::{self as obs, FieldValue, Json, Record, RecordKind, RingCollector};
+use icicle_serve::{http, AnalysisService, Client, Server, ServiceConfig, Submission};
+
+/// The tracing runtime is process-global; tests that install a
+/// collector must not overlap.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One single-core cell and one dual-core SoC cell: the smallest grid
+/// that exercises both the plain driver and the multi-core engines the
+/// `soc_jobs` knob selects between.
+const SPEC: &str = "\
+name = trace-ctx
+workloads = vvadd
+cores = rocket, soc-2xrocket
+archs = add-wires
+seeds = 0
+";
+
+const POLL: Duration = Duration::from_millis(10);
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icicle-trace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot(data_dir: &Path, jobs: usize) -> (Arc<AnalysisService>, SocketAddr) {
+    let service = Arc::new(
+        AnalysisService::open(ServiceConfig {
+            data_dir: data_dir.to_path_buf(),
+            jobs,
+            ..ServiceConfig::default()
+        })
+        .expect("open service"),
+    );
+    let _executors = service.start();
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::spawn(move || server.run());
+    (service, addr)
+}
+
+/// Renders the records belonging to `trace` as one canonical tree:
+/// span/event names with their deterministic fields, children sorted,
+/// ids/threads/timestamps erased. Two runs that did the same work
+/// render the same string regardless of worker count or interleaving.
+fn canonical_tree(records: &[Record], trace: u64) -> String {
+    // Field values that legitimately vary with the execution config —
+    // masked so the tree captures *what ran*, not *how wide*.
+    fn masked(span: &str, field: &str) -> bool {
+        span == "campaign.run" && field == "jobs"
+    }
+    fn label(name: &str, fields: &[(&'static str, FieldValue)]) -> String {
+        let mut out = String::from(name);
+        let mut rendered: Vec<String> = fields
+            .iter()
+            .filter(|(k, _)| !masked(name, k))
+            .map(|(k, v)| {
+                let value = match v {
+                    FieldValue::Bool(b) => b.to_string(),
+                    FieldValue::U64(n) => n.to_string(),
+                    FieldValue::F64(x) => format!("{x}"),
+                    FieldValue::Str(s) => s.clone(),
+                };
+                format!("{k}={value}")
+            })
+            .collect();
+        rendered.sort();
+        out.push('{');
+        out.push_str(&rendered.join(","));
+        out.push('}');
+        out
+    }
+
+    let mine: Vec<&Record> = records.iter().filter(|r| r.trace == trace).collect();
+    assert!(!mine.is_empty(), "no records carry trace {trace:#x}");
+
+    let mut labels: HashMap<u64, String> = HashMap::new();
+    let mut children: HashMap<Option<u64>, Vec<String>> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for r in &mine {
+        match r.kind {
+            RecordKind::SpanStart => {
+                labels.insert(r.id, label(r.name, &r.fields));
+                order.push(r.id);
+                if let Some(parent) = r.parent {
+                    assert!(
+                        labels.contains_key(&parent),
+                        "span {} `{}` parents onto {parent}, which is not in this trace",
+                        r.id,
+                        r.name
+                    );
+                }
+            }
+            RecordKind::SpanEnd => {}
+            RecordKind::Event => {
+                if let Some(parent) = r.parent {
+                    assert!(
+                        labels.contains_key(&parent),
+                        "event `{}` parents onto {parent}, which is not in this trace",
+                        r.name
+                    );
+                }
+                children
+                    .entry(r.parent)
+                    .or_default()
+                    .push(label(r.name, &r.fields));
+            }
+        }
+    }
+    // Spans attach to their parents after all labels exist, rendered
+    // top-down with children sorted so interleaving cannot matter.
+    let mut parent_of: HashMap<u64, Option<u64>> = HashMap::new();
+    for r in &mine {
+        if r.kind == RecordKind::SpanStart {
+            parent_of.insert(r.id, r.parent);
+        }
+    }
+    fn render(
+        id: u64,
+        labels: &HashMap<u64, String>,
+        span_children: &HashMap<u64, Vec<u64>>,
+        event_children: &HashMap<Option<u64>, Vec<String>>,
+    ) -> String {
+        let mut kids: Vec<String> = Vec::new();
+        for child in span_children.get(&id).cloned().unwrap_or_default() {
+            kids.push(render(child, labels, span_children, event_children));
+        }
+        kids.extend(event_children.get(&Some(id)).cloned().unwrap_or_default());
+        kids.sort();
+        let mut out = labels[&id].clone();
+        if !kids.is_empty() {
+            out.push('(');
+            out.push_str(&kids.join(" "));
+            out.push(')');
+        }
+        out
+    }
+    let mut span_children: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut roots: Vec<u64> = Vec::new();
+    for id in &order {
+        match parent_of[id] {
+            Some(parent) => span_children.entry(parent).or_default().push(*id),
+            None => roots.push(*id),
+        }
+    }
+    let mut rendered: Vec<String> = roots
+        .iter()
+        .map(|id| render(*id, &labels, &span_children, &children))
+        .collect();
+    rendered.extend(children.get(&None).cloned().unwrap_or_default());
+    rendered.sort();
+    rendered.join("\n")
+}
+
+/// Boots a fresh server, submits [`SPEC`] under the given execution
+/// config, and returns the canonical trace tree plus the trace hex the
+/// server reported.
+fn run_traced(tag: &str, jobs: usize, soc_jobs: SocJobs) -> (String, String) {
+    let dir = scratch_dir(tag);
+    let ring = Arc::new(RingCollector::new(65_536));
+    obs::install(
+        obs::Level::Info,
+        Arc::clone(&ring) as Arc<dyn obs::Collector>,
+    );
+    let (_service, addr) = boot(&dir, jobs);
+    let api = Client::new(addr.to_string());
+    let id = api
+        .submit(
+            &Submission::campaign(SPEC)
+                .with_client("tracer")
+                .with_soc_jobs(soc_jobs),
+        )
+        .expect("submit");
+    let status = api.wait(id, POLL).expect("poll to completion");
+    assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+
+    // The wire contract: the status document and the response header
+    // name the same trace.
+    let trace_hex = status
+        .get("trace")
+        .and_then(Json::as_str)
+        .expect("status document carries the trace")
+        .to_string();
+    let raw = http::roundtrip(&addr.to_string(), "GET", &format!("/v1/jobs/{id}"), None)
+        .expect("raw status roundtrip");
+    assert_eq!(
+        raw.header("x-icicle-trace"),
+        Some(trace_hex.as_str()),
+        "X-Icicle-Trace must echo the job's trace"
+    );
+
+    obs::shutdown();
+    let trace = obs::TraceId::parse_hex(&trace_hex)
+        .expect("trace hex round-trips")
+        .as_u64();
+    let tree = canonical_tree(&ring.records(), trace);
+    let _ = std::fs::remove_dir_all(&dir);
+    (tree, trace_hex)
+}
+
+#[test]
+fn one_submission_yields_one_well_parented_trace_tree() {
+    let _guard = serial();
+    let (tree, trace_hex) = run_traced("shape", 2, SocJobs::Lockstep);
+    assert_eq!(trace_hex.len(), 16, "trace is 16 lowercase hex digits");
+
+    // Exactly one root: the admission span on the handler thread.
+    let roots: Vec<&str> = tree.lines().collect();
+    assert_eq!(roots.len(), 1, "one trace, one root:\n{tree}");
+    assert!(
+        roots[0].starts_with("server.submit{"),
+        "the root is the admission span:\n{tree}"
+    );
+    // The full request→core chain hangs off it, in nesting order.
+    for (outer, inner) in [
+        ("server.submit", "server.job.execute"),
+        ("server.job.execute", "campaign.run"),
+        ("campaign.run", "campaign.cell"),
+        ("campaign.cell", "soc.core"),
+    ] {
+        let outer_at = tree
+            .find(outer)
+            .unwrap_or_else(|| panic!("{outer} missing:\n{tree}"));
+        let inner_at = tree
+            .find(inner)
+            .unwrap_or_else(|| panic!("{inner} missing:\n{tree}"));
+        assert!(
+            outer_at < inner_at,
+            "{inner} must nest inside {outer}:\n{tree}"
+        );
+    }
+    assert!(tree.contains("server.job.queued"), "{tree}");
+    // Both SoC cores report under the same cell, stamped with the trace.
+    assert!(tree.contains("soc.core{core=0"), "{tree}");
+    assert!(tree.contains("soc.core{core=1"), "{tree}");
+}
+
+#[test]
+fn the_trace_tree_is_identical_at_any_worker_count_and_engine() {
+    let _guard = serial();
+    let (one_lockstep, _) = run_traced("j1-lock", 1, SocJobs::Lockstep);
+    let (four_lockstep, _) = run_traced("j4-lock", 4, SocJobs::Lockstep);
+    let (one_parallel, _) = run_traced("j1-par", 1, SocJobs::Parallel(4));
+    let (four_parallel, _) = run_traced("j4-par", 4, SocJobs::Parallel(4));
+    assert_eq!(
+        one_lockstep, four_lockstep,
+        "--jobs must not change the canonical trace tree"
+    );
+    assert_eq!(
+        one_lockstep, one_parallel,
+        "the SoC engine must not change the canonical trace tree"
+    );
+    assert_eq!(
+        one_lockstep, four_parallel,
+        "worker count and engine together must not change the tree"
+    );
+}
